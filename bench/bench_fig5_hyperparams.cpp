@@ -1,0 +1,124 @@
+// Fig. 5 — hyper-parameter exploration for HDC-ZSC on the validation split
+// (disjoint validation classes carved from the ZS train classes): 1-D
+// sweeps of batch size, epochs, learning rate, temperature scale and weight
+// decay around a default point, reporting top-1 accuracy. The paper's
+// qualitative findings under test: accuracy peaks around ~10 epochs,
+// extreme learning rates (1e-6, 1e-2) and extreme temperatures degrade
+// accuracy, and weight decay is relatively flat.
+//
+//   ./bench_fig5_hyperparams [--classes=12] [--full]
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using hdczsc::core::PipelineConfig;
+
+PipelineConfig base_config(std::size_t n_classes) {
+  PipelineConfig cfg;
+  cfg.n_classes = n_classes;
+  cfg.images_per_class = 8;
+  cfg.train_instances = 6;
+  cfg.image_size = 32;
+  cfg.split = "val";  // Fig. 5: validation split of disjoint classes
+  cfg.zs_train_classes = n_classes * 3 / 4;
+  cfg.val_classes = n_classes / 4;
+  cfg.model.image.arch = "resnet_micro_flat";
+  cfg.model.image.proj_dim = 256;
+  cfg.model.temp_scale = 4.0f;
+  cfg.run_phase1 = false;  // sweep cost control; phase II supplies maturity
+  cfg.phase2 = {4, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.phase3 = {10, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.augment.enabled = false;
+  return cfg;
+}
+
+double run(const PipelineConfig& cfg) {
+  return 100.0 * hdczsc::core::run_pipeline(cfg).zsc.top1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdczsc;
+  util::ArgMap args(argc, argv);
+  const bool full = args.get_bool("full", false);
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", full ? 20 : 12));
+  util::Timer timer;
+  PipelineConfig base = base_config(n_classes);
+
+  // --- epochs sweep (paper: {3, 10, 30, 100}, peak near 10) -----------------
+  {
+    util::Table t("Fig. 5a — epochs sweep (paper sweeps {3,10,30,100}; peak ~10)");
+    t.set_header({"epochs", "top-1 (%)"});
+    for (std::size_t e : {1u, 3u, 10u, 30u}) {
+      PipelineConfig cfg = base;
+      cfg.phase3.epochs = e;
+      t.add_row({std::to_string(e), util::Table::num(run(cfg), 1)});
+    }
+    t.print();
+  }
+
+  // --- batch size sweep (paper: {4, 8, 16, 32}) -------------------------------
+  {
+    util::Table t("Fig. 5b — batch size sweep (paper sweeps {4,8,16,32})");
+    t.set_header({"batch size", "top-1 (%)"});
+    for (std::size_t b : {4u, 8u, 16u, 32u}) {
+      PipelineConfig cfg = base;
+      cfg.phase3.batch_size = b;
+      t.add_row({std::to_string(b), util::Table::num(run(cfg), 1)});
+    }
+    t.print();
+  }
+
+  // --- learning rate sweep (paper: {1e-6, 1e-3, 0.01}; mid value best) -------
+  // The sweep is run around this reproduction's operating point; the paper
+  // axis value each point corresponds to is printed alongside.
+  {
+    util::Table t("Fig. 5c — learning rate sweep (paper: too-low underfits, too-high "
+                  "degrades; mid best)");
+    t.set_header({"lr (ours)", "lr (paper axis)", "top-1 (%)"});
+    const std::pair<float, const char*> points[] = {
+        {1e-5f, "1e-6"}, {1e-2f, "1e-3"}, {3e-1f, "0.01"}};
+    for (auto [lr, paper] : points) {
+      PipelineConfig cfg = base;
+      cfg.phase3.lr = lr;
+      cfg.phase2.lr = lr;
+      t.add_row({util::Table::num(lr, 5), paper, util::Table::num(run(cfg), 1)});
+    }
+    t.print();
+  }
+
+  // --- temperature scale sweep (paper: {7e-4, 0.03, 0.7}; mid value best) -----
+  {
+    util::Table t("Fig. 5d — temperature scale sweep (paper: extremes degrade; mid best)");
+    t.set_header({"temp scale (ours)", "temp scale (paper axis)", "top-1 (%)"});
+    const std::pair<float, const char*> points[] = {
+        {0.05f, "7e-4"}, {4.0f, "0.03"}, {256.0f, "0.7"}};
+    for (auto [s, paper] : points) {
+      PipelineConfig cfg = base;
+      cfg.model.temp_scale = s;
+      t.add_row({util::Table::num(s, 3), paper, util::Table::num(run(cfg), 1)});
+    }
+    t.print();
+  }
+
+  // --- weight decay sweep (paper: {0, 1e-4, 0.01}) ----------------------------
+  {
+    util::Table t("Fig. 5e — weight decay sweep (paper: {0, 1e-4, 0.01}, flat)");
+    t.set_header({"weight decay", "top-1 (%)"});
+    for (float wd : {0.0f, 1e-4f, 1e-2f}) {
+      PipelineConfig cfg = base;
+      cfg.phase3.weight_decay = wd;
+      t.add_row({util::Table::num(wd, 4), util::Table::num(run(cfg), 1)});
+    }
+    t.print();
+  }
+
+  std::printf("wall time: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// §III-A memory claims: factored (G+V) vs flat (α) codebook storage across
+// dimensionalities, plus the attribute-encoder share of the whole model.
+// Paper numbers: 71% reduction; 17 KB of atomic hypervectors at d=1536;
+// "negligible compared to the image encoder's hundreds of MB".
+#include <cstdio>
+
+#include "core/param_count.hpp"
+#include "data/attribute_space.hpp"
+#include "hdc/memory_report.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hdczsc;
+  auto space = data::AttributeSpace::cub();
+
+  util::Table table("codebook storage: factored (G+V) vs flat (alpha) — paper claims "
+                    "71% reduction, ~17 KB at d=1536");
+  table.set_header({"d", "factored (B)", "flat (B)", "reduction (%)", "paper"});
+  for (std::size_t d : {256u, 512u, 1024u, 1536u, 2048u, 4096u}) {
+    auto r = hdc::memory_report(space.n_groups(), space.n_values(), space.n_attributes(), d);
+    table.add_row({std::to_string(d), std::to_string(r.factored_bytes),
+                   std::to_string(r.flat_bytes), util::Table::num(r.reduction_percent, 1),
+                   d == 1536 ? "17 KB / 71%" : "-"});
+  }
+  table.print();
+
+  // Attribute-encoder share of the full model at paper scale.
+  const double encoder_mb =
+      static_cast<double>(hdc::memory_report(28, 61, 312, 1536).factored_bytes) / (1024.0 * 1024.0);
+  const double image_mb =
+      static_cast<double>(core::hdczsc_param_count("resnet50", 1536, true)) * 4.0 /
+      (1024.0 * 1024.0);
+  std::printf("\npaper-scale model storage: image encoder %.1f MB (fp32) vs HDC attribute "
+              "encoder %.3f MB -> %.4f %% of total\n",
+              image_mb, encoder_mb, 100.0 * encoder_mb / (image_mb + encoder_mb));
+  std::printf("(paper: \"negligible amount compared to the image encoder memory "
+              "requirement which is typically several hundreds of MB\")\n");
+  return 0;
+}

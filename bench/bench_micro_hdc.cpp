@@ -1,0 +1,93 @@
+// Micro-benchmarks of the HDC primitives: bind/bundle/similarity in both
+// bipolar (int8 multiply) and packed-binary (XOR + popcount) forms — the
+// operations the paper offloads to non-von-Neumann accelerators (§V).
+#include <benchmark/benchmark.h>
+
+#include "data/attribute_space.hpp"
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace {
+
+using namespace hdczsc;
+
+void BM_BipolarBind(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  auto a = hdc::BipolarHV::random(d, rng);
+  auto b = hdc::BipolarHV::random(d, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.bind(b));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(d));
+}
+BENCHMARK(BM_BipolarBind)->Arg(512)->Arg(1536)->Arg(8192);
+
+void BM_BinaryBind(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  auto a = hdc::BinaryHV::random(d, rng);
+  auto b = hdc::BinaryHV::random(d, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.bind(b));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(d));
+}
+BENCHMARK(BM_BinaryBind)->Arg(512)->Arg(1536)->Arg(8192);
+
+void BM_BipolarCosine(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  auto a = hdc::BipolarHV::random(d, rng);
+  auto b = hdc::BipolarHV::random(d, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.cosine(b));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(d));
+}
+BENCHMARK(BM_BipolarCosine)->Arg(512)->Arg(1536)->Arg(8192);
+
+void BM_BinaryHammingSimilarity(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  auto a = hdc::BinaryHV::random(d, rng);
+  auto b = hdc::BinaryHV::random(d, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(a.similarity(b));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(d));
+}
+BENCHMARK(BM_BinaryHammingSimilarity)->Arg(512)->Arg(1536)->Arg(8192);
+
+void BM_Bundle(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = 1536;
+  util::Rng rng(5);
+  std::vector<hdc::BipolarHV> items;
+  for (std::size_t i = 0; i < k; ++i) items.push_back(hdc::BipolarHV::random(d, rng));
+  for (auto _ : state) {
+    hdc::BundleAccumulator acc(d);
+    for (const auto& hv : items) acc.add(hv);
+    benchmark::DoNotOptimize(acc.finalize(rng));
+  }
+}
+BENCHMARK(BM_Bundle)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AssociativeLookup(benchmark::State& state) {
+  // Nearest-item search over a codebook of `n` entries at d=1536 — the
+  // inference primitive of the attribute-extraction head.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  hdc::Codebook cb(n, 1536, rng);
+  auto query = hdc::BipolarHV::random(1536, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(cb.nearest(query));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(n));
+}
+BENCHMARK(BM_AssociativeLookup)->Arg(61)->Arg(312);
+
+void BM_DictionaryMaterialization(benchmark::State& state) {
+  // Rematerializing the full 312 x d dictionary from the two codebooks
+  // (the "on the fly" binding of §III-A).
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(7);
+  auto space = data::AttributeSpace::cub();
+  hdc::FactoredDictionary dict(space.n_groups(), space.n_values(), space.hdc_pairs(), d, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(dict.dictionary_tensor());
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * 312 *
+                          static_cast<long>(d));
+}
+BENCHMARK(BM_DictionaryMaterialization)->Arg(256)->Arg(1536);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Micro-benchmarks of the tensor/NN substrate: GEMM variants, convolution,
+// the similarity kernel, and the ϕ = A x B attribute encoding — the ops
+// that dominate HDC-ZSC training time.
+#include <benchmark/benchmark.h>
+
+#include "core/attribute_encoder.hpp"
+#include "core/similarity.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace hdczsc;
+using tensor::Tensor;
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul(a, b));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulNT(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::matmul_nt(a, b));
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) *
+                          static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_MatmulNT)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  nn::Conv2d conv(c, c, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({4, c, 16, 16}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(x, false));
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  const std::size_t c = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(4);
+  nn::Conv2d conv(c, c, 3, 1, 1, rng);
+  Tensor x = Tensor::randn({4, c, 16, 16}, rng);
+  Tensor y = conv.forward(x, true);
+  Tensor g(y.shape(), 1.0f);
+  for (auto _ : state) benchmark::DoNotOptimize(conv.backward(g));
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(8)->Arg(16);
+
+void BM_SimilarityKernelForward(benchmark::State& state) {
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  core::SimilarityKernel kernel(0.07f);
+  Tensor e = Tensor::randn({32, d}, rng);
+  Tensor c = Tensor::randn({200, d}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(kernel.forward(e, c, false));
+}
+BENCHMARK(BM_SimilarityKernelForward)->Arg(256)->Arg(1536);
+
+void BM_AttributeEncodePhi(benchmark::State& state) {
+  // ϕ = A x B with A [200, 312], B [312, d].
+  const std::size_t d = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  auto space = data::AttributeSpace::cub();
+  core::HdcAttributeEncoder enc(space, d, rng);
+  Tensor a = Tensor::rand_uniform({200, space.n_attributes()}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(enc.encode(a, false));
+}
+BENCHMARK(BM_AttributeEncodePhi)->Arg(256)->Arg(1536);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  util::Rng rng(7);
+  Tensor l = Tensor::randn({64, static_cast<std::size_t>(state.range(0))}, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(tensor::softmax_rows(l));
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(200)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Table I — attribute extraction on the noZS split: HDC-ZSC's phase-II
+// head vs a Finetag-style BCE head (WMAP metric) and an A3M-style per-group
+// softmax head (top-1% metric). The paper's CUB-200 numbers are printed
+// next to our synthetic-dataset measurements; the claim under test is the
+// *ordering* (ours >= baseline on both metric families) and the averages'
+// direction, not absolute values (different substrate; see DESIGN.md).
+//
+//   ./bench_table1_attribute_extraction [--classes=16] [--epochs=5] [--full]
+#include <cstdio>
+
+#include "baselines/attribute_head.hpp"
+#include "core/trainer.hpp"
+#include "data/splits.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+// Paper Table I (CUB-200): per-group {Finetag WMAP, Ours WMAP, A3M top-1%,
+// Ours top-1%}, rows in AttributeSpace::cub() group order.
+struct PaperRow {
+  double finetag_wmap, ours_wmap, a3m_top1, ours_top1;
+};
+const PaperRow kPaper[28] = {
+    {54, 58, 60, 90}, {57, 60, 45, 90}, {55, 57, 43, 90}, {59, 62, 58, 93},
+    {15, 61, 58, 81}, {50, 53, 45, 91}, {25, 25, 34, 84}, {40, 42, 43, 93},
+    {30, 33, 35, 89}, {58, 61, 57, 92}, {57, 61, 60, 93}, {76, 76, 81, 98},
+    {73, 76, 72, 80}, {56, 59, 51, 92}, {42, 44, 38, 90}, {55, 58, 49, 92},
+    {58, 61, 59, 93}, {24, 25, 32, 80}, {55, 56, 58, 81}, {47, 49, 57, 94},
+    {44, 45, 46, 77}, {41, 43, 43, 77}, {60, 62, 62, 81}, {62, 66, 51, 90},
+    {32, 37, 46, 92}, {42, 47, 47, 91}, {56, 60, 53, 93}, {48, 50, 48, 72}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdczsc;
+  util::ArgMap args(argc, argv);
+  const bool full = args.get_bool("full", false);
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", full ? 40 : 14));
+  const std::size_t epochs = static_cast<std::size_t>(args.get_int("epochs", full ? 15 : 10));
+  const std::size_t image_size = static_cast<std::size_t>(args.get_int("image", 32));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  util::Timer timer;
+
+  auto space = data::AttributeSpace::cub();
+  data::CubSyntheticConfig dcfg;
+  dcfg.n_classes = n_classes;
+  dcfg.images_per_class = 8;
+  dcfg.image_size = image_size;
+  dcfg.seed = seed;
+  data::CubSynthetic dataset(space, dcfg);
+
+  // noZS protocol (as in the paper's Table I evaluation).
+  auto split = data::make_nozs_split(n_classes, n_classes, seed);
+  data::AugmentConfig no_aug;
+  no_aug.enabled = false;
+  const std::size_t train_hi = 6;
+  data::DataLoader test(dataset, split.test_classes, train_hi, 8, 16, false, no_aug, seed);
+
+  core::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.batch_size = 16;
+  tcfg.lr = 1e-2f;
+
+  // --- ours: HDC phase-II head ---------------------------------------------
+  core::ZscModelConfig mcfg;
+  mcfg.image.arch = "resnet_micro_flat";
+  mcfg.image.proj_dim = 1536;
+  
+  util::Rng rng(seed);
+  auto model = core::make_zsc_model(mcfg, space, rng);
+  core::Trainer trainer(seed);
+  {
+    data::DataLoader train(dataset, split.train_classes, 0, train_hi, 16, true, no_aug, seed);
+    trainer.phase2_attribute_extraction(*model, train, tcfg);
+  }
+  auto ours = trainer.evaluate_attributes(*model, test);
+
+  // --- baselines -------------------------------------------------------------
+  auto run_baseline = [&](const char* variant) {
+    util::Rng brng(seed + 7);
+    baselines::AttributeHeadConfig bcfg;
+    bcfg.variant = variant;
+    bcfg.image.arch = "resnet_micro_flat";
+    baselines::AttributeHeadBaseline baseline(space, bcfg, brng);
+    data::DataLoader train(dataset, split.train_classes, 0, train_hi, 16, true, no_aug,
+                           seed + 3);
+    baseline.train(train, tcfg);
+    return baseline.evaluate(test);
+  };
+  auto finetag = run_baseline("finetag");
+  auto a3m = run_baseline("a3m");
+
+  // --- report ------------------------------------------------------------------
+  util::Table table(
+      "Table I — attribute extraction (noZS split); paper columns are CUB-200, "
+      "measured columns are the synthetic substrate");
+  table.set_header({"attribute group", "Finetag WMAP (paper)", "Ours WMAP (paper)",
+                    "Finetag WMAP (meas)", "Ours WMAP (meas)", "A3M top1 (paper)",
+                    "Ours top1 (paper)", "A3M top1 (meas)", "Ours top1 (meas)"});
+  for (std::size_t g = 0; g < space.n_groups(); ++g) {
+    table.add_row({space.group(g).name, util::Table::num(kPaper[g].finetag_wmap, 0),
+                   util::Table::num(kPaper[g].ours_wmap, 0),
+                   util::Table::num(100.0 * finetag.per_group_wmap[g], 1),
+                   util::Table::num(100.0 * ours.per_group_wmap[g], 1),
+                   util::Table::num(kPaper[g].a3m_top1, 0),
+                   util::Table::num(kPaper[g].ours_top1, 0),
+                   util::Table::num(100.0 * a3m.per_group_top1[g], 1),
+                   util::Table::num(100.0 * ours.per_group_top1[g], 1)});
+  }
+  table.add_row({"average", "48.96", "53.11", util::Table::num(100.0 * finetag.mean_wmap, 2),
+                 util::Table::num(100.0 * ours.mean_wmap, 2), "51.11", "87.82",
+                 util::Table::num(100.0 * a3m.mean_top1, 2),
+                 util::Table::num(100.0 * ours.mean_top1, 2)});
+  table.print();
+
+  std::printf("\nshape check (paper: ours beats Finetag by +4.14 WMAP and A3M by +36.71 "
+              "top-1%%):\n");
+  std::printf("  measured WMAP delta  (ours - finetag): %+.2f\n",
+              100.0 * (ours.mean_wmap - finetag.mean_wmap));
+  std::printf("  measured top-1 delta (ours - a3m):     %+.2f\n",
+              100.0 * (ours.mean_top1 - a3m.mean_top1));
+  std::printf("  wall time: %.1f s\n", timer.seconds());
+  return 0;
+}

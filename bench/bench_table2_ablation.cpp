@@ -1,0 +1,95 @@
+// Table II — image/attribute encoder ablation on the ZS split: backbone
+// size x pre-training schedule x projection dim d x attribute encoder
+// (fixed HDC vs trainable MLP). Paper rows use ResNet50/ResNet101 with
+// d ∈ {2048, 1536}; the CPU-scale mapping keeps the *relationships* —
+// smaller backbone + FC projection + phase II vs raw backbones and a
+// larger backbone without FC (see DESIGN.md §4).
+//
+//   ./bench_table2_ablation [--classes=12] [--full]
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Row {
+  const char* paper_encoder;  ///< paper's image encoder label
+  const char* paper_pretrain;
+  std::size_t paper_d;
+  double paper_hdc, paper_mlp;  ///< paper top-1% accuracies
+  // CPU-scale mapping:
+  const char* arch;
+  bool use_fc;
+  std::size_t d;  ///< projection dim when use_fc
+  bool run_phase2;
+};
+
+const Row kRows[] = {
+    // ResNet50 without FC, pre-train I,III only (phase II needs the FC).
+    // resnet_micro_flat's raw feature dim is 2048, matching the paper axis.
+    {"ResNet50", "I,III", 2048, 55, 60, "resnet_micro_flat", false, 0, false},
+    // ResNet50+FC, full schedule, the paper's chosen d=1536 (best row).
+    {"ResNet50+FC", "I,II,III", 1536, 58, 61, "resnet_micro_flat", true, 256, true},
+    // ResNet50+FC at the larger d=2048 (worse in the paper).
+    {"ResNet50+FC", "I,II,III", 2048, 50, 57, "resnet_micro_flat", true, 1024, true},
+    // Bigger backbone without FC (ResNet101): more params, not better.
+    {"ResNet101", "I,III", 2048, 53, 56, "resnet_mini_flat", false, 0, false},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hdczsc;
+  util::ArgMap args(argc, argv);
+  const bool full = args.get_bool("full", false);
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", full ? 32 : 24));
+  const std::size_t seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+  util::Timer timer;
+
+  core::PipelineConfig base;
+  base.n_classes = n_classes;
+  base.images_per_class = 8;
+  base.train_instances = 6;
+  base.image_size = 32;
+  base.split = "zs";
+  base.zs_train_classes = n_classes * 3 / 4;
+  base.pretrain_classes = 6;
+  base.pretrain_images_per_class = 4;
+  base.phase1 = {2, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  base.phase2 = {static_cast<std::size_t>(full ? 10 : 6), 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  base.phase3 = {static_cast<std::size_t>(full ? 10 : 6), 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  base.augment.enabled = false;
+
+  util::Table table("Table II — encoder ablation, ZS split, top-1 accuracy (%)");
+  table.set_header({"image encoder (paper)", "pre-train", "d (paper)", "HDC (paper)",
+                    "MLP (paper)", "HDC (meas)", "MLP (meas)", "arch (meas)"});
+
+  for (const Row& row : kRows) {
+    double measured[2] = {0.0, 0.0};
+    int idx = 0;
+    for (const char* encoder : {"hdc", "mlp"}) {
+      core::PipelineConfig cfg = base;
+      cfg.model.image.arch = row.arch;
+      cfg.model.image.use_projection = row.use_fc;
+      cfg.model.image.proj_dim = row.use_fc ? row.d : 0;
+      if (!row.use_fc) cfg.model.image.proj_dim = 1;  // ignored
+      cfg.model.attribute_encoder = encoder;
+      cfg.run_phase2 = row.run_phase2 && std::string(encoder) == "hdc";
+      auto ms = core::run_pipeline_seeds(cfg, seeds);
+      measured[idx++] = 100.0 * ms.top1_mean;
+    }
+    table.add_row({row.paper_encoder, row.paper_pretrain, std::to_string(row.paper_d),
+                   util::Table::num(row.paper_hdc, 0), util::Table::num(row.paper_mlp, 0),
+                   util::Table::num(measured[0], 1), util::Table::num(measured[1], 1),
+                   row.arch});
+  }
+  table.print();
+  std::printf("\nshape check (paper): the +FC, phase-II, moderate-d row is the best HDC\n"
+              "configuration and outperforms both the raw backbone and the larger\n"
+              "backbone; the trainable MLP is slightly ahead of fixed HDC codebooks.\n");
+  std::printf("wall time: %.1f s\n", timer.seconds());
+  return 0;
+}

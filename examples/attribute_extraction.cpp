@@ -1,0 +1,67 @@
+// Zero-shot attribute extraction (phase II of Fig. 2): train the image
+// encoder against the *stationary* HDC attribute dictionary and report
+// per-group attribute accuracy and WMAP — the Table I task.
+//
+//   ./examples/attribute_extraction [--classes=16] [--epochs=6]
+#include <cstdio>
+
+#include "core/trainer.hpp"
+#include "data/splits.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdczsc;
+  util::ArgMap args(argc, argv);
+
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", 16));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  auto space = data::AttributeSpace::cub();
+  data::CubSyntheticConfig dcfg;
+  dcfg.n_classes = n_classes;
+  dcfg.images_per_class = 10;
+  dcfg.image_size = 32;
+  dcfg.seed = seed;
+  data::CubSynthetic dataset(space, dcfg);
+
+  // noZS protocol, as in Table I: same classes, image-level split.
+  auto split = data::make_nozs_split(n_classes, n_classes, seed);
+  data::AugmentConfig aug;  // rotation / crop / flip on the train side
+  data::DataLoader train(dataset, split.train_classes, 0, 7, 16, true, aug, seed);
+  data::AugmentConfig no_aug;
+  no_aug.enabled = false;
+  data::DataLoader test(dataset, split.test_classes, 7, 10, 16, false, no_aug, seed);
+
+  core::ZscModelConfig mcfg;
+  mcfg.image.arch = args.get_str("arch", "resnet_micro_flat");
+  mcfg.image.proj_dim = static_cast<std::size_t>(args.get_int("d", 256));
+  
+  util::Rng rng(seed);
+  auto model = core::make_zsc_model(mcfg, space, rng);
+
+  std::printf("phase II attribute extraction: %zu classes, d=%zu, dictionary %zux%zu "
+              "(stationary)\n",
+              n_classes, model->dim(), space.n_attributes(), model->dim());
+
+  core::TrainConfig tcfg;
+  tcfg.epochs = static_cast<std::size_t>(args.get_int("epochs", 6));
+  tcfg.batch_size = 16;
+  tcfg.lr = 1e-2f;
+  tcfg.verbose = args.get_bool("verbose", false);
+
+  core::Trainer trainer(seed);
+  const double loss = trainer.phase2_attribute_extraction(*model, train, tcfg);
+  std::printf("final weighted-BCE loss: %.4f\n\n", loss);
+
+  auto res = trainer.evaluate_attributes(*model, test);
+  util::Table table("per-group attribute metrics (held-out images)");
+  table.set_header({"attribute group", "top-1 acc (%)", "WMAP (%)"});
+  for (std::size_t g = 0; g < space.n_groups(); ++g)
+    table.add_row({space.group(g).name, util::Table::num(100.0 * res.per_group_top1[g], 1),
+                   util::Table::num(100.0 * res.per_group_wmap[g], 1)});
+  table.add_row({"average", util::Table::num(100.0 * res.mean_top1, 2),
+                 util::Table::num(100.0 * res.mean_wmap, 2)});
+  table.print();
+  return 0;
+}

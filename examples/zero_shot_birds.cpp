@@ -1,0 +1,54 @@
+// Full three-phase HDC-ZSC run on the synthetic CUB-200-like dataset with
+// the paper's ZS split shape (75% train / 25% unseen classes), comparing
+// the stationary HDC attribute encoder against the trainable MLP variant —
+// the core experiment behind Fig. 4's "ours" points.
+//
+//   ./examples/zero_shot_birds [--classes=24] [--seeds=2]
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hdczsc;
+  util::ArgMap args(argc, argv);
+
+  core::PipelineConfig cfg;
+  cfg.n_classes = static_cast<std::size_t>(args.get_int("classes", 24));
+  cfg.images_per_class = 8;
+  cfg.train_instances = 6;
+  cfg.image_size = 32;
+  cfg.split = "zs";
+  cfg.zs_train_classes = cfg.n_classes * 3 / 4;
+  cfg.model.image.arch = args.get_str("arch", "resnet_micro_flat");
+  cfg.model.image.proj_dim = static_cast<std::size_t>(args.get_int("d", 256));
+  
+  cfg.pretrain_classes = 6;
+  cfg.phase1.epochs = 2;
+  cfg.phase2.epochs = 4;
+  cfg.phase3.epochs = static_cast<std::size_t>(args.get_int("epochs", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  const std::size_t n_seeds = static_cast<std::size_t>(args.get_int("seeds", 2));
+
+  std::printf("zero-shot birds: %zu classes (%zu seen / %zu unseen), %zu seed(s)\n\n",
+              cfg.n_classes, cfg.zs_train_classes, cfg.n_classes - cfg.zs_train_classes,
+              n_seeds);
+
+  util::Table table("HDC-ZSC vs Trainable-MLP (unseen-class accuracy)");
+  table.set_header({"attribute encoder", "top-1 (%)", "top-5 (%)", "params"});
+
+  for (const char* encoder : {"hdc", "mlp"}) {
+    cfg.model.attribute_encoder = encoder;
+    auto ms = core::run_pipeline_seeds(cfg, n_seeds);
+    table.add_row({encoder,
+                   util::Table::mu_sigma(100.0 * ms.top1_mean, 100.0 * ms.top1_std, 1),
+                   util::Table::mu_sigma(100.0 * ms.top5_mean, 100.0 * ms.top5_std, 1),
+                   std::to_string(ms.runs.front().trainable_parameters)});
+  }
+  table.print();
+  std::printf("\nNote: the HDC encoder adds ZERO trainable parameters — its codebooks are\n"
+              "random, binary and stationary (the paper's central claim).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "baselines/attribute_head.hpp"
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/scheduler.hpp"
+#include "util/log.hpp"
+
+namespace hdczsc::baselines {
+
+namespace {
+core::ImageEncoderConfig strip_projection(core::ImageEncoderConfig cfg) {
+  cfg.use_projection = false;  // the head replaces the projection
+  return cfg;
+}
+}  // namespace
+
+AttributeHeadBaseline::AttributeHeadBaseline(const data::AttributeSpace& space,
+                                             const AttributeHeadConfig& cfg, util::Rng& rng)
+    : space_(&space),
+      variant_(cfg.variant),
+      encoder_(strip_projection(cfg.image), rng),
+      head_(encoder_.backbone_feature_dim(), space.n_attributes(), rng) {
+  if (variant_ != "finetag" && variant_ != "a3m")
+    throw std::invalid_argument("AttributeHeadBaseline: unknown variant '" + variant_ + "'");
+}
+
+nn::LossResult AttributeHeadBaseline::per_group_ce(const core::Tensor& logits,
+                                                   const core::Tensor& targets) const {
+  const std::size_t n = logits.size(0), alpha = logits.size(1);
+  nn::LossResult res;
+  res.grad_logits = core::Tensor(logits.shape());
+  const float* L = logits.data();
+  const float* T = targets.data();
+  float* G = res.grad_logits.data();
+  double loss = 0.0;
+  const double inv = 1.0 / static_cast<double>(n * space_->n_groups());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t g = 0; g < space_->n_groups(); ++g) {
+      const auto& grp = space_->group(g);
+      const std::size_t off = grp.attr_offset, w = grp.value_ids.size();
+      const float* lrow = L + i * alpha + off;
+      const float* trow = T + i * alpha + off;
+      // Ground truth = argmax of targets within the group.
+      std::size_t truth = 0;
+      for (std::size_t k = 1; k < w; ++k)
+        if (trow[k] > trow[truth]) truth = k;
+      // Stable softmax CE over the group slice.
+      float mx = lrow[0];
+      for (std::size_t k = 1; k < w; ++k) mx = std::max(mx, lrow[k]);
+      double denom = 0.0;
+      for (std::size_t k = 0; k < w; ++k) denom += std::exp(lrow[k] - mx);
+      loss += -(lrow[truth] - mx - std::log(denom));
+      float* grow = G + i * alpha + off;
+      for (std::size_t k = 0; k < w; ++k) {
+        const double p = std::exp(lrow[k] - mx) / denom;
+        grow[k] = static_cast<float>((p - (k == truth ? 1.0 : 0.0)) * inv);
+      }
+    }
+  }
+  res.value = static_cast<float>(loss * inv);
+  return res;
+}
+
+double AttributeHeadBaseline::train(data::DataLoader& loader, const core::TrainConfig& cfg) {
+  auto params = encoder_.parameters();
+  for (auto* p : head_.parameters()) params.push_back(p);
+  optim::AdamW opt(params, cfg.lr, cfg.weight_decay);
+  optim::CosineAnnealingLR sched(opt, static_cast<long>(cfg.epochs));
+
+  double mean_loss = 0.0;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    loader.reset_epoch();
+    double loss_sum = 0.0;
+    std::size_t batches = 0;
+    while (auto batch = loader.next()) {
+      core::Tensor feats = encoder_.forward(batch->images, true);
+      core::Tensor logits = head_.forward(feats, true);
+      nn::LossResult loss = variant_ == "a3m"
+                                ? per_group_ce(logits, batch->instance_attributes)
+                                : nn::weighted_bce_with_logits(logits,
+                                                               batch->instance_attributes);
+      opt.zero_grad();
+      core::Tensor g = head_.backward(loss.grad_logits);
+      encoder_.backward(g);
+      opt.clip_grad_norm(cfg.clip_norm);
+      opt.step();
+      loss_sum += loss.value;
+      ++batches;
+    }
+    sched.step();
+    mean_loss = batches == 0 ? 0.0 : loss_sum / static_cast<double>(batches);
+    if (cfg.verbose)
+      util::log_info("attribute-head(", variant_, ") epoch ", epoch + 1, "/", cfg.epochs,
+                     " loss ", mean_loss);
+  }
+  return mean_loss;
+}
+
+core::Tensor AttributeHeadBaseline::predict(const core::Tensor& images) {
+  core::Tensor feats = encoder_.forward(images, false);
+  return head_.forward(feats, false);
+}
+
+core::AttributeEvalResult AttributeHeadBaseline::evaluate(const data::DataLoader& test) {
+  data::Batch batch = test.all_eval();
+  core::Tensor scores = predict(batch.images);
+  core::AttributeEvalResult res;
+  res.per_group_top1 = metrics::per_group_top1(scores, batch.instance_attributes, *space_);
+  res.per_group_wmap = metrics::per_group_wmap(scores, batch.instance_attributes, *space_);
+  res.mean_top1 = metrics::mean_of(res.per_group_top1);
+  res.mean_wmap = metrics::mean_of(res.per_group_wmap);
+  return res;
+}
+
+std::size_t AttributeHeadBaseline::parameter_count() {
+  std::size_t n = head_.parameter_count();
+  for (auto* p : encoder_.parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace hdczsc::baselines

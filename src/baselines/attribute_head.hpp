@@ -1,0 +1,51 @@
+// Direct attribute-prediction baselines for the Table I comparison:
+//
+//  * "finetag"-style: a plain FC head over backbone features producing α
+//    sigmoid logits, trained with (unweighted) BCE — multi-attribute
+//    tagging at fine-grained level (Zakizadeh et al. 2018).
+//  * "a3m"-style: per-group softmax heads trained with per-group cross
+//    entropy — attribute-aware attention-free stand-in for Han et al. 2018.
+//
+// Both predict attributes *without* the HDC dictionary; contrasting them
+// with HDC-ZSC's phase-II head reproduces the Table I comparison.
+#pragma once
+
+#include "core/image_encoder.hpp"
+#include "core/trainer.hpp"
+#include "nn/loss.hpp"
+
+namespace hdczsc::baselines {
+
+struct AttributeHeadConfig {
+  std::string variant = "finetag";  ///< "finetag" | "a3m"
+  core::ImageEncoderConfig image;   ///< projection unused; head sits on features
+};
+
+class AttributeHeadBaseline {
+ public:
+  AttributeHeadBaseline(const data::AttributeSpace& space, const AttributeHeadConfig& cfg,
+                        util::Rng& rng);
+
+  /// Train on a loader; returns final mean epoch loss.
+  double train(data::DataLoader& loader, const core::TrainConfig& cfg);
+
+  /// Attribute scores [N, α] for a stack of images.
+  core::Tensor predict(const core::Tensor& images);
+
+  /// Table-I metrics on a held-out loader.
+  core::AttributeEvalResult evaluate(const data::DataLoader& test);
+
+  std::size_t parameter_count();
+  const std::string& variant() const { return variant_; }
+
+ private:
+  const data::AttributeSpace* space_;
+  std::string variant_;
+  core::ImageEncoder encoder_;
+  nn::Linear head_;
+
+  /// Per-group softmax cross entropy (the a3m variant's loss).
+  nn::LossResult per_group_ce(const core::Tensor& logits, const core::Tensor& targets) const;
+};
+
+}  // namespace hdczsc::baselines

@@ -1,0 +1,51 @@
+#include "baselines/eszsl.hpp"
+
+#include <stdexcept>
+
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc::baselines {
+
+void Eszsl::fit(const tensor::Tensor& features, const std::vector<std::size_t>& labels,
+                const tensor::Tensor& signatures) {
+  if (features.dim() != 2 || signatures.dim() != 2)
+    throw std::invalid_argument("Eszsl::fit: features [N,d] and signatures [C,alpha] required");
+  const std::size_t n = features.size(0), d = features.size(1);
+  const std::size_t c = signatures.size(0), alpha = signatures.size(1);
+  if (labels.size() != n) throw std::invalid_argument("Eszsl::fit: label count mismatch");
+
+  // Y ∈ {-1, +1}^{N×C}.
+  tensor::Tensor y({n, c}, -1.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] >= c) throw std::out_of_range("Eszsl::fit: label out of range");
+    y[i * c + labels[i]] = 1.0f;
+  }
+
+  // Left factor: (XᵀX + γI)⁻¹ (SPD).
+  tensor::Tensor xtx = tensor::matmul_tn(features, features);  // [d, d]
+  for (std::size_t i = 0; i < d; ++i) xtx[i * d + i] += cfg_.gamma;
+
+  // Right factor: (SᵀS + λI)⁻¹ (SPD).
+  tensor::Tensor sts = tensor::matmul_tn(signatures, signatures);  // [alpha, alpha]
+  for (std::size_t i = 0; i < alpha; ++i) sts[i * alpha + i] += cfg_.lambda;
+
+  // Middle: Xᵀ Y S  [d, alpha].
+  tensor::Tensor xty = tensor::matmul_tn(features, y);   // [d, C]
+  tensor::Tensor mid = tensor::matmul(xty, signatures);  // [d, alpha]
+
+  // V = solve(xtx, mid) * inv(sts)  -> solve twice to avoid explicit inverses.
+  tensor::Tensor left = tensor::solve_spd(xtx, mid);  // [d, alpha]
+  // Right-multiply by inv(sts): solve sts Zᵀ = leftᵀ.
+  tensor::Tensor zt = tensor::solve_spd(sts, tensor::transpose(left));  // [alpha, d]
+  v_ = tensor::transpose(zt);                                           // [d, alpha]
+}
+
+tensor::Tensor Eszsl::scores(const tensor::Tensor& features,
+                             const tensor::Tensor& signatures) const {
+  if (!fitted()) throw std::logic_error("Eszsl::scores called before fit");
+  tensor::Tensor xv = tensor::matmul(features, v_);       // [N, alpha]
+  return tensor::matmul_nt(xv, signatures);               // [N, C']
+}
+
+}  // namespace hdczsc::baselines

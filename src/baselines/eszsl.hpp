@@ -1,0 +1,46 @@
+// ESZSL (Romera-Paredes & Torr, ICML'15): the "embarrassingly simple"
+// closed-form bilinear zero-shot learner the paper compares against in
+// Fig. 4. Given features X ∈ R^{N×d}, one-hot(±1) labels Y ∈ R^{N×C} and
+// class signatures S ∈ R^{C×α}, the compatibility matrix is
+//
+//   V = (XᵀX + γI)⁻¹ Xᵀ Y S (SᵀS + λI)⁻¹  ∈ R^{d×α}
+//
+// and an unseen-class score is x V sᵀ_c.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::baselines {
+
+struct EszslConfig {
+  float gamma = 1.0f;   ///< feature-space regularizer
+  float lambda = 1.0f;  ///< attribute-space regularizer
+};
+
+class Eszsl {
+ public:
+  explicit Eszsl(EszslConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Solve for V on the seen classes. labels are local ids into
+  /// `signatures` rows.
+  void fit(const tensor::Tensor& features, const std::vector<std::size_t>& labels,
+           const tensor::Tensor& signatures);
+
+  /// Class scores [N, C'] for (possibly unseen) class signatures.
+  tensor::Tensor scores(const tensor::Tensor& features,
+                        const tensor::Tensor& signatures) const;
+
+  const tensor::Tensor& compatibility() const { return v_; }
+  bool fitted() const { return !v_.empty(); }
+  /// Learned-parameter count (the bilinear map only; feature extractor
+  /// accounted separately in Fig. 4).
+  std::size_t param_count() const { return v_.numel(); }
+
+ private:
+  EszslConfig cfg_;
+  tensor::Tensor v_;  // [d, α]
+};
+
+}  // namespace hdczsc::baselines

@@ -1,0 +1,269 @@
+#include "baselines/feature_wgan.hpp"
+
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "optim/optimizer.hpp"
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+
+namespace hdczsc::baselines {
+
+Tensor concat_cols(const Tensor& left, const Tensor& right) {
+  if (left.dim() != 2 || right.dim() != 2 || left.size(0) != right.size(0))
+    throw std::invalid_argument("concat_cols: need [n,a] and [n,b]");
+  const std::size_t n = left.size(0), a = left.size(1), b = right.size(1);
+  Tensor out({n, a + b});
+  const float* L = left.data();
+  const float* R = right.data();
+  float* O = out.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < a; ++j) O[i * (a + b) + j] = L[i * a + j];
+    for (std::size_t j = 0; j < b; ++j) O[i * (a + b) + a + j] = R[i * b + j];
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> split_cols(const Tensor& grad, std::size_t left_cols) {
+  const std::size_t n = grad.size(0), total = grad.size(1);
+  if (left_cols > total) throw std::invalid_argument("split_cols: left_cols too large");
+  Tensor l({n, left_cols}), r({n, total - left_cols});
+  const float* G = grad.data();
+  float* L = l.data();
+  float* R = r.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < left_cols; ++j) L[i * left_cols + j] = G[i * total + j];
+    for (std::size_t j = left_cols; j < total; ++j)
+      R[i * (total - left_cols) + (j - left_cols)] = G[i * total + j];
+  }
+  return {l, r};
+}
+
+FeatureWgan::FeatureWgan(std::size_t feat_dim, std::size_t attr_dim, FeatureWganConfig cfg,
+                         util::Rng& rng)
+    : feat_dim_(feat_dim), attr_dim_(attr_dim), cfg_(cfg), rng_(rng.split()),
+      g1_(cfg.z_dim + attr_dim, cfg.hidden, rng),
+      g2_(cfg.hidden, feat_dim, rng),
+      d1_(feat_dim + attr_dim, cfg.hidden, rng),
+      d2_(cfg.hidden, 1, rng) {}
+
+Tensor FeatureWgan::gen_forward(const Tensor& za, bool train) {
+  Tensor h = g1_.forward(za, train);
+  h = g_relu_.forward(h, train);
+  return g2_.forward(h, train);
+}
+
+Tensor FeatureWgan::gen_backward(const Tensor& grad) {
+  Tensor g = g2_.backward(grad);
+  g = g_relu_.backward(g);
+  return g1_.backward(g);
+}
+
+Tensor FeatureWgan::critic_forward(const Tensor& xa, bool train) {
+  Tensor h = d1_.forward(xa, train);
+  h = d_relu_.forward(h, train);
+  return d2_.forward(h, train);
+}
+
+Tensor FeatureWgan::critic_backward(const Tensor& grad) {
+  Tensor g = d2_.backward(grad);
+  g = d_relu_.backward(g);
+  return d1_.backward(g);
+}
+
+void FeatureWgan::clip_critic() {
+  for (nn::Layer* l : std::initializer_list<nn::Layer*>{&d1_, &d2_}) {
+    for (nn::Parameter* p : l->parameters()) {
+      float* w = p->value.data();
+      for (std::size_t i = 0; i < p->value.numel(); ++i) {
+        if (w[i] > cfg_.clip) w[i] = cfg_.clip;
+        if (w[i] < -cfg_.clip) w[i] = -cfg_.clip;
+      }
+    }
+  }
+}
+
+void FeatureWgan::fit(const Tensor& features, const std::vector<std::size_t>& labels,
+                      const Tensor& class_attrs) {
+  if (features.dim() != 2 || features.size(1) != feat_dim_)
+    throw std::invalid_argument("FeatureWgan::fit: bad feature shape");
+  const std::size_t n = features.size(0);
+  const std::size_t alpha = class_attrs.size(1);
+  if (alpha != attr_dim_) throw std::invalid_argument("FeatureWgan::fit: bad attr dim");
+
+  std::vector<nn::Parameter*> g_params = g1_.parameters();
+  for (auto* p : g2_.parameters()) g_params.push_back(p);
+  std::vector<nn::Parameter*> d_params = d1_.parameters();
+  for (auto* p : d2_.parameters()) d_params.push_back(p);
+  optim::Adam g_opt(g_params, cfg_.lr, 0.5f);
+  optim::Adam d_opt(d_params, cfg_.lr, 0.5f);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Per-class feature means for the generator's matching term.
+  const std::size_t n_cls = class_attrs.size(0);
+  Tensor class_means({n_cls, feat_dim_});
+  {
+    std::vector<std::size_t> counts(n_cls, 0);
+    const float* F = features.data();
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = labels[i];
+      if (c >= n_cls) throw std::out_of_range("FeatureWgan::fit: label out of range");
+      for (std::size_t j = 0; j < feat_dim_; ++j)
+        class_means[c * feat_dim_ + j] += F[i * feat_dim_ + j];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < n_cls; ++c)
+      if (counts[c] > 0)
+        for (std::size_t j = 0; j < feat_dim_; ++j)
+          class_means[c * feat_dim_ + j] /= static_cast<float>(counts[c]);
+  }
+
+  auto gather = [&](const std::vector<std::size_t>& rows) {
+    Tensor x({rows.size(), feat_dim_});
+    Tensor a({rows.size(), attr_dim_});
+    const float* F = features.data();
+    const float* A = class_attrs.data();
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const std::size_t i = rows[k];
+      std::copy(F + i * feat_dim_, F + (i + 1) * feat_dim_, x.data() + k * feat_dim_);
+      const std::size_t c = labels[i];
+      std::copy(A + c * attr_dim_, A + (c + 1) * attr_dim_, a.data() + k * attr_dim_);
+    }
+    return std::pair<Tensor, Tensor>{x, a};
+  };
+
+  int critic_round = 0;
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double w_dist = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start + 1 < n; start += cfg_.batch_size) {
+      const std::size_t end = std::min(n, start + cfg_.batch_size);
+      std::vector<std::size_t> rows(order.begin() + static_cast<long>(start),
+                                    order.begin() + static_cast<long>(end));
+      auto [x_real, a] = gather(rows);
+      const std::size_t b = rows.size();
+
+      // Sample z and generate fakes conditioned on the same signatures.
+      Tensor z = Tensor::randn({b, cfg_.z_dim}, rng_);
+      Tensor za = concat_cols(z, a);
+
+      if (critic_round < cfg_.n_critic) {
+        // Critic step: maximize E[D(real)] - E[D(fake)].
+        Tensor x_fake = gen_forward(za, /*train=*/false);
+        Tensor real_scores = critic_forward(concat_cols(x_real, a), true);
+        Tensor g_real({b, 1}, -1.0f / static_cast<float>(b));  // d(-mean)/dscore
+        d_opt.zero_grad();
+        critic_backward(g_real);
+        Tensor fake_scores = critic_forward(concat_cols(x_fake, a), true);
+        Tensor g_fake({b, 1}, +1.0f / static_cast<float>(b));
+        critic_backward(g_fake);
+        d_opt.step();
+        clip_critic();
+        w_dist += real_scores.mean() - fake_scores.mean();
+        ++batches;
+        ++critic_round;
+      } else {
+        // Generator step: minimize -E[D(fake)] + λ E||fake - class_mean||².
+        critic_round = 0;
+        Tensor x_fake = gen_forward(za, /*train=*/true);
+        Tensor fake_scores = critic_forward(concat_cols(x_fake, a), true);
+        Tensor g_fake({b, 1}, -1.0f / static_cast<float>(b));
+        g_opt.zero_grad();
+        d_opt.zero_grad();  // discard critic grads from this pass
+        Tensor g_xa = critic_backward(g_fake);
+        auto [g_x, g_a] = split_cols(g_xa, feat_dim_);
+        (void)g_a;
+        if (cfg_.mean_match_weight > 0.0f) {
+          const float scale = 2.0f * cfg_.mean_match_weight / static_cast<float>(b);
+          float* G = g_x.data();
+          const float* XF = x_fake.data();
+          for (std::size_t k = 0; k < b; ++k) {
+            const std::size_t c = labels[rows[k]];
+            const float* m = class_means.data() + c * feat_dim_;
+            for (std::size_t j = 0; j < feat_dim_; ++j)
+              G[k * feat_dim_ + j] += scale * (XF[k * feat_dim_ + j] - m[j]);
+          }
+        }
+        gen_backward(g_x);
+        g_opt.step();
+      }
+    }
+    if (cfg_.verbose && batches > 0)
+      util::log_info("wgan epoch ", epoch + 1, "/", cfg_.epochs, " W-dist ",
+                     w_dist / static_cast<double>(batches));
+  }
+}
+
+std::pair<Tensor, std::vector<std::size_t>> FeatureWgan::generate(const Tensor& class_attrs,
+                                                                  std::size_t per_class) {
+  const std::size_t c = class_attrs.size(0);
+  Tensor out({c * per_class, feat_dim_});
+  std::vector<std::size_t> labels(c * per_class);
+  for (std::size_t cls = 0; cls < c; ++cls) {
+    Tensor z = Tensor::randn({per_class, cfg_.z_dim}, rng_);
+    Tensor a({per_class, attr_dim_});
+    const float* A = class_attrs.data();
+    for (std::size_t k = 0; k < per_class; ++k)
+      std::copy(A + cls * attr_dim_, A + (cls + 1) * attr_dim_, a.data() + k * attr_dim_);
+    Tensor x = gen_forward(concat_cols(z, a), false);
+    std::copy(x.data(), x.data() + per_class * feat_dim_,
+              out.data() + cls * per_class * feat_dim_);
+    for (std::size_t k = 0; k < per_class; ++k) labels[cls * per_class + k] = cls;
+  }
+  return {out, labels};
+}
+
+double FeatureWgan::zsl_top1(const Tensor& unseen_features,
+                             const std::vector<std::size_t>& unseen_labels,
+                             const Tensor& unseen_class_attrs) {
+  auto [syn_x, syn_y] = generate(unseen_class_attrs, cfg_.n_syn_per_class);
+  const std::size_t c = unseen_class_attrs.size(0);
+
+  // Softmax classifier on synthetic features.
+  util::Rng cls_rng = rng_.split();
+  nn::Linear cls(feat_dim_, c, cls_rng);
+  optim::Adam opt(cls.parameters(), cfg_.cls_lr);
+  std::vector<std::size_t> order(syn_y.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t epoch = 0; epoch < cfg_.cls_epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += cfg_.batch_size) {
+      const std::size_t end = std::min(order.size(), start + cfg_.batch_size);
+      const std::size_t b = end - start;
+      Tensor x({b, feat_dim_});
+      std::vector<std::size_t> y(b);
+      for (std::size_t k = 0; k < b; ++k) {
+        const std::size_t i = order[start + k];
+        std::copy(syn_x.data() + i * feat_dim_, syn_x.data() + (i + 1) * feat_dim_,
+                  x.data() + k * feat_dim_);
+        y[k] = syn_y[i];
+      }
+      Tensor logits = cls.forward(x, true);
+      auto loss = nn::cross_entropy(logits, y);
+      opt.zero_grad();
+      cls.backward(loss.grad_logits);
+      opt.step();
+    }
+  }
+
+  Tensor logits = cls.forward(unseen_features, false);
+  auto preds = tensor::argmax_rows(logits);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i)
+    if (preds[i] == unseen_labels[i]) ++hits;
+  return unseen_labels.empty() ? 0.0
+                               : static_cast<double>(hits) /
+                                     static_cast<double>(unseen_labels.size());
+}
+
+std::size_t FeatureWgan::parameter_count() {
+  std::size_t n = 0;
+  for (nn::Layer* l : std::initializer_list<nn::Layer*>{&g1_, &g2_, &d1_, &d2_})
+    for (nn::Parameter* p : l->parameters()) n += p->value.numel();
+  return n;
+}
+
+}  // namespace hdczsc::baselines

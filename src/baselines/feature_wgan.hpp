@@ -1,0 +1,88 @@
+// Feature-generating WGAN, the canonical recipe of the generative ZSL
+// family the paper compares against in Fig. 4 (f-CLSWGAN, Xian et al. 2018):
+// a conditional generator G(z, a) synthesizes image-encoder features for a
+// class signature a; a critic D(x, a) is trained Wasserstein-style (weight
+// clipping); after training, features are generated for the *unseen*
+// classes and a softmax classifier is fit on them, turning ZSL into
+// supervised learning.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::baselines {
+
+using nn::Tensor;
+
+struct FeatureWganConfig {
+  std::size_t z_dim = 16;
+  std::size_t hidden = 64;
+  std::size_t epochs = 15;
+  std::size_t batch_size = 32;
+  float lr = 1e-3f;
+  int n_critic = 3;       ///< critic steps per generator step
+  float clip = 0.03f;     ///< weight-clipping bound
+  /// Weight of the class-conditional feature-matching term in the generator
+  /// loss (||G(z,a) - mean(real features of class)||²). Plays the
+  /// stabilizing role of f-CLSWGAN's auxiliary classification loss.
+  float mean_match_weight = 0.5f;
+  std::size_t n_syn_per_class = 40;
+  std::size_t cls_epochs = 40;
+  float cls_lr = 5e-2f;
+  bool verbose = false;
+};
+
+class FeatureWgan {
+ public:
+  FeatureWgan(std::size_t feat_dim, std::size_t attr_dim, FeatureWganConfig cfg,
+              util::Rng& rng);
+
+  /// Train G/D on seen-class (feature, signature) pairs. labels index
+  /// rows of `class_attrs`.
+  void fit(const Tensor& features, const std::vector<std::size_t>& labels,
+           const Tensor& class_attrs);
+
+  /// Synthesize `per_class` features per row of `class_attrs`
+  /// -> ([rows*per_class, d], labels).
+  std::pair<Tensor, std::vector<std::size_t>> generate(const Tensor& class_attrs,
+                                                       std::size_t per_class);
+
+  /// Full ZSL protocol: generate unseen-class features, train a softmax
+  /// classifier on them, return top-1 accuracy on real unseen features.
+  double zsl_top1(const Tensor& unseen_features, const std::vector<std::size_t>& unseen_labels,
+                  const Tensor& unseen_class_attrs);
+
+  /// G + D parameter count (the generative overhead of Fig. 4).
+  std::size_t parameter_count();
+
+ private:
+  std::size_t feat_dim_, attr_dim_;
+  FeatureWganConfig cfg_;
+  util::Rng rng_;
+
+  // Generator: [z ‖ a] -> hidden -> feat (ReLU inside, linear out).
+  nn::Linear g1_;
+  nn::ReLU g_relu_;
+  nn::Linear g2_;
+  // Critic: [x ‖ a] -> hidden -> 1.
+  nn::Linear d1_;
+  nn::LeakyReLU d_relu_;
+  nn::Linear d2_;
+
+  Tensor gen_forward(const Tensor& za, bool train);
+  Tensor gen_backward(const Tensor& grad);
+  Tensor critic_forward(const Tensor& xa, bool train);
+  Tensor critic_backward(const Tensor& grad);
+  void clip_critic();
+};
+
+/// Concatenate two matrices column-wise: [n, a] ‖ [n, b] -> [n, a+b].
+Tensor concat_cols(const Tensor& left, const Tensor& right);
+/// Split gradient of a column-concat back into the two halves.
+std::pair<Tensor, Tensor> split_cols(const Tensor& grad, std::size_t left_cols);
+
+}  // namespace hdczsc::baselines

@@ -1,0 +1,57 @@
+#include "core/attribute_encoder.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace hdczsc::core {
+
+HdcAttributeEncoder::HdcAttributeEncoder(const data::AttributeSpace& space, std::size_t dim,
+                                         util::Rng& rng)
+    : dict_(space.n_groups(), space.n_values(), space.hdc_pairs(), dim, rng),
+      dictionary_(dict_.dictionary_tensor()) {}
+
+Tensor HdcAttributeEncoder::encode(const Tensor& a, bool /*train*/) {
+  if (a.dim() != 2 || a.size(1) != n_attributes())
+    throw std::invalid_argument("HdcAttributeEncoder::encode: A must be [C, alpha], got " +
+                                tensor::shape_str(a.shape()));
+  return tensor::matmul(a, dictionary_);  // ϕ = A × B
+}
+
+Tensor HdcAttributeEncoder::backward(const Tensor& grad_phi) {
+  // The dictionary is stationary; only dL/dA is defined: dA = dϕ · Bᵀ.
+  return tensor::matmul_nt(grad_phi, dictionary_);
+}
+
+MlpAttributeEncoder::MlpAttributeEncoder(std::size_t n_attributes, std::size_t hidden,
+                                         std::size_t dim, util::Rng& rng)
+    : fc1_(n_attributes, hidden, rng), fc2_(hidden, dim, rng) {}
+
+Tensor MlpAttributeEncoder::encode(const Tensor& a, bool train) {
+  Tensor h = fc1_.forward(a, train);
+  h = relu_.forward(h, train);
+  return fc2_.forward(h, train);
+}
+
+Tensor MlpAttributeEncoder::backward(const Tensor& grad_phi) {
+  Tensor g = fc2_.backward(grad_phi);
+  g = relu_.backward(g);
+  return fc1_.backward(g);
+}
+
+std::vector<Parameter*> MlpAttributeEncoder::parameters() {
+  std::vector<Parameter*> out = fc1_.parameters();
+  auto p2 = fc2_.parameters();
+  out.insert(out.end(), p2.begin(), p2.end());
+  return out;
+}
+
+std::unique_ptr<AttributeEncoder> make_attribute_encoder(const std::string& kind,
+                                                         const data::AttributeSpace& space,
+                                                         std::size_t dim, std::size_t mlp_hidden,
+                                                         util::Rng& rng) {
+  if (kind == "hdc") return std::make_unique<HdcAttributeEncoder>(space, dim, rng);
+  if (kind == "mlp")
+    return std::make_unique<MlpAttributeEncoder>(space.n_attributes(), mlp_hidden, dim, rng);
+  throw std::invalid_argument("make_attribute_encoder: unknown kind '" + kind + "'");
+}
+
+}  // namespace hdczsc::core

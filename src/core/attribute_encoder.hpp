@@ -1,0 +1,88 @@
+// Attribute encoders ϕ(·): Rᵅ → R^d (§III-A / §III-B).
+//
+//  * HdcAttributeEncoder — the paper's contribution: a *stationary* encoder
+//    whose dictionary B ∈ {−1,+1}^{α×d} is materialized from two small
+//    random codebooks (groups ⊙ values); ϕ(A) = A × B. It holds no
+//    trainable parameters: backward() returns no gradients and the encoder
+//    costs only (G+V)·d bits of storage.
+//  * MlpAttributeEncoder — the "Trainable-MLP" ablation: a 2-layer MLP
+//    applied row-wise to A, fully trainable.
+#pragma once
+
+#include <memory>
+
+#include "data/attribute_space.hpp"
+#include "hdc/codebook.hpp"
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+
+namespace hdczsc::core {
+
+using nn::Parameter;
+using nn::Tensor;
+
+class AttributeEncoder {
+ public:
+  virtual ~AttributeEncoder() = default;
+
+  /// ϕ(A): encode class-attribute rows A [C, α] into embeddings [C, d].
+  virtual Tensor encode(const Tensor& a, bool train) = 0;
+  /// Propagate dL/dϕ; accumulates parameter gradients if trainable.
+  /// Returns dL/dA (usually unused; provided for completeness).
+  virtual Tensor backward(const Tensor& grad_phi) = 0;
+
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  virtual std::size_t dim() const = 0;
+  virtual std::size_t n_attributes() const = 0;
+  virtual std::string name() const = 0;
+  virtual bool trainable() const { return false; }
+};
+
+/// HDC-based stationary attribute encoder (Fig. 1, gray module).
+class HdcAttributeEncoder : public AttributeEncoder {
+ public:
+  HdcAttributeEncoder(const data::AttributeSpace& space, std::size_t dim, util::Rng& rng);
+
+  Tensor encode(const Tensor& a, bool train) override;
+  Tensor backward(const Tensor& grad_phi) override;
+  std::size_t dim() const override { return dict_.dim(); }
+  std::size_t n_attributes() const override { return dict_.n_attributes(); }
+  std::string name() const override { return "hdc"; }
+
+  /// The materialized dictionary B [α, d] (±1 floats), used directly as the
+  /// similarity targets in the phase-II attribute-extraction task.
+  const Tensor& dictionary_tensor() const { return dictionary_; }
+  const hdc::FactoredDictionary& dictionary() const { return dict_; }
+
+ private:
+  hdc::FactoredDictionary dict_;
+  Tensor dictionary_;  // cached B
+};
+
+/// Trainable 2-layer MLP attribute encoder (ablation of Table II / Fig. 4).
+class MlpAttributeEncoder : public AttributeEncoder {
+ public:
+  MlpAttributeEncoder(std::size_t n_attributes, std::size_t hidden, std::size_t dim,
+                      util::Rng& rng);
+
+  Tensor encode(const Tensor& a, bool train) override;
+  Tensor backward(const Tensor& grad_phi) override;
+  std::vector<Parameter*> parameters() override;
+  std::size_t dim() const override { return fc2_.out_features(); }
+  std::size_t n_attributes() const override { return fc1_.in_features(); }
+  std::string name() const override { return "mlp"; }
+  bool trainable() const override { return true; }
+
+ private:
+  nn::Linear fc1_;
+  nn::ReLU relu_;
+  nn::Linear fc2_;
+};
+
+/// Factory: "hdc" or "mlp".
+std::unique_ptr<AttributeEncoder> make_attribute_encoder(const std::string& kind,
+                                                         const data::AttributeSpace& space,
+                                                         std::size_t dim, std::size_t mlp_hidden,
+                                                         util::Rng& rng);
+
+}  // namespace hdczsc::core

@@ -1,0 +1,142 @@
+#include "core/param_count.hpp"
+
+#include <stdexcept>
+
+namespace hdczsc::core {
+
+namespace {
+
+std::size_t conv_params(std::size_t in_c, std::size_t out_c, std::size_t k) {
+  return out_c * in_c * k * k;  // bias-free convs, as in the builders
+}
+
+std::size_t bn_params(std::size_t c) { return 2 * c; }  // gamma + beta
+
+std::size_t basic_block_params(std::size_t in_c, std::size_t out_c, std::size_t stride) {
+  std::size_t n = conv_params(in_c, out_c, 3) + bn_params(out_c) +
+                  conv_params(out_c, out_c, 3) + bn_params(out_c);
+  if (stride != 1 || in_c != out_c)
+    n += conv_params(in_c, out_c, 1) + bn_params(out_c);
+  return n;
+}
+
+std::size_t bottleneck_params(std::size_t in_c, std::size_t mid_c, std::size_t stride) {
+  const std::size_t out_c = mid_c * 4;
+  std::size_t n = conv_params(in_c, mid_c, 1) + bn_params(mid_c) +
+                  conv_params(mid_c, mid_c, 3) + bn_params(mid_c) +
+                  conv_params(mid_c, out_c, 1) + bn_params(out_c);
+  if (stride != 1 || in_c != out_c)
+    n += conv_params(in_c, out_c, 1) + bn_params(out_c);
+  return n;
+}
+
+struct ArchSpec {
+  bool bottleneck = false;
+  std::size_t depths[4] = {0, 0, 0, 0};
+  bool imagenet_stem = true;
+  std::size_t mini_width = 0;  ///< nonzero -> CIFAR-style mini/micro layout
+  std::size_t mini_blocks = 0;
+  bool flat_tail = false;  ///< Flatten instead of GAP (8x8 grid at 32px)
+};
+
+ArchSpec spec_of(const std::string& arch) {
+  if (arch == "resnet18") return {false, {2, 2, 2, 2}, true, 0, 0, false};
+  if (arch == "resnet34") return {false, {3, 4, 6, 3}, true, 0, 0, false};
+  if (arch == "resnet50") return {true, {3, 4, 6, 3}, true, 0, 0, false};
+  if (arch == "resnet101") return {true, {3, 4, 23, 3}, true, 0, 0, false};
+  if (arch == "resnet_mini" || arch == "mini") return {false, {0, 0, 0, 0}, false, 16, 2, false};
+  if (arch == "resnet_mini_wide") return {false, {0, 0, 0, 0}, false, 24, 2, false};
+  if (arch == "resnet_micro" || arch == "micro") return {false, {0, 0, 0, 0}, false, 8, 1, false};
+  if (arch == "resnet_micro_flat" || arch == "micro_flat")
+    return {false, {0, 0, 0, 0}, false, 8, 1, true};
+  if (arch == "resnet_mini_flat" || arch == "mini_flat")
+    return {false, {0, 0, 0, 0}, false, 16, 1, true};
+  throw std::invalid_argument("param_count: unknown architecture '" + arch + "'");
+}
+
+}  // namespace
+
+std::size_t backbone_feature_dim(const std::string& arch) {
+  const ArchSpec s = spec_of(arch);
+  if (s.mini_width != 0) {
+    const std::size_t channels = s.mini_width * 4;  // 3 stages doubling width
+    return s.flat_tail ? channels * 8 * 8 : channels;
+  }
+  return s.bottleneck ? 2048 : 512;
+}
+
+std::size_t backbone_param_count(const std::string& arch) {
+  const ArchSpec s = spec_of(arch);
+  std::size_t n = 0;
+  if (s.mini_width != 0) {
+    // CIFAR-style stem + 3 stages.
+    n += conv_params(3, s.mini_width, 3) + bn_params(s.mini_width);
+    std::size_t in_c = s.mini_width;
+    for (int stage = 0; stage < 3; ++stage) {
+      const std::size_t out_c = s.mini_width << stage;
+      const std::size_t stride = stage == 0 ? 1 : 2;
+      for (std::size_t blk = 0; blk < s.mini_blocks; ++blk) {
+        n += basic_block_params(in_c, out_c, blk == 0 ? stride : 1);
+        in_c = out_c;
+      }
+    }
+    return n;
+  }
+  // ImageNet stem.
+  n += conv_params(3, 64, 7) + bn_params(64);
+  const std::size_t widths[4] = {64, 128, 256, 512};
+  std::size_t in_c = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::size_t stride = stage == 0 ? 1 : 2;
+    for (std::size_t blk = 0; blk < s.depths[stage]; ++blk) {
+      if (s.bottleneck) {
+        n += bottleneck_params(in_c, widths[stage], blk == 0 ? stride : 1);
+        in_c = widths[stage] * 4;
+      } else {
+        n += basic_block_params(in_c, widths[stage], blk == 0 ? stride : 1);
+        in_c = widths[stage];
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t image_encoder_param_count(const std::string& arch, std::size_t proj_dim,
+                                      bool use_projection) {
+  std::size_t n = backbone_param_count(arch);
+  if (use_projection) n += backbone_feature_dim(arch) * proj_dim + proj_dim;  // W + bias
+  return n;
+}
+
+std::size_t hdczsc_param_count(const std::string& arch, std::size_t proj_dim,
+                               bool use_projection) {
+  // + 2 learnable temperatures; the HDC dictionary is stationary.
+  return image_encoder_param_count(arch, proj_dim, use_projection) + 2;
+}
+
+std::size_t mlp_zsc_param_count(const std::string& arch, std::size_t proj_dim,
+                                bool use_projection, std::size_t alpha, std::size_t hidden) {
+  const std::size_t d = use_projection ? proj_dim : backbone_feature_dim(arch);
+  const std::size_t mlp = alpha * hidden + hidden + hidden * d + d;
+  return image_encoder_param_count(arch, proj_dim, use_projection) + mlp + 2;
+}
+
+std::vector<Fig4Point> fig4_literature_points() {
+  // Values read from Fig. 4 of the paper (accuracy %, parameter count in
+  // millions). These are the literature baselines the paper compares to;
+  // they are reprinted (source="paper"), not re-run.
+  return {
+      {"ESZSL [4]", 53.9, 45.8, false, "paper"},
+      {"TCN [16]", 59.5, 49.2, false, "paper"},
+      {"f-CLSWGAN [28]", 57.3, 52.5, true, "paper"},
+      {"cycle-CLSWGAN [27]", 58.4, 54.0, true, "paper"},
+      {"LisGAN [26]", 58.8, 56.0, true, "paper"},
+      {"f-VAEGAN-D2 [25]", 61.0, 60.5, true, "paper"},
+      {"ZSL_TF-VAEGAN [10]", 64.9, 64.0, true, "paper"},
+      {"Composer [9]", 67.7, 68.5, true, "paper"},
+      {"HDC-ZSC (ours)", 63.8, 26.6, false, "paper"},
+      {"Trainable-MLP (ours)", 65.0, 27.3, false, "paper"},
+  };
+}
+
+}  // namespace hdczsc::core

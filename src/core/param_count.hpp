@@ -1,0 +1,47 @@
+// Analytic parameter counting for the architectures in the paper, used by
+// the Fig. 4 Pareto benchmark. Counting is done arithmetically (no weight
+// allocation) so the paper-scale models (ResNet50/101 at 224x224) can be
+// sized without paying their memory cost; tests cross-check the formulas
+// against actually-built networks for the smaller variants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hdczsc::core {
+
+/// Backbone parameter count (convs + batchnorms, no classifier head).
+std::size_t backbone_param_count(const std::string& arch);
+
+/// Image encoder: backbone (+ optional projection FC feature_dim -> d with
+/// bias).
+std::size_t image_encoder_param_count(const std::string& arch, std::size_t proj_dim,
+                                      bool use_projection);
+
+/// Backbone output feature dimensionality.
+std::size_t backbone_feature_dim(const std::string& arch);
+
+/// Trainable parameters of the full HDC-ZSC model at paper scale:
+/// image encoder + 2 temperature scalars. The HDC attribute encoder
+/// contributes zero trainable parameters (stationary codebooks).
+std::size_t hdczsc_param_count(const std::string& arch, std::size_t proj_dim,
+                               bool use_projection);
+
+/// Trainable-MLP variant: adds the 2-layer MLP (α -> hidden -> d).
+std::size_t mlp_zsc_param_count(const std::string& arch, std::size_t proj_dim,
+                                bool use_projection, std::size_t alpha, std::size_t hidden);
+
+/// A point on the Fig. 4 accuracy-vs-parameters plot.
+struct Fig4Point {
+  std::string name;
+  double top1_percent = 0.0;      ///< CUB-200 ZS top-1 accuracy, %
+  double params_millions = 0.0;   ///< total parameter count, millions
+  bool generative = false;
+  std::string source;             ///< "paper" (literature) or "measured"
+};
+
+/// The literature points the paper plots in Fig. 4 (reported, not re-run).
+std::vector<Fig4Point> fig4_literature_points();
+
+}  // namespace hdczsc::core

@@ -1,0 +1,68 @@
+// End-to-end experiment pipeline: dataset + split + model + the phase
+// schedule of Fig. 2, producing ZSC and attribute-extraction metrics. This
+// is the single entry point used by the examples and every benchmark.
+#pragma once
+
+#include "core/trainer.hpp"
+#include "data/splits.hpp"
+
+namespace hdczsc::core {
+
+struct PipelineConfig {
+  // Dataset scale (CPU-scale defaults; see DESIGN.md §4).
+  std::size_t n_classes = 200;
+  std::size_t images_per_class = 12;  ///< split into train/test instance ranges
+  std::size_t image_size = 32;
+  std::size_t train_instances = 8;    ///< instances [0, train) train, [train, ipc) test
+
+  // Split.
+  std::string split = "zs";  ///< "zs" | "nozs" | "val"
+  std::size_t zs_train_classes = 150;
+  std::size_t nozs_classes = 100;
+  std::size_t val_classes = 50;
+
+  // Model.
+  ZscModelConfig model;
+
+  // Phase schedule (phase III always runs).
+  bool run_phase1 = true;
+  bool run_phase2 = true;
+  bool freeze_backbone_phase3 = true;
+  std::size_t pretrain_classes = 20;       ///< ShapesSynthetic classes for phase I
+  std::size_t pretrain_images_per_class = 8;
+
+  TrainConfig phase1;
+  TrainConfig phase2;
+  TrainConfig phase3;
+
+  data::AugmentConfig augment;
+
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct PipelineResult {
+  ZscEvalResult zsc;
+  AttributeEvalResult attributes;  ///< populated when phase II ran
+  bool has_attribute_metrics = false;
+  double phase1_train_acc = 0.0;
+  double phase2_final_loss = 0.0;
+  double phase3_final_loss = 0.0;
+  std::size_t trainable_parameters = 0;
+  double train_seconds = 0.0;
+};
+
+/// Run the configured pipeline once with the given seed offset
+/// (the paper's five-trials protocol calls this with seeds 0..4).
+PipelineResult run_pipeline(const PipelineConfig& cfg, std::uint64_t seed_offset = 0);
+
+/// Run `n_seeds` trials and aggregate top-1 (mean, std) — the µ±σ protocol
+/// of §IV-A(c).
+struct MultiSeedResult {
+  double top1_mean = 0.0, top1_std = 0.0;
+  double top5_mean = 0.0, top5_std = 0.0;
+  std::vector<PipelineResult> runs;
+};
+MultiSeedResult run_pipeline_seeds(const PipelineConfig& cfg, std::size_t n_seeds);
+
+}  // namespace hdczsc::core

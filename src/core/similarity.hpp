@@ -1,0 +1,54 @@
+// The bi-similarity kernel of §III:
+//
+//   cossim(γ(X), ϕ(A)) = (1/K) · γ(X)ᵀϕ(A) / (||γ(X)|| ||ϕ(A)||)
+//
+// with learnable temperature-scaling parameter K. Internally the scale
+// s = 1/K is parameterized as s = exp(λ) (a single learnable scalar, the
+// CLIP logit-scale trick) so it stays positive under gradient updates.
+//
+// backward() propagates dL/dlogits to both embedding branches and to λ,
+// differentiating through the row normalizations:
+//   P = s · Ê Ĉᵀ,  dL/dÊ = s·dP·Ĉ,  dL/dĈ = s·dPᵀ·Ê,
+//   dL/de_i = (dL/dê_i − (dL/dê_i·ê_i) ê_i) / ||e_i||   (same for c_j),
+//   dL/dλ = s · Σ_ij dP_ij cos_ij.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hdczsc::core {
+
+using nn::Parameter;
+using nn::Tensor;
+
+class SimilarityKernel {
+ public:
+  /// `init_scale` is the initial s = 1/K (the paper sweeps this
+  /// "temp scale" in Fig. 5 over {7e-4, 0.03, 0.7}).
+  explicit SimilarityKernel(float init_scale = 0.03f);
+
+  /// logits [B, C] from embeddings e [B, d] and class/attribute embeddings
+  /// c [C, d]. Caches for backward when train=true.
+  Tensor forward(const Tensor& e, const Tensor& c, bool train);
+
+  struct Grads {
+    Tensor grad_e;  ///< dL/de [B, d]
+    Tensor grad_c;  ///< dL/dc [C, d]
+  };
+  /// Backward from dL/dlogits; also accumulates the temperature gradient.
+  Grads backward(const Tensor& grad_logits);
+
+  /// Current scale s = 1/K.
+  float scale() const;
+  /// Learnable parameter λ = log(s).
+  Parameter& log_scale() { return log_scale_; }
+  std::vector<Parameter*> parameters() { return {&log_scale_}; }
+
+ private:
+  Parameter log_scale_;
+  // Caches from the last train-mode forward.
+  Tensor e_hat_, c_hat_;    // normalized rows
+  Tensor e_norms_, c_norms_;
+  Tensor cos_;              // Ê Ĉᵀ
+};
+
+}  // namespace hdczsc::core

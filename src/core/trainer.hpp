@@ -1,0 +1,99 @@
+// The three-phase training methodology of §III / Fig. 2:
+//   Phase I   — backbone pre-training on a generic classification task
+//               (ImageNet-1k in the paper; ShapesSynthetic here) through a
+//               temporary FC' softmax head that is discarded afterwards.
+//   Phase II  — attribute extraction: weighted BCE between the similarity
+//               vector q = cossim(γ(x), B) and ground-truth instance
+//               attributes; trains backbone + projection FC, dictionary
+//               stays fixed.
+//   Phase III — zero-shot classification: cross entropy on class logits
+//               p = cossim(γ(x), ϕ(A)); backbone stationary (configurable),
+//               projection FC + temperature (+ MLP encoder) update.
+//
+// All phases use AdamW with cosine-annealing LR, per §IV-A(c).
+#pragma once
+
+#include "core/zsc_model.hpp"
+#include "data/dataloader.hpp"
+#include "data/shapes_synthetic.hpp"
+#include "metrics/attribute_metrics.hpp"
+#include "metrics/classification.hpp"
+
+namespace hdczsc::core {
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 16;
+  float lr = 1e-2f;
+  float weight_decay = 1e-4f;
+  float clip_norm = 5.0f;
+  bool cosine_schedule = true;
+  bool verbose = false;
+};
+
+struct AttributeEvalResult {
+  std::vector<double> per_group_top1;  ///< [G], fraction in [0,1]
+  std::vector<double> per_group_wmap;  ///< [G], in [0,1]
+  double mean_top1 = 0.0;
+  double mean_wmap = 0.0;
+};
+
+struct ZscEvalResult {
+  double top1 = 0.0;
+  double top5 = 0.0;
+  std::size_t n_examples = 0;
+};
+
+/// Generalized ZSL (Xian et al. 2018, the evaluation protocol of the ZSL
+/// literature the paper builds on): at inference the label space is the
+/// union of seen and unseen classes; report per-domain accuracy and their
+/// harmonic mean H = 2*S*U/(S+U).
+struct GzslEvalResult {
+  double seen_acc = 0.0;
+  double unseen_acc = 0.0;
+  double harmonic_mean = 0.0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(std::uint64_t seed) : rng_(seed ^ 0x7124A1AEULL) {}
+
+  /// Phase I: returns final training accuracy of the temporary head.
+  double phase1_pretrain(ImageEncoder& encoder, const data::ShapesSynthetic& dataset,
+                         const TrainConfig& cfg);
+
+  /// Phase II: returns final epoch's mean training loss.
+  double phase2_attribute_extraction(ZscModel& model, data::DataLoader& train,
+                                     const TrainConfig& cfg);
+
+  /// Phase III: returns final epoch's mean training loss.
+  /// `freeze_backbone` follows the paper (true); set false for the
+  /// Table II rows without a projection FC, where the backbone itself
+  /// must absorb the alignment.
+  double phase3_zsc(ZscModel& model, data::DataLoader& train, const TrainConfig& cfg,
+                    bool freeze_backbone = true);
+
+  /// Attribute-extraction metrics (Table I) on a held-out loader.
+  AttributeEvalResult evaluate_attributes(ZscModel& model, const data::DataLoader& test);
+
+  /// ZSC metrics (top-1 / top-5) on a held-out loader of *unseen* classes.
+  ZscEvalResult evaluate_zsc(ZscModel& model, const data::DataLoader& test);
+
+  /// Generalized ZSL: classify both loaders' images against the *joint*
+  /// class-attribute matrix (seen classes first, then unseen).
+  /// `seen_penalty` implements calibrated stacking (Chao et al. 2016):
+  /// the constant subtracted from every seen-class logit to counter the
+  /// seen-class bias of non-generative models; 0 = plain GZSL.
+  GzslEvalResult evaluate_gzsl(ZscModel& model, const data::DataLoader& seen_test,
+                               const data::DataLoader& unseen_test,
+                               float seen_penalty = 0.0f);
+
+ private:
+  util::Rng rng_;
+
+  /// Forward images through the encoder in chunks (eval mode).
+  static Tensor encode_in_chunks(ImageEncoder& enc, const Tensor& images,
+                                 std::size_t chunk = 128);
+};
+
+}  // namespace hdczsc::core

@@ -1,0 +1,70 @@
+#include "core/zsc_model.hpp"
+
+namespace hdczsc::core {
+
+ZscModel::ZscModel(std::unique_ptr<ImageEncoder> image_encoder,
+                   std::unique_ptr<AttributeEncoder> attribute_encoder, float temp_scale)
+    : image_encoder_(std::move(image_encoder)),
+      attribute_encoder_(std::move(attribute_encoder)),
+      class_kernel_(temp_scale),
+      attribute_kernel_(temp_scale) {
+  if (image_encoder_->dim() != attribute_encoder_->dim())
+    throw std::invalid_argument(
+        "ZscModel: image encoder dim " + std::to_string(image_encoder_->dim()) +
+        " != attribute encoder dim " + std::to_string(attribute_encoder_->dim()));
+}
+
+Tensor ZscModel::attribute_logits(const Tensor& images, bool train) {
+  auto* hdc_enc = dynamic_cast<HdcAttributeEncoder*>(attribute_encoder_.get());
+  if (!hdc_enc)
+    throw std::logic_error(
+        "ZscModel::attribute_logits requires the HDC attribute encoder (the MLP "
+        "variant skips phase II, as in Table II)");
+  Tensor e = image_encoder_->forward(images, train);
+  return attribute_kernel_.forward(e, hdc_enc->dictionary_tensor(), train);
+}
+
+void ZscModel::attribute_backward(const Tensor& grad_q) {
+  auto grads = attribute_kernel_.backward(grad_q);
+  image_encoder_->backward(grads.grad_e, backbone_grad_);
+  // grads.grad_c would flow into the stationary dictionary — discarded.
+}
+
+Tensor ZscModel::class_logits(const Tensor& images, const Tensor& class_attributes,
+                              bool train) {
+  Tensor e = image_encoder_->forward(images, train);
+  Tensor phi = attribute_encoder_->encode(class_attributes, train);
+  if (train) cached_class_attributes_ = class_attributes;
+  return class_kernel_.forward(e, phi, train);
+}
+
+void ZscModel::class_backward(const Tensor& grad_p) {
+  auto grads = class_kernel_.backward(grad_p);
+  image_encoder_->backward(grads.grad_e, backbone_grad_);
+  if (attribute_encoder_->trainable()) attribute_encoder_->backward(grads.grad_c);
+}
+
+std::vector<Parameter*> ZscModel::parameters() {
+  auto out = image_encoder_->parameters();
+  auto pa = attribute_encoder_->parameters();
+  out.insert(out.end(), pa.begin(), pa.end());
+  out.push_back(&class_kernel_.log_scale());
+  out.push_back(&attribute_kernel_.log_scale());
+  return out;
+}
+
+std::size_t ZscModel::parameter_count() {
+  std::size_t n = 0;
+  for (Parameter* p : parameters()) n += p->value.numel();
+  return n;
+}
+
+std::unique_ptr<ZscModel> make_zsc_model(const ZscModelConfig& cfg,
+                                         const data::AttributeSpace& space, util::Rng& rng) {
+  auto img = std::make_unique<ImageEncoder>(cfg.image, rng);
+  const std::size_t d = img->dim();
+  auto attr = make_attribute_encoder(cfg.attribute_encoder, space, d, cfg.mlp_hidden, rng);
+  return std::make_unique<ZscModel>(std::move(img), std::move(attr), cfg.temp_scale);
+}
+
+}  // namespace hdczsc::core

@@ -1,0 +1,155 @@
+#include "data/attribute_space.hpp"
+
+#include <stdexcept>
+
+namespace hdczsc::data {
+
+namespace {
+
+// Global value vocabulary (61 entries). Index ranges:
+//   0..14  colors, 15..18 patterns, 19..27 bill shapes, 28..33 tail shapes,
+//   34..38 head-pattern-specific, 39..41 bill lengths, 42..46 sizes,
+//   47..60 body shapes.
+const char* kValueNames[] = {
+    // colors (15)
+    "blue", "brown", "iridescent", "purple", "rufous", "grey", "yellow", "olive", "green",
+    "pink", "orange", "black", "white", "red", "buff",
+    // patterns (4)
+    "solid", "spotted", "striped", "multi-colored",
+    // bill shapes (9)
+    "curved", "dagger", "hooked", "needle", "hooked-seabird", "spatulate", "all-purpose",
+    "cone", "specialized",
+    // tail shapes (6)
+    "forked", "rounded", "notched", "fan-shaped", "pointed", "squared",
+    // head-pattern specific (5)
+    "crested", "masked", "capped", "eyebrow", "plain",
+    // bill lengths (3)
+    "shorter-than-head", "same-as-head", "longer-than-head",
+    // sizes (5)
+    "very-small", "small", "medium", "large", "very-large",
+    // body shapes (14)
+    "upright-perching", "chicken-like", "long-legged", "duck-like", "owl-like", "gull-like",
+    "hummingbird-like", "pigeon-like", "tree-clinging", "hawk-like", "sandpiper-like",
+    "upland-ground", "swallow-like", "perching-like"};
+
+std::vector<std::size_t> range_ids(std::size_t lo, std::size_t n) {
+  std::vector<std::size_t> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = lo + i;
+  return ids;
+}
+
+}  // namespace
+
+void AttributeSpace::finalize() {
+  n_attributes_ = 0;
+  attr_group_.clear();
+  attr_value_.clear();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g].attr_offset = n_attributes_;
+    for (std::size_t v : groups_[g].value_ids) {
+      attr_group_.push_back(g);
+      attr_value_.push_back(v);
+      ++n_attributes_;
+    }
+  }
+}
+
+AttributeSpace AttributeSpace::cub() {
+  AttributeSpace s;
+  s.value_names_.assign(std::begin(kValueNames), std::end(kValueNames));
+
+  const auto colors = range_ids(0, 15);
+  const auto colors14 = range_ids(0, 14);  // eye color: 14 of the 15 colors
+  const auto patterns = range_ids(15, 4);
+  const auto bills = range_ids(19, 9);
+  const auto tails = range_ids(28, 6);
+  // head pattern: 4 patterns + 5 head-specific + rounded/pointed = 11 values
+  std::vector<std::size_t> head = patterns;
+  for (std::size_t v : range_ids(34, 5)) head.push_back(v);
+  head.push_back(29);  // rounded
+  head.push_back(32);  // pointed
+  // wing shape: 5 shared tail-shape values
+  const std::vector<std::size_t> wing_shape = {29, 32, 28, 30, 33};
+  const auto bill_len = range_ids(39, 3);
+  const auto sizes = range_ids(42, 5);
+  const auto shapes = range_ids(47, 14);
+
+  // Order matches the paper's Table I rows.
+  s.groups_ = {
+      {"bill shape", bills, 0},
+      {"wing color", colors, 0},
+      {"upperpart color", colors, 0},
+      {"underpart color", colors, 0},
+      {"breast pattern", patterns, 0},
+      {"back color", colors, 0},
+      {"tail shape", tails, 0},
+      {"uppertail color", colors, 0},
+      {"head pattern", head, 0},
+      {"breast color", colors, 0},
+      {"throat color", colors, 0},
+      {"eye color", colors14, 0},
+      {"bill length", bill_len, 0},
+      {"forehead color", colors, 0},
+      {"tail color", colors, 0},
+      {"nape color", colors, 0},
+      {"belly color", colors, 0},
+      {"wing shape", wing_shape, 0},
+      {"size", sizes, 0},
+      {"shape", shapes, 0},
+      {"back pattern", patterns, 0},
+      {"tail pattern", patterns, 0},
+      {"belly pattern", patterns, 0},
+      {"primary color", colors, 0},
+      {"leg color", colors, 0},
+      {"bill color", colors, 0},
+      {"crown color", colors, 0},
+      {"wing pattern", patterns, 0},
+  };
+  s.finalize();
+  return s;
+}
+
+AttributeSpace AttributeSpace::toy(std::size_t n_groups, std::size_t values_per_group,
+                                   std::size_t n_values) {
+  if (values_per_group > n_values)
+    throw std::invalid_argument("AttributeSpace::toy: values_per_group > n_values");
+  AttributeSpace s;
+  s.value_names_.reserve(n_values);
+  for (std::size_t v = 0; v < n_values; ++v) s.value_names_.push_back("v" + std::to_string(v));
+  s.groups_.reserve(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    AttributeGroup grp;
+    grp.name = "g" + std::to_string(g);
+    for (std::size_t k = 0; k < values_per_group; ++k)
+      grp.value_ids.push_back((g * 3 + k) % n_values);  // deterministic overlap across groups
+    s.groups_.push_back(std::move(grp));
+  }
+  s.finalize();
+  return s;
+}
+
+std::size_t AttributeSpace::group_of(std::size_t x) const {
+  if (x >= n_attributes_) throw std::out_of_range("AttributeSpace::group_of");
+  return attr_group_[x];
+}
+
+std::size_t AttributeSpace::value_of(std::size_t x) const {
+  if (x >= n_attributes_) throw std::out_of_range("AttributeSpace::value_of");
+  return attr_value_[x];
+}
+
+std::size_t AttributeSpace::attribute_index(std::size_t g, std::size_t k) const {
+  const AttributeGroup& grp = groups_.at(g);
+  if (k >= grp.value_ids.size()) throw std::out_of_range("AttributeSpace::attribute_index");
+  return grp.attr_offset + k;
+}
+
+std::vector<hdc::GroupValuePair> AttributeSpace::hdc_pairs() const {
+  std::vector<hdc::GroupValuePair> pairs;
+  pairs.reserve(n_attributes_);
+  for (std::size_t x = 0; x < n_attributes_; ++x)
+    pairs.push_back({attr_group_[x], attr_value_[x]});
+  return pairs;
+}
+
+}  // namespace hdczsc::data

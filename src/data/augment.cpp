@@ -1,0 +1,95 @@
+#include "data/augment.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hdczsc::data {
+
+namespace {
+void check_chw(const tensor::Tensor& img) {
+  if (img.dim() != 3 || img.size(0) != 3 || img.size(1) != img.size(2))
+    throw std::invalid_argument("augment: expected square [3,S,S] image, got " +
+                                tensor::shape_str(img.shape()));
+}
+}  // namespace
+
+tensor::Tensor rotate_image(const tensor::Tensor& img, double deg) {
+  check_chw(img);
+  const std::size_t s = img.size(1);
+  const double rad = deg * std::numbers::pi / 180.0;
+  const double ca = std::cos(rad), sa = std::sin(rad);
+  const double cy = (static_cast<double>(s) - 1.0) / 2.0;
+
+  tensor::Tensor out(img.shape());
+  const float* I = img.data();
+  float* O = out.data();
+  const std::size_t plane = s * s;
+  for (std::size_t y = 0; y < s; ++y) {
+    for (std::size_t x = 0; x < s; ++x) {
+      // Inverse mapping: output pixel samples from the rotated source.
+      const double dx = static_cast<double>(x) - cy;
+      const double dy = static_cast<double>(y) - cy;
+      long sx = std::lround(ca * dx + sa * dy + cy);
+      long sy = std::lround(-sa * dx + ca * dy + cy);
+      if (sx < 0) sx = 0;
+      if (sy < 0) sy = 0;
+      if (sx >= static_cast<long>(s)) sx = static_cast<long>(s) - 1;
+      if (sy >= static_cast<long>(s)) sy = static_cast<long>(s) - 1;
+      const std::size_t src = static_cast<std::size_t>(sy) * s + static_cast<std::size_t>(sx);
+      const std::size_t dst = y * s + x;
+      for (std::size_t c = 0; c < 3; ++c) O[c * plane + dst] = I[c * plane + src];
+    }
+  }
+  return out;
+}
+
+tensor::Tensor hflip_image(const tensor::Tensor& img) {
+  check_chw(img);
+  const std::size_t s = img.size(1);
+  tensor::Tensor out(img.shape());
+  const float* I = img.data();
+  float* O = out.data();
+  const std::size_t plane = s * s;
+  for (std::size_t c = 0; c < 3; ++c)
+    for (std::size_t y = 0; y < s; ++y)
+      for (std::size_t x = 0; x < s; ++x)
+        O[c * plane + y * s + x] = I[c * plane + y * s + (s - 1 - x)];
+  return out;
+}
+
+tensor::Tensor center_crop_zoom(const tensor::Tensor& img, double fraction) {
+  check_chw(img);
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("center_crop_zoom: fraction must be in (0, 1]");
+  const std::size_t s = img.size(1);
+  const std::size_t crop = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                        std::lround(fraction * static_cast<double>(s))));
+  const std::size_t off = (s - crop) / 2;
+  tensor::Tensor out(img.shape());
+  const float* I = img.data();
+  float* O = out.data();
+  const std::size_t plane = s * s;
+  for (std::size_t y = 0; y < s; ++y) {
+    const std::size_t sy = off + (y * crop) / s;
+    for (std::size_t x = 0; x < s; ++x) {
+      const std::size_t sx = off + (x * crop) / s;
+      for (std::size_t c = 0; c < 3; ++c)
+        O[c * plane + y * s + x] = I[c * plane + sy * s + sx];
+    }
+  }
+  return out;
+}
+
+tensor::Tensor augment_image(const tensor::Tensor& img, util::Rng& rng,
+                             const AugmentConfig& cfg) {
+  if (!cfg.enabled) return img;
+  tensor::Tensor out = img;
+  const double deg = rng.uniform(-cfg.max_rotation_deg, cfg.max_rotation_deg);
+  if (std::abs(deg) > 0.5) out = rotate_image(out, deg);
+  if (cfg.crop_fraction < 1.0) out = center_crop_zoom(out, cfg.crop_fraction);
+  if (rng.bernoulli(cfg.hflip_prob)) out = hflip_image(out);
+  return out;
+}
+
+}  // namespace hdczsc::data

@@ -1,0 +1,32 @@
+// Training-time image augmentation matching §IV-A: random rotation in
+// [-45°, +45°], center crop (with zoom-back), and random horizontal flip.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::data {
+
+struct AugmentConfig {
+  double max_rotation_deg = 45.0;
+  double crop_fraction = 0.9;   ///< center crop keeps this fraction, then rescales
+  double hflip_prob = 0.5;
+  bool enabled = true;
+};
+
+/// Rotate a [3,S,S] image by `deg` degrees around its center
+/// (nearest-neighbor; out-of-bounds pixels take the border value).
+tensor::Tensor rotate_image(const tensor::Tensor& img, double deg);
+
+/// Horizontal mirror of a [3,S,S] image.
+tensor::Tensor hflip_image(const tensor::Tensor& img);
+
+/// Center-crop to `fraction` of the side then rescale back to S
+/// (nearest-neighbor).
+tensor::Tensor center_crop_zoom(const tensor::Tensor& img, double fraction);
+
+/// Full random augmentation pipeline.
+tensor::Tensor augment_image(const tensor::Tensor& img, util::Rng& rng,
+                             const AugmentConfig& cfg);
+
+}  // namespace hdczsc::data

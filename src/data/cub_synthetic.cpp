@@ -1,0 +1,167 @@
+#include "data/cub_synthetic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hdczsc::data {
+
+namespace {
+
+/// Stable 64-bit mix for deriving per-(class, instance) seeds.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ULL + b + 0x100000001B3ULL;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Deterministic base colour for a global value id (spread over RGB space).
+void value_color(std::size_t value_id, float rgb[3]) {
+  std::uint64_t h = mix(0xC0FFEE, value_id);
+  rgb[0] = 0.15f + 0.7f * static_cast<float>((h >> 0) & 0xFF) / 255.0f;
+  rgb[1] = 0.15f + 0.7f * static_cast<float>((h >> 8) & 0xFF) / 255.0f;
+  rgb[2] = 0.15f + 0.7f * static_cast<float>((h >> 16) & 0xFF) / 255.0f;
+}
+
+}  // namespace
+
+CubSynthetic::CubSynthetic(const AttributeSpace& space, CubSyntheticConfig cfg)
+    : space_(&space), cfg_(cfg) {
+  if (cfg_.n_classes == 0) throw std::invalid_argument("CubSynthetic: n_classes must be > 0");
+  if (cfg_.image_size < 8) throw std::invalid_argument("CubSynthetic: image_size too small");
+  build_classes();
+}
+
+void CubSynthetic::build_classes() {
+  const std::size_t c_count = cfg_.n_classes;
+  const std::size_t g_count = space_->n_groups();
+  const std::size_t alpha = space_->n_attributes();
+  class_attributes_ = tensor::Tensor({c_count, alpha});
+  dominant_.assign(c_count, std::vector<std::size_t>(g_count, 0));
+
+  util::Rng rng(mix(cfg_.seed, 0xA77Bu));
+  float* A = class_attributes_.data();
+  for (std::size_t c = 0; c < c_count; ++c) {
+    for (std::size_t g = 0; g < g_count; ++g) {
+      const AttributeGroup& grp = space_->group(g);
+      const std::size_t n_vals = grp.value_ids.size();
+      const std::size_t dom = static_cast<std::size_t>(rng.next_below(n_vals));
+      dominant_[c][g] = dom;
+      // Optional secondary value (annotator disagreement / true variation).
+      std::size_t sec = dom;
+      if (n_vals > 1 && rng.bernoulli(cfg_.secondary_value_prob)) {
+        do {
+          sec = static_cast<std::size_t>(rng.next_below(n_vals));
+        } while (sec == dom);
+      }
+      for (std::size_t k = 0; k < n_vals; ++k) {
+        double strength;
+        if (k == dom) strength = rng.uniform(0.7, 1.0);
+        else if (k == sec && sec != dom) strength = rng.uniform(0.15, 0.35);
+        else strength = rng.uniform(0.0, cfg_.annotator_noise);
+        A[c * alpha + grp.attr_offset + k] = static_cast<float>(strength);
+      }
+    }
+  }
+}
+
+tensor::Tensor CubSynthetic::class_attribute_rows(
+    const std::vector<std::size_t>& classes) const {
+  const std::size_t alpha = space_->n_attributes();
+  tensor::Tensor out({classes.size(), alpha});
+  const float* A = class_attributes_.data();
+  float* O = out.data();
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i] >= cfg_.n_classes)
+      throw std::out_of_range("CubSynthetic::class_attribute_rows: class id out of range");
+    for (std::size_t j = 0; j < alpha; ++j) O[i * alpha + j] = A[classes[i] * alpha + j];
+  }
+  return out;
+}
+
+std::size_t CubSynthetic::dominant_value(std::size_t c, std::size_t g) const {
+  return dominant_.at(c).at(g);
+}
+
+Sample CubSynthetic::sample(std::size_t c, std::size_t i) const {
+  if (c >= cfg_.n_classes) throw std::out_of_range("CubSynthetic::sample: class out of range");
+  const std::size_t s = cfg_.image_size;
+  const std::size_t g_count = space_->n_groups();
+  const std::size_t alpha = space_->n_attributes();
+  util::Rng rng(mix(mix(cfg_.seed, c + 1), i + 1));
+
+  Sample out;
+  out.label = c;
+  out.instance_attributes = tensor::Tensor({alpha});
+  out.image = tensor::Tensor({3, s, s});
+
+  // Instance-level value per group: dominant, occasionally flipped to a
+  // random alternative (mimicking per-image attribute variation in CUB).
+  std::vector<std::size_t> active(g_count);
+  for (std::size_t g = 0; g < g_count; ++g) {
+    const AttributeGroup& grp = space_->group(g);
+    std::size_t v = dominant_[c][g];
+    if (grp.value_ids.size() > 1 && rng.bernoulli(cfg_.instance_flip_prob))
+      v = static_cast<std::size_t>(rng.next_below(grp.value_ids.size()));
+    active[g] = v;
+    out.instance_attributes[grp.attr_offset + v] = 1.0f;
+  }
+
+  // Layout: groups own cells of a ceil-sqrt grid covering the image.
+  std::size_t grid = 1;
+  while (grid * grid < g_count) ++grid;
+  const float cell = static_cast<float>(s) / static_cast<float>(grid);
+
+  // Small global pose shift (same for all cells, like a translated bird).
+  const int shift_y = static_cast<int>(rng.next_below(3)) - 1;
+  const int shift_x = static_cast<int>(rng.next_below(3)) - 1;
+  const float brightness =
+      1.0f + static_cast<float>(rng.uniform(-cfg_.jitter, cfg_.jitter));
+
+  float* img = out.image.data();
+  const std::size_t plane = s * s;
+  // Neutral background.
+  for (std::size_t p = 0; p < 3 * plane; ++p) img[p] = 0.35f;
+
+  for (std::size_t g = 0; g < g_count; ++g) {
+    const AttributeGroup& grp = space_->group(g);
+    const std::size_t value_id = grp.value_ids[active[g]];
+    float rgb[3];
+    value_color(value_id, rgb);
+    // Texture style derived from the value id: 0 solid, 1 h-stripes,
+    // 2 v-stripes, 3 checker.
+    const std::size_t texture = mix(0xBEEF, value_id) % 4;
+
+    const std::size_t gy = g / grid, gx = g % grid;
+    const int y0 = static_cast<int>(static_cast<float>(gy) * cell) + shift_y;
+    const int x0 = static_cast<int>(static_cast<float>(gx) * cell) + shift_x;
+    const int y1 = static_cast<int>(static_cast<float>(gy + 1) * cell) + shift_y;
+    const int x1 = static_cast<int>(static_cast<float>(gx + 1) * cell) + shift_x;
+    for (int y = y0; y < y1; ++y) {
+      if (y < 0 || y >= static_cast<int>(s)) continue;
+      for (int x = x0; x < x1; ++x) {
+        if (x < 0 || x >= static_cast<int>(s)) continue;
+        float mod = 1.0f;
+        switch (texture) {
+          case 1: mod = (y / 2) % 2 == 0 ? 1.0f : 0.55f; break;
+          case 2: mod = (x / 2) % 2 == 0 ? 1.0f : 0.55f; break;
+          case 3: mod = ((x / 2) + (y / 2)) % 2 == 0 ? 1.0f : 0.55f; break;
+          default: break;
+        }
+        const std::size_t idx = static_cast<std::size_t>(y) * s + static_cast<std::size_t>(x);
+        for (std::size_t ch = 0; ch < 3; ++ch) img[ch * plane + idx] = rgb[ch] * mod;
+      }
+    }
+  }
+
+  // Global jitter + pixel noise, clamped to [0, 1].
+  for (std::size_t p = 0; p < 3 * plane; ++p) {
+    float v = img[p] * brightness +
+              static_cast<float>(rng.normal(0.0, cfg_.pixel_noise));
+    img[p] = v < 0.0f ? 0.0f : (v > 1.0f ? 1.0f : v);
+  }
+  return out;
+}
+
+}  // namespace hdczsc::data

@@ -1,0 +1,72 @@
+// Procedural fine-grained dataset standing in for CUB-200-2011 (see
+// DESIGN.md §1 for the substitution rationale).
+//
+// Each class is a point in attribute space: per attribute group it has a
+// dominant value (plus annotator noise), giving a continuous class-attribute
+// matrix A ∈ [0,1]^{C×α} like CUB's percent-of-annotators attributes.
+// An image is rendered from the *instance-level* attribute assignment:
+// every group owns a spatial cell of the image, painted with the active
+// value's colour and texture, under pixel noise, global jitter and pose
+// shifts. The mapping image → attributes is therefore local, learnable, and
+// noisy — the properties phase-II / phase-III training actually exercises.
+#pragma once
+
+#include "data/attribute_space.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::data {
+
+struct CubSyntheticConfig {
+  std::size_t n_classes = 200;
+  std::size_t images_per_class = 30;
+  std::size_t image_size = 32;         ///< square, 3 channels
+  double secondary_value_prob = 0.25;  ///< class has a secondary value in a group
+  double annotator_noise = 0.05;       ///< uniform noise on class attribute strengths
+  double instance_flip_prob = 0.08;    ///< instance deviates from class dominant value
+  double pixel_noise = 0.08;           ///< Gaussian sigma added to pixels
+  double jitter = 0.15;                ///< brightness/contrast jitter amplitude
+  std::uint64_t seed = 1;
+};
+
+/// One rendered example.
+struct Sample {
+  tensor::Tensor image;                ///< [3, S, S] in [0, 1] (before augmentation)
+  std::size_t label = 0;               ///< class id
+  tensor::Tensor instance_attributes;  ///< [α] binary instance-level attributes
+};
+
+class CubSynthetic {
+ public:
+  CubSynthetic(const AttributeSpace& space, CubSyntheticConfig cfg);
+
+  const AttributeSpace& space() const { return *space_; }
+  const CubSyntheticConfig& config() const { return cfg_; }
+  std::size_t n_classes() const { return cfg_.n_classes; }
+  std::size_t images_per_class() const { return cfg_.images_per_class; }
+  std::size_t image_size() const { return cfg_.image_size; }
+
+  /// Continuous class-attribute matrix A [C, α] in [0, 1] — the auxiliary
+  /// descriptor fed to the attribute encoder.
+  const tensor::Tensor& class_attribute_matrix() const { return class_attributes_; }
+
+  /// Rows of A for a subset of classes -> [|subset|, α].
+  tensor::Tensor class_attribute_rows(const std::vector<std::size_t>& classes) const;
+
+  /// Dominant value (index within group g's value list) for class c.
+  std::size_t dominant_value(std::size_t c, std::size_t g) const;
+
+  /// Deterministically render instance `i` of class `c` (same (c, i) always
+  /// yields the same image and instance attributes).
+  Sample sample(std::size_t c, std::size_t i) const;
+
+ private:
+  const AttributeSpace* space_;
+  CubSyntheticConfig cfg_;
+  tensor::Tensor class_attributes_;                  // [C, α]
+  std::vector<std::vector<std::size_t>> dominant_;   // [C][G] value index within group
+
+  void build_classes();
+};
+
+}  // namespace hdczsc::data

@@ -1,0 +1,85 @@
+#include "data/dataloader.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace hdczsc::data {
+
+DataLoader::DataLoader(const CubSynthetic& dataset, std::vector<std::size_t> classes,
+                       std::size_t instance_lo, std::size_t instance_hi,
+                       std::size_t batch_size, bool shuffle, AugmentConfig augment,
+                       std::uint64_t seed)
+    : dataset_(&dataset), classes_(std::move(classes)), batch_size_(batch_size),
+      shuffle_(shuffle), augment_(augment), rng_(seed ^ 0xDA7A10ADULL) {
+  if (batch_size_ == 0) throw std::invalid_argument("DataLoader: batch_size must be > 0");
+  if (instance_hi > dataset.images_per_class())
+    throw std::invalid_argument("DataLoader: instance range exceeds images_per_class");
+  if (instance_lo >= instance_hi)
+    throw std::invalid_argument("DataLoader: empty instance range");
+  for (std::size_t local = 0; local < classes_.size(); ++local) {
+    for (std::size_t i = instance_lo; i < instance_hi; ++i) {
+      index_.emplace_back(classes_[local], i);
+      local_label_.push_back(local);
+    }
+  }
+  order_.resize(index_.size());
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+  reset_epoch();
+}
+
+std::size_t DataLoader::n_batches() const {
+  return (index_.size() + batch_size_ - 1) / batch_size_;
+}
+
+tensor::Tensor DataLoader::class_attribute_rows() const {
+  return dataset_->class_attribute_rows(classes_);
+}
+
+void DataLoader::reset_epoch() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+Batch DataLoader::make_batch(const std::vector<std::size_t>& rows, bool train) const {
+  const std::size_t s = dataset_->image_size();
+  const std::size_t alpha = dataset_->space().n_attributes();
+  Batch b;
+  b.images = tensor::Tensor({rows.size(), 3, s, s});
+  b.instance_attributes = tensor::Tensor({rows.size(), alpha});
+  b.labels.resize(rows.size());
+  float* imgs = b.images.data();
+  float* attrs = b.instance_attributes.data();
+  const std::size_t img_elems = 3 * s * s;
+  // rng_ is only touched for augmentation; render itself is deterministic.
+  util::Rng* aug_rng = const_cast<util::Rng*>(&rng_);
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto [cls, inst] = index_[rows[k]];
+    Sample sample = dataset_->sample(cls, inst);
+    tensor::Tensor img = (train && augment_.enabled)
+                             ? augment_image(sample.image, *aug_rng, augment_)
+                             : sample.image;
+    const float* I = img.data();
+    for (std::size_t p = 0; p < img_elems; ++p) imgs[k * img_elems + p] = I[p];
+    const float* A = sample.instance_attributes.data();
+    for (std::size_t a = 0; a < alpha; ++a) attrs[k * alpha + a] = A[a];
+    b.labels[k] = local_label_[rows[k]];
+  }
+  return b;
+}
+
+std::optional<Batch> DataLoader::next() {
+  if (cursor_ >= order_.size()) return std::nullopt;
+  const std::size_t end = std::min(order_.size(), cursor_ + batch_size_);
+  std::vector<std::size_t> rows(order_.begin() + static_cast<long>(cursor_),
+                                order_.begin() + static_cast<long>(end));
+  cursor_ = end;
+  return make_batch(rows, /*train=*/true);
+}
+
+Batch DataLoader::all_eval() const {
+  std::vector<std::size_t> rows(index_.size());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return make_batch(rows, /*train=*/false);
+}
+
+}  // namespace hdczsc::data

@@ -1,0 +1,66 @@
+// Mini-batch assembly over the synthetic datasets: materializes (class,
+// instance) index lists for a split, shuffles per epoch, renders images on
+// demand, and applies augmentation to training batches.
+//
+// Labels are *remapped to split-local ids* (0..C_split-1) so that the
+// classifier heads and the class-attribute matrix rows line up.
+#pragma once
+
+#include <optional>
+
+#include "data/augment.hpp"
+#include "data/cub_synthetic.hpp"
+#include "data/splits.hpp"
+
+namespace hdczsc::data {
+
+struct Batch {
+  tensor::Tensor images;               ///< [B, 3, S, S]
+  std::vector<std::size_t> labels;     ///< split-local class ids, size B
+  tensor::Tensor instance_attributes;  ///< [B, α]
+};
+
+class DataLoader {
+ public:
+  /// `classes`: global class ids included in this loader (their order
+  /// defines the local label mapping). `instance_lo/hi`: instance index
+  /// range per class (hi exclusive) — used to realise the noZS image-level
+  /// split and train/test instance partitions.
+  DataLoader(const CubSynthetic& dataset, std::vector<std::size_t> classes,
+             std::size_t instance_lo, std::size_t instance_hi, std::size_t batch_size,
+             bool shuffle, AugmentConfig augment, std::uint64_t seed);
+
+  std::size_t n_examples() const { return index_.size(); }
+  std::size_t n_batches() const;
+  std::size_t n_classes() const { return classes_.size(); }
+  const std::vector<std::size_t>& classes() const { return classes_; }
+  const AttributeSpace& space() const { return dataset_->space(); }
+
+  /// Class attribute rows for this loader's classes, in local-label order.
+  tensor::Tensor class_attribute_rows() const;
+
+  /// Begin a new epoch (reshuffles when shuffle=true).
+  void reset_epoch();
+  /// Next batch, or nullopt at end of epoch.
+  std::optional<Batch> next();
+
+  /// Render every example once (no augmentation, no shuffling) — used for
+  /// evaluation and feature extraction.
+  Batch all_eval() const;
+
+ private:
+  const CubSynthetic* dataset_;
+  std::vector<std::size_t> classes_;
+  std::vector<std::pair<std::size_t, std::size_t>> index_;  // (global class, instance)
+  std::vector<std::size_t> local_label_;                    // parallel to index_
+  std::size_t batch_size_;
+  bool shuffle_;
+  AugmentConfig augment_;
+  util::Rng rng_;
+  std::vector<std::size_t> order_;
+  std::size_t cursor_ = 0;
+
+  Batch make_batch(const std::vector<std::size_t>& rows, bool train) const;
+};
+
+}  // namespace hdczsc::data

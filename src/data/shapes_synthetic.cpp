@@ -1,0 +1,73 @@
+#include "data/shapes_synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hdczsc::data {
+
+namespace {
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ULL + b + 0x100000001B3ULL;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+}  // namespace
+
+ShapesSynthetic::ShapesSynthetic(ShapesSyntheticConfig cfg) : cfg_(cfg) {
+  if (cfg_.n_classes == 0) throw std::invalid_argument("ShapesSynthetic: n_classes must be > 0");
+}
+
+ShapesSample ShapesSynthetic::sample(std::size_t c, std::size_t i) const {
+  if (c >= cfg_.n_classes) throw std::out_of_range("ShapesSynthetic::sample: class out of range");
+  const std::size_t s = cfg_.image_size;
+  util::Rng rng(mix(mix(cfg_.seed, c + 1), i + 1));
+
+  // Class-determined pattern parameters (stable across instances).
+  util::Rng class_rng(mix(cfg_.seed, 0x51AB0000u + c));
+  const double angle = class_rng.uniform(0.0, std::numbers::pi);
+  const double freq = class_rng.uniform(0.15, 0.9);
+  const double phase_cls = class_rng.uniform(0.0, 2.0 * std::numbers::pi);
+  float palette[3];
+  for (auto& p : palette) p = static_cast<float>(class_rng.uniform(0.2, 1.0));
+  const std::size_t style = static_cast<std::size_t>(class_rng.next_below(3));
+
+  // Instance-level phase jitter (the "pose" of the object).
+  const double phase = phase_cls + rng.uniform(-0.6, 0.6);
+  const double ca = std::cos(angle), sa = std::sin(angle);
+
+  ShapesSample out;
+  out.label = c;
+  out.image = tensor::Tensor({3, s, s});
+  float* img = out.image.data();
+  const std::size_t plane = s * s;
+  for (std::size_t y = 0; y < s; ++y) {
+    for (std::size_t x = 0; x < s; ++x) {
+      const double u = ca * static_cast<double>(x) + sa * static_cast<double>(y);
+      const double v = -sa * static_cast<double>(x) + ca * static_cast<double>(y);
+      double t;
+      switch (style) {
+        case 0: t = std::sin(freq * u + phase); break;                       // stripes
+        case 1: t = std::sin(freq * u + phase) * std::sin(freq * v); break;  // grid
+        default: {
+          const double cy = static_cast<double>(s) / 2.0;
+          const double r = std::hypot(static_cast<double>(x) - cy,
+                                      static_cast<double>(y) - cy);
+          t = std::sin(freq * r + phase);  // rings
+        }
+      }
+      const float base = 0.5f + 0.45f * static_cast<float>(t);
+      const std::size_t idx = y * s + x;
+      for (std::size_t ch = 0; ch < 3; ++ch) {
+        float val = base * palette[ch] +
+                    static_cast<float>(rng.normal(0.0, cfg_.pixel_noise));
+        img[ch * plane + idx] = val < 0.0f ? 0.0f : (val > 1.0f ? 1.0f : val);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hdczsc::data

@@ -1,0 +1,40 @@
+// Procedural generic-object classification set standing in for ImageNet-1k
+// in phase-I backbone pre-training (Fig. 2a). Each class is a distinct
+// full-image procedural pattern (orientation, frequency, palette); the task
+// is plain C-way classification with a softmax head.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::data {
+
+struct ShapesSyntheticConfig {
+  std::size_t n_classes = 50;
+  std::size_t images_per_class = 20;
+  std::size_t image_size = 32;
+  double pixel_noise = 0.08;
+  std::uint64_t seed = 7;
+};
+
+struct ShapesSample {
+  tensor::Tensor image;  ///< [3, S, S] in [0, 1]
+  std::size_t label = 0;
+};
+
+class ShapesSynthetic {
+ public:
+  explicit ShapesSynthetic(ShapesSyntheticConfig cfg);
+
+  std::size_t n_classes() const { return cfg_.n_classes; }
+  std::size_t images_per_class() const { return cfg_.images_per_class; }
+  std::size_t image_size() const { return cfg_.image_size; }
+
+  /// Deterministic render of instance `i` of class `c`.
+  ShapesSample sample(std::size_t c, std::size_t i) const;
+
+ private:
+  ShapesSyntheticConfig cfg_;
+};
+
+}  // namespace hdczsc::data

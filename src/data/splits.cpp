@@ -1,0 +1,44 @@
+#include "data/splits.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace hdczsc::data {
+
+ClassSplit make_zs_split(std::size_t n_classes, std::size_t n_train, std::uint64_t seed) {
+  if (n_train > n_classes)
+    throw std::invalid_argument("make_zs_split: n_train > n_classes");
+  util::Rng rng(seed ^ 0x5A5A5A5AULL);
+  auto perm = rng.permutation(n_classes);
+  ClassSplit split;
+  split.train_classes.assign(perm.begin(), perm.begin() + static_cast<long>(n_train));
+  split.test_classes.assign(perm.begin() + static_cast<long>(n_train), perm.end());
+  return split;
+}
+
+ClassSplit make_nozs_split(std::size_t n_classes, std::size_t n_selected, std::uint64_t seed) {
+  if (n_selected > n_classes)
+    throw std::invalid_argument("make_nozs_split: n_selected > n_classes");
+  util::Rng rng(seed ^ 0xA0A0A0A0ULL);
+  auto perm = rng.permutation(n_classes);
+  ClassSplit split;
+  split.train_classes.assign(perm.begin(), perm.begin() + static_cast<long>(n_selected));
+  split.test_classes = split.train_classes;
+  split.image_level = true;
+  return split;
+}
+
+ClassSplit make_validation_split(const ClassSplit& zs, std::size_t n_val, std::uint64_t seed) {
+  if (n_val > zs.train_classes.size())
+    throw std::invalid_argument("make_validation_split: n_val > train classes");
+  util::Rng rng(seed ^ 0x7E57ULL);
+  auto classes = zs.train_classes;
+  rng.shuffle(classes);
+  ClassSplit split;
+  split.test_classes.assign(classes.begin(), classes.begin() + static_cast<long>(n_val));
+  split.train_classes.assign(classes.begin() + static_cast<long>(n_val), classes.end());
+  return split;
+}
+
+}  // namespace hdczsc::data

@@ -1,0 +1,32 @@
+// Train/test class splits used in §IV-A: the ZS split (150 train / 50 test
+// classes, disjoint), the noZS split (100 shared classes, image-level
+// split), and the validation split used for hyper-parameter tuning (50
+// classes disjoint from ZS-train's remaining 100).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hdczsc::data {
+
+struct ClassSplit {
+  std::vector<std::size_t> train_classes;
+  std::vector<std::size_t> test_classes;
+  /// True if train and test share classes and images are split instead
+  /// (the noZS protocol).
+  bool image_level = false;
+};
+
+/// ZS split: `n_train` train classes, remaining test classes (disjoint).
+ClassSplit make_zs_split(std::size_t n_classes, std::size_t n_train, std::uint64_t seed);
+
+/// noZS split: `n_selected` classes present in both train and test; images
+/// are split per instance (even instances train, odd instances test).
+ClassSplit make_nozs_split(std::size_t n_classes, std::size_t n_selected, std::uint64_t seed);
+
+/// Validation protocol of Fig. 5: from the ZS train classes carve out
+/// `n_val` disjoint validation classes. Returns {train: reduced-train,
+/// test: validation classes}.
+ClassSplit make_validation_split(const ClassSplit& zs, std::size_t n_val, std::uint64_t seed);
+
+}  // namespace hdczsc::data

@@ -1,0 +1,74 @@
+#include "hdc/codebook.hpp"
+
+#include <stdexcept>
+
+namespace hdczsc::hdc {
+
+Codebook::Codebook(std::size_t count, std::size_t dim, util::Rng& rng) {
+  items_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) items_.push_back(BipolarHV::random(dim, rng));
+}
+
+const BipolarHV& Codebook::operator[](std::size_t i) const {
+  if (i >= items_.size()) throw std::out_of_range("Codebook: index out of range");
+  return items_[i];
+}
+
+std::size_t Codebook::nearest(const BipolarHV& query) const {
+  if (items_.empty()) throw std::logic_error("Codebook::nearest on empty codebook");
+  std::size_t best = 0;
+  double best_sim = items_[0].cosine(query);
+  for (std::size_t i = 1; i < items_.size(); ++i) {
+    const double s = items_[i].cosine(query);
+    if (s > best_sim) {
+      best_sim = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t Codebook::storage_bytes_binary() const {
+  if (items_.empty()) return 0;
+  const std::size_t bits = items_.size() * dim();
+  return (bits + 7) / 8;
+}
+
+FactoredDictionary::FactoredDictionary(std::size_t n_groups, std::size_t n_values,
+                                       std::vector<GroupValuePair> pairs, std::size_t dim,
+                                       util::Rng& rng)
+    : groups_(n_groups, dim, rng), values_(n_values, dim, rng), pairs_(std::move(pairs)) {
+  for (const auto& p : pairs_) {
+    if (p.group >= n_groups || p.value >= n_values)
+      throw std::invalid_argument("FactoredDictionary: pair indices out of range");
+  }
+}
+
+BipolarHV FactoredDictionary::attribute_vector(std::size_t x) const {
+  if (x >= pairs_.size())
+    throw std::out_of_range("FactoredDictionary::attribute_vector: index out of range");
+  return groups_[pairs_[x].group].bind(values_[pairs_[x].value]);
+}
+
+tensor::Tensor FactoredDictionary::dictionary_tensor() const {
+  const std::size_t alpha = pairs_.size(), d = dim();
+  tensor::Tensor b({alpha, d});
+  float* B = b.data();
+  for (std::size_t x = 0; x < alpha; ++x) {
+    const BipolarHV& g = groups_[pairs_[x].group];
+    const BipolarHV& v = values_[pairs_[x].value];
+    float* row = B + x * d;
+    for (std::size_t i = 0; i < d; ++i) row[i] = static_cast<float>(g[i] * v[i]);
+  }
+  return b;
+}
+
+std::size_t FactoredDictionary::factored_storage_bytes() const {
+  return ((n_groups() + n_values()) * dim() + 7) / 8;
+}
+
+std::size_t FactoredDictionary::flat_storage_bytes() const {
+  return (n_attributes() * dim() + 7) / 8;
+}
+
+}  // namespace hdczsc::hdc

@@ -1,0 +1,110 @@
+#include "hdc/encoding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdczsc::hdc {
+
+LevelCodebook::LevelCodebook(std::size_t levels, std::size_t dim, util::Rng& rng) {
+  if (levels < 2) throw std::invalid_argument("LevelCodebook: need at least 2 levels");
+  BipolarHV base = BipolarHV::random(dim, rng);
+  // A fixed random flip order; level k flips the first k*dim/(levels-1)
+  // positions of the order relative to the base vector.
+  auto order = rng.permutation(dim);
+  items_.reserve(levels);
+  for (std::size_t k = 0; k < levels; ++k) {
+    BipolarHV hv = base;
+    const std::size_t flips = (k * dim) / (levels - 1);
+    for (std::size_t i = 0; i < flips; ++i)
+      hv[order[i]] = static_cast<std::int8_t>(-hv[order[i]]);
+    items_.push_back(std::move(hv));
+  }
+}
+
+const BipolarHV& LevelCodebook::operator[](std::size_t level) const {
+  if (level >= items_.size()) throw std::out_of_range("LevelCodebook: level out of range");
+  return items_[level];
+}
+
+const BipolarHV& LevelCodebook::encode(double value) const {
+  if (value < 0.0) value = 0.0;
+  if (value > 1.0) value = 1.0;
+  const auto idx = static_cast<std::size_t>(
+      std::lround(value * static_cast<double>(items_.size() - 1)));
+  return items_[idx];
+}
+
+BipolarHV class_prototype(const FactoredDictionary& dict, const float* strengths,
+                          std::size_t n_attributes, std::size_t quant_levels,
+                          util::Rng& rng) {
+  if (n_attributes != dict.n_attributes())
+    throw std::invalid_argument("class_prototype: attribute count mismatch");
+  if (quant_levels == 0) throw std::invalid_argument("class_prototype: quant_levels == 0");
+  BundleAccumulator acc(dict.dim());
+  for (std::size_t x = 0; x < n_attributes; ++x) {
+    const long w = std::lround(static_cast<double>(strengths[x]) *
+                               static_cast<double>(quant_levels));
+    if (w <= 0) continue;  // inactive attributes contribute nothing
+    acc.add_weighted(dict.attribute_vector(x), w);
+  }
+  return acc.finalize(rng);
+}
+
+std::vector<BipolarHV> class_prototypes(const FactoredDictionary& dict,
+                                        const tensor::Tensor& class_attributes,
+                                        std::size_t quant_levels, util::Rng& rng) {
+  if (class_attributes.dim() != 2 || class_attributes.size(1) != dict.n_attributes())
+    throw std::invalid_argument("class_prototypes: A must be [C, alpha]");
+  std::vector<BipolarHV> protos;
+  const std::size_t c = class_attributes.size(0), alpha = class_attributes.size(1);
+  protos.reserve(c);
+  for (std::size_t i = 0; i < c; ++i)
+    protos.push_back(class_prototype(dict, class_attributes.data() + i * alpha, alpha,
+                                     quant_levels, rng));
+  return protos;
+}
+
+AssociativeMemory::AssociativeMemory(const std::vector<BipolarHV>& prototypes) {
+  items_.reserve(prototypes.size());
+  for (const auto& p : prototypes) items_.push_back(p.to_binary());
+  for (std::size_t i = 1; i < items_.size(); ++i)
+    if (items_[i].dim() != items_[0].dim())
+      throw std::invalid_argument("AssociativeMemory: inconsistent dimensions");
+}
+
+std::size_t AssociativeMemory::nearest(const BinaryHV& query) const {
+  if (items_.empty()) throw std::logic_error("AssociativeMemory::nearest on empty memory");
+  std::size_t best = 0;
+  double best_sim = items_[0].similarity(query);
+  for (std::size_t i = 1; i < items_.size(); ++i) {
+    const double s = items_[i].similarity(query);
+    if (s > best_sim) {
+      best_sim = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> AssociativeMemory::similarities(const BinaryHV& query) const {
+  std::vector<double> out(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) out[i] = items_[i].similarity(query);
+  return out;
+}
+
+std::size_t AssociativeMemory::storage_bytes() const {
+  std::size_t n = 0;
+  for (const auto& hv : items_) n += hv.storage_bytes();
+  return n;
+}
+
+BipolarHV encode_sequence(const std::vector<BipolarHV>& items, util::Rng& rng) {
+  if (items.empty()) throw std::invalid_argument("encode_sequence: empty sequence");
+  BundleAccumulator acc(items[0].dim());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    acc.add(items[i].permute(static_cast<long>(i)));
+  return acc.finalize(rng);
+}
+
+}  // namespace hdczsc::hdc

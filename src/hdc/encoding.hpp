@@ -1,0 +1,91 @@
+// HDC encoding techniques beyond the paper's core path, from the cited HDC
+// literature (Kanerva 2009; Schmuck et al. 2019 "Hardware optimizations of
+// dense binary HDC: rematerialization, binarized bundling, combinational
+// associative memory"):
+//
+//  * LevelCodebook    — thermometer/level encoding of scalars in [0, 1],
+//                       giving similarity that decays with value distance;
+//                       an all-binary way to encode the *continuous* class
+//                       attribute strengths of the CUB matrix A.
+//  * class prototypes — binarized weighted bundling of the attribute
+//                       dictionary by a class's attribute strengths:
+//                       c = sign(Σ_x round(L·A[c,x]) · b_x). This is the
+//                       fully-binary alternative to the paper's float
+//                       ϕ = A × B, benchmarked in
+//                       bench_ablation_binary_prototypes.
+//  * AssociativeMemory — a Hamming-distance class-prototype memory (the
+//                       combinational associative memory the paper's edge
+//                       accelerators implement).
+//  * sequence encoding — permutation-based positional binding ρ^i(v_i),
+//                       the standard HDC sequence primitive.
+#pragma once
+
+#include "hdc/codebook.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::hdc {
+
+/// Level (thermometer) codebook: `levels` hypervectors interpolating from a
+/// random endpoint L_0 to its negation, by flipping a deterministic random
+/// subset of components per step. Adjacent levels are highly similar;
+/// distant levels approach anti-correlation.
+class LevelCodebook {
+ public:
+  LevelCodebook(std::size_t levels, std::size_t dim, util::Rng& rng);
+
+  std::size_t levels() const { return items_.size(); }
+  std::size_t dim() const { return items_.empty() ? 0 : items_[0].dim(); }
+
+  const BipolarHV& operator[](std::size_t level) const;
+  /// Encode a scalar in [0, 1] (clamped) to its nearest level vector.
+  const BipolarHV& encode(double value) const;
+
+ private:
+  std::vector<BipolarHV> items_;
+};
+
+/// Binarized weighted bundling of the factored dictionary by one class's
+/// continuous attribute strengths (row of A, values in [0, 1]):
+///   proto = sign( Σ_x round(quant_levels · A[x]) · b_x )
+/// with ties broken by `rng`. `quant_levels` controls the integer weight
+/// resolution (the paper's hardware-oriented citations use small integers).
+BipolarHV class_prototype(const FactoredDictionary& dict, const float* strengths,
+                          std::size_t n_attributes, std::size_t quant_levels,
+                          util::Rng& rng);
+
+/// All class prototypes from a class-attribute matrix A [C, α].
+std::vector<BipolarHV> class_prototypes(const FactoredDictionary& dict,
+                                        const tensor::Tensor& class_attributes,
+                                        std::size_t quant_levels, util::Rng& rng);
+
+/// Combinational associative memory over packed binary prototypes: stores C
+/// class vectors, answers nearest-class queries by Hamming distance — the
+/// inference structure of the paper's cited digital HDC accelerator.
+class AssociativeMemory {
+ public:
+  AssociativeMemory() = default;
+  explicit AssociativeMemory(const std::vector<BipolarHV>& prototypes);
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t dim() const { return items_.empty() ? 0 : items_[0].dim(); }
+
+  /// Index of the closest stored prototype (max normalized similarity).
+  std::size_t nearest(const BinaryHV& query) const;
+  std::size_t nearest(const BipolarHV& query) const { return nearest(query.to_binary()); }
+
+  /// Similarities to every stored prototype, in storage order.
+  std::vector<double> similarities(const BinaryHV& query) const;
+
+  /// Total packed storage in bytes.
+  std::size_t storage_bytes() const;
+
+ private:
+  std::vector<BinaryHV> items_;
+};
+
+/// Permutation-based sequence encoding: bundle(ρ^0(v_0), ρ^1(v_1), ...).
+/// Position is carried by cyclic shift; the result is quasi-orthogonal to
+/// any reordering of the same items.
+BipolarHV encode_sequence(const std::vector<BipolarHV>& items, util::Rng& rng);
+
+}  // namespace hdczsc::hdc

@@ -1,0 +1,158 @@
+#include "hdc/hypervector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace hdczsc::hdc {
+
+namespace {
+void check_same_dim(std::size_t a, std::size_t b, const char* op) {
+  if (a != b)
+    throw std::invalid_argument(std::string(op) + ": dimension mismatch " + std::to_string(a) +
+                                " vs " + std::to_string(b));
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BipolarHV
+// ---------------------------------------------------------------------------
+
+BipolarHV BipolarHV::random(std::size_t dim, util::Rng& rng) {
+  std::vector<std::int8_t> v(dim);
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.rademacher());
+  return BipolarHV(std::move(v));
+}
+
+BipolarHV BipolarHV::bind(const BipolarHV& other) const {
+  check_same_dim(dim(), other.dim(), "BipolarHV::bind");
+  std::vector<std::int8_t> out(dim());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::int8_t>(v_[i] * other.v_[i]);
+  return BipolarHV(std::move(out));
+}
+
+BipolarHV BipolarHV::permute(long k) const {
+  const long d = static_cast<long>(dim());
+  if (d == 0) return *this;
+  long shift = ((k % d) + d) % d;
+  std::vector<std::int8_t> out(dim());
+  for (long i = 0; i < d; ++i) out[static_cast<std::size_t>((i + shift) % d)] = v_[i];
+  return BipolarHV(std::move(out));
+}
+
+long BipolarHV::dot(const BipolarHV& other) const {
+  check_same_dim(dim(), other.dim(), "BipolarHV::dot");
+  long s = 0;
+  for (std::size_t i = 0; i < dim(); ++i) s += static_cast<long>(v_[i]) * other.v_[i];
+  return s;
+}
+
+double BipolarHV::cosine(const BipolarHV& other) const {
+  if (dim() == 0) return 0.0;
+  return static_cast<double>(dot(other)) / static_cast<double>(dim());
+}
+
+BinaryHV BipolarHV::to_binary() const {
+  BinaryHV b(dim());
+  for (std::size_t i = 0; i < dim(); ++i) b.set(i, v_[i] < 0);
+  return b;
+}
+
+tensor::Tensor BipolarHV::to_tensor() const {
+  tensor::Tensor t({dim()});
+  for (std::size_t i = 0; i < dim(); ++i) t[i] = static_cast<float>(v_[i]);
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// BundleAccumulator
+// ---------------------------------------------------------------------------
+
+void BundleAccumulator::add(const BipolarHV& hv) { add_weighted(hv, 1); }
+
+void BundleAccumulator::add_weighted(const BipolarHV& hv, long weight) {
+  check_same_dim(dim(), hv.dim(), "BundleAccumulator::add");
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += weight * hv[i];
+  ++count_;
+}
+
+BipolarHV BundleAccumulator::finalize(util::Rng& rng) const {
+  std::vector<std::int8_t> out(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    if (sums_[i] > 0) out[i] = +1;
+    else if (sums_[i] < 0) out[i] = -1;
+    else out[i] = static_cast<std::int8_t>(rng.rademacher());
+  }
+  return BipolarHV(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// BinaryHV
+// ---------------------------------------------------------------------------
+
+BinaryHV::BinaryHV(std::size_t dim) : dim_(dim), words_((dim + 63) / 64, 0) {}
+
+void BinaryHV::mask_tail() {
+  const std::size_t tail = dim_ % 64;
+  if (tail != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+}
+
+BinaryHV BinaryHV::random(std::size_t dim, util::Rng& rng) {
+  BinaryHV b(dim);
+  for (auto& w : b.words_) w = rng.next_u64();
+  b.mask_tail();
+  return b;
+}
+
+bool BinaryHV::get(std::size_t i) const {
+  if (i >= dim_) throw std::out_of_range("BinaryHV::get: index out of range");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BinaryHV::set(std::size_t i, bool value) {
+  if (i >= dim_) throw std::out_of_range("BinaryHV::set: index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+  if (value) words_[i / 64] |= mask;
+  else words_[i / 64] &= ~mask;
+}
+
+BinaryHV BinaryHV::bind(const BinaryHV& other) const {
+  check_same_dim(dim_, other.dim_, "BinaryHV::bind");
+  BinaryHV out(dim_);
+  for (std::size_t i = 0; i < words_.size(); ++i) out.words_[i] = words_[i] ^ other.words_[i];
+  return out;
+}
+
+std::size_t BinaryHV::hamming(const BinaryHV& other) const {
+  check_same_dim(dim_, other.dim_, "BinaryHV::hamming");
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    h += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  return h;
+}
+
+double BinaryHV::similarity(const BinaryHV& other) const {
+  if (dim_ == 0) return 0.0;
+  return 1.0 - 2.0 * static_cast<double>(hamming(other)) / static_cast<double>(dim_);
+}
+
+BipolarHV BinaryHV::to_bipolar() const {
+  std::vector<std::int8_t> v(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) v[i] = get(i) ? -1 : +1;
+  return BipolarHV(std::move(v));
+}
+
+double mean_abs_pairwise_cosine(const std::vector<BipolarHV>& hvs) {
+  if (hvs.size() < 2) return 0.0;
+  double s = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < hvs.size(); ++i)
+    for (std::size_t j = i + 1; j < hvs.size(); ++j) {
+      s += std::abs(hvs[i].cosine(hvs[j]));
+      ++pairs;
+    }
+  return s / static_cast<double>(pairs);
+}
+
+}  // namespace hdczsc::hdc

@@ -1,0 +1,136 @@
+// Hyperdimensional computing primitives (Kanerva 2009).
+//
+// Two representations are provided, mirroring §III-A of the paper:
+//  * BipolarHV: dense {-1,+1} vectors stored as int8. Binding is elementwise
+//    multiplication; similarity is the cosine (= normalized dot product).
+//  * BinaryHV:  dense {0,1} vectors packed 64/word. Binding is XOR;
+//    similarity is 1 - 2*hamming/d, which equals the bipolar cosine of the
+//    corresponding ±1 vectors. This is the "stationary binary weights/ops"
+//    form targeted at edge accelerators in the paper's Fig. 1.
+//
+// Conversions between the two are exact (bit b <-> bipolar 1-2b), and all
+// algebraic identities (bind self-inverse, quasi-orthogonality of random
+// vectors, similarity equivalence) are covered by tests/test_hdc.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::hdc {
+
+class BinaryHV;  // fwd
+
+/// Dense bipolar hypervector with components in {-1, +1}.
+class BipolarHV {
+ public:
+  BipolarHV() = default;
+  /// All +1 (the binding identity).
+  explicit BipolarHV(std::size_t dim) : v_(dim, +1) {}
+  explicit BipolarHV(std::vector<std::int8_t> values) : v_(std::move(values)) {}
+
+  /// i.i.d. Rademacher sample.
+  static BipolarHV random(std::size_t dim, util::Rng& rng);
+
+  std::size_t dim() const { return v_.size(); }
+  std::int8_t operator[](std::size_t i) const { return v_[i]; }
+  std::int8_t& operator[](std::size_t i) { return v_[i]; }
+  const std::vector<std::int8_t>& raw() const { return v_; }
+
+  /// Variable binding (elementwise multiply). Self-inverse:
+  /// bind(bind(a,b),b) == a.
+  BipolarHV bind(const BipolarHV& other) const;
+  /// Unbinding; for bipolar vectors identical to bind.
+  BipolarHV unbind(const BipolarHV& other) const { return bind(other); }
+
+  /// Cyclic permutation by k positions (rho^k). Invertible via permute(-k).
+  BipolarHV permute(long k) const;
+
+  /// Cosine similarity in [-1, 1] (dot / d).
+  double cosine(const BipolarHV& other) const;
+  /// Raw integer dot product.
+  long dot(const BipolarHV& other) const;
+
+  /// Convert to packed binary (+1 -> 0, -1 -> 1).
+  BinaryHV to_binary() const;
+  /// Convert to a float tensor row (±1.0f).
+  tensor::Tensor to_tensor() const;
+
+  bool operator==(const BipolarHV& other) const { return v_ == other.v_; }
+
+ private:
+  std::vector<std::int8_t> v_;
+};
+
+/// Accumulator for bundling (superposition): sum bipolar vectors, then take
+/// the elementwise sign. Ties (possible for even counts) are broken with a
+/// caller-provided rng for unbiased majority, as in binarized bundling
+/// (Schmuck et al. 2019).
+class BundleAccumulator {
+ public:
+  explicit BundleAccumulator(std::size_t dim) : sums_(dim, 0) {}
+
+  void add(const BipolarHV& hv);
+  /// Add with an integer weight (e.g., counts).
+  void add_weighted(const BipolarHV& hv, long weight);
+
+  std::size_t count() const { return count_; }
+  std::size_t dim() const { return sums_.size(); }
+  const std::vector<long>& sums() const { return sums_; }
+
+  /// Majority/sign readout.
+  BipolarHV finalize(util::Rng& rng) const;
+
+ private:
+  std::vector<long> sums_;
+  std::size_t count_ = 0;
+};
+
+/// Dense binary hypervector packed into 64-bit words.
+class BinaryHV {
+ public:
+  BinaryHV() = default;
+  /// All zeros (the XOR identity).
+  explicit BinaryHV(std::size_t dim);
+
+  static BinaryHV random(std::size_t dim, util::Rng& rng);
+
+  std::size_t dim() const { return dim_; }
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+
+  /// XOR binding (self-inverse).
+  BinaryHV bind(const BinaryHV& other) const;
+  BinaryHV unbind(const BinaryHV& other) const { return bind(other); }
+
+  /// Hamming distance (number of differing bits).
+  std::size_t hamming(const BinaryHV& other) const;
+  /// Normalized similarity 1 - 2*hamming/d in [-1, 1]; equals the bipolar
+  /// cosine of the ±1 counterparts.
+  double similarity(const BinaryHV& other) const;
+
+  BipolarHV to_bipolar() const;
+
+  /// Storage cost in bytes (packed words only).
+  std::size_t storage_bytes() const { return words_.size() * sizeof(std::uint64_t); }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  bool operator==(const BinaryHV& other) const {
+    return dim_ == other.dim_ && words_ == other.words_;
+  }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> words_;
+  void mask_tail();
+};
+
+/// Mean absolute pairwise cosine of a set of hypervectors — the
+/// quasi-orthogonality diagnostic: for i.i.d. Rademacher vectors this
+/// concentrates near sqrt(2/(pi*d)).
+double mean_abs_pairwise_cosine(const std::vector<BipolarHV>& hvs);
+
+}  // namespace hdczsc::hdc

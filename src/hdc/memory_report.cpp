@@ -1,0 +1,34 @@
+#include "hdc/memory_report.hpp"
+
+#include <sstream>
+
+namespace hdczsc::hdc {
+
+MemoryReport memory_report(std::size_t n_groups, std::size_t n_values,
+                           std::size_t n_attributes, std::size_t dim) {
+  MemoryReport r;
+  r.n_groups = n_groups;
+  r.n_values = n_values;
+  r.n_attributes = n_attributes;
+  r.dim = dim;
+  r.factored_bytes = ((n_groups + n_values) * dim + 7) / 8;
+  r.flat_bytes = (n_attributes * dim + 7) / 8;
+  r.reduction_percent =
+      r.flat_bytes == 0
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(r.factored_bytes) /
+                               static_cast<double>(r.flat_bytes));
+  return r;
+}
+
+std::string to_string(const MemoryReport& r) {
+  std::ostringstream oss;
+  oss << "codebooks: G=" << r.n_groups << " V=" << r.n_values << " alpha=" << r.n_attributes
+      << " d=" << r.dim << "\n"
+      << "  factored (G+V) storage: " << r.factored_bytes << " B\n"
+      << "  flat (alpha) storage:   " << r.flat_bytes << " B\n"
+      << "  reduction:              " << r.reduction_percent << " %";
+  return oss.str();
+}
+
+}  // namespace hdczsc::hdc

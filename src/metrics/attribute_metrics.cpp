@@ -1,0 +1,102 @@
+#include "metrics/attribute_metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hdczsc::metrics {
+
+std::vector<double> per_group_top1(const tensor::Tensor& scores, const tensor::Tensor& targets,
+                                   const data::AttributeSpace& space) {
+  if (scores.shape() != targets.shape() || scores.dim() != 2)
+    throw std::invalid_argument("per_group_top1: scores/targets must be matching [N, alpha]");
+  const std::size_t n = scores.size(0), alpha = scores.size(1);
+  if (alpha != space.n_attributes())
+    throw std::invalid_argument("per_group_top1: attribute dimension mismatch");
+
+  std::vector<double> acc(space.n_groups(), 0.0);
+  const float* S = scores.data();
+  const float* T = targets.data();
+  for (std::size_t g = 0; g < space.n_groups(); ++g) {
+    const auto& grp = space.group(g);
+    const std::size_t off = grp.attr_offset, w = grp.value_ids.size();
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* srow = S + i * alpha + off;
+      const float* trow = T + i * alpha + off;
+      std::size_t pred = 0, truth = 0;
+      for (std::size_t k = 1; k < w; ++k) {
+        if (srow[k] > srow[pred]) pred = k;
+        if (trow[k] > trow[truth]) truth = k;
+      }
+      if (pred == truth) ++hits;
+    }
+    acc[g] = n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+  return acc;
+}
+
+double average_precision(const std::vector<float>& scores, const std::vector<float>& labels) {
+  if (scores.size() != labels.size())
+    throw std::invalid_argument("average_precision: size mismatch");
+  const std::size_t n = scores.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+  double positives = 0.0;
+  for (float l : labels) positives += l > 0.5f ? 1.0 : 0.0;
+  if (positives == 0.0) return 0.0;
+
+  double hits = 0.0, ap = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    if (labels[order[rank]] > 0.5f) {
+      hits += 1.0;
+      ap += hits / static_cast<double>(rank + 1);
+    }
+  }
+  return ap / positives;
+}
+
+std::vector<double> per_group_wmap(const tensor::Tensor& scores, const tensor::Tensor& targets,
+                                   const data::AttributeSpace& space) {
+  if (scores.shape() != targets.shape() || scores.dim() != 2)
+    throw std::invalid_argument("per_group_wmap: scores/targets must be matching [N, alpha]");
+  const std::size_t n = scores.size(0), alpha = scores.size(1);
+  if (alpha != space.n_attributes())
+    throw std::invalid_argument("per_group_wmap: attribute dimension mismatch");
+
+  const float* S = scores.data();
+  const float* T = targets.data();
+  std::vector<double> wmap(space.n_groups(), 0.0);
+  std::vector<float> col_scores(n), col_labels(n);
+  for (std::size_t g = 0; g < space.n_groups(); ++g) {
+    const auto& grp = space.group(g);
+    double weight_sum = 0.0, weighted_ap = 0.0;
+    for (std::size_t k = 0; k < grp.value_ids.size(); ++k) {
+      const std::size_t a = grp.attr_offset + k;
+      double freq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        col_scores[i] = S[i * alpha + a];
+        col_labels[i] = T[i * alpha + a] > 0.5f ? 1.0f : 0.0f;
+        freq += col_labels[i];
+      }
+      if (freq == 0.0) continue;  // no positives: AP undefined, skip
+      const double ap = average_precision(col_scores, col_labels);
+      const double weight = static_cast<double>(n) / freq;  // ∝ 1/frequency
+      weighted_ap += weight * ap;
+      weight_sum += weight;
+    }
+    wmap[g] = weight_sum > 0.0 ? weighted_ap / weight_sum : 0.0;
+  }
+  return wmap;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace hdczsc::metrics

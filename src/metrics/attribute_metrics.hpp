@@ -1,0 +1,37 @@
+// Attribute-extraction metrics of §IV-A(b):
+//  * per-group top-1 accuracy ("top-1% acc" in Table I): within each
+//    attribute group, the predicted value is the argmax of the similarity
+//    scores restricted to the group; correct iff it matches the ground-truth
+//    active value.
+//  * Average Precision per attribute and Weighted Mean Average Precision
+//    (WMAP) per group: AP weighted to compensate attributes that are rare
+//    in the dataset (weight ∝ 1/frequency, normalized within the group).
+#pragma once
+
+#include <vector>
+
+#include "data/attribute_space.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::metrics {
+
+/// Per-group top-1 accuracy. scores/targets [N, α]; targets are one-hot (or
+/// soft — argmax within group is used as ground truth). Returns one accuracy
+/// in [0,1] per group.
+std::vector<double> per_group_top1(const tensor::Tensor& scores, const tensor::Tensor& targets,
+                                   const data::AttributeSpace& space);
+
+/// Binary-label average precision for one attribute: scores [N], labels [N]
+/// in {0,1}. Returns 0 when there is no positive example.
+double average_precision(const std::vector<float>& scores, const std::vector<float>& labels);
+
+/// WMAP per group: AP of each attribute in the group, combined with weights
+/// inversely proportional to attribute frequency (normalized within the
+/// group). Attributes with zero positives are skipped.
+std::vector<double> per_group_wmap(const tensor::Tensor& scores, const tensor::Tensor& targets,
+                                   const data::AttributeSpace& space);
+
+/// Mean of a vector of doubles.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace hdczsc::metrics

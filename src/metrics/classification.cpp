@@ -1,0 +1,40 @@
+#include "metrics/classification.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hdczsc::metrics {
+
+double topk_accuracy(const tensor::Tensor& scores, const std::vector<std::size_t>& labels,
+                     std::size_t k) {
+  if (scores.dim() != 2) throw std::invalid_argument("topk_accuracy: scores must be [N, C]");
+  if (labels.size() != scores.size(0))
+    throw std::invalid_argument("topk_accuracy: label count mismatch");
+  if (labels.empty()) return 0.0;
+  auto top = tensor::topk_rows(scores, std::min(k, scores.size(1)));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    for (std::size_t j : top[i])
+      if (j == labels[i]) {
+        ++hits;
+        break;
+      }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const tensor::Tensor& scores, const std::vector<std::size_t>& labels,
+    std::size_t n_classes) {
+  if (scores.dim() != 2 || scores.size(1) != n_classes)
+    throw std::invalid_argument("confusion_matrix: scores must be [N, n_classes]");
+  auto preds = tensor::argmax_rows(scores);
+  std::vector<std::vector<std::size_t>> cm(n_classes, std::vector<std::size_t>(n_classes, 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= n_classes) throw std::out_of_range("confusion_matrix: label out of range");
+    cm[labels[i]][preds[i]] += 1;
+  }
+  return cm;
+}
+
+}  // namespace hdczsc::metrics

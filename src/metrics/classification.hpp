@@ -1,0 +1,27 @@
+// Classification metrics: top-k accuracy (the paper reports top-1 and top-5
+// for ZSC) and a confusion-matrix helper.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::metrics {
+
+/// Fraction of rows whose true label is among the k highest-scoring columns.
+/// scores [N, C]; labels: one class id per row. Returns value in [0, 1].
+double topk_accuracy(const tensor::Tensor& scores, const std::vector<std::size_t>& labels,
+                     std::size_t k);
+
+inline double top1_accuracy(const tensor::Tensor& scores,
+                            const std::vector<std::size_t>& labels) {
+  return topk_accuracy(scores, labels, 1);
+}
+
+/// Row-normalized confusion counts: confusion[i][j] = #examples of class i
+/// predicted as class j.
+std::vector<std::vector<std::size_t>> confusion_matrix(
+    const tensor::Tensor& scores, const std::vector<std::size_t>& labels,
+    std::size_t n_classes);
+
+}  // namespace hdczsc::metrics

@@ -1,0 +1,66 @@
+// Stateless activations (ReLU, LeakyReLU, Tanh, Sigmoid) and Dropout.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(float slope = 0.2f) : slope_(slope) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "LeakyReLU"; }
+
+ private:
+  float slope_;
+  Tensor cached_input_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+/// Inverted dropout: activations are scaled by 1/(1-p) at train time so
+/// inference is a no-op.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, util::Rng& rng) : p_(p), rng_(&rng) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  util::Rng* rng_;
+  Tensor mask_;
+};
+
+}  // namespace hdczsc::nn

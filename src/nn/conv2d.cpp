@@ -1,0 +1,179 @@
+#include "nn/conv2d.hpp"
+
+#include <cstring>
+
+#include "nn/init.hpp"
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
+
+namespace hdczsc::nn {
+
+void im2col(const float* input, std::size_t channels, std::size_t height, std::size_t width,
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* columns) {
+  const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
+  const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
+  const std::size_t ncols = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj, ++row) {
+        float* dst = columns + row * ncols;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const long iy = static_cast<long>(oy * stride + ki) - static_cast<long>(pad);
+          if (iy < 0 || iy >= static_cast<long>(height)) {
+            std::memset(dst + oy * out_w, 0, out_w * sizeof(float));
+            continue;
+          }
+          const float* src_row = input + (c * height + static_cast<std::size_t>(iy)) * width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const long ix = static_cast<long>(ox * stride + kj) - static_cast<long>(pad);
+            dst[oy * out_w + ox] =
+                (ix < 0 || ix >= static_cast<long>(width)) ? 0.0f
+                                                           : src_row[static_cast<std::size_t>(ix)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* columns, std::size_t channels, std::size_t height, std::size_t width,
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* input) {
+  const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
+  const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
+  const std::size_t ncols = out_h * out_w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < channels; ++c) {
+    for (std::size_t ki = 0; ki < kh; ++ki) {
+      for (std::size_t kj = 0; kj < kw; ++kj, ++row) {
+        const float* src = columns + row * ncols;
+        for (std::size_t oy = 0; oy < out_h; ++oy) {
+          const long iy = static_cast<long>(oy * stride + ki) - static_cast<long>(pad);
+          if (iy < 0 || iy >= static_cast<long>(height)) continue;
+          float* dst_row = input + (c * height + static_cast<std::size_t>(iy)) * width;
+          for (std::size_t ox = 0; ox < out_w; ++ox) {
+            const long ix = static_cast<long>(ox * stride + kj) - static_cast<long>(pad);
+            if (ix < 0 || ix >= static_cast<long>(width)) continue;
+            dst_row[static_cast<std::size_t>(ix)] += src[oy * out_w + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               std::size_t stride, std::size_t pad, util::Rng& rng, bool bias)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), stride_(stride), pad_(pad),
+      has_bias_(bias) {
+  Tensor w({out_c_, in_c_, k_, k_});
+  kaiming_normal(w, in_c_ * k_ * k_, rng);
+  w_ = Parameter(std::move(w), "conv.weight");
+  b_ = Parameter(Tensor({out_c_}), "conv.bias");
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  if (x.dim() != 4 || x.size(1) != in_c_)
+    throw std::invalid_argument("Conv2d::forward: input " + tensor::shape_str(x.shape()) +
+                                " incompatible with in_channels=" + std::to_string(in_c_));
+  const std::size_t batch = x.size(0), h = x.size(2), w = x.size(3);
+  const std::size_t oh = out_size(h), ow = out_size(w);
+  if (train) cached_input_ = x;
+
+  Tensor y({batch, out_c_, oh, ow});
+  const std::size_t krows = in_c_ * k_ * k_;
+  const std::size_t ncols = oh * ow;
+  const float* W = w_.value.data();
+  const float* X = x.data();
+  float* Y = y.data();
+
+  util::parallel_for(0, batch, [&](std::size_t b) {
+    std::vector<float> cols(krows * ncols);
+    im2col(X + b * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_, cols.data());
+    // Y[b] = W [out_c, krows] * cols [krows, ncols]
+    float* yb = Y + b * out_c_ * ncols;
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      float* yrow = yb + oc * ncols;
+      const float* wrow = W + oc * krows;
+      std::memset(yrow, 0, ncols * sizeof(float));
+      for (std::size_t r = 0; r < krows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        const float* crow = cols.data() + r * ncols;
+        for (std::size_t c = 0; c < ncols; ++c) yrow[c] += wv * crow[c];
+      }
+      if (has_bias_) {
+        const float bv = b_.value[oc];
+        for (std::size_t c = 0; c < ncols; ++c) yrow[c] += bv;
+      }
+    }
+  }, 1);
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  if (cached_input_.empty())
+    throw std::logic_error("Conv2d::backward called before forward(train=true)");
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.size(0), h = x.size(2), w = x.size(3);
+  const std::size_t oh = out_size(h), ow = out_size(w);
+  if (grad_out.dim() != 4 || grad_out.size(0) != batch || grad_out.size(1) != out_c_ ||
+      grad_out.size(2) != oh || grad_out.size(3) != ow)
+    throw std::invalid_argument("Conv2d::backward: grad shape " +
+                                tensor::shape_str(grad_out.shape()));
+
+  const std::size_t krows = in_c_ * k_ * k_;
+  const std::size_t ncols = oh * ow;
+  Tensor dx({batch, in_c_, h, w});
+  const float* W = w_.value.data();
+  const float* X = x.data();
+  const float* G = grad_out.data();
+  float* DX = dx.data();
+  float* DW = w_.grad.data();
+  float* DB = b_.grad.data();
+
+  // Serial over batch: parameter gradients accumulate into shared buffers.
+  std::vector<float> cols(krows * ncols);
+  std::vector<float> dcols(krows * ncols);
+  for (std::size_t b = 0; b < batch; ++b) {
+    im2col(X + b * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_, cols.data());
+    const float* gb = G + b * out_c_ * ncols;
+    // dW[oc, r] += sum_c gb[oc, c] * cols[r, c]
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* grow = gb + oc * ncols;
+      float* dwrow = DW + oc * krows;
+      for (std::size_t r = 0; r < krows; ++r) {
+        const float* crow = cols.data() + r * ncols;
+        double acc = 0.0;
+        for (std::size_t c = 0; c < ncols; ++c) acc += grow[c] * crow[c];
+        dwrow[r] += static_cast<float>(acc);
+      }
+      if (has_bias_) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < ncols; ++c) acc += grow[c];
+        DB[oc] += static_cast<float>(acc);
+      }
+    }
+    // dcols[r, c] = sum_oc W[oc, r] * gb[oc, c]
+    std::memset(dcols.data(), 0, dcols.size() * sizeof(float));
+    for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* grow = gb + oc * ncols;
+      const float* wrow = W + oc * krows;
+      for (std::size_t r = 0; r < krows; ++r) {
+        const float wv = wrow[r];
+        if (wv == 0.0f) continue;
+        float* drow = dcols.data() + r * ncols;
+        for (std::size_t c = 0; c < ncols; ++c) drow[c] += wv * grow[c];
+      }
+    }
+    col2im(dcols.data(), in_c_, h, w, k_, k_, stride_, pad_, DX + b * in_c_ * h * w);
+  }
+  return dx;
+}
+
+std::vector<Parameter*> Conv2d::parameters() {
+  if (has_bias_) return {&w_, &b_};
+  return {&w_};
+}
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,44 @@
+// 2-D convolution via im2col + GEMM, with full backward (dW, db, dx).
+// Input layout is NCHW; weight layout is [out_c, in_c, kh, kw].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::nn {
+
+/// Unfold input [C, H, W] into columns [C*kh*kw, out_h*out_w].
+void im2col(const float* input, std::size_t channels, std::size_t height, std::size_t width,
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* columns);
+
+/// Fold columns back into an input-shaped gradient (accumulates).
+void col2im(const float* columns, std::size_t channels, std::size_t height, std::size_t width,
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* input);
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride, std::size_t pad, util::Rng& rng, bool bias = false);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Conv2d"; }
+
+  std::size_t in_channels() const { return in_c_; }
+  std::size_t out_channels() const { return out_c_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t padding() const { return pad_; }
+
+  /// Output spatial size for a given input size.
+  std::size_t out_size(std::size_t in) const { return (in + 2 * pad_ - k_) / stride_ + 1; }
+
+ private:
+  std::size_t in_c_, out_c_, k_, stride_, pad_;
+  bool has_bias_;
+  Parameter w_, b_;
+  Tensor cached_input_;
+};
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,19 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace hdczsc::nn {
+
+void kaiming_normal(tensor::Tensor& w, std::size_t fan_in, util::Rng& rng) {
+  const float std = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.normal(0.0, std));
+}
+
+void xavier_uniform(tensor::Tensor& w, std::size_t fan_in, std::size_t fan_out, util::Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+}  // namespace hdczsc::nn

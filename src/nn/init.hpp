@@ -1,0 +1,16 @@
+// Weight initialization schemes (Kaiming/He for conv+ReLU stacks,
+// Xavier/Glorot for linear projections).
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::nn {
+
+/// He-normal: N(0, sqrt(2 / fan_in)).
+void kaiming_normal(tensor::Tensor& w, std::size_t fan_in, util::Rng& rng);
+
+/// Glorot-uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+void xavier_uniform(tensor::Tensor& w, std::size_t fan_in, std::size_t fan_out, util::Rng& rng);
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,66 @@
+// Layer abstraction with explicit forward/backward (define-by-layer
+// backpropagation, the style of classic C++ DNN frameworks).
+//
+// Each layer caches what it needs during forward(train=true) and consumes
+// the cache in backward(). Parameters accumulate gradients; optimizers
+// consume Parameter::grad and the trainer zeroes them between steps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+  std::string name;
+  bool requires_grad = true;
+
+  explicit Parameter(Tensor v = {}, std::string n = "")
+      : value(std::move(v)), grad(value.shape()), name(std::move(n)) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. When `train` is true the layer caches activations for
+  /// backward() and uses batch statistics (BatchNorm) / active dropout.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward pass: takes dL/d(output), accumulates parameter grads,
+  /// returns dL/d(input). Must be preceded by forward(train=true).
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// All learnable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Freeze/unfreeze: frozen layers still backprop input grads but their
+  /// parameters are marked requires_grad=false so optimizers skip them.
+  void set_frozen(bool frozen) {
+    for (Parameter* p : parameters()) p->requires_grad = !frozen;
+  }
+
+  /// Total parameter element count.
+  std::size_t parameter_count() {
+    std::size_t n = 0;
+    for (Parameter* p : parameters()) n += p->value.numel();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,31 @@
+// Fully connected layer: y = x W^T + b, x [B, in], W [out, in], b [out].
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::nn {
+
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Linear"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+  bool has_bias() const { return has_bias_; }
+
+ private:
+  std::size_t in_, out_;
+  bool has_bias_;
+  Parameter w_, b_;
+  Tensor cached_input_;
+};
+
+}  // namespace hdczsc::nn

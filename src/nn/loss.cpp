@@ -1,0 +1,94 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace hdczsc::nn {
+
+LossResult cross_entropy(const Tensor& logits, const std::vector<std::size_t>& targets) {
+  if (logits.dim() != 2)
+    throw std::invalid_argument("cross_entropy: logits must be [B, C]");
+  const std::size_t batch = logits.size(0), classes = logits.size(1);
+  if (targets.size() != batch)
+    throw std::invalid_argument("cross_entropy: target count mismatch");
+
+  Tensor log_probs = tensor::log_softmax_rows(logits);
+  LossResult res;
+  res.grad_logits = tensor::softmax_rows(logits);
+  double loss = 0.0;
+  float* G = res.grad_logits.data();
+  const float* LP = log_probs.data();
+  const float inv_b = 1.0f / static_cast<float>(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t t = targets[i];
+    if (t >= classes) throw std::out_of_range("cross_entropy: target class out of range");
+    loss -= LP[i * classes + t];
+    G[i * classes + t] -= 1.0f;
+  }
+  res.grad_logits.scale(inv_b);
+  res.value = static_cast<float>(loss / static_cast<double>(batch));
+  return res;
+}
+
+LossResult weighted_bce_with_logits(const Tensor& logits, const Tensor& targets,
+                                    const Tensor& pos_weight) {
+  if (logits.shape() != targets.shape())
+    throw std::invalid_argument("weighted_bce_with_logits: shape mismatch " +
+                                tensor::shape_str(logits.shape()) + " vs " +
+                                tensor::shape_str(targets.shape()));
+  if (logits.dim() != 2)
+    throw std::invalid_argument("weighted_bce_with_logits: logits must be [B, A]");
+  const std::size_t batch = logits.size(0), attrs = logits.size(1);
+  const bool weighted = !pos_weight.empty();
+  if (weighted && (pos_weight.dim() != 1 || pos_weight.size(0) != attrs))
+    throw std::invalid_argument("weighted_bce_with_logits: pos_weight must be [A]");
+
+  LossResult res;
+  res.grad_logits = Tensor(logits.shape());
+  const float* X = logits.data();
+  const float* T = targets.data();
+  const float* W = weighted ? pos_weight.data() : nullptr;
+  float* G = res.grad_logits.data();
+
+  double loss = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(batch * attrs);
+  for (std::size_t i = 0; i < batch; ++i) {
+    for (std::size_t j = 0; j < attrs; ++j) {
+      const std::size_t idx = i * attrs + j;
+      const double x = X[idx];
+      const double t = T[idx];
+      const double w = W ? W[j] : 1.0;
+      // Numerically stable BCE-with-logits:
+      //   l = w*t*softplus(-x) + (1-t)*softplus(x)
+      const double sp_neg = x > 0 ? std::log1p(std::exp(-x)) : -x + std::log1p(std::exp(x));
+      const double sp_pos = x > 0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+      loss += w * t * sp_neg + (1.0 - t) * sp_pos;
+      const double sig = 1.0 / (1.0 + std::exp(-x));
+      // d/dx: w*t*(sig-1) + (1-t)*sig
+      G[idx] = static_cast<float>((w * t * (sig - 1.0) + (1.0 - t) * sig) * inv_n);
+    }
+  }
+  res.value = static_cast<float>(loss * inv_n);
+  return res;
+}
+
+Tensor bce_pos_weights_from_targets(const Tensor& targets, float min_w, float max_w) {
+  if (targets.dim() != 2)
+    throw std::invalid_argument("bce_pos_weights_from_targets: targets must be [N, A]");
+  const std::size_t n = targets.size(0), attrs = targets.size(1);
+  Tensor w({attrs});
+  const float* T = targets.data();
+  for (std::size_t j = 0; j < attrs; ++j) {
+    double pos = 0.0;
+    for (std::size_t i = 0; i < n; ++i) pos += T[i * attrs + j];
+    const double neg = static_cast<double>(n) - pos;
+    double ratio = pos > 0.0 ? neg / pos : max_w;
+    if (ratio < min_w) ratio = min_w;
+    if (ratio > max_w) ratio = max_w;
+    w[j] = static_cast<float>(ratio);
+  }
+  return w;
+}
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,37 @@
+// Loss functions used across the three training phases (Fig. 2 of the
+// paper): cross-entropy for phase-I pre-training and phase-III ZSC, and
+// weighted binary cross-entropy with logits for phase-II attribute
+// extraction (compensating the strong inactive-attribute class imbalance).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::nn {
+
+using tensor::Tensor;
+
+/// Value + gradient with respect to the logits.
+struct LossResult {
+  float value = 0.0f;
+  Tensor grad_logits;
+};
+
+/// Mean cross-entropy over the batch. logits [B, C]; targets one class id
+/// per row.
+LossResult cross_entropy(const Tensor& logits, const std::vector<std::size_t>& targets);
+
+/// Mean weighted BCE-with-logits. logits/targets [B, A] with targets in
+/// {0, 1} (soft targets allowed). `pos_weight` ([A], optional empty) scales
+/// the positive term per attribute, the standard remedy for the CUB
+/// attribute imbalance described in §III-A.
+LossResult weighted_bce_with_logits(const Tensor& logits, const Tensor& targets,
+                                    const Tensor& pos_weight = {});
+
+/// Compute per-attribute positive weights from a target matrix: neg/pos
+/// frequency ratio, clamped to [min_w, max_w].
+Tensor bce_pos_weights_from_targets(const Tensor& targets, float min_w = 0.5f,
+                                    float max_w = 20.0f);
+
+}  // namespace hdczsc::nn

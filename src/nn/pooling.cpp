@@ -1,0 +1,109 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+namespace hdczsc::nn {
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  if (x.dim() != 4)
+    throw std::invalid_argument("MaxPool2d::forward: expected NCHW, got " +
+                                tensor::shape_str(x.shape()));
+  const std::size_t batch = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const std::size_t oh = (h - k_) / stride_ + 1;
+  const std::size_t ow = (w - k_) / stride_ + 1;
+  Tensor out({batch, c, oh, ow});
+  if (train) {
+    cached_in_shape_ = x.shape();
+    argmax_.assign(out.numel(), 0);
+  }
+  const float* X = x.data();
+  float* O = out.data();
+  std::size_t oidx = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = X + (b * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ki = 0; ki < k_; ++ki) {
+            for (std::size_t kj = 0; kj < k_; ++kj) {
+              const std::size_t iy = oy * stride_ + ki;
+              const std::size_t ix = ox * stride_ + kj;
+              const std::size_t idx = iy * w + ix;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = (b * c + ch) * h * w + idx;
+              }
+            }
+          }
+          O[oidx] = best;
+          if (train) argmax_[oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error("MaxPool2d::backward before forward(train)");
+  Tensor dx(cached_in_shape_);
+  float* D = dx.data();
+  const float* G = grad_out.data();
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) D[argmax_[i]] += G[i];
+  return dx;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  if (x.dim() != 4)
+    throw std::invalid_argument("GlobalAvgPool::forward: expected NCHW, got " +
+                                tensor::shape_str(x.shape()));
+  const std::size_t batch = x.size(0), c = x.size(1), spatial = x.size(2) * x.size(3);
+  if (train) cached_in_shape_ = x.shape();
+  Tensor out({batch, c});
+  const float* X = x.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* p = X + (b * c + ch) * spatial;
+      double s = 0.0;
+      for (std::size_t i = 0; i < spatial; ++i) s += p[i];
+      out[b * c + ch] = static_cast<float>(s / static_cast<double>(spatial));
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty())
+    throw std::logic_error("GlobalAvgPool::backward before forward(train)");
+  const std::size_t batch = cached_in_shape_[0], c = cached_in_shape_[1],
+                    spatial = cached_in_shape_[2] * cached_in_shape_[3];
+  Tensor dx(cached_in_shape_);
+  float* D = dx.data();
+  const float* G = grad_out.data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (std::size_t b = 0; b < batch; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = G[b * c + ch] * inv;
+      float* p = D + (b * c + ch) * spatial;
+      for (std::size_t i = 0; i < spatial; ++i) p[i] = g;
+    }
+  return dx;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  if (x.dim() < 2)
+    throw std::invalid_argument("Flatten::forward: expected batch dim, got " +
+                                tensor::shape_str(x.shape()));
+  if (train) cached_in_shape_ = x.shape();
+  return x.reshape({x.size(0), x.numel() / x.size(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (cached_in_shape_.empty()) throw std::logic_error("Flatten::backward before forward(train)");
+  return grad_out.reshape(cached_in_shape_);
+}
+
+}  // namespace hdczsc::nn

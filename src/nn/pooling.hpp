@@ -1,0 +1,43 @@
+// Spatial pooling layers over NCHW maps, plus Flatten.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hdczsc::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t kernel, std::size_t stride) : k_(kernel), stride_(stride) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t k_, stride_;
+  Shape cached_in_shape_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+};
+
+/// Global average pooling: [B,C,H,W] -> [B,C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+/// Flatten [B, ...] -> [B, prod(...)]. Shape bookkeeping only.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace hdczsc::nn

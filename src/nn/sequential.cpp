@@ -1,0 +1,26 @@
+#include "nn/sequential.hpp"
+
+namespace hdczsc::nn {
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    auto ps = layer->parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,36 @@
+// Sequential container: owns a list of layers, forwards/backwards through
+// them in order, and aggregates their parameters.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace hdczsc::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer (takes ownership); returns a typed handle to it.
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void push_back(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Parameter*> parameters() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& operator[](std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace hdczsc::nn

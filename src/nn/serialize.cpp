@@ -1,0 +1,85 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "tensor/serialize.hpp"
+
+namespace hdczsc::nn {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("nn::serialize: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  if (n > (1u << 20)) throw std::runtime_error("nn::serialize: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("nn::serialize: truncated stream");
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(std::ostream& os, const std::vector<Parameter*>& params) {
+  write_pod<std::uint64_t>(os, params.size());
+  for (const Parameter* p : params) {
+    write_string(os, p->name);
+    tensor::save_tensor(os, p->value);
+  }
+}
+
+void load_parameters(std::istream& is, const std::vector<Parameter*>& params) {
+  const auto count = read_pod<std::uint64_t>(is);
+  if (count != params.size())
+    throw std::runtime_error("load_parameters: parameter count mismatch (file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(params.size()) + ")");
+  // Stage everything first so a failure cannot leave the model half-loaded.
+  std::vector<tensor::Tensor> staged;
+  staged.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const std::string name = read_string(is);
+    if (name != params[i]->name)
+      throw std::runtime_error("load_parameters: name mismatch at index " +
+                               std::to_string(i) + " (file '" + name + "', model '" +
+                               params[i]->name + "')");
+    tensor::Tensor t = tensor::load_tensor(is);
+    if (t.shape() != params[i]->value.shape())
+      throw std::runtime_error("load_parameters: shape mismatch for '" + name + "'");
+    staged.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = staged[i];
+}
+
+void save_parameters_file(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_parameters_file: cannot open " + path);
+  save_parameters(f, params);
+}
+
+void load_parameters_file(const std::string& path, const std::vector<Parameter*>& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_parameters_file: cannot open " + path);
+  load_parameters(f, params);
+}
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,25 @@
+// Checkpointing for layer stacks: save/load every Parameter of a model by
+// (order, name, shape) — used to cache the phase-I/II matured image encoder
+// between experiments, mirroring how the paper reuses its pre-trained
+// backbone across phases.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hdczsc::nn {
+
+/// Save parameters as a count-prefixed sequence of (name, tensor) records.
+void save_parameters(std::ostream& os, const std::vector<Parameter*>& params);
+void save_parameters_file(const std::string& path, const std::vector<Parameter*>& params);
+
+/// Load parameters back into the same layer stack. Count, order, names and
+/// shapes must match exactly (same architecture); otherwise throws and
+/// leaves the model untouched.
+void load_parameters(std::istream& is, const std::vector<Parameter*>& params);
+void load_parameters_file(const std::string& path, const std::vector<Parameter*>& params);
+
+}  // namespace hdczsc::nn

@@ -1,0 +1,72 @@
+// First-order optimizers over a flat parameter list. AdamW implements the
+// decoupled weight decay of Loshchilov & Hutter (the paper's optimizer);
+// SGD(+momentum) and Adam are provided for baselines and ablations.
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace hdczsc::optim {
+
+using nn::Parameter;
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update using the accumulated gradients. Parameters with
+  /// requires_grad == false are skipped (frozen modules).
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (Parameter* p : params_) p->zero_grad();
+  }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  /// Global L2 gradient-norm clipping; returns the pre-clip norm.
+  float clip_grad_norm(float max_norm);
+
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+ protected:
+  float beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<tensor::Tensor> m_, v_;
+  bool decoupled_decay_ = false;
+};
+
+/// AdamW: Adam with decoupled weight decay (the paper's optimizer, default
+/// PyTorch hyper-parameters beta=(0.9,0.999), eps=1e-8).
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Parameter*> params, float lr, float weight_decay = 1e-2f,
+        float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+};
+
+}  // namespace hdczsc::optim

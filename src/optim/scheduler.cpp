@@ -1,0 +1,21 @@
+#include "optim/scheduler.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hdczsc::optim {
+
+float CosineAnnealingLR::lr_at(long t) const {
+  if (t_max_ <= 0) return base_lr_;
+  if (t > t_max_) t = t_max_;
+  const double cosv = std::cos(std::numbers::pi * static_cast<double>(t) /
+                               static_cast<double>(t_max_));
+  return eta_min_ + 0.5f * (base_lr_ - eta_min_) * static_cast<float>(1.0 + cosv);
+}
+
+float StepLR::lr_at(long t) const {
+  const long k = step_size_ > 0 ? t / step_size_ : 0;
+  return base_lr_ * std::pow(gamma_, static_cast<float>(k));
+}
+
+}  // namespace hdczsc::optim

@@ -1,0 +1,53 @@
+// Learning-rate schedules. CosineAnnealingLR follows SGDR (Loshchilov &
+// Hutter 2016) without restarts — the paper's scheduler.
+#pragma once
+
+#include "optim/optimizer.hpp"
+
+namespace hdczsc::optim {
+
+class LrScheduler {
+ public:
+  explicit LrScheduler(Optimizer& opt) : opt_(&opt), base_lr_(opt.lr()) {}
+  virtual ~LrScheduler() = default;
+
+  /// Advance one epoch (or step, caller's choice of granularity).
+  void step() {
+    ++t_;
+    opt_->set_lr(lr_at(t_));
+  }
+
+  virtual float lr_at(long t) const = 0;
+  long current_step() const { return t_; }
+
+ protected:
+  Optimizer* opt_;
+  float base_lr_;
+  long t_ = 0;
+};
+
+/// eta_t = eta_min + 0.5 (eta_max - eta_min)(1 + cos(pi t / T_max)).
+class CosineAnnealingLR : public LrScheduler {
+ public:
+  CosineAnnealingLR(Optimizer& opt, long t_max, float eta_min = 0.0f)
+      : LrScheduler(opt), t_max_(t_max), eta_min_(eta_min) {}
+  float lr_at(long t) const override;
+
+ private:
+  long t_max_;
+  float eta_min_;
+};
+
+/// Multiply lr by gamma every `step_size` steps.
+class StepLR : public LrScheduler {
+ public:
+  StepLR(Optimizer& opt, long step_size, float gamma = 0.1f)
+      : LrScheduler(opt), step_size_(step_size), gamma_(gamma) {}
+  float lr_at(long t) const override;
+
+ private:
+  long step_size_;
+  float gamma_;
+};
+
+}  // namespace hdczsc::optim

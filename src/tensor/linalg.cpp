@@ -1,0 +1,124 @@
+#include "tensor/linalg.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace hdczsc::tensor {
+
+namespace {
+void check_square(const Tensor& a, const char* op) {
+  if (a.dim() != 2 || a.size(0) != a.size(1))
+    throw std::invalid_argument(std::string(op) + ": expected square matrix, got " +
+                                shape_str(a.shape()));
+}
+}  // namespace
+
+Tensor cholesky(const Tensor& a) {
+  check_square(a, "cholesky");
+  const std::size_t n = a.size(0);
+  Tensor l({n, n});
+  const float* A = a.data();
+  float* L = l.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = A[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= static_cast<double>(L[i * n + k]) * L[j * n + k];
+      if (i == j) {
+        if (s <= 0.0) throw std::domain_error("cholesky: matrix not positive definite");
+        L[i * n + j] = static_cast<float>(std::sqrt(s));
+      } else {
+        L[i * n + j] = static_cast<float>(s / L[j * n + j]);
+      }
+    }
+  }
+  return l;
+}
+
+Tensor solve_spd(const Tensor& a, const Tensor& b) {
+  check_square(a, "solve_spd");
+  if (b.dim() != 2 || b.size(0) != a.size(0))
+    throw std::invalid_argument("solve_spd: rhs shape " + shape_str(b.shape()) +
+                                " incompatible with " + shape_str(a.shape()));
+  const std::size_t n = a.size(0), m = b.size(1);
+  Tensor l = cholesky(a);
+  const float* L = l.data();
+  // Forward substitution: L Y = B.
+  Tensor y = b.clone();
+  float* Y = y.data();
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = Y[i * m + c];
+      for (std::size_t k = 0; k < i; ++k) s -= static_cast<double>(L[i * n + k]) * Y[k * m + c];
+      Y[i * m + c] = static_cast<float>(s / L[i * n + i]);
+    }
+  }
+  // Back substitution: L^T X = Y.
+  Tensor x = y.clone();
+  float* X = x.data();
+  for (std::size_t c = 0; c < m; ++c) {
+    for (std::size_t ii = n; ii > 0; --ii) {
+      const std::size_t i = ii - 1;
+      double s = X[i * m + c];
+      for (std::size_t k = i + 1; k < n; ++k)
+        s -= static_cast<double>(L[k * n + i]) * X[k * m + c];
+      X[i * m + c] = static_cast<float>(s / L[i * n + i]);
+    }
+  }
+  return x;
+}
+
+Tensor solve(const Tensor& a, const Tensor& b) {
+  check_square(a, "solve");
+  if (b.dim() != 2 || b.size(0) != a.size(0))
+    throw std::invalid_argument("solve: rhs shape " + shape_str(b.shape()) +
+                                " incompatible with " + shape_str(a.shape()));
+  const std::size_t n = a.size(0), m = b.size(1);
+  Tensor aug = a.clone();
+  Tensor rhs = b.clone();
+  float* A = aug.data();
+  float* B = rhs.data();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    float best = std::abs(A[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const float v = std::abs(A[r * n + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-12f) throw std::domain_error("solve: singular matrix");
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(A[piv * n + j], A[col * n + j]);
+      for (std::size_t j = 0; j < m; ++j) std::swap(B[piv * m + j], B[col * m + j]);
+    }
+    const float inv = 1.0f / A[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const float f = A[r * n + col] * inv;
+      if (f == 0.0f) continue;
+      for (std::size_t j = col; j < n; ++j) A[r * n + j] -= f * A[col * n + j];
+      for (std::size_t j = 0; j < m; ++j) B[r * m + j] -= f * B[col * m + j];
+    }
+  }
+  // Back substitution.
+  Tensor x({n, m});
+  float* X = x.data();
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = B[i * m + j];
+      for (std::size_t k = i + 1; k < n; ++k) s -= static_cast<double>(A[i * n + k]) * X[k * m + j];
+      X[i * m + j] = static_cast<float>(s / A[i * n + i]);
+    }
+  }
+  return x;
+}
+
+Tensor inverse(const Tensor& a) {
+  check_square(a, "inverse");
+  return solve(a, Tensor::eye(a.size(0)));
+}
+
+}  // namespace hdczsc::tensor

@@ -1,0 +1,25 @@
+// Dense linear algebra needed by the ESZSL baseline's closed-form solution:
+// symmetric positive-definite solves (Cholesky) and general inversion
+// (Gauss-Jordan with partial pivoting).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::tensor {
+
+/// Cholesky factor L (lower triangular) of an SPD matrix A = L L^T.
+/// Throws std::domain_error if A is not positive definite.
+Tensor cholesky(const Tensor& a);
+
+/// Solve A X = B for SPD A [n,n] and B [n,m] via Cholesky.
+Tensor solve_spd(const Tensor& a, const Tensor& b);
+
+/// General matrix inverse via Gauss-Jordan with partial pivoting.
+/// Throws std::domain_error on (numerically) singular input.
+Tensor inverse(const Tensor& a);
+
+/// Solve the general system A X = B via Gauss elimination with partial
+/// pivoting (A [n,n], B [n,m]).
+Tensor solve(const Tensor& a, const Tensor& b);
+
+}  // namespace hdczsc::tensor

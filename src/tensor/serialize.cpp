@@ -1,0 +1,92 @@
+#include "tensor/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace hdczsc::tensor {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'C', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("serialize: truncated stream");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint32_t>(is);
+  if (n > (1u << 20)) throw std::runtime_error("serialize: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("serialize: truncated stream");
+  return s;
+}
+
+}  // namespace
+
+void save_tensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, 4);
+  write_pod(os, kVersion);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.dim()));
+  for (std::size_t d = 0; d < t.dim(); ++d)
+    write_pod<std::uint64_t>(os, t.size(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!os) throw std::runtime_error("save_tensor: write failed");
+}
+
+Tensor load_tensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("load_tensor: bad magic");
+  const auto version = read_pod<std::uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("load_tensor: unsupported version " + std::to_string(version));
+  const auto rank = read_pod<std::uint32_t>(is);
+  if (rank > 8) throw std::runtime_error("load_tensor: implausible rank");
+  if (rank == 0) return Tensor();  // empty tensor (rank-0 record carries no data)
+  Shape shape(rank);
+  std::size_t numel = 1;
+  for (auto& d : shape) {
+    d = static_cast<std::size_t>(read_pod<std::uint64_t>(is));
+    numel *= d;
+  }
+  if (numel > (std::size_t{1} << 31))
+    throw std::runtime_error("load_tensor: implausible element count");
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  if (!is) throw std::runtime_error("load_tensor: truncated data");
+  return t;
+}
+
+void save_tensor_file(const std::string& path, const Tensor& t) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_tensor_file: cannot open " + path);
+  save_tensor(f, t);
+}
+
+Tensor load_tensor_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_tensor_file: cannot open " + path);
+  return load_tensor(f);
+}
+
+}  // namespace hdczsc::tensor

@@ -1,0 +1,26 @@
+// Binary tensor / parameter-set serialization for checkpointing trained
+// models (e.g., caching the phase-I/II matured image encoder between
+// experiments, as the paper reuses its ImageNet-pretrained backbone).
+//
+// Format: magic "HDCT", u32 version, u32 rank, u64 dims..., f32 data
+// (little-endian, the only platform this targets). Parameter sets are a
+// count-prefixed sequence of (name, tensor) records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::tensor {
+
+/// Write one tensor to a stream / file.
+void save_tensor(std::ostream& os, const Tensor& t);
+void save_tensor_file(const std::string& path, const Tensor& t);
+
+/// Read one tensor back. Throws std::runtime_error on malformed input.
+Tensor load_tensor(std::istream& is);
+Tensor load_tensor_file(const std::string& path);
+
+}  // namespace hdczsc::tensor

@@ -1,0 +1,180 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace hdczsc::tensor {
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream oss;
+  oss << '[';
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    oss << s[i];
+    if (i + 1 < s.size()) oss << ", ";
+  }
+  oss << ']';
+  return oss.str();
+}
+
+namespace {
+std::size_t product(const Shape& s) {
+  std::size_t p = 1;
+  for (auto d : s) p *= d;
+  return p;
+}
+}  // namespace
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      numel_(product(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)),
+      numel_(product(shape_)),
+      storage_(std::make_shared<std::vector<float>>(numel_, fill)) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(product(shape_)) {
+  if (values.size() != numel_)
+    throw std::invalid_argument("Tensor: value count " + std::to_string(values.size()) +
+                                " does not match shape " + shape_str(shape_));
+  storage_ = std::make_shared<std::vector<float>>(std::move(values));
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::rademacher(Shape shape, util::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.rademacher());
+  return t;
+}
+
+Tensor Tensor::eye(std::size_t n) {
+  Tensor t({n, n});
+  for (std::size_t i = 0; i < n; ++i) t[i * n + i] = 1.0f;
+  return t;
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  Shape s{values.size()};
+  return Tensor(std::move(s), std::move(values));
+}
+
+std::size_t Tensor::size(std::size_t axis) const {
+  if (axis >= shape_.size())
+    throw std::invalid_argument("Tensor::size: axis " + std::to_string(axis) +
+                                " out of range for shape " + shape_str(shape_));
+  return shape_[axis];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  check_shape_product(new_shape, numel_);
+  Tensor view;
+  view.shape_ = std::move(new_shape);
+  view.numel_ = numel_;
+  view.storage_ = storage_;
+  return view;
+}
+
+Tensor Tensor::clone() const {
+  Tensor copy;
+  copy.shape_ = shape_;
+  copy.numel_ = numel_;
+  copy.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return copy;
+}
+
+void Tensor::check_shape_product(const Shape& s, std::size_t expect) const {
+  if (product(s) != expect)
+    throw std::invalid_argument("Tensor::reshape: cannot view " + shape_str(shape_) + " as " +
+                                shape_str(s));
+}
+
+float& Tensor::at(std::size_t i) {
+  if (dim() != 1 || i >= shape_[0])
+    throw std::out_of_range("Tensor::at(i): bad index for shape " + shape_str(shape_));
+  return (*storage_)[i];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  if (dim() != 2 || i >= shape_[0] || j >= shape_[1])
+    throw std::out_of_range("Tensor::at(i,j): bad index for shape " + shape_str(shape_));
+  return (*storage_)[i * shape_[1] + j];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k) {
+  if (dim() != 3 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2])
+    throw std::out_of_range("Tensor::at(i,j,k): bad index for shape " + shape_str(shape_));
+  return (*storage_)[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+  if (dim() != 4 || i >= shape_[0] || j >= shape_[1] || k >= shape_[2] || l >= shape_[3])
+    throw std::out_of_range("Tensor::at(i,j,k,l): bad index for shape " + shape_str(shape_));
+  return (*storage_)[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : *storage_) x = v;
+}
+
+void Tensor::add_scaled(const Tensor& other, float alpha) {
+  if (other.numel() != numel_)
+    throw std::invalid_argument("Tensor::add_scaled: shape mismatch " + shape_str(shape_) +
+                                " vs " + shape_str(other.shape_));
+  const float* src = other.data();
+  float* dst = data();
+  for (std::size_t i = 0; i < numel_; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (auto& x : *storage_) x *= alpha;
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < numel_; ++i) s += (*storage_)[i];
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const { return numel_ == 0 ? 0.0f : sum() / static_cast<float>(numel_); }
+
+float Tensor::min() const {
+  if (numel_ == 0) throw std::logic_error("Tensor::min on empty tensor");
+  float m = (*storage_)[0];
+  for (std::size_t i = 1; i < numel_; ++i) m = std::min(m, (*storage_)[i]);
+  return m;
+}
+
+float Tensor::max() const {
+  if (numel_ == 0) throw std::logic_error("Tensor::max on empty tensor");
+  float m = (*storage_)[0];
+  for (std::size_t i = 1; i < numel_; ++i) m = std::max(m, (*storage_)[i]);
+  return m;
+}
+
+float Tensor::norm() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < numel_; ++i) {
+    double v = (*storage_)[i];
+    s += v * v;
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+}  // namespace hdczsc::tensor

@@ -1,0 +1,114 @@
+// A minimal dense float32 tensor with value-style API and shared storage.
+//
+// Design notes:
+//  * Storage is contiguous row-major; `reshape` returns a view sharing the
+//    same buffer, `clone` deep-copies.
+//  * Copying a Tensor is cheap (shared_ptr bump); mutation through any copy
+//    is visible to all copies — call clone() when isolation is needed.
+//    This mirrors the semantics of the frameworks the paper's code uses.
+//  * All shape errors throw std::invalid_argument with a diagnostic message.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hdczsc::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+/// Render a shape as "[2, 3, 4]" for error messages.
+std::string shape_str(const Shape& s);
+
+class Tensor {
+ public:
+  /// Empty tensor (numel == 0, dim == 0).
+  Tensor() : storage_(std::make_shared<std::vector<float>>()) {}
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  /// From explicit values (size must match shape product).
+  Tensor(Shape shape, std::vector<float> values);
+
+  // -- factories ------------------------------------------------------------
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor ones(Shape shape) { return Tensor(std::move(shape), 1.0f); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+  /// i.i.d. N(mean, stddev^2).
+  static Tensor randn(Shape shape, util::Rng& rng, float mean = 0.0f, float stddev = 1.0f);
+  /// i.i.d. U[lo, hi).
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo = 0.0f, float hi = 1.0f);
+  /// i.i.d. Rademacher (+1/-1).
+  static Tensor rademacher(Shape shape, util::Rng& rng);
+  /// Identity matrix [n, n].
+  static Tensor eye(std::size_t n);
+  /// 1-D tensor from values.
+  static Tensor from_vector(std::vector<float> values);
+
+  // -- shape ----------------------------------------------------------------
+  const Shape& shape() const { return shape_; }
+  std::size_t dim() const { return shape_.size(); }
+  std::size_t size(std::size_t axis) const;
+  std::size_t numel() const { return numel_; }
+  bool empty() const { return numel_ == 0; }
+
+  /// View with a new shape (same storage; product must match numel).
+  /// A single `-1`-like wildcard is not supported; shapes are explicit.
+  Tensor reshape(Shape new_shape) const;
+  /// Deep copy.
+  Tensor clone() const;
+  /// Whether two tensors share storage.
+  bool shares_storage(const Tensor& other) const { return storage_ == other.storage_; }
+
+  // -- element access -------------------------------------------------------
+  float* data() { return storage_->data(); }
+  const float* data() const { return storage_->data(); }
+
+  float& operator[](std::size_t i) { return (*storage_)[i]; }
+  float operator[](std::size_t i) const { return (*storage_)[i]; }
+
+  /// Bounds-checked multi-index access (up to 4 indices).
+  float& at(std::size_t i);
+  float& at(std::size_t i, std::size_t j);
+  float& at(std::size_t i, std::size_t j, std::size_t k);
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l);
+  float at(std::size_t i) const { return const_cast<Tensor*>(this)->at(i); }
+  float at(std::size_t i, std::size_t j) const { return const_cast<Tensor*>(this)->at(i, j); }
+  float at(std::size_t i, std::size_t j, std::size_t k) const {
+    return const_cast<Tensor*>(this)->at(i, j, k);
+  }
+  float at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    return const_cast<Tensor*>(this)->at(i, j, k, l);
+  }
+
+  // -- in-place helpers -------------------------------------------------------
+  void fill(float v);
+  void zero() { fill(0.0f); }
+  /// this += alpha * other (shapes must match).
+  void add_scaled(const Tensor& other, float alpha);
+  /// this *= alpha.
+  void scale(float alpha);
+
+  // -- reductions -------------------------------------------------------------
+  float sum() const;
+  float mean() const;
+  float min() const;
+  float max() const;
+  /// L2 norm of the flattened tensor.
+  float norm() const;
+
+ private:
+  void check_shape_product(const Shape& s, std::size_t expect) const;
+
+  Shape shape_;
+  std::size_t numel_ = 0;
+  std::shared_ptr<std::vector<float>> storage_;
+};
+
+}  // namespace hdczsc::tensor

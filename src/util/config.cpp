@@ -1,0 +1,48 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+
+namespace hdczsc::util {
+
+ArgMap::ArgMap(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      kv_[arg] = "1";
+    } else {
+      kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+std::optional<std::string> ArgMap::lookup(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgMap::get_str(const std::string& key, const std::string& fallback) const {
+  auto v = lookup(key);
+  return v ? *v : fallback;
+}
+
+long ArgMap::get_int(const std::string& key, long fallback) const {
+  auto v = lookup(key);
+  return v ? std::strtol(v->c_str(), nullptr, 10) : fallback;
+}
+
+double ArgMap::get_double(const std::string& key, double fallback) const {
+  auto v = lookup(key);
+  return v ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+bool ArgMap::get_bool(const std::string& key, bool fallback) const {
+  auto v = lookup(key);
+  if (!v) return fallback;
+  return *v == "1" || *v == "true" || *v == "yes" || *v == "on";
+}
+
+}  // namespace hdczsc::util

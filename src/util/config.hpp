@@ -1,0 +1,32 @@
+// Lightweight key=value configuration parsed from command-line arguments,
+// used by example and benchmark binaries ("--epochs=10 --seeds=3 ...").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace hdczsc::util {
+
+/// Parses `--key=value` (and bare `--flag` as "1") arguments.
+/// Unrecognized positional arguments are ignored.
+class ArgMap {
+ public:
+  ArgMap() = default;
+  ArgMap(int argc, char** argv);
+
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  std::string get_str(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Raw lookup.
+  std::optional<std::string> lookup(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace hdczsc::util

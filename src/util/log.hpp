@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr, controllable at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hdczsc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string format_args(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::format_args(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::format_args(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::format_args(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError)
+    log_message(LogLevel::kError, detail::format_args(std::forward<Args>(args)...));
+}
+
+}  // namespace hdczsc::util

@@ -1,0 +1,145 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hdczsc::util {
+
+namespace {
+
+std::size_t default_workers() {
+  if (const char* env = std::getenv("HDCZSC_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
+
+std::atomic<std::size_t> g_workers{0};  // 0 = use default
+
+/// A tiny persistent pool: tasks are chunk ranges handed out via an atomic
+/// counter. Created on first parallel use, torn down at exit.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::size_t begin, std::size_t end, std::size_t grain,
+           const std::function<void(std::size_t, std::size_t)>& fn,
+           std::size_t n_workers) {
+    std::unique_lock<std::mutex> guard(run_mutex_);
+    ensure_threads(n_workers - 1);  // caller participates too
+    begin_ = begin;
+    end_ = end;
+    grain_ = grain;
+    fn_ = &fn;
+    cursor_.store(begin, std::memory_order_relaxed);
+    active_.store(static_cast<int>(n_workers - 1), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++generation_;
+    }
+    cv_.notify_all();
+    work();  // caller thread joins the computation
+    // Wait for workers to finish this generation.
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [this] { return active_.load(std::memory_order_acquire) == 0; });
+    fn_ = nullptr;
+  }
+
+ private:
+  Pool() = default;
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void ensure_threads(std::size_t n) {
+    while (threads_.size() < n) {
+      threads_.emplace_back([this, my_gen = std::size_t{0}]() mutable {
+        for (;;) {
+          {
+            std::unique_lock<std::mutex> lk(mutex_);
+            cv_.wait(lk, [this, &my_gen] { return shutdown_ || generation_ != my_gen; });
+            if (shutdown_) return;
+            my_gen = generation_;
+          }
+          work();
+          if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lk(mutex_);
+            done_cv_.notify_all();
+          }
+        }
+      });
+    }
+  }
+
+  void work() {
+    const auto* fn = fn_;
+    if (!fn) return;
+    for (;;) {
+      std::size_t start = cursor_.fetch_add(grain_, std::memory_order_relaxed);
+      if (start >= end_) break;
+      std::size_t stop = std::min(end_, start + grain_);
+      (*fn)(start, stop);
+    }
+  }
+
+  std::mutex run_mutex_;  // serializes nested run() calls
+  std::mutex mutex_;
+  std::condition_variable cv_, done_cv_;
+  std::vector<std::thread> threads_;
+  std::size_t generation_ = 0;
+  bool shutdown_ = false;
+
+  std::size_t begin_ = 0, end_ = 0, grain_ = 1;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<int> active_{0};
+};
+
+}  // namespace
+
+std::size_t worker_count() {
+  std::size_t w = g_workers.load(std::memory_order_relaxed);
+  return w == 0 ? default_workers() : w;
+}
+
+void set_worker_count(std::size_t n) { g_workers.store(n, std::memory_order_relaxed); }
+
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = worker_count();
+  if (workers <= 1 || n < 2 * grain) {
+    fn(begin, end);
+    return;
+  }
+  Pool::instance().run(begin, end, grain, fn, workers);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn, std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      grain);
+}
+
+}  // namespace hdczsc::util

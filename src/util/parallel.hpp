@@ -1,0 +1,32 @@
+// Parallel-for over index ranges backed by a lazily created thread pool.
+//
+// On a single-core machine (or with HDCZSC_THREADS=1) everything runs
+// serially with zero overhead; on multi-core machines GEMM / convolution /
+// data synthesis fan out across workers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace hdczsc::util {
+
+/// Number of worker threads used by parallel_for. Defaults to the hardware
+/// concurrency, overridable via the HDCZSC_THREADS environment variable.
+std::size_t worker_count();
+
+/// Override the worker count programmatically (0 restores the default).
+void set_worker_count(std::size_t n);
+
+/// Invoke fn(i) for i in [begin, end), potentially in parallel.
+/// `grain` is the minimum number of iterations per task; ranges smaller than
+/// 2*grain run inline on the calling thread.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 64);
+
+/// Invoke fn(begin, end) on contiguous chunks of [begin, end).
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& fn,
+                         std::size_t grain = 64);
+
+}  // namespace hdczsc::util

@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hdczsc::util {
+
+void Table::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size())
+    throw std::invalid_argument("Table::add_row: row width " + std::to_string(row.size()) +
+                                " != header width " + std::to_string(header_.size()));
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << v;
+  return oss.str();
+}
+
+std::string Table::mu_sigma(double mu, double sigma, int precision) {
+  return num(mu, precision) + " ± " + num(sigma, precision);
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      oss << row[i];
+      if (i + 1 < row.size())
+        oss << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    oss << '\n';
+  };
+  if (!title_.empty()) oss << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    oss << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      oss << csv_escape(row[i]);
+      if (i + 1 < row.size()) oss << ',';
+    }
+    oss << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return oss.str();
+}
+
+void Table::print() const { std::fputs(to_text().c_str(), stdout); }
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("Table::write_csv: cannot open " + path);
+  f << to_csv();
+}
+
+}  // namespace hdczsc::util

@@ -1,0 +1,48 @@
+// Text table formatting for benchmark / experiment output.
+//
+// The benchmark harness reproduces the paper's tables; this helper renders
+// aligned plain-text and CSV so each bench binary prints rows matching the
+// paper's layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hdczsc::util {
+
+/// Column-aligned text table with an optional title, renderable as
+/// monospace text or CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row (defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width if a header is set.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  /// Format "mu ± sigma".
+  static std::string mu_sigma(double mu, double sigma, int precision = 2);
+
+  /// Render as aligned monospace text.
+  std::string to_text() const;
+  /// Render as CSV (RFC-4180 quoting for commas/quotes).
+  std::string to_csv() const;
+
+  /// Print the text rendering to stdout.
+  void print() const;
+  /// Write the CSV rendering to `path` (overwrites).
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hdczsc::util

@@ -1,0 +1,30 @@
+// Central finite-difference gradient checking for layers and kernels.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::testing {
+
+/// Numerically estimate dL/dx[i] for a scalar-valued function of a tensor.
+inline double numerical_grad(const std::function<double(const tensor::Tensor&)>& f,
+                             tensor::Tensor x, std::size_t i, double eps = 1e-3) {
+  const float orig = x[i];
+  x[i] = static_cast<float>(orig + eps);
+  const double up = f(x);
+  x[i] = static_cast<float>(orig - eps);
+  const double down = f(x);
+  x[i] = orig;
+  return (up - down) / (2.0 * eps);
+}
+
+/// Relative error between analytic and numerical gradient values, with an
+/// absolute floor so near-zero gradients do not blow up the ratio.
+inline double grad_rel_err(double analytic, double numeric) {
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace hdczsc::testing

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/attribute_space.hpp"
+
+namespace hdczsc {
+namespace {
+
+TEST(AttributeSpace, CubMatchesPaperCounts) {
+  // §III-A: G = 28 groups, V = 61 unique values, α = 312 combinations.
+  auto s = data::AttributeSpace::cub();
+  EXPECT_EQ(s.n_groups(), 28u);
+  EXPECT_EQ(s.n_values(), 61u);
+  EXPECT_EQ(s.n_attributes(), 312u);
+}
+
+TEST(AttributeSpace, CubGroupNamesMatchTableI) {
+  auto s = data::AttributeSpace::cub();
+  EXPECT_EQ(s.group(0).name, "bill shape");
+  EXPECT_EQ(s.group(1).name, "wing color");
+  EXPECT_EQ(s.group(18).name, "size");
+  EXPECT_EQ(s.group(27).name, "wing pattern");
+}
+
+TEST(AttributeSpace, CubGroupSizesMatchCub) {
+  auto s = data::AttributeSpace::cub();
+  EXPECT_EQ(s.group(0).value_ids.size(), 9u);    // bill shape
+  EXPECT_EQ(s.group(1).value_ids.size(), 15u);   // wing color
+  EXPECT_EQ(s.group(6).value_ids.size(), 6u);    // tail shape
+  EXPECT_EQ(s.group(8).value_ids.size(), 11u);   // head pattern
+  EXPECT_EQ(s.group(11).value_ids.size(), 14u);  // eye color
+  EXPECT_EQ(s.group(12).value_ids.size(), 3u);   // bill length
+  EXPECT_EQ(s.group(19).value_ids.size(), 14u);  // shape
+}
+
+TEST(AttributeSpace, OffsetsArePrefixSums) {
+  auto s = data::AttributeSpace::cub();
+  std::size_t expect = 0;
+  for (std::size_t g = 0; g < s.n_groups(); ++g) {
+    EXPECT_EQ(s.group(g).attr_offset, expect);
+    expect += s.group(g).value_ids.size();
+  }
+  EXPECT_EQ(expect, s.n_attributes());
+}
+
+TEST(AttributeSpace, FlatIndexRoundTrip) {
+  auto s = data::AttributeSpace::cub();
+  for (std::size_t g = 0; g < s.n_groups(); ++g) {
+    for (std::size_t k = 0; k < s.group(g).value_ids.size(); ++k) {
+      const std::size_t x = s.attribute_index(g, k);
+      EXPECT_EQ(s.group_of(x), g);
+      EXPECT_EQ(s.value_of(x), s.group(g).value_ids[k]);
+    }
+  }
+  EXPECT_THROW(s.group_of(312), std::out_of_range);
+  EXPECT_THROW(s.attribute_index(0, 99), std::out_of_range);
+}
+
+TEST(AttributeSpace, AllValueIdsValid) {
+  auto s = data::AttributeSpace::cub();
+  std::set<std::size_t> used;
+  for (std::size_t g = 0; g < s.n_groups(); ++g)
+    for (std::size_t v : s.group(g).value_ids) {
+      EXPECT_LT(v, s.n_values());
+      used.insert(v);
+    }
+  // Every value in the vocabulary is used by at least one group.
+  EXPECT_EQ(used.size(), s.n_values());
+}
+
+TEST(AttributeSpace, HdcPairsMatchStructure) {
+  auto s = data::AttributeSpace::cub();
+  auto pairs = s.hdc_pairs();
+  EXPECT_EQ(pairs.size(), 312u);
+  for (std::size_t x = 0; x < pairs.size(); ++x) {
+    EXPECT_EQ(pairs[x].group, s.group_of(x));
+    EXPECT_EQ(pairs[x].value, s.value_of(x));
+  }
+}
+
+TEST(AttributeSpace, MemoryReductionIsPaper71Percent) {
+  auto s = data::AttributeSpace::cub();
+  const double factored = static_cast<double>(s.n_groups() + s.n_values());
+  const double flat = static_cast<double>(s.n_attributes());
+  EXPECT_NEAR(100.0 * (1.0 - factored / flat), 71.0, 1.0);
+}
+
+TEST(AttributeSpace, ToySpaceIsConsistent) {
+  auto s = data::AttributeSpace::toy(4, 3, 6);
+  EXPECT_EQ(s.n_groups(), 4u);
+  EXPECT_EQ(s.n_attributes(), 12u);
+  EXPECT_THROW(data::AttributeSpace::toy(2, 9, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdczsc

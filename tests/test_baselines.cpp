@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/attribute_head.hpp"
+#include "baselines/eszsl.hpp"
+#include "baselines/feature_wgan.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using tensor::Tensor;
+
+/// Synthetic linear ZSL world: features are noisy linear images of class
+/// signatures, so a bilinear method must solve it nearly perfectly.
+struct LinearWorld {
+  Tensor seen_feats, unseen_feats;
+  std::vector<std::size_t> seen_labels, unseen_labels;
+  Tensor seen_sigs, unseen_sigs;
+
+  LinearWorld(std::size_t d, std::size_t alpha, std::size_t n_seen_cls,
+              std::size_t n_unseen_cls, std::size_t per_class, util::Rng& rng,
+              float noise = 0.02f) {
+    Tensor w = Tensor::randn({alpha, d}, rng);  // ground-truth map sig -> feat
+    // Zero-mean signatures keep class means well separated (uniform [0,1)
+    // signatures share a large common component and crowd together).
+    seen_sigs = Tensor::rand_uniform({n_seen_cls, alpha}, rng, -1.0f, 1.0f);
+    unseen_sigs = Tensor::rand_uniform({n_unseen_cls, alpha}, rng, -1.0f, 1.0f);
+    auto gen = [&](const Tensor& sigs, std::size_t cls_count, Tensor& feats,
+                   std::vector<std::size_t>& labels) {
+      feats = Tensor({cls_count * per_class, d});
+      labels.resize(cls_count * per_class);
+      Tensor mean = tensor::matmul(sigs, w);  // [C, d]
+      for (std::size_t c = 0; c < cls_count; ++c) {
+        for (std::size_t i = 0; i < per_class; ++i) {
+          const std::size_t row = c * per_class + i;
+          labels[row] = c;
+          for (std::size_t j = 0; j < d; ++j)
+            feats[row * d + j] = mean.at(c, j) + static_cast<float>(rng.normal(0.0, noise));
+        }
+      }
+    };
+    gen(seen_sigs, n_seen_cls, seen_feats, seen_labels);
+    gen(unseen_sigs, n_unseen_cls, unseen_feats, unseen_labels);
+  }
+};
+
+double top1(const Tensor& scores, const std::vector<std::size_t>& labels) {
+  auto preds = tensor::argmax_rows(scores);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    if (preds[i] == labels[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+TEST(Eszsl, SolvesLinearWorldOnUnseenClasses) {
+  // Generalizing the bilinear map to unseen classes requires the seen
+  // classes to span attribute space (n_seen >> alpha) — the same reason
+  // the paper trains on 150 of the 200 CUB classes. The ±1-regression
+  // surrogate does not reach the Bayes optimum even on an exactly linear
+  // world (close unseen signatures stay confusable), so the bar is
+  // "far above the 0.2 chance level", not perfection.
+  util::Rng rng(1);
+  LinearWorld world(16, 8, 30, 5, 12, rng, 0.01f);
+  baselines::Eszsl model({0.1f, 0.1f});
+  model.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  EXPECT_GT(top1(model.scores(world.unseen_feats, world.unseen_sigs),
+                 world.unseen_labels), 0.7);
+}
+
+TEST(Eszsl, ChanceLevelOnShuffledSignatures) {
+  util::Rng rng(2);
+  LinearWorld world(16, 8, 10, 5, 12, rng);
+  baselines::Eszsl model;
+  model.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  // Score unseen features against *random* signatures: accuracy collapses.
+  Tensor random_sigs = Tensor::rand_uniform({5, 8}, rng);
+  const double acc = top1(model.scores(world.unseen_feats, random_sigs),
+                          world.unseen_labels);
+  EXPECT_LT(acc, 0.6);
+}
+
+TEST(Eszsl, CompatibilityShapeAndParamCount) {
+  util::Rng rng(3);
+  LinearWorld world(12, 6, 8, 3, 6, rng);
+  baselines::Eszsl model;
+  model.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  EXPECT_EQ(model.compatibility().shape(), (tensor::Shape{12, 6}));
+  EXPECT_EQ(model.param_count(), 72u);
+}
+
+TEST(Eszsl, UnfittedScoresThrow) {
+  baselines::Eszsl model;
+  EXPECT_THROW(model.scores(Tensor({1, 2}), Tensor({1, 2})), std::logic_error);
+  EXPECT_THROW(model.fit(Tensor({4}), {0}, Tensor({1, 2})), std::invalid_argument);
+}
+
+TEST(Eszsl, RegularizationControlsNorm) {
+  util::Rng rng(4);
+  LinearWorld world(10, 5, 8, 2, 8, rng);
+  baselines::Eszsl weak({1e-3f, 1e-3f});
+  baselines::Eszsl strong({100.0f, 100.0f});
+  weak.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  strong.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  EXPECT_LT(strong.compatibility().norm(), weak.compatibility().norm());
+}
+
+TEST(FeatureWgan, GeneratesClassConditionedFeatures) {
+  util::Rng rng(5);
+  LinearWorld world(8, 4, 6, 3, 20, rng, 0.05f);
+  baselines::FeatureWganConfig cfg;
+  cfg.epochs = 30;
+  cfg.hidden = 32;
+  baselines::FeatureWgan gan(8, 4, cfg, rng);
+  gan.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  auto [syn, labels] = gan.generate(world.unseen_sigs, 5);
+  EXPECT_EQ(syn.shape(), (tensor::Shape{15, 8}));
+  EXPECT_EQ(labels.size(), 15u);
+  EXPECT_EQ(labels[0], 0u);
+  EXPECT_EQ(labels[14], 2u);
+}
+
+TEST(FeatureWgan, ZslBeatsChanceOnLinearWorld) {
+  util::Rng rng(6);
+  LinearWorld world(8, 4, 16, 4, 30, rng, 0.05f);
+  baselines::FeatureWganConfig cfg;
+  cfg.epochs = 60;
+  cfg.hidden = 48;
+  cfg.n_syn_per_class = 60;
+  baselines::FeatureWgan gan(8, 4, cfg, rng);
+  gan.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  const double acc = gan.zsl_top1(world.unseen_feats, world.unseen_labels,
+                                  world.unseen_sigs);
+  EXPECT_GT(acc, 0.35);  // chance is 0.25 over 4 unseen classes
+}
+
+TEST(FeatureWgan, MeanMatchingImprovesConditionalFidelity) {
+  // With the matching term the synthetic features must land near the
+  // class means the generator was conditioned on.
+  util::Rng rng(12);
+  LinearWorld world(8, 4, 16, 2, 30, rng, 0.05f);
+  baselines::FeatureWganConfig cfg;
+  cfg.epochs = 60;
+  cfg.hidden = 48;
+  baselines::FeatureWgan gan(8, 4, cfg, rng);
+  gan.fit(world.seen_feats, world.seen_labels, world.seen_sigs);
+  auto [syn, labels] = gan.generate(world.seen_sigs, 10);
+  // Mean distance of synthetic features to their own class mean must be
+  // smaller than to a different class's mean.
+  tensor::Tensor means({16, 8});
+  std::vector<std::size_t> counts(16, 0);
+  for (std::size_t i = 0; i < world.seen_labels.size(); ++i) {
+    const std::size_t c = world.seen_labels[i];
+    for (std::size_t j = 0; j < 8; ++j)
+      means[c * 8 + j] += world.seen_feats.at(i, j);
+    ++counts[c];
+  }
+  for (std::size_t c = 0; c < 16; ++c)
+    for (std::size_t j = 0; j < 8; ++j) means[c * 8 + j] /= static_cast<float>(counts[c]);
+  double own = 0.0, other = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const std::size_t c = labels[i];
+    const std::size_t alt = (c + 7) % 16;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const double d_own = syn.at(i, j) - means.at(c, j);
+      const double d_alt = syn.at(i, j) - means.at(alt, j);
+      own += d_own * d_own;
+      other += d_alt * d_alt;
+    }
+  }
+  EXPECT_LT(own, other);
+}
+
+TEST(FeatureWgan, ParameterCountFormula) {
+  util::Rng rng(7);
+  baselines::FeatureWganConfig cfg;
+  cfg.z_dim = 4;
+  cfg.hidden = 8;
+  baselines::FeatureWgan gan(6, 3, cfg, rng);
+  // G: (4+3)x8+8 + 8x6+6 ; D: (6+3)x8+8 + 8x1+1
+  EXPECT_EQ(gan.parameter_count(), (7u * 8 + 8) + (8u * 6 + 6) + (9u * 8 + 8) + (8u + 1));
+}
+
+TEST(ConcatSplit, RoundTrip) {
+  util::Rng rng(8);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor b = Tensor::randn({3, 2}, rng);
+  Tensor cat = baselines::concat_cols(a, b);
+  EXPECT_EQ(cat.shape(), (tensor::Shape{3, 6}));
+  auto [l, r] = baselines::split_cols(cat, 4);
+  EXPECT_LT(tensor::max_abs_diff(l, a), 1e-9f);
+  EXPECT_LT(tensor::max_abs_diff(r, b), 1e-9f);
+  EXPECT_THROW(baselines::concat_cols(a, Tensor({2, 2})), std::invalid_argument);
+}
+
+TEST(AttributeHead, TrainsAndEvaluates) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSyntheticConfig dcfg;
+  dcfg.n_classes = 6;
+  dcfg.images_per_class = 4;
+  dcfg.image_size = 16;
+  data::CubSynthetic ds(space, dcfg);
+  data::AugmentConfig aug;
+  aug.enabled = false;
+  data::DataLoader train(ds, {0, 1, 2, 3}, 0, 3, 8, true, aug, 1);
+  data::DataLoader test(ds, {0, 1, 2, 3}, 3, 4, 8, false, aug, 2);
+
+  util::Rng rng(9);
+  baselines::AttributeHeadConfig cfg;
+  cfg.variant = "finetag";
+  cfg.image.arch = "resnet_micro";
+  baselines::AttributeHeadBaseline model(space, cfg, rng);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 8;
+  tcfg.lr = 3e-3f;
+  model.train(train, tcfg);
+  auto res = model.evaluate(test);
+  EXPECT_EQ(res.per_group_top1.size(), 28u);
+  EXPECT_GE(res.mean_top1, 0.0);
+  EXPECT_LE(res.mean_top1, 1.0);
+  EXPECT_GT(model.parameter_count(), 0u);
+}
+
+TEST(AttributeHead, A3mVariantRuns) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSyntheticConfig dcfg;
+  dcfg.n_classes = 4;
+  dcfg.images_per_class = 3;
+  dcfg.image_size = 16;
+  data::CubSynthetic ds(space, dcfg);
+  data::AugmentConfig aug;
+  aug.enabled = false;
+  data::DataLoader train(ds, {0, 1, 2}, 0, 2, 6, true, aug, 1);
+
+  util::Rng rng(10);
+  baselines::AttributeHeadConfig cfg;
+  cfg.variant = "a3m";
+  cfg.image.arch = "resnet_micro";
+  baselines::AttributeHeadBaseline model(space, cfg, rng);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 6;
+  const double loss = model.train(train, tcfg);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(AttributeHead, UnknownVariantThrows) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(11);
+  baselines::AttributeHeadConfig cfg;
+  cfg.variant = "resnetzsl";
+  EXPECT_THROW(baselines::AttributeHeadBaseline(space, cfg, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdczsc

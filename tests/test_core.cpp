@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "core/attribute_encoder.hpp"
+#include "core/image_encoder.hpp"
+#include "core/similarity.hpp"
+#include "core/zsc_model.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+
+TEST(SimilarityKernel, LogitsAreScaledCosines) {
+  core::SimilarityKernel kernel(2.0f);
+  Tensor e({1, 2}, std::vector<float>{3, 4});   // unit: (0.6, 0.8)
+  Tensor c({2, 2}, std::vector<float>{3, 4, -4, 3});
+  Tensor p = kernel.forward(e, c, false);
+  EXPECT_NEAR(p.at(0, 0), 2.0f, 1e-5);  // cos=1, scale 2
+  EXPECT_NEAR(p.at(0, 1), 0.0f, 1e-5);  // orthogonal
+}
+
+TEST(SimilarityKernel, ScaleIsExpOfParameter) {
+  core::SimilarityKernel kernel(0.07f);
+  EXPECT_NEAR(kernel.scale(), 0.07f, 1e-6);
+  kernel.log_scale().value[0] = 0.0f;
+  EXPECT_NEAR(kernel.scale(), 1.0f, 1e-6);
+  EXPECT_THROW(core::SimilarityKernel(-1.0f), std::invalid_argument);
+}
+
+TEST(SimilarityKernel, BackwardBeforeForwardThrows) {
+  core::SimilarityKernel kernel(1.0f);
+  EXPECT_THROW(kernel.backward(Tensor({1, 1})), std::logic_error);
+}
+
+TEST(SimilarityKernel, DimMismatchThrows) {
+  core::SimilarityKernel kernel(1.0f);
+  EXPECT_THROW(kernel.forward(Tensor({1, 3}), Tensor({2, 4}), false), std::invalid_argument);
+}
+
+TEST(HdcEncoder, PhiIsAtimesB) {
+  auto space = data::AttributeSpace::toy(3, 2, 4);
+  util::Rng rng(1);
+  core::HdcAttributeEncoder enc(space, 64, rng);
+  EXPECT_EQ(enc.dim(), 64u);
+  EXPECT_EQ(enc.n_attributes(), 6u);
+  EXPECT_FALSE(enc.trainable());
+  EXPECT_TRUE(enc.parameters().empty());
+
+  util::Rng rng2(2);
+  Tensor a = Tensor::rand_uniform({5, 6}, rng2);
+  Tensor phi = enc.encode(a, false);
+  Tensor expect = tensor::matmul(a, enc.dictionary_tensor());
+  EXPECT_LT(tensor::max_abs_diff(phi, expect), 1e-5f);
+}
+
+TEST(HdcEncoder, DictionaryEntriesAreBoundCodebookPairs) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(3);
+  core::HdcAttributeEncoder enc(space, 256, rng);
+  const auto& dict = enc.dictionary();
+  EXPECT_EQ(dict.n_groups(), 28u);
+  EXPECT_EQ(dict.n_values(), 61u);
+  EXPECT_EQ(dict.n_attributes(), 312u);
+  // Spot-check binding identity for a few attributes.
+  for (std::size_t x : {0u, 100u, 311u}) {
+    auto pair = dict.pairs()[x];
+    auto expect = dict.groups()[pair.group].bind(dict.values()[pair.value]);
+    EXPECT_EQ(dict.attribute_vector(x), expect);
+  }
+}
+
+TEST(HdcEncoder, BackwardReturnsGradWrtA) {
+  auto space = data::AttributeSpace::toy(2, 2, 4);
+  util::Rng rng(4);
+  core::HdcAttributeEncoder enc(space, 32, rng);
+  Tensor grad_phi({3, 32}, 1.0f);
+  Tensor da = enc.backward(grad_phi);
+  EXPECT_EQ(da.shape(), (tensor::Shape{3, 4}));
+}
+
+TEST(MlpEncoder, TrainableWithParameters) {
+  util::Rng rng(5);
+  core::MlpAttributeEncoder enc(6, 8, 16, rng);
+  EXPECT_TRUE(enc.trainable());
+  EXPECT_EQ(enc.parameters().size(), 4u);
+  EXPECT_EQ(enc.dim(), 16u);
+  Tensor a = Tensor::rand_uniform({2, 6}, rng);
+  Tensor phi = enc.encode(a, true);
+  EXPECT_EQ(phi.shape(), (tensor::Shape{2, 16}));
+  Tensor da = enc.backward(Tensor(phi.shape(), 1.0f));
+  EXPECT_EQ(da.shape(), a.shape());
+}
+
+TEST(MakeAttributeEncoder, FactoryDispatch) {
+  auto space = data::AttributeSpace::toy(2, 2, 4);
+  util::Rng rng(6);
+  EXPECT_EQ(core::make_attribute_encoder("hdc", space, 32, 8, rng)->name(), "hdc");
+  EXPECT_EQ(core::make_attribute_encoder("mlp", space, 32, 8, rng)->name(), "mlp");
+  EXPECT_THROW(core::make_attribute_encoder("gan", space, 32, 8, rng),
+               std::invalid_argument);
+}
+
+TEST(ImageEncoder, ProjectionControlsDim) {
+  util::Rng rng(7);
+  core::ImageEncoderConfig cfg;
+  cfg.arch = "resnet_micro";
+  cfg.proj_dim = 48;
+  core::ImageEncoder with_fc(cfg, rng);
+  EXPECT_EQ(with_fc.dim(), 48u);
+  EXPECT_TRUE(with_fc.has_projection());
+
+  cfg.use_projection = false;
+  core::ImageEncoder without_fc(cfg, rng);
+  EXPECT_EQ(without_fc.dim(), without_fc.backbone_feature_dim());
+  EXPECT_FALSE(without_fc.has_projection());
+  EXPECT_TRUE(without_fc.projection_parameters().empty());
+}
+
+TEST(ImageEncoder, ForwardBackwardShapes) {
+  util::Rng rng(8);
+  core::ImageEncoderConfig cfg;
+  cfg.arch = "resnet_micro";
+  cfg.proj_dim = 24;
+  core::ImageEncoder enc(cfg, rng);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor e = enc.forward(x, true);
+  EXPECT_EQ(e.shape(), (tensor::Shape{2, 24}));
+  Tensor gx = enc.backward(Tensor(e.shape(), 0.1f));
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(ImageEncoder, ProjectionOnlyBackwardStopsEarly) {
+  util::Rng rng(9);
+  core::ImageEncoderConfig cfg;
+  cfg.arch = "resnet_micro";
+  cfg.proj_dim = 24;
+  core::ImageEncoder enc(cfg, rng);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  enc.forward(x, true);
+  Tensor g = enc.backward(Tensor({2, 24}, 0.1f), /*through_backbone=*/false);
+  // Gradient is returned at the backbone output, not the image.
+  EXPECT_EQ(g.shape(), (tensor::Shape{2, enc.backbone_feature_dim()}));
+}
+
+TEST(ZscModel, FactoryAndDimsConsistent) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(10);
+  core::ZscModelConfig cfg;
+  cfg.image.arch = "resnet_micro";
+  cfg.image.proj_dim = 64;
+  auto model = core::make_zsc_model(cfg, space, rng);
+  EXPECT_EQ(model->dim(), 64u);
+  EXPECT_EQ(model->attribute_encoder().dim(), 64u);
+}
+
+TEST(ZscModel, ClassLogitsShape) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(11);
+  core::ZscModelConfig cfg;
+  cfg.image.arch = "resnet_micro";
+  cfg.image.proj_dim = 32;
+  auto model = core::make_zsc_model(cfg, space, rng);
+  Tensor images = Tensor::rand_uniform({2, 3, 16, 16}, rng);
+  Tensor a = Tensor::rand_uniform({7, 312}, rng);
+  Tensor p = model->class_logits(images, a, false);
+  EXPECT_EQ(p.shape(), (tensor::Shape{2, 7}));
+}
+
+TEST(ZscModel, AttributeLogitsRequireHdcEncoder) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(12);
+  core::ZscModelConfig cfg;
+  cfg.image.arch = "resnet_micro";
+  cfg.image.proj_dim = 32;
+  cfg.attribute_encoder = "mlp";
+  auto model = core::make_zsc_model(cfg, space, rng);
+  Tensor images = Tensor::rand_uniform({1, 3, 16, 16}, rng);
+  EXPECT_THROW(model->attribute_logits(images, false), std::logic_error);
+}
+
+TEST(ZscModel, AttributeLogitsShapeWithHdc) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(13);
+  core::ZscModelConfig cfg;
+  cfg.image.arch = "resnet_micro";
+  cfg.image.proj_dim = 32;
+  auto model = core::make_zsc_model(cfg, space, rng);
+  Tensor images = Tensor::rand_uniform({2, 3, 16, 16}, rng);
+  Tensor q = model->attribute_logits(images, false);
+  EXPECT_EQ(q.shape(), (tensor::Shape{2, 312}));
+}
+
+TEST(ZscModel, HdcAndMlpParameterCountsDiffer) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(14);
+  core::ZscModelConfig cfg;
+  cfg.image.arch = "resnet_micro";
+  cfg.image.proj_dim = 32;
+  auto hdc_model = core::make_zsc_model(cfg, space, rng);
+  cfg.attribute_encoder = "mlp";
+  cfg.mlp_hidden = 16;
+  auto mlp_model = core::make_zsc_model(cfg, space, rng);
+  const std::size_t mlp_extra = 312u * 16 + 16 + 16u * 32 + 32;
+  EXPECT_EQ(mlp_model->parameter_count(), hdc_model->parameter_count() + mlp_extra);
+}
+
+TEST(ZscModel, DimMismatchRejected) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(15);
+  core::ImageEncoderConfig icfg;
+  icfg.arch = "resnet_micro";
+  icfg.proj_dim = 32;
+  auto img = std::make_unique<core::ImageEncoder>(icfg, rng);
+  auto attr = core::make_attribute_encoder("hdc", space, 64, 8, rng);
+  EXPECT_THROW(core::ZscModel(std::move(img), std::move(attr), 0.05f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdczsc

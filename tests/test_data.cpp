@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/cub_synthetic.hpp"
+#include "data/dataloader.hpp"
+#include "data/shapes_synthetic.hpp"
+#include "data/splits.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+data::CubSyntheticConfig small_cfg() {
+  data::CubSyntheticConfig cfg;
+  cfg.n_classes = 10;
+  cfg.images_per_class = 4;
+  cfg.image_size = 16;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(CubSynthetic, ClassMatrixShapeAndRange) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  const auto& a = ds.class_attribute_matrix();
+  EXPECT_EQ(a.shape(), (tensor::Shape{10, 312}));
+  EXPECT_GE(a.min(), 0.0f);
+  EXPECT_LE(a.max(), 1.0f);
+}
+
+TEST(CubSynthetic, DominantValueHasHighestStrength) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  const auto& a = ds.class_attribute_matrix();
+  for (std::size_t c = 0; c < ds.n_classes(); ++c) {
+    for (std::size_t g = 0; g < space.n_groups(); ++g) {
+      const auto& grp = space.group(g);
+      const std::size_t dom = ds.dominant_value(c, g);
+      for (std::size_t k = 0; k < grp.value_ids.size(); ++k) {
+        if (k == dom) continue;
+        EXPECT_LE(a.at(c, grp.attr_offset + k), a.at(c, grp.attr_offset + dom));
+      }
+    }
+  }
+}
+
+TEST(CubSynthetic, SampleIsDeterministic) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto s1 = ds.sample(3, 1);
+  auto s2 = ds.sample(3, 1);
+  EXPECT_LT(tensor::max_abs_diff(s1.image, s2.image), 1e-9f);
+  EXPECT_LT(tensor::max_abs_diff(s1.instance_attributes, s2.instance_attributes), 1e-9f);
+}
+
+TEST(CubSynthetic, DifferentInstancesDiffer) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto s1 = ds.sample(3, 0);
+  auto s2 = ds.sample(3, 1);
+  EXPECT_GT(tensor::max_abs_diff(s1.image, s2.image), 1e-3f);
+}
+
+TEST(CubSynthetic, ImageInUnitRangeAndLabeled) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto s = ds.sample(7, 2);
+  EXPECT_EQ(s.label, 7u);
+  EXPECT_EQ(s.image.shape(), (tensor::Shape{3, 16, 16}));
+  EXPECT_GE(s.image.min(), 0.0f);
+  EXPECT_LE(s.image.max(), 1.0f);
+}
+
+TEST(CubSynthetic, InstanceAttributesOneHotPerGroup) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto s = ds.sample(1, 0);
+  for (std::size_t g = 0; g < space.n_groups(); ++g) {
+    const auto& grp = space.group(g);
+    float sum = 0.0f;
+    for (std::size_t k = 0; k < grp.value_ids.size(); ++k)
+      sum += s.instance_attributes[grp.attr_offset + k];
+    EXPECT_FLOAT_EQ(sum, 1.0f) << "group " << g;
+  }
+}
+
+TEST(CubSynthetic, OutOfRangeThrows) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  EXPECT_THROW(ds.sample(100, 0), std::out_of_range);
+  EXPECT_THROW(ds.class_attribute_rows({99}), std::out_of_range);
+}
+
+TEST(ShapesSynthetic, DeterministicAndDistinct) {
+  data::ShapesSyntheticConfig cfg;
+  cfg.n_classes = 5;
+  cfg.image_size = 16;
+  data::ShapesSynthetic ds(cfg);
+  auto a = ds.sample(0, 0);
+  auto b = ds.sample(0, 0);
+  EXPECT_LT(tensor::max_abs_diff(a.image, b.image), 1e-9f);
+  auto c = ds.sample(1, 0);
+  EXPECT_GT(tensor::max_abs_diff(a.image, c.image), 1e-2f);
+  EXPECT_EQ(c.label, 1u);
+}
+
+TEST(Splits, ZsSplitDisjointAndComplete) {
+  auto split = data::make_zs_split(200, 150, 42);
+  EXPECT_EQ(split.train_classes.size(), 150u);
+  EXPECT_EQ(split.test_classes.size(), 50u);
+  EXPECT_FALSE(split.image_level);
+  std::set<std::size_t> all(split.train_classes.begin(), split.train_classes.end());
+  for (auto c : split.test_classes) EXPECT_EQ(all.count(c), 0u);
+  all.insert(split.test_classes.begin(), split.test_classes.end());
+  EXPECT_EQ(all.size(), 200u);
+}
+
+TEST(Splits, NozsSharesClasses) {
+  auto split = data::make_nozs_split(200, 100, 42);
+  EXPECT_TRUE(split.image_level);
+  EXPECT_EQ(split.train_classes, split.test_classes);
+  EXPECT_EQ(split.train_classes.size(), 100u);
+}
+
+TEST(Splits, ValidationCarvedFromTrain) {
+  auto zs = data::make_zs_split(200, 150, 7);
+  auto val = data::make_validation_split(zs, 50, 7);
+  EXPECT_EQ(val.train_classes.size(), 100u);
+  EXPECT_EQ(val.test_classes.size(), 50u);
+  std::set<std::size_t> train_set(zs.train_classes.begin(), zs.train_classes.end());
+  for (auto c : val.test_classes) EXPECT_EQ(train_set.count(c), 1u);
+  std::set<std::size_t> reduced(val.train_classes.begin(), val.train_classes.end());
+  for (auto c : val.test_classes) EXPECT_EQ(reduced.count(c), 0u);
+}
+
+TEST(Splits, DeterministicPerSeed) {
+  auto a = data::make_zs_split(50, 30, 5);
+  auto b = data::make_zs_split(50, 30, 5);
+  EXPECT_EQ(a.train_classes, b.train_classes);
+  auto c = data::make_zs_split(50, 30, 6);
+  EXPECT_NE(a.train_classes, c.train_classes);
+}
+
+TEST(Splits, BadArgsThrow) {
+  EXPECT_THROW(data::make_zs_split(10, 11, 1), std::invalid_argument);
+  EXPECT_THROW(data::make_nozs_split(10, 11, 1), std::invalid_argument);
+}
+
+TEST(Augment, RotationPreservesShapeAndRange) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto img = ds.sample(0, 0).image;
+  auto rot = data::rotate_image(img, 30.0);
+  EXPECT_EQ(rot.shape(), img.shape());
+  EXPECT_GE(rot.min(), 0.0f);
+  EXPECT_LE(rot.max(), 1.0f);
+  // Zero rotation is identity.
+  EXPECT_LT(tensor::max_abs_diff(data::rotate_image(img, 0.0), img), 1e-9f);
+}
+
+TEST(Augment, HflipIsInvolution) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto img = ds.sample(0, 0).image;
+  EXPECT_LT(tensor::max_abs_diff(data::hflip_image(data::hflip_image(img)), img), 1e-9f);
+  EXPECT_GT(tensor::max_abs_diff(data::hflip_image(img), img), 1e-4f);
+}
+
+TEST(Augment, CropFractionOneIsIdentity) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  auto img = ds.sample(0, 1).image;
+  EXPECT_LT(tensor::max_abs_diff(data::center_crop_zoom(img, 1.0), img), 1e-9f);
+  EXPECT_THROW(data::center_crop_zoom(img, 0.0), std::invalid_argument);
+}
+
+TEST(DataLoader, BatchesCoverEpochExactlyOnce) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  data::AugmentConfig aug;
+  aug.enabled = false;
+  data::DataLoader loader(ds, {0, 1, 2}, 0, 4, 5, true, aug, 9);
+  EXPECT_EQ(loader.n_examples(), 12u);
+  EXPECT_EQ(loader.n_batches(), 3u);
+  std::size_t seen = 0;
+  while (auto b = loader.next()) seen += b->labels.size();
+  EXPECT_EQ(seen, 12u);
+  EXPECT_FALSE(loader.next().has_value());
+  loader.reset_epoch();
+  EXPECT_TRUE(loader.next().has_value());
+}
+
+TEST(DataLoader, LocalLabelsMatchClassOrder) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  data::AugmentConfig aug;
+  aug.enabled = false;
+  data::DataLoader loader(ds, {7, 2, 5}, 0, 2, 64, false, aug, 9);
+  auto batch = loader.all_eval();
+  // Unshuffled eval order: class-major.
+  EXPECT_EQ(batch.labels[0], 0u);  // global class 7 -> local 0
+  EXPECT_EQ(batch.labels[2], 1u);  // global class 2 -> local 1
+  EXPECT_EQ(batch.labels[4], 2u);
+  // Attribute rows follow the same order.
+  auto rows = loader.class_attribute_rows();
+  auto direct = ds.class_attribute_rows({7, 2, 5});
+  EXPECT_LT(tensor::max_abs_diff(rows, direct), 1e-9f);
+}
+
+TEST(DataLoader, InstanceRangePartition) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  data::AugmentConfig aug;
+  aug.enabled = false;
+  data::DataLoader train(ds, {0}, 0, 2, 8, false, aug, 1);
+  data::DataLoader test(ds, {0}, 2, 4, 8, false, aug, 1);
+  EXPECT_EQ(train.n_examples(), 2u);
+  EXPECT_EQ(test.n_examples(), 2u);
+  auto tb = train.all_eval();
+  auto eb = test.all_eval();
+  // Disjoint instances -> different pixels.
+  tensor::Tensor t0 = tb.images.reshape({2, 3 * 16 * 16});
+  tensor::Tensor e0 = eb.images.reshape({2, 3 * 16 * 16});
+  EXPECT_GT(tensor::max_abs_diff(t0, e0), 1e-4f);
+}
+
+TEST(DataLoader, InvalidRangesThrow) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSynthetic ds(space, small_cfg());
+  data::AugmentConfig aug;
+  EXPECT_THROW(data::DataLoader(ds, {0}, 0, 9, 4, false, aug, 1), std::invalid_argument);
+  EXPECT_THROW(data::DataLoader(ds, {0}, 2, 2, 4, false, aug, 1), std::invalid_argument);
+  EXPECT_THROW(data::DataLoader(ds, {0}, 0, 2, 0, false, aug, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdczsc

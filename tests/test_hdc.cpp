@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+#include "hdc/memory_report.hpp"
+
+namespace hdczsc {
+namespace {
+
+using hdc::BinaryHV;
+using hdc::BipolarHV;
+
+TEST(BipolarHV, RandomIsPlusMinusOne) {
+  util::Rng rng(1);
+  auto hv = BipolarHV::random(512, rng);
+  for (std::size_t i = 0; i < hv.dim(); ++i)
+    EXPECT_TRUE(hv[i] == 1 || hv[i] == -1);
+}
+
+TEST(BipolarHV, BindSelfInverse) {
+  util::Rng rng(2);
+  auto a = BipolarHV::random(256, rng);
+  auto b = BipolarHV::random(256, rng);
+  EXPECT_EQ(a.bind(b).unbind(b), a);
+}
+
+TEST(BipolarHV, BindWithIdentityIsIdentity) {
+  util::Rng rng(3);
+  auto a = BipolarHV::random(128, rng);
+  BipolarHV identity(128);  // all +1
+  EXPECT_EQ(a.bind(identity), a);
+}
+
+TEST(BipolarHV, CosineSelfIsOne) {
+  util::Rng rng(4);
+  auto a = BipolarHV::random(100, rng);
+  EXPECT_DOUBLE_EQ(a.cosine(a), 1.0);
+}
+
+TEST(BipolarHV, DimensionMismatchThrows) {
+  util::Rng rng(5);
+  auto a = BipolarHV::random(64, rng);
+  auto b = BipolarHV::random(65, rng);
+  EXPECT_THROW(a.bind(b), std::invalid_argument);
+  EXPECT_THROW(a.dot(b), std::invalid_argument);
+}
+
+TEST(BipolarHV, PermuteInvertible) {
+  util::Rng rng(6);
+  auto a = BipolarHV::random(97, rng);
+  EXPECT_EQ(a.permute(13).permute(-13), a);
+  EXPECT_EQ(a.permute(97), a);  // full cycle
+}
+
+TEST(BipolarHV, PermuteDecorrelates) {
+  util::Rng rng(7);
+  auto a = BipolarHV::random(4096, rng);
+  EXPECT_LT(std::abs(a.cosine(a.permute(1))), 0.1);
+}
+
+TEST(BundleAccumulator, MajorityPreservesSimilarity) {
+  // A bundle of K random vectors stays similar to each constituent
+  // (expected cosine ~ sqrt(2/(pi*K)) for large d).
+  util::Rng rng(8);
+  const std::size_t d = 4096;
+  std::vector<BipolarHV> items;
+  hdc::BundleAccumulator acc(d);
+  for (int k = 0; k < 5; ++k) {
+    items.push_back(BipolarHV::random(d, rng));
+    acc.add(items.back());
+  }
+  auto bundle = acc.finalize(rng);
+  for (const auto& item : items) EXPECT_GT(bundle.cosine(item), 0.2);
+  // And dissimilar to an unrelated vector.
+  EXPECT_LT(std::abs(bundle.cosine(BipolarHV::random(d, rng))), 0.1);
+}
+
+TEST(BundleAccumulator, WeightedAddBiasesResult) {
+  util::Rng rng(9);
+  const std::size_t d = 2048;
+  auto a = BipolarHV::random(d, rng);
+  auto b = BipolarHV::random(d, rng);
+  hdc::BundleAccumulator acc(d);
+  acc.add_weighted(a, 5);
+  acc.add(b);
+  auto bundle = acc.finalize(rng);
+  EXPECT_GT(bundle.cosine(a), 0.9);
+}
+
+TEST(BinaryHV, XorBindSelfInverse) {
+  util::Rng rng(10);
+  auto a = BinaryHV::random(300, rng);
+  auto b = BinaryHV::random(300, rng);
+  EXPECT_EQ(a.bind(b).unbind(b), a);
+}
+
+TEST(BinaryHV, TailBitsMasked) {
+  util::Rng rng(11);
+  auto a = BinaryHV::random(70, rng);  // 6 bits in second word
+  EXPECT_EQ(a.words().back() >> 6, 0u);
+}
+
+TEST(BinaryHV, SetGetRoundTrip) {
+  BinaryHV a(130);
+  a.set(0, true);
+  a.set(64, true);
+  a.set(129, true);
+  EXPECT_TRUE(a.get(0));
+  EXPECT_TRUE(a.get(64));
+  EXPECT_TRUE(a.get(129));
+  EXPECT_FALSE(a.get(1));
+  a.set(64, false);
+  EXPECT_FALSE(a.get(64));
+  EXPECT_THROW(a.get(130), std::out_of_range);
+}
+
+TEST(BinaryHV, HammingSelfZero) {
+  util::Rng rng(12);
+  auto a = BinaryHV::random(256, rng);
+  EXPECT_EQ(a.hamming(a), 0u);
+  EXPECT_DOUBLE_EQ(a.similarity(a), 1.0);
+}
+
+TEST(BinaryHV, ConversionsAreExactInverses) {
+  util::Rng rng(13);
+  auto bip = BipolarHV::random(200, rng);
+  EXPECT_EQ(bip.to_binary().to_bipolar(), bip);
+  auto bin = BinaryHV::random(200, rng);
+  EXPECT_EQ(bin.to_bipolar().to_binary(), bin);
+}
+
+TEST(BinaryHV, SimilarityEqualsBipolarCosine) {
+  util::Rng rng(14);
+  auto a = BipolarHV::random(512, rng);
+  auto b = BipolarHV::random(512, rng);
+  EXPECT_NEAR(a.cosine(b), a.to_binary().similarity(b.to_binary()), 1e-12);
+}
+
+TEST(BinaryHV, XorBindMatchesBipolarMultiplyBind) {
+  util::Rng rng(15);
+  auto a = BipolarHV::random(256, rng);
+  auto b = BipolarHV::random(256, rng);
+  EXPECT_EQ(a.bind(b).to_binary(), a.to_binary().bind(b.to_binary()));
+}
+
+TEST(BinaryHV, StorageBytesPacked) {
+  BinaryHV a(1536);
+  EXPECT_EQ(a.storage_bytes(), 1536u / 8);
+}
+
+TEST(Codebook, NearestRetrievesOwnItem) {
+  util::Rng rng(16);
+  hdc::Codebook cb(20, 1024, rng);
+  for (std::size_t i = 0; i < cb.size(); ++i) EXPECT_EQ(cb.nearest(cb[i]), i);
+}
+
+TEST(Codebook, NearestRetrievesNoisyItem) {
+  util::Rng rng(17);
+  hdc::Codebook cb(20, 2048, rng);
+  // Flip 20% of the components of item 7; it must still be retrieved.
+  BipolarHV noisy = cb[7];
+  for (std::size_t i = 0; i < noisy.dim() / 5; ++i)
+    noisy[i] = static_cast<std::int8_t>(-noisy[i]);
+  EXPECT_EQ(cb.nearest(noisy), 7u);
+}
+
+TEST(Codebook, OutOfRangeThrows) {
+  util::Rng rng(18);
+  hdc::Codebook cb(3, 64, rng);
+  EXPECT_THROW(cb[3], std::out_of_range);
+}
+
+TEST(FactoredDictionary, AttributeVectorIsBoundPair) {
+  util::Rng rng(19);
+  std::vector<hdc::GroupValuePair> pairs{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  hdc::FactoredDictionary dict(2, 2, pairs, 512, rng);
+  for (std::size_t x = 0; x < 4; ++x) {
+    auto expect = dict.groups()[pairs[x].group].bind(dict.values()[pairs[x].value]);
+    EXPECT_EQ(dict.attribute_vector(x), expect);
+  }
+}
+
+TEST(FactoredDictionary, DictionaryTensorMatchesVectors) {
+  util::Rng rng(20);
+  std::vector<hdc::GroupValuePair> pairs{{0, 0}, {1, 1}, {2, 0}};
+  hdc::FactoredDictionary dict(3, 2, pairs, 128, rng);
+  auto b = dict.dictionary_tensor();
+  EXPECT_EQ(b.shape(), (tensor::Shape{3, 128}));
+  for (std::size_t x = 0; x < 3; ++x) {
+    auto hv = dict.attribute_vector(x);
+    for (std::size_t i = 0; i < 128; ++i)
+      EXPECT_FLOAT_EQ(b.at(x, i), static_cast<float>(hv[i]));
+  }
+}
+
+TEST(FactoredDictionary, RejectsOutOfRangePairs) {
+  util::Rng rng(21);
+  std::vector<hdc::GroupValuePair> bad{{5, 0}};
+  EXPECT_THROW(hdc::FactoredDictionary(2, 2, bad, 64, rng), std::invalid_argument);
+}
+
+TEST(MemoryReport, PaperNumbers) {
+  // §III-A: G=28, V=61, α=312, d=1536 binary -> ~17 KB and 71% reduction.
+  auto r = hdc::memory_report(28, 61, 312, 1536);
+  EXPECT_EQ(r.factored_bytes, (28u + 61u) * 1536 / 8);  // 17,088 B
+  EXPECT_NEAR(static_cast<double>(r.factored_bytes) / 1024.0, 16.7, 0.3);
+  EXPECT_NEAR(r.reduction_percent, 71.0, 1.0);
+}
+
+TEST(MemoryReport, FactoredMatchesDictionaryAccounting) {
+  util::Rng rng(22);
+  std::vector<hdc::GroupValuePair> pairs{{0, 0}, {0, 1}, {1, 0}};
+  hdc::FactoredDictionary dict(2, 2, pairs, 256, rng);
+  auto r = hdc::memory_report(2, 2, 3, 256);
+  EXPECT_EQ(dict.factored_storage_bytes(), r.factored_bytes);
+  EXPECT_EQ(dict.flat_storage_bytes(), r.flat_bytes);
+}
+
+}  // namespace
+}  // namespace hdczsc

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "data/attribute_space.hpp"
+#include "data/cub_synthetic.hpp"
+#include "hdc/encoding.hpp"
+
+namespace hdczsc {
+namespace {
+
+using hdc::BipolarHV;
+
+TEST(LevelCodebook, EndpointsAreAntipodal) {
+  util::Rng rng(1);
+  hdc::LevelCodebook lc(8, 2048, rng);
+  EXPECT_NEAR(lc[0].cosine(lc[7]), -1.0, 1e-12);
+  EXPECT_NEAR(lc[0].cosine(lc[0]), 1.0, 1e-12);
+}
+
+TEST(LevelCodebook, SimilarityDecaysMonotonicallyWithDistance) {
+  util::Rng rng(2);
+  hdc::LevelCodebook lc(16, 4096, rng);
+  double prev = 1.0;
+  for (std::size_t k = 1; k < 16; ++k) {
+    const double sim = lc[0].cosine(lc[k]);
+    EXPECT_LT(sim, prev + 1e-9) << "level " << k;
+    prev = sim;
+  }
+}
+
+TEST(LevelCodebook, EncodeClampsAndQuantizes) {
+  util::Rng rng(3);
+  hdc::LevelCodebook lc(4, 512, rng);
+  EXPECT_EQ(&lc.encode(-1.0), &lc[0]);
+  EXPECT_EQ(&lc.encode(2.0), &lc[3]);
+  EXPECT_EQ(&lc.encode(0.0), &lc[0]);
+  EXPECT_EQ(&lc.encode(1.0), &lc[3]);
+  EXPECT_THROW(hdc::LevelCodebook(1, 16, rng), std::invalid_argument);
+}
+
+TEST(ClassPrototype, SimilarToActiveAttributeVectors) {
+  auto space = data::AttributeSpace::cub();
+  util::Rng rng(4);
+  hdc::FactoredDictionary dict(space.n_groups(), space.n_values(), space.hdc_pairs(), 2048,
+                               rng);
+  // Strength vector: one strong attribute per group (like a class row).
+  std::vector<float> strengths(space.n_attributes(), 0.0f);
+  std::vector<std::size_t> active;
+  for (std::size_t g = 0; g < space.n_groups(); ++g) {
+    const std::size_t x = space.attribute_index(g, g % space.group(g).value_ids.size());
+    strengths[x] = 0.9f;
+    active.push_back(x);
+  }
+  BipolarHV proto = hdc::class_prototype(dict, strengths.data(), strengths.size(), 4, rng);
+  // The prototype must correlate with each bundled attribute vector and not
+  // with unbundled ones.
+  double active_sim = 0.0;
+  for (std::size_t x : active) active_sim += proto.cosine(dict.attribute_vector(x));
+  active_sim /= static_cast<double>(active.size());
+  EXPECT_GT(active_sim, 0.08);  // ~1/sqrt(28 bundled items) scale
+
+  double inactive_sim = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t x = 0; x < space.n_attributes() && counted < 30; ++x) {
+    if (strengths[x] > 0.0f) continue;
+    inactive_sim += std::abs(proto.cosine(dict.attribute_vector(x)));
+    ++counted;
+  }
+  inactive_sim /= static_cast<double>(counted);
+  EXPECT_LT(inactive_sim, active_sim / 2.0);
+}
+
+TEST(ClassPrototype, ZeroStrengthsGiveRandomTieBreaks) {
+  auto space = data::AttributeSpace::toy(2, 2, 4);
+  util::Rng rng(5);
+  hdc::FactoredDictionary dict(2, 4, space.hdc_pairs(), 256, rng);
+  std::vector<float> zeros(space.n_attributes(), 0.0f);
+  BipolarHV proto = hdc::class_prototype(dict, zeros.data(), zeros.size(), 4, rng);
+  EXPECT_EQ(proto.dim(), 256u);  // defined (all ties) but arbitrary
+}
+
+TEST(ClassPrototypes, MatrixFormMatchesRowForm) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSyntheticConfig cfg;
+  cfg.n_classes = 4;
+  data::CubSynthetic ds(space, cfg);
+  util::Rng rng(6);
+  hdc::FactoredDictionary dict(space.n_groups(), space.n_values(), space.hdc_pairs(), 1024,
+                               rng);
+  auto protos = hdc::class_prototypes(dict, ds.class_attribute_matrix(), 8, rng);
+  EXPECT_EQ(protos.size(), 4u);
+  // Distinct classes -> near-orthogonal prototypes.
+  EXPECT_LT(hdc::mean_abs_pairwise_cosine(protos), 0.35);
+}
+
+TEST(AssociativeMemory, RetrievesNoisyPrototype) {
+  auto space = data::AttributeSpace::cub();
+  data::CubSyntheticConfig cfg;
+  cfg.n_classes = 12;
+  data::CubSynthetic ds(space, cfg);
+  util::Rng rng(7);
+  hdc::FactoredDictionary dict(space.n_groups(), space.n_values(), space.hdc_pairs(), 2048,
+                               rng);
+  auto protos = hdc::class_prototypes(dict, ds.class_attribute_matrix(), 8, rng);
+  hdc::AssociativeMemory mem(protos);
+  EXPECT_EQ(mem.size(), 12u);
+  // 15% bit noise must not break retrieval.
+  for (std::size_t c = 0; c < 12; ++c) {
+    BipolarHV noisy = protos[c];
+    for (std::size_t i = 0; i < noisy.dim(); ++i)
+      if (rng.bernoulli(0.15)) noisy[i] = static_cast<std::int8_t>(-noisy[i]);
+    EXPECT_EQ(mem.nearest(noisy), c) << "class " << c;
+  }
+}
+
+TEST(AssociativeMemory, SimilaritiesOrderedAndSized) {
+  util::Rng rng(8);
+  std::vector<BipolarHV> protos;
+  for (int i = 0; i < 5; ++i) protos.push_back(BipolarHV::random(512, rng));
+  hdc::AssociativeMemory mem(protos);
+  auto sims = mem.similarities(protos[3].to_binary());
+  EXPECT_EQ(sims.size(), 5u);
+  EXPECT_DOUBLE_EQ(sims[3], 1.0);
+  EXPECT_EQ(mem.storage_bytes(), 5u * 512 / 8);
+}
+
+TEST(SequenceEncoding, OrderSensitive) {
+  util::Rng rng(9);
+  const std::size_t d = 4096;
+  std::vector<BipolarHV> seq{BipolarHV::random(d, rng), BipolarHV::random(d, rng),
+                             BipolarHV::random(d, rng)};
+  BipolarHV fwd = hdc::encode_sequence(seq, rng);
+  std::vector<BipolarHV> rev{seq[2], seq[1], seq[0]};
+  BipolarHV bwd = hdc::encode_sequence(rev, rng);
+  // Same multiset, different order -> quasi-orthogonal codes.
+  EXPECT_LT(std::abs(fwd.cosine(bwd)), 0.35);
+  // But each encodes its own items at their positions.
+  EXPECT_GT(fwd.cosine(seq[1].permute(1)), 0.2);
+  EXPECT_THROW(hdc::encode_sequence({}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdczsc

@@ -1,0 +1,109 @@
+// Property-style sweeps over hypervector dimensionality: the statistical
+// claims HDC rests on ("randomly initialized vectors tend to become
+// quasi-orthogonal as dimensionality grows", §II-b) and preservation of
+// quasi-orthogonality under binding (§III-A).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/codebook.hpp"
+#include "hdc/hypervector.hpp"
+
+namespace hdczsc {
+namespace {
+
+using hdc::BipolarHV;
+
+class QuasiOrthogonality : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuasiOrthogonality, MeanAbsCosineNearTheory) {
+  const std::size_t d = GetParam();
+  util::Rng rng(1000 + d);
+  std::vector<BipolarHV> hvs;
+  for (int i = 0; i < 12; ++i) hvs.push_back(BipolarHV::random(d, rng));
+  const double measured = hdc::mean_abs_pairwise_cosine(hvs);
+  // For i.i.d. Rademacher, |cos| has mean sqrt(2/(pi d)).
+  const double theory = std::sqrt(2.0 / (3.14159265358979 * static_cast<double>(d)));
+  EXPECT_NEAR(measured, theory, 3.0 * theory);
+  EXPECT_LT(measured, 6.0 / std::sqrt(static_cast<double>(d)));
+}
+
+TEST_P(QuasiOrthogonality, ShrinksWithDimension) {
+  const std::size_t d = GetParam();
+  util::Rng rng(2000 + d);
+  std::vector<BipolarHV> lo, hi;
+  for (int i = 0; i < 10; ++i) {
+    lo.push_back(BipolarHV::random(d, rng));
+    hi.push_back(BipolarHV::random(d * 16, rng));
+  }
+  EXPECT_GT(hdc::mean_abs_pairwise_cosine(lo), hdc::mean_abs_pairwise_cosine(hi));
+}
+
+TEST_P(QuasiOrthogonality, BindingPreservesQuasiOrthogonality) {
+  // b = g ⊙ v is quasi-orthogonal to both operands (§III-A).
+  const std::size_t d = GetParam();
+  util::Rng rng(3000 + d);
+  const double bound = 5.0 / std::sqrt(static_cast<double>(d));
+  for (int trial = 0; trial < 8; ++trial) {
+    auto g = BipolarHV::random(d, rng);
+    auto v = BipolarHV::random(d, rng);
+    auto b = g.bind(v);
+    EXPECT_LT(std::abs(b.cosine(g)), bound);
+    EXPECT_LT(std::abs(b.cosine(v)), bound);
+  }
+}
+
+TEST_P(QuasiOrthogonality, DistinctBoundPairsAreQuasiOrthogonal) {
+  // b_x = g_y ⊙ v_z for distinct (y, z) pairs stay mutually
+  // quasi-orthogonal — the factored dictionary acts like fresh random
+  // codes at the attribute level.
+  const std::size_t d = GetParam();
+  util::Rng rng(4000 + d);
+  hdc::Codebook groups(4, d, rng), values(4, d, rng);
+  std::vector<BipolarHV> bound;
+  for (std::size_t y = 0; y < 4; ++y)
+    for (std::size_t z = 0; z < 4; ++z) bound.push_back(groups[y].bind(values[z]));
+  // Pairs sharing a group (or value) factor are also quasi-orthogonal:
+  // (g⊙v1)·(g⊙v2) = v1·v2.
+  const double mean_cos = hdc::mean_abs_pairwise_cosine(bound);
+  EXPECT_LT(mean_cos, 4.0 / std::sqrt(static_cast<double>(d)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, QuasiOrthogonality,
+                         ::testing::Values(std::size_t{256}, std::size_t{512},
+                                           std::size_t{1024}, std::size_t{1536},
+                                           std::size_t{2048}));
+
+class BundleCapacity : public ::testing::TestWithParam<int> {};
+
+TEST_P(BundleCapacity, ConstituentsRemainDetectable) {
+  // Bundling K items: each constituent stays the nearest codebook entry.
+  const int k = GetParam();
+  const std::size_t d = 4096;
+  util::Rng rng(5000 + k);
+  hdc::Codebook cb(32, d, rng);
+  hdc::BundleAccumulator acc(d);
+  for (int i = 0; i < k; ++i) acc.add(cb[static_cast<std::size_t>(i)]);
+  auto bundle = acc.finalize(rng);
+  for (int i = 0; i < k; ++i) {
+    double sim_in = bundle.cosine(cb[static_cast<std::size_t>(i)]);
+    // Any non-constituent must score lower.
+    for (std::size_t j = static_cast<std::size_t>(k); j < cb.size(); ++j)
+      EXPECT_GT(sim_in, bundle.cosine(cb[j]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, BundleCapacity, ::testing::Values(1, 3, 5, 7));
+
+TEST(BinaryBipolarDuality, SimilarityIdentityHoldsAcrossDims) {
+  for (std::size_t d : {63u, 64u, 65u, 127u, 1000u}) {
+    util::Rng rng(6000 + d);
+    auto a = BipolarHV::random(d, rng);
+    auto b = BipolarHV::random(d, rng);
+    EXPECT_NEAR(a.cosine(b), a.to_binary().similarity(b.to_binary()), 1e-12)
+        << "dim " << d;
+  }
+}
+
+}  // namespace
+}  // namespace hdczsc

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "tensor/linalg.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using tensor::Tensor;
+
+Tensor random_spd(std::size_t n, util::Rng& rng) {
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor spd = tensor::matmul_nt(a, a);  // A Aᵀ
+  for (std::size_t i = 0; i < n; ++i) spd[i * n + i] += static_cast<float>(n);
+  return spd;
+}
+
+TEST(Linalg, CholeskyReconstructs) {
+  util::Rng rng(1);
+  Tensor a = random_spd(6, rng);
+  Tensor l = tensor::cholesky(a);
+  Tensor recon = tensor::matmul_nt(l, l);
+  EXPECT_LT(tensor::max_abs_diff(a, recon), 1e-3f);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  Tensor bad({2, 2}, std::vector<float>{1, 2, 2, 1});  // eigenvalues 3, -1
+  EXPECT_THROW(tensor::cholesky(bad), std::domain_error);
+}
+
+TEST(Linalg, SolveSpdRoundTrip) {
+  util::Rng rng(2);
+  Tensor a = random_spd(8, rng);
+  Tensor x_true = Tensor::randn({8, 3}, rng);
+  Tensor b = tensor::matmul(a, x_true);
+  Tensor x = tensor::solve_spd(a, b);
+  EXPECT_LT(tensor::max_abs_diff(x, x_true), 1e-2f);
+}
+
+TEST(Linalg, GeneralSolveRoundTrip) {
+  util::Rng rng(3);
+  Tensor a = Tensor::randn({7, 7}, rng);
+  for (std::size_t i = 0; i < 7; ++i) a[i * 7 + i] += 5.0f;  // well-conditioned
+  Tensor x_true = Tensor::randn({7, 2}, rng);
+  Tensor b = tensor::matmul(a, x_true);
+  Tensor x = tensor::solve(a, b);
+  EXPECT_LT(tensor::max_abs_diff(x, x_true), 1e-2f);
+}
+
+TEST(Linalg, SolveNeedsPivoting) {
+  // Zero on the initial pivot: only solvable with row exchange.
+  Tensor a({2, 2}, std::vector<float>{0, 1, 1, 0});
+  Tensor b({2, 1}, std::vector<float>{3, 4});
+  Tensor x = tensor::solve(a, b);
+  EXPECT_NEAR(x[0], 4.0f, 1e-5);
+  EXPECT_NEAR(x[1], 3.0f, 1e-5);
+}
+
+TEST(Linalg, SingularMatrixThrows) {
+  Tensor a({2, 2}, std::vector<float>{1, 2, 2, 4});
+  Tensor b({2, 1}, std::vector<float>{1, 1});
+  EXPECT_THROW(tensor::solve(a, b), std::domain_error);
+}
+
+TEST(Linalg, InverseTimesSelfIsIdentity) {
+  util::Rng rng(4);
+  Tensor a = Tensor::randn({5, 5}, rng);
+  for (std::size_t i = 0; i < 5; ++i) a[i * 5 + i] += 4.0f;
+  Tensor inv = tensor::inverse(a);
+  Tensor prod = tensor::matmul(a, inv);
+  EXPECT_LT(tensor::max_abs_diff(prod, Tensor::eye(5)), 1e-3f);
+}
+
+TEST(Linalg, NonSquareRejected) {
+  Tensor a({2, 3});
+  EXPECT_THROW(tensor::cholesky(a), std::invalid_argument);
+  EXPECT_THROW(tensor::inverse(a), std::invalid_argument);
+}
+
+class SpdSolveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpdSolveSizes, ResidualSmall) {
+  const std::size_t n = static_cast<std::size_t>(GetParam());
+  util::Rng rng(50 + n);
+  Tensor a = random_spd(n, rng);
+  Tensor b = Tensor::randn({n, 2}, rng);
+  Tensor x = tensor::solve_spd(a, b);
+  Tensor resid = tensor::sub(tensor::matmul(a, x), b);
+  EXPECT_LT(resid.norm() / (b.norm() + 1e-9f), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpdSolveSizes, ::testing::Values(1, 2, 4, 9, 16, 32));
+
+}  // namespace
+}  // namespace hdczsc

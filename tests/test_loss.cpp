@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});
+  auto res = nn::cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(res.value, std::log(4.0f), 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectIsNearZero) {
+  Tensor logits({1, 3}, std::vector<float>{20.0f, 0.0f, 0.0f});
+  auto res = nn::cross_entropy(logits, {0});
+  EXPECT_LT(res.value, 1e-6f);
+}
+
+TEST(CrossEntropy, GradIsSoftmaxMinusOneHotOverB) {
+  Tensor logits({2, 3}, std::vector<float>{1, 2, 3, 0, 0, 0});
+  auto res = nn::cross_entropy(logits, {2, 1});
+  Tensor p = tensor::softmax_rows(logits);
+  EXPECT_NEAR(res.grad_logits.at(0, 2), (p.at(0, 2) - 1.0f) / 2.0f, 1e-6);
+  EXPECT_NEAR(res.grad_logits.at(0, 0), p.at(0, 0) / 2.0f, 1e-6);
+  EXPECT_NEAR(res.grad_logits.at(1, 1), (p.at(1, 1) - 1.0f) / 2.0f, 1e-6);
+}
+
+TEST(CrossEntropy, NumericalGradCheck) {
+  util::Rng rng(1);
+  Tensor logits = Tensor::randn({3, 5}, rng);
+  std::vector<std::size_t> targets{1, 4, 0};
+  auto res = nn::cross_entropy(logits, targets);
+  auto f = [&](const Tensor& l) {
+    return static_cast<double>(nn::cross_entropy(l, targets).value);
+  };
+  for (std::size_t i = 0; i < logits.numel(); i += 3) {
+    const double num = testing::numerical_grad(f, logits.clone(), i);
+    EXPECT_LT(testing::grad_rel_err(res.grad_logits[i], num), 2e-2) << "idx " << i;
+  }
+}
+
+TEST(CrossEntropy, RejectsBadTargets) {
+  Tensor logits({1, 2});
+  EXPECT_THROW(nn::cross_entropy(logits, {5}), std::out_of_range);
+  EXPECT_THROW(nn::cross_entropy(logits, {0, 1}), std::invalid_argument);
+}
+
+TEST(Bce, MatchesClosedFormAtZeroLogit) {
+  Tensor logits({1, 2});
+  Tensor targets({1, 2}, std::vector<float>{1.0f, 0.0f});
+  auto res = nn::weighted_bce_with_logits(logits, targets);
+  EXPECT_NEAR(res.value, std::log(2.0f), 1e-5);  // both terms are log 2
+}
+
+TEST(Bce, StableAtExtremeLogits) {
+  Tensor logits({1, 2}, std::vector<float>{60.0f, -60.0f});
+  Tensor targets({1, 2}, std::vector<float>{1.0f, 0.0f});
+  auto res = nn::weighted_bce_with_logits(logits, targets);
+  EXPECT_TRUE(std::isfinite(res.value));
+  EXPECT_LT(res.value, 1e-5f);
+}
+
+TEST(Bce, PosWeightScalesPositiveTerm) {
+  Tensor logits({1, 1}, std::vector<float>{0.0f});
+  Tensor targets({1, 1}, std::vector<float>{1.0f});
+  Tensor w({1}, std::vector<float>{3.0f});
+  auto weighted = nn::weighted_bce_with_logits(logits, targets, w);
+  auto plain = nn::weighted_bce_with_logits(logits, targets);
+  EXPECT_NEAR(weighted.value, 3.0f * plain.value, 1e-5);
+}
+
+TEST(Bce, NumericalGradCheck) {
+  util::Rng rng(2);
+  Tensor logits = Tensor::randn({2, 4}, rng);
+  Tensor targets({2, 4}, std::vector<float>{1, 0, 0, 1, 0, 1, 0, 0});
+  Tensor w = Tensor::from_vector({2.0f, 1.0f, 0.5f, 4.0f});
+  auto res = nn::weighted_bce_with_logits(logits, targets, w);
+  auto f = [&](const Tensor& l) {
+    return static_cast<double>(nn::weighted_bce_with_logits(l, targets, w).value);
+  };
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const double num = testing::numerical_grad(f, logits.clone(), i);
+    EXPECT_LT(testing::grad_rel_err(res.grad_logits[i], num), 2e-2) << "idx " << i;
+  }
+}
+
+TEST(Bce, ShapeMismatchThrows) {
+  EXPECT_THROW(nn::weighted_bce_with_logits(Tensor({1, 2}), Tensor({2, 1})),
+               std::invalid_argument);
+  EXPECT_THROW(nn::weighted_bce_with_logits(Tensor({1, 2}), Tensor({1, 2}), Tensor({3})),
+               std::invalid_argument);
+}
+
+TEST(BcePosWeights, ReflectsImbalance) {
+  // Attribute 0 active in 1/4 rows -> ratio 3; attribute 1 active in all
+  // rows -> ratio 0 clamped to min.
+  Tensor targets({4, 2}, std::vector<float>{1, 1, 0, 1, 0, 1, 0, 1});
+  Tensor w = nn::bce_pos_weights_from_targets(targets, 0.5f, 20.0f);
+  EXPECT_NEAR(w[0], 3.0f, 1e-5);
+  EXPECT_NEAR(w[1], 0.5f, 1e-5);
+}
+
+TEST(BcePosWeights, AllNegativeClampsToMax) {
+  Tensor targets({4, 1});
+  Tensor w = nn::bce_pos_weights_from_targets(targets, 0.5f, 20.0f);
+  EXPECT_FLOAT_EQ(w[0], 20.0f);
+}
+
+}  // namespace
+}  // namespace hdczsc

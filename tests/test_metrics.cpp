@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "metrics/attribute_metrics.hpp"
+#include "metrics/classification.hpp"
+
+namespace hdczsc {
+namespace {
+
+using tensor::Tensor;
+
+TEST(TopK, PerfectAndWorstCase) {
+  Tensor scores({2, 3}, std::vector<float>{0.9f, 0.05f, 0.05f, 0.1f, 0.2f, 0.7f});
+  EXPECT_DOUBLE_EQ(metrics::top1_accuracy(scores, {0, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::top1_accuracy(scores, {1, 0}), 0.0);
+}
+
+TEST(TopK, Top5CoversMore) {
+  Tensor scores({1, 6}, std::vector<float>{6, 5, 4, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(metrics::topk_accuracy(scores, {4}, 5), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::topk_accuracy(scores, {5}, 5), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::top1_accuracy(scores, {0}), 1.0);
+}
+
+TEST(TopK, KLargerThanClassesClamped) {
+  Tensor scores({1, 2}, std::vector<float>{0.2f, 0.8f});
+  EXPECT_DOUBLE_EQ(metrics::topk_accuracy(scores, {0}, 10), 1.0);
+}
+
+TEST(TopK, MismatchThrows) {
+  Tensor scores({2, 2});
+  EXPECT_THROW(metrics::top1_accuracy(scores, {0}), std::invalid_argument);
+}
+
+TEST(Confusion, CountsPredictions) {
+  Tensor scores({3, 2}, std::vector<float>{0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  auto cm = metrics::confusion_matrix(scores, {0, 0, 1}, 2);
+  EXPECT_EQ(cm[0][0], 1u);  // true 0 predicted 0
+  EXPECT_EQ(cm[0][1], 1u);  // true 0 predicted 1
+  EXPECT_EQ(cm[1][0], 1u);  // true 1 predicted 0
+  EXPECT_EQ(cm[1][1], 0u);
+}
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  EXPECT_DOUBLE_EQ(metrics::average_precision({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(AveragePrecision, WorstRankingKnownValue) {
+  // Positives at ranks 3 and 4: AP = (1/3 + 2/4)/2 = 5/12.
+  EXPECT_NEAR(metrics::average_precision({0.9f, 0.8f, 0.2f, 0.1f}, {0, 0, 1, 1}),
+              5.0 / 12.0, 1e-12);
+}
+
+TEST(AveragePrecision, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(metrics::average_precision({0.5f, 0.4f}, {0, 0}), 0.0);
+}
+
+TEST(AveragePrecision, SizeMismatchThrows) {
+  EXPECT_THROW(metrics::average_precision({0.5f}, {0, 1}), std::invalid_argument);
+}
+
+TEST(PerGroupTop1, ToySpaceExactValues) {
+  // 2 groups x 2 values (toy space: group sizes 2, offsets 0 and 2).
+  auto space = data::AttributeSpace::toy(2, 2, 4);
+  // Sample 0: group0 predicts correctly, group1 wrong.
+  Tensor scores({2, 4}, std::vector<float>{0.9f, 0.1f, 0.2f, 0.8f,
+                                           0.1f, 0.9f, 0.7f, 0.3f});
+  Tensor targets({2, 4}, std::vector<float>{1, 0, 1, 0,
+                                            0, 1, 1, 0});
+  auto acc = metrics::per_group_top1(scores, targets, space);
+  EXPECT_DOUBLE_EQ(acc[0], 1.0);  // both rows correct in group 0
+  EXPECT_DOUBLE_EQ(acc[1], 0.5);  // row 0 wrong, row 1 right
+}
+
+TEST(PerGroupWmap, PerfectScoresGiveOne) {
+  auto space = data::AttributeSpace::toy(1, 3, 3);
+  Tensor targets({4, 3}, std::vector<float>{1, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 1});
+  Tensor scores = targets.clone();  // scores identical to labels: perfect AP
+  auto wmap = metrics::per_group_wmap(scores, targets, space);
+  EXPECT_NEAR(wmap[0], 1.0, 1e-12);
+}
+
+TEST(PerGroupWmap, RareAttributeDominatesWeighting) {
+  auto space = data::AttributeSpace::toy(1, 2, 2);
+  // Attribute 0: 3 positives (common, predicted perfectly).
+  // Attribute 1: 1 positive (rare, predicted at the bottom -> low AP).
+  Tensor targets({4, 2}, std::vector<float>{1, 0, 1, 0, 1, 0, 0, 1});
+  Tensor scores({4, 2}, std::vector<float>{0.9f, 0.8f, 0.8f, 0.7f, 0.7f, 0.6f, 0.6f, 0.1f});
+  auto wmap = metrics::per_group_wmap(scores, targets, space);
+  // AP(common)=1; AP(rare)=1/4. Weights ∝ 4/3 vs 4/1 -> wmap = (4/3*1 + 4*0.25)/(4/3+4).
+  const double expect = ((4.0 / 3.0) * 1.0 + 4.0 * 0.25) / (4.0 / 3.0 + 4.0);
+  EXPECT_NEAR(wmap[0], expect, 1e-9);
+  // Unweighted mean would be (1 + 0.25)/2 = 0.625 > wmap: weighting
+  // punishes the rare-attribute failure harder.
+  EXPECT_LT(wmap[0], 0.625);
+}
+
+TEST(PerGroupMetrics, ShapeMismatchThrows) {
+  auto space = data::AttributeSpace::toy(2, 2, 4);
+  EXPECT_THROW(metrics::per_group_top1(Tensor({2, 3}), Tensor({2, 3}), space),
+               std::invalid_argument);
+  EXPECT_THROW(metrics::per_group_wmap(Tensor({2, 4}), Tensor({2, 3}), space),
+               std::invalid_argument);
+}
+
+TEST(MeanOf, HandlesEmptyAndValues) {
+  EXPECT_DOUBLE_EQ(metrics::mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(metrics::mean_of({1.0, 2.0, 3.0}), 2.0);
+}
+
+}  // namespace
+}  // namespace hdczsc

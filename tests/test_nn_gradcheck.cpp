@@ -1,0 +1,222 @@
+// Finite-difference gradient verification for every differentiable layer
+// and for the similarity kernel — the backbone of trust in the hand-written
+// backward passes.
+#include <gtest/gtest.h>
+
+#include "core/similarity.hpp"
+#include "gradcheck.hpp"
+#include "nn/activation.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/resnet.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+using testing::grad_rel_err;
+using testing::numerical_grad;
+
+/// Scalar loss used in all checks: weighted sum of outputs with fixed
+/// pseudo-random weights (exposes every output element).
+Tensor loss_weights(const tensor::Shape& shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::randn(shape, rng);
+}
+
+double weighted_sum(const Tensor& y, const Tensor& w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.numel(); ++i) s += static_cast<double>(y[i]) * w[i];
+  return s;
+}
+
+/// Check dL/dx of `layer` at a handful of probe indices. Composite blocks
+/// with internal ReLUs have kinks where central differences are invalid;
+/// `max_outliers` probes are allowed to exceed the tolerance there.
+void check_input_grad(nn::Layer& layer, const Tensor& x0, double tol = 2e-2,
+                      int max_outliers = 0) {
+  Tensor probe = layer.forward(x0, true);
+  Tensor w = loss_weights(probe.shape(), 999);
+  Tensor dx = layer.backward(w.clone());
+
+  auto f = [&](const Tensor& x) { return weighted_sum(layer.forward(x, true), w); };
+  util::Rng pick(123);
+  int outliers = 0;
+  for (int t = 0; t < 12; ++t) {
+    const std::size_t i = static_cast<std::size_t>(pick.next_below(x0.numel()));
+    const double num = numerical_grad(f, x0.clone(), i);
+    const double err = grad_rel_err(dx[i], num);
+    if (err >= tol) {
+      ++outliers;
+      if (outliers > max_outliers)
+        ADD_FAILURE() << "input grad idx " << i << " rel err " << err << " (outlier "
+                      << outliers << " > " << max_outliers << " allowed)";
+    }
+  }
+  // Restore cache state for parameter checks.
+  layer.forward(x0, true);
+  layer.backward(w.clone());
+}
+
+/// Check dL/dθ for every parameter of `layer` at probe indices.
+void check_param_grads(nn::Layer& layer, const Tensor& x0, double tol = 2e-2) {
+  Tensor probe = layer.forward(x0, true);
+  Tensor w = loss_weights(probe.shape(), 999);
+  for (auto* p : layer.parameters()) p->zero_grad();
+  layer.backward(w.clone());
+
+  util::Rng pick(321);
+  for (auto* p : layer.parameters()) {
+    for (int t = 0; t < 6; ++t) {
+      const std::size_t i = static_cast<std::size_t>(pick.next_below(p->value.numel()));
+      const float orig = p->value[i];
+      const double eps = 1e-3;
+      p->value[i] = static_cast<float>(orig + eps);
+      const double up = weighted_sum(layer.forward(x0, true), w);
+      p->value[i] = static_cast<float>(orig - eps);
+      const double down = weighted_sum(layer.forward(x0, true), w);
+      p->value[i] = orig;
+      const double num = (up - down) / (2.0 * eps);
+      EXPECT_LT(grad_rel_err(p->grad[i], num), tol)
+          << p->name << " grad idx " << i << " analytic " << p->grad[i] << " numeric " << num;
+    }
+  }
+}
+
+TEST(GradCheck, Linear) {
+  util::Rng rng(1);
+  nn::Linear fc(6, 4, rng);
+  Tensor x = Tensor::randn({3, 6}, rng);
+  check_input_grad(fc, x);
+  check_param_grads(fc, x);
+}
+
+TEST(GradCheck, Conv2d) {
+  util::Rng rng(2);
+  nn::Conv2d conv(2, 3, 3, 1, 1, rng, /*bias=*/true);
+  Tensor x = Tensor::randn({2, 2, 5, 5}, rng);
+  check_input_grad(conv, x);
+  check_param_grads(conv, x);
+}
+
+TEST(GradCheck, Conv2dStrided) {
+  util::Rng rng(3);
+  nn::Conv2d conv(1, 2, 3, 2, 1, rng);
+  Tensor x = Tensor::randn({2, 1, 6, 6}, rng);
+  check_input_grad(conv, x);
+  check_param_grads(conv, x);
+}
+
+TEST(GradCheck, BatchNorm) {
+  util::Rng rng(4);
+  nn::BatchNorm2d bn(3);
+  Tensor x = Tensor::randn({4, 3, 3, 3}, rng);
+  check_input_grad(bn, x, 5e-2);
+  check_param_grads(bn, x, 5e-2);
+}
+
+TEST(GradCheck, ReLUAwayFromKink) {
+  util::Rng rng(5);
+  nn::ReLU relu;
+  // Keep activations away from 0 so finite differences are valid.
+  Tensor x = Tensor::randn({2, 10}, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x[i]) < 0.1f) x[i] = 0.5f;
+  check_input_grad(relu, x);
+}
+
+TEST(GradCheck, LeakyReLU) {
+  util::Rng rng(6);
+  nn::LeakyReLU lrelu(0.2f);
+  Tensor x = Tensor::randn({2, 10}, rng);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x[i]) < 0.1f) x[i] = -0.5f;
+  check_input_grad(lrelu, x);
+}
+
+TEST(GradCheck, TanhAndSigmoid) {
+  util::Rng rng(7);
+  nn::Tanh th;
+  Tensor x = Tensor::randn({2, 8}, rng);
+  check_input_grad(th, x);
+  nn::Sigmoid sig;
+  check_input_grad(sig, x);
+}
+
+TEST(GradCheck, MaxPool) {
+  util::Rng rng(8);
+  nn::MaxPool2d pool(2, 2);
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng);
+  check_input_grad(pool, x);
+}
+
+TEST(GradCheck, GlobalAvgPool) {
+  util::Rng rng(9);
+  nn::GlobalAvgPool gap;
+  Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  check_input_grad(gap, x);
+}
+
+TEST(GradCheck, BasicBlock) {
+  util::Rng rng(10);
+  nn::BasicBlock block(4, 8, 2, rng);
+  Tensor x = Tensor::randn({2, 4, 6, 6}, rng);
+  check_input_grad(block, x, 5e-2, /*max_outliers=*/2);
+}
+
+TEST(GradCheck, Bottleneck) {
+  util::Rng rng(11);
+  nn::Bottleneck block(8, 4, 1, rng);
+  Tensor x = Tensor::randn({2, 8, 4, 4}, rng);
+  check_input_grad(block, x, 5e-2, /*max_outliers=*/2);
+}
+
+TEST(GradCheck, SimilarityKernelEmbeddingGrad) {
+  util::Rng rng(12);
+  core::SimilarityKernel kernel(0.5f);
+  Tensor e = Tensor::randn({3, 8}, rng);
+  Tensor c = Tensor::randn({4, 8}, rng);
+  Tensor logits = kernel.forward(e, c, true);
+  Tensor w = loss_weights(logits.shape(), 777);
+  auto grads = kernel.backward(w);
+
+  auto fe = [&](const Tensor& ee) { return weighted_sum(kernel.forward(ee, c, true), w); };
+  auto fc = [&](const Tensor& cc) { return weighted_sum(kernel.forward(e, cc, true), w); };
+  util::Rng pick(55);
+  for (int t = 0; t < 10; ++t) {
+    const std::size_t i = static_cast<std::size_t>(pick.next_below(e.numel()));
+    EXPECT_LT(grad_rel_err(grads.grad_e[i], numerical_grad(fe, e.clone(), i)), 3e-2);
+    const std::size_t j = static_cast<std::size_t>(pick.next_below(c.numel()));
+    EXPECT_LT(grad_rel_err(grads.grad_c[j], numerical_grad(fc, c.clone(), j)), 3e-2);
+  }
+  // Restore cache then re-run for the next assertions.
+  kernel.forward(e, c, true);
+}
+
+TEST(GradCheck, SimilarityKernelTemperatureGrad) {
+  util::Rng rng(13);
+  core::SimilarityKernel kernel(0.2f);
+  Tensor e = Tensor::randn({2, 6}, rng);
+  Tensor c = Tensor::randn({3, 6}, rng);
+  Tensor w = loss_weights({2, 3}, 778);
+
+  kernel.forward(e, c, true);
+  kernel.log_scale().zero_grad();
+  kernel.backward(w);
+  const double analytic = kernel.log_scale().grad[0];
+
+  const double eps = 1e-3;
+  auto eval_at = [&](float lambda) {
+    core::SimilarityKernel k2(std::exp(lambda));
+    return weighted_sum(k2.forward(e, c, false), w);
+  };
+  const float lam = kernel.log_scale().value[0];
+  const double num = (eval_at(lam + static_cast<float>(eps)) -
+                      eval_at(lam - static_cast<float>(eps))) / (2.0 * eps);
+  EXPECT_LT(grad_rel_err(analytic, num), 2e-2);
+}
+
+}  // namespace
+}  // namespace hdczsc

@@ -1,0 +1,105 @@
+// Protocol-level invariants of the experiment pipeline, parameterized over
+// the paper's split protocols and both attribute encoders: example counts
+// follow from the split definition, results are bit-deterministic for a
+// fixed seed, and seeds actually change the draw.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/pipeline.hpp"
+
+namespace hdczsc {
+namespace {
+
+core::PipelineConfig tiny_cfg(const std::string& split, const std::string& encoder) {
+  core::PipelineConfig cfg;
+  cfg.n_classes = 8;
+  cfg.images_per_class = 4;
+  cfg.train_instances = 3;
+  cfg.image_size = 16;
+  cfg.split = split;
+  cfg.zs_train_classes = 6;
+  cfg.nozs_classes = 6;
+  cfg.val_classes = 2;
+  cfg.model.image.arch = "resnet_micro";  // GAP variant works at 16px
+  cfg.model.image.proj_dim = 32;
+  cfg.model.attribute_encoder = encoder;
+  cfg.run_phase1 = false;
+  cfg.run_phase2 = false;  // keep each parameterized run fast
+  cfg.phase3 = {1, 8, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.augment.enabled = false;
+  return cfg;
+}
+
+class PipelineProtocols
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {};
+
+TEST_P(PipelineProtocols, ExampleCountMatchesSplitDefinition) {
+  auto [split, encoder] = GetParam();
+  auto cfg = tiny_cfg(split, encoder);
+  auto res = core::run_pipeline(cfg);
+  std::size_t expect;
+  if (std::string(split) == "zs") {
+    expect = (cfg.n_classes - cfg.zs_train_classes) * cfg.images_per_class;
+  } else if (std::string(split) == "nozs") {
+    expect = cfg.nozs_classes * (cfg.images_per_class - cfg.train_instances);
+  } else {  // val
+    expect = cfg.val_classes * cfg.images_per_class;
+  }
+  EXPECT_EQ(res.zsc.n_examples, expect) << split << "/" << encoder;
+  EXPECT_GE(res.zsc.top5, res.zsc.top1);
+}
+
+TEST_P(PipelineProtocols, DeterministicForFixedSeed) {
+  auto [split, encoder] = GetParam();
+  auto cfg = tiny_cfg(split, encoder);
+  auto a = core::run_pipeline(cfg);
+  auto b = core::run_pipeline(cfg);
+  EXPECT_DOUBLE_EQ(a.zsc.top1, b.zsc.top1) << split << "/" << encoder;
+  EXPECT_DOUBLE_EQ(a.zsc.top5, b.zsc.top5);
+  EXPECT_FLOAT_EQ(static_cast<float>(a.phase3_final_loss),
+                  static_cast<float>(b.phase3_final_loss));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SplitsAndEncoders, PipelineProtocols,
+    ::testing::Combine(::testing::Values("zs", "nozs", "val"),
+                       ::testing::Values("hdc", "mlp")),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" + std::get<1>(info.param);
+    });
+
+TEST(PipelineProtocols, SeedOffsetsChangeTheDraw) {
+  auto cfg = tiny_cfg("zs", "hdc");
+  cfg.phase3.epochs = 2;
+  auto a = core::run_pipeline(cfg, 0);
+  auto b = core::run_pipeline(cfg, 1);
+  // Different seeds -> different splits/weights -> (almost surely)
+  // different training loss trajectory.
+  EXPECT_NE(a.phase3_final_loss, b.phase3_final_loss);
+}
+
+TEST(PipelineProtocols, MultiSeedAggregatesAllRuns) {
+  auto cfg = tiny_cfg("zs", "hdc");
+  auto ms = core::run_pipeline_seeds(cfg, 3);
+  EXPECT_EQ(ms.runs.size(), 3u);
+  double mn = 1.0, mx = 0.0;
+  for (const auto& r : ms.runs) {
+    mn = std::min(mn, r.zsc.top1);
+    mx = std::max(mx, r.zsc.top1);
+  }
+  EXPECT_GE(ms.top1_mean, mn - 1e-12);
+  EXPECT_LE(ms.top1_mean, mx + 1e-12);
+}
+
+TEST(PipelineProtocols, ParameterCountsConsistentWithEncoders) {
+  auto hdc_cfg = tiny_cfg("zs", "hdc");
+  auto mlp_cfg = tiny_cfg("zs", "mlp");
+  auto hdc_res = core::run_pipeline(hdc_cfg);
+  auto mlp_res = core::run_pipeline(mlp_cfg);
+  // The HDC encoder is stationary: strictly fewer trainable parameters.
+  EXPECT_LT(hdc_res.trainable_parameters, mlp_res.trainable_parameters);
+}
+
+}  // namespace
+}  // namespace hdczsc

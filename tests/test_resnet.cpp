@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/param_count.hpp"
+#include "nn/resnet.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+
+TEST(ResNet, MiniForwardShape) {
+  util::Rng rng(1);
+  nn::Backbone bb = nn::resnet_mini(rng);
+  EXPECT_EQ(bb.feature_dim, 64u);
+  Tensor x({2, 3, 32, 32});
+  Tensor y = bb.net->forward(x, false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 64}));
+}
+
+TEST(ResNet, MicroForwardShape) {
+  util::Rng rng(2);
+  nn::Backbone bb = nn::resnet_micro(rng);
+  EXPECT_EQ(bb.feature_dim, 32u);
+  Tensor y = bb.net->forward(Tensor({1, 3, 32, 32}), false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 32}));
+}
+
+TEST(ResNet, Resnet18ForwardOnSmallImage) {
+  util::Rng rng(3);
+  nn::Backbone bb = nn::resnet18(rng);
+  EXPECT_EQ(bb.feature_dim, 512u);
+  // 64x64 keeps the test fast while exercising all four stages.
+  Tensor y = bb.net->forward(Tensor({1, 3, 64, 64}), false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 512}));
+}
+
+TEST(ResNet, MicroFlatForwardShape) {
+  util::Rng rng(21);
+  nn::Backbone bb = nn::resnet_micro_flat(rng);
+  EXPECT_EQ(bb.feature_dim, 32u * 8 * 8);
+  Tensor y = bb.net->forward(Tensor({2, 3, 32, 32}), false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 2048}));
+}
+
+TEST(ResNet, MiniFlatForwardShape) {
+  util::Rng rng(22);
+  nn::Backbone bb = nn::resnet_mini_flat(rng);
+  EXPECT_EQ(bb.feature_dim, 64u * 8 * 8);
+  Tensor y = bb.net->forward(Tensor({1, 3, 32, 32}), false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 4096}));
+}
+
+TEST(ResNet, FlatRejectsBadInputSize) {
+  util::Rng rng(23);
+  EXPECT_THROW(nn::resnet_micro_flat(rng, 3, 30), std::invalid_argument);
+}
+
+TEST(ParamCount, AnalyticMatchesBuiltFlatVariants) {
+  util::Rng rng(24);
+  nn::Backbone micro = nn::resnet_micro_flat(rng);
+  EXPECT_EQ(micro.net->parameter_count(), core::backbone_param_count("resnet_micro_flat"));
+  EXPECT_EQ(core::backbone_feature_dim("resnet_micro_flat"), 2048u);
+  nn::Backbone mini = nn::resnet_mini_flat(rng);
+  EXPECT_EQ(mini.net->parameter_count(), core::backbone_param_count("resnet_mini_flat"));
+  EXPECT_EQ(core::backbone_feature_dim("resnet_mini_flat"), 4096u);
+}
+
+TEST(ResNet, MakeBackboneRejectsUnknownArch) {
+  util::Rng rng(4);
+  EXPECT_THROW(nn::make_backbone("vgg16", rng), std::invalid_argument);
+}
+
+TEST(ResNet, BackwardProducesInputShapedGrad) {
+  util::Rng rng(5);
+  nn::Backbone bb = nn::resnet_micro(rng);
+  Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+  Tensor y = bb.net->forward(x, true);
+  Tensor g = bb.net->backward(Tensor(y.shape(), 1.0f));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(ParamCount, AnalyticMatchesBuiltMini) {
+  util::Rng rng(6);
+  nn::Backbone bb = nn::resnet_mini(rng);
+  EXPECT_EQ(bb.net->parameter_count(), core::backbone_param_count("resnet_mini"));
+}
+
+TEST(ParamCount, AnalyticMatchesBuiltMicro) {
+  util::Rng rng(7);
+  nn::Backbone bb = nn::resnet_micro(rng);
+  EXPECT_EQ(bb.net->parameter_count(), core::backbone_param_count("resnet_micro"));
+}
+
+TEST(ParamCount, AnalyticMatchesBuiltResnet18) {
+  util::Rng rng(8);
+  nn::Backbone bb = nn::resnet18(rng);
+  EXPECT_EQ(bb.net->parameter_count(), core::backbone_param_count("resnet18"));
+}
+
+TEST(ParamCount, Resnet50MatchesLiterature) {
+  // torchvision resnet50 has 25.557M params including the 1000-way fc
+  // (2048*1000 + 1000 = 2.049M); backbone-only is ~23.5M.
+  const double millions =
+      static_cast<double>(core::backbone_param_count("resnet50")) / 1e6;
+  EXPECT_NEAR(millions, 23.5, 0.3);
+}
+
+TEST(ParamCount, Resnet101MatchesLiterature) {
+  const double millions =
+      static_cast<double>(core::backbone_param_count("resnet101")) / 1e6;
+  EXPECT_NEAR(millions, 42.5, 0.5);
+}
+
+TEST(ParamCount, PaperHdcZscIs26_6M) {
+  // The paper's headline model: ResNet50 + FC(2048 -> 1536) = 26.6M.
+  const double millions =
+      static_cast<double>(core::hdczsc_param_count("resnet50", 1536, true)) / 1e6;
+  EXPECT_NEAR(millions, 26.6, 0.3);
+}
+
+TEST(ParamCount, FeatureDims) {
+  EXPECT_EQ(core::backbone_feature_dim("resnet50"), 2048u);
+  EXPECT_EQ(core::backbone_feature_dim("resnet101"), 2048u);
+  EXPECT_EQ(core::backbone_feature_dim("resnet18"), 512u);
+  EXPECT_EQ(core::backbone_feature_dim("resnet_mini"), 64u);
+}
+
+TEST(ParamCount, MlpVariantAddsEncoderParams) {
+  const std::size_t hdc = core::hdczsc_param_count("resnet50", 1536, true);
+  const std::size_t mlp = core::mlp_zsc_param_count("resnet50", 1536, true, 312, 512);
+  EXPECT_EQ(mlp - hdc, 312u * 512 + 512 + 512 * 1536 + 1536);
+}
+
+}  // namespace
+}  // namespace hdczsc

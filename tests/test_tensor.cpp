@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc {
+namespace {
+
+using tensor::Tensor;
+
+TEST(Tensor, ZerosShapeAndValues) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.dim(), 2u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FromVectorChecksSize) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+  Tensor ok({2, 2}, std::vector<float>{1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(ok.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t({2, 3}, 1.0f);
+  Tensor v = t.reshape({3, 2});
+  EXPECT_TRUE(t.shares_storage(v));
+  v[0] = 9.0f;
+  EXPECT_FLOAT_EQ(t[0], 9.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t({4}, 2.0f);
+  Tensor c = t.clone();
+  EXPECT_FALSE(t.shares_storage(c));
+  c[0] = -1.0f;
+  EXPECT_FLOAT_EQ(t[0], 2.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0), std::out_of_range);  // wrong rank
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t = Tensor::from_vector({1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(t.sum(), 6.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.5f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 4.0f);
+  EXPECT_NEAR(t.norm(), std::sqrt(1 + 4 + 9 + 16.0f), 1e-5);
+}
+
+TEST(Tensor, EyeAndRandn) {
+  Tensor i3 = Tensor::eye(3);
+  EXPECT_FLOAT_EQ(i3.at(1, 1), 1.0f);
+  EXPECT_FLOAT_EQ(i3.at(0, 1), 0.0f);
+  util::Rng rng(3);
+  Tensor r = Tensor::randn({1000}, rng);
+  EXPECT_NEAR(r.mean(), 0.0f, 0.1f);
+}
+
+TEST(Tensor, RademacherOnlyPlusMinusOne) {
+  util::Rng rng(5);
+  Tensor r = Tensor::rademacher({256}, rng);
+  for (std::size_t i = 0; i < r.numel(); ++i)
+    EXPECT_TRUE(r[i] == 1.0f || r[i] == -1.0f);
+}
+
+TEST(Ops, ElementwiseAddSubMul) {
+  Tensor a = Tensor::from_vector({1, 2, 3});
+  Tensor b = Tensor::from_vector({4, 5, 6});
+  EXPECT_FLOAT_EQ(tensor::add(a, b)[1], 7.0f);
+  EXPECT_FLOAT_EQ(tensor::sub(a, b)[2], -3.0f);
+  EXPECT_FLOAT_EQ(tensor::mul(a, b)[0], 4.0f);
+  EXPECT_FLOAT_EQ(tensor::add_scalar(a, 1.0f)[0], 2.0f);
+  EXPECT_FLOAT_EQ(tensor::mul_scalar(a, -2.0f)[2], -6.0f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a({2, 2});
+  Tensor b({4});
+  EXPECT_THROW(tensor::add(a, b), std::invalid_argument);
+}
+
+TEST(Ops, MatmulKnownValues) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, std::vector<float>{7, 8, 9, 10, 11, 12});
+  Tensor c = tensor::matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, MatmulVariantsAgree) {
+  util::Rng rng(7);
+  Tensor a = Tensor::randn({4, 5}, rng);
+  Tensor b = Tensor::randn({5, 6}, rng);
+  Tensor ref = tensor::matmul(a, b);
+  // tn: (Aᵀ)ᵀ B using transpose(a) as the k×m input.
+  Tensor tn = tensor::matmul_tn(tensor::transpose(a), b);
+  EXPECT_LT(tensor::max_abs_diff(ref, tn), 1e-4f);
+  // nt: A (Bᵀ)ᵀ using transpose(b) as the n×k input.
+  Tensor nt = tensor::matmul_nt(a, tensor::transpose(b));
+  EXPECT_LT(tensor::max_abs_diff(ref, nt), 1e-4f);
+}
+
+TEST(Ops, MatvecMatchesMatmul) {
+  util::Rng rng(9);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor x = Tensor::randn({4}, rng);
+  Tensor y = tensor::matvec(a, x);
+  Tensor ref = tensor::matmul(a, x.reshape({4, 1}));
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], ref[i], 1e-5);
+}
+
+TEST(Ops, TransposeInvolution) {
+  util::Rng rng(11);
+  Tensor a = Tensor::randn({3, 7}, rng);
+  EXPECT_LT(tensor::max_abs_diff(a, tensor::transpose(tensor::transpose(a))), 0.0f + 1e-9f);
+}
+
+TEST(Ops, SumRowsAndCols) {
+  Tensor a({2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor rows = tensor::sum_rows(a);
+  EXPECT_FLOAT_EQ(rows[0], 5.0f);
+  EXPECT_FLOAT_EQ(rows[2], 9.0f);
+  Tensor cols = tensor::sum_cols(a);
+  EXPECT_FLOAT_EQ(cols[0], 6.0f);
+  EXPECT_FLOAT_EQ(cols[1], 15.0f);
+}
+
+TEST(Ops, ArgmaxAndTopk) {
+  Tensor a({2, 4}, std::vector<float>{0.1f, 0.9f, 0.3f, 0.5f, 2.0f, -1.0f, 1.5f, 0.0f});
+  auto am = tensor::argmax_rows(a);
+  EXPECT_EQ(am[0], 1u);
+  EXPECT_EQ(am[1], 0u);
+  auto tk = tensor::topk_rows(a, 2);
+  EXPECT_EQ(tk[0][0], 1u);
+  EXPECT_EQ(tk[0][1], 3u);
+  EXPECT_EQ(tk[1][0], 0u);
+  EXPECT_EQ(tk[1][1], 2u);
+  EXPECT_THROW(tensor::topk_rows(a, 5), std::invalid_argument);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  util::Rng rng(13);
+  Tensor l = Tensor::randn({5, 8}, rng, 0.0f, 3.0f);
+  Tensor p = tensor::softmax_rows(l);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 8; ++j) s += p.at(i, j);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxStableUnderLargeLogits) {
+  Tensor l({1, 3}, std::vector<float>{1000.0f, 1000.0f, 900.0f});
+  Tensor p = tensor::softmax_rows(l);
+  EXPECT_NEAR(p[0], 0.5f, 1e-4);
+  EXPECT_NEAR(p[2], 0.0f, 1e-4);
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  util::Rng rng(15);
+  Tensor l = Tensor::randn({3, 5}, rng);
+  Tensor ls = tensor::log_softmax_rows(l);
+  Tensor p = tensor::softmax_rows(l);
+  for (std::size_t i = 0; i < ls.numel(); ++i)
+    EXPECT_NEAR(ls[i], std::log(p[i]), 1e-4);
+}
+
+TEST(Ops, L2NormalizeRows) {
+  Tensor a({2, 2}, std::vector<float>{3, 4, 0, 0});
+  Tensor norms;
+  Tensor n = tensor::l2_normalize_rows(a, &norms);
+  EXPECT_NEAR(n.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(n.at(0, 1), 0.8f, 1e-6);
+  EXPECT_FLOAT_EQ(norms[0], 5.0f);
+  // Zero row untouched.
+  EXPECT_FLOAT_EQ(n.at(1, 0), 0.0f);
+}
+
+TEST(Ops, CosineSimilaritySelfIsOne) {
+  util::Rng rng(17);
+  Tensor a = Tensor::randn({4, 16}, rng);
+  Tensor s = tensor::cosine_similarity(a, a);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(s.at(i, i), 1.0f, 1e-5);
+}
+
+TEST(Ops, CosineSimilarityOrthogonalIsZero) {
+  Tensor a({1, 2}, std::vector<float>{1, 0});
+  Tensor b({1, 2}, std::vector<float>{0, 1});
+  EXPECT_NEAR(tensor::cosine_similarity(a, b)[0], 0.0f, 1e-6);
+}
+
+TEST(Ops, MeanStd) {
+  auto ms = tensor::mean_std({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 2.5);
+  EXPECT_NEAR(ms.stddev, std::sqrt(1.25), 1e-12);
+}
+
+// Parameterized sweep: matmul correctness against a naive reference over
+// many shapes.
+class MatmulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapes, MatchesNaive) {
+  auto [m, k, n] = GetParam();
+  util::Rng rng(100 + m * 7 + k * 3 + n);
+  Tensor a = Tensor::randn({static_cast<std::size_t>(m), static_cast<std::size_t>(k)}, rng);
+  Tensor b = Tensor::randn({static_cast<std::size_t>(k), static_cast<std::size_t>(n)}, rng);
+  Tensor c = tensor::matmul(a, b);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk)
+        acc += static_cast<double>(a.at(i, kk)) * b.at(kk, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-3) << "at (" << i << "," << j << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulShapes,
+                         ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                                           std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                                           std::make_tuple(1, 64, 1), std::make_tuple(33, 17, 9)));
+
+}  // namespace
+}  // namespace hdczsc

@@ -1,0 +1,239 @@
+// Trainer-level behaviour: each phase runs, reduces its loss, freezes what
+// the paper freezes, and the evaluation helpers agree with the metrics
+// module. Kept CPU-tiny (resnet_micro, 16x16 images).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/trainer.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+
+struct Fixture {
+  data::AttributeSpace space = data::AttributeSpace::cub();
+  data::CubSynthetic dataset;
+  core::ZscModelConfig model_cfg;
+
+  explicit Fixture(std::uint64_t seed = 3)
+      : dataset(space, make_ds_cfg(seed)) {
+    model_cfg.image.arch = "resnet_micro";
+    model_cfg.image.proj_dim = 32;
+    model_cfg.temp_scale = 0.5f;
+  }
+
+  static data::CubSyntheticConfig make_ds_cfg(std::uint64_t seed) {
+    data::CubSyntheticConfig cfg;
+    cfg.n_classes = 8;
+    cfg.images_per_class = 4;
+    cfg.image_size = 16;
+    cfg.seed = seed;
+    return cfg;
+  }
+
+  data::DataLoader loader(std::vector<std::size_t> classes, std::size_t lo, std::size_t hi,
+                          bool shuffle = true) {
+    data::AugmentConfig aug;
+    aug.enabled = false;
+    return data::DataLoader(dataset, std::move(classes), lo, hi, 8, shuffle, aug, 7);
+  }
+};
+
+core::TrainConfig quick(std::size_t epochs = 2) {
+  core::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 8;
+  cfg.lr = 3e-3f;
+  return cfg;
+}
+
+TEST(TrainerPhase1, ImprovesHeadAccuracy) {
+  util::Rng rng(1);
+  core::ImageEncoderConfig icfg;
+  icfg.arch = "resnet_micro";
+  icfg.proj_dim = 32;
+  core::ImageEncoder enc(icfg, rng);
+
+  data::ShapesSyntheticConfig scfg;
+  scfg.n_classes = 4;
+  scfg.images_per_class = 6;
+  scfg.image_size = 16;
+  data::ShapesSynthetic pretrain(scfg);
+
+  core::Trainer trainer(11);
+  const double acc = trainer.phase1_pretrain(enc, pretrain, quick(6));
+  EXPECT_GT(acc, 0.5);  // far above the 25% chance level
+}
+
+TEST(TrainerPhase2, LossDecreases) {
+  Fixture fx;
+  util::Rng rng(2);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto train = fx.loader({0, 1, 2, 3}, 0, 3);
+
+  core::Trainer trainer(12);
+  const double loss1 = trainer.phase2_attribute_extraction(*model, train, quick(1));
+  auto train2 = fx.loader({0, 1, 2, 3}, 0, 3);
+  const double loss8 = trainer.phase2_attribute_extraction(*model, train2, quick(8));
+  EXPECT_LT(loss8, loss1);
+}
+
+TEST(TrainerPhase3, FreezesBackboneAndTrainsProjection) {
+  Fixture fx;
+  util::Rng rng(3);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto train = fx.loader({0, 1, 2, 3, 4, 5}, 0, 3);
+
+  // Snapshot a backbone weight and the projection weight.
+  auto backbone_params = model->image_encoder().backbone_parameters();
+  Tensor backbone_before = backbone_params[0]->value.clone();
+  auto proj_params = model->image_encoder().projection_parameters();
+  ASSERT_FALSE(proj_params.empty());
+  Tensor proj_before = proj_params[0]->value.clone();
+
+  core::Trainer trainer(13);
+  trainer.phase3_zsc(*model, train, quick(2), /*freeze_backbone=*/true);
+
+  EXPECT_LT(tensor::max_abs_diff(backbone_before, backbone_params[0]->value), 1e-9f)
+      << "frozen backbone must not move";
+  EXPECT_GT(tensor::max_abs_diff(proj_before, proj_params[0]->value), 1e-7f)
+      << "projection must train";
+}
+
+TEST(TrainerPhase3, UnfrozenBackboneMoves) {
+  Fixture fx;
+  util::Rng rng(4);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto train = fx.loader({0, 1, 2, 3}, 0, 3);
+  auto backbone_params = model->image_encoder().backbone_parameters();
+  Tensor before = backbone_params[0]->value.clone();
+  core::Trainer trainer(14);
+  trainer.phase3_zsc(*model, train, quick(1), /*freeze_backbone=*/false);
+  EXPECT_GT(tensor::max_abs_diff(before, backbone_params[0]->value), 1e-9f);
+}
+
+TEST(TrainerPhase3, NoProjectionFallsBackToBackboneTraining) {
+  Fixture fx;
+  fx.model_cfg.image.use_projection = false;
+  util::Rng rng(5);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto train = fx.loader({0, 1, 2, 3}, 0, 3);
+  auto backbone_params = model->image_encoder().backbone_parameters();
+  Tensor before = backbone_params[0]->value.clone();
+  core::Trainer trainer(15);
+  // freeze requested, but with no FC the trainer must train the backbone
+  // (Table II rows "ResNet50, pre-train I,III").
+  trainer.phase3_zsc(*model, train, quick(1), /*freeze_backbone=*/true);
+  EXPECT_GT(tensor::max_abs_diff(before, backbone_params[0]->value), 1e-9f);
+}
+
+TEST(TrainerEval, ZscMetricsInRangeAndSized) {
+  Fixture fx;
+  util::Rng rng(6);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto test = fx.loader({6, 7}, 0, 4, false);
+  core::Trainer trainer(16);
+  auto res = trainer.evaluate_zsc(*model, test);
+  EXPECT_EQ(res.n_examples, 8u);
+  EXPECT_GE(res.top1, 0.0);
+  EXPECT_LE(res.top1, 1.0);
+  EXPECT_GE(res.top5, res.top1);  // top-5 dominates top-1
+}
+
+TEST(TrainerEval, AttributeMetricsShape) {
+  Fixture fx;
+  util::Rng rng(7);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto test = fx.loader({6, 7}, 0, 4, false);
+  core::Trainer trainer(17);
+  auto res = trainer.evaluate_attributes(*model, test);
+  EXPECT_EQ(res.per_group_top1.size(), 28u);
+  EXPECT_EQ(res.per_group_wmap.size(), 28u);
+  for (double v : res.per_group_top1) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(TrainerEval, GzslHarmonicMeanConsistent) {
+  Fixture fx;
+  util::Rng rng(8);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto seen_test = fx.loader({0, 1, 2}, 3, 4, false);
+  auto unseen_test = fx.loader({6, 7}, 0, 4, false);
+  core::Trainer trainer(18);
+  auto res = trainer.evaluate_gzsl(*model, seen_test, unseen_test);
+  EXPECT_GE(res.seen_acc, 0.0);
+  EXPECT_LE(res.seen_acc, 1.0);
+  EXPECT_GE(res.unseen_acc, 0.0);
+  EXPECT_LE(res.unseen_acc, 1.0);
+  const double s = res.seen_acc, u = res.unseen_acc;
+  if (s + u > 0.0)
+    EXPECT_NEAR(res.harmonic_mean, 2.0 * s * u / (s + u), 1e-12);
+  // Harmonic mean never exceeds either operand.
+  EXPECT_LE(res.harmonic_mean, std::max(s, u) + 1e-12);
+}
+
+TEST(TrainerEval, GzslUnseenAccNeverExceedsZsl) {
+  // Enlarging the label space with seen classes can only add confusions.
+  Fixture fx;
+  util::Rng rng(9);
+  auto model = core::make_zsc_model(fx.model_cfg, fx.space, rng);
+  auto seen_test = fx.loader({0, 1, 2, 3}, 3, 4, false);
+  auto unseen_test = fx.loader({6, 7}, 0, 4, false);
+  core::Trainer trainer(19);
+  auto zsl = trainer.evaluate_zsc(*model, unseen_test);
+  auto gzsl = trainer.evaluate_gzsl(*model, seen_test, unseen_test);
+  EXPECT_LE(gzsl.unseen_acc, zsl.top1 + 1e-12);
+}
+
+TEST(Pipeline, RunsEndToEndTiny) {
+  core::PipelineConfig cfg;
+  cfg.n_classes = 8;
+  cfg.images_per_class = 4;
+  cfg.train_instances = 3;
+  cfg.image_size = 16;
+  cfg.split = "zs";
+  cfg.zs_train_classes = 6;
+  cfg.model.image.arch = "resnet_micro";
+  cfg.model.image.proj_dim = 32;
+  cfg.pretrain_classes = 3;
+  cfg.pretrain_images_per_class = 3;
+  cfg.phase1 = {1, 8, 3e-3f, 1e-4f, 5.0f, true, false};
+  cfg.phase2 = {1, 8, 3e-3f, 1e-4f, 5.0f, true, false};
+  cfg.phase3 = {2, 8, 3e-3f, 1e-4f, 5.0f, true, false};
+  auto res = core::run_pipeline(cfg);
+  EXPECT_EQ(res.zsc.n_examples, 2u * 4u);  // 2 unseen classes x 4 instances
+  EXPECT_TRUE(res.has_attribute_metrics);
+  EXPECT_GT(res.trainable_parameters, 0u);
+  EXPECT_GE(res.zsc.top5, res.zsc.top1);
+}
+
+TEST(Pipeline, SeedAggregationStats) {
+  core::PipelineConfig cfg;
+  cfg.n_classes = 6;
+  cfg.images_per_class = 3;
+  cfg.train_instances = 2;
+  cfg.image_size = 16;
+  cfg.zs_train_classes = 4;
+  cfg.model.image.arch = "resnet_micro";
+  cfg.model.image.proj_dim = 24;
+  cfg.run_phase1 = false;
+  cfg.run_phase2 = false;
+  cfg.phase3 = {1, 8, 3e-3f, 1e-4f, 5.0f, true, false};
+  auto ms = core::run_pipeline_seeds(cfg, 2);
+  EXPECT_EQ(ms.runs.size(), 2u);
+  EXPECT_GE(ms.top1_mean, 0.0);
+  EXPECT_GE(ms.top1_std, 0.0);
+}
+
+TEST(Pipeline, UnknownSplitThrows) {
+  core::PipelineConfig cfg;
+  cfg.split = "bogus";
+  EXPECT_THROW(core::run_pipeline(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hdczsc

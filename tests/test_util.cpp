@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/config.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace hdczsc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  util::Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowUnbiasedRange) {
+  util::Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  util::Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, RademacherBalanced) {
+  util::Rng rng(13);
+  long s = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s += rng.rademacher();
+  EXPECT_LT(std::abs(s), n / 25);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  util::Rng rng(17);
+  auto p = rng.permutation(100);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 99u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  util::Rng a(23);
+  util::Rng b = a.split();
+  util::Rng c = a.split();
+  EXPECT_NE(b.next_u64(), c.next_u64());
+}
+
+TEST(Parallel, CoversAllIndicesOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  util::parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); }, 16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, ChunksPartitionRange) {
+  std::atomic<std::size_t> total{0};
+  util::parallel_for_chunks(5, 777, [&](std::size_t b, std::size_t e) {
+    total.fetch_add(e - b);
+  }, 10);
+  EXPECT_EQ(total.load(), 772u);
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  util::parallel_for(10, 10, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Table, AlignedTextOutput) {
+  util::Table t("demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  util::Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  util::Table t;
+  t.set_header({"x"});
+  t.add_row({"a,b"});
+  EXPECT_NE(t.to_csv().find("\"a,b\""), std::string::npos);
+}
+
+TEST(Table, MuSigmaFormat) {
+  EXPECT_EQ(util::Table::mu_sigma(1.234, 0.05, 2), "1.23 ± 0.05");
+}
+
+TEST(ArgMap, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--epochs=5", "--verbose", "--lr=0.5", "positional"};
+  util::ArgMap args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("epochs", 0), 5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0.0), 0.5);
+  EXPECT_EQ(args.get_str("missing", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace hdczsc
