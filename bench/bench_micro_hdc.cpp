@@ -65,6 +65,43 @@ void BM_Bundle(benchmark::State& state) {
 }
 BENCHMARK(BM_Bundle)->Arg(4)->Arg(16)->Arg(64);
 
+void BM_HammingMany(benchmark::State& state) {
+  // The serving hot path: one query vs. a whole packed prototype matrix in
+  // a single contiguous XOR+popcount sweep (hdc::hamming_many_packed).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(11);
+  auto query = hdc::BinaryHV::random(d, rng);
+  const std::size_t words = query.words().size();
+  std::vector<std::uint64_t> rows(n * words);
+  for (auto& w : rows) w = rng.next_u64();
+  std::vector<std::uint32_t> out(n);
+  for (auto _ : state) {
+    hdc::hamming_many_packed(query.words().data(), rows.data(), n, words, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(n * d));
+}
+BENCHMARK(BM_HammingMany)->Args({50, 256})->Args({200, 256})->Args({200, 2048})->Args({1000, 1536});
+
+void BM_HammingManyVsLoop(benchmark::State& state) {
+  // Baseline for BM_HammingMany: the same scan through the one-pair
+  // BinaryHV::hamming API (per-row dispatch, no contiguous layout).
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t d = static_cast<std::size_t>(state.range(1));
+  util::Rng rng(12);
+  auto query = hdc::BinaryHV::random(d, rng);
+  std::vector<hdc::BinaryHV> protos;
+  for (std::size_t i = 0; i < n; ++i) protos.push_back(hdc::BinaryHV::random(d, rng));
+  std::vector<std::size_t> out(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = query.hamming(protos[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<long>(state.iterations()) * static_cast<long>(n * d));
+}
+BENCHMARK(BM_HammingManyVsLoop)->Args({200, 256})->Args({200, 2048});
+
 void BM_AssociativeLookup(benchmark::State& state) {
   // Nearest-item search over a codebook of `n` entries at d=1536 — the
   // inference primitive of the attribute-extraction head.

@@ -1,0 +1,214 @@
+// Serving-throughput Pareto: dynamic batching vs. single-request serving,
+// and float-cosine vs. bit-packed binary prototype scoring.
+//
+// Three serving configurations are measured end-to-end under a concurrent
+// request storm:
+//  * direct      — no snapshot, no batching: every request pays a full
+//                  ZscModel::class_logits (which re-encodes ϕ(A) and
+//                  re-normalizes the prototypes per call) — what serving
+//                  looked like before src/serve/ existed.
+//  * engine b=1  — frozen snapshot, but one request per forward.
+//  * engine b=N  — snapshot + DynamicBatcher coalescing at max_batch N.
+// plus a scoring-stage microbenchmark isolating the per-query cost of the
+// float cosine sweep vs. the XOR+popcount Hamming sweep.
+//
+//   ./bench_serving_throughput [--classes=60] [--requests=512] [--clients=4]
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/server.hpp"
+#include "tensor/ops.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace hdczsc;
+
+namespace {
+
+/// Copy image `b` of a [N, 3, S, S] batch into its own [3, S, S] tensor.
+nn::Tensor slice_image(const nn::Tensor& images, std::size_t b) {
+  const std::size_t per = images.numel() / images.size(0);
+  nn::Tensor out({images.size(1), images.size(2), images.size(3)});
+  const float* src = images.data() + b * per;
+  std::copy(src, src + per, out.data());
+  return out;
+}
+
+struct RunResult {
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0, p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+/// Storm the server: `clients` threads, each submitting async bursts so the
+/// queue stays deep enough for full coalescing windows.
+RunResult storm(serve::ServerRuntime& server, const nn::Tensor& images,
+                std::size_t n_requests, std::size_t clients) {
+  server.stats().reset();
+  const std::size_t n_images = images.size(0);
+  const std::size_t per_client = n_requests / clients;
+  const std::size_t burst = 16;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<serve::Prediction>> inflight;
+      for (std::size_t r = 0; r < per_client; ++r) {
+        inflight.push_back(
+            server.classify_async(slice_image(images, (t * per_client + r) % n_images)));
+        if (inflight.size() >= burst) {
+          for (auto& f : inflight) f.get();
+          inflight.clear();
+        }
+      }
+      for (auto& f : inflight) f.get();
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = server.stats().summary();
+  return {s.throughput_rps, s.p50_latency_ms, s.p99_latency_ms, s.mean_batch_size};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgMap args(argc, argv);
+  // CUB-scale serving: ~100 classes in the served label space (the paper's
+  // ZS test split is 50 of 200; heavy-traffic serving would cover more).
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", 140));
+  const std::size_t n_train = static_cast<std::size_t>(args.get_int("train-classes", 40));
+  const std::size_t n_requests = static_cast<std::size_t>(args.get_int("requests", 512));
+  const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  util::Timer wall;
+
+  // -- train a small model, freeze a snapshot --------------------------------
+  core::PipelineConfig cfg;
+  cfg.n_classes = n_classes;
+  cfg.images_per_class = 4;
+  cfg.train_instances = 3;
+  cfg.image_size = 32;
+  cfg.split = "zs";
+  cfg.zs_train_classes = n_train;
+  cfg.model.image.proj_dim = 256;
+  cfg.run_phase1 = false;
+  cfg.run_phase2 = false;
+  cfg.phase3 = {3, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.augment.enabled = false;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  std::printf("training (%zu classes, %zu served)...\n", n_classes,
+              n_classes - cfg.zs_train_classes);
+  auto tp = core::run_pipeline_trained(cfg);
+  const nn::Tensor& images = tp.test_set.images;
+  const std::size_t n_served_classes = tp.test_class_attributes.size(0);
+
+  auto snapshot = std::make_shared<const serve::ModelSnapshot>(
+      tp.model, tp.test_class_attributes);
+
+  // -- baseline: direct single-request class_logits --------------------------
+  std::printf("measuring direct single-request baseline...\n");
+  util::Timer t0;
+  const std::size_t n_direct = std::min<std::size_t>(n_requests, 128);
+  for (std::size_t r = 0; r < n_direct; ++r) {
+    nn::Tensor one = slice_image(images, r % images.size(0))
+                         .reshape({1, images.size(1), images.size(2), images.size(3)});
+    auto logits = tp.model->class_logits(one, tp.test_class_attributes, false);
+    tensor::argmax_rows(logits);
+  }
+  const double direct_rps = static_cast<double>(n_direct) / t0.seconds();
+  const double direct_ms = 1e3 * t0.seconds() / static_cast<double>(n_direct);
+
+  // -- serving configurations ------------------------------------------------
+  util::Table table("serving throughput — " + std::to_string(n_requests) + " requests, " +
+                    std::to_string(clients) + " client threads, " +
+                    std::to_string(n_served_classes) + " classes");
+  table.set_header({"config", "scoring", "max batch", "req/s", "p50 ms", "p99 ms",
+                    "mean batch", "vs direct"});
+  table.add_row({"direct (no snapshot)", "float-cosine", "1", util::Table::num(direct_rps, 1),
+                 util::Table::num(direct_ms, 2), util::Table::num(direct_ms, 2), "1.00",
+                 "1.00x"});
+
+  double batched8_rps = 0.0;
+  for (serve::ScoringMode mode :
+       {serve::ScoringMode::kFloatCosine, serve::ScoringMode::kBinaryHamming}) {
+    for (std::size_t max_batch : {std::size_t{1}, std::size_t{8}, std::size_t{16},
+                                  std::size_t{32}}) {
+      auto engine = std::make_shared<const serve::InferenceEngine>(snapshot, mode);
+      serve::ServerConfig scfg;
+      scfg.n_workers = 1;
+      scfg.batch.max_batch = max_batch;
+      scfg.batch.max_delay_ms = 2.0;
+      scfg.batch.max_queue_depth = 4096;
+      serve::ServerRuntime server(engine, scfg);
+      server.start();
+      RunResult r = storm(server, images, n_requests, clients);
+      server.stop();
+      table.add_row({"engine", scoring_mode_name(mode), std::to_string(max_batch),
+                     util::Table::num(r.throughput_rps, 1), util::Table::num(r.p50_ms, 2),
+                     util::Table::num(r.p99_ms, 2), util::Table::num(r.mean_batch, 2),
+                     util::Table::num(r.throughput_rps / direct_rps, 2) + "x"});
+      if (mode == serve::ScoringMode::kFloatCosine && max_batch == 8)
+        batched8_rps = r.throughput_rps;
+    }
+  }
+  table.print();
+
+  // -- scoring-stage microbenchmark: float cosine vs. packed Hamming ---------
+  nn::Tensor emb = snapshot->embed(images);
+  const std::size_t n_queries = emb.size(0), d = emb.size(1);
+  auto expanded = std::make_shared<const serve::ModelSnapshot>(
+      tp.model, tp.test_class_attributes, 8);
+
+  auto time_scoring = [&](auto&& score_one) {
+    // Score row-by-row (the per-query serving view), repeated for stability.
+    const std::size_t reps = 50;
+    util::Timer t;
+    for (std::size_t rep = 0; rep < reps; ++rep)
+      for (std::size_t i = 0; i < n_queries; ++i) score_one(i);
+    return 1e6 * t.seconds() / static_cast<double>(reps * n_queries);
+  };
+  const auto& store1 = snapshot->prototypes();
+  const auto& store8 = expanded->prototypes();
+  auto row = [&](std::size_t i) {
+    return tensor::Tensor({1, d},
+                          std::vector<float>(emb.data() + i * d, emb.data() + (i + 1) * d));
+  };
+  const double us_float = time_scoring([&](std::size_t i) { store1.score_float(row(i)); });
+  const double us_bin1 = time_scoring([&](std::size_t i) { store1.score_binary(row(i)); });
+  const double us_bin8 = time_scoring([&](std::size_t i) { store8.score_binary(row(i)); });
+
+  // Argmax agreement of each binary store with the float path.
+  auto fl = tensor::argmax_rows(store1.score_float(emb));
+  auto agreement = [&](const serve::PrototypeStore& st) {
+    auto bl = tensor::argmax_rows(st.score_binary(emb));
+    std::size_t a = 0;
+    for (std::size_t i = 0; i < fl.size(); ++i) a += fl[i] == bl[i];
+    return static_cast<double>(a) / static_cast<double>(fl.size());
+  };
+
+  util::Table pareto("prototype scoring Pareto — per-query scoring stage, C=" +
+                     std::to_string(n_served_classes) + ", d=" + std::to_string(d));
+  pareto.set_header({"path", "code bits", "us/query", "store bytes", "argmax agreement"});
+  pareto.add_row({"float cosine", "-", util::Table::num(us_float, 2),
+                  std::to_string(store1.float_bytes()), "1.000"});
+  pareto.add_row({"binary hamming x1", std::to_string(store1.code_bits()),
+                  util::Table::num(us_bin1, 2), std::to_string(store1.binary_bytes()),
+                  util::Table::num(agreement(store1), 3)});
+  pareto.add_row({"binary hamming x8 (LSH)", std::to_string(store8.code_bits()),
+                  util::Table::num(us_bin8, 2), std::to_string(store8.binary_bytes()),
+                  util::Table::num(agreement(store8), 3)});
+  pareto.print();
+
+  // -- acceptance summary ----------------------------------------------------
+  const double speedup = batched8_rps / direct_rps;
+  std::printf("\ndynamic batching speedup @ max_batch=8: %.2fx over single-request "
+              "serving (target >= 2x: %s)\n",
+              speedup, speedup >= 2.0 ? "PASS" : "FAIL");
+  std::printf("binary x1 scoring latency %.2f us/query vs float %.2f us/query "
+              "(binary faster: %s)\n",
+              us_bin1, us_float, us_bin1 < us_float ? "PASS" : "FAIL");
+  std::printf("wall time: %.1f s\n", wall.seconds());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Serving demo: train an HDC-ZSC model, freeze it into an inference
+// snapshot (float prototypes + bit-packed binary prototypes), then serve a
+// synthetic request storm through the dynamic-batching runtime and print
+// the telemetry block.
+//
+//   ./serve_demo [--classes=24] [--requests=240] [--clients=4] [--batch=8]
+//                [--mode=float|binary] [--expansion=8] [--workers=1]
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/server.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace hdczsc;
+
+namespace {
+nn::Tensor slice_image(const nn::Tensor& images, std::size_t b) {
+  const std::size_t per = images.numel() / images.size(0);
+  nn::Tensor out({images.size(1), images.size(2), images.size(3)});
+  const float* src = images.data() + b * per;
+  std::copy(src, src + per, out.data());
+  return out;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgMap args(argc, argv);
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", 24));
+  const std::size_t n_requests = static_cast<std::size_t>(args.get_int("requests", 240));
+  const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
+  const std::size_t expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
+  const std::string mode = args.get_str("mode", "binary");
+  if (mode != "binary" && mode != "float") {
+    std::fprintf(stderr, "serve_demo: unknown --mode=%s (expected float|binary)\n",
+                 mode.c_str());
+    return 2;
+  }
+  const bool binary = mode == "binary";
+
+  // -- 1. train --------------------------------------------------------------
+  core::PipelineConfig cfg;
+  cfg.n_classes = n_classes;
+  cfg.images_per_class = 8;
+  cfg.train_instances = 6;
+  cfg.image_size = 32;
+  cfg.split = "zs";
+  cfg.zs_train_classes = n_classes * 3 / 4;
+  cfg.model.image.proj_dim = 256;
+  cfg.run_phase1 = false;
+  cfg.phase2 = {8, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.phase3 = {10, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.augment.enabled = false;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("serve_demo: training on %zu classes, serving the %zu unseen ones\n",
+              cfg.zs_train_classes, n_classes - cfg.zs_train_classes);
+  auto tp = core::run_pipeline_trained(cfg);
+  std::printf("trained: zero-shot top-1 %.1f %% on unseen classes\n\n",
+              100.0 * tp.result.zsc.top1);
+
+  // -- 2. snapshot -----------------------------------------------------------
+  auto snapshot = std::make_shared<const serve::ModelSnapshot>(
+      tp.model, tp.test_class_attributes, expansion);
+  const auto& store = snapshot->prototypes();
+  util::Table mem("frozen prototype store (" + std::to_string(store.n_classes()) +
+                  " classes, d=" + std::to_string(store.dim()) + ")");
+  mem.set_header({"form", "bytes"});
+  mem.add_row({"float rows (fp32)", std::to_string(store.float_bytes())});
+  mem.add_row({"packed binary rows (" + std::to_string(store.code_bits()) + " bits)",
+               std::to_string(store.binary_bytes())});
+  mem.print();
+
+  // -- 3. serve a request storm ---------------------------------------------
+  auto engine = std::make_shared<const serve::InferenceEngine>(
+      snapshot, binary ? serve::ScoringMode::kBinaryHamming
+                       : serve::ScoringMode::kFloatCosine);
+  serve::ServerConfig scfg;
+  scfg.n_workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  scfg.batch.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
+  scfg.batch.max_delay_ms = args.get_double("delay-ms", 2.0);
+  scfg.batch.max_queue_depth = 4096;
+  serve::ServerRuntime server(engine, scfg);
+  server.start();
+
+  std::printf("\nserving %zu requests from %zu client threads (%s scoring, "
+              "max_batch=%zu)...\n",
+              n_requests, clients, scoring_mode_name(engine->mode()).c_str(),
+              scfg.batch.max_batch);
+
+  const nn::Tensor& images = tp.test_set.images;
+  const auto& labels = tp.test_set.labels;
+  std::vector<std::size_t> hits(clients, 0), sent(clients, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      const std::size_t per_client = n_requests / clients;
+      std::vector<std::pair<std::size_t, std::future<serve::Prediction>>> inflight;
+      for (std::size_t r = 0; r < per_client; ++r) {
+        const std::size_t idx = (t * per_client + r) % images.size(0);
+        inflight.emplace_back(idx, server.classify_async(slice_image(images, idx)));
+        if (inflight.size() >= 16) {
+          for (auto& [i, f] : inflight) hits[t] += f.get().label == labels[i];
+          sent[t] += inflight.size();
+          inflight.clear();
+        }
+      }
+      for (auto& [i, f] : inflight) hits[t] += f.get().label == labels[i];
+      sent[t] += inflight.size();
+    });
+  }
+  for (auto& th : threads) th.join();
+  server.stop();
+
+  std::size_t total_hits = 0, total_sent = 0;
+  for (std::size_t t = 0; t < clients; ++t) {
+    total_hits += hits[t];
+    total_sent += sent[t];
+  }
+
+  std::printf("\n");
+  server.stats().to_table("serving telemetry").print();
+  std::printf("\nserved top-1 accuracy: %.1f %% (%zu/%zu requests)\n",
+              100.0 * static_cast<double>(total_hits) / static_cast<double>(total_sent),
+              total_hits, total_sent);
+  return 0;
+}

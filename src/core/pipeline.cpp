@@ -6,7 +6,24 @@
 
 namespace hdczsc::core {
 
+namespace {
+/// Shared pipeline body; the serving artifacts (rendered eval set,
+/// attribute rows) are only materialized when a caller keeps them.
+TrainedPipeline run_impl(const PipelineConfig& cfg, std::uint64_t seed_offset,
+                         bool serving_artifacts);
+}  // namespace
+
 PipelineResult run_pipeline(const PipelineConfig& cfg, std::uint64_t seed_offset) {
+  return run_impl(cfg, seed_offset, /*serving_artifacts=*/false).result;
+}
+
+TrainedPipeline run_pipeline_trained(const PipelineConfig& cfg, std::uint64_t seed_offset) {
+  return run_impl(cfg, seed_offset, /*serving_artifacts=*/true);
+}
+
+namespace {
+TrainedPipeline run_impl(const PipelineConfig& cfg, std::uint64_t seed_offset,
+                         bool serving_artifacts) {
   const std::uint64_t seed = cfg.seed + seed_offset * 0x10001ULL;
   util::Timer timer;
 
@@ -48,7 +65,7 @@ PipelineResult run_pipeline(const PipelineConfig& cfg, std::uint64_t seed_offset
 
   // Model.
   util::Rng model_rng(seed ^ 0xA0DE1ULL);
-  auto model = make_zsc_model(cfg.model, space, model_rng);
+  std::shared_ptr<ZscModel> model = make_zsc_model(cfg.model, space, model_rng);
 
   Trainer trainer(seed);
   PipelineResult res;
@@ -88,8 +105,18 @@ PipelineResult run_pipeline(const PipelineConfig& cfg, std::uint64_t seed_offset
   if (cfg.verbose)
     util::log_info("pipeline done: top1=", res.zsc.top1, " top5=", res.zsc.top5,
                    " in ", res.train_seconds, " s");
-  return res;
+
+  TrainedPipeline out;
+  out.result = res;
+  out.model = std::move(model);
+  if (serving_artifacts) {
+    out.test_class_attributes = test.class_attribute_rows();
+    out.test_set = test.all_eval();
+    out.test_classes = test.classes();
+  }
+  return out;
 }
+}  // namespace
 
 MultiSeedResult run_pipeline_seeds(const PipelineConfig& cfg, std::size_t n_seeds) {
   MultiSeedResult out;

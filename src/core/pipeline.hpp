@@ -56,6 +56,21 @@ struct PipelineResult {
 /// (the paper's five-trials protocol calls this with seeds 0..4).
 PipelineResult run_pipeline(const PipelineConfig& cfg, std::uint64_t seed_offset = 0);
 
+/// Everything the serving layer needs to freeze a trained model: the model
+/// itself plus the held-out classes' attribute rows (serving-label order)
+/// and their rendered evaluation set.
+struct TrainedPipeline {
+  PipelineResult result;
+  std::shared_ptr<ZscModel> model;
+  tensor::Tensor test_class_attributes;     ///< A rows [C_test, α], local-label order
+  data::Batch test_set;                     ///< rendered eval images + local labels
+  std::vector<std::size_t> test_classes;    ///< global class ids, local-label order
+};
+
+/// Like run_pipeline, but hands back the trained model and the test-split
+/// artifacts instead of discarding them — the input to serve::ModelSnapshot.
+TrainedPipeline run_pipeline_trained(const PipelineConfig& cfg, std::uint64_t seed_offset = 0);
+
 /// Run `n_seeds` trials and aggregate top-1 (mean, std) — the µ±σ protocol
 /// of §IV-A(c).
 struct MultiSeedResult {

@@ -143,6 +143,41 @@ BipolarHV BinaryHV::to_bipolar() const {
   return BipolarHV(std::move(v));
 }
 
+void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
+                         std::size_t n_rows, std::size_t words, std::uint32_t* out) {
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const std::uint64_t* row = rows + i * words;
+    std::uint32_t h = 0;
+    std::size_t w = 0;
+    // 4-way unroll: keeps four independent popcount chains in flight.
+    for (; w + 4 <= words; w += 4) {
+      h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w])) +
+           static_cast<std::uint32_t>(std::popcount(query[w + 1] ^ row[w + 1])) +
+           static_cast<std::uint32_t>(std::popcount(query[w + 2] ^ row[w + 2])) +
+           static_cast<std::uint32_t>(std::popcount(query[w + 3] ^ row[w + 3]));
+    }
+    for (; w < words; ++w)
+      h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w]));
+    out[i] = h;
+  }
+}
+
+std::vector<std::size_t> hamming_many(const BinaryHV& query,
+                                      const std::vector<BinaryHV>& prototypes) {
+  // Each prototype's word buffer is scanned in place — no repacking; hot
+  // paths that want one contiguous sweep pre-pack once (see
+  // serve::PrototypeStore) and call hamming_many_packed directly.
+  const std::size_t words = query.words().size();
+  std::vector<std::size_t> out(prototypes.size());
+  for (std::size_t i = 0; i < prototypes.size(); ++i) {
+    check_same_dim(query.dim(), prototypes[i].dim(), "hamming_many");
+    std::uint32_t h = 0;
+    hamming_many_packed(query.words().data(), prototypes[i].words().data(), 1, words, &h);
+    out[i] = h;
+  }
+  return out;
+}
+
 double mean_abs_pairwise_cosine(const std::vector<BipolarHV>& hvs) {
   if (hvs.size() < 2) return 0.0;
   double s = 0.0;

@@ -133,4 +133,19 @@ class BinaryHV {
 /// concentrates near sqrt(2/(pi*d)).
 double mean_abs_pairwise_cosine(const std::vector<BipolarHV>& hvs);
 
+// -- batched Hamming kernel --------------------------------------------------
+// The inference hot path of the serving runtime: one query scored against a
+// whole prototype matrix with word-level XOR + popcount. Rows are laid out
+// contiguously (`words` 64-bit words each) so the scan is a single linear
+// sweep — the access pattern an associative-memory accelerator would use.
+
+/// out[i] = popcount(query ^ rows[i*words .. (i+1)*words)) for i in [0, n_rows).
+void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
+                         std::size_t n_rows, std::size_t words, std::uint32_t* out);
+
+/// Convenience overload over BinaryHV prototypes; every prototype must share
+/// the query's dimensionality.
+std::vector<std::size_t> hamming_many(const BinaryHV& query,
+                                      const std::vector<BinaryHV>& prototypes);
+
 }  // namespace hdczsc::hdc

@@ -1,0 +1,67 @@
+#include "serve/batcher.hpp"
+
+namespace hdczsc::serve {
+
+DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
+  if (policy_.max_batch == 0) policy_.max_batch = 1;
+}
+
+std::optional<std::future<Prediction>> DynamicBatcher::submit(tensor::Tensor image) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_ || queue_.size() >= policy_.max_queue_depth) return std::nullopt;
+  Item item;
+  item.image = std::move(image);
+  item.enqueued = Clock::now();
+  std::future<Prediction> fut = item.promise.get_future();
+  queue_.push_back(std::move(item));
+  lock.unlock();
+  cv_.notify_one();
+  return fut;
+}
+
+bool DynamicBatcher::collect(std::vector<Item>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // shut down and drained
+
+    // Coalescing window: wait for a full batch, but never hold the oldest
+    // request past the delay bound.
+    const auto deadline = queue_.front().enqueued +
+                          std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double, std::milli>(policy_.max_delay_ms));
+    while (!shutdown_ && queue_.size() < policy_.max_batch &&
+           cv_.wait_until(lock, deadline,
+                          [&] { return shutdown_ || queue_.size() >= policy_.max_batch; })) {
+    }
+    // Another worker may have drained the queue while this one coalesced
+    // with the mutex released inside wait_until; never hand out an empty
+    // batch — go back to waiting.
+    if (!queue_.empty() || shutdown_) break;
+  }
+  if (queue_.empty()) return false;
+
+  const std::size_t take = std::min(queue_.size(), policy_.max_batch);
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return true;
+}
+
+void DynamicBatcher::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t DynamicBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace hdczsc::serve

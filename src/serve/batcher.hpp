@@ -1,0 +1,68 @@
+// Dynamic request batcher (the Triton-style coalescing queue).
+//
+// Producer threads submit single-image requests and receive futures;
+// consumer (worker) threads call collect(), which blocks until at least one
+// request is queued and then waits — at most until the *oldest* request has
+// aged `max_delay_ms` — for up to `max_batch` requests to coalesce. Under
+// load batches fill instantly; when idle a lone request pays at most the
+// delay bound. A bounded queue provides admission control: submissions
+// beyond `max_queue_depth` are rejected up front instead of building an
+// unbounded backlog.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::serve {
+
+struct BatchPolicy {
+  std::size_t max_batch = 8;          ///< coalescing cap per forward
+  double max_delay_ms = 2.0;          ///< max age of the oldest queued request
+  std::size_t max_queue_depth = 256;  ///< admission-control bound
+};
+
+class DynamicBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Item {
+    tensor::Tensor image;  ///< [3, S, S] (or [1, 3, S, S])
+    std::promise<Prediction> promise;
+    Clock::time_point enqueued;
+  };
+
+  explicit DynamicBatcher(BatchPolicy policy);
+
+  /// Enqueue one request. Returns the result future, or nullopt when the
+  /// queue is at max_queue_depth (admission control) or shut down.
+  std::optional<std::future<Prediction>> submit(tensor::Tensor image);
+
+  /// Block until requests are available (or shutdown), then move up to
+  /// max_batch of them into `out` (cleared first), honoring the delay
+  /// policy. Returns false iff shut down with an empty queue.
+  bool collect(std::vector<Item>& out);
+
+  /// Wake all waiters; subsequent submits are rejected. collect() keeps
+  /// returning true until the queue drains.
+  void shutdown();
+
+  std::size_t depth() const;
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace hdczsc::serve

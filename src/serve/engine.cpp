@@ -1,0 +1,41 @@
+#include "serve/engine.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace hdczsc::serve {
+
+std::string scoring_mode_name(ScoringMode mode) {
+  return mode == ScoringMode::kFloatCosine ? "float-cosine" : "binary-hamming";
+}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
+                                 ScoringMode mode)
+    : snapshot_(std::move(snapshot)), mode_(mode) {
+  if (!snapshot_) throw std::invalid_argument("InferenceEngine: null snapshot");
+}
+
+tensor::Tensor InferenceEngine::logits(const tensor::Tensor& images) const {
+  tensor::Tensor emb = snapshot_->embed(images);
+  const PrototypeStore& store = snapshot_->prototypes();
+  return mode_ == ScoringMode::kFloatCosine ? store.score_float(emb)
+                                            : store.score_binary(emb);
+}
+
+std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images) const {
+  tensor::Tensor p = logits(images);
+  const std::size_t batch = p.size(0), classes = p.size(1);
+  std::vector<Prediction> out(batch);
+  const float* P = p.data();
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = P + b * classes;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c)
+      if (row[c] > row[best]) best = c;
+    out[b] = Prediction{best, row[best]};
+  }
+  return out;
+}
+
+}  // namespace hdczsc::serve

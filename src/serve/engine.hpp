@@ -1,0 +1,49 @@
+// Inference engine: stateless execution wrapper over a ModelSnapshot.
+//
+// classify_batch runs the eval-mode embed once for the whole batch, then
+// scores against the frozen prototype store via either
+//  * kFloatCosine   — s · cosine(e, ϕ(A)), bit-identical to
+//                     ZscModel::class_logits in eval mode, or
+//  * kBinaryHamming — sign-binarized query vs. bit-packed prototypes,
+//                     word-level XOR + popcount (the edge/accelerator path).
+// Thread-safe: all state is read-only after construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/snapshot.hpp"
+
+namespace hdczsc::serve {
+
+enum class ScoringMode { kFloatCosine, kBinaryHamming };
+
+std::string scoring_mode_name(ScoringMode mode);
+
+/// One classified request.
+struct Prediction {
+  std::size_t label = 0;  ///< argmax class (prototype-store row)
+  float score = 0.0f;     ///< winning logit
+};
+
+class InferenceEngine {
+ public:
+  InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
+                  ScoringMode mode = ScoringMode::kFloatCosine);
+
+  /// Full logits [B, C] for images [B, 3, S, S].
+  tensor::Tensor logits(const tensor::Tensor& images) const;
+
+  /// Argmax + winning score per image.
+  std::vector<Prediction> classify_batch(const tensor::Tensor& images) const;
+
+  ScoringMode mode() const { return mode_; }
+  const ModelSnapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  ScoringMode mode_;
+};
+
+}  // namespace hdczsc::serve

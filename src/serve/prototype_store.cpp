@@ -1,0 +1,102 @@
+#include "serve/prototype_store.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::serve {
+
+PrototypeStore::PrototypeStore(const tensor::Tensor& prototypes, float scale,
+                               std::size_t expansion, std::uint64_t lsh_seed)
+    : expansion_(expansion == 0 ? 1 : expansion), scale_(scale) {
+  if (prototypes.dim() != 2 || prototypes.size(0) == 0)
+    throw std::invalid_argument("PrototypeStore: prototypes must be a non-empty [C, d] matrix");
+  n_classes_ = prototypes.size(0);
+  dim_ = prototypes.size(1);
+  code_bits_ = dim_ * expansion_;
+  words_per_row_ = (code_bits_ + 63) / 64;
+
+  normalized_ = tensor::l2_normalize_rows(prototypes);
+
+  if (expansion_ == 1) {
+    // Signs are norm-invariant; pack the raw rows directly.
+    pack_rows(prototypes);
+  } else {
+    util::Rng rng(lsh_seed);
+    projection_ = tensor::Tensor::rademacher({code_bits_, dim_}, rng);
+    pack_rows(tensor::matmul_nt(prototypes, projection_));
+  }
+}
+
+void PrototypeStore::pack_rows(const tensor::Tensor& rows) {
+  packed_.assign(n_classes_ * words_per_row_, 0);
+  const float* R = rows.data();
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    std::uint64_t* row = packed_.data() + c * words_per_row_;
+    const float* src = R + c * code_bits_;
+    for (std::size_t j = 0; j < code_bits_; ++j)
+      if (src[j] < 0.0f) row[j / 64] |= std::uint64_t{1} << (j % 64);
+  }
+}
+
+tensor::Tensor PrototypeStore::score_float(const tensor::Tensor& embeddings) const {
+  if (embeddings.dim() != 2 || embeddings.size(1) != dim_)
+    throw std::invalid_argument("PrototypeStore::score_float: need [B, " +
+                                std::to_string(dim_) + "] embeddings, got " +
+                                tensor::shape_str(embeddings.shape()));
+  tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
+  tensor::Tensor cos = tensor::matmul_nt(e_hat, normalized_);
+  return tensor::mul_scalar(cos, scale_);
+}
+
+hdc::BinaryHV PrototypeStore::encode_query(const float* row) const {
+  hdc::BinaryHV b(code_bits_);
+  if (expansion_ == 1) {
+    for (std::size_t j = 0; j < code_bits_; ++j)
+      if (row[j] < 0.0f) b.set(j, true);
+    return b;
+  }
+  const float* R = projection_.data();
+  for (std::size_t j = 0; j < code_bits_; ++j) {
+    const float* prow = R + j * dim_;
+    float acc = 0.0f;
+    for (std::size_t k = 0; k < dim_; ++k) acc += prow[k] * row[k];
+    if (acc < 0.0f) b.set(j, true);
+  }
+  return b;
+}
+
+tensor::Tensor PrototypeStore::score_binary(const tensor::Tensor& embeddings) const {
+  if (embeddings.dim() != 2 || embeddings.size(1) != dim_)
+    throw std::invalid_argument("PrototypeStore::score_binary: need [B, " +
+                                std::to_string(dim_) + "] embeddings, got " +
+                                tensor::shape_str(embeddings.shape()));
+  const std::size_t batch = embeddings.size(0);
+  tensor::Tensor logits({batch, n_classes_});
+  const float* E = embeddings.data();
+  float* L = logits.data();
+  std::vector<std::uint32_t> h(n_classes_);
+  const float inv_d = 1.0f / static_cast<float>(code_bits_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    hdc::BinaryHV q = encode_query(E + b * dim_);
+    hdc::hamming_many_packed(q.words().data(), packed_.data(), n_classes_, words_per_row_,
+                             h.data());
+    float* out = L + b * n_classes_;
+    for (std::size_t c = 0; c < n_classes_; ++c)
+      out[c] = scale_ * (1.0f - 2.0f * static_cast<float>(h[c]) * inv_d);
+  }
+  return logits;
+}
+
+hdc::BinaryHV PrototypeStore::binary_prototype(std::size_t i) const {
+  if (i >= n_classes_)
+    throw std::out_of_range("PrototypeStore::binary_prototype: index out of range");
+  hdc::BinaryHV b(code_bits_);
+  const std::uint64_t* row = packed_.data() + i * words_per_row_;
+  for (std::size_t j = 0; j < code_bits_; ++j)
+    if ((row[j / 64] >> (j % 64)) & 1) b.set(j, true);
+  return b;
+}
+
+}  // namespace hdczsc::serve

@@ -1,0 +1,89 @@
+// Frozen class-prototype store for inference serving.
+//
+// At snapshot time the class prototype matrix ϕ(A) [C, d] is computed once
+// and stored in two forms:
+//  * float: L2-normalized rows, so scoring is a single [B,d]x[C,d]ᵀ GEMM
+//    (the cosine numerator; the denominator is baked into the rows).
+//  * binary: sign-bit-packed rows (64 components/word, bit 1 ↔ negative,
+//    matching BipolarHV::to_binary), so scoring is XOR + popcount Hamming
+//    similarity 1 - 2h/D — the paper's stationary binary-ops edge form.
+//
+// `expansion` controls the binary fidelity/latency trade-off:
+//  * 1 (default): bits are the signs of the raw ϕ(A) components (D = d).
+//    Cheapest possible query — d sign tests + C·d/64 XOR+popcount words —
+//    but at CPU-scale d the 1-bit quantization is lossy between highly
+//    correlated prototypes.
+//  * k > 1: sign-LSH re-expansion into hyperdimensional binary space, the
+//    regime the paper's accelerators operate in. Bits are signs of a fixed
+//    Rademacher projection R [D=k·d, d] applied to prototypes (at build
+//    time) and queries (at score time); E[hamming/D] = θ/π estimates the
+//    *angle*, so Hamming ranking converges to the exact cosine ranking as
+//    k grows (error ~ 1/(2·sqrt(D))).
+//
+// Both paths multiply by the model's learned temperature scale s = 1/K so
+// their outputs are directly comparable to ZscModel::class_logits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::serve {
+
+class PrototypeStore {
+ public:
+  /// `prototypes` are the raw ϕ(A) rows [C, d]; `scale` the similarity
+  /// temperature s applied to both scoring paths. `expansion` k sets the
+  /// binary code width D = k·d (see file comment); `lsh_seed` fixes the
+  /// projection so snapshots are reproducible.
+  PrototypeStore(const tensor::Tensor& prototypes, float scale, std::size_t expansion = 1,
+                 std::uint64_t lsh_seed = 0x5EEDULL);
+
+  std::size_t n_classes() const { return n_classes_; }
+  std::size_t dim() const { return dim_; }
+  float scale() const { return scale_; }
+  /// Binary code width D (== dim() when expansion == 1).
+  std::size_t code_bits() const { return code_bits_; }
+  std::size_t expansion() const { return expansion_; }
+  std::size_t words_per_row() const { return words_per_row_; }
+
+  /// Float cosine path: logits [B, C] = s · Ê P̂ᵀ from embeddings e [B, d].
+  /// Bit-identical to SimilarityKernel::forward in eval mode.
+  tensor::Tensor score_float(const tensor::Tensor& embeddings) const;
+
+  /// Binary Hamming path: encode each embedding row into a D-bit code
+  /// (sign, optionally after the LSH projection), then
+  /// logits [B, C] = s · (1 − 2·hamming/D) via the packed popcount kernel.
+  tensor::Tensor score_binary(const tensor::Tensor& embeddings) const;
+
+  /// Encode one embedding row [d] into its D-bit binary code.
+  hdc::BinaryHV encode_query(const float* row) const;
+
+  const tensor::Tensor& normalized_prototypes() const { return normalized_; }
+  /// Packed binary rows, `words_per_row()` words each, row-major.
+  const std::vector<std::uint64_t>& packed_words() const { return packed_; }
+  /// Unpack row `i` (for diagnostics/tests).
+  hdc::BinaryHV binary_prototype(std::size_t i) const;
+
+  /// Storage of the float store (normalized rows, fp32).
+  std::size_t float_bytes() const { return n_classes_ * dim_ * sizeof(float); }
+  /// Storage of the binary store (packed words only).
+  std::size_t binary_bytes() const { return packed_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::size_t n_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t code_bits_ = 0;
+  std::size_t expansion_ = 1;
+  std::size_t words_per_row_ = 0;
+  float scale_ = 1.0f;
+  tensor::Tensor normalized_;          // [C, d], L2-normalized rows
+  tensor::Tensor projection_;          // [D, d] Rademacher (empty when expansion == 1)
+  std::vector<std::uint64_t> packed_;  // [C * words_per_row]
+
+  void pack_rows(const tensor::Tensor& rows);
+};
+
+}  // namespace hdczsc::serve

@@ -1,0 +1,97 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+namespace hdczsc::serve {
+
+ServerRuntime::ServerRuntime(std::shared_ptr<const InferenceEngine> engine, ServerConfig cfg)
+    : engine_(std::move(engine)), cfg_(cfg), batcher_(cfg.batch) {
+  if (!engine_) throw std::invalid_argument("ServerRuntime: null engine");
+  if (cfg_.n_workers == 0) cfg_.n_workers = 1;
+}
+
+ServerRuntime::~ServerRuntime() { stop(); }
+
+void ServerRuntime::start() {
+  if (stopped_.load())
+    throw std::logic_error("ServerRuntime::start: runtime already stopped (one-shot)");
+  if (running_.exchange(true)) return;
+  workers_.reserve(cfg_.n_workers);
+  for (std::size_t i = 0; i < cfg_.n_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ServerRuntime::stop() {
+  stopped_.store(true);
+  batcher_.shutdown();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  running_.store(false);
+}
+
+std::future<Prediction> ServerRuntime::classify_async(tensor::Tensor image) {
+  // Reject malformed requests synchronously, before they can join a batch.
+  if (!(image.dim() == 3 || (image.dim() == 4 && image.size(0) == 1)))
+    throw std::invalid_argument("serve: request image must be [3,S,S] or [1,3,S,S]");
+  auto fut = batcher_.submit(std::move(image));
+  if (!fut) {
+    stats_.record_reject();
+    throw ServerOverloaded();
+  }
+  return std::move(*fut);
+}
+
+Prediction ServerRuntime::classify(tensor::Tensor image) {
+  return classify_async(std::move(image)).get();
+}
+
+void ServerRuntime::worker_loop() {
+  std::vector<DynamicBatcher::Item> items;
+  while (batcher_.collect(items)) {
+    if (items.empty()) continue;
+    stats_.observe_queue_depth(batcher_.depth() + items.size());
+
+    // The first request of the batch sets the image shape; requests that
+    // don't match it fail individually instead of poisoning the batch.
+    const tensor::Tensor& first = items[0].image;
+    const std::size_t per_image = first.numel();
+    tensor::Shape shape = first.dim() == 3
+                              ? tensor::Shape{0, first.size(0), first.size(1), first.size(2)}
+                              : tensor::Shape{0, first.size(1), first.size(2), first.size(3)};
+    std::vector<std::size_t> good;
+    good.reserve(items.size());
+    for (std::size_t b = 0; b < items.size(); ++b) {
+      if (items[b].image.numel() == per_image) {
+        good.push_back(b);
+      } else {
+        items[b].promise.set_exception(std::make_exception_ptr(std::invalid_argument(
+            "serve: request image shape differs from the rest of the batch")));
+      }
+    }
+
+    shape[0] = good.size();
+    tensor::Tensor input(shape);
+    float* dst = input.data();
+    for (std::size_t g = 0; g < good.size(); ++g) {
+      const float* src = items[good[g]].image.data();
+      std::copy(src, src + per_image, dst + g * per_image);
+    }
+
+    try {
+      std::vector<Prediction> preds = engine_->classify_batch(input);
+      const auto done = DynamicBatcher::Clock::now();
+      stats_.record_batch(good.size());
+      for (std::size_t g = 0; g < good.size(); ++g) {
+        items[good[g]].promise.set_value(preds[g]);
+        stats_.record_request(
+            std::chrono::duration<double, std::milli>(done - items[good[g]].enqueued)
+                .count());
+      }
+    } catch (...) {
+      auto eptr = std::current_exception();
+      for (std::size_t g : good) items[g].promise.set_exception(eptr);
+    }
+  }
+}
+
+}  // namespace hdczsc::serve

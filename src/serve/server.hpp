@@ -1,0 +1,72 @@
+// Serving runtime: N worker threads draining a DynamicBatcher into an
+// InferenceEngine, with admission control and telemetry.
+//
+// Lifecycle: construct → (optionally submit; requests queue up) → start()
+// → submit/classify from any number of client threads → stop() (drains the
+// queue, joins workers). stop() is terminal — the underlying queue stays
+// shut down, so construct a new runtime to serve again. Eval-mode forwards
+// are read-only, so workers share the snapshot without locking; on a
+// single core one worker is optimal and is the default.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "serve/batcher.hpp"
+#include "serve/stats.hpp"
+
+namespace hdczsc::serve {
+
+/// Thrown by classify()/classify_async() when admission control rejects the
+/// request (queue at max_queue_depth, or server shut down).
+class ServerOverloaded : public std::runtime_error {
+ public:
+  ServerOverloaded() : std::runtime_error("serve: queue full, request rejected") {}
+};
+
+struct ServerConfig {
+  std::size_t n_workers = 1;
+  BatchPolicy batch;
+};
+
+class ServerRuntime {
+ public:
+  ServerRuntime(std::shared_ptr<const InferenceEngine> engine, ServerConfig cfg);
+  ~ServerRuntime();
+
+  ServerRuntime(const ServerRuntime&) = delete;
+  ServerRuntime& operator=(const ServerRuntime&) = delete;
+
+  /// Spawn the worker threads. Idempotent while serving; throws
+  /// std::logic_error after stop() (the runtime is one-shot).
+  void start();
+  /// Drain the queue, join workers. Idempotent; also run by the destructor.
+  /// Terminal: subsequent submissions are rejected and start() refuses.
+  void stop();
+
+  /// Enqueue one image [3, S, S]; throws ServerOverloaded on rejection.
+  std::future<Prediction> classify_async(tensor::Tensor image);
+  /// Blocking convenience: submit and wait.
+  Prediction classify(tensor::Tensor image);
+
+  const InferenceEngine& engine() const { return *engine_; }
+  ServingStats& stats() { return stats_; }
+  const ServingStats& stats() const { return stats_; }
+  std::size_t queue_depth() const { return batcher_.depth(); }
+  bool running() const { return running_.load(); }
+
+ private:
+  void worker_loop();
+
+  std::shared_ptr<const InferenceEngine> engine_;
+  ServerConfig cfg_;
+  DynamicBatcher batcher_;
+  ServingStats stats_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace hdczsc::serve

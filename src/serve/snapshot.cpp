@@ -1,0 +1,29 @@
+#include "serve/snapshot.hpp"
+
+#include <stdexcept>
+
+namespace hdczsc::serve {
+
+namespace {
+PrototypeStore build_store(const std::shared_ptr<core::ZscModel>& model,
+                           const tensor::Tensor& class_attributes,
+                           std::size_t binary_expansion) {
+  if (!model) throw std::invalid_argument("ModelSnapshot: null model");
+  if (class_attributes.dim() != 2)
+    throw std::invalid_argument("ModelSnapshot: class_attributes must be [C, alpha]");
+  tensor::Tensor phi = model->attribute_encoder().encode(class_attributes, /*train=*/false);
+  return PrototypeStore(phi, model->class_kernel().scale(), binary_expansion);
+}
+}  // namespace
+
+ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
+                             const tensor::Tensor& class_attributes,
+                             std::size_t binary_expansion)
+    : model_(std::move(model)),
+      store_(build_store(model_, class_attributes, binary_expansion)) {}
+
+tensor::Tensor ModelSnapshot::embed(const tensor::Tensor& images) const {
+  return model_->image_encoder().forward(images, /*train=*/false);
+}
+
+}  // namespace hdczsc::serve

@@ -1,0 +1,47 @@
+// Frozen inference artifact: a trained ZscModel snapshotted against a fixed
+// class-attribute matrix A.
+//
+// Snapshotting performs, once:
+//  * ϕ(A) — the attribute-encoder forward over all C classes (the per-call
+//    cost that dominates naive `class_logits` serving),
+//  * the PrototypeStore build (normalized float rows + bit-packed binary
+//    rows),
+// and freezes the similarity temperature. After construction the snapshot
+// only ever runs eval-mode forwards, which are read-only across the whole
+// layer stack — so one snapshot can be shared by any number of worker
+// threads without locking.
+#pragma once
+
+#include <memory>
+
+#include "core/zsc_model.hpp"
+#include "serve/prototype_store.hpp"
+
+namespace hdczsc::serve {
+
+class ModelSnapshot {
+ public:
+  /// `class_attributes` is A [C, α] in serving-label order; row c of the
+  /// prototype store scores class c. `binary_expansion` is forwarded to the
+  /// PrototypeStore (1 = direct d-bit sign codes; k > 1 = k·d-bit sign-LSH
+  /// codes with higher cosine fidelity).
+  ModelSnapshot(std::shared_ptr<core::ZscModel> model,
+                const tensor::Tensor& class_attributes, std::size_t binary_expansion = 1);
+
+  std::size_t n_classes() const { return store_.n_classes(); }
+  std::size_t dim() const { return store_.dim(); }
+  float scale() const { return store_.scale(); }
+
+  /// Eval-mode image-encoder forward: embeddings [B, d] from images
+  /// [B, 3, S, S]. Thread-safe (no train-mode caching is touched).
+  tensor::Tensor embed(const tensor::Tensor& images) const;
+
+  const PrototypeStore& prototypes() const { return store_; }
+  const core::ZscModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<core::ZscModel> model_;
+  PrototypeStore store_;
+};
+
+}  // namespace hdczsc::serve

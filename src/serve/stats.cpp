@@ -1,0 +1,101 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hdczsc::serve {
+
+void ServingStats::record_request(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  latencies_ms_.push_back(latency_ms);
+}
+
+void ServingStats::record_reject() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+void ServingStats::record_batch(std::size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batch_size_sum_ += batch_size;
+  std::size_t bucket = 0;
+  for (std::size_t s = batch_size; s > 1; s >>= 1) ++bucket;
+  if (batch_histogram_.size() <= bucket) batch_histogram_.resize(bucket + 1, 0);
+  ++batch_histogram_[bucket];
+}
+
+void ServingStats::observe_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+}
+
+double ServingStats::percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(xs.size()) - 1.0,
+                       q * static_cast<double>(xs.size())));
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(k), xs.end());
+  return xs[k];
+}
+
+ServingStats::Summary ServingStats::summary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Summary s;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.batches = batches_;
+  s.wall_seconds = wall_.seconds();
+  s.throughput_rps =
+      s.wall_seconds > 0.0 ? static_cast<double>(completed_) / s.wall_seconds : 0.0;
+  if (!latencies_ms_.empty()) {
+    double sum = 0.0;
+    for (double x : latencies_ms_) sum += x;
+    s.mean_latency_ms = sum / static_cast<double>(latencies_ms_.size());
+    s.p50_latency_ms = percentile(latencies_ms_, 0.50);
+    s.p99_latency_ms = percentile(latencies_ms_, 0.99);
+  }
+  s.mean_batch_size =
+      batches_ > 0 ? static_cast<double>(batch_size_sum_) / static_cast<double>(batches_) : 0.0;
+  s.max_queue_depth = max_queue_depth_;
+  s.batch_histogram = batch_histogram_;
+  return s;
+}
+
+util::Table ServingStats::to_table(const std::string& title) const {
+  const Summary s = summary();
+  util::Table t(title);
+  t.set_header({"metric", "value"});
+  t.add_row({"completed", std::to_string(s.completed)});
+  t.add_row({"rejected", std::to_string(s.rejected)});
+  t.add_row({"batches", std::to_string(s.batches)});
+  t.add_row({"throughput (req/s)", util::Table::num(s.throughput_rps, 1)});
+  t.add_row({"latency mean (ms)", util::Table::num(s.mean_latency_ms, 3)});
+  t.add_row({"latency p50 (ms)", util::Table::num(s.p50_latency_ms, 3)});
+  t.add_row({"latency p99 (ms)", util::Table::num(s.p99_latency_ms, 3)});
+  t.add_row({"mean batch size", util::Table::num(s.mean_batch_size, 2)});
+  t.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
+  for (std::size_t k = 0; k < s.batch_histogram.size(); ++k) {
+    const std::size_t lo = std::size_t{1} << k;
+    const std::size_t hi = (std::size_t{1} << (k + 1)) - 1;
+    const std::string range =
+        lo == hi ? std::to_string(lo) : std::to_string(lo) + "-" + std::to_string(hi);
+    t.add_row({"batches of size " + range, std::to_string(s.batch_histogram[k])});
+  }
+  return t;
+}
+
+void ServingStats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wall_.reset();
+  completed_ = 0;
+  rejected_ = 0;
+  batches_ = 0;
+  batch_size_sum_ = 0;
+  max_queue_depth_ = 0;
+  latencies_ms_.clear();
+  batch_histogram_.clear();
+}
+
+}  // namespace hdczsc::serve

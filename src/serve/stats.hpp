@@ -1,0 +1,68 @@
+// Serving telemetry: counters, latency percentiles, queue-depth high-water
+// mark and a batch-size histogram, rendered via util::Table.
+//
+// record_* methods are thread-safe and cheap (one mutex; latencies are kept
+// in full so percentiles are exact — at serving-bench scales this is a few
+// MB at most).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hdczsc::serve {
+
+class ServingStats {
+ public:
+  ServingStats() = default;
+
+  /// One completed request with its end-to-end (enqueue→reply) latency.
+  void record_request(double latency_ms);
+  /// One admission-control rejection.
+  void record_reject();
+  /// One executed forward with its coalesced batch size.
+  void record_batch(std::size_t batch_size);
+  /// Queue depth observed when a batch was collected (tracks the high-water
+  /// mark).
+  void observe_queue_depth(std::size_t depth);
+
+  struct Summary {
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t batches = 0;
+    double wall_seconds = 0.0;    ///< since construction / reset
+    double throughput_rps = 0.0;  ///< completed / wall_seconds
+    double mean_latency_ms = 0.0;
+    double p50_latency_ms = 0.0;
+    double p99_latency_ms = 0.0;
+    double mean_batch_size = 0.0;
+    std::size_t max_queue_depth = 0;
+    /// histogram[k] counts batches with size in [2^k, 2^(k+1)) (bucket 0 is
+    /// exactly size 1).
+    std::vector<std::uint64_t> batch_histogram;
+  };
+  Summary summary() const;
+
+  /// Render the summary (plus the batch-size histogram) as a util::Table.
+  util::Table to_table(const std::string& title = "serving stats") const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  util::Timer wall_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batch_size_sum_ = 0;
+  std::size_t max_queue_depth_ = 0;
+  std::vector<double> latencies_ms_;
+  std::vector<std::uint64_t> batch_histogram_;
+
+  static double percentile(std::vector<double> xs, double q);
+};
+
+}  // namespace hdczsc::serve

@@ -1,0 +1,361 @@
+// Serving subsystem: the batched engine must reproduce the training-time
+// forward bit-for-bit, a concurrent request storm must complete with the
+// same top-1 decisions as direct batch inference, and the bit-packed binary
+// prototype path must agree with float cosine in argmax.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/pipeline.hpp"
+#include "hdc/hypervector.hpp"
+#include "serve/server.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+
+/// Copy image `b` of a [N, 3, S, S] batch into its own [3, S, S] tensor.
+Tensor slice_image(const Tensor& images, std::size_t b) {
+  const std::size_t per = images.numel() / images.size(0);
+  Tensor out({images.size(1), images.size(2), images.size(3)});
+  const float* src = images.data() + b * per;
+  std::copy(src, src + per, out.data());
+  return out;
+}
+
+/// One cheap trained pipeline + frozen snapshots shared by all serving
+/// tests (phase II included: binary/float agreement needs a model whose
+/// embeddings actually align with the prototypes).
+struct SharedServe {
+  core::TrainedPipeline tp;
+  std::shared_ptr<const serve::ModelSnapshot> snapshot;           // expansion 1
+  std::shared_ptr<const serve::ModelSnapshot> snapshot_expanded;  // sign-LSH x8
+
+  static const SharedServe& get() {
+    static SharedServe s;
+    return s;
+  }
+
+ private:
+  SharedServe() {
+    core::PipelineConfig cfg;
+    cfg.n_classes = 16;
+    cfg.images_per_class = 6;
+    cfg.train_instances = 4;
+    cfg.image_size = 32;
+    cfg.split = "zs";
+    cfg.zs_train_classes = 12;
+    cfg.model.image.arch = "resnet_micro_flat";
+    cfg.model.image.proj_dim = 256;
+    cfg.model.temp_scale = 4.0f;
+    cfg.run_phase1 = false;
+    cfg.phase2 = {8, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+    cfg.phase3 = {10, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+    cfg.augment.enabled = false;
+    tp = core::run_pipeline_trained(cfg);
+    snapshot = std::make_shared<serve::ModelSnapshot>(tp.model, tp.test_class_attributes);
+    snapshot_expanded =
+        std::make_shared<serve::ModelSnapshot>(tp.model, tp.test_class_attributes, 8);
+  }
+};
+
+// -- hamming_many kernel -----------------------------------------------------
+
+TEST(HammingMany, MatchesPairwiseHamming) {
+  util::Rng rng(42);
+  for (std::size_t d : {64u, 100u, 257u, 1536u}) {
+    auto q = hdc::BinaryHV::random(d, rng);
+    std::vector<hdc::BinaryHV> protos;
+    for (int i = 0; i < 7; ++i) protos.push_back(hdc::BinaryHV::random(d, rng));
+    auto h = hdc::hamming_many(q, protos);
+    ASSERT_EQ(h.size(), protos.size());
+    for (std::size_t i = 0; i < protos.size(); ++i)
+      EXPECT_EQ(h[i], q.hamming(protos[i])) << "d=" << d << " i=" << i;
+  }
+}
+
+TEST(HammingMany, DimensionMismatchThrows) {
+  util::Rng rng(43);
+  auto q = hdc::BinaryHV::random(128, rng);
+  std::vector<hdc::BinaryHV> protos{hdc::BinaryHV::random(64, rng)};
+  EXPECT_THROW(hdc::hamming_many(q, protos), std::invalid_argument);
+}
+
+// -- prototype store ---------------------------------------------------------
+
+TEST(PrototypeStore, BinaryEqualsFloatExactlyOnBipolarData) {
+  // For ±1-valued prototypes and queries, cosine == 1 - 2·hamming/d exactly,
+  // so the two scoring paths must coincide (and share their argmax).
+  util::Rng rng(7);
+  const std::size_t d = 256, n_classes = 10, n_queries = 20;
+  Tensor protos = Tensor::rademacher({n_classes, d}, rng);
+  Tensor queries = Tensor::rademacher({n_queries, d}, rng);
+  serve::PrototypeStore store(protos, /*scale=*/1.0f);
+
+  Tensor pf = store.score_float(queries);
+  Tensor pb = store.score_binary(queries);
+  EXPECT_LT(tensor::max_abs_diff(pf, pb), 1e-4f);
+  EXPECT_EQ(tensor::argmax_rows(pf), tensor::argmax_rows(pb));
+}
+
+TEST(PrototypeStore, BinaryRowsMatchSignBits) {
+  util::Rng rng(8);
+  Tensor protos = Tensor::randn({5, 130}, rng);
+  serve::PrototypeStore store(protos, 1.0f);
+  EXPECT_EQ(store.words_per_row(), 3u);
+  for (std::size_t c = 0; c < 5; ++c) {
+    auto row = store.binary_prototype(c);
+    for (std::size_t j = 0; j < 130; ++j)
+      EXPECT_EQ(row.get(j), protos.at(c, j) < 0.0f);
+  }
+  // Packed binary is ~32x smaller than fp32.
+  EXPECT_LT(store.binary_bytes() * 16, store.float_bytes());
+}
+
+// -- engine vs. model: bit-identical batched inference -----------------------
+
+TEST(InferenceEngine, BatchedLogitsBitIdenticalToModelClassLogits) {
+  const auto& s = SharedServe::get();
+  serve::InferenceEngine engine(s.snapshot, serve::ScoringMode::kFloatCosine);
+
+  const Tensor& images = s.tp.test_set.images;
+  Tensor from_model =
+      s.tp.model->class_logits(images, s.tp.test_class_attributes, /*train=*/false);
+  Tensor from_engine = engine.logits(images);
+  ASSERT_EQ(from_model.shape(), from_engine.shape());
+  EXPECT_EQ(tensor::max_abs_diff(from_model, from_engine), 0.0f)
+      << "snapshot scoring must be bit-identical to the training-time forward";
+}
+
+TEST(InferenceEngine, SingleImageRowsBitIdenticalToBatch) {
+  const auto& s = SharedServe::get();
+  serve::InferenceEngine engine(s.snapshot, serve::ScoringMode::kFloatCosine);
+
+  const Tensor& images = s.tp.test_set.images;
+  const std::size_t n = std::min<std::size_t>(images.size(0), 8);
+  Tensor batched = engine.logits(images);
+  const std::size_t classes = batched.size(1);
+  for (std::size_t b = 0; b < n; ++b) {
+    Tensor one = slice_image(images, b).reshape(
+        {1, images.size(1), images.size(2), images.size(3)});
+    Tensor row = engine.logits(one);
+    for (std::size_t c = 0; c < classes; ++c)
+      ASSERT_EQ(row.at(0, c), batched.at(b, c)) << "row " << b << " col " << c;
+  }
+}
+
+// -- binary vs. float argmax on the trained model ----------------------------
+
+TEST(InferenceEngine, BinaryArgmaxAgreesWithFloatOnTrainedModel) {
+  // Sign-LSH codes estimate the angle with error ~1/(2·sqrt(D)); Hamming
+  // ranking therefore reproduces the cosine argmax except on queries whose
+  // float top-2 margin is inside that noise floor. Assert (1) overall
+  // agreement, (2) *exact* agreement on every confidently-scored query,
+  // (3) served accuracy is preserved.
+  const auto& s = SharedServe::get();
+  serve::InferenceEngine feng(s.snapshot_expanded, serve::ScoringMode::kFloatCosine);
+  serve::InferenceEngine beng(s.snapshot_expanded, serve::ScoringMode::kBinaryHamming);
+
+  const Tensor& images = s.tp.test_set.images;
+  Tensor fp = feng.logits(images);
+  auto fl = tensor::argmax_rows(fp);
+  auto bl = tensor::argmax_rows(beng.logits(images));
+  ASSERT_EQ(fl.size(), bl.size());
+
+  const float scale = s.snapshot_expanded->scale();
+  std::size_t agree = 0, high_margin = 0, high_margin_agree = 0;
+  for (std::size_t i = 0; i < fl.size(); ++i) {
+    agree += fl[i] == bl[i];
+    // Float top-2 cosine margin of query i.
+    float m1 = -2.0f, m2 = -2.0f;
+    for (std::size_t c = 0; c < fp.size(1); ++c) {
+      const float v = fp.at(i, c) / scale;
+      if (v > m1) {
+        m2 = m1;
+        m1 = v;
+      } else if (v > m2) {
+        m2 = v;
+      }
+    }
+    if (m1 - m2 > 0.08f) {
+      ++high_margin;
+      high_margin_agree += fl[i] == bl[i];
+    }
+  }
+  const double rate = static_cast<double>(agree) / static_cast<double>(fl.size());
+  EXPECT_GE(rate, 0.6) << "binarized prototype scoring diverged from float cosine";
+  ASSERT_GT(high_margin, 0u);
+  EXPECT_EQ(high_margin_agree, high_margin)
+      << "binary argmax flipped a confidently-scored query";
+
+  // Serving metric: top-1 accuracy must survive binarization.
+  const auto& labels = s.tp.test_set.labels;
+  std::size_t facc = 0, bacc = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    facc += fl[i] == labels[i];
+    bacc += bl[i] == labels[i];
+  }
+  const double gap = (static_cast<double>(facc) - static_cast<double>(bacc)) /
+                     static_cast<double>(labels.size());
+  EXPECT_LE(gap, 0.15) << "binary path lost too much accuracy";
+}
+
+// -- dynamic batcher ---------------------------------------------------------
+
+TEST(DynamicBatcher, CoalescesUpToMaxBatch) {
+  serve::BatchPolicy policy;
+  policy.max_batch = 4;
+  policy.max_delay_ms = 0.0;  // don't wait in a single-threaded test
+  serve::DynamicBatcher batcher(policy);
+  for (int i = 0; i < 5; ++i)
+    ASSERT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  EXPECT_EQ(batcher.depth(), 5u);
+
+  std::vector<serve::DynamicBatcher::Item> items;
+  ASSERT_TRUE(batcher.collect(items));
+  EXPECT_EQ(items.size(), 4u);
+  ASSERT_TRUE(batcher.collect(items));
+  EXPECT_EQ(items.size(), 1u);
+
+  batcher.shutdown();
+  EXPECT_FALSE(batcher.collect(items));
+  EXPECT_FALSE(batcher.submit(Tensor({3, 2, 2})).has_value());
+}
+
+TEST(DynamicBatcher, AdmissionControlBoundsQueueDepth) {
+  serve::BatchPolicy policy;
+  policy.max_queue_depth = 3;
+  serve::DynamicBatcher batcher(policy);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  EXPECT_FALSE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  batcher.shutdown();
+}
+
+// -- server runtime ----------------------------------------------------------
+
+TEST(ServerRuntime, MultiThreadedStormCompletesWithCorrectTop1) {
+  const auto& s = SharedServe::get();
+  auto engine = std::make_shared<serve::InferenceEngine>(s.snapshot,
+                                                         serve::ScoringMode::kFloatCosine);
+  const Tensor& images = s.tp.test_set.images;
+  const std::size_t n_images = images.size(0);
+  auto expected = engine->classify_batch(images);
+
+  serve::ServerConfig cfg;
+  cfg.n_workers = 1;
+  cfg.batch.max_batch = 8;
+  cfg.batch.max_delay_ms = 1.0;
+  cfg.batch.max_queue_depth = 4096;
+  serve::ServerRuntime server(engine, cfg);
+
+  // Phase 1: storm *before* start() so the queue is fully loaded — the
+  // drain is then guaranteed to coalesce (deterministic batch histogram).
+  const std::size_t n_threads = 4, reps = 3;
+  std::vector<std::vector<std::pair<std::size_t, std::future<serve::Prediction>>>> futs(
+      n_threads);
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> failures{0};
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    clients.emplace_back([&, t] {
+      for (std::size_t r = 0; r < reps; ++r)
+        for (std::size_t i = 0; i < n_images; ++i) {
+          try {
+            futs[t].emplace_back(i, server.classify_async(slice_image(images, i)));
+          } catch (const serve::ServerOverloaded&) {
+            ++failures;
+          }
+        }
+    });
+  }
+  for (auto& c : clients) c.join();
+  ASSERT_EQ(failures.load(), 0u);
+
+  server.start();
+  std::size_t checked = 0;
+  for (auto& per_thread : futs)
+    for (auto& [idx, fut] : per_thread) {
+      serve::Prediction p = fut.get();
+      ASSERT_EQ(p.label, expected[idx].label);
+      ASSERT_FLOAT_EQ(p.score, expected[idx].score);
+      ++checked;
+    }
+  EXPECT_EQ(checked, n_threads * reps * n_images);
+  server.stop();
+
+  const auto stats = server.stats().summary();
+  EXPECT_EQ(stats.completed, checked);
+  EXPECT_EQ(stats.rejected, 0u);
+  // A fully loaded queue must have coalesced into (mostly) full batches.
+  EXPECT_GE(stats.mean_batch_size, 4.0);
+  std::uint64_t hist_total = 0;
+  for (auto c : stats.batch_histogram) hist_total += c;
+  EXPECT_EQ(hist_total, stats.batches);
+}
+
+TEST(ServerRuntime, MalformedRequestFailsAloneWithoutPoisoningItsBatch) {
+  const auto& s = SharedServe::get();
+  auto engine = std::make_shared<serve::InferenceEngine>(s.snapshot,
+                                                         serve::ScoringMode::kFloatCosine);
+  const Tensor& images = s.tp.test_set.images;
+  auto expected = engine->classify_batch(images);
+
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 8;
+  serve::ServerRuntime server(engine, cfg);
+
+  // Wrong dimensionality is rejected synchronously, before batching.
+  EXPECT_THROW(server.classify_async(Tensor({4, 4})), std::invalid_argument);
+
+  // A wrong-sized (but 3-d) image coalesced between valid requests must
+  // fail alone; the valid requests around it still complete correctly.
+  std::vector<std::future<serve::Prediction>> valid;
+  valid.push_back(server.classify_async(slice_image(images, 0)));
+  auto bad = server.classify_async(Tensor({3, 4, 4}));
+  valid.push_back(server.classify_async(slice_image(images, 1)));
+  server.start();
+  EXPECT_EQ(valid[0].get().label, expected[0].label);
+  EXPECT_EQ(valid[1].get().label, expected[1].label);
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+}
+
+TEST(ServerRuntime, StopIsTerminal) {
+  const auto& s = SharedServe::get();
+  auto engine = std::make_shared<serve::InferenceEngine>(s.snapshot,
+                                                         serve::ScoringMode::kFloatCosine);
+  serve::ServerRuntime server(engine, serve::ServerConfig{});
+  server.start();
+  server.stop();
+  EXPECT_THROW(server.start(), std::logic_error);
+  EXPECT_THROW(server.classify_async(Tensor({3, 2, 2})), serve::ServerOverloaded);
+}
+
+TEST(ServerRuntime, RejectsWhenQueueFullThenDrainsAfterStart) {
+  const auto& s = SharedServe::get();
+  auto engine = std::make_shared<serve::InferenceEngine>(s.snapshot,
+                                                         serve::ScoringMode::kBinaryHamming);
+  const Tensor& images = s.tp.test_set.images;
+  auto expected = engine->classify_batch(images);
+
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_queue_depth = 4;
+  serve::ServerRuntime server(engine, cfg);
+
+  std::vector<std::future<serve::Prediction>> accepted;
+  for (std::size_t i = 0; i < 4; ++i)
+    accepted.push_back(server.classify_async(slice_image(images, i)));
+  EXPECT_THROW(server.classify_async(slice_image(images, 0)), serve::ServerOverloaded);
+  EXPECT_EQ(server.stats().summary().rejected, 1u);
+
+  server.start();
+  for (std::size_t i = 0; i < accepted.size(); ++i)
+    EXPECT_EQ(accepted[i].get().label, expected[i].label);
+}
+
+}  // namespace
+}  // namespace hdczsc
