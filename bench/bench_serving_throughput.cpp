@@ -10,16 +10,23 @@
 //  * engine b=1  — frozen snapshot, but one request per forward.
 //  * engine b=N  — snapshot + DynamicBatcher coalescing at max_batch N.
 // plus a scoring-stage microbenchmark isolating the per-query cost of the
-// float cosine sweep vs. the XOR+popcount Hamming sweep.
+// float cosine sweep vs. the XOR+popcount Hamming sweep, a cold-start
+// section (retrain vs. .hdcsnap snapshot load) and a multi-model routing
+// overhead measurement (ModelRegistry vs. a bare ServerRuntime).
+//
+// --json=PATH writes every measured number as a machine-readable JSON
+// document (the BENCH_serving.json CI artifact).
 //
 //   ./bench_serving_throughput [--classes=60] [--requests=512] [--clients=4]
+//                              [--models=4] [--json=BENCH_serving.json]
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
-#include "serve/server.hpp"
+#include "serve/model_registry.hpp"
 #include "tensor/ops.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
@@ -44,21 +51,22 @@ struct RunResult {
   double mean_batch = 0.0;
 };
 
-/// Storm the server: `clients` threads, each submitting async bursts so the
-/// queue stays deep enough for full coalescing windows.
-RunResult storm(serve::ServerRuntime& server, const nn::Tensor& images,
-                std::size_t n_requests, std::size_t clients) {
-  server.stats().reset();
-  const std::size_t n_images = images.size(0);
+/// The one request-storm loop every serving measurement shares (so the
+/// bare-runtime and registry numbers stay comparable): `clients` threads,
+/// each submitting async bursts so the queue stays deep enough for full
+/// coalescing windows. `submit(req)` maps a global request index to a
+/// prediction future. Returns wall seconds for the whole storm.
+template <typename Submit>
+double storm_wall_seconds(Submit&& submit, std::size_t n_requests, std::size_t clients) {
   const std::size_t per_client = n_requests / clients;
   const std::size_t burst = 16;
+  util::Timer t;
   std::vector<std::thread> threads;
-  for (std::size_t t = 0; t < clients; ++t) {
-    threads.emplace_back([&, t] {
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
       std::vector<std::future<serve::Prediction>> inflight;
       for (std::size_t r = 0; r < per_client; ++r) {
-        inflight.push_back(
-            server.classify_async(slice_image(images, (t * per_client + r) % n_images)));
+        inflight.push_back(submit(c * per_client + r));
         if (inflight.size() >= burst) {
           for (auto& f : inflight) f.get();
           inflight.clear();
@@ -68,8 +76,37 @@ RunResult storm(serve::ServerRuntime& server, const nn::Tensor& images,
     });
   }
   for (auto& th : threads) th.join();
+  return t.seconds();
+}
+
+/// Storm a single runtime; latency/batch detail comes from its stats.
+RunResult storm(serve::ServerRuntime& server, const nn::Tensor& images,
+                std::size_t n_requests, std::size_t clients) {
+  server.stats().reset();
+  const std::size_t n_images = images.size(0);
+  storm_wall_seconds(
+      [&](std::size_t req) {
+        return server.classify_async(slice_image(images, req % n_images));
+      },
+      n_requests, clients);
   const auto s = server.stats().summary();
   return {s.throughput_rps, s.p50_latency_ms, s.p99_latency_ms, s.mean_batch_size};
+}
+
+/// Storm the registry, round-robining requests across `keys`. Returns
+/// wall-clock requests/s (the cross-model aggregate the per-model stats
+/// can't see).
+double storm_registry(serve::ModelRegistry& registry, const std::vector<std::string>& keys,
+                      const nn::Tensor& images, std::size_t n_requests, std::size_t clients) {
+  const std::size_t n_images = images.size(0);
+  const std::size_t per_client = n_requests / clients;
+  const double secs = storm_wall_seconds(
+      [&](std::size_t req) {
+        return registry.classify_async(keys[req % keys.size()],
+                                       slice_image(images, req % n_images));
+      },
+      n_requests, clients);
+  return static_cast<double>(per_client * clients) / secs;
 }
 
 }  // namespace
@@ -130,6 +167,12 @@ int main(int argc, char** argv) {
                  util::Table::num(direct_ms, 2), util::Table::num(direct_ms, 2), "1.00",
                  "1.00x"});
 
+  struct EngineRow {
+    std::string scoring;
+    std::size_t max_batch;
+    RunResult r;
+  };
+  std::vector<EngineRow> engine_rows;
   double batched8_rps = 0.0;
   for (serve::ScoringMode mode :
        {serve::ScoringMode::kFloatCosine, serve::ScoringMode::kBinaryHamming}) {
@@ -149,6 +192,7 @@ int main(int argc, char** argv) {
                      util::Table::num(r.throughput_rps, 1), util::Table::num(r.p50_ms, 2),
                      util::Table::num(r.p99_ms, 2), util::Table::num(r.mean_batch, 2),
                      util::Table::num(r.throughput_rps / direct_rps, 2) + "x"});
+      engine_rows.push_back({scoring_mode_name(mode), max_batch, r});
       if (mode == serve::ScoringMode::kFloatCosine && max_batch == 8)
         batched8_rps = r.throughput_rps;
     }
@@ -188,6 +232,8 @@ int main(int argc, char** argv) {
     return static_cast<double>(a) / static_cast<double>(fl.size());
   };
 
+  const double agree1 = agreement(store1);
+  const double agree8 = agreement(store8);
   util::Table pareto("prototype scoring Pareto — per-query scoring stage, C=" +
                      std::to_string(n_served_classes) + ", d=" + std::to_string(d));
   pareto.set_header({"path", "code bits", "us/query", "store bytes", "argmax agreement"});
@@ -195,11 +241,110 @@ int main(int argc, char** argv) {
                   std::to_string(store1.float_bytes()), "1.000"});
   pareto.add_row({"binary hamming x1", std::to_string(store1.code_bits()),
                   util::Table::num(us_bin1, 2), std::to_string(store1.binary_bytes()),
-                  util::Table::num(agreement(store1), 3)});
+                  util::Table::num(agree1, 3)});
   pareto.add_row({"binary hamming x8 (LSH)", std::to_string(store8.code_bits()),
                   util::Table::num(us_bin8, 2), std::to_string(store8.binary_bytes()),
-                  util::Table::num(agreement(store8), 3)});
+                  util::Table::num(agree8, 3)});
   pareto.print();
+
+  // -- cold start: retrain vs .hdcsnap load ----------------------------------
+  const std::string snap_path = args.get_str("snapshot-path", "bench_serving.hdcsnap");
+  util::Timer t_save;
+  serve::save_snapshot_file(snap_path, *snapshot);
+  const double save_s = t_save.seconds();
+  util::Timer t_load;
+  auto reloaded = serve::load_snapshot_file(snap_path);
+  const double load_s = t_load.seconds();
+  const double retrain_s = tp.result.train_seconds;
+  std::remove(snap_path.c_str());
+
+  util::Table cold("server cold start — " + std::to_string(n_served_classes) +
+                   " served classes");
+  cold.set_header({"path", "seconds", "vs retrain"});
+  cold.add_row({"retrain from scratch", util::Table::num(retrain_s, 3), "1.00x"});
+  cold.add_row({"snapshot save (once, offline)", util::Table::num(save_s, 3), "-"});
+  cold.add_row({"snapshot load (per replica)", util::Table::num(load_s, 3),
+                util::Table::num(retrain_s / load_s, 1) + "x faster"});
+  cold.print();
+
+  // -- multi-model routing overhead ------------------------------------------
+  const std::size_t n_models =
+      static_cast<std::size_t>(std::max<long>(1, args.get_int("models", 4)));
+  serve::ServerConfig rcfg;
+  rcfg.n_workers = 1;
+  rcfg.batch.max_batch = 8;
+  rcfg.batch.max_delay_ms = 2.0;
+  rcfg.batch.max_queue_depth = 4096;
+
+  auto registry_rps = [&](std::size_t k) {
+    serve::ModelRegistry registry(rcfg);
+    std::vector<std::string> keys;
+    for (std::size_t m = 0; m < k; ++m) {
+      keys.push_back("m" + std::to_string(m));
+      registry.load(keys.back(), reloaded, serve::ScoringMode::kFloatCosine);
+    }
+    const double rps = storm_registry(registry, keys, images, n_requests, clients);
+    registry.stop_all();
+    return rps;
+  };
+  const double reg1_rps = registry_rps(1);
+  const double regN_rps = registry_rps(n_models);
+  const double routing_overhead_pct = 100.0 * (1.0 - reg1_rps / batched8_rps);
+
+  util::Table multi("multi-model routing — float cosine, max_batch=8");
+  multi.set_header({"host", "models", "req/s", "vs bare runtime"});
+  multi.add_row({"bare ServerRuntime", "1", util::Table::num(batched8_rps, 1), "1.00x"});
+  multi.add_row({"ModelRegistry", "1", util::Table::num(reg1_rps, 1),
+                 util::Table::num(reg1_rps / batched8_rps, 2) + "x"});
+  multi.add_row({"ModelRegistry", std::to_string(n_models), util::Table::num(regN_rps, 1),
+                 util::Table::num(regN_rps / batched8_rps, 2) + "x"});
+  multi.print();
+
+  // -- machine-readable artifact (the BENCH_serving.json CI upload) ----------
+  if (args.has("json")) {
+    const std::string json_path = args.get_str("json", "BENCH_serving.json");
+    FILE* j = std::fopen(json_path.c_str(), "w");
+    if (!j) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(j, "{\n");
+    std::fprintf(j, "  \"bench\": \"serving_throughput\",\n");
+    std::fprintf(j, "  \"requests\": %zu,\n  \"clients\": %zu,\n", n_requests, clients);
+    std::fprintf(j, "  \"served_classes\": %zu,\n  \"dim\": %zu,\n", n_served_classes, d);
+    std::fprintf(j, "  \"direct\": {\"rps\": %.2f, \"ms_per_request\": %.3f},\n",
+                 direct_rps, direct_ms);
+    std::fprintf(j, "  \"engine\": [\n");
+    for (std::size_t i = 0; i < engine_rows.size(); ++i) {
+      const auto& e = engine_rows[i];
+      std::fprintf(j,
+                   "    {\"scoring\": \"%s\", \"max_batch\": %zu, \"rps\": %.2f, "
+                   "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"mean_batch\": %.2f}%s\n",
+                   e.scoring.c_str(), e.max_batch, e.r.throughput_rps, e.r.p50_ms,
+                   e.r.p99_ms, e.r.mean_batch, i + 1 < engine_rows.size() ? "," : "");
+    }
+    std::fprintf(j, "  ],\n");
+    std::fprintf(j,
+                 "  \"scoring_us_per_query\": {\"float\": %.3f, \"binary_x1\": %.3f, "
+                 "\"binary_x8\": %.3f},\n",
+                 us_float, us_bin1, us_bin8);
+    std::fprintf(j,
+                 "  \"binary_argmax_agreement\": {\"x1\": %.4f, \"x8\": %.4f},\n",
+                 agree1, agree8);
+    std::fprintf(j, "  \"batching_speedup_at_8\": %.3f,\n", batched8_rps / direct_rps);
+    std::fprintf(j,
+                 "  \"cold_start\": {\"retrain_s\": %.4f, \"snapshot_save_s\": %.4f, "
+                 "\"snapshot_load_s\": %.4f, \"load_speedup_vs_retrain\": %.1f},\n",
+                 retrain_s, save_s, load_s, retrain_s / load_s);
+    std::fprintf(j,
+                 "  \"multi_model\": {\"models\": %zu, \"bare_runtime_rps\": %.2f, "
+                 "\"registry_1_rps\": %.2f, \"registry_n_rps\": %.2f, "
+                 "\"routing_overhead_pct\": %.2f}\n",
+                 n_models, batched8_rps, reg1_rps, regN_rps, routing_overhead_pct);
+    std::fprintf(j, "}\n");
+    std::fclose(j);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
 
   // -- acceptance summary ----------------------------------------------------
   const double speedup = batched8_rps / direct_rps;
@@ -209,6 +354,8 @@ int main(int argc, char** argv) {
   std::printf("binary x1 scoring latency %.2f us/query vs float %.2f us/query "
               "(binary faster: %s)\n",
               us_bin1, us_float, us_bin1 < us_float ? "PASS" : "FAIL");
+  std::printf("snapshot cold start: load %.3f s vs retrain %.2f s (%.0fx; faster: %s)\n",
+              load_s, retrain_s, retrain_s / load_s, load_s < retrain_s ? "PASS" : "FAIL");
   std::printf("wall time: %.1f s\n", wall.seconds());
   return 0;
 }

@@ -1,0 +1,33 @@
+// Shared training recipe for the serving demos: serve_demo (in-process
+// training mode) and snapshot_tool (--save) must train the *same* model for
+// the CI smoke's cross-process equivalence claim to mean anything, so both
+// build their PipelineConfig here.
+#pragma once
+
+#include "core/pipeline.hpp"
+#include "util/config.hpp"
+
+namespace hdczsc::examples {
+
+/// Small, phase-1-free ZS recipe driven by the common demo flags
+/// (--classes, --seed, --epochs, --image-size).
+inline core::PipelineConfig demo_pipeline_config(const util::ArgMap& args) {
+  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", 24));
+  core::PipelineConfig cfg;
+  cfg.n_classes = n_classes;
+  cfg.images_per_class = 8;
+  cfg.train_instances = 6;
+  cfg.image_size = static_cast<std::size_t>(args.get_int("image-size", 32));
+  cfg.split = "zs";
+  cfg.zs_train_classes = n_classes * 3 / 4;
+  cfg.model.image.proj_dim = 256;
+  cfg.run_phase1 = false;
+  cfg.phase2 = {8, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+  cfg.phase3 = {static_cast<std::size_t>(args.get_int("epochs", 10)), 16, 1e-2f, 1e-4f,
+                5.0f, true, false};
+  cfg.augment.enabled = false;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return cfg;
+}
+
+}  // namespace hdczsc::examples

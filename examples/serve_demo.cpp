@@ -1,17 +1,29 @@
-// Serving demo: train an HDC-ZSC model, freeze it into an inference
-// snapshot (float prototypes + bit-packed binary prototypes), then serve a
-// synthetic request storm through the dynamic-batching runtime and print
-// the telemetry block.
+// Serving demo: freeze an HDC-ZSC model into an inference snapshot (float +
+// bit-packed binary prototypes), host it in the multi-model registry, and
+// storm it with synthetic requests, printing per-model telemetry.
 //
-//   ./serve_demo [--classes=24] [--requests=240] [--clients=4] [--batch=8]
-//                [--mode=float|binary] [--expansion=8] [--workers=1]
+// Two ways to obtain the model:
+//   * train in-process (default):
+//       ./serve_demo [--classes=24] [--save-snapshot=model.hdcsnap]
+//   * cold-start from a .hdcsnap artifact written by snapshot_tool or
+//     run_pipeline_trained — no training, the production path:
+//       ./serve_demo --snapshot=model.hdcsnap
+//
+// Multi-model serving: --models=N registers the snapshot under N keys
+// (m0..mN-1), each with its own batcher/workers/stats, and round-robins the
+// request storm across them.
+//
+//   ./serve_demo [--requests=240] [--clients=4] [--batch=8] [--workers=1]
+//                [--mode=float|binary] [--expansion=8] [--models=1]
+#include <algorithm>
 #include <cstdio>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
-#include "serve/server.hpp"
+#include "demo_pipeline_config.hpp"
+#include "serve/model_registry.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
 
@@ -29,42 +41,52 @@ nn::Tensor slice_image(const nn::Tensor& images, std::size_t b) {
 
 int main(int argc, char** argv) {
   util::ArgMap args(argc, argv);
-  const std::size_t n_classes = static_cast<std::size_t>(args.get_int("classes", 24));
   const std::size_t n_requests = static_cast<std::size_t>(args.get_int("requests", 240));
   const std::size_t clients = static_cast<std::size_t>(args.get_int("clients", 4));
   const std::size_t expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
-  const std::string mode = args.get_str("mode", "binary");
-  if (mode != "binary" && mode != "float") {
+  const std::size_t n_models =
+      static_cast<std::size_t>(std::max<long>(1, args.get_int("models", 1)));
+  const std::string mode_str = args.get_str("mode", "binary");
+  if (mode_str != "binary" && mode_str != "float") {
     std::fprintf(stderr, "serve_demo: unknown --mode=%s (expected float|binary)\n",
-                 mode.c_str());
+                 mode_str.c_str());
     return 2;
   }
-  const bool binary = mode == "binary";
+  const serve::ScoringMode mode = mode_str == "binary" ? serve::ScoringMode::kBinaryHamming
+                                                       : serve::ScoringMode::kFloatCosine;
 
-  // -- 1. train --------------------------------------------------------------
-  core::PipelineConfig cfg;
-  cfg.n_classes = n_classes;
-  cfg.images_per_class = 8;
-  cfg.train_instances = 6;
-  cfg.image_size = 32;
-  cfg.split = "zs";
-  cfg.zs_train_classes = n_classes * 3 / 4;
-  cfg.model.image.proj_dim = 256;
-  cfg.run_phase1 = false;
-  cfg.phase2 = {8, 16, 1e-2f, 1e-4f, 5.0f, true, false};
-  cfg.phase3 = {10, 16, 1e-2f, 1e-4f, 5.0f, true, false};
-  cfg.augment.enabled = false;
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  // -- 1. obtain a snapshot: load the artifact, or train and freeze ----------
+  std::shared_ptr<const serve::ModelSnapshot> snapshot;
+  nn::Tensor images;                 // request pool
+  std::vector<std::size_t> labels;   // ground truth (empty in --snapshot mode)
+  if (args.has("snapshot")) {
+    const std::string path = args.get_str("snapshot", "");
+    snapshot = serve::load_snapshot_file(path);
+    std::printf("serve_demo: cold-started from %s (%zu classes, d=%zu, x%zu codes) — "
+                "no retraining\n",
+                path.c_str(), snapshot->n_classes(), snapshot->dim(),
+                snapshot->prototypes().expansion());
+    // No dataset in this process: storm with a seeded synthetic request pool.
+    util::Rng rng(0x9507BEULL);
+    images = nn::Tensor::randn({64, 3, 32, 32}, rng);
+  } else {
+    core::PipelineConfig cfg = examples::demo_pipeline_config(args);
+    cfg.snapshot_path = args.get_str("save-snapshot", "");
+    cfg.snapshot_expansion = expansion;
 
-  std::printf("serve_demo: training on %zu classes, serving the %zu unseen ones\n",
-              cfg.zs_train_classes, n_classes - cfg.zs_train_classes);
-  auto tp = core::run_pipeline_trained(cfg);
-  std::printf("trained: zero-shot top-1 %.1f %% on unseen classes\n\n",
-              100.0 * tp.result.zsc.top1);
+    std::printf("serve_demo: training on %zu classes, serving the %zu unseen ones\n",
+                cfg.zs_train_classes, cfg.n_classes - cfg.zs_train_classes);
+    auto tp = core::run_pipeline_trained(cfg);
+    std::printf("trained: zero-shot top-1 %.1f %% on unseen classes\n",
+                100.0 * tp.result.zsc.top1);
+    if (!cfg.snapshot_path.empty())
+      std::printf("wrote snapshot artifact: %s\n", cfg.snapshot_path.c_str());
+    snapshot = std::make_shared<const serve::ModelSnapshot>(
+        tp.model, tp.test_class_attributes, expansion);
+    images = tp.test_set.images;
+    labels = tp.test_set.labels;
+  }
 
-  // -- 2. snapshot -----------------------------------------------------------
-  auto snapshot = std::make_shared<const serve::ModelSnapshot>(
-      tp.model, tp.test_class_attributes, expansion);
   const auto& store = snapshot->prototypes();
   util::Table mem("frozen prototype store (" + std::to_string(store.n_classes()) +
                   " classes, d=" + std::to_string(store.dim()) + ")");
@@ -74,57 +96,72 @@ int main(int argc, char** argv) {
                std::to_string(store.binary_bytes())});
   mem.print();
 
-  // -- 3. serve a request storm ---------------------------------------------
-  auto engine = std::make_shared<const serve::InferenceEngine>(
-      snapshot, binary ? serve::ScoringMode::kBinaryHamming
-                       : serve::ScoringMode::kFloatCosine);
+  // -- 2. host it in the registry (N aliases = N independent model slots) ----
   serve::ServerConfig scfg;
   scfg.n_workers = static_cast<std::size_t>(args.get_int("workers", 1));
   scfg.batch.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
   scfg.batch.max_delay_ms = args.get_double("delay-ms", 2.0);
   scfg.batch.max_queue_depth = 4096;
-  serve::ServerRuntime server(engine, scfg);
-  server.start();
+  serve::ModelRegistry registry(scfg);
+  std::vector<std::string> keys;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    keys.push_back("m" + std::to_string(m));
+    registry.load(keys.back(), snapshot, mode);
+  }
 
-  std::printf("\nserving %zu requests from %zu client threads (%s scoring, "
-              "max_batch=%zu)...\n",
-              n_requests, clients, scoring_mode_name(engine->mode()).c_str(),
+  // Reference decisions for the whole request pool, computed directly.
+  const auto expected = registry.engine(keys[0])->classify_batch(images);
+
+  std::printf("\nserving %zu requests from %zu client threads across %zu model(s) "
+              "(%s scoring, max_batch=%zu)...\n",
+              n_requests, clients, n_models, scoring_mode_name(mode).c_str(),
               scfg.batch.max_batch);
 
-  const nn::Tensor& images = tp.test_set.images;
-  const auto& labels = tp.test_set.labels;
-  std::vector<std::size_t> hits(clients, 0), sent(clients, 0);
+  // -- 3. request storm, round-robined across model keys ---------------------
+  const std::size_t n_images = images.size(0);
+  std::vector<std::size_t> hits(clients, 0), matches(clients, 0), sent(clients, 0);
   std::vector<std::thread> threads;
   for (std::size_t t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
       const std::size_t per_client = n_requests / clients;
       std::vector<std::pair<std::size_t, std::future<serve::Prediction>>> inflight;
-      for (std::size_t r = 0; r < per_client; ++r) {
-        const std::size_t idx = (t * per_client + r) % images.size(0);
-        inflight.emplace_back(idx, server.classify_async(slice_image(images, idx)));
-        if (inflight.size() >= 16) {
-          for (auto& [i, f] : inflight) hits[t] += f.get().label == labels[i];
-          sent[t] += inflight.size();
-          inflight.clear();
+      auto settle = [&] {
+        for (auto& [i, f] : inflight) {
+          const serve::Prediction p = f.get();
+          matches[t] += p.label == expected[i].label;
+          if (!labels.empty()) hits[t] += p.label == labels[i];
         }
+        sent[t] += inflight.size();
+        inflight.clear();
+      };
+      for (std::size_t r = 0; r < per_client; ++r) {
+        const std::size_t req = t * per_client + r;
+        const std::size_t idx = req % n_images;
+        inflight.emplace_back(
+            idx, registry.classify_async(keys[req % n_models], slice_image(images, idx)));
+        if (inflight.size() >= 16) settle();
       }
-      for (auto& [i, f] : inflight) hits[t] += f.get().label == labels[i];
-      sent[t] += inflight.size();
+      settle();
     });
   }
   for (auto& th : threads) th.join();
-  server.stop();
 
-  std::size_t total_hits = 0, total_sent = 0;
+  std::size_t total_hits = 0, total_matches = 0, total_sent = 0;
   for (std::size_t t = 0; t < clients; ++t) {
     total_hits += hits[t];
+    total_matches += matches[t];
     total_sent += sent[t];
   }
 
   std::printf("\n");
-  server.stats().to_table("serving telemetry").print();
-  std::printf("\nserved top-1 accuracy: %.1f %% (%zu/%zu requests)\n",
-              100.0 * static_cast<double>(total_hits) / static_cast<double>(total_sent),
-              total_hits, total_sent);
-  return 0;
+  registry.to_table("serving telemetry (per model)").print();
+  registry.stop_all();
+
+  std::printf("\nserved == direct inference: %zu/%zu requests (%s)\n", total_matches,
+              total_sent, total_matches == total_sent ? "PASS" : "FAIL");
+  if (!labels.empty())
+    std::printf("served top-1 accuracy: %.1f %% (%zu/%zu requests)\n",
+                100.0 * static_cast<double>(total_hits) / static_cast<double>(total_sent),
+                total_hits, total_sent);
+  return total_matches == total_sent ? 0 : 1;
 }

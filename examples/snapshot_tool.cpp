@@ -1,0 +1,139 @@
+// Save / load / inspect .hdcsnap snapshot artifacts.
+//
+//   ./snapshot_tool --save=model.hdcsnap [--classes=24] [--seed=1]
+//                   [--expansion=8] [--epochs=10]
+//       train a pipeline, write the artifact, verify the round trip
+//       in-process, and print the float-path probe checksum.
+//   ./snapshot_tool --load=model.hdcsnap
+//       load the artifact in *this* process and print the same probe
+//       checksum — equal output across processes proves the persistence
+//       path is bit-identical end-to-end (model rebuild + BN buffers +
+//       frozen prototype rows).
+//   ./snapshot_tool --inspect=model.hdcsnap
+//       print the header / size table without rebuilding the model.
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "demo_pipeline_config.hpp"
+#include "serve/engine.hpp"
+#include "serve/snapshot_io.hpp"
+#include "tensor/ops.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace hdczsc;
+
+namespace {
+
+/// Deterministic probe batch shared by --save and --load (fixed seed).
+nn::Tensor probe_images(std::size_t n, std::size_t image_size) {
+  util::Rng rng(0x9507BEULL);
+  return nn::Tensor::randn({n, 3, image_size, image_size}, rng);
+}
+
+/// FNV-1a over the raw float bytes of a tensor — a cross-process
+/// bit-identity fingerprint.
+std::uint64_t fingerprint(const nn::Tensor& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(t.data());
+  for (std::size_t i = 0; i < t.numel() * sizeof(float); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void print_info(const std::string& path) {
+  const serve::SnapshotInfo info = serve::inspect_snapshot_file(path);
+  util::Table t("snapshot " + path);
+  t.set_header({"field", "value"});
+  t.add_row({"format version", std::to_string(info.version)});
+  t.add_row({"image encoder", info.arch + (info.use_projection
+                                               ? " -> d=" + std::to_string(info.proj_dim)
+                                               : " (no projection)")});
+  t.add_row({"attribute encoder", info.attribute_encoder +
+                                      (info.mlp_hidden
+                                           ? " (hidden " + std::to_string(info.mlp_hidden) + ")"
+                                           : "")});
+  t.add_row({"attributes (alpha)", std::to_string(info.n_attributes)});
+  t.add_row({"served classes", std::to_string(info.n_classes)});
+  t.add_row({"temperature", util::Table::num(info.scale, 4)});
+  t.add_row({"parameters", std::to_string(info.param_elements) + " elements in " +
+                               std::to_string(info.param_records) + " records"});
+  t.add_row({"binary expansion", std::to_string(info.expansion) + " (" +
+                                     std::to_string(info.code_bits) + " bits)"});
+  t.add_row({"float store bytes", std::to_string(info.float_bytes)});
+  t.add_row({"binary store bytes", std::to_string(info.binary_bytes)});
+  t.print();
+}
+
+void print_checksums(const serve::ModelSnapshot& snap, std::size_t n_probe,
+                     std::size_t image_size) {
+  const nn::Tensor probe = probe_images(n_probe, image_size);
+  const nn::Tensor emb = snap.embed(probe);
+  std::printf("probe checksum (float): %016llx\n",
+              static_cast<unsigned long long>(
+                  fingerprint(snap.prototypes().score_float(emb))));
+  std::printf("probe checksum (binary): %016llx\n",
+              static_cast<unsigned long long>(
+                  fingerprint(snap.prototypes().score_binary(emb))));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgMap args(argc, argv);
+  const std::size_t n_probe = static_cast<std::size_t>(args.get_int("probe", 8));
+  const std::size_t image_size = static_cast<std::size_t>(args.get_int("image-size", 32));
+
+  if (args.has("inspect")) {
+    print_info(args.get_str("inspect", ""));
+    return 0;
+  }
+
+  if (args.has("load")) {
+    const std::string path = args.get_str("load", "");
+    print_info(path);
+    auto snap = serve::load_snapshot_file(path);
+    print_checksums(*snap, n_probe, image_size);
+    std::printf("loaded: %zu classes, d=%zu, expansion x%zu\n", snap->n_classes(),
+                snap->dim(), snap->prototypes().expansion());
+    return 0;
+  }
+
+  if (args.has("save")) {
+    const std::string path = args.get_str("save", "");
+    core::PipelineConfig cfg = examples::demo_pipeline_config(args);
+    cfg.snapshot_path = path;
+    cfg.snapshot_expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
+
+    std::printf("training %zu classes (artifact -> %s)...\n", cfg.n_classes, path.c_str());
+    auto tp = core::run_pipeline_trained(cfg);
+    std::printf("trained: zero-shot top-1 %.1f %% on the %zu served classes\n",
+                100.0 * tp.result.zsc.top1, tp.test_class_attributes.size(0));
+
+    // In-process round-trip check: the artifact must reproduce the
+    // in-memory snapshot bit-for-bit on the float path.
+    serve::ModelSnapshot in_memory(tp.model, tp.test_class_attributes,
+                                   cfg.snapshot_expansion);
+    auto reloaded = serve::load_snapshot_file(path);
+    const nn::Tensor probe = probe_images(n_probe, image_size);
+    const float diff = tensor::max_abs_diff(
+        in_memory.prototypes().score_float(in_memory.embed(probe)),
+        reloaded->prototypes().score_float(reloaded->embed(probe)));
+    const bool packed_equal =
+        in_memory.prototypes().packed_words() == reloaded->prototypes().packed_words();
+    std::printf("round-trip: float max |diff| = %g, packed binary rows %s -> %s\n",
+                static_cast<double>(diff), packed_equal ? "identical" : "DIVERGED",
+                diff == 0.0f && packed_equal ? "OK" : "FAIL");
+
+    print_info(path);
+    print_checksums(in_memory, n_probe, image_size);
+    return diff == 0.0f && packed_equal ? 0 : 1;
+  }
+
+  std::fprintf(stderr,
+               "usage: snapshot_tool --save=PATH [--classes=N --seed=S --expansion=K "
+               "--epochs=E] | --load=PATH | --inspect=PATH\n");
+  return 2;
+}

@@ -16,6 +16,24 @@ Tensor HdcAttributeEncoder::encode(const Tensor& a, bool /*train*/) {
   return tensor::matmul(a, dictionary_);  // ϕ = A × B
 }
 
+const hdc::FactoredDictionary& HdcAttributeEncoder::dictionary() const {
+  if (restored_)
+    throw std::logic_error(
+        "HdcAttributeEncoder::dictionary: the factored codebooks are not persisted in "
+        "snapshots; only dictionary_tensor() is valid on a restored encoder");
+  return dict_;
+}
+
+void HdcAttributeEncoder::set_dictionary(Tensor b) {
+  if (b.dim() != 2 || b.size(0) != n_attributes() || b.size(1) != dim())
+    throw std::invalid_argument("HdcAttributeEncoder::set_dictionary: expected [" +
+                                std::to_string(n_attributes()) + ", " +
+                                std::to_string(dim()) + "], got " +
+                                tensor::shape_str(b.shape()));
+  dictionary_ = std::move(b);
+  restored_ = true;
+}
+
 Tensor HdcAttributeEncoder::backward(const Tensor& grad_phi) {
   // The dictionary is stationary; only dL/dA is defined: dA = dϕ · Bᵀ.
   return tensor::matmul_nt(grad_phi, dictionary_);

@@ -52,11 +52,23 @@ class HdcAttributeEncoder : public AttributeEncoder {
   /// The materialized dictionary B [α, d] (±1 floats), used directly as the
   /// similarity targets in the phase-II attribute-extraction task.
   const Tensor& dictionary_tensor() const { return dictionary_; }
-  const hdc::FactoredDictionary& dictionary() const { return dict_; }
+  /// The factored (codebook) form behind B. Unavailable on snapshot-restored
+  /// encoders (throws std::logic_error): only the materialized tensor is
+  /// persisted, and handing out the placeholder codebooks would silently
+  /// produce wrong HDC codes.
+  const hdc::FactoredDictionary& dictionary() const;
+
+  /// Replace the materialized dictionary (snapshot restore path): the
+  /// dictionary is stationary but seed-derived, so a model rebuilt in a
+  /// fresh process must adopt the saved B for ϕ(A) to reproduce. Shape must
+  /// match [α, d]. After this call dictionary() refuses to hand out the now
+  /// inconsistent factored form.
+  void set_dictionary(Tensor b);
 
  private:
   hdc::FactoredDictionary dict_;
-  Tensor dictionary_;  // cached B
+  Tensor dictionary_;       // cached B
+  bool restored_ = false;   // B was adopted from a snapshot; dict_ is stale
 };
 
 /// Trainable 2-layer MLP attribute encoder (ablation of Table II / Fig. 4).
@@ -70,6 +82,7 @@ class MlpAttributeEncoder : public AttributeEncoder {
   std::vector<Parameter*> parameters() override;
   std::size_t dim() const override { return fc2_.out_features(); }
   std::size_t n_attributes() const override { return fc1_.in_features(); }
+  std::size_t hidden() const { return fc1_.out_features(); }
   std::string name() const override { return "mlp"; }
   bool trainable() const override { return true; }
 

@@ -43,6 +43,9 @@ class ImageEncoder {
 
   /// All parameters (backbone + projection).
   std::vector<Parameter*> parameters();
+  /// Non-trainable state (BatchNorm running statistics) — must be persisted
+  /// with the parameters for checkpointed eval forwards to be bit-identical.
+  std::vector<nn::BufferRef> buffers() { return backbone_.net->buffers(); }
   std::vector<Parameter*> backbone_parameters() { return backbone_.net->parameters(); }
   std::vector<Parameter*> projection_parameters();
 

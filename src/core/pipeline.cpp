@@ -1,5 +1,6 @@
 #include "core/pipeline.hpp"
 
+#include "serve/snapshot_io.hpp"
 #include "tensor/ops.hpp"
 #include "util/log.hpp"
 #include "util/timer.hpp"
@@ -113,6 +114,13 @@ TrainedPipeline run_impl(const PipelineConfig& cfg, std::uint64_t seed_offset,
     out.test_class_attributes = test.class_attribute_rows();
     out.test_set = test.all_eval();
     out.test_classes = test.classes();
+    if (!cfg.snapshot_path.empty()) {
+      serve::ModelSnapshot snap(out.model, out.test_class_attributes,
+                                cfg.snapshot_expansion);
+      serve::save_snapshot_file(cfg.snapshot_path, snap);
+      if (cfg.verbose)
+        util::log_info("pipeline: wrote snapshot artifact ", cfg.snapshot_path);
+    }
   }
   return out;
 }

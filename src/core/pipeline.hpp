@@ -37,6 +37,13 @@ struct PipelineConfig {
 
   data::AugmentConfig augment;
 
+  // Serving artifact: when non-empty, run_pipeline_trained freezes the
+  // trained model + held-out class prototypes into a versioned .hdcsnap at
+  // this path (serve::snapshot_io), so server fleets cold-start from the
+  // file instead of retraining.
+  std::string snapshot_path;
+  std::size_t snapshot_expansion = 8;  ///< binary code width k·d of the artifact
+
   std::uint64_t seed = 1;
   bool verbose = false;
 };

@@ -45,6 +45,10 @@ class ZscModel {
   /// frozen), attribute-encoder parameters (MLP variant), temperature.
   std::vector<Parameter*> parameters();
 
+  /// Non-trainable state tensors (the image backbone's BatchNorm running
+  /// statistics); serialized alongside parameters() by serve::snapshot_io.
+  std::vector<nn::BufferRef> buffers() { return image_encoder_->buffers(); }
+
   /// When disabled, backward passes stop at the projection FC (stationary
   /// backbone of Fig. 2c) — a large compute saving in phase III.
   void set_backbone_grad(bool enabled) { backbone_grad_ = enabled; }

@@ -13,6 +13,9 @@ class BatchNorm2d : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<BufferRef> buffers() override {
+    return {{"bn.running_mean", &running_mean_}, {"bn.running_var", &running_var_}};
+  }
   std::string name() const override { return "BatchNorm2d"; }
 
   const Tensor& running_mean() const { return running_mean_; }

@@ -17,6 +17,14 @@ namespace hdczsc::nn {
 using tensor::Shape;
 using tensor::Tensor;
 
+/// A named reference to a non-trainable state tensor (BatchNorm running
+/// statistics). Buffers are invisible to optimizers but must be persisted
+/// alongside the parameters for eval-mode forwards to be reproducible.
+struct BufferRef {
+  std::string name;
+  Tensor* tensor = nullptr;
+};
+
 /// A learnable tensor with its gradient accumulator.
 struct Parameter {
   Tensor value;
@@ -44,6 +52,10 @@ class Layer {
 
   /// All learnable parameters (empty for stateless layers).
   virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// All non-trainable state tensors (empty for layers whose eval forward
+  /// depends only on parameters).
+  virtual std::vector<BufferRef> buffers() { return {}; }
 
   virtual std::string name() const = 0;
 

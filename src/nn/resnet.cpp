@@ -71,6 +71,19 @@ std::vector<Parameter*> BasicBlock::parameters() {
   return out;
 }
 
+std::vector<BufferRef> BasicBlock::buffers() {
+  std::vector<BufferRef> out;
+  for (Layer* l : std::initializer_list<Layer*>{&bn1_, &bn2_}) {
+    auto bs = l->buffers();
+    out.insert(out.end(), bs.begin(), bs.end());
+  }
+  if (down_bn_) {
+    auto bs = down_bn_->buffers();
+    out.insert(out.end(), bs.begin(), bs.end());
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Bottleneck
 // ---------------------------------------------------------------------------
@@ -141,6 +154,19 @@ std::vector<Parameter*> Bottleneck::parameters() {
     out.insert(out.end(), ps.begin(), ps.end());
     ps = down_bn_->parameters();
     out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+std::vector<BufferRef> Bottleneck::buffers() {
+  std::vector<BufferRef> out;
+  for (Layer* l : std::initializer_list<Layer*>{&bn1_, &bn2_, &bn3_}) {
+    auto bs = l->buffers();
+    out.insert(out.end(), bs.begin(), bs.end());
+  }
+  if (down_bn_) {
+    auto bs = down_bn_->buffers();
+    out.insert(out.end(), bs.begin(), bs.end());
   }
   return out;
 }

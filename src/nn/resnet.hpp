@@ -25,6 +25,7 @@ class BasicBlock : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<BufferRef> buffers() override;
   std::string name() const override { return "BasicBlock"; }
 
   static constexpr std::size_t kExpansion = 1;
@@ -49,6 +50,7 @@ class Bottleneck : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<BufferRef> buffers() override;
   std::string name() const override { return "Bottleneck"; }
 
   static constexpr std::size_t kExpansion = 4;

@@ -23,4 +23,13 @@ std::vector<Parameter*> Sequential::parameters() {
   return out;
 }
 
+std::vector<BufferRef> Sequential::buffers() {
+  std::vector<BufferRef> out;
+  for (auto& layer : layers_) {
+    auto bs = layer->buffers();
+    out.insert(out.end(), bs.begin(), bs.end());
+  }
+  return out;
+}
+
 }  // namespace hdczsc::nn

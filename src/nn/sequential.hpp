@@ -24,6 +24,7 @@ class Sequential : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Parameter*> parameters() override;
+  std::vector<BufferRef> buffers() override;
   std::string name() const override { return "Sequential"; }
 
   std::size_t size() const { return layers_.size(); }

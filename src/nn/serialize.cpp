@@ -10,31 +10,58 @@ namespace hdczsc::nn {
 
 namespace {
 
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+using tensor::io::read_pod;
+using tensor::io::read_string;
+using tensor::io::write_pod;
+using tensor::io::write_string;
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("nn::serialize: truncated stream");
-  return v;
-}
+/// One destination slot of a record stream: its expected name and the tensor
+/// the staged value will be written into.
+struct RecordSlot {
+  const std::string* name;
+  tensor::Tensor* dest;
+};
 
-void write_string(std::ostream& os, const std::string& s) {
-  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-std::string read_string(std::istream& is) {
-  const auto n = read_pod<std::uint32_t>(is);
-  if (n > (1u << 20)) throw std::runtime_error("nn::serialize: implausible string length");
-  std::string s(n, '\0');
-  is.read(s.data(), n);
-  if (!is) throw std::runtime_error("nn::serialize: truncated stream");
-  return s;
+/// Read a count-prefixed (name, tensor) record stream into staged tensors,
+/// enforcing count/name/shape agreement with `slots`. Every failure —
+/// including a truncation mid-record — names the record being read, and
+/// nothing is written into the destinations until the whole stream parsed.
+void load_records(std::istream& is, const char* what, const std::vector<RecordSlot>& slots) {
+  std::uint64_t count = 0;
+  try {
+    count = read_pod<std::uint64_t>(is);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(what) + ": truncated before record count (" +
+                             e.what() + ")");
+  }
+  if (count != slots.size())
+    throw std::runtime_error(std::string(what) + ": record count mismatch (file " +
+                             std::to_string(count) + ", model " +
+                             std::to_string(slots.size()) + ")");
+  std::vector<tensor::Tensor> staged;
+  staged.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::string& expect = *slots[i].name;
+    std::string name;
+    tensor::Tensor t;
+    try {
+      name = read_string(is);
+      t = tensor::load_tensor(is);
+    } catch (const std::exception& e) {
+      throw std::runtime_error(std::string(what) + ": corrupt or truncated record " +
+                               std::to_string(i) + " ('" + expect + "'): " + e.what());
+    }
+    if (name != expect)
+      throw std::runtime_error(std::string(what) + ": name mismatch at index " +
+                               std::to_string(i) + " (file '" + name + "', model '" +
+                               expect + "')");
+    if (t.shape() != slots[i].dest->shape())
+      throw std::runtime_error(std::string(what) + ": shape mismatch for '" + name +
+                               "' (file " + tensor::shape_str(t.shape()) + ", model " +
+                               tensor::shape_str(slots[i].dest->shape()) + ")");
+    staged.push_back(std::move(t));
+  }
+  for (std::size_t i = 0; i < slots.size(); ++i) *slots[i].dest = std::move(staged[i]);
 }
 
 }  // namespace
@@ -48,26 +75,25 @@ void save_parameters(std::ostream& os, const std::vector<Parameter*>& params) {
 }
 
 void load_parameters(std::istream& is, const std::vector<Parameter*>& params) {
-  const auto count = read_pod<std::uint64_t>(is);
-  if (count != params.size())
-    throw std::runtime_error("load_parameters: parameter count mismatch (file " +
-                             std::to_string(count) + ", model " +
-                             std::to_string(params.size()) + ")");
-  // Stage everything first so a failure cannot leave the model half-loaded.
-  std::vector<tensor::Tensor> staged;
-  staged.reserve(params.size());
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    const std::string name = read_string(is);
-    if (name != params[i]->name)
-      throw std::runtime_error("load_parameters: name mismatch at index " +
-                               std::to_string(i) + " (file '" + name + "', model '" +
-                               params[i]->name + "')");
-    tensor::Tensor t = tensor::load_tensor(is);
-    if (t.shape() != params[i]->value.shape())
-      throw std::runtime_error("load_parameters: shape mismatch for '" + name + "'");
-    staged.push_back(std::move(t));
+  std::vector<RecordSlot> slots;
+  slots.reserve(params.size());
+  for (Parameter* p : params) slots.push_back({&p->name, &p->value});
+  load_records(is, "load_parameters", slots);
+}
+
+void save_buffers(std::ostream& os, const std::vector<BufferRef>& bufs) {
+  write_pod<std::uint64_t>(os, bufs.size());
+  for (const BufferRef& b : bufs) {
+    write_string(os, b.name);
+    tensor::save_tensor(os, *b.tensor);
   }
-  for (std::size_t i = 0; i < params.size(); ++i) params[i]->value = staged[i];
+}
+
+void load_buffers(std::istream& is, const std::vector<BufferRef>& bufs) {
+  std::vector<RecordSlot> slots;
+  slots.reserve(bufs.size());
+  for (const BufferRef& b : bufs) slots.push_back({&b.name, b.tensor});
+  load_records(is, "load_buffers", slots);
 }
 
 void save_parameters_file(const std::string& path, const std::vector<Parameter*>& params) {

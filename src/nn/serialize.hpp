@@ -17,9 +17,19 @@ void save_parameters(std::ostream& os, const std::vector<Parameter*>& params);
 void save_parameters_file(const std::string& path, const std::vector<Parameter*>& params);
 
 /// Load parameters back into the same layer stack. Count, order, names and
-/// shapes must match exactly (same architecture); otherwise throws and
-/// leaves the model untouched.
+/// shapes must match exactly (same architecture); otherwise throws — naming
+/// the offending record — and leaves the model untouched (all records are
+/// staged before any parameter is written).
 void load_parameters(std::istream& is, const std::vector<Parameter*>& params);
 void load_parameters_file(const std::string& path, const std::vector<Parameter*>& params);
+
+/// Save non-trainable state tensors (Layer::buffers(): BatchNorm running
+/// statistics) in the same count-prefixed (name, tensor) record format.
+/// Buffers are not covered by save_parameters but are required for loaded
+/// models to reproduce eval-mode forwards bit-for-bit.
+void save_buffers(std::ostream& os, const std::vector<BufferRef>& bufs);
+
+/// Load buffers back; same all-or-nothing contract as load_parameters.
+void load_buffers(std::istream& is, const std::vector<BufferRef>& bufs);
 
 }  // namespace hdczsc::nn

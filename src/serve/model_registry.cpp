@@ -1,0 +1,126 @@
+#include "serve/model_registry.hpp"
+
+namespace hdczsc::serve {
+
+ModelRegistry::ModelRegistry(ServerConfig default_cfg) : default_cfg_(default_cfg) {}
+
+ModelRegistry::~ModelRegistry() { stop_all(); }
+
+void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnapshot> snapshot,
+                         ScoringMode mode, std::optional<ServerConfig> cfg) {
+  if (key.empty()) throw std::invalid_argument("ModelRegistry::load: empty key");
+  if (!snapshot) throw std::invalid_argument("ModelRegistry::load: null snapshot");
+  // Build and start outside the lock: worker spawn must not stall routing.
+  auto engine = std::make_shared<const InferenceEngine>(std::move(snapshot), mode);
+  auto runtime =
+      std::make_shared<ServerRuntime>(std::move(engine), cfg.value_or(default_cfg_));
+  runtime->start();
+
+  std::shared_ptr<ServerRuntime> replaced;
+  {
+    std::unique_lock lock(mu_);
+    auto& slot = models_[key];
+    replaced = std::move(slot);
+    slot = std::move(runtime);
+  }
+  // Drain the replaced runtime after the swap: requests it already accepted
+  // complete; new requests route to the replacement.
+  if (replaced) replaced->stop();
+}
+
+void ModelRegistry::load_file(const std::string& key, const std::string& path,
+                              ScoringMode mode, std::optional<ServerConfig> cfg) {
+  // load_snapshot_file throws on corruption *before* the registry is
+  // touched — a half-loaded model is never registered.
+  load(key, load_snapshot_file(path), mode, cfg);
+}
+
+bool ModelRegistry::unload(const std::string& key) {
+  std::shared_ptr<ServerRuntime> removed;
+  {
+    std::unique_lock lock(mu_);
+    auto it = models_.find(key);
+    if (it == models_.end()) return false;
+    removed = std::move(it->second);
+    models_.erase(it);
+  }
+  removed->stop();  // drains the queue: every accepted request resolves
+  return true;
+}
+
+std::shared_ptr<ServerRuntime> ModelRegistry::find(const std::string& key) const {
+  std::shared_lock lock(mu_);
+  auto it = models_.find(key);
+  if (it == models_.end()) throw ModelNotFound(key);
+  return it->second;
+}
+
+std::future<Prediction> ModelRegistry::classify_async(const std::string& key,
+                                                      tensor::Tensor image) {
+  // find() copies the shared_ptr under a shared lock; the submit (and the
+  // batched forward it feeds) runs with no registry lock held.
+  return find(key)->classify_async(std::move(image));
+}
+
+Prediction ModelRegistry::classify(const std::string& key, tensor::Tensor image) {
+  return classify_async(key, std::move(image)).get();
+}
+
+bool ModelRegistry::has(const std::string& key) const {
+  std::shared_lock lock(mu_);
+  return models_.count(key) > 0;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::shared_lock lock(mu_);
+  return models_.size();
+}
+
+std::vector<std::string> ModelRegistry::keys() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [key, runtime] : models_) out.push_back(key);
+  return out;
+}
+
+ServingStats::Summary ModelRegistry::stats(const std::string& key) const {
+  return find(key)->stats().summary();
+}
+
+std::shared_ptr<const InferenceEngine> ModelRegistry::engine(const std::string& key) const {
+  return find(key)->engine_ptr();
+}
+
+util::Table ModelRegistry::to_table(const std::string& title) const {
+  // Snapshot the runtimes first; summaries are computed outside the lock.
+  std::vector<std::pair<std::string, std::shared_ptr<ServerRuntime>>> entries;
+  {
+    std::shared_lock lock(mu_);
+    entries.assign(models_.begin(), models_.end());
+  }
+  util::Table t(title);
+  t.set_header({"key", "scoring", "classes", "completed", "rejected", "req/s", "p50 ms",
+                "p99 ms"});
+  for (const auto& [key, runtime] : entries) {
+    const auto s = runtime->stats().summary();
+    t.add_row({key, scoring_mode_name(runtime->engine().mode()),
+               std::to_string(runtime->engine().snapshot().n_classes()),
+               std::to_string(s.completed), std::to_string(s.rejected),
+               util::Table::num(s.throughput_rps, 1), util::Table::num(s.p50_latency_ms, 2),
+               util::Table::num(s.p99_latency_ms, 2)});
+  }
+  return t;
+}
+
+void ModelRegistry::stop_all() {
+  std::vector<std::shared_ptr<ServerRuntime>> stopping;
+  {
+    std::unique_lock lock(mu_);
+    for (auto& [key, runtime] : models_) stopping.push_back(std::move(runtime));
+    models_.clear();
+  }
+  for (auto& runtime : stopping) runtime->stop();
+}
+
+}  // namespace hdczsc::serve

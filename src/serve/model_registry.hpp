@@ -1,0 +1,97 @@
+// Multi-model serving host: one process serving several frozen snapshots
+// (per-split or per-d variants), each behind its own DynamicBatcher, worker
+// pool and ServingStats, routed by a model key on the request.
+//
+// Concurrency contract (the Triton-style model-repository pattern):
+//  * The registry map is guarded by a shared_mutex, but the score path only
+//    ever takes a *shared* lock long enough to copy the model's
+//    shared_ptr<ServerRuntime> — embedding and scoring run entirely outside
+//    any registry lock, so serving one model never blocks on another (or on
+//    a concurrent load).
+//  * load()/unload() build/start (resp. drain/join) the runtime *outside*
+//    the lock and only swap the map entry under the exclusive lock. Requests
+//    already routed to a replaced/unloaded runtime drain to completion —
+//    their futures all resolve; requests racing the swap may be rejected
+//    with ServerOverloaded, exactly as an overloaded single-model server
+//    would reject them.
+//  * load_file() gives the strong guarantee: a corrupt or truncated
+//    .hdcsnap throws before the registry is touched — a half-loaded model
+//    is never registered.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <shared_mutex>
+
+#include "serve/server.hpp"
+#include "serve/snapshot_io.hpp"
+
+namespace hdczsc::serve {
+
+/// Thrown when a request names a key with no registered model.
+class ModelNotFound : public std::runtime_error {
+ public:
+  explicit ModelNotFound(const std::string& key)
+      : std::runtime_error("serve: no model registered under key '" + key + "'") {}
+};
+
+class ModelRegistry {
+ public:
+  /// `default_cfg` is applied to every load() that does not pass its own
+  /// per-model ServerConfig.
+  explicit ModelRegistry(ServerConfig default_cfg = {});
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Hot-register `snapshot` under `key` (replacing any previous model with
+  /// that key): builds an engine + runtime, starts its workers, then swaps
+  /// it into the map. A replaced runtime drains its queue and joins after
+  /// the swap, outside the registry lock.
+  void load(const std::string& key, std::shared_ptr<const ModelSnapshot> snapshot,
+            ScoringMode mode = ScoringMode::kFloatCosine,
+            std::optional<ServerConfig> cfg = std::nullopt);
+
+  /// Deserialize a .hdcsnap and register it. On any read error the
+  /// exception propagates and the registry is untouched.
+  void load_file(const std::string& key, const std::string& path,
+                 ScoringMode mode = ScoringMode::kFloatCosine,
+                 std::optional<ServerConfig> cfg = std::nullopt);
+
+  /// Remove the model and drain its queue (every accepted request still
+  /// completes). Returns false when the key was not registered.
+  bool unload(const std::string& key);
+
+  /// Route one request to the model under `key`. Throws ModelNotFound for
+  /// an unknown key, ServerOverloaded on admission-control rejection.
+  std::future<Prediction> classify_async(const std::string& key, tensor::Tensor image);
+  Prediction classify(const std::string& key, tensor::Tensor image);
+
+  bool has(const std::string& key) const;
+  std::size_t size() const;
+  std::vector<std::string> keys() const;
+
+  /// Per-model telemetry. Throws ModelNotFound for an unknown key.
+  ServingStats::Summary stats(const std::string& key) const;
+  /// Shared handle (not a reference): the engine may outlive a concurrent
+  /// unload/replace of the key, so the caller keeps it alive.
+  std::shared_ptr<const InferenceEngine> engine(const std::string& key) const;
+
+  /// One row per model: key, scoring mode, classes, completed/rejected,
+  /// req/s, p50/p99.
+  util::Table to_table(const std::string& title = "model registry") const;
+
+  /// Stop every runtime (drains all queues). Further requests are rejected;
+  /// also run by the destructor.
+  void stop_all();
+
+ private:
+  std::shared_ptr<ServerRuntime> find(const std::string& key) const;
+
+  ServerConfig default_cfg_;
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::shared_ptr<ServerRuntime>> models_;
+};
+
+}  // namespace hdczsc::serve

@@ -9,7 +9,7 @@ namespace hdczsc::serve {
 
 PrototypeStore::PrototypeStore(const tensor::Tensor& prototypes, float scale,
                                std::size_t expansion, std::uint64_t lsh_seed)
-    : expansion_(expansion == 0 ? 1 : expansion), scale_(scale) {
+    : expansion_(expansion == 0 ? 1 : expansion), lsh_seed_(lsh_seed), scale_(scale) {
   if (prototypes.dim() != 2 || prototypes.size(0) == 0)
     throw std::invalid_argument("PrototypeStore: prototypes must be a non-empty [C, d] matrix");
   n_classes_ = prototypes.size(0);
@@ -27,6 +27,34 @@ PrototypeStore::PrototypeStore(const tensor::Tensor& prototypes, float scale,
     projection_ = tensor::Tensor::rademacher({code_bits_, dim_}, rng);
     pack_rows(tensor::matmul_nt(prototypes, projection_));
   }
+}
+
+PrototypeStore PrototypeStore::from_parts(tensor::Tensor normalized_rows,
+                                          std::vector<std::uint64_t> packed_words, float scale,
+                                          std::size_t expansion, std::uint64_t lsh_seed) {
+  if (normalized_rows.dim() != 2 || normalized_rows.size(0) == 0)
+    throw std::invalid_argument(
+        "PrototypeStore::from_parts: normalized rows must be a non-empty [C, d] matrix");
+  PrototypeStore s;
+  s.expansion_ = expansion == 0 ? 1 : expansion;
+  s.lsh_seed_ = lsh_seed;
+  s.scale_ = scale;
+  s.n_classes_ = normalized_rows.size(0);
+  s.dim_ = normalized_rows.size(1);
+  s.code_bits_ = s.dim_ * s.expansion_;
+  s.words_per_row_ = (s.code_bits_ + 63) / 64;
+  if (packed_words.size() != s.n_classes_ * s.words_per_row_)
+    throw std::invalid_argument(
+        "PrototypeStore::from_parts: packed words/shape disagree (" +
+        std::to_string(packed_words.size()) + " words for " + std::to_string(s.n_classes_) +
+        " rows x " + std::to_string(s.words_per_row_) + " words/row)");
+  s.normalized_ = std::move(normalized_rows);
+  s.packed_ = std::move(packed_words);
+  if (s.expansion_ > 1) {
+    util::Rng rng(lsh_seed);
+    s.projection_ = tensor::Tensor::rademacher({s.code_bits_, s.dim_}, rng);
+  }
+  return s;
 }
 
 void PrototypeStore::pack_rows(const tensor::Tensor& rows) {

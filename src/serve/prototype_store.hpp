@@ -41,6 +41,17 @@ class PrototypeStore {
   PrototypeStore(const tensor::Tensor& prototypes, float scale, std::size_t expansion = 1,
                  std::uint64_t lsh_seed = 0x5EEDULL);
 
+  /// Reconstitute a store from serialized parts (snapshot_io load path): the
+  /// already-normalized float rows and the already-packed binary words are
+  /// adopted verbatim — nothing is recomputed, so the round trip is
+  /// bit-identical on both scoring paths. The LSH projection (expansion > 1)
+  /// is regenerated deterministically from `lsh_seed`, exactly as the
+  /// building constructor derived it. Throws std::invalid_argument when the
+  /// parts disagree (packed size vs. [C, d] x expansion).
+  static PrototypeStore from_parts(tensor::Tensor normalized_rows,
+                                   std::vector<std::uint64_t> packed_words, float scale,
+                                   std::size_t expansion, std::uint64_t lsh_seed);
+
   std::size_t n_classes() const { return n_classes_; }
   std::size_t dim() const { return dim_; }
   float scale() const { return scale_; }
@@ -48,6 +59,7 @@ class PrototypeStore {
   std::size_t code_bits() const { return code_bits_; }
   std::size_t expansion() const { return expansion_; }
   std::size_t words_per_row() const { return words_per_row_; }
+  std::uint64_t lsh_seed() const { return lsh_seed_; }
 
   /// Float cosine path: logits [B, C] = s · Ê P̂ᵀ from embeddings e [B, d].
   /// Bit-identical to SimilarityKernel::forward in eval mode.
@@ -73,11 +85,14 @@ class PrototypeStore {
   std::size_t binary_bytes() const { return packed_.size() * sizeof(std::uint64_t); }
 
  private:
+  PrototypeStore() = default;  // used by from_parts
+
   std::size_t n_classes_ = 0;
   std::size_t dim_ = 0;
   std::size_t code_bits_ = 0;
   std::size_t expansion_ = 1;
   std::size_t words_per_row_ = 0;
+  std::uint64_t lsh_seed_ = 0;
   float scale_ = 1.0f;
   tensor::Tensor normalized_;          // [C, d], L2-normalized rows
   tensor::Tensor projection_;          // [D, d] Rademacher (empty when expansion == 1)

@@ -52,6 +52,9 @@ class ServerRuntime {
   Prediction classify(tensor::Tensor image);
 
   const InferenceEngine& engine() const { return *engine_; }
+  /// Shared handle for callers that may outlive this runtime (the registry's
+  /// hot-unload path).
+  const std::shared_ptr<const InferenceEngine>& engine_ptr() const { return engine_; }
   ServingStats& stats() { return stats_; }
   const ServingStats& stats() const { return stats_; }
   std::size_t queue_depth() const { return batcher_.depth(); }

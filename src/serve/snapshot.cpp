@@ -20,7 +20,19 @@ ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                              const tensor::Tensor& class_attributes,
                              std::size_t binary_expansion)
     : model_(std::move(model)),
+      class_attributes_(class_attributes),
       store_(build_store(model_, class_attributes, binary_expansion)) {}
+
+ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
+                             tensor::Tensor class_attributes, PrototypeStore store)
+    : model_(std::move(model)),
+      class_attributes_(std::move(class_attributes)),
+      store_(std::move(store)) {
+  if (!model_) throw std::invalid_argument("ModelSnapshot: null model");
+  if (model_->dim() != store_.dim())
+    throw std::invalid_argument("ModelSnapshot: model dim " + std::to_string(model_->dim()) +
+                                " != prototype store dim " + std::to_string(store_.dim()));
+}
 
 tensor::Tensor ModelSnapshot::embed(const tensor::Tensor& images) const {
   return model_->image_encoder().forward(images, /*train=*/false);

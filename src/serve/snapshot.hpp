@@ -28,6 +28,13 @@ class ModelSnapshot {
   ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                 const tensor::Tensor& class_attributes, std::size_t binary_expansion = 1);
 
+  /// Reconstituting constructor (snapshot_io load path): adopt an
+  /// already-built PrototypeStore instead of re-encoding ϕ(A) — the store
+  /// carries the exact serialized rows, so a loaded snapshot scores
+  /// bit-identically to the one that was saved.
+  ModelSnapshot(std::shared_ptr<core::ZscModel> model, tensor::Tensor class_attributes,
+                PrototypeStore store);
+
   std::size_t n_classes() const { return store_.n_classes(); }
   std::size_t dim() const { return store_.dim(); }
   float scale() const { return store_.scale(); }
@@ -38,9 +45,17 @@ class ModelSnapshot {
 
   const PrototypeStore& prototypes() const { return store_; }
   const core::ZscModel& model() const { return *model_; }
+  /// The frozen class-attribute rows A [C, α] the store was built against.
+  const tensor::Tensor& class_attributes() const { return class_attributes_; }
+
+  /// Shared handle to the underlying model — snapshot_io needs the mutable
+  /// parameter/buffer lists for serialization; serving code should use the
+  /// const accessors above.
+  const std::shared_ptr<core::ZscModel>& model_ptr() const { return model_; }
 
  private:
   std::shared_ptr<core::ZscModel> model_;
+  tensor::Tensor class_attributes_;
   PrototypeStore store_;
 };
 

@@ -1,0 +1,239 @@
+#include "serve/snapshot_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/zsc_model.hpp"
+#include "data/attribute_space.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/serialize.hpp"
+
+namespace hdczsc::serve {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'C', 'S'};
+constexpr char kEndMarker[4] = {'P', 'A', 'N', 'S'};
+
+using tensor::io::read_pod;
+using tensor::io::read_string;
+using tensor::io::write_pod;
+using tensor::io::write_string;
+
+tensor::Tensor read_tensor(std::istream& is, const char* what) {
+  try {
+    return tensor::load_tensor(is);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string("snapshot_io: corrupt tensor record '") + what +
+                             "': " + e.what());
+  }
+}
+
+/// Everything up to (and including) the f32 temperature field.
+struct Header {
+  std::string arch;
+  std::size_t proj_dim = 0;
+  bool use_projection = true;
+  std::string attr_kind;
+  std::size_t mlp_hidden = 0;
+  std::size_t n_attributes = 0;
+  float scale = 0.0f;
+};
+
+Header read_header(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kMagic, 4))
+    throw std::runtime_error("snapshot_io: bad magic (not a .hdcsnap file)");
+  const auto version = read_pod<std::uint32_t>(is, "format version");
+  if (version != kSnapshotVersion)
+    throw std::runtime_error("snapshot_io: unsupported snapshot version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kSnapshotVersion) + ")");
+  Header h;
+  h.arch = read_string(is, "image-encoder arch");
+  h.proj_dim = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "projection dim"));
+  h.use_projection = read_pod<std::uint8_t>(is, "use_projection flag") != 0;
+  h.attr_kind = read_string(is, "attribute-encoder kind");
+  h.mlp_hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "mlp hidden width"));
+  h.n_attributes = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "attribute count"));
+  h.scale = read_pod<float>(is, "temperature");
+  return h;
+}
+
+void read_end_marker(std::istream& is) {
+  char tail[4];
+  is.read(tail, 4);
+  if (!is || std::string(tail, 4) != std::string(kEndMarker, 4))
+    throw std::runtime_error("snapshot_io: truncated file (missing end marker)");
+}
+
+std::vector<std::uint64_t> read_packed_words(std::istream& is) {
+  const auto n_words = read_pod<std::uint64_t>(is, "packed word count");
+  if (n_words > (std::uint64_t{1} << 28))
+    throw std::runtime_error("snapshot_io: implausible packed word count");
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(n_words));
+  is.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
+  if (!is) throw std::runtime_error("snapshot_io: truncated reading packed binary rows");
+  return words;
+}
+
+}  // namespace
+
+void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
+  core::ZscModel& model = *snap.model_ptr();
+  auto* mlp = dynamic_cast<core::MlpAttributeEncoder*>(&model.attribute_encoder());
+  auto* hdc_enc = dynamic_cast<core::HdcAttributeEncoder*>(&model.attribute_encoder());
+
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, kSnapshotVersion);
+  write_string(os, model.image_encoder().arch());
+  write_pod<std::uint64_t>(os, model.dim());
+  write_pod<std::uint8_t>(os, model.image_encoder().has_projection() ? 1 : 0);
+  write_string(os, model.attribute_encoder().name());
+  write_pod<std::uint64_t>(os, mlp ? mlp->hidden() : 0);
+  write_pod<std::uint64_t>(os, model.attribute_encoder().n_attributes());
+  write_pod<float>(os, snap.scale());
+
+  nn::save_parameters(os, model.parameters());
+  nn::save_buffers(os, model.buffers());
+  write_pod<std::uint8_t>(os, hdc_enc ? 1 : 0);
+  if (hdc_enc) tensor::save_tensor(os, hdc_enc->dictionary_tensor());
+
+  tensor::save_tensor(os, snap.class_attributes());
+  const PrototypeStore& store = snap.prototypes();
+  write_pod<std::uint64_t>(os, store.expansion());
+  write_pod<std::uint64_t>(os, store.lsh_seed());
+  write_pod<float>(os, store.scale());
+  tensor::save_tensor(os, store.normalized_prototypes());
+  write_pod<std::uint64_t>(os, store.packed_words().size());
+  os.write(reinterpret_cast<const char*>(store.packed_words().data()),
+           static_cast<std::streamsize>(store.packed_words().size() * sizeof(std::uint64_t)));
+  os.write(kEndMarker, 4);
+  if (!os) throw std::runtime_error("save_snapshot: write failed");
+}
+
+std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
+  const Header h = read_header(is);
+
+  // Rebuild the architecture; every random initialization below is
+  // overwritten by the parameter/buffer/dictionary records.
+  util::Rng rng(0xC0FFEEULL);
+  core::ImageEncoderConfig icfg;
+  icfg.arch = h.arch;
+  icfg.proj_dim = h.proj_dim;
+  icfg.use_projection = h.use_projection;
+  auto img = std::make_unique<core::ImageEncoder>(icfg, rng);
+  const std::size_t d = img->dim();
+
+  std::unique_ptr<core::AttributeEncoder> attr;
+  if (h.attr_kind == "hdc") {
+    // The encoder's codebook structure is irrelevant once the materialized
+    // dictionary is restored below; the flattest space with the right α is
+    // enough (one single-value group per attribute).
+    data::AttributeSpace space = data::AttributeSpace::toy(h.n_attributes, 1, 1);
+    attr = std::make_unique<core::HdcAttributeEncoder>(space, d, rng);
+  } else if (h.attr_kind == "mlp") {
+    attr = std::make_unique<core::MlpAttributeEncoder>(h.n_attributes, h.mlp_hidden, d, rng);
+  } else {
+    throw std::runtime_error("snapshot_io: unknown attribute-encoder kind '" + h.attr_kind +
+                             "'");
+  }
+
+  auto model = std::make_shared<core::ZscModel>(std::move(img), std::move(attr), h.scale);
+  nn::load_parameters(is, model->parameters());
+  nn::load_buffers(is, model->buffers());
+
+  const bool has_dict = read_pod<std::uint8_t>(is, "dictionary flag") != 0;
+  auto* hdc_enc = dynamic_cast<core::HdcAttributeEncoder*>(&model->attribute_encoder());
+  if (has_dict != (hdc_enc != nullptr))
+    throw std::runtime_error("snapshot_io: dictionary record disagrees with encoder kind '" +
+                             h.attr_kind + "'");
+  if (hdc_enc) hdc_enc->set_dictionary(read_tensor(is, "hdc dictionary"));
+
+  tensor::Tensor a = read_tensor(is, "class-attribute matrix");
+  if (a.dim() != 2 || a.size(1) != h.n_attributes)
+    throw std::runtime_error("snapshot_io: class-attribute matrix is " +
+                             tensor::shape_str(a.shape()) + ", expected [C, " +
+                             std::to_string(h.n_attributes) + "]");
+
+  const auto expansion = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "expansion"));
+  const auto lsh_seed = read_pod<std::uint64_t>(is, "lsh seed");
+  const float store_scale = read_pod<float>(is, "store scale");
+  tensor::Tensor normalized = read_tensor(is, "normalized prototype rows");
+  std::vector<std::uint64_t> packed = read_packed_words(is);
+  read_end_marker(is);
+
+  PrototypeStore store = PrototypeStore::from_parts(std::move(normalized), std::move(packed),
+                                                    store_scale, expansion, lsh_seed);
+  if (store.n_classes() != a.size(0))
+    throw std::runtime_error("snapshot_io: prototype store rows (" +
+                             std::to_string(store.n_classes()) +
+                             ") != class-attribute rows (" + std::to_string(a.size(0)) + ")");
+  return std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store));
+}
+
+void save_snapshot_file(const std::string& path, const ModelSnapshot& snap) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_snapshot_file: cannot open " + path);
+  save_snapshot(f, snap);
+}
+
+std::shared_ptr<ModelSnapshot> load_snapshot_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_snapshot_file: cannot open " + path);
+  return load_snapshot(f);
+}
+
+SnapshotInfo inspect_snapshot(std::istream& is) {
+  const Header h = read_header(is);
+  SnapshotInfo info;
+  info.version = kSnapshotVersion;
+  info.arch = h.arch;
+  info.proj_dim = h.proj_dim;
+  info.use_projection = h.use_projection;
+  info.attribute_encoder = h.attr_kind;
+  info.mlp_hidden = h.mlp_hidden;
+  info.n_attributes = h.n_attributes;
+  info.scale = h.scale;
+
+  // Parameter and buffer records, walked structurally (no model rebuild).
+  for (const char* block : {"parameter", "buffer"}) {
+    const auto count = read_pod<std::uint64_t>(is, block);
+    if (count > (1u << 20))
+      throw std::runtime_error(std::string("snapshot_io: implausible ") + block + " count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      read_string(is, block);
+      const tensor::Tensor t = read_tensor(is, block);
+      if (block[0] == 'p') {
+        ++info.param_records;
+        info.param_elements += t.numel();
+      }
+    }
+  }
+  info.has_dictionary = read_pod<std::uint8_t>(is, "dictionary flag") != 0;
+  if (info.has_dictionary) read_tensor(is, "hdc dictionary");
+
+  const tensor::Tensor a = read_tensor(is, "class-attribute matrix");
+  info.n_classes = a.size(0);
+  info.expansion = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "expansion"));
+  read_pod<std::uint64_t>(is, "lsh seed");
+  read_pod<float>(is, "store scale");
+  const tensor::Tensor normalized = read_tensor(is, "normalized prototype rows");
+  info.dim = normalized.dim() == 2 ? normalized.size(1) : 0;
+  info.code_bits = info.dim * info.expansion;
+  info.float_bytes = normalized.numel() * sizeof(float);
+  info.binary_bytes = read_packed_words(is).size() * sizeof(std::uint64_t);
+  read_end_marker(is);
+  return info;
+}
+
+SnapshotInfo inspect_snapshot_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("inspect_snapshot_file: cannot open " + path);
+  return inspect_snapshot(f);
+}
+
+}  // namespace hdczsc::serve

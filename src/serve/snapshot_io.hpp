@@ -1,0 +1,87 @@
+// Versioned on-disk snapshot format (".hdcsnap") — the deployable artifact
+// of a trained HDC-ZSC model, so server fleets cold-start from a file
+// instead of retraining (the Triton/TensorRT "frozen engine" pattern).
+//
+// Layout (little-endian, version 1):
+//
+//   "HDCS"  magic                                  4 bytes
+//   u32     format version (= 1)
+//   -- model architecture (enough to rebuild the layer stack exactly) --
+//   str     image-encoder arch ("resnet_micro_flat", ...)
+//   u64     projection dim d
+//   u8      use_projection
+//   str     attribute-encoder kind ("hdc" | "mlp")
+//   u64     mlp hidden width (0 for "hdc")
+//   u64     α (attribute count)
+//   f32     similarity temperature s (informational; the learned log-scale
+//           parameters travel in the parameter records)
+//   -- model state --
+//   records nn::save_parameters  (count-prefixed (name, tensor) records)
+//   records nn::save_buffers     (BatchNorm running statistics)
+//   u8      has_dictionary; tensor B [α, d] when 1 (the stationary HDC
+//           dictionary is seed-derived, not a parameter — without it a
+//           rebuilt model could not re-encode new attribute rows)
+//   -- frozen serving artifacts --
+//   tensor  class-attribute matrix A [C, α]
+//   u64     expansion k, u64 lsh_seed, f32 store scale
+//   tensor  normalized float prototype rows [C, d]
+//   u64     packed word count, raw u64 words (bit-packed binary rows)
+//   "PANS"  end marker (truncation tripwire)
+//
+// Both prototype forms are stored verbatim (not recomputed on load), and
+// BatchNorm running statistics ride along with the parameters, so a loaded
+// snapshot serves scores bit-identical to the one that was saved — float
+// and packed-binary paths alike. Every load failure names the offending
+// record and nothing half-constructed ever escapes: the model is built and
+// populated in full before the ModelSnapshot exists.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "serve/snapshot.hpp"
+
+namespace hdczsc::serve {
+
+/// Current .hdcsnap format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Serialize a snapshot (model architecture + parameters + buffers + frozen
+/// prototype store) to a stream / file.
+void save_snapshot(std::ostream& os, const ModelSnapshot& snap);
+void save_snapshot_file(const std::string& path, const ModelSnapshot& snap);
+
+/// Deserialize: rebuilds the model architecture from the header, loads
+/// parameters/buffers/dictionary into it, and adopts the stored prototype
+/// rows verbatim. Throws std::runtime_error (with the offending record
+/// named) on any corruption or truncation.
+std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is);
+std::shared_ptr<ModelSnapshot> load_snapshot_file(const std::string& path);
+
+/// Header + size summary of a snapshot stream, parsed without rebuilding
+/// the model (for `snapshot_tool --inspect`).
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::string arch;
+  std::size_t proj_dim = 0;
+  bool use_projection = true;
+  std::string attribute_encoder;
+  std::size_t mlp_hidden = 0;
+  std::size_t n_attributes = 0;
+  float scale = 0.0f;
+  std::size_t param_records = 0;
+  std::size_t param_elements = 0;
+  bool has_dictionary = false;
+  std::size_t n_classes = 0;
+  std::size_t dim = 0;
+  std::size_t expansion = 0;
+  std::size_t code_bits = 0;
+  std::size_t float_bytes = 0;   ///< normalized prototype rows, fp32
+  std::size_t binary_bytes = 0;  ///< packed binary rows
+};
+
+SnapshotInfo inspect_snapshot(std::istream& is);
+SnapshotInfo inspect_snapshot_file(const std::string& path);
+
+}  // namespace hdczsc::serve

@@ -6,37 +6,32 @@
 
 namespace hdczsc::tensor {
 
-namespace {
-
-constexpr char kMagic[4] = {'H', 'D', 'C', 'T'};
-constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("serialize: truncated stream");
-  return v;
-}
+namespace io {
 
 void write_string(std::ostream& os, const std::string& s) {
   write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
-std::string read_string(std::istream& is) {
-  const auto n = read_pod<std::uint32_t>(is);
-  if (n > (1u << 20)) throw std::runtime_error("serialize: implausible string length");
+std::string read_string(std::istream& is, const char* what) {
+  const auto n = read_pod<std::uint32_t>(is, what);
+  if (n > (1u << 20))
+    throw std::runtime_error(std::string("serialize: implausible length for ") + what);
   std::string s(n, '\0');
   is.read(s.data(), n);
-  if (!is) throw std::runtime_error("serialize: truncated stream");
+  if (!is) throw std::runtime_error(std::string("serialize: truncated reading ") + what);
   return s;
 }
+
+}  // namespace io
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'D', 'C', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+using io::read_pod;
+using io::write_pod;
 
 }  // namespace
 

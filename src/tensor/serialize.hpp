@@ -8,10 +8,37 @@
 #pragma once
 
 #include <iosfwd>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "tensor/tensor.hpp"
+
+namespace hdczsc::tensor::io {
+
+// Shared little-endian stream primitives used by every binary format in the
+// repo (tensor records, nn parameter/buffer records, .hdcsnap snapshots) —
+// one implementation so the formats cannot drift.
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is, const char* what = "value") {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error(std::string("serialize: truncated reading ") + what);
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s);
+std::string read_string(std::istream& is, const char* what = "string");
+
+}  // namespace hdczsc::tensor::io
 
 namespace hdczsc::tensor {
 

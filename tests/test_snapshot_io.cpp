@@ -1,0 +1,372 @@
+// Snapshot persistence + multi-model registry: a .hdcsnap round trip must
+// be bit-identical on both scoring paths (the float GEMM *and* the packed
+// binary rows), corrupt/truncated files must throw naming the offending
+// record without ever registering a half-loaded model, and the registry
+// must keep serving while models are hot-loaded/unloaded around it.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "core/zsc_model.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/snapshot_io.hpp"
+#include "tensor/ops.hpp"
+
+namespace hdczsc {
+namespace {
+
+using nn::Tensor;
+
+/// A cheap *untrained* model is enough for persistence tests — bit-identity
+/// does not care about accuracy. A couple of train-mode forwards move the
+/// BatchNorm running statistics off their init so the buffer records are
+/// actually load-bearing.
+struct Tiny {
+  std::shared_ptr<core::ZscModel> model;
+  Tensor a;  // class-attribute rows [C, α]
+};
+
+Tiny make_tiny(std::uint64_t seed, const std::string& attr_kind = "hdc",
+               std::size_t n_classes = 7) {
+  auto space = data::AttributeSpace::toy(6, 3, 9);  // α = 18
+  core::ZscModelConfig mcfg;
+  mcfg.image.arch = "resnet_micro_flat";
+  mcfg.image.proj_dim = 64;
+  mcfg.attribute_encoder = attr_kind;
+  mcfg.mlp_hidden = 32;
+  util::Rng rng(seed);
+  Tiny t;
+  t.model = core::make_zsc_model(mcfg, space, rng);
+  util::Rng ir(seed + 1);
+  for (int i = 0; i < 2; ++i)
+    t.model->image_encoder().forward(Tensor::randn({4, 3, 32, 32}, ir), /*train=*/true);
+  t.a = Tensor::rand_uniform({n_classes, space.n_attributes()}, ir);
+  return t;
+}
+
+Tensor probe_images(std::size_t n, std::uint64_t seed = 0xBEEFULL) {
+  util::Rng rng(seed);
+  return Tensor::randn({n, 3, 32, 32}, rng);
+}
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// -- round trips -------------------------------------------------------------
+
+TEST(SnapshotIO, FloatPathRoundTripIsBitIdentical) {
+  Tiny t = make_tiny(11);
+  serve::ModelSnapshot original(t.model, t.a, /*binary_expansion=*/1);
+  const std::string path = temp_path("roundtrip_float.hdcsnap");
+  serve::save_snapshot_file(path, original);
+  auto loaded = serve::load_snapshot_file(path);
+
+  EXPECT_EQ(loaded->n_classes(), original.n_classes());
+  EXPECT_EQ(loaded->dim(), original.dim());
+  EXPECT_EQ(loaded->scale(), original.scale());
+  EXPECT_EQ(tensor::max_abs_diff(loaded->class_attributes(), original.class_attributes()),
+            0.0f);
+
+  // The full serving forward — image encoder (incl. BatchNorm running
+  // stats) + normalized prototype GEMM — must reproduce bit-for-bit.
+  const Tensor probe = probe_images(6);
+  const Tensor expected = original.prototypes().score_float(original.embed(probe));
+  const Tensor actual = loaded->prototypes().score_float(loaded->embed(probe));
+  EXPECT_EQ(tensor::max_abs_diff(expected, actual), 0.0f)
+      << "persisted snapshot diverged from the in-memory one on the float path";
+
+  // Packed binary rows travel verbatim.
+  EXPECT_EQ(loaded->prototypes().packed_words(), original.prototypes().packed_words());
+
+  // BatchNorm running statistics made the trip (they are not Parameters).
+  auto orig_bufs = t.model->buffers();
+  auto load_bufs = loaded->model_ptr()->buffers();
+  ASSERT_EQ(orig_bufs.size(), load_bufs.size());
+  ASSERT_GT(orig_bufs.size(), 0u);
+  for (std::size_t i = 0; i < orig_bufs.size(); ++i) {
+    EXPECT_EQ(orig_bufs[i].name, load_bufs[i].name);
+    EXPECT_EQ(tensor::max_abs_diff(*orig_bufs[i].tensor, *load_bufs[i].tensor), 0.0f)
+        << orig_bufs[i].name;
+  }
+}
+
+TEST(SnapshotIO, BinaryPathRoundTripWithLshExpansion) {
+  Tiny t = make_tiny(13);
+  serve::ModelSnapshot original(t.model, t.a, /*binary_expansion=*/4);
+  const std::string path = temp_path("roundtrip_lsh.hdcsnap");
+  serve::save_snapshot_file(path, original);
+  auto loaded = serve::load_snapshot_file(path);
+
+  EXPECT_EQ(loaded->prototypes().expansion(), 4u);
+  EXPECT_EQ(loaded->prototypes().code_bits(), original.prototypes().code_bits());
+  EXPECT_EQ(loaded->prototypes().packed_words(), original.prototypes().packed_words());
+
+  // Binary scoring uses the query-side LSH projection, regenerated from the
+  // persisted seed — it must give bit-identical Hamming logits.
+  const Tensor probe = probe_images(5);
+  const Tensor expected = original.prototypes().score_binary(original.embed(probe));
+  const Tensor actual = loaded->prototypes().score_binary(loaded->embed(probe));
+  EXPECT_EQ(tensor::max_abs_diff(expected, actual), 0.0f);
+}
+
+TEST(SnapshotIO, HdcDictionarySurvivesReload) {
+  // The stationary dictionary is seed-derived, not a Parameter; the loaded
+  // model must still encode *new* attribute rows exactly like the original
+  // (GZSL-style label-space extension after cold start).
+  Tiny t = make_tiny(17);
+  serve::ModelSnapshot original(t.model, t.a);
+  const std::string path = temp_path("dict.hdcsnap");
+  serve::save_snapshot_file(path, original);
+  auto loaded = serve::load_snapshot_file(path);
+
+  util::Rng rng(99);
+  Tensor fresh_rows = Tensor::rand_uniform({3, t.a.size(1)}, rng);
+  Tensor expected = t.model->attribute_encoder().encode(fresh_rows, /*train=*/false);
+  Tensor actual =
+      loaded->model_ptr()->attribute_encoder().encode(fresh_rows, /*train=*/false);
+  EXPECT_EQ(tensor::max_abs_diff(expected, actual), 0.0f);
+
+  // Only the materialized tensor is persisted; the factored codebook view
+  // must refuse to hand out its (stale) placeholder on a restored encoder.
+  auto* restored =
+      dynamic_cast<core::HdcAttributeEncoder*>(&loaded->model_ptr()->attribute_encoder());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(tensor::max_abs_diff(
+                restored->dictionary_tensor(),
+                dynamic_cast<core::HdcAttributeEncoder&>(t.model->attribute_encoder())
+                    .dictionary_tensor()),
+            0.0f);
+  EXPECT_THROW(restored->dictionary(), std::logic_error);
+}
+
+TEST(SnapshotIO, MlpEncoderRoundTripsThroughParameters) {
+  Tiny t = make_tiny(19, "mlp");
+  serve::ModelSnapshot original(t.model, t.a);
+  const std::string path = temp_path("mlp.hdcsnap");
+  serve::save_snapshot_file(path, original);
+  auto loaded = serve::load_snapshot_file(path);
+
+  const Tensor probe = probe_images(4);
+  Tensor expected = t.model->class_logits(probe, t.a, /*train=*/false);
+  Tensor actual = loaded->model_ptr()->class_logits(probe, t.a, /*train=*/false);
+  EXPECT_EQ(tensor::max_abs_diff(expected, actual), 0.0f);
+}
+
+TEST(SnapshotIO, InspectReportsTheHeader) {
+  Tiny t = make_tiny(23);
+  serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/2);
+  const std::string path = temp_path("inspect.hdcsnap");
+  serve::save_snapshot_file(path, snap);
+
+  const serve::SnapshotInfo info = serve::inspect_snapshot_file(path);
+  EXPECT_EQ(info.version, serve::kSnapshotVersion);
+  EXPECT_EQ(info.arch, "resnet_micro_flat");
+  EXPECT_EQ(info.proj_dim, 64u);
+  EXPECT_EQ(info.attribute_encoder, "hdc");
+  EXPECT_TRUE(info.has_dictionary);
+  EXPECT_EQ(info.n_attributes, 18u);
+  EXPECT_EQ(info.n_classes, 7u);
+  EXPECT_EQ(info.dim, 64u);
+  EXPECT_EQ(info.expansion, 2u);
+  EXPECT_EQ(info.code_bits, 128u);
+  EXPECT_GT(info.param_records, 0u);
+  EXPECT_GT(info.param_elements, 100000u);  // the 2048x64 projection alone
+}
+
+// -- corruption and truncation -----------------------------------------------
+
+TEST(SnapshotIO, RejectsBadMagic) {
+  Tiny t = make_tiny(29);
+  serve::ModelSnapshot snap(t.model, t.a);
+  const std::string path = temp_path("magic.hdcsnap");
+  serve::save_snapshot_file(path, snap);
+
+  std::string bytes = read_file(path);
+  bytes[0] = 'X';
+  write_file(path, bytes);
+  try {
+    serve::load_snapshot_file(path);
+    FAIL() << "expected load to reject the corrupt magic";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotIO, RejectsUnsupportedVersion) {
+  Tiny t = make_tiny(31);
+  serve::ModelSnapshot snap(t.model, t.a);
+  const std::string path = temp_path("version.hdcsnap");
+  serve::save_snapshot_file(path, snap);
+
+  std::string bytes = read_file(path);
+  bytes[4] = 99;  // u32 version field, little-endian low byte
+  write_file(path, bytes);
+  try {
+    serve::load_snapshot_file(path);
+    FAIL() << "expected load to reject the future version";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SnapshotIO, TruncationAlwaysThrowsAndNamesTheRecord) {
+  Tiny t = make_tiny(37);
+  serve::ModelSnapshot snap(t.model, t.a);
+  const std::string path = temp_path("trunc.hdcsnap");
+  serve::save_snapshot_file(path, snap);
+  const std::string bytes = read_file(path);
+
+  for (double frac : {0.02, 0.2, 0.5, 0.8, 0.97}) {
+    const auto cut = static_cast<std::size_t>(static_cast<double>(bytes.size()) * frac);
+    const std::string cut_path = temp_path("trunc_cut.hdcsnap");
+    write_file(cut_path, bytes.substr(0, cut));
+    EXPECT_THROW(serve::load_snapshot_file(cut_path), std::runtime_error)
+        << "truncation at " << frac << " must not load";
+  }
+
+  // The parameter block dominates the file; a mid-file cut must name the
+  // record it was reading, not just fail generically.
+  const std::string cut_path = temp_path("trunc_mid.hdcsnap");
+  write_file(cut_path, bytes.substr(0, bytes.size() / 2));
+  try {
+    serve::load_snapshot_file(cut_path);
+    FAIL() << "expected truncated load to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("record"), std::string::npos) << e.what();
+  }
+
+  // Cutting just the end marker is caught by the trailer tripwire.
+  const std::string tail_path = temp_path("trunc_tail.hdcsnap");
+  write_file(tail_path, bytes.substr(0, bytes.size() - 2));
+  EXPECT_THROW(serve::load_snapshot_file(tail_path), std::runtime_error);
+}
+
+// -- model registry ----------------------------------------------------------
+
+serve::ServerConfig fast_cfg() {
+  serve::ServerConfig cfg;
+  cfg.n_workers = 1;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_delay_ms = 0.5;
+  cfg.batch.max_queue_depth = 1024;
+  return cfg;
+}
+
+TEST(ModelRegistry, NeverRegistersAHalfLoadedModel) {
+  Tiny t = make_tiny(41);
+  serve::ModelSnapshot snap(t.model, t.a);
+  const std::string path = temp_path("registry_corrupt.hdcsnap");
+  serve::save_snapshot_file(path, snap);
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() / 3));
+
+  serve::ModelRegistry registry(fast_cfg());
+  EXPECT_THROW(registry.load_file("m", path), std::runtime_error);
+  EXPECT_FALSE(registry.has("m"));
+  EXPECT_EQ(registry.size(), 0u);
+
+  // And the good file loads into the same registry afterwards.
+  write_file(path, bytes);
+  registry.load_file("m", path);
+  EXPECT_TRUE(registry.has("m"));
+  EXPECT_EQ(registry.classify("m", probe_images(1).reshape({3, 32, 32})).label,
+            registry.engine("m")->classify_batch(probe_images(1))[0].label);
+}
+
+TEST(ModelRegistry, RoutesRequestsByKey) {
+  Tiny ta = make_tiny(43, "hdc", 7);
+  Tiny tb = make_tiny(47, "hdc", 5);
+  auto snap_a = std::make_shared<const serve::ModelSnapshot>(ta.model, ta.a);
+  auto snap_b = std::make_shared<const serve::ModelSnapshot>(tb.model, tb.a);
+
+  serve::ModelRegistry registry(fast_cfg());
+  registry.load("a", snap_a);
+  registry.load("b", snap_b);
+  EXPECT_EQ(registry.size(), 2u);
+
+  const Tensor probe = probe_images(6);
+  const auto expect_a = registry.engine("a")->classify_batch(probe);
+  const auto expect_b = registry.engine("b")->classify_batch(probe);
+  for (std::size_t i = 0; i < probe.size(0); ++i) {
+    Tensor one({3, 32, 32});
+    std::copy(probe.data() + i * one.numel(), probe.data() + (i + 1) * one.numel(),
+              one.data());
+    const auto pa = registry.classify("a", one);
+    const auto pb = registry.classify("b", one.clone());
+    EXPECT_EQ(pa.label, expect_a[i].label);
+    EXPECT_FLOAT_EQ(pa.score, expect_a[i].score);
+    EXPECT_EQ(pb.label, expect_b[i].label);
+    EXPECT_FLOAT_EQ(pb.score, expect_b[i].score);
+  }
+
+  EXPECT_THROW(registry.classify_async("missing", probe_images(1).reshape({3, 32, 32})),
+               serve::ModelNotFound);
+  EXPECT_TRUE(registry.unload("a"));
+  EXPECT_FALSE(registry.unload("a"));
+  EXPECT_FALSE(registry.has("a"));
+  EXPECT_THROW(registry.classify_async("a", probe_images(1).reshape({3, 32, 32})),
+               serve::ModelNotFound);
+  // "b" is untouched by "a"'s unload.
+  EXPECT_EQ(registry.classify("b", probe_images(1).reshape({3, 32, 32})).label,
+            expect_b[0].label);
+}
+
+TEST(ModelRegistry, ServesThroughConcurrentHotLoadAndUnload) {
+  Tiny ta = make_tiny(53);
+  Tiny tb = make_tiny(59);
+  auto snap_a = std::make_shared<const serve::ModelSnapshot>(ta.model, ta.a);
+  auto snap_b = std::make_shared<const serve::ModelSnapshot>(tb.model, tb.a);
+
+  serve::ModelRegistry registry(fast_cfg());
+  registry.load("hot", snap_a);
+
+  // Client threads storm the "hot" key while the control thread swaps the
+  // model behind it and churns a side key. Requests racing a swap may be
+  // rejected (ServerOverloaded, as on any overloaded server) but every
+  // accepted request must resolve — no deadlock, no lost futures.
+  const std::size_t per_client = 60;
+  std::atomic<std::size_t> ok{0}, rejected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t r = 0; r < per_client; ++r) {
+        try {
+          auto fut = registry.classify_async("hot", probe_images(1, 100 + r).reshape({3, 32, 32}));
+          fut.get();
+          ++ok;
+        } catch (const serve::ServerOverloaded&) {
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 8; ++i) {
+    registry.load("hot", i % 2 ? snap_a : snap_b);
+    registry.load("side", snap_b);
+    registry.unload("side");
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(ok.load() + rejected.load(), 2 * per_client);
+  EXPECT_GT(ok.load(), 0u);
+  EXPECT_TRUE(registry.has("hot"));
+  EXPECT_FALSE(registry.has("side"));
+  // The registry still serves after the churn.
+  EXPECT_NO_THROW(registry.classify("hot", probe_images(1).reshape({3, 32, 32})));
+}
+
+}  // namespace
+}  // namespace hdczsc
