@@ -1,7 +1,10 @@
 #include "hdc/hypervector.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
+
+#include "util/parallel.hpp"
 
 namespace hdczsc::hdc {
 
@@ -143,9 +146,12 @@ BipolarHV BinaryHV::to_bipolar() const {
   return BipolarHV(std::move(v));
 }
 
-void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
-                         std::size_t n_rows, std::size_t words, std::uint32_t* out) {
-  for (std::size_t i = 0; i < n_rows; ++i) {
+namespace {
+
+void hamming_rows_serial(const std::uint64_t* query, const std::uint64_t* rows,
+                         std::size_t row_begin, std::size_t row_end, std::size_t words,
+                         std::uint32_t* out) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
     const std::uint64_t* row = rows + i * words;
     std::uint32_t h = 0;
     std::size_t w = 0;
@@ -160,6 +166,25 @@ void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
       h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w]));
     out[i] = h;
   }
+}
+
+}  // namespace
+
+void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
+                         std::size_t n_rows, std::size_t words, std::uint32_t* out) {
+  // Small scans (the common per-query serving case) stay on the calling
+  // thread: the XOR+popcount sweep through a few KiB beats any hand-off.
+  // Large label spaces — the prototype-store sharding regime — fan the
+  // prototype rows out across workers in contiguous chunks.
+  constexpr std::size_t kSequentialWords = std::size_t{1} << 15;  // 256 KiB of codes
+  if (words == 0 || n_rows * words < kSequentialWords) {
+    hamming_rows_serial(query, rows, 0, n_rows, words, out);
+    return;
+  }
+  const std::size_t grain = std::max<std::size_t>(64, kSequentialWords / (4 * words));
+  util::parallel_for_chunks(0, n_rows, [&](std::size_t i0, std::size_t i1) {
+    hamming_rows_serial(query, rows, i0, i1, words, out);
+  }, grain);
 }
 
 std::vector<std::size_t> hamming_many(const BinaryHV& query,

@@ -140,6 +140,9 @@ double mean_abs_pairwise_cosine(const std::vector<BipolarHV>& hvs);
 // sweep — the access pattern an associative-memory accelerator would use.
 
 /// out[i] = popcount(query ^ rows[i*words .. (i+1)*words)) for i in [0, n_rows).
+/// Scans below ~256 KiB of packed codes run on the calling thread; larger
+/// label spaces split the rows into contiguous chunks across
+/// util::parallel_for workers (prep for prototype-store sharding).
 void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
                          std::size_t n_rows, std::size_t words, std::uint32_t* out);
 

@@ -3,21 +3,25 @@
 #include <cstring>
 
 #include "nn/init.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/scratch.hpp"
 #include "util/parallel.hpp"
 
 namespace hdczsc::nn {
 
 void im2col(const float* input, std::size_t channels, std::size_t height, std::size_t width,
-            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* columns) {
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* columns,
+            std::size_t col_stride) {
   const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
   const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
   const std::size_t ncols = out_h * out_w;
+  const std::size_t rstride = col_stride == 0 ? ncols : col_stride;
   std::size_t row = 0;
   for (std::size_t c = 0; c < channels; ++c) {
     for (std::size_t ki = 0; ki < kh; ++ki) {
       for (std::size_t kj = 0; kj < kw; ++kj, ++row) {
-        float* dst = columns + row * ncols;
+        float* dst = columns + row * rstride;
         for (std::size_t oy = 0; oy < out_h; ++oy) {
           const long iy = static_cast<long>(oy * stride + ki) - static_cast<long>(pad);
           if (iy < 0 || iy >= static_cast<long>(height)) {
@@ -38,15 +42,17 @@ void im2col(const float* input, std::size_t channels, std::size_t height, std::s
 }
 
 void col2im(const float* columns, std::size_t channels, std::size_t height, std::size_t width,
-            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* input) {
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* input,
+            std::size_t col_stride) {
   const std::size_t out_h = (height + 2 * pad - kh) / stride + 1;
   const std::size_t out_w = (width + 2 * pad - kw) / stride + 1;
   const std::size_t ncols = out_h * out_w;
+  const std::size_t rstride = col_stride == 0 ? ncols : col_stride;
   std::size_t row = 0;
   for (std::size_t c = 0; c < channels; ++c) {
     for (std::size_t ki = 0; ki < kh; ++ki) {
       for (std::size_t kj = 0; kj < kw; ++kj, ++row) {
-        const float* src = columns + row * ncols;
+        const float* src = columns + row * rstride;
         for (std::size_t oy = 0; oy < out_h; ++oy) {
           const long iy = static_cast<long>(oy * stride + ki) - static_cast<long>(pad);
           if (iy < 0 || iy >= static_cast<long>(height)) continue;
@@ -83,28 +89,35 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   Tensor y({batch, out_c_, oh, ow});
   const std::size_t krows = in_c_ * k_ * k_;
   const std::size_t ncols = oh * ow;
+  const std::size_t total = batch * ncols;
   const float* W = w_.value.data();
   const float* X = x.data();
   float* Y = y.data();
 
+  // Whole-batch column matrix [krows, batch*ncols]: image b owns the
+  // contiguous column slice [b*ncols, (b+1)*ncols).
+  float* cols = tensor::scratch_f32(tensor::kScratchConvCols, krows * total);
   util::parallel_for(0, batch, [&](std::size_t b) {
-    std::vector<float> cols(krows * ncols);
-    im2col(X + b * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_, cols.data());
-    // Y[b] = W [out_c, krows] * cols [krows, ncols]
+    im2col(X + b * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_, cols + b * ncols, total);
+  }, 1);
+
+  // One GEMM for the whole batch: out[out_c, batch*ncols] = W_flat * cols.
+  float* out = tensor::scratch_f32(tensor::kScratchConvOut, out_c_ * total);
+  std::memset(out, 0, out_c_ * total * sizeof(float));
+  tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::N, out_c_, total, krows, W, krows,
+                          cols, total, out, total);
+
+  // Scatter channel-major GEMM rows back to NCHW, folding in the bias.
+  util::parallel_for(0, batch, [&](std::size_t b) {
     float* yb = Y + b * out_c_ * ncols;
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
+      const float* src = out + oc * total + b * ncols;
       float* yrow = yb + oc * ncols;
-      const float* wrow = W + oc * krows;
-      std::memset(yrow, 0, ncols * sizeof(float));
-      for (std::size_t r = 0; r < krows; ++r) {
-        const float wv = wrow[r];
-        if (wv == 0.0f) continue;
-        const float* crow = cols.data() + r * ncols;
-        for (std::size_t c = 0; c < ncols; ++c) yrow[c] += wv * crow[c];
-      }
       if (has_bias_) {
         const float bv = b_.value[oc];
-        for (std::size_t c = 0; c < ncols; ++c) yrow[c] += bv;
+        for (std::size_t c = 0; c < ncols; ++c) yrow[c] = src[c] + bv;
+      } else {
+        std::memcpy(yrow, src, ncols * sizeof(float));
       }
     }
   }, 1);
@@ -124,6 +137,7 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
 
   const std::size_t krows = in_c_ * k_ * k_;
   const std::size_t ncols = oh * ow;
+  const std::size_t total = batch * ncols;
   Tensor dx({batch, in_c_, h, w});
   const float* W = w_.value.data();
   const float* X = x.data();
@@ -132,42 +146,43 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   float* DW = w_.grad.data();
   float* DB = b_.grad.data();
 
-  // Serial over batch: parameter gradients accumulate into shared buffers.
-  std::vector<float> cols(krows * ncols);
-  std::vector<float> dcols(krows * ncols);
-  for (std::size_t b = 0; b < batch; ++b) {
-    im2col(X + b * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_, cols.data());
+  // Rebuild the whole-batch column matrix (same layout as forward).
+  float* cols = tensor::scratch_f32(tensor::kScratchConvCols, krows * total);
+  util::parallel_for(0, batch, [&](std::size_t b) {
+    im2col(X + b * in_c_ * h * w, in_c_, h, w, k_, k_, stride_, pad_, cols + b * ncols, total);
+  }, 1);
+
+  // Gather NCHW output grads into channel-major gbig[out_c, batch*ncols] so
+  // both parameter-grad GEMMs see one contiguous matrix.
+  float* gbig = tensor::scratch_f32(tensor::kScratchConvOut, out_c_ * total);
+  util::parallel_for(0, batch, [&](std::size_t b) {
     const float* gb = G + b * out_c_ * ncols;
-    // dW[oc, r] += sum_c gb[oc, c] * cols[r, c]
+    for (std::size_t oc = 0; oc < out_c_; ++oc)
+      std::memcpy(gbig + oc * total + b * ncols, gb + oc * ncols, ncols * sizeof(float));
+  }, 1);
+
+  // dW[out_c, krows] += gbig * cols^T — one GEMM-NT for the whole batch,
+  // accumulating straight into the parameter gradient.
+  tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::T, out_c_, krows, total, gbig, total,
+                          cols, total, DW, krows);
+  if (has_bias_) {
     for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      const float* grow = gb + oc * ncols;
-      float* dwrow = DW + oc * krows;
-      for (std::size_t r = 0; r < krows; ++r) {
-        const float* crow = cols.data() + r * ncols;
-        double acc = 0.0;
-        for (std::size_t c = 0; c < ncols; ++c) acc += grow[c] * crow[c];
-        dwrow[r] += static_cast<float>(acc);
-      }
-      if (has_bias_) {
-        double acc = 0.0;
-        for (std::size_t c = 0; c < ncols; ++c) acc += grow[c];
-        DB[oc] += static_cast<float>(acc);
-      }
+      const float* grow = gbig + oc * total;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < total; ++c) acc += grow[c];
+      DB[oc] += static_cast<float>(acc);
     }
-    // dcols[r, c] = sum_oc W[oc, r] * gb[oc, c]
-    std::memset(dcols.data(), 0, dcols.size() * sizeof(float));
-    for (std::size_t oc = 0; oc < out_c_; ++oc) {
-      const float* grow = gb + oc * ncols;
-      const float* wrow = W + oc * krows;
-      for (std::size_t r = 0; r < krows; ++r) {
-        const float wv = wrow[r];
-        if (wv == 0.0f) continue;
-        float* drow = dcols.data() + r * ncols;
-        for (std::size_t c = 0; c < ncols; ++c) drow[c] += wv * grow[c];
-      }
-    }
-    col2im(dcols.data(), in_c_, h, w, k_, k_, stride_, pad_, DX + b * in_c_ * h * w);
   }
+
+  // dcols[krows, batch*ncols] = W^T * gbig — one GEMM-TN — then fold each
+  // image's column slice back to input space.
+  float* dcols = tensor::scratch_f32(tensor::kScratchConvDCols, krows * total);
+  std::memset(dcols, 0, krows * total * sizeof(float));
+  tensor::gemm_accumulate(tensor::Trans::T, tensor::Trans::N, krows, total, out_c_, W, krows,
+                          gbig, total, dcols, total);
+  util::parallel_for(0, batch, [&](std::size_t b) {
+    col2im(dcols + b * ncols, in_c_, h, w, k_, k_, stride_, pad_, DX + b * in_c_ * h * w, total);
+  }, 1);
   return dx;
 }
 

@@ -1,5 +1,15 @@
-// 2-D convolution via im2col + GEMM, with full backward (dW, db, dx).
+// 2-D convolution via whole-batch im2col + one GEMM per direction.
 // Input layout is NCHW; weight layout is [out_c, in_c, kh, kw].
+//
+// forward unfolds the entire batch into a single [in_c*kh*kw, B*oh*ow]
+// column matrix (each image owns a contiguous column slice) and runs one
+// blocked GEMM against the flattened weights; backward reuses the same
+// matrix for dW (one GEMM against the gathered output grads) and dx (one
+// transposed GEMM + per-image col2im). All workspaces live in thread-local
+// tensor::scratch slots, so steady-state passes perform no workspace
+// allocation (asserted via scratch_grow_count in tests; the output/grad
+// Tensors themselves are still allocated per call) and concurrent eval-mode
+// forwards on a shared layer stay race-free.
 #pragma once
 
 #include "nn/layer.hpp"
@@ -7,13 +17,19 @@
 
 namespace hdczsc::nn {
 
-/// Unfold input [C, H, W] into columns [C*kh*kw, out_h*out_w].
+/// Unfold input [C, H, W] into columns [C*kh*kw, out_h*out_w]. When
+/// `col_stride` is nonzero the destination rows are spaced `col_stride`
+/// floats apart (used to write one image's slice of a whole-batch column
+/// matrix); 0 means tightly packed (out_h*out_w).
 void im2col(const float* input, std::size_t channels, std::size_t height, std::size_t width,
-            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* columns);
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* columns,
+            std::size_t col_stride = 0);
 
 /// Fold columns back into an input-shaped gradient (accumulates).
+/// `col_stride` mirrors im2col: spacing between source rows (0 = tight).
 void col2im(const float* columns, std::size_t channels, std::size_t height, std::size_t width,
-            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* input);
+            std::size_t kh, std::size_t kw, std::size_t stride, std::size_t pad, float* input,
+            std::size_t col_stride = 0);
 
 class Conv2d : public Layer {
  public:

@@ -24,17 +24,17 @@ tensor::Tensor InferenceEngine::logits(const tensor::Tensor& images) const {
 }
 
 std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images) const {
+  // One coalesced forward end-to-end: the backbone runs a single whole-batch
+  // im2col + GEMM per conv layer (tensor/gemm.hpp), so a batch of B images
+  // is substantially cheaper than B single-image forwards — dynamic batching
+  // now amortizes the embed, not just the prototype scan.
   tensor::Tensor p = logits(images);
-  const std::size_t batch = p.size(0), classes = p.size(1);
-  std::vector<Prediction> out(batch);
+  const std::size_t classes = p.size(1);
+  const std::vector<std::size_t> best = tensor::argmax_rows(p);
+  std::vector<Prediction> out(best.size());
   const float* P = p.data();
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* row = P + b * classes;
-    std::size_t best = 0;
-    for (std::size_t c = 1; c < classes; ++c)
-      if (row[c] > row[best]) best = c;
-    out[b] = Prediction{best, row[best]};
-  }
+  for (std::size_t b = 0; b < best.size(); ++b)
+    out[b] = Prediction{best[b], P[b * classes + best[b]]};
   return out;
 }
 

@@ -1,6 +1,8 @@
 // Inference engine: stateless execution wrapper over a ModelSnapshot.
 //
-// classify_batch runs the eval-mode embed once for the whole batch, then
+// classify_batch runs the eval-mode embed once for the whole batch — the
+// CNN backbone does one whole-batch im2col + blocked GEMM per conv layer,
+// so batching speeds up the embed itself, not just what follows — then
 // scores against the frozen prototype store via either
 //  * kFloatCosine   — s · cosine(e, ϕ(A)), bit-identical to
 //                     ZscModel::class_logits in eval mode, or

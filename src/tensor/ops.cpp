@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "util/parallel.hpp"
+#include "tensor/gemm.hpp"
 
 namespace hdczsc::tensor {
 
@@ -75,22 +75,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul: inner dims differ: " + shape_str(a.shape()) + " x " +
                                 shape_str(b.shape()));
   Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  // i-k-j loop order: unit-stride inner loop over both B and C.
-  util::parallel_for_chunks(0, m, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      float* crow = C + i * n;
-      const float* arow = A + i * k;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        if (av == 0.0f) continue;
-        const float* brow = B + kk * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }, 8);
+  gemm_accumulate(Trans::N, Trans::N, m, n, k, a.data(), k, b.data(), n, c.data(), n);
   return c;
 }
 
@@ -102,21 +87,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul_tn: inner dims differ: " + shape_str(a.shape()) +
                                 "^T x " + shape_str(b.shape()));
   Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  util::parallel_for_chunks(0, m, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float* arow = A + kk * m;
-      const float* brow = B + kk * n;
-      for (std::size_t i = i0; i < i1; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* crow = C + i * n;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  }, 8);
+  gemm_accumulate(Trans::T, Trans::N, m, n, k, a.data(), m, b.data(), n, c.data(), n);
   return c;
 }
 
@@ -128,21 +99,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("matmul_nt: inner dims differ: " + shape_str(a.shape()) + " x " +
                                 shape_str(b.shape()) + "^T");
   Tensor c({m, n});
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = c.data();
-  util::parallel_for_chunks(0, m, [&](std::size_t i0, std::size_t i1) {
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* arow = A + i * k;
-      float* crow = C + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = B + j * k;
-        double acc = 0.0;
-        for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-        crow[j] = static_cast<float>(acc);
-      }
-    }
-  }, 8);
+  gemm_accumulate(Trans::N, Trans::T, m, n, k, a.data(), k, b.data(), k, c.data(), n);
   return c;
 }
 

@@ -1,8 +1,10 @@
 // Free-function tensor operations: elementwise arithmetic, GEMM variants,
 // reductions, row-wise softmax / normalization, cosine-similarity matrices.
 //
-// Convention: matrices are row-major 2-D tensors [rows, cols]. GEMM is
-// blocked and parallelized across rows via util::parallel_for.
+// Convention: matrices are row-major 2-D tensors [rows, cols]. All matmul
+// variants route through the cache-blocked, runtime-ISA-dispatched kernel in
+// tensor/gemm.hpp (packed panels, register-tiled micro-kernel, parallel over
+// block tasks); tiny products fall back to a plain triple loop.
 #pragma once
 
 #include "tensor/tensor.hpp"

@@ -1,0 +1,26 @@
+#include "tensor/scratch.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace hdczsc::tensor {
+
+namespace {
+std::atomic<std::size_t> g_grow_count{0};
+}  // namespace
+
+float* scratch_f32(std::size_t slot, std::size_t count) {
+  if (slot >= kScratchSlots) throw std::out_of_range("scratch_f32: bad slot");
+  thread_local std::vector<float> buffers[kScratchSlots];
+  std::vector<float>& buf = buffers[slot];
+  if (buf.size() < count) {
+    buf.resize(count);
+    g_grow_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return buf.data();
+}
+
+std::size_t scratch_grow_count() { return g_grow_count.load(std::memory_order_relaxed); }
+
+}  // namespace hdczsc::tensor

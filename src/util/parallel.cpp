@@ -11,10 +11,21 @@ namespace hdczsc::util {
 
 namespace {
 
+// Set while this thread is executing inside a parallel region (as the
+// caller or as a pool worker). Nested parallel_for calls from such a thread
+// run inline instead of re-entering the pool: run_mutex_ is non-recursive
+// and the outer run is waiting on this thread, so re-entry would deadlock.
+thread_local bool t_in_parallel_region = false;
+
 std::size_t default_workers() {
-  if (const char* env = std::getenv("HDCZSC_THREADS")) {
-    long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
+  // HDCZSC_NUM_THREADS is the documented operator knob (CI pins it for
+  // deterministic worker counts); HDCZSC_THREADS is honored as the legacy
+  // spelling when the new one is absent.
+  for (const char* name : {"HDCZSC_NUM_THREADS", "HDCZSC_THREADS"}) {
+    if (const char* env = std::getenv(name)) {
+      long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
   }
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : hc;
@@ -44,6 +55,11 @@ class Pool {
     active_.store(static_cast<int>(n_workers - 1), std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(mutex_);
+      // The pool may hold more threads than this run wants (a previous run
+      // asked for a higher worker count): every thread wakes on the new
+      // generation, but only indices below participants_ execute and
+      // decrement active_ — the rest go straight back to sleep.
+      participants_ = n_workers - 1;
       ++generation_;
     }
     cv_.notify_all();
@@ -68,14 +84,17 @@ class Pool {
 
   void ensure_threads(std::size_t n) {
     while (threads_.size() < n) {
-      threads_.emplace_back([this, my_gen = std::size_t{0}]() mutable {
+      threads_.emplace_back([this, idx = threads_.size(), my_gen = std::size_t{0}]() mutable {
         for (;;) {
+          bool participate;
           {
             std::unique_lock<std::mutex> lk(mutex_);
             cv_.wait(lk, [this, &my_gen] { return shutdown_ || generation_ != my_gen; });
             if (shutdown_) return;
             my_gen = generation_;
+            participate = idx < participants_;
           }
+          if (!participate) continue;  // this run wants fewer workers
           work();
           if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             std::lock_guard<std::mutex> lk(mutex_);
@@ -89,6 +108,13 @@ class Pool {
   void work() {
     const auto* fn = fn_;
     if (!fn) return;
+    // Scope guard: restore the flag even if a body throws on the calling
+    // thread, else that thread would silently run serial forever after.
+    struct RegionFlag {
+      bool saved = t_in_parallel_region;
+      RegionFlag() { t_in_parallel_region = true; }
+      ~RegionFlag() { t_in_parallel_region = saved; }
+    } flag;
     for (;;) {
       std::size_t start = cursor_.fetch_add(grain_, std::memory_order_relaxed);
       if (start >= end_) break;
@@ -97,11 +123,12 @@ class Pool {
     }
   }
 
-  std::mutex run_mutex_;  // serializes nested run() calls
+  std::mutex run_mutex_;  // serializes concurrent run() calls from different threads
   std::mutex mutex_;
   std::condition_variable cv_, done_cv_;
   std::vector<std::thread> threads_;
   std::size_t generation_ = 0;
+  std::size_t participants_ = 0;  // pool threads taking part in the current run
   bool shutdown_ = false;
 
   std::size_t begin_ = 0, end_ = 0, grain_ = 1;
@@ -125,7 +152,10 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t workers = worker_count();
-  if (workers <= 1 || n < 2 * grain) {
+  // Nested parallelism degrades to serial: a task body that calls another
+  // parallel primitive (e.g. sharded scoring invoking the parallel Hamming
+  // scan) must not re-enter the pool its caller is blocked on.
+  if (workers <= 1 || n < 2 * grain || t_in_parallel_region) {
     fn(begin, end);
     return;
   }

@@ -1,8 +1,14 @@
 // Parallel-for over index ranges backed by a lazily created thread pool.
 //
-// On a single-core machine (or with HDCZSC_THREADS=1) everything runs
+// On a single-core machine (or with HDCZSC_NUM_THREADS=1) everything runs
 // serially with zero overhead; on multi-core machines GEMM / convolution /
-// data synthesis fan out across workers.
+// data synthesis / prototype scans fan out across workers.
+//
+// Worker count resolution order:
+//   1. HDCZSC_NUM_THREADS environment variable (operator/CI pin),
+//   2. HDCZSC_THREADS (legacy spelling, kept for compatibility),
+//   3. std::thread::hardware_concurrency().
+// set_worker_count() overrides all three at runtime.
 #pragma once
 
 #include <cstddef>
@@ -11,7 +17,8 @@
 namespace hdczsc::util {
 
 /// Number of worker threads used by parallel_for. Defaults to the hardware
-/// concurrency, overridable via the HDCZSC_THREADS environment variable.
+/// concurrency, overridable via the HDCZSC_NUM_THREADS (preferred) or
+/// HDCZSC_THREADS (legacy) environment variables.
 std::size_t worker_count();
 
 /// Override the worker count programmatically (0 restores the default).
@@ -19,7 +26,8 @@ void set_worker_count(std::size_t n);
 
 /// Invoke fn(i) for i in [begin, end), potentially in parallel.
 /// `grain` is the minimum number of iterations per task; ranges smaller than
-/// 2*grain run inline on the calling thread.
+/// 2*grain run inline on the calling thread. Calls nested inside another
+/// parallel_for body run inline too (serial) — the pool is not re-entrant.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
                   std::size_t grain = 64);

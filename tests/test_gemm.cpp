@@ -1,0 +1,304 @@
+// Equivalence and steady-state-allocation tests for the blocked GEMM compute
+// core (tensor/gemm.hpp) and the whole-batch im2col convolution that rides
+// on it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "hdc/hypervector.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/scratch.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc {
+namespace {
+
+using tensor::Tensor;
+using tensor::Trans;
+
+/// Double-precision reference: C[m,n] = op(A) * op(B).
+std::vector<double> reference(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k,
+                              const std::vector<float>& A, const std::vector<float>& B) {
+  auto a_at = [&](std::size_t i, std::size_t p) {
+    return static_cast<double>(ta == Trans::N ? A[i * k + p] : A[p * m + i]);
+  };
+  auto b_at = [&](std::size_t p, std::size_t j) {
+    return static_cast<double>(tb == Trans::N ? B[p * n + j] : B[j * k + p]);
+  };
+  std::vector<double> C(m * n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p)
+      for (std::size_t j = 0; j < n; ++j) C[i * n + j] += a_at(i, p) * b_at(p, j);
+  return C;
+}
+
+void expect_close(const std::vector<float>& got, const std::vector<double>& want,
+                  const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double rel = std::abs(got[i] - want[i]) / (1.0 + std::abs(want[i]));
+    ASSERT_LT(rel, 1e-4) << what << " at " << i << ": got " << got[i] << " want " << want[i];
+  }
+}
+
+/// Run gemm_accumulate and gemm_naive for every transpose combination of one
+/// (m, n, k) problem and check both against the double reference.
+void check_shape(std::size_t m, std::size_t n, std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (Trans ta : {Trans::N, Trans::T}) {
+    for (Trans tb : {Trans::N, Trans::T}) {
+      const std::size_t lda = ta == Trans::N ? k : m;
+      const std::size_t ldb = tb == Trans::N ? n : k;
+      std::vector<float> A(m * k), B(k * n);
+      for (auto& v : A) v = static_cast<float>(rng.normal(0.0, 1.0));
+      for (auto& v : B) v = static_cast<float>(rng.normal(0.0, 1.0));
+      const std::vector<double> want = reference(ta, tb, m, n, k, A, B);
+
+      std::vector<float> blocked(m * n, 0.0f), naive(m * n, 0.0f);
+      tensor::gemm_accumulate(ta, tb, m, n, k, A.data(), lda, B.data(), ldb, blocked.data(), n);
+      tensor::gemm_naive(ta, tb, m, n, k, A.data(), lda, B.data(), ldb, naive.data(), n);
+      expect_close(blocked, want, "gemm_accumulate");
+      expect_close(naive, want, "gemm_naive");
+    }
+  }
+}
+
+TEST(Gemm, TinyShapesBelowBlockingCutoff) {
+  check_shape(1, 1, 1, 1);
+  check_shape(3, 5, 7, 2);
+  check_shape(1, 24, 9, 3);
+  check_shape(13, 2, 31, 4);
+}
+
+TEST(Gemm, ExactTileMultiples) {
+  check_shape(8, 32, 256, 5);    // one avx512 tile, full KC block
+  check_shape(4, 24, 64, 6);     // one avx2/portable tile
+  check_shape(128, 1024, 256, 7);  // exactly one (MC, NC, KC) block
+}
+
+TEST(Gemm, RaggedEdges) {
+  check_shape(5, 25, 33, 8);     // one past the 4x24 tile
+  check_shape(65, 129, 130, 9);  // odd everything
+  check_shape(129, 65, 257, 10);  // one past MC and KC
+}
+
+TEST(Gemm, TallSkinnyAndWide) {
+  check_shape(1000, 8, 3, 11);
+  check_shape(7, 1000, 9, 12);
+  check_shape(2, 3, 1000, 13);  // deep k, thin output
+}
+
+TEST(Gemm, DeepKStaysWithinTolerance) {
+  // Conv backward's GEMM-NT reduces over k = batch*oh*ow (deep). The
+  // KC-blocked float accumulation must hold 1e-4 relative against a double
+  // reference — the serial-float gemm_naive loop itself drifts past that
+  // here, so only the blocked kernel is gated.
+  const std::size_t m = 4, n = 24, k = 16384;
+  util::Rng rng(21);
+  for (Trans ta : {Trans::N, Trans::T}) {
+    for (Trans tb : {Trans::N, Trans::T}) {
+      const std::size_t lda = ta == Trans::N ? k : m;
+      const std::size_t ldb = tb == Trans::N ? n : k;
+      std::vector<float> A(m * k), B(k * n);
+      for (auto& v : A) v = static_cast<float>(rng.normal(0.0, 1.0));
+      for (auto& v : B) v = static_cast<float>(rng.normal(0.0, 1.0));
+      const std::vector<double> want = reference(ta, tb, m, n, k, A, B);
+      std::vector<float> blocked(m * n, 0.0f);
+      tensor::gemm_accumulate(ta, tb, m, n, k, A.data(), lda, B.data(), ldb, blocked.data(), n);
+      expect_close(blocked, want, "gemm_accumulate deep k");
+    }
+  }
+}
+
+TEST(Gemm, MultiWorkerTaskGridMatchesReference) {
+  // Force several pool workers so small-m products exercise the shrunken
+  // row-block task grid (single MC x NC block otherwise).
+  util::set_worker_count(4);
+  check_shape(64, 512, 300, 22);
+  check_shape(100, 100, 100, 23);
+  util::set_worker_count(0);
+}
+
+TEST(Gemm, AccumulatesIntoC) {
+  const std::size_t m = 6, n = 30, k = 40;
+  util::Rng rng(14);
+  std::vector<float> A(m * k), B(k * n);
+  for (auto& v : A) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& v : B) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<double> want = reference(Trans::N, Trans::N, m, n, k, A, B);
+  for (auto& v : want) v += 2.5;
+
+  std::vector<float> C(m * n, 2.5f);
+  tensor::gemm_accumulate(Trans::N, Trans::N, m, n, k, A.data(), k, B.data(), n, C.data(), n);
+  expect_close(C, want, "accumulate");
+}
+
+TEST(Gemm, MatmulWrappersMatchReference) {
+  util::Rng rng(15);
+  Tensor a = Tensor::randn({37, 53}, rng);
+  Tensor b = Tensor::randn({53, 41}, rng);
+  Tensor ref = tensor::matmul(a, b);
+  Tensor tn = tensor::matmul_tn(tensor::transpose(a), b);
+  Tensor nt = tensor::matmul_nt(a, tensor::transpose(b));
+  EXPECT_LT(tensor::max_abs_diff(ref, tn), 1e-4f);
+  EXPECT_LT(tensor::max_abs_diff(ref, nt), 1e-4f);
+}
+
+TEST(Gemm, KernelNameIsKnownVariant) {
+  const std::string name = tensor::gemm_kernel_name();
+  EXPECT_TRUE(name == "avx512" || name == "avx2" || name == "portable") << name;
+}
+
+// -- conv through the batched path -------------------------------------------
+
+/// Seed-style reference conv forward: per-image im2col + naive axpy loops.
+Tensor conv_reference_forward(nn::Conv2d& conv, const Tensor& x, const Tensor& w,
+                              const Tensor& bias, bool has_bias) {
+  const std::size_t batch = x.size(0), in_c = x.size(1), h = x.size(2), ww = x.size(3);
+  const std::size_t kk = conv.kernel(), oh = conv.out_size(h), ow = conv.out_size(ww);
+  const std::size_t out_c = conv.out_channels();
+  const std::size_t krows = in_c * kk * kk, ncols = oh * ow;
+  Tensor y({batch, out_c, oh, ow});
+  std::vector<float> cols(krows * ncols);
+  for (std::size_t b = 0; b < batch; ++b) {
+    nn::im2col(x.data() + b * in_c * h * ww, in_c, h, ww, kk, kk, conv.stride(), conv.padding(),
+               cols.data());
+    float* yb = y.data() + b * out_c * ncols;
+    for (std::size_t oc = 0; oc < out_c; ++oc) {
+      float* yrow = yb + oc * ncols;
+      const float* wrow = w.data() + oc * krows;
+      for (std::size_t r = 0; r < krows; ++r) {
+        const float wv = wrow[r];
+        const float* crow = cols.data() + r * ncols;
+        for (std::size_t c = 0; c < ncols; ++c) yrow[c] += wv * crow[c];
+      }
+      if (has_bias) {
+        for (std::size_t c = 0; c < ncols; ++c) yrow[c] += bias[oc];
+      }
+    }
+  }
+  return y;
+}
+
+TEST(GemmConv, BatchedForwardMatchesPerImageReference) {
+  util::Rng rng(16);
+  nn::Conv2d conv(3, 8, 3, /*stride=*/1, /*pad=*/1, rng, /*bias=*/true);
+  Tensor x = Tensor::randn({5, 3, 12, 12}, rng);
+  Tensor y = conv.forward(x, /*train=*/false);
+  Tensor w = conv.parameters()[0]->value;
+  Tensor b = conv.parameters()[1]->value;
+  Tensor ref = conv_reference_forward(conv, x, w, b, true);
+  EXPECT_LT(tensor::max_abs_diff(y, ref), 1e-4f);
+}
+
+TEST(GemmConv, StridedNoPadForwardMatchesPerImageReference) {
+  util::Rng rng(17);
+  nn::Conv2d conv(4, 6, 5, /*stride=*/2, /*pad=*/0, rng, /*bias=*/false);
+  Tensor x = Tensor::randn({3, 4, 17, 13}, rng);
+  Tensor y = conv.forward(x, /*train=*/false);
+  Tensor w = conv.parameters()[0]->value;
+  Tensor ref = conv_reference_forward(conv, x, w, Tensor({6}), false);
+  EXPECT_LT(tensor::max_abs_diff(y, ref), 1e-4f);
+}
+
+TEST(GemmConv, SteadyStateForwardDoesNotAllocateScratch) {
+  // Pin to one worker: with a pool, which thread claims each GEMM task is a
+  // cursor race, so a cold worker could grow its own pack slots after the
+  // warm-up and flake the grow-count assertion.
+  util::set_worker_count(1);
+  util::Rng rng(18);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng, /*bias=*/true);
+  Tensor x = Tensor::randn({4, 8, 16, 16}, rng);
+  conv.forward(x, false);  // warm-up: scratch slots grow to working size
+  const std::size_t grown = tensor::scratch_grow_count();
+  for (int i = 0; i < 5; ++i) conv.forward(x, false);
+  EXPECT_EQ(tensor::scratch_grow_count(), grown)
+      << "steady-state conv forward must reuse thread-local scratch";
+  util::set_worker_count(0);
+}
+
+TEST(GemmConv, SteadyStateBackwardDoesNotAllocateScratch) {
+  util::set_worker_count(1);  // see SteadyStateForwardDoesNotAllocateScratch
+  util::Rng rng(19);
+  nn::Conv2d conv(4, 8, 3, 1, 1, rng, /*bias=*/true);
+  Tensor x = Tensor::randn({3, 4, 10, 10}, rng);
+  Tensor g = Tensor::randn({3, 8, 10, 10}, rng);
+  conv.forward(x, true);
+  conv.backward(g);  // warm-up
+  const std::size_t grown = tensor::scratch_grow_count();
+  for (int i = 0; i < 3; ++i) {
+    conv.forward(x, true);
+    conv.backward(g);
+  }
+  EXPECT_EQ(tensor::scratch_grow_count(), grown)
+      << "steady-state conv backward must reuse thread-local scratch";
+  util::set_worker_count(0);
+}
+
+// -- parallel Hamming scan ----------------------------------------------------
+
+TEST(GemmSatellites, ParallelHammingMatchesRowByRow) {
+  // Big enough to cross the parallel threshold (n_rows * words >= 2^15).
+  const std::size_t n_rows = 9000, words = 4;
+  util::Rng rng(20);
+  std::vector<std::uint64_t> rows(n_rows * words), query(words);
+  for (auto& v : rows) v = rng.next_u64();
+  for (auto& v : query) v = rng.next_u64();
+
+  std::vector<std::uint32_t> bulk(n_rows), serial(n_rows);
+  hdc::hamming_many_packed(query.data(), rows.data(), n_rows, words, bulk.data());
+  for (std::size_t i = 0; i < n_rows; ++i)  // per-row calls stay below the threshold
+    hdc::hamming_many_packed(query.data(), rows.data() + i * words, 1, words, &serial[i]);
+  EXPECT_EQ(bulk, serial);
+}
+
+TEST(GemmSatellites, NumThreadsEnvOverride) {
+  // Save the process-wide pins (CI sets HDCZSC_NUM_THREADS=2 job-wide) so
+  // this test can't leak a different worker count into later tests.
+  const char* saved_new = ::getenv("HDCZSC_NUM_THREADS");
+  const std::string saved_new_v = saved_new ? saved_new : "";
+  const char* saved_old = ::getenv("HDCZSC_THREADS");
+  const std::string saved_old_v = saved_old ? saved_old : "";
+
+  ::unsetenv("HDCZSC_THREADS");
+  ::setenv("HDCZSC_NUM_THREADS", "3", 1);
+  EXPECT_EQ(util::worker_count(), 3u);
+  // Legacy spelling still honored when the new one is absent.
+  ::unsetenv("HDCZSC_NUM_THREADS");
+  ::setenv("HDCZSC_THREADS", "2", 1);
+  EXPECT_EQ(util::worker_count(), 2u);
+  // The preferred name wins when both are set.
+  ::setenv("HDCZSC_NUM_THREADS", "5", 1);
+  EXPECT_EQ(util::worker_count(), 5u);
+
+  if (saved_new)
+    ::setenv("HDCZSC_NUM_THREADS", saved_new_v.c_str(), 1);
+  else
+    ::unsetenv("HDCZSC_NUM_THREADS");
+  if (saved_old)
+    ::setenv("HDCZSC_THREADS", saved_old_v.c_str(), 1);
+  else
+    ::unsetenv("HDCZSC_THREADS");
+}
+
+TEST(GemmSatellites, NestedParallelForRunsInline) {
+  // A parallel_for body that itself calls parallel_for must degrade to
+  // serial instead of re-entering the (non-re-entrant) pool — this test
+  // hangs on deadlock rather than failing an expectation if that breaks.
+  util::set_worker_count(4);
+  std::vector<int> out(64, 0);
+  util::parallel_for(0, 8, [&](std::size_t i) {
+    util::parallel_for(0, 8, [&](std::size_t j) {
+      out[i * 8 + j] = static_cast<int>(i * 8 + j);
+    }, 1);
+  }, 1);
+  util::set_worker_count(0);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(out[i], i);
+}
+
+}  // namespace
+}  // namespace hdczsc
