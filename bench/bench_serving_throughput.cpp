@@ -14,19 +14,30 @@
 // section (retrain vs. .hdcsnap snapshot load) and a multi-model routing
 // overhead measurement (ModelRegistry vs. a bare ServerRuntime).
 //
+// A sharded-scan section measures scatter/gather top-k retrieval
+// (serve/sharded_store) against the flat full-logits + argsort path over a
+// synthetic very-large label space: a (classes × shards) throughput curve
+// on both scoring paths, written to its own artifact
+// (--sharded-json=BENCH_sharded.json) so the scaling curve lands next to
+// BENCH_serving.json.
+//
 // --json=PATH writes every measured number as a machine-readable JSON
 // document (the BENCH_serving.json CI artifact).
 //
 //   ./bench_serving_throughput [--classes=60] [--requests=512] [--clients=4]
 //                              [--models=4] [--json=BENCH_serving.json]
+//                              [--sharded-json=BENCH_sharded.json]
+//                              [--topk=10] [--scan-queries=48]
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <numeric>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/sharded_store.hpp"
 #include "tensor/ops.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
@@ -300,6 +311,122 @@ int main(int argc, char** argv) {
                  util::Table::num(regN_rps / batched8_rps, 2) + "x"});
   multi.print();
 
+  // -- sharded scan: scatter/gather top-k vs flat full-logits retrieval ------
+  // Synthetic very-large label spaces (no training needed: retrieval only
+  // touches the frozen store), swept over (classes × shards) on both
+  // scoring paths. The flat baseline is what serving did before sharding:
+  // materialize full [B, C] logits, then argsort every class per query.
+  const std::size_t scan_k = static_cast<std::size_t>(args.get_int("topk", 10));
+  const std::size_t scan_q = static_cast<std::size_t>(args.get_int("scan-queries", 48));
+  const std::size_t scan_d = 256;
+  const std::vector<std::size_t> scan_classes = {1000, 4000, 12000};
+  const std::vector<std::size_t> scan_shards = {1, 2, 4, 8};
+
+  // Adaptive repetition: run each retrieval closure until ≥ 0.25 s of wall
+  // time (≥ 2 reps), so cheap binary sweeps get stable timings without the
+  // big float GEMMs repeating for seconds.
+  auto queries_per_second = [&](auto&& run_once) {
+    run_once();  // warm-up (touch the store once)
+    util::Timer t;
+    std::size_t reps = 0;
+    do {
+      run_once();
+      ++reps;
+    } while (t.seconds() < 0.25 || reps < 2);
+    return static_cast<double>(reps * scan_q) / t.seconds();
+  };
+
+  struct ScanPoint {
+    std::size_t classes, shards;
+    double binary_qps, float_qps, binary_speedup, float_speedup;
+  };
+  std::vector<ScanPoint> curve;
+  double accept_binary_speedup = 0.0;  // S=4 at the largest label space
+  bool sharded_exact = true;
+  util::Table sharded_tbl("sharded scan — top-" + std::to_string(scan_k) + " of C classes, " +
+                          std::to_string(scan_q) + " queries, d=" + std::to_string(scan_d));
+  sharded_tbl.set_header({"classes", "shards", "binary q/s", "vs flat", "float q/s",
+                          "vs flat"});
+  for (std::size_t c : scan_classes) {
+    util::Rng srng(0x5ca1ab1eULL + c);
+    const serve::PrototypeStore store(nn::Tensor::randn({c, scan_d}, srng), 4.0f);
+    const nn::Tensor q = nn::Tensor::randn({scan_q, scan_d}, srng);
+
+    const double flat_bin = queries_per_second(
+        [&] { tensor::topk_rows(store.score_binary(q), scan_k); });
+    const double flat_fl = queries_per_second(
+        [&] { tensor::topk_rows(store.score_float(q), scan_k); });
+    sharded_tbl.add_row({std::to_string(c), "flat", util::Table::num(flat_bin, 0), "1.00x",
+                         util::Table::num(flat_fl, 0), "1.00x"});
+
+    for (std::size_t s : scan_shards) {
+      const serve::ShardedPrototypeStore sharded(store, s);
+      const double bin = queries_per_second([&] { sharded.topk_binary(q, scan_k); });
+      const double fl = queries_per_second([&] { sharded.topk_float(q, scan_k); });
+      curve.push_back({c, s, bin, fl, bin / flat_bin, fl / flat_fl});
+      sharded_tbl.add_row({std::to_string(c), std::to_string(s), util::Table::num(bin, 0),
+                           util::Table::num(bin / flat_bin, 2) + "x",
+                           util::Table::num(fl, 0),
+                           util::Table::num(fl / flat_fl, 2) + "x"});
+      if (c == scan_classes.back() && s == 4) {
+        accept_binary_speedup = bin / flat_bin;
+        // Exactness spot-check: the gathered top-k must equal the flat
+        // argsort (binary path: bit-identical at any scale).
+        const auto logits = store.score_binary(q);
+        const auto hits = sharded.topk_binary(q, scan_k);
+        for (std::size_t b = 0; b < scan_q && sharded_exact; ++b) {
+          std::vector<std::size_t> order(c);
+          const float* row = logits.data() + b * c;
+          std::iota(order.begin(), order.end(), std::size_t{0});
+          std::sort(order.begin(), order.end(), [row](std::size_t x, std::size_t y) {
+            return row[x] > row[y] || (row[x] == row[y] && x < y);
+          });
+          for (std::size_t i = 0; i < scan_k; ++i)
+            if (hits[b][i].label != order[i] || hits[b][i].score != row[order[i]])
+              sharded_exact = false;
+        }
+      }
+    }
+  }
+  sharded_tbl.print();
+  std::printf("sharded top-k == flat argsort (binary, C=%zu, S=4): %s\n",
+              scan_classes.back(), sharded_exact ? "PASS" : "FAIL");
+
+  // -- sharded-scan artifact (BENCH_sharded.json, uploaded next to
+  //    BENCH_serving.json) ----------------------------------------------------
+  if (args.has("json") || args.has("sharded-json")) {
+    const std::string spath = args.get_str("sharded-json", "BENCH_sharded.json");
+    FILE* j = std::fopen(spath.c_str(), "w");
+    if (!j) {
+      std::fprintf(stderr, "cannot open %s\n", spath.c_str());
+      return 1;
+    }
+    std::fprintf(j, "{\n  \"bench\": \"sharded_scan\",\n");
+    std::fprintf(j, "  \"dim\": %zu,\n  \"topk\": %zu,\n  \"queries\": %zu,\n", scan_d,
+                 scan_k, scan_q);
+    std::fprintf(j, "  \"curve\": [\n");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      const auto& p = curve[i];
+      std::fprintf(j,
+                   "    {\"classes\": %zu, \"shards\": %zu, \"binary_qps\": %.1f, "
+                   "\"binary_speedup_vs_flat\": %.3f, \"float_qps\": %.1f, "
+                   "\"float_speedup_vs_flat\": %.3f}%s\n",
+                   p.classes, p.shards, p.binary_qps, p.binary_speedup, p.float_qps,
+                   p.float_speedup, i + 1 < curve.size() ? "," : "");
+    }
+    std::fprintf(j, "  ],\n");
+    std::fprintf(j,
+                 "  \"acceptance\": {\"classes\": %zu, \"shards\": 4, "
+                 "\"binary_speedup_vs_flat\": %.3f, \"target\": 1.5, "
+                 "\"exact_vs_flat_argsort\": %s, \"pass\": %s}\n",
+                 scan_classes.back(), accept_binary_speedup,
+                 sharded_exact ? "true" : "false",
+                 accept_binary_speedup >= 1.5 && sharded_exact ? "true" : "false");
+    std::fprintf(j, "}\n");
+    std::fclose(j);
+    std::printf("wrote %s\n", spath.c_str());
+  }
+
   // -- machine-readable artifact (the BENCH_serving.json CI upload) ----------
   if (args.has("json")) {
     const std::string json_path = args.get_str("json", "BENCH_serving.json");
@@ -356,6 +483,10 @@ int main(int argc, char** argv) {
               us_bin1, us_float, us_bin1 < us_float ? "PASS" : "FAIL");
   std::printf("snapshot cold start: load %.3f s vs retrain %.2f s (%.0fx; faster: %s)\n",
               load_s, retrain_s, retrain_s / load_s, load_s < retrain_s ? "PASS" : "FAIL");
+  std::printf("sharded scan @ S=4, C=%zu: %.2fx binary top-%zu throughput vs flat "
+              "(target >= 1.5x: %s)\n",
+              scan_classes.back(), accept_binary_speedup, scan_k,
+              accept_binary_speedup >= 1.5 ? "PASS" : "FAIL");
   std::printf("wall time: %.1f s\n", wall.seconds());
   return 0;
 }

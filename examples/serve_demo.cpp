@@ -13,8 +13,14 @@
 // (m0..mN-1), each with its own batcher/workers/stats, and round-robins the
 // request storm across them.
 //
+// Sharded retrieval: --shards=S splits the prototype store into S row-range
+// shards (0 = the snapshot's preferred layout) and prints per-shard scan
+// telemetry after the storm; --topk=K prints the top-K (label, score) hits
+// for a few sample requests via the scatter/gather scan.
+//
 //   ./serve_demo [--requests=240] [--clients=4] [--batch=8] [--workers=1]
 //                [--mode=float|binary] [--expansion=8] [--models=1]
+//                [--shards=0] [--topk=0]
 #include <algorithm>
 #include <cstdio>
 #include <future>
@@ -46,6 +52,8 @@ int main(int argc, char** argv) {
   const std::size_t expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
   const std::size_t n_models =
       static_cast<std::size_t>(std::max<long>(1, args.get_int("models", 1)));
+  const std::size_t n_shards = static_cast<std::size_t>(args.get_int("shards", 0));
+  const std::size_t topk = static_cast<std::size_t>(args.get_int("topk", 0));
   const std::string mode_str = args.get_str("mode", "binary");
   if (mode_str != "binary" && mode_str != "float") {
     std::fprintf(stderr, "serve_demo: unknown --mode=%s (expected float|binary)\n",
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
     core::PipelineConfig cfg = examples::demo_pipeline_config(args);
     cfg.snapshot_path = args.get_str("save-snapshot", "");
     cfg.snapshot_expansion = expansion;
+    cfg.snapshot_shards = std::max<std::size_t>(1, n_shards);
 
     std::printf("serve_demo: training on %zu classes, serving the %zu unseen ones\n",
                 cfg.zs_train_classes, cfg.n_classes - cfg.zs_train_classes);
@@ -82,7 +91,7 @@ int main(int argc, char** argv) {
     if (!cfg.snapshot_path.empty())
       std::printf("wrote snapshot artifact: %s\n", cfg.snapshot_path.c_str());
     snapshot = std::make_shared<const serve::ModelSnapshot>(
-        tp.model, tp.test_class_attributes, expansion);
+        tp.model, tp.test_class_attributes, expansion, std::max<std::size_t>(1, n_shards));
     images = tp.test_set.images;
     labels = tp.test_set.labels;
   }
@@ -102,6 +111,7 @@ int main(int argc, char** argv) {
   scfg.batch.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
   scfg.batch.max_delay_ms = args.get_double("delay-ms", 2.0);
   scfg.batch.max_queue_depth = 4096;
+  scfg.n_shards = n_shards;  // 0 = adopt the snapshot's preferred layout
   serve::ModelRegistry registry(scfg);
   std::vector<std::string> keys;
   for (std::size_t m = 0; m < n_models; ++m) {
@@ -110,7 +120,25 @@ int main(int argc, char** argv) {
   }
 
   // Reference decisions for the whole request pool, computed directly.
-  const auto expected = registry.engine(keys[0])->classify_batch(images);
+  const auto engine0 = registry.engine(keys[0]);
+  const auto expected = engine0->classify_batch(images);
+
+  // -- top-k retrieval preview (scatter/gather over the sharded store) -------
+  if (topk > 0) {
+    const std::size_t n_preview = std::min<std::size_t>(3, images.size(0));
+    nn::Tensor preview({n_preview, images.size(1), images.size(2), images.size(3)});
+    std::copy(images.data(), images.data() + preview.numel(), preview.data());
+    const auto hits = engine0->topk_batch(preview, topk);
+    util::Table tk("top-" + std::to_string(topk) + " retrieval (" +
+                   std::to_string(engine0->n_shards()) + " shard(s), " +
+                   scoring_mode_name(mode) + ")");
+    tk.set_header({"request", "rank", "label", "score"});
+    for (std::size_t b = 0; b < hits.size(); ++b)
+      for (std::size_t r = 0; r < hits[b].size(); ++r)
+        tk.add_row({std::to_string(b), std::to_string(r + 1),
+                    std::to_string(hits[b][r].label), util::Table::num(hits[b][r].score, 4)});
+    tk.print();
+  }
 
   std::printf("\nserving %zu requests from %zu client threads across %zu model(s) "
               "(%s scoring, max_batch=%zu)...\n",
@@ -155,6 +183,18 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   registry.to_table("serving telemetry (per model)").print();
+  if (engine0->n_shards() > 1) {
+    const auto shards = registry.shard_stats(keys[0]);
+    util::Table st("prototype scan telemetry (" + keys[0] + ", " +
+                   std::to_string(shards.size()) + " shards)");
+    st.set_header({"shard", "rows", "row range", "scans", "rows swept"});
+    for (std::size_t s = 0; s < shards.size(); ++s)
+      st.add_row({std::to_string(s), std::to_string(shards[s].rows),
+                  "[" + std::to_string(shards[s].begin) + ", " +
+                      std::to_string(shards[s].begin + shards[s].rows) + ")",
+                  std::to_string(shards[s].scans), std::to_string(shards[s].rows_swept)});
+    st.print();
+  }
   registry.stop_all();
 
   std::printf("\nserved == direct inference: %zu/%zu requests (%s)\n", total_matches,

@@ -1,7 +1,7 @@
 // Save / load / inspect .hdcsnap snapshot artifacts.
 //
 //   ./snapshot_tool --save=model.hdcsnap [--classes=24] [--seed=1]
-//                   [--expansion=8] [--epochs=10]
+//                   [--expansion=8] [--epochs=10] [--shards=1]
 //       train a pipeline, write the artifact, verify the round trip
 //       in-process, and print the float-path probe checksum.
 //   ./snapshot_tool --load=model.hdcsnap
@@ -64,6 +64,8 @@ void print_info(const std::string& path) {
                                      std::to_string(info.code_bits) + " bits)"});
   t.add_row({"float store bytes", std::to_string(info.float_bytes)});
   t.add_row({"binary store bytes", std::to_string(info.binary_bytes)});
+  t.add_row({"preferred shards", std::to_string(info.preferred_shards) +
+                                     (info.version < 2 ? " (v1: flat store)" : "")});
   t.print();
 }
 
@@ -106,6 +108,7 @@ int main(int argc, char** argv) {
     core::PipelineConfig cfg = examples::demo_pipeline_config(args);
     cfg.snapshot_path = path;
     cfg.snapshot_expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
+    cfg.snapshot_shards = static_cast<std::size_t>(args.get_int("shards", 1));
 
     std::printf("training %zu classes (artifact -> %s)...\n", cfg.n_classes, path.c_str());
     auto tp = core::run_pipeline_trained(cfg);
@@ -134,6 +137,6 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "usage: snapshot_tool --save=PATH [--classes=N --seed=S --expansion=K "
-               "--epochs=E] | --load=PATH | --inspect=PATH\n");
+               "--epochs=E --shards=S] | --load=PATH | --inspect=PATH\n");
   return 2;
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Markdown doc lint: every relative link target in the repo's *.md files
+# must exist, and the load-bearing docs must be present at all. No
+# external dependencies — plain bash + grep, run from the repo root (CI
+# "docs" job and locally via `bash scripts/check_docs.sh`).
+set -euo pipefail
+
+fail=0
+
+# The documentation set the README promises.
+for required in README.md DESIGN.md ROADMAP.md CHANGES.md PAPER.md \
+                docs/snapshot_format.md; do
+  if [ ! -f "$required" ]; then
+    echo "MISSING required doc: $required"
+    fail=1
+  fi
+done
+
+# Relative-link check: [text](target) where target is not a URL/anchor.
+while IFS= read -r md; do
+  dir=$(dirname "$md")
+  # Pull out every](...) link target, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"          # strip fragment
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "BROKEN link in $md: ($target)"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//' || true)
+done < <(find . -name '*.md' -not -path './build*' -not -path './.git/*' \
+              -not -path './.claude/*')
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"

@@ -116,7 +116,7 @@ TrainedPipeline run_impl(const PipelineConfig& cfg, std::uint64_t seed_offset,
     out.test_classes = test.classes();
     if (!cfg.snapshot_path.empty()) {
       serve::ModelSnapshot snap(out.model, out.test_class_attributes,
-                                cfg.snapshot_expansion);
+                                cfg.snapshot_expansion, cfg.snapshot_shards);
       serve::save_snapshot_file(cfg.snapshot_path, snap);
       if (cfg.verbose)
         util::log_info("pipeline: wrote snapshot artifact ", cfg.snapshot_path);

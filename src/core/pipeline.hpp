@@ -43,6 +43,7 @@ struct PipelineConfig {
   // file instead of retraining.
   std::string snapshot_path;
   std::size_t snapshot_expansion = 8;  ///< binary code width k·d of the artifact
+  std::size_t snapshot_shards = 1;     ///< preferred scatter/gather shard layout
 
   std::uint64_t seed = 1;
   bool verbose = false;

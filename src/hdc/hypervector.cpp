@@ -148,27 +148,109 @@ BipolarHV BinaryHV::to_bipolar() const {
 
 namespace {
 
-void hamming_rows_serial(const std::uint64_t* query, const std::uint64_t* rows,
-                         std::size_t row_begin, std::size_t row_end, std::size_t words,
-                         std::uint32_t* out) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const std::uint64_t* row = rows + i * words;
-    std::uint32_t h = 0;
-    std::size_t w = 0;
-    // 4-way unroll: keeps four independent popcount chains in flight.
-    for (; w + 4 <= words; w += 4) {
-      h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w])) +
-           static_cast<std::uint32_t>(std::popcount(query[w + 1] ^ row[w + 1])) +
-           static_cast<std::uint32_t>(std::popcount(query[w + 2] ^ row[w + 2])) +
-           static_cast<std::uint32_t>(std::popcount(query[w + 3] ^ row[w + 3]));
-    }
-    for (; w < words; ++w)
-      h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w]));
-    out[i] = h;
+// The packed-scan kernels are stamped per ISA, mirroring tensor/gemm.cpp:
+// the build targets baseline x86-64 (no POPCNT instruction), where
+// std::popcount lowers to a ~12-op bit-twiddling sequence. A variant
+// compiled with the popcnt target attribute turns every count into one
+// 1/cycle instruction; the best variant the CPU supports is picked once at
+// runtime via __builtin_cpu_supports.
+#define HDCZSC_DEFINE_HAMMING_KERNEL(suffix, attrs)                                         \
+  attrs static void hamming_rows_##suffix(                                                  \
+      const std::uint64_t* query, const std::uint64_t* rows, std::size_t row_begin,         \
+      std::size_t row_end, std::size_t words, std::uint32_t* out) {                         \
+    for (std::size_t i = row_begin; i < row_end; ++i) {                                     \
+      const std::uint64_t* row = rows + i * words;                                          \
+      std::uint32_t h = 0;                                                                  \
+      std::size_t w = 0;                                                                    \
+      /* 4-way unroll: keeps four independent popcount chains in flight. */                 \
+      for (; w + 4 <= words; w += 4) {                                                      \
+        h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w])) +                 \
+             static_cast<std::uint32_t>(std::popcount(query[w + 1] ^ row[w + 1])) +         \
+             static_cast<std::uint32_t>(std::popcount(query[w + 2] ^ row[w + 2])) +         \
+             static_cast<std::uint32_t>(std::popcount(query[w + 3] ^ row[w + 3]));          \
+      }                                                                                     \
+      for (; w < words; ++w)                                                                \
+        h += static_cast<std::uint32_t>(std::popcount(query[w] ^ row[w]));                  \
+      out[i] = h;                                                                           \
+    }                                                                                       \
+  }                                                                                         \
+  /* Query-blocked sweep: each prototype row is loaded once and scored      */              \
+  /* against four queries while it sits in registers — four independent     */              \
+  /* popcount chains (the single-query kernel is latency-bound on one       */              \
+  /* chain at small `words`), and 1/4 the row-stream traffic.               */              \
+  attrs static void hamming_multi_##suffix(                                                 \
+      const std::uint64_t* queries, std::size_t n_queries, const std::uint64_t* rows,       \
+      std::size_t n_rows, std::size_t words, std::uint32_t* out) {                          \
+    std::size_t q = 0;                                                                      \
+    for (; q + 4 <= n_queries; q += 4) {                                                    \
+      const std::uint64_t* q0 = queries + (q + 0) * words;                                  \
+      const std::uint64_t* q1 = queries + (q + 1) * words;                                  \
+      const std::uint64_t* q2 = queries + (q + 2) * words;                                  \
+      const std::uint64_t* q3 = queries + (q + 3) * words;                                  \
+      std::uint32_t* o0 = out + (q + 0) * n_rows;                                           \
+      std::uint32_t* o1 = out + (q + 1) * n_rows;                                           \
+      std::uint32_t* o2 = out + (q + 2) * n_rows;                                           \
+      std::uint32_t* o3 = out + (q + 3) * n_rows;                                           \
+      for (std::size_t i = 0; i < n_rows; ++i) {                                            \
+        const std::uint64_t* row = rows + i * words;                                        \
+        std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0;                                       \
+        for (std::size_t w = 0; w < words; ++w) {                                           \
+          const std::uint64_t rw = row[w];                                                  \
+          h0 += static_cast<std::uint32_t>(std::popcount(q0[w] ^ rw));                      \
+          h1 += static_cast<std::uint32_t>(std::popcount(q1[w] ^ rw));                      \
+          h2 += static_cast<std::uint32_t>(std::popcount(q2[w] ^ rw));                      \
+          h3 += static_cast<std::uint32_t>(std::popcount(q3[w] ^ rw));                      \
+        }                                                                                   \
+        o0[i] = h0;                                                                         \
+        o1[i] = h1;                                                                         \
+        o2[i] = h2;                                                                         \
+        o3[i] = h3;                                                                         \
+      }                                                                                     \
+    }                                                                                       \
+    for (; q < n_queries; ++q)                                                              \
+      hamming_rows_##suffix(queries + q * words, rows, 0, n_rows, words, out + q * n_rows); \
   }
+
+HDCZSC_DEFINE_HAMMING_KERNEL(portable, )
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HDCZSC_HAMMING_X86_DISPATCH 1
+HDCZSC_DEFINE_HAMMING_KERNEL(popcnt, __attribute__((target("popcnt"))))
+#endif
+
+using HammingRowsFn = void (*)(const std::uint64_t*, const std::uint64_t*, std::size_t,
+                               std::size_t, std::size_t, std::uint32_t*);
+using HammingMultiFn = void (*)(const std::uint64_t*, std::size_t, const std::uint64_t*,
+                                std::size_t, std::size_t, std::uint32_t*);
+
+struct HammingKernels {
+  HammingRowsFn rows;
+  HammingMultiFn multi;
+  const char* name;
+};
+
+HammingKernels pick_hamming_kernels() {
+#if defined(HDCZSC_HAMMING_X86_DISPATCH)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("popcnt"))
+    return {hamming_rows_popcnt, hamming_multi_popcnt, "popcnt"};
+#endif
+  return {hamming_rows_portable, hamming_multi_portable, "portable"};
+}
+
+const HammingKernels& hamming_kernels() {
+  static const HammingKernels k = pick_hamming_kernels();
+  return k;
 }
 
 }  // namespace
+
+const char* hamming_kernel_name() { return hamming_kernels().name; }
+
+void hamming_many_packed_multi(const std::uint64_t* queries, std::size_t n_queries,
+                               const std::uint64_t* rows, std::size_t n_rows,
+                               std::size_t words, std::uint32_t* out) {
+  hamming_kernels().multi(queries, n_queries, rows, n_rows, words, out);
+}
 
 void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
                          std::size_t n_rows, std::size_t words, std::uint32_t* out) {
@@ -177,13 +259,14 @@ void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
   // Large label spaces — the prototype-store sharding regime — fan the
   // prototype rows out across workers in contiguous chunks.
   constexpr std::size_t kSequentialWords = std::size_t{1} << 15;  // 256 KiB of codes
+  const HammingRowsFn sweep = hamming_kernels().rows;
   if (words == 0 || n_rows * words < kSequentialWords) {
-    hamming_rows_serial(query, rows, 0, n_rows, words, out);
+    sweep(query, rows, 0, n_rows, words, out);
     return;
   }
   const std::size_t grain = std::max<std::size_t>(64, kSequentialWords / (4 * words));
   util::parallel_for_chunks(0, n_rows, [&](std::size_t i0, std::size_t i1) {
-    hamming_rows_serial(query, rows, i0, i1, words, out);
+    sweep(query, rows, i0, i1, words, out);
   }, grain);
 }
 

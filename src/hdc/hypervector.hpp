@@ -140,15 +140,40 @@ double mean_abs_pairwise_cosine(const std::vector<BipolarHV>& hvs);
 // sweep — the access pattern an associative-memory accelerator would use.
 
 /// out[i] = popcount(query ^ rows[i*words .. (i+1)*words)) for i in [0, n_rows).
-/// Scans below ~256 KiB of packed codes run on the calling thread; larger
-/// label spaces split the rows into contiguous chunks across
-/// util::parallel_for workers (prep for prototype-store sharding).
+///
+/// Parallel threshold and chunking contract: scans touching fewer than
+/// 256 KiB of packed prototype codes (n_rows·words < 2^15 words) run
+/// entirely on the calling thread — the XOR+popcount sweep through a few
+/// KiB beats any hand-off, and this is the common per-query serving case.
+/// At or above the threshold the rows are split into contiguous chunks of
+/// at least max(64, 2^15/(4·words)) rows across util::parallel_for
+/// workers; each worker writes only its own out[i] range, so the call is
+/// safe from any thread but must not assume a particular execution order
+/// across rows. Nested inside another parallel_for body (e.g. the sharded
+/// store's per-shard scatter) the sweep runs inline — the pool is not
+/// re-entrant.
 void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
                          std::size_t n_rows, std::size_t words, std::uint32_t* out);
+
+/// Query-blocked variant: out[q*n_rows + i] = popcount(queries[q] ^ rows[i])
+/// for n_queries packed queries laid out contiguously (`words` each). Each
+/// prototype row is loaded once per 4-query block and scored down four
+/// independent popcount chains — the memory-amortized form the sharded
+/// store's scatter uses to sweep a cache-resident shard with a whole batch
+/// (serve/sharded_store.hpp). Always runs on the calling thread; callers
+/// parallelize across shards, not inside the sweep.
+void hamming_many_packed_multi(const std::uint64_t* queries, std::size_t n_queries,
+                               const std::uint64_t* rows, std::size_t n_rows,
+                               std::size_t words, std::uint32_t* out);
 
 /// Convenience overload over BinaryHV prototypes; every prototype must share
 /// the query's dimensionality.
 std::vector<std::size_t> hamming_many(const BinaryHV& query,
                                       const std::vector<BinaryHV>& prototypes);
+
+/// Name of the packed-scan kernel variant selected for this CPU
+/// ("popcnt" / "portable") — surfaced in benches and logs, mirroring
+/// tensor::gemm_kernel_name().
+const char* hamming_kernel_name();
 
 }  // namespace hdczsc::hdc

@@ -6,15 +6,25 @@
 
 namespace hdczsc::serve {
 
+namespace {
+const ModelSnapshot& deref(const std::shared_ptr<const ModelSnapshot>& snapshot) {
+  if (!snapshot) throw std::invalid_argument("InferenceEngine: null snapshot");
+  return *snapshot;
+}
+}  // namespace
+
 std::string scoring_mode_name(ScoringMode mode) {
   return mode == ScoringMode::kFloatCosine ? "float-cosine" : "binary-hamming";
 }
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
-                                 ScoringMode mode)
-    : snapshot_(std::move(snapshot)), mode_(mode) {
-  if (!snapshot_) throw std::invalid_argument("InferenceEngine: null snapshot");
-}
+                                 ScoringMode mode, std::size_t n_shards)
+    : snapshot_(std::move(snapshot)),
+      mode_(mode),
+      // Both arguments null-check through deref: their evaluation order is
+      // unspecified, so neither may touch snapshot_ bare.
+      sharded_(deref(snapshot_).prototypes(),
+               n_shards == 0 ? deref(snapshot_).preferred_shards() : n_shards) {}
 
 tensor::Tensor InferenceEngine::logits(const tensor::Tensor& images) const {
   tensor::Tensor emb = snapshot_->embed(images);
@@ -23,11 +33,27 @@ tensor::Tensor InferenceEngine::logits(const tensor::Tensor& images) const {
                                             : store.score_binary(emb);
 }
 
+std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor& images,
+                                                           std::size_t k) const {
+  tensor::Tensor emb = snapshot_->embed(images);
+  return mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k)
+                                            : sharded_.topk_binary(emb, k);
+}
+
 std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images) const {
   // One coalesced forward end-to-end: the backbone runs a single whole-batch
   // im2col + GEMM per conv layer (tensor/gemm.hpp), so a batch of B images
   // is substantially cheaper than B single-image forwards — dynamic batching
   // now amortizes the embed, not just the prototype scan.
+  if (sharded_.n_shards() > 1) {
+    // Sharded store: classify is the k = 1 retrieval — no [B, C] logits
+    // materialization, no full-width argmax sweep.
+    const auto hits = topk_batch(images, 1);
+    std::vector<Prediction> out(hits.size());
+    for (std::size_t b = 0; b < hits.size(); ++b)
+      out[b] = Prediction{hits[b][0].label, hits[b][0].score};
+    return out;
+  }
   tensor::Tensor p = logits(images);
   const std::size_t classes = p.size(1);
   const std::vector<std::size_t> best = tensor::argmax_rows(p);

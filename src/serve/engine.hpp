@@ -8,13 +8,23 @@
 //                     ZscModel::class_logits in eval mode, or
 //  * kBinaryHamming — sign-binarized query vs. bit-packed prototypes,
 //                     word-level XOR + popcount (the edge/accelerator path).
-// Thread-safe: all state is read-only after construction.
+//
+// Retrieval comes in two shapes:
+//  * logits()      — the full [B, C] logit matrix (flat store scan), and
+//  * topk_batch()  — the top-k (label, score) hits per image via the
+//    sharded scatter/gather scan (sharded_store.hpp). With n_shards == 1
+//    the sharded store degenerates to the flat layout; either way the
+//    ranking equals the flat path's full argsort. classify_batch is the
+//    k = 1 case and routes through the sharded scan when n_shards > 1.
+// Thread-safe: all state is read-only after construction (the sharded
+// store's telemetry counters are atomic).
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "serve/sharded_store.hpp"
 #include "serve/snapshot.hpp"
 
 namespace hdczsc::serve {
@@ -31,21 +41,33 @@ struct Prediction {
 
 class InferenceEngine {
  public:
+  /// `n_shards` splits the prototype store into that many row-range shards
+  /// for the top-k retrieval path (clamped to [1, C]; 0 means "use the
+  /// snapshot's preferred shard layout"). Sharding never changes results —
+  /// only how the scan is scattered.
   InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
-                  ScoringMode mode = ScoringMode::kFloatCosine);
+                  ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0);
 
-  /// Full logits [B, C] for images [B, 3, S, S].
+  /// Full logits [B, C] for images [B, 3, S, S] (flat store scan).
   tensor::Tensor logits(const tensor::Tensor& images) const;
+
+  /// Top-k (label, score) hits per image, ordered by (score desc, label
+  /// asc), via the sharded scatter/gather scan. Returns min(k, C) entries
+  /// per image; k == 0 yields empty results.
+  std::vector<std::vector<TopK>> topk_batch(const tensor::Tensor& images, std::size_t k) const;
 
   /// Argmax + winning score per image.
   std::vector<Prediction> classify_batch(const tensor::Tensor& images) const;
 
   ScoringMode mode() const { return mode_; }
+  std::size_t n_shards() const { return sharded_.n_shards(); }
+  const ShardedPrototypeStore& sharded_store() const { return sharded_; }
   const ModelSnapshot& snapshot() const { return *snapshot_; }
 
  private:
   std::shared_ptr<const ModelSnapshot> snapshot_;
   ScoringMode mode_;
+  ShardedPrototypeStore sharded_;
 };
 
 }  // namespace hdczsc::serve

@@ -11,9 +11,10 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
   if (key.empty()) throw std::invalid_argument("ModelRegistry::load: empty key");
   if (!snapshot) throw std::invalid_argument("ModelRegistry::load: null snapshot");
   // Build and start outside the lock: worker spawn must not stall routing.
-  auto engine = std::make_shared<const InferenceEngine>(std::move(snapshot), mode);
-  auto runtime =
-      std::make_shared<ServerRuntime>(std::move(engine), cfg.value_or(default_cfg_));
+  const ServerConfig rcfg = cfg.value_or(default_cfg_);
+  auto engine =
+      std::make_shared<const InferenceEngine>(std::move(snapshot), mode, rcfg.n_shards);
+  auto runtime = std::make_shared<ServerRuntime>(std::move(engine), rcfg);
   runtime->start();
 
   std::shared_ptr<ServerRuntime> replaced;
@@ -88,6 +89,11 @@ ServingStats::Summary ModelRegistry::stats(const std::string& key) const {
   return find(key)->stats().summary();
 }
 
+std::vector<ShardedPrototypeStore::ShardInfo> ModelRegistry::shard_stats(
+    const std::string& key) const {
+  return find(key)->engine().sharded_store().shard_stats();
+}
+
 std::shared_ptr<const InferenceEngine> ModelRegistry::engine(const std::string& key) const {
   return find(key)->engine_ptr();
 }
@@ -100,15 +106,15 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
     entries.assign(models_.begin(), models_.end());
   }
   util::Table t(title);
-  t.set_header({"key", "scoring", "classes", "completed", "rejected", "req/s", "p50 ms",
-                "p99 ms"});
+  t.set_header({"key", "scoring", "classes", "shards", "completed", "rejected", "req/s",
+                "p50 ms", "p99 ms"});
   for (const auto& [key, runtime] : entries) {
     const auto s = runtime->stats().summary();
     t.add_row({key, scoring_mode_name(runtime->engine().mode()),
                std::to_string(runtime->engine().snapshot().n_classes()),
-               std::to_string(s.completed), std::to_string(s.rejected),
-               util::Table::num(s.throughput_rps, 1), util::Table::num(s.p50_latency_ms, 2),
-               util::Table::num(s.p99_latency_ms, 2)});
+               std::to_string(runtime->engine().n_shards()), std::to_string(s.completed),
+               std::to_string(s.rejected), util::Table::num(s.throughput_rps, 1),
+               util::Table::num(s.p50_latency_ms, 2), util::Table::num(s.p99_latency_ms, 2)});
   }
   return t;
 }

@@ -74,6 +74,9 @@ class ModelRegistry {
 
   /// Per-model telemetry. Throws ModelNotFound for an unknown key.
   ServingStats::Summary stats(const std::string& key) const;
+  /// Per-shard scan telemetry of the model's sharded prototype store
+  /// (one entry per shard, S = 1 for flat stores). Throws ModelNotFound.
+  std::vector<ShardedPrototypeStore::ShardInfo> shard_stats(const std::string& key) const;
   /// Shared handle (not a reference): the engine may outlive a concurrent
   /// unload/replace of the key, so the caller keeps it alive.
   std::shared_ptr<const InferenceEngine> engine(const std::string& key) const;

@@ -22,6 +22,13 @@
 //
 // Both paths multiply by the model's learned temperature scale s = 1/K so
 // their outputs are directly comparable to ZscModel::class_logits.
+//
+// score_float / score_binary are the *flat* scans: one sweep over all C
+// rows, materializing full [B, C] logits. For top-k retrieval over large
+// label spaces, serve/sharded_store.hpp partitions these same rows into
+// row-range shards and runs a scatter/gather scan that never materializes
+// the logits matrix; the flat scans remain the reference (and the right
+// call when the caller wants every logit, e.g. for calibration).
 #pragma once
 
 #include <cstdint>

@@ -29,6 +29,10 @@ class ServerOverloaded : public std::runtime_error {
 struct ServerConfig {
   std::size_t n_workers = 1;
   BatchPolicy batch;
+  /// Prototype-store shard count for the engines ModelRegistry builds from
+  /// this config (sharded_store.hpp). 0 = use the snapshot's preferred
+  /// shard layout; explicit values override it (clamped to [1, C]).
+  std::size_t n_shards = 0;
 };
 
 class ServerRuntime {

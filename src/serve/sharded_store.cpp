@@ -1,0 +1,325 @@
+#include "serve/sharded_store.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
+
+namespace hdczsc::serve {
+
+namespace {
+
+/// The one retrieval order both scoring paths and both store layouts share:
+/// score descending, label ascending on exact score ties. The flat
+/// reference (full argsort of score_float / score_binary logits) under this
+/// order is what the scatter/gather result is asserted against.
+inline bool better(const TopK& a, const TopK& b) {
+  return a.score > b.score || (a.score == b.score && a.label < b.label);
+}
+
+/// Rows per block-skip test in the selection loops: once a cutoff is
+/// known, a whole block is skipped with one vectorizable compare-reduce
+/// over its scores, so the steady-state selection cost drops well below
+/// one branch per row. 16 keeps the reduce inside two SSE registers.
+constexpr std::size_t kSelectBlock = 16;
+
+/// k-bounded candidate selection over caller-provided storage (one flat
+/// slot per (shard, query), so the scatter allocates nothing per scan): a
+/// binary heap with the *worst* kept candidate on top (std::push_heap with
+/// `better` as the ordering puts the minimum there), so the steady-state
+/// cost per scanned row is one score compare against the current cutoff.
+class BoundedTopK {
+ public:
+  BoundedTopK(TopK* slot, std::size_t k) : slot_(slot), k_(k) {}
+
+  void offer(TopK c) {
+    if (n_ < k_) {
+      slot_[n_++] = c;
+      std::push_heap(slot_, slot_ + n_, better);
+      return;
+    }
+    if (!better(c, slot_[0])) return;  // cutoff miss: the common case
+    std::pop_heap(slot_, slot_ + n_, better);
+    slot_[n_ - 1] = c;
+    std::push_heap(slot_, slot_ + n_, better);
+  }
+
+  std::size_t size() const { return n_; }
+  /// Block-skip threshold: scores strictly below it cannot enter (equal
+  /// scores still can, via the label tie-break), -inf while filling.
+  float cutoff_score() const {
+    return n_ == k_ ? slot_[0].score : -std::numeric_limits<float>::infinity();
+  }
+
+ private:
+  TopK* slot_;
+  std::size_t k_;
+  std::size_t n_ = 0;
+};
+
+/// Integer-domain variant of BoundedTopK for the binary path: candidates
+/// are packed (hamming << 32) | label keys, so the retrieval order
+/// (score desc, label asc) becomes a single u64 compare (h asc, label asc)
+/// and the fast path is one predictable compare per scanned row.
+///
+/// Exactness precondition (checked by the caller): the two orders coincide
+/// iff distinct Hamming counts never round to the same float logit.
+/// score = scale·(1 − 2h/D) is weakly decreasing in h under float rounding
+/// (for scale > 0), and strictly so while 1/D stays above float resolution
+/// — i.e. for D < 2^24 code bits, far beyond any practical code width.
+/// Wider codes (or non-positive scales) take the float-domain path.
+class BoundedTopKHamming {
+ public:
+  /// `bound` is a global-cutoff hint: a key value known to have at least k
+  /// better keys somewhere in the store (another shard's k-th best).
+  /// Anything at or above it cannot make the global top-k and is dropped
+  /// before touching the local heap — keys are unique (the label is in the
+  /// low bits), so `>=` never discards a genuine tie.
+  BoundedTopKHamming(std::uint64_t* slot, std::size_t k, std::uint64_t bound)
+      : slot_(slot), k_(k), bound_(bound) {}
+
+  void offer(std::uint32_t h, std::size_t label) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(h) << 32) | static_cast<std::uint64_t>(label);
+    if (key >= bound_) return;  // cutoff miss: the common case
+    if (n_ < k_) {
+      slot_[n_++] = key;
+      std::push_heap(slot_, slot_ + n_);  // max-key (worst candidate) on top
+      if (n_ == k_) bound_ = std::min(bound_, slot_[0]);
+      return;
+    }
+    std::pop_heap(slot_, slot_ + n_);
+    slot_[n_ - 1] = key;
+    std::push_heap(slot_, slot_ + n_);
+    bound_ = std::min(bound_, slot_[0]);
+  }
+
+  std::size_t size() const { return n_; }
+  /// The local k-th best key once full (the caller publishes it as the
+  /// next shard's starting bound).
+  std::uint64_t cutoff() const { return n_ == k_ ? slot_[0] : ~std::uint64_t{0}; }
+  /// Block-skip threshold in the Hamming domain: rows with h strictly
+  /// above it cannot beat the bound (h == threshold may, via the label
+  /// bits), so a whole block of rows above it is skipped wholesale.
+  std::uint32_t threshold() const { return static_cast<std::uint32_t>(bound_ >> 32); }
+
+ private:
+  std::uint64_t* slot_;
+  std::size_t k_;
+  std::size_t n_ = 0;
+  std::uint64_t bound_;
+};
+
+void check_embeddings(const tensor::Tensor& embeddings, std::size_t dim, const char* what) {
+  if (embeddings.dim() != 2 || embeddings.size(1) != dim)
+    throw std::invalid_argument(std::string("ShardedPrototypeStore::") + what + ": need [B, " +
+                                std::to_string(dim) + "] embeddings, got " +
+                                tensor::shape_str(embeddings.shape()));
+}
+
+}  // namespace
+
+ShardedPrototypeStore::ShardedPrototypeStore(const PrototypeStore& base, std::size_t n_shards)
+    : base_(&base) {
+  const std::size_t c = base.n_classes();
+  const std::size_t s = std::clamp<std::size_t>(n_shards, 1, c);
+  shards_.reserve(s);
+  const std::size_t rows = c / s, extra = c % s;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < s; ++i) {
+    const std::size_t end = begin + rows + (i < extra ? 1 : 0);
+    shards_.push_back({begin, end});
+    begin = end;
+  }
+  counters_ = std::make_unique<Counters[]>(s);
+}
+
+std::vector<std::vector<TopK>> ShardedPrototypeStore::gather(
+    std::size_t batch, std::size_t k, const std::vector<TopK>& cand,
+    const std::vector<std::uint32_t>& cand_n) const {
+  const std::size_t n_sh = shards_.size();
+  std::vector<std::vector<TopK>> out(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    std::vector<TopK>& merged = out[b];
+    merged.reserve(std::min(k, base_->n_classes()));
+    for (std::size_t s = 0; s < n_sh; ++s) {
+      const TopK* slot = cand.data() + (s * batch + b) * k;
+      merged.insert(merged.end(), slot, slot + cand_n[s * batch + b]);
+    }
+    std::sort(merged.begin(), merged.end(), better);
+    if (merged.size() > k) merged.resize(k);
+  }
+  return out;
+}
+
+std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
+    const tensor::Tensor& embeddings, std::size_t k) const {
+  check_embeddings(embeddings, base_->dim(), "topk_float");
+  const std::size_t batch = embeddings.size(0);
+  if (k == 0) return std::vector<std::vector<TopK>>(batch);
+
+  const std::size_t d = base_->dim();
+  const float scale = base_->scale();
+  const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
+  const float* E = e_hat.data();
+  const float* P = base_->normalized_prototypes().data();
+
+  // Scatter: one GEMM per shard over its row range of the normalized
+  // prototype matrix (the rows are contiguous, so the shard is a pointer
+  // offset, not a copy), then k-bounded selection per query straight into
+  // this (shard, query)'s candidate slot. Shards fan out across the
+  // worker pool; each works in its own shard-local score buffer and
+  // writes only its own candidate slots.
+  const std::size_t n_sh = shards_.size();
+  std::vector<TopK> cand(n_sh * batch * k);
+  std::vector<std::uint32_t> cand_n(n_sh * batch, 0);
+  util::parallel_for(
+      0, n_sh,
+      [&](std::size_t s) {
+        const Shard sh = shards_[s];
+        const std::size_t rows = sh.end - sh.begin;
+        // Shard-local scores, O(B·C/S) — the full [B, C] logit matrix is
+        // never materialized. Zeroed: gemm accumulates.
+        std::vector<float> cos(batch * rows, 0.0f);
+        tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::T, batch, rows, d, E, d,
+                                P + sh.begin * d, d, cos.data(), rows);
+        for (std::size_t b = 0; b < batch; ++b) {
+          const float* row = cos.data() + b * rows;
+          BoundedTopK local(cand.data() + (s * batch + b) * k, k);
+          std::size_t i = 0;
+          for (; i + kSelectBlock <= rows; i += kSelectBlock) {
+            const float cut = local.cutoff_score();
+            std::uint32_t any = 0;
+            for (std::size_t j = 0; j < kSelectBlock; ++j)
+              any |= scale * row[i + j] >= cut ? 1u : 0u;
+            if (!any) continue;
+            for (std::size_t j = 0; j < kSelectBlock; ++j)
+              local.offer(TopK{sh.begin + i + j, scale * row[i + j]});
+          }
+          for (; i < rows; ++i) local.offer(TopK{sh.begin + i, scale * row[i]});
+          cand_n[s * batch + b] = static_cast<std::uint32_t>(local.size());
+        }
+        counters_[s].scans.fetch_add(batch, std::memory_order_relaxed);
+        counters_[s].rows_swept.fetch_add(batch * rows, std::memory_order_relaxed);
+      },
+      /*grain=*/1);
+
+  return gather(batch, k, cand, cand_n);
+}
+
+std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
+    const tensor::Tensor& embeddings, std::size_t k) const {
+  check_embeddings(embeddings, base_->dim(), "topk_binary");
+  const std::size_t batch = embeddings.size(0);
+  if (k == 0) return std::vector<std::vector<TopK>>(batch);
+
+  // Encode every query once, up front, into one contiguous packed buffer
+  // (the query-blocked kernel reads them side by side).
+  const std::size_t wpr = base_->words_per_row();
+  std::vector<std::uint64_t> qwords(batch * wpr);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const hdc::BinaryHV q = base_->encode_query(embeddings.data() + b * base_->dim());
+    std::copy(q.words().begin(), q.words().end(), qwords.begin() + b * wpr);
+  }
+
+  const std::uint64_t* packed = base_->packed_words().data();
+  const float scale = base_->scale();
+  const float inv_d = 1.0f / static_cast<float>(base_->code_bits());
+
+  // Scatter: each shard sweeps its (cache-resident) word range once for
+  // the whole query batch — hamming_many_packed_multi loads every
+  // prototype row once per 4-query block — then folds the shard's distance
+  // buffer into per-query candidate slots. Selection compares in the same
+  // scale·(1 − 2h/D) float domain score_binary materializes, so gathered
+  // scores are bit-identical to the flat path.
+  const std::size_t n_sh = shards_.size();
+  std::vector<TopK> cand(n_sh * batch * k);
+  std::vector<std::uint32_t> cand_n(n_sh * batch, 0);
+  // Integer-domain selection is order-identical to the float logits while
+  // distinct Hamming counts cannot round to the same score (see
+  // BoundedTopKHamming); pathological widths take the float-domain loop.
+  const bool integer_select = scale > 0.0f && base_->code_bits() < (std::size_t{1} << 24);
+  std::vector<std::uint64_t> keys(integer_select ? n_sh * batch * k : 0);
+  // Cross-shard cutoff hints, one per query: the first shard to fill its
+  // heap publishes its k-th best key, and every shard scanning that query
+  // afterwards starts with that bound already in place (sequential shards
+  // on one worker get a near-global cutoff for free; concurrent shards
+  // just see a laggier hint — the bound is conservative either way).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hints;
+  if (integer_select) {
+    hints = std::make_unique<std::atomic<std::uint64_t>[]>(batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      hints[b].store(~std::uint64_t{0}, std::memory_order_relaxed);
+  }
+  util::parallel_for(
+      0, n_sh,
+      [&](std::size_t s) {
+        const Shard sh = shards_[s];
+        const std::size_t rows = sh.end - sh.begin;
+        // Shard-local distance buffer, O(B·C/S) and for-overwrite (the
+        // kernel fills every slot read back) — the full [B, C] matrix is
+        // never materialized.
+        auto h = std::make_unique_for_overwrite<std::uint32_t[]>(batch * rows);
+        hdc::hamming_many_packed_multi(qwords.data(), batch, packed + sh.begin * wpr, rows,
+                                       wpr, h.get());
+        for (std::size_t b = 0; b < batch; ++b) {
+          const std::uint32_t* hb = h.get() + b * rows;
+          TopK* slot = cand.data() + (s * batch + b) * k;
+          if (integer_select) {
+            BoundedTopKHamming local(keys.data() + (s * batch + b) * k, k,
+                                     hints[b].load(std::memory_order_relaxed));
+            std::size_t i = 0;
+            for (; i + kSelectBlock <= rows; i += kSelectBlock) {
+              const std::uint32_t t = local.threshold();
+              std::uint32_t any = 0;
+              for (std::size_t j = 0; j < kSelectBlock; ++j)
+                any |= hb[i + j] <= t ? 1u : 0u;
+              if (!any) continue;
+              for (std::size_t j = 0; j < kSelectBlock; ++j)
+                local.offer(hb[i + j], sh.begin + i + j);
+            }
+            for (; i < rows; ++i) local.offer(hb[i], sh.begin + i);
+            // Publish this shard's cutoff if it tightens the hint.
+            std::uint64_t cut = local.cutoff();
+            std::uint64_t seen = hints[b].load(std::memory_order_relaxed);
+            while (cut < seen &&
+                   !hints[b].compare_exchange_weak(seen, cut, std::memory_order_relaxed)) {
+            }
+            const std::uint64_t* kept = keys.data() + (s * batch + b) * k;
+            for (std::size_t i = 0; i < local.size(); ++i) {
+              const auto hv = static_cast<float>(kept[i] >> 32);
+              slot[i] = TopK{static_cast<std::size_t>(kept[i] & 0xffffffffu),
+                             scale * (1.0f - 2.0f * hv * inv_d)};
+            }
+            cand_n[s * batch + b] = static_cast<std::uint32_t>(local.size());
+          } else {
+            BoundedTopK local(slot, k);
+            for (std::size_t i = 0; i < rows; ++i)
+              local.offer(TopK{sh.begin + i,
+                               scale * (1.0f - 2.0f * static_cast<float>(hb[i]) * inv_d)});
+            cand_n[s * batch + b] = static_cast<std::uint32_t>(local.size());
+          }
+        }
+        counters_[s].scans.fetch_add(batch, std::memory_order_relaxed);
+        counters_[s].rows_swept.fetch_add(batch * rows, std::memory_order_relaxed);
+      },
+      /*grain=*/1);
+
+  return gather(batch, k, cand, cand_n);
+}
+
+std::vector<ShardedPrototypeStore::ShardInfo> ShardedPrototypeStore::shard_stats() const {
+  std::vector<ShardInfo> out(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    out[s].begin = shards_[s].begin;
+    out[s].rows = shards_[s].end - shards_[s].begin;
+    out[s].scans = counters_[s].scans.load(std::memory_order_relaxed);
+    out[s].rows_swept = counters_[s].rows_swept.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace hdczsc::serve

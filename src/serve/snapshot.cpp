@@ -18,16 +18,19 @@ PrototypeStore build_store(const std::shared_ptr<core::ZscModel>& model,
 
 ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                              const tensor::Tensor& class_attributes,
-                             std::size_t binary_expansion)
+                             std::size_t binary_expansion, std::size_t preferred_shards)
     : model_(std::move(model)),
       class_attributes_(class_attributes),
-      store_(build_store(model_, class_attributes, binary_expansion)) {}
+      store_(build_store(model_, class_attributes, binary_expansion)),
+      preferred_shards_(preferred_shards == 0 ? 1 : preferred_shards) {}
 
 ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
-                             tensor::Tensor class_attributes, PrototypeStore store)
+                             tensor::Tensor class_attributes, PrototypeStore store,
+                             std::size_t preferred_shards)
     : model_(std::move(model)),
       class_attributes_(std::move(class_attributes)),
-      store_(std::move(store)) {
+      store_(std::move(store)),
+      preferred_shards_(preferred_shards == 0 ? 1 : preferred_shards) {
   if (!model_) throw std::invalid_argument("ModelSnapshot: null model");
   if (model_->dim() != store_.dim())
     throw std::invalid_argument("ModelSnapshot: model dim " + std::to_string(model_->dim()) +

@@ -24,20 +24,26 @@ class ModelSnapshot {
   /// `class_attributes` is A [C, α] in serving-label order; row c of the
   /// prototype store scores class c. `binary_expansion` is forwarded to the
   /// PrototypeStore (1 = direct d-bit sign codes; k > 1 = k·d-bit sign-LSH
-  /// codes with higher cosine fidelity).
+  /// codes with higher cosine fidelity). `preferred_shards` records the
+  /// shard layout the artifact was sized for (see sharded_store.hpp); it is
+  /// a serving hint, not a property of the scores — engines may override it.
   ModelSnapshot(std::shared_ptr<core::ZscModel> model,
-                const tensor::Tensor& class_attributes, std::size_t binary_expansion = 1);
+                const tensor::Tensor& class_attributes, std::size_t binary_expansion = 1,
+                std::size_t preferred_shards = 1);
 
   /// Reconstituting constructor (snapshot_io load path): adopt an
   /// already-built PrototypeStore instead of re-encoding ϕ(A) — the store
   /// carries the exact serialized rows, so a loaded snapshot scores
   /// bit-identically to the one that was saved.
   ModelSnapshot(std::shared_ptr<core::ZscModel> model, tensor::Tensor class_attributes,
-                PrototypeStore store);
+                PrototypeStore store, std::size_t preferred_shards = 1);
 
   std::size_t n_classes() const { return store_.n_classes(); }
   std::size_t dim() const { return store_.dim(); }
   float scale() const { return store_.scale(); }
+  /// Shard count the artifact recommends for its label space (≥ 1; old
+  /// version-1 .hdcsnap files carry no record and load as 1 = flat).
+  std::size_t preferred_shards() const { return preferred_shards_; }
 
   /// Eval-mode image-encoder forward: embeddings [B, d] from images
   /// [B, 3, S, S]. Thread-safe (no train-mode caching is touched).
@@ -57,6 +63,7 @@ class ModelSnapshot {
   std::shared_ptr<core::ZscModel> model_;
   tensor::Tensor class_attributes_;
   PrototypeStore store_;
+  std::size_t preferred_shards_ = 1;
 };
 
 }  // namespace hdczsc::serve

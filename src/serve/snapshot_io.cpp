@@ -32,6 +32,7 @@ tensor::Tensor read_tensor(std::istream& is, const char* what) {
 
 /// Everything up to (and including) the f32 temperature field.
 struct Header {
+  std::uint32_t version = 0;
   std::string arch;
   std::size_t proj_dim = 0;
   bool use_projection = true;
@@ -47,11 +48,15 @@ Header read_header(std::istream& is) {
   if (!is || std::string(magic, 4) != std::string(kMagic, 4))
     throw std::runtime_error("snapshot_io: bad magic (not a .hdcsnap file)");
   const auto version = read_pod<std::uint32_t>(is, "format version");
-  if (version != kSnapshotVersion)
+  // Forward-only compatibility: every version up to the current one parses
+  // (later versions only append records); files from a newer writer are
+  // rejected rather than misread.
+  if (version == 0 || version > kSnapshotVersion)
     throw std::runtime_error("snapshot_io: unsupported snapshot version " +
-                             std::to_string(version) + " (expected " +
+                             std::to_string(version) + " (this reader supports 1.." +
                              std::to_string(kSnapshotVersion) + ")");
   Header h;
+  h.version = version;
   h.arch = read_string(is, "image-encoder arch");
   h.proj_dim = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "projection dim"));
   h.use_projection = read_pod<std::uint8_t>(is, "use_projection flag") != 0;
@@ -111,6 +116,7 @@ void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
   write_pod<std::uint64_t>(os, store.packed_words().size());
   os.write(reinterpret_cast<const char*>(store.packed_words().data()),
            static_cast<std::streamsize>(store.packed_words().size() * sizeof(std::uint64_t)));
+  write_pod<std::uint64_t>(os, snap.preferred_shards());  // v2 shard-layout record
   os.write(kEndMarker, 4);
   if (!os) throw std::runtime_error("save_snapshot: write failed");
 }
@@ -164,6 +170,11 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   const float store_scale = read_pod<float>(is, "store scale");
   tensor::Tensor normalized = read_tensor(is, "normalized prototype rows");
   std::vector<std::uint64_t> packed = read_packed_words(is);
+  // Version-1 files predate sharding and load as S = 1 (the flat store).
+  const std::size_t shards =
+      h.version >= 2
+          ? static_cast<std::size_t>(read_pod<std::uint64_t>(is, "preferred shard count"))
+          : 1;
   read_end_marker(is);
 
   PrototypeStore store = PrototypeStore::from_parts(std::move(normalized), std::move(packed),
@@ -172,7 +183,8 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
     throw std::runtime_error("snapshot_io: prototype store rows (" +
                              std::to_string(store.n_classes()) +
                              ") != class-attribute rows (" + std::to_string(a.size(0)) + ")");
-  return std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store));
+  return std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store),
+                                         shards);
 }
 
 void save_snapshot_file(const std::string& path, const ModelSnapshot& snap) {
@@ -190,7 +202,7 @@ std::shared_ptr<ModelSnapshot> load_snapshot_file(const std::string& path) {
 SnapshotInfo inspect_snapshot(std::istream& is) {
   const Header h = read_header(is);
   SnapshotInfo info;
-  info.version = kSnapshotVersion;
+  info.version = h.version;
   info.arch = h.arch;
   info.proj_dim = h.proj_dim;
   info.use_projection = h.use_projection;
@@ -226,6 +238,9 @@ SnapshotInfo inspect_snapshot(std::istream& is) {
   info.code_bits = info.dim * info.expansion;
   info.float_bytes = normalized.numel() * sizeof(float);
   info.binary_bytes = read_packed_words(is).size() * sizeof(std::uint64_t);
+  if (h.version >= 2)
+    info.preferred_shards =
+        static_cast<std::size_t>(read_pod<std::uint64_t>(is, "preferred shard count"));
   read_end_marker(is);
   return info;
 }

@@ -2,38 +2,34 @@
 // of a trained HDC-ZSC model, so server fleets cold-start from a file
 // instead of retraining (the Triton/TensorRT "frozen engine" pattern).
 //
-// Layout (little-endian, version 1):
+// The full record table, field widths and versioning rules live in
+// docs/snapshot_format.md; the shape of the file (version 2):
 //
-//   "HDCS"  magic                                  4 bytes
-//   u32     format version (= 1)
+//   "HDCS"  magic, u32 format version
 //   -- model architecture (enough to rebuild the layer stack exactly) --
-//   str     image-encoder arch ("resnet_micro_flat", ...)
-//   u64     projection dim d
-//   u8      use_projection
-//   str     attribute-encoder kind ("hdc" | "mlp")
-//   u64     mlp hidden width (0 for "hdc")
-//   u64     α (attribute count)
-//   f32     similarity temperature s (informational; the learned log-scale
-//           parameters travel in the parameter records)
+//   arch string, projection dim d, use_projection, attribute-encoder
+//   kind + MLP hidden width, α, similarity temperature
 //   -- model state --
-//   records nn::save_parameters  (count-prefixed (name, tensor) records)
-//   records nn::save_buffers     (BatchNorm running statistics)
-//   u8      has_dictionary; tensor B [α, d] when 1 (the stationary HDC
-//           dictionary is seed-derived, not a parameter — without it a
-//           rebuilt model could not re-encode new attribute rows)
+//   nn::save_parameters records, nn::save_buffers records (BatchNorm
+//   running statistics), optional HDC dictionary tensor B [α, d]
 //   -- frozen serving artifacts --
-//   tensor  class-attribute matrix A [C, α]
-//   u64     expansion k, u64 lsh_seed, f32 store scale
-//   tensor  normalized float prototype rows [C, d]
-//   u64     packed word count, raw u64 words (bit-packed binary rows)
+//   class-attribute matrix A [C, α]; expansion k, LSH seed, store scale;
+//   normalized float prototype rows [C, d]; packed binary words
+//   -- serving layout (version ≥ 2) --
+//   u64     preferred shard count S (sharded_store.hpp scatter/gather
+//           layout hint; version-1 files carry no record and load as
+//           S = 1, the flat store)
 //   "PANS"  end marker (truncation tripwire)
 //
 // Both prototype forms are stored verbatim (not recomputed on load), and
 // BatchNorm running statistics ride along with the parameters, so a loaded
 // snapshot serves scores bit-identical to the one that was saved — float
-// and packed-binary paths alike. Every load failure names the offending
-// record and nothing half-constructed ever escapes: the model is built and
-// populated in full before the ModelSnapshot exists.
+// and packed-binary paths alike. Loaders accept every version up to the
+// current one (new records are appended, so older files parse under the
+// newer reader with defaults); writers always emit the current version.
+// Every load failure names the offending record and nothing
+// half-constructed ever escapes: the model is built and populated in full
+// before the ModelSnapshot exists.
 #pragma once
 
 #include <iosfwd>
@@ -44,8 +40,9 @@
 
 namespace hdczsc::serve {
 
-/// Current .hdcsnap format version.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Current .hdcsnap format version (writers emit this; loaders accept
+/// 1..kSnapshotVersion — see docs/snapshot_format.md for the version log).
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Serialize a snapshot (model architecture + parameters + buffers + frozen
 /// prototype store) to a stream / file.
@@ -79,6 +76,8 @@ struct SnapshotInfo {
   std::size_t code_bits = 0;
   std::size_t float_bytes = 0;   ///< normalized prototype rows, fp32
   std::size_t binary_bytes = 0;  ///< packed binary rows
+  /// Recommended scatter/gather shard count (1 for version-1 files).
+  std::size_t preferred_shards = 1;
 };
 
 SnapshotInfo inspect_snapshot(std::istream& is);
