@@ -21,12 +21,20 @@
 // (--sharded-json=BENCH_sharded.json) so the scaling curve lands next to
 // BENCH_serving.json.
 //
+// A GZSL section serves the *joint* seen+unseen label space and sweeps the
+// calibrated-stacking penalty: per-domain accuracy, harmonic mean and
+// served throughput per penalty point (the handicap must be telemetry-
+// visible and throughput-neutral), plus a bit-identity check of the
+// penalized sharded binary top-k against the penalized float argsort —
+// written to --gzsl-json=BENCH_gzsl.json.
+//
 // --json=PATH writes every measured number as a machine-readable JSON
 // document (the BENCH_serving.json CI artifact).
 //
 //   ./bench_serving_throughput [--classes=60] [--requests=512] [--clients=4]
 //                              [--models=4] [--json=BENCH_serving.json]
 //                              [--sharded-json=BENCH_sharded.json]
+//                              [--gzsl-json=BENCH_gzsl.json]
 //                              [--topk=10] [--scan-queries=48]
 #include <algorithm>
 #include <cstdio>
@@ -146,6 +154,7 @@ int main(int argc, char** argv) {
   cfg.phase3 = {3, 16, 1e-2f, 1e-4f, 5.0f, true, false};
   cfg.augment.enabled = false;
   cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  cfg.snapshot_gzsl = true;  // also hand back the seen-domain artifacts (GZSL section)
   std::printf("training (%zu classes, %zu served)...\n", n_classes,
               n_classes - cfg.zs_train_classes);
   auto tp = core::run_pipeline_trained(cfg);
@@ -427,6 +436,126 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", spath.c_str());
   }
 
+  // -- GZSL serving: joint seen+unseen label space, calibrated stacking ------
+  // The snapshot freezes both domains (seen classes first, partition mask
+  // in the .hdcsnap v3 record); the penalty sweep shows the seen/unseen
+  // accuracy trade the knob buys and that the handicap is throughput-
+  // neutral (one integer offset per seen row on the binary path). Eval
+  // sets: held-out *instances* of the training classes (seen domain) and
+  // the held-out classes (unseen domain), joint labels seen-first.
+  auto gzsl_snapshot = serve::make_gzsl_snapshot(tp.model, tp.seen_class_attributes,
+                                                 tp.test_class_attributes, /*expansion=*/8);
+  const std::size_t n_seen_classes = tp.seen_class_attributes.size(0);
+  const data::Batch joint = core::joint_gzsl_eval_set(tp);
+  const nn::Tensor& joint_images = joint.images;
+  const std::vector<std::size_t>& joint_labels = joint.labels;
+
+  const float gzsl_scale = gzsl_snapshot->scale();
+  struct GzslPoint {
+    double penalty, seen_acc, unseen_acc, harmonic, rps;
+  };
+  std::vector<GzslPoint> gzsl_curve;
+  bool gzsl_exact = true;
+
+  util::Table gz("GZSL serving — joint " + std::to_string(gzsl_snapshot->n_seen()) + "+" +
+                 std::to_string(gzsl_snapshot->n_unseen()) +
+                 " label space, binary-hamming, penalty sweep");
+  gz.set_header({"penalty", "seen acc", "unseen acc", "harmonic mean", "req/s"});
+  for (double frac : {0.0, 0.05, 0.15, 0.3, 0.6}) {
+    const float p = static_cast<float>(frac) * gzsl_scale;
+    auto gengine = std::make_shared<const serve::InferenceEngine>(
+        gzsl_snapshot, serve::ScoringMode::kBinaryHamming, /*n_shards=*/1, p);
+
+    // Per-domain accuracy of the penalized decisions (direct inference;
+    // the storm below serves bit-identical ones).
+    const auto preds = gengine->classify_batch(joint_images);
+    std::size_t sn = 0, sok = 0, un = 0, uok = 0;
+    for (std::size_t i = 0; i < joint_labels.size(); ++i) {
+      const bool seen = joint_labels[i] < n_seen_classes;
+      (seen ? sn : un) += 1;
+      (seen ? sok : uok) += preds[i].label == joint_labels[i];
+    }
+    const double sa = sn ? static_cast<double>(sok) / static_cast<double>(sn) : 0.0;
+    const double ua = un ? static_cast<double>(uok) / static_cast<double>(un) : 0.0;
+    const double hm = sa + ua > 0.0 ? 2.0 * sa * ua / (sa + ua) : 0.0;
+
+    serve::ServerConfig gcfg;
+    gcfg.n_workers = 1;
+    gcfg.batch.max_batch = 8;
+    gcfg.batch.max_delay_ms = 2.0;
+    gcfg.batch.max_queue_depth = 4096;
+    serve::ServerRuntime server(gengine, gcfg);
+    server.start();
+    const RunResult r =
+        storm(server, joint_images, std::max<std::size_t>(n_requests / 2, 128), clients);
+    server.stop();
+
+    gzsl_curve.push_back({static_cast<double>(p), sa, ua, hm, r.throughput_rps});
+    gz.add_row({util::Table::num(p, 3), util::Table::num(sa, 3), util::Table::num(ua, 3),
+                util::Table::num(hm, 3), util::Table::num(r.throughput_rps, 1)});
+
+    // Exactness: the penalized sharded binary top-k must reproduce the
+    // penalized float full-argsort (flat logits) bit-for-bit — the ISSUE
+    // acceptance bar, re-checked here on real trained prototypes.
+    if (frac == 0.15) {
+      const serve::InferenceEngine sharded4(gzsl_snapshot,
+                                            serve::ScoringMode::kBinaryHamming, 4, p);
+      const std::size_t nq = std::min<std::size_t>(8, joint_images.size(0));
+      nn::Tensor probe({nq, joint_images.size(1), joint_images.size(2),
+                        joint_images.size(3)});
+      std::copy(joint_images.data(), joint_images.data() + probe.numel(), probe.data());
+      const auto hits = sharded4.topk_batch(probe, 5);
+      const auto logits = sharded4.logits(probe);
+      const std::size_t cc = logits.size(1);
+      for (std::size_t b = 0; b < nq && gzsl_exact; ++b) {
+        const float* row = logits.data() + b * cc;
+        std::vector<std::size_t> order(cc);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        std::sort(order.begin(), order.end(), [row](std::size_t x, std::size_t y) {
+          return row[x] > row[y] || (row[x] == row[y] && x < y);
+        });
+        for (std::size_t i = 0; i < hits[b].size(); ++i)
+          if (hits[b][i].label != order[i] || hits[b][i].score != row[order[i]])
+            gzsl_exact = false;
+      }
+    }
+  }
+  gz.print();
+  std::printf("penalized sharded top-k == penalized float argsort: %s\n",
+              gzsl_exact ? "PASS" : "FAIL");
+
+  // -- GZSL artifact (BENCH_gzsl.json, uploaded next to the others) ----------
+  if (args.has("json") || args.has("gzsl-json")) {
+    const std::string gpath = args.get_str("gzsl-json", "BENCH_gzsl.json");
+    FILE* j = std::fopen(gpath.c_str(), "w");
+    if (!j) {
+      std::fprintf(stderr, "cannot open %s\n", gpath.c_str());
+      return 1;
+    }
+    std::fprintf(j, "{\n  \"bench\": \"gzsl_serving\",\n");
+    std::fprintf(j, "  \"seen_classes\": %zu,\n  \"unseen_classes\": %zu,\n",
+                 gzsl_snapshot->n_seen(), gzsl_snapshot->n_unseen());
+    std::fprintf(j, "  \"scale\": %.4f,\n  \"scoring\": \"binary-hamming\",\n",
+                 static_cast<double>(gzsl_scale));
+    std::fprintf(j, "  \"curve\": [\n");
+    for (std::size_t i = 0; i < gzsl_curve.size(); ++i) {
+      const auto& c = gzsl_curve[i];
+      std::fprintf(j,
+                   "    {\"penalty\": %.4f, \"seen_acc\": %.4f, \"unseen_acc\": %.4f, "
+                   "\"harmonic_mean\": %.4f, \"rps\": %.1f}%s\n",
+                   c.penalty, c.seen_acc, c.unseen_acc, c.harmonic, c.rps,
+                   i + 1 < gzsl_curve.size() ? "," : "");
+    }
+    std::fprintf(j, "  ],\n");
+    std::fprintf(j,
+                 "  \"acceptance\": {\"penalized_topk_exact_vs_float_argsort\": %s, "
+                 "\"pass\": %s}\n",
+                 gzsl_exact ? "true" : "false", gzsl_exact ? "true" : "false");
+    std::fprintf(j, "}\n");
+    std::fclose(j);
+    std::printf("wrote %s\n", gpath.c_str());
+  }
+
   // -- machine-readable artifact (the BENCH_serving.json CI upload) ----------
   if (args.has("json")) {
     const std::string json_path = args.get_str("json", "BENCH_serving.json");
@@ -487,6 +616,8 @@ int main(int argc, char** argv) {
               "(target >= 1.5x: %s)\n",
               scan_classes.back(), accept_binary_speedup, scan_k,
               accept_binary_speedup >= 1.5 ? "PASS" : "FAIL");
+  std::printf("gzsl penalized top-k bit-identical to penalized argsort: %s\n",
+              gzsl_exact ? "PASS" : "FAIL");
   std::printf("wall time: %.1f s\n", wall.seconds());
   return 0;
 }

@@ -1,9 +1,11 @@
 // Save / load / inspect .hdcsnap snapshot artifacts.
 //
 //   ./snapshot_tool --save=model.hdcsnap [--classes=24] [--seed=1]
-//                   [--expansion=8] [--epochs=10] [--shards=1]
+//                   [--expansion=8] [--epochs=10] [--shards=1] [--gzsl]
 //       train a pipeline, write the artifact, verify the round trip
-//       in-process, and print the float-path probe checksum.
+//       in-process, and print the float-path probe checksum. --gzsl
+//       freezes the *joint* seen+unseen label space with the v3
+//       partition record instead of the unseen-only space.
 //   ./snapshot_tool --load=model.hdcsnap
 //       load the artifact in *this* process and print the same probe
 //       checksum — equal output across processes proves the persistence
@@ -66,6 +68,11 @@ void print_info(const std::string& path) {
   t.add_row({"binary store bytes", std::to_string(info.binary_bytes)});
   t.add_row({"preferred shards", std::to_string(info.preferred_shards) +
                                      (info.version < 2 ? " (v1: flat store)" : "")});
+  t.add_row({"gzsl partition",
+             info.has_partition
+                 ? std::to_string(info.n_seen) + " seen + " +
+                       std::to_string(info.n_classes - info.n_seen) + " unseen"
+                 : (info.version < 3 ? "none (pre-v3: all seen)" : "none (all seen)")});
   t.print();
 }
 
@@ -109,15 +116,21 @@ int main(int argc, char** argv) {
     cfg.snapshot_path = path;
     cfg.snapshot_expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
     cfg.snapshot_shards = static_cast<std::size_t>(args.get_int("shards", 1));
+    cfg.snapshot_gzsl = args.has("gzsl");
 
-    std::printf("training %zu classes (artifact -> %s)...\n", cfg.n_classes, path.c_str());
+    std::printf("training %zu classes (artifact -> %s%s)...\n", cfg.n_classes, path.c_str(),
+                cfg.snapshot_gzsl ? ", joint seen+unseen space" : "");
     auto tp = core::run_pipeline_trained(cfg);
-    std::printf("trained: zero-shot top-1 %.1f %% on the %zu served classes\n",
+    std::printf("trained: zero-shot top-1 %.1f %% on the %zu held-out classes\n",
                 100.0 * tp.result.zsc.top1, tp.test_class_attributes.size(0));
 
     // In-process round-trip check: the artifact must reproduce the
     // in-memory snapshot bit-for-bit on the float path.
-    serve::ModelSnapshot in_memory(tp.model, tp.test_class_attributes,
+    serve::ModelSnapshot in_memory =
+        cfg.snapshot_gzsl
+            ? *serve::make_gzsl_snapshot(tp.model, tp.seen_class_attributes,
+                                         tp.test_class_attributes, cfg.snapshot_expansion)
+            : serve::ModelSnapshot(tp.model, tp.test_class_attributes,
                                    cfg.snapshot_expansion);
     auto reloaded = serve::load_snapshot_file(path);
     const nn::Tensor probe = probe_images(n_probe, image_size);
@@ -137,6 +150,6 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "usage: snapshot_tool --save=PATH [--classes=N --seed=S --expansion=K "
-               "--epochs=E --shards=S] | --load=PATH | --inspect=PATH\n");
+               "--epochs=E --shards=S --gzsl] | --load=PATH | --inspect=PATH\n");
   return 2;
 }

@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+
 #include "serve/snapshot_io.hpp"
 #include "tensor/ops.hpp"
 #include "util/log.hpp"
@@ -114,10 +116,35 @@ TrainedPipeline run_impl(const PipelineConfig& cfg, std::uint64_t seed_offset,
     out.test_class_attributes = test.class_attribute_rows();
     out.test_set = test.all_eval();
     out.test_classes = test.classes();
+    if (cfg.snapshot_gzsl) {
+      // Joint seen+unseen serving: the seen domain is evaluated on the
+      // training classes' *held-out* instances — images the model never
+      // saw, of classes it trained on (the GZSL protocol's seen side).
+      if (split.image_level)
+        throw std::invalid_argument(
+            "run_pipeline: snapshot_gzsl needs a class-level split (zs/val); an "
+            "image-level split has no unseen classes to partition against");
+      if (train_hi >= ipc)
+        throw std::invalid_argument(
+            "run_pipeline: snapshot_gzsl needs held-out instances for the seen-domain "
+            "eval set — train_instances must be < images_per_class");
+      data::DataLoader seen_eval(dataset, split.train_classes, train_hi, ipc,
+                                 cfg.phase3.batch_size, /*shuffle=*/false, no_aug, seed + 19);
+      out.seen_class_attributes = seen_eval.class_attribute_rows();
+      out.seen_set = seen_eval.all_eval();
+      out.seen_classes = seen_eval.classes();
+    }
     if (!cfg.snapshot_path.empty()) {
-      serve::ModelSnapshot snap(out.model, out.test_class_attributes,
-                                cfg.snapshot_expansion, cfg.snapshot_shards);
-      serve::save_snapshot_file(cfg.snapshot_path, snap);
+      if (cfg.snapshot_gzsl) {
+        auto snap = serve::make_gzsl_snapshot(out.model, out.seen_class_attributes,
+                                              out.test_class_attributes,
+                                              cfg.snapshot_expansion, cfg.snapshot_shards);
+        serve::save_snapshot_file(cfg.snapshot_path, *snap);
+      } else {
+        serve::ModelSnapshot snap(out.model, out.test_class_attributes,
+                                  cfg.snapshot_expansion, cfg.snapshot_shards);
+        serve::save_snapshot_file(cfg.snapshot_path, snap);
+      }
       if (cfg.verbose)
         util::log_info("pipeline: wrote snapshot artifact ", cfg.snapshot_path);
     }
@@ -125,6 +152,25 @@ TrainedPipeline run_impl(const PipelineConfig& cfg, std::uint64_t seed_offset,
   return out;
 }
 }  // namespace
+
+data::Batch joint_gzsl_eval_set(const TrainedPipeline& tp) {
+  if (tp.seen_class_attributes.dim() != 2 || tp.seen_set.images.dim() != 4)
+    throw std::logic_error(
+        "joint_gzsl_eval_set: pipeline was not run with snapshot_gzsl (no seen-domain "
+        "artifacts)");
+  const std::size_t n_seen_classes = tp.seen_class_attributes.size(0);
+  const tensor::Tensor& seen = tp.seen_set.images;
+  const tensor::Tensor& unseen = tp.test_set.images;
+  data::Batch joint;
+  joint.images = tensor::Tensor(
+      {seen.size(0) + unseen.size(0), seen.size(1), seen.size(2), seen.size(3)});
+  std::copy(seen.data(), seen.data() + seen.numel(), joint.images.data());
+  std::copy(unseen.data(), unseen.data() + unseen.numel(),
+            joint.images.data() + seen.numel());
+  joint.labels = tp.seen_set.labels;
+  for (std::size_t l : tp.test_set.labels) joint.labels.push_back(l + n_seen_classes);
+  return joint;
+}
 
 MultiSeedResult run_pipeline_seeds(const PipelineConfig& cfg, std::size_t n_seeds) {
   MultiSeedResult out;

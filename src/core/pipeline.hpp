@@ -44,6 +44,14 @@ struct PipelineConfig {
   std::string snapshot_path;
   std::size_t snapshot_expansion = 8;  ///< binary code width k·d of the artifact
   std::size_t snapshot_shards = 1;     ///< preferred scatter/gather shard layout
+  // GZSL serving artifact: freeze the *joint* seen+unseen label space
+  // instead of the unseen-only one — serving labels [0, n_seen) are the
+  // training classes, the rest the held-out ones — with the partition
+  // persisted as the .hdcsnap v3 seen-mask record, and hand back the
+  // seen-domain eval artifacts (TrainedPipeline::seen_*) rendered from
+  // the training classes' held-out instance range. Requires a class-level
+  // split ("zs"/"val") with train_instances < images_per_class.
+  bool snapshot_gzsl = false;
 
   std::uint64_t seed = 1;
   bool verbose = false;
@@ -73,11 +81,30 @@ struct TrainedPipeline {
   tensor::Tensor test_class_attributes;     ///< A rows [C_test, α], local-label order
   data::Batch test_set;                     ///< rendered eval images + local labels
   std::vector<std::size_t> test_classes;    ///< global class ids, local-label order
+
+  // GZSL artifacts, populated only under PipelineConfig::snapshot_gzsl:
+  // the seen (training) classes' attribute rows and an eval set rendered
+  // from their *held-out* instance range [train_instances, images_per_class)
+  // — images the model never trained on, but classes it has. Joint serving
+  // labels are seen-first: seen_set labels are already joint ids, test_set
+  // labels shift by seen_class_attributes.size(0)
+  // (serve::make_gzsl_snapshot uses the same order).
+  tensor::Tensor seen_class_attributes;     ///< A rows [C_seen, α], local-label order
+  data::Batch seen_set;                     ///< held-out-instance images of seen classes
+  std::vector<std::size_t> seen_classes;    ///< global class ids, local-label order
 };
 
 /// Like run_pipeline, but hands back the trained model and the test-split
 /// artifacts instead of discarding them — the input to serve::ModelSnapshot.
 TrainedPipeline run_pipeline_trained(const PipelineConfig& cfg, std::uint64_t seed_offset = 0);
+
+/// Joint GZSL evaluation set from a snapshot_gzsl-trained pipeline: the
+/// seen-domain images (held-out instances of the training classes) followed
+/// by the unseen-domain ones, labels in joint serving ids — seen classes
+/// [0, C_seen) first, unseen shifted by C_seen, the exact label order
+/// serve::make_gzsl_snapshot freezes. Throws std::logic_error when the
+/// pipeline ran without snapshot_gzsl (no seen artifacts to join).
+data::Batch joint_gzsl_eval_set(const TrainedPipeline& tp);
 
 /// Run `n_seeds` trials and aggregate top-1 (mean, std) — the µ±σ protocol
 /// of §IV-A(c).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
+#include <string>
 
 #include "util/parallel.hpp"
 
@@ -237,14 +238,36 @@ HammingKernels pick_hamming_kernels() {
   return {hamming_rows_portable, hamming_multi_portable, "portable"};
 }
 
-const HammingKernels& hamming_kernels() {
-  static const HammingKernels k = pick_hamming_kernels();
+/// Current selection — runtime-dispatched once, overridable via
+/// set_hamming_kernel (tests pin a variant to cover both code paths on
+/// whatever CPU runs them).
+HammingKernels& hamming_kernels() {
+  static HammingKernels k = pick_hamming_kernels();
   return k;
 }
 
 }  // namespace
 
 const char* hamming_kernel_name() { return hamming_kernels().name; }
+
+bool set_hamming_kernel(const char* name) {
+  const std::string want = name ? name : "";
+  if (want == "auto") {
+    hamming_kernels() = pick_hamming_kernels();
+    return true;
+  }
+  if (want == "portable") {
+    hamming_kernels() = {hamming_rows_portable, hamming_multi_portable, "portable"};
+    return true;
+  }
+#if defined(HDCZSC_HAMMING_X86_DISPATCH)
+  if (want == "popcnt" && __builtin_cpu_supports("popcnt")) {
+    hamming_kernels() = {hamming_rows_popcnt, hamming_multi_popcnt, "popcnt"};
+    return true;
+  }
+#endif
+  return false;
+}
 
 void hamming_many_packed_multi(const std::uint64_t* queries, std::size_t n_queries,
                                const std::uint64_t* rows, std::size_t n_rows,

@@ -176,4 +176,11 @@ std::vector<std::size_t> hamming_many(const BinaryHV& query,
 /// tensor::gemm_kernel_name().
 const char* hamming_kernel_name();
 
+/// Testing/diagnostics hook: pin the packed-scan kernels to one variant —
+/// "portable", "popcnt", or "auto" to restore runtime dispatch. Returns
+/// false (changing nothing) when the variant is unknown or unsupported on
+/// this CPU/build. Not synchronized against concurrent scans; call from
+/// test or bench setup only, and restore "auto" afterwards.
+bool set_hamming_kernel(const char* name);
+
 }  // namespace hdczsc::hdc

@@ -21,23 +21,30 @@ std::optional<std::future<Prediction>> DynamicBatcher::submit(tensor::Tensor ima
 
 bool DynamicBatcher::collect(std::vector<Item>& out) {
   out.clear();
+  const auto delay = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(policy_.max_delay_ms));
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
     if (queue_.empty()) return false;  // shut down and drained
 
     // Coalescing window: wait for a full batch, but never hold the oldest
-    // request past the delay bound.
-    const auto deadline = queue_.front().enqueued +
-                          std::chrono::duration_cast<Clock::duration>(
-                              std::chrono::duration<double, std::milli>(policy_.max_delay_ms));
-    while (!shutdown_ && queue_.size() < policy_.max_batch &&
-           cv_.wait_until(lock, deadline,
-                          [&] { return shutdown_ || queue_.size() >= policy_.max_batch; })) {
+    // request past the delay bound. The deadline is re-derived from the
+    // *current* front on every wake — the front is always the oldest
+    // queued request (FIFO), so a spurious wakeup or a late-arriving
+    // request can never re-arm the wait off a newer enqueue time, and if
+    // another worker takes the request this pass was armed on, the next
+    // pass waits for the new oldest (a later deadline — each request is
+    // bounded by its *own* enqueue + max_delay, never the batch's).
+    while (!shutdown_ && queue_.size() < policy_.max_batch) {
+      const auto deadline = queue_.front().enqueued + delay;
+      if (Clock::now() >= deadline) break;  // oldest request is due
+      cv_.wait_until(lock, deadline);
+      // The queue may have been drained by another worker while the mutex
+      // was released inside wait_until; never hand out an empty batch —
+      // fall through to the outer wait.
+      if (queue_.empty()) break;
     }
-    // Another worker may have drained the queue while this one coalesced
-    // with the mutex released inside wait_until; never hand out an empty
-    // batch — go back to waiting.
     if (!queue_.empty() || shutdown_) break;
   }
   if (queue_.empty()) return false;

@@ -48,6 +48,12 @@ class DynamicBatcher {
   /// Block until requests are available (or shutdown), then move up to
   /// max_batch of them into `out` (cleared first), honoring the delay
   /// policy. Returns false iff shut down with an empty queue.
+  ///
+  /// Latency contract: the coalescing wait is armed off the enqueue time
+  /// of the *oldest* queued request and re-derived on every wake, so no
+  /// request is ever held past its own `enqueued + max_delay_ms` by
+  /// spurious wakeups or by requests that arrive mid-window (regression:
+  /// tests/test_serve.cpp DynamicBatcher latency-bound tests).
   bool collect(std::vector<Item>& out);
 
   /// Wake all waiters; subsequent submits are rejected. collect() keeps

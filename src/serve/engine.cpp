@@ -18,26 +18,28 @@ std::string scoring_mode_name(ScoringMode mode) {
 }
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
-                                 ScoringMode mode, std::size_t n_shards)
+                                 ScoringMode mode, std::size_t n_shards, float seen_penalty)
     : snapshot_(std::move(snapshot)),
       mode_(mode),
       // Both arguments null-check through deref: their evaluation order is
       // unspecified, so neither may touch snapshot_ bare.
       sharded_(deref(snapshot_).prototypes(),
-               n_shards == 0 ? deref(snapshot_).preferred_shards() : n_shards) {}
+               n_shards == 0 ? deref(snapshot_).preferred_shards() : n_shards),
+      penalty_(snapshot_->prototypes().resolve_penalty(seen_penalty,
+                                                       snapshot_->seen_mask())) {}
 
 tensor::Tensor InferenceEngine::logits(const tensor::Tensor& images) const {
   tensor::Tensor emb = snapshot_->embed(images);
   const PrototypeStore& store = snapshot_->prototypes();
-  return mode_ == ScoringMode::kFloatCosine ? store.score_float(emb)
-                                            : store.score_binary(emb);
+  return mode_ == ScoringMode::kFloatCosine ? store.score_float(emb, penalty_ptr())
+                                            : store.score_binary(emb, penalty_ptr());
 }
 
 std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor& images,
                                                            std::size_t k) const {
   tensor::Tensor emb = snapshot_->embed(images);
-  return mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k)
-                                            : sharded_.topk_binary(emb, k);
+  return mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k, penalty_ptr())
+                                            : sharded_.topk_binary(emb, k, penalty_ptr());
 }
 
 std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images) const {

@@ -16,6 +16,12 @@
 //    the sharded store degenerates to the flat layout; either way the
 //    ranking equals the flat path's full argsort. classify_batch is the
 //    k = 1 case and routes through the sharded scan when n_shards > 1.
+//
+// GZSL serving: when the snapshot carries a seen/unseen partition, the
+// `seen_penalty` knob applies calibrated stacking — the constant is
+// subtracted from every seen-class logit on *both* scoring paths (as an
+// exact integer Hamming-domain offset on the binary path where possible),
+// consistently across logits / topk_batch / classify_batch.
 // Thread-safe: all state is read-only after construction (the sharded
 // store's telemetry counters are atomic).
 #pragma once
@@ -45,8 +51,19 @@ class InferenceEngine {
   /// for the top-k retrieval path (clamped to [1, C]; 0 means "use the
   /// snapshot's preferred shard layout"). Sharding never changes results —
   /// only how the scan is scattered.
+  ///
+  /// `seen_penalty` is the GZSL calibrated-stacking knob (Chao et al.
+  /// 2016, the serving-side form of Trainer::evaluate_gzsl): it is
+  /// subtracted from every *seen*-class logit — per the snapshot's
+  /// partition mask — on both scoring paths, in logits(), topk_batch()
+  /// and classify_batch() alike. On the binary path the handicap runs as
+  /// an exact integer Hamming-domain offset whenever one exists, so the
+  /// sharded integer-key selection stays exact (see SeenPenalty). 0
+  /// disables it; a snapshot without a partition treats every class as
+  /// seen, making the handicap a uniform, ranking-neutral shift.
   InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
-                  ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0);
+                  ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0,
+                  float seen_penalty = 0.0f);
 
   /// Full logits [B, C] for images [B, 3, S, S] (flat store scan).
   tensor::Tensor logits(const tensor::Tensor& images) const;
@@ -61,6 +78,9 @@ class InferenceEngine {
 
   ScoringMode mode() const { return mode_; }
   std::size_t n_shards() const { return sharded_.n_shards(); }
+  /// Calibrated-stacking handicap subtracted from seen-class logits
+  /// (0 = plain single-space serving).
+  float seen_penalty() const { return penalty_.penalty; }
   const ShardedPrototypeStore& sharded_store() const { return sharded_; }
   const ModelSnapshot& snapshot() const { return *snapshot_; }
 
@@ -68,6 +88,9 @@ class InferenceEngine {
   std::shared_ptr<const ModelSnapshot> snapshot_;
   ScoringMode mode_;
   ShardedPrototypeStore sharded_;
+  SeenPenalty penalty_;  // resolved once against the snapshot's store/mask
+
+  const SeenPenalty* penalty_ptr() const { return penalty_.active() ? &penalty_ : nullptr; }
 };
 
 }  // namespace hdczsc::serve

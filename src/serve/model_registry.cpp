@@ -12,8 +12,8 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
   if (!snapshot) throw std::invalid_argument("ModelRegistry::load: null snapshot");
   // Build and start outside the lock: worker spawn must not stall routing.
   const ServerConfig rcfg = cfg.value_or(default_cfg_);
-  auto engine =
-      std::make_shared<const InferenceEngine>(std::move(snapshot), mode, rcfg.n_shards);
+  auto engine = std::make_shared<const InferenceEngine>(std::move(snapshot), mode,
+                                                        rcfg.n_shards, rcfg.seen_penalty);
   auto runtime = std::make_shared<ServerRuntime>(std::move(engine), rcfg);
   runtime->start();
 
@@ -106,15 +106,28 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
     entries.assign(models_.begin(), models_.end());
   }
   util::Table t(title);
-  t.set_header({"key", "scoring", "classes", "shards", "completed", "rejected", "req/s",
-                "p50 ms", "p99 ms"});
+  t.set_header({"key", "scoring", "classes", "shards", "penalty", "completed", "rejected",
+                "req/s", "p50 ms", "p99 ms", "seen", "unseen", "H(dom)"});
   for (const auto& [key, runtime] : entries) {
     const auto s = runtime->stats().summary();
-    t.add_row({key, scoring_mode_name(runtime->engine().mode()),
-               std::to_string(runtime->engine().snapshot().n_classes()),
-               std::to_string(runtime->engine().n_shards()), std::to_string(s.completed),
-               std::to_string(s.rejected), util::Table::num(s.throughput_rps, 1),
-               util::Table::num(s.p50_latency_ms, 2), util::Table::num(s.p99_latency_ms, 2)});
+    const InferenceEngine& engine = runtime->engine();
+    // GZSL columns only carry signal for partitioned snapshots: without a
+    // partition every decision counts as seen and H is identically 0.
+    const bool gzsl = engine.snapshot().has_partition();
+    t.add_row({key, scoring_mode_name(engine.mode()),
+               gzsl ? std::to_string(engine.snapshot().n_seen()) + "+" +
+                          std::to_string(engine.snapshot().n_unseen())
+                    : std::to_string(engine.snapshot().n_classes()),
+               std::to_string(engine.n_shards()),
+               gzsl || engine.seen_penalty() != 0.0f
+                   ? util::Table::num(engine.seen_penalty(), 2)
+                   : "-",
+               std::to_string(s.completed), std::to_string(s.rejected),
+               util::Table::num(s.throughput_rps, 1), util::Table::num(s.p50_latency_ms, 2),
+               util::Table::num(s.p99_latency_ms, 2),
+               gzsl ? std::to_string(s.seen_hits) : "-",
+               gzsl ? std::to_string(s.unseen_hits) : "-",
+               gzsl ? util::Table::num(s.domain_harmonic, 3) : "-"});
   }
   return t;
 }

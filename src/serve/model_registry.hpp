@@ -81,8 +81,10 @@ class ModelRegistry {
   /// unload/replace of the key, so the caller keeps it alive.
   std::shared_ptr<const InferenceEngine> engine(const std::string& key) const;
 
-  /// One row per model: key, scoring mode, classes, completed/rejected,
-  /// req/s, p50/p99.
+  /// One row per model: key, scoring mode, classes (seen+unseen for
+  /// partitioned snapshots), shards, calibrated-stacking penalty,
+  /// completed/rejected, req/s, p50/p99, and — for GZSL models — the
+  /// seen/unseen prediction counters with their harmonic domain balance.
   util::Table to_table(const std::string& title = "model registry") const;
 
   /// Stop every runtime (drains all queues). Further requests are rejected;

@@ -1,5 +1,6 @@
 #include "serve/prototype_store.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
@@ -68,14 +69,62 @@ void PrototypeStore::pack_rows(const tensor::Tensor& rows) {
   }
 }
 
-tensor::Tensor PrototypeStore::score_float(const tensor::Tensor& embeddings) const {
+SeenPenalty PrototypeStore::resolve_penalty(float penalty,
+                                            const std::vector<std::uint8_t>& seen_mask) const {
+  if (!seen_mask.empty() && seen_mask.size() != n_classes_)
+    throw std::invalid_argument("PrototypeStore::resolve_penalty: seen mask has " +
+                                std::to_string(seen_mask.size()) + " entries for " +
+                                std::to_string(n_classes_) + " classes");
+  SeenPenalty p;
+  p.penalty = penalty;
+  if (penalty == 0.0f) return p;  // inactive: no per-row tables needed
+
+  // Hamming-domain translation: penalty == scale · 2Δ/D for an integer
+  // Δ ≥ 0 makes the handicap an exact integer offset on the seen rows'
+  // Hamming counts. The double products below are exact (f32 values times
+  // a < 2²⁴ integer), so `delta` is integral iff the real quotient is —
+  // up to one part in 2⁵³, far beyond float resolution either way. The
+  // offset must also keep h + Δ ≤ D + Δ < 2²⁴, the range where distinct
+  // integer scores cannot round to the same float logit.
+  if (scale_ > 0.0f && penalty > 0.0f) {
+    const double delta = static_cast<double>(penalty) * static_cast<double>(code_bits_) /
+                         (2.0 * static_cast<double>(scale_));
+    if (delta == std::floor(delta) &&
+        static_cast<double>(code_bits_) + delta < static_cast<double>(1u << 24)) {
+      p.integer_exact = true;
+      p.offset = static_cast<std::uint32_t>(delta);
+    }
+  }
+
+  const auto seen = [&](std::size_t c) { return seen_mask.empty() || seen_mask[c] != 0; };
+  p.row_penalty.resize(n_classes_, 0.0f);
+  p.row_offset.resize(n_classes_, 0);
+  for (std::size_t c = 0; c < n_classes_; ++c) {
+    if (!seen(c)) continue;
+    p.row_penalty[c] = penalty;
+    p.row_offset[c] = p.offset;
+  }
+  return p;
+}
+
+tensor::Tensor PrototypeStore::score_float(const tensor::Tensor& embeddings,
+                                           const SeenPenalty* penalty) const {
   if (embeddings.dim() != 2 || embeddings.size(1) != dim_)
     throw std::invalid_argument("PrototypeStore::score_float: need [B, " +
                                 std::to_string(dim_) + "] embeddings, got " +
                                 tensor::shape_str(embeddings.shape()));
   tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
   tensor::Tensor cos = tensor::matmul_nt(e_hat, normalized_);
-  return tensor::mul_scalar(cos, scale_);
+  tensor::Tensor logits = tensor::mul_scalar(cos, scale_);
+  if (penalty && penalty->active()) {
+    // Calibrated stacking, the evaluate_gzsl form: handicap the seen
+    // columns after the temperature is applied.
+    float* L = logits.data();
+    const float* adj = penalty->row_penalty.data();
+    for (std::size_t b = 0; b < logits.size(0); ++b)
+      for (std::size_t c = 0; c < n_classes_; ++c) L[b * n_classes_ + c] -= adj[c];
+  }
+  return logits;
 }
 
 hdc::BinaryHV PrototypeStore::encode_query(const float* row) const {
@@ -95,7 +144,8 @@ hdc::BinaryHV PrototypeStore::encode_query(const float* row) const {
   return b;
 }
 
-tensor::Tensor PrototypeStore::score_binary(const tensor::Tensor& embeddings) const {
+tensor::Tensor PrototypeStore::score_binary(const tensor::Tensor& embeddings,
+                                            const SeenPenalty* penalty) const {
   if (embeddings.dim() != 2 || embeddings.size(1) != dim_)
     throw std::invalid_argument("PrototypeStore::score_binary: need [B, " +
                                 std::to_string(dim_) + "] embeddings, got " +
@@ -106,13 +156,29 @@ tensor::Tensor PrototypeStore::score_binary(const tensor::Tensor& embeddings) co
   float* L = logits.data();
   std::vector<std::uint32_t> h(n_classes_);
   const float inv_d = 1.0f / static_cast<float>(code_bits_);
+  const bool penalized = penalty && penalty->active();
+  const std::uint32_t* off =
+      penalized && penalty->integer_exact ? penalty->row_offset.data() : nullptr;
+  const float* adj = penalized && !penalty->integer_exact ? penalty->row_penalty.data()
+                                                          : nullptr;
   for (std::size_t b = 0; b < batch; ++b) {
     hdc::BinaryHV q = encode_query(E + b * dim_);
     hdc::hamming_many_packed(q.words().data(), packed_.data(), n_classes_, words_per_row_,
                              h.data());
     float* out = L + b * n_classes_;
-    for (std::size_t c = 0; c < n_classes_; ++c)
-      out[c] = scale_ * (1.0f - 2.0f * static_cast<float>(h[c]) * inv_d);
+    if (off) {
+      // Integer-exact handicap: seen rows are scored as if their Hamming
+      // distance were h + Δ — the identical expression the sharded scan
+      // evaluates for its gathered candidates (bit-identical by design).
+      for (std::size_t c = 0; c < n_classes_; ++c)
+        out[c] = scale_ * (1.0f - 2.0f * static_cast<float>(h[c] + off[c]) * inv_d);
+    } else if (adj) {
+      for (std::size_t c = 0; c < n_classes_; ++c)
+        out[c] = scale_ * (1.0f - 2.0f * static_cast<float>(h[c]) * inv_d) - adj[c];
+    } else {
+      for (std::size_t c = 0; c < n_classes_; ++c)
+        out[c] = scale_ * (1.0f - 2.0f * static_cast<float>(h[c]) * inv_d);
+    }
   }
   return logits;
 }

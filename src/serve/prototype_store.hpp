@@ -39,6 +39,38 @@
 
 namespace hdczsc::serve {
 
+/// Calibrated stacking (Chao et al. 2016) resolved against one store: the
+/// constant `penalty` is subtracted from every *seen*-class logit to
+/// counter the seen-class bias in generalized zero-shot serving — the
+/// serving-side form of Trainer::evaluate_gzsl. Built via
+/// PrototypeStore::resolve_penalty, consumed by both flat scoring paths
+/// and the sharded scatter/gather scan.
+///
+/// On the binary path the handicap is translated into the integer Hamming
+/// domain whenever it is exactly representable there: a seen-class row is
+/// scored as if its Hamming distance were h + `offset`, where
+/// penalty = scale · 2·offset/D. That keeps the sharded store's packed
+/// (h << 32) | label heap selection and cross-shard cutoff hints exact
+/// with respect to the penalized float scores — both flat and sharded
+/// paths then evaluate the identical expression
+/// scale·(1 − 2·(h + offset)/D). When no exact integer offset exists
+/// (`integer_exact` false: fractional offset, non-positive penalty or
+/// scale, or h + offset would leave the float-exact range < 2²⁴), both
+/// paths fall back to the float form scale·(1 − 2h/D) − penalty and the
+/// sharded scan selects in the float domain.
+struct SeenPenalty {
+  float penalty = 0.0f;  ///< p, subtracted from every seen-class logit
+  /// Per-class float handicap: penalty for seen rows, 0 for unseen ([C]).
+  std::vector<float> row_penalty;
+  /// Per-class Hamming-domain handicap: `offset` for seen rows, 0 for
+  /// unseen ([C]); meaningful only when integer_exact.
+  std::vector<std::uint32_t> row_offset;
+  std::uint32_t offset = 0;    ///< Δ = p·D/(2s) when integer_exact
+  bool integer_exact = false;  ///< binary path may select on h + offset
+
+  bool active() const { return penalty != 0.0f; }
+};
+
 class PrototypeStore {
  public:
   /// `prototypes` are the raw ϕ(A) rows [C, d]; `scale` the similarity
@@ -69,13 +101,28 @@ class PrototypeStore {
   std::uint64_t lsh_seed() const { return lsh_seed_; }
 
   /// Float cosine path: logits [B, C] = s · Ê P̂ᵀ from embeddings e [B, d].
-  /// Bit-identical to SimilarityKernel::forward in eval mode.
-  tensor::Tensor score_float(const tensor::Tensor& embeddings) const;
+  /// Bit-identical to SimilarityKernel::forward in eval mode. With a
+  /// resolved `penalty`, row_penalty[c] is subtracted from column c —
+  /// exactly how Trainer::evaluate_gzsl handicaps the seen columns.
+  tensor::Tensor score_float(const tensor::Tensor& embeddings,
+                             const SeenPenalty* penalty = nullptr) const;
 
   /// Binary Hamming path: encode each embedding row into a D-bit code
   /// (sign, optionally after the LSH projection), then
   /// logits [B, C] = s · (1 − 2·hamming/D) via the packed popcount kernel.
-  tensor::Tensor score_binary(const tensor::Tensor& embeddings) const;
+  /// With a resolved `penalty`: s · (1 − 2·(h + row_offset[c])/D) when the
+  /// handicap is integer_exact in the Hamming domain, else the float form
+  /// s · (1 − 2h/D) − row_penalty[c] (see SeenPenalty).
+  tensor::Tensor score_binary(const tensor::Tensor& embeddings,
+                              const SeenPenalty* penalty = nullptr) const;
+
+  /// Resolve a calibrated-stacking handicap against this store (see
+  /// SeenPenalty). `seen_mask` is one byte per class (non-zero = seen);
+  /// empty means *all* classes are seen (the un-partitioned legacy space —
+  /// a uniform handicap, harmless to the ranking). Throws
+  /// std::invalid_argument when the mask length disagrees with n_classes().
+  SeenPenalty resolve_penalty(float penalty,
+                              const std::vector<std::uint8_t>& seen_mask) const;
 
   /// Encode one embedding row [d] into its D-bit binary code.
   hdc::BinaryHV encode_query(const float* row) const;

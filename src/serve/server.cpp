@@ -81,6 +81,17 @@ void ServerRuntime::worker_loop() {
       std::vector<Prediction> preds = engine_->classify_batch(input);
       const auto done = DynamicBatcher::Clock::now();
       stats_.record_batch(good.size());
+      // GZSL telemetry: count where the decisions landed in the
+      // seen/unseen partition. Only recorded for partitioned snapshots —
+      // without one every label counts as seen, and an all-seen counter
+      // would be indistinguishable from the one-domain collapse the
+      // balance metric exists to flag.
+      const ModelSnapshot& snap = engine_->snapshot();
+      if (snap.has_partition()) {
+        std::size_t seen = 0;
+        for (const Prediction& p : preds) seen += snap.is_seen(p.label);
+        stats_.record_domains(seen, preds.size() - seen);
+      }
       for (std::size_t g = 0; g < good.size(); ++g) {
         items[good[g]].promise.set_value(preds[g]);
         stats_.record_request(

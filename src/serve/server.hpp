@@ -33,6 +33,11 @@ struct ServerConfig {
   /// this config (sharded_store.hpp). 0 = use the snapshot's preferred
   /// shard layout; explicit values override it (clamped to [1, C]).
   std::size_t n_shards = 0;
+  /// GZSL calibrated-stacking handicap for the engines ModelRegistry
+  /// builds from this config: subtracted from every seen-class logit (per
+  /// the snapshot's partition mask) on both scoring paths. 0 = plain
+  /// single-space serving (see InferenceEngine).
+  float seen_penalty = 0.0f;
 };
 
 class ServerRuntime {

@@ -156,7 +156,7 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::gather(
 }
 
 std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
-    const tensor::Tensor& embeddings, std::size_t k) const {
+    const tensor::Tensor& embeddings, std::size_t k, const SeenPenalty* penalty) const {
   check_embeddings(embeddings, base_->dim(), "topk_float");
   const std::size_t batch = embeddings.size(0);
   if (k == 0) return std::vector<std::vector<TopK>>(batch);
@@ -166,6 +166,7 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
   const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
   const float* E = e_hat.data();
   const float* P = base_->normalized_prototypes().data();
+  const bool penalized = penalty && penalty->active();
 
   // Scatter: one GEMM per shard over its row range of the normalized
   // prototype matrix (the rows are contiguous, so the shard is a pointer
@@ -186,6 +187,18 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
         std::vector<float> cos(batch * rows, 0.0f);
         tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::T, batch, rows, d, E, d,
                                 P + sh.begin * d, d, cos.data(), rows);
+        // Finalize the buffer to logits in place — fl(s·cos), then the
+        // calibrated-stacking handicap on seen rows — so the selection
+        // loop compares exactly the values the flat penalized
+        // score_float path materializes.
+        for (std::size_t b = 0; b < batch; ++b) {
+          float* row = cos.data() + b * rows;
+          for (std::size_t i = 0; i < rows; ++i) row[i] = scale * row[i];
+          if (penalized) {
+            const float* adj = penalty->row_penalty.data() + sh.begin;
+            for (std::size_t i = 0; i < rows; ++i) row[i] -= adj[i];
+          }
+        }
         for (std::size_t b = 0; b < batch; ++b) {
           const float* row = cos.data() + b * rows;
           BoundedTopK local(cand.data() + (s * batch + b) * k, k);
@@ -194,12 +207,12 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
             const float cut = local.cutoff_score();
             std::uint32_t any = 0;
             for (std::size_t j = 0; j < kSelectBlock; ++j)
-              any |= scale * row[i + j] >= cut ? 1u : 0u;
+              any |= row[i + j] >= cut ? 1u : 0u;
             if (!any) continue;
             for (std::size_t j = 0; j < kSelectBlock; ++j)
-              local.offer(TopK{sh.begin + i + j, scale * row[i + j]});
+              local.offer(TopK{sh.begin + i + j, row[i + j]});
           }
-          for (; i < rows; ++i) local.offer(TopK{sh.begin + i, scale * row[i]});
+          for (; i < rows; ++i) local.offer(TopK{sh.begin + i, row[i]});
           cand_n[s * batch + b] = static_cast<std::uint32_t>(local.size());
         }
         counters_[s].scans.fetch_add(batch, std::memory_order_relaxed);
@@ -211,10 +224,11 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
 }
 
 std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
-    const tensor::Tensor& embeddings, std::size_t k) const {
+    const tensor::Tensor& embeddings, std::size_t k, const SeenPenalty* penalty) const {
   check_embeddings(embeddings, base_->dim(), "topk_binary");
   const std::size_t batch = embeddings.size(0);
   if (k == 0) return std::vector<std::vector<TopK>>(batch);
+  const bool penalized = penalty && penalty->active();
 
   // Encode every query once, up front, into one contiguous packed buffer
   // (the query-blocked kernel reads them side by side).
@@ -241,7 +255,12 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
   // Integer-domain selection is order-identical to the float logits while
   // distinct Hamming counts cannot round to the same score (see
   // BoundedTopKHamming); pathological widths take the float-domain loop.
-  const bool integer_select = scale > 0.0f && base_->code_bits() < (std::size_t{1} << 24);
+  // A calibrated-stacking penalty joins the integer domain only when it is
+  // an exact Hamming offset (SeenPenalty::integer_exact, which also
+  // guarantees h + Δ stays inside the < 2²⁴ float-exact range); any other
+  // handicap forces the float-domain loop with subtract-form scores.
+  const bool integer_select = scale > 0.0f && base_->code_bits() < (std::size_t{1} << 24) &&
+                              (!penalized || penalty->integer_exact);
   std::vector<std::uint64_t> keys(integer_select ? n_sh * batch * k : 0);
   // Cross-shard cutoff hints, one per query: the first shard to fill its
   // heap publishes its k-th best key, and every shard scanning that query
@@ -265,6 +284,20 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
         auto h = std::make_unique_for_overwrite<std::uint32_t[]>(batch * rows);
         hdc::hamming_many_packed_multi(qwords.data(), batch, packed + sh.begin * wpr, rows,
                                        wpr, h.get());
+        if (penalized && integer_select) {
+          // Fold the handicap into the Hamming counts up front: seen rows
+          // carry h + Δ from here on, so the key selection, the cross-shard
+          // hints and the final score conversion all see one consistent
+          // integer domain (and the conversion below stays the exact
+          // expression the flat penalized score_binary materializes).
+          const std::uint32_t* off = penalty->row_offset.data() + sh.begin;
+          for (std::size_t b = 0; b < batch; ++b) {
+            std::uint32_t* hb = h.get() + b * rows;
+            for (std::size_t i = 0; i < rows; ++i) hb[i] += off[i];
+          }
+        }
+        const float* adj =
+            penalized && !integer_select ? penalty->row_penalty.data() + sh.begin : nullptr;
         for (std::size_t b = 0; b < batch; ++b) {
           const std::uint32_t* hb = h.get() + b * rows;
           TopK* slot = cand.data() + (s * batch + b) * k;
@@ -297,9 +330,16 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
             cand_n[s * batch + b] = static_cast<std::uint32_t>(local.size());
           } else {
             BoundedTopK local(slot, k);
-            for (std::size_t i = 0; i < rows; ++i)
-              local.offer(TopK{sh.begin + i,
-                               scale * (1.0f - 2.0f * static_cast<float>(hb[i]) * inv_d)});
+            if (adj) {
+              for (std::size_t i = 0; i < rows; ++i)
+                local.offer(
+                    TopK{sh.begin + i,
+                         scale * (1.0f - 2.0f * static_cast<float>(hb[i]) * inv_d) - adj[i]});
+            } else {
+              for (std::size_t i = 0; i < rows; ++i)
+                local.offer(TopK{sh.begin + i,
+                                 scale * (1.0f - 2.0f * static_cast<float>(hb[i]) * inv_d)});
+            }
             cand_n[s * batch + b] = static_cast<std::uint32_t>(local.size());
           }
         }

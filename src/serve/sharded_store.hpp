@@ -76,16 +76,23 @@ class ShardedPrototypeStore {
   /// Scatter/gather top-k on the float-cosine path from embeddings [B, d]:
   /// per shard one GEMM over its row range, k-bounded local selection,
   /// global merge. result[b] holds min(k, C) entries ordered by
-  /// (score desc, label asc). k == 0 yields empty results.
-  std::vector<std::vector<TopK>> topk_float(const tensor::Tensor& embeddings,
-                                            std::size_t k) const;
+  /// (score desc, label asc). k == 0 yields empty results. A resolved
+  /// `penalty` (GZSL calibrated stacking, see SeenPenalty) handicaps the
+  /// seen rows inside the selection loop — the ranking and scores equal
+  /// the flat score_float(emb, penalty) full argsort.
+  std::vector<std::vector<TopK>> topk_float(const tensor::Tensor& embeddings, std::size_t k,
+                                            const SeenPenalty* penalty = nullptr) const;
 
   /// Scatter/gather top-k on the binary-Hamming path: per shard one
   /// hamming_many_packed sweep over its word range, selection directly in
   /// the integer Hamming domain, scores converted only for the ≤ S·k
-  /// gathered candidates. Same ordering contract as topk_float.
-  std::vector<std::vector<TopK>> topk_binary(const tensor::Tensor& embeddings,
-                                             std::size_t k) const;
+  /// gathered candidates. Same ordering contract as topk_float. With a
+  /// `penalty` whose handicap is integer_exact, seen rows select on
+  /// h + offset — still pure u64-key compares, still exact vs. the flat
+  /// score_binary(emb, penalty) argsort; otherwise the scan falls back to
+  /// float-domain selection with the same subtract-form scores.
+  std::vector<std::vector<TopK>> topk_binary(const tensor::Tensor& embeddings, std::size_t k,
+                                             const SeenPenalty* penalty = nullptr) const;
 
   /// Per-shard telemetry snapshot.
   struct ShardInfo {

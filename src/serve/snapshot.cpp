@@ -1,5 +1,6 @@
 #include "serve/snapshot.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace hdczsc::serve {
@@ -18,15 +19,18 @@ PrototypeStore build_store(const std::shared_ptr<core::ZscModel>& model,
 
 ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                              const tensor::Tensor& class_attributes,
-                             std::size_t binary_expansion, std::size_t preferred_shards)
+                             std::size_t binary_expansion, std::size_t preferred_shards,
+                             std::vector<std::uint8_t> seen_mask)
     : model_(std::move(model)),
       class_attributes_(class_attributes),
       store_(build_store(model_, class_attributes, binary_expansion)),
-      preferred_shards_(preferred_shards == 0 ? 1 : preferred_shards) {}
+      preferred_shards_(preferred_shards == 0 ? 1 : preferred_shards) {
+  adopt_seen_mask(std::move(seen_mask));
+}
 
 ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                              tensor::Tensor class_attributes, PrototypeStore store,
-                             std::size_t preferred_shards)
+                             std::size_t preferred_shards, std::vector<std::uint8_t> seen_mask)
     : model_(std::move(model)),
       class_attributes_(std::move(class_attributes)),
       store_(std::move(store)),
@@ -35,10 +39,48 @@ ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
   if (model_->dim() != store_.dim())
     throw std::invalid_argument("ModelSnapshot: model dim " + std::to_string(model_->dim()) +
                                 " != prototype store dim " + std::to_string(store_.dim()));
+  adopt_seen_mask(std::move(seen_mask));
+}
+
+void ModelSnapshot::adopt_seen_mask(std::vector<std::uint8_t> seen_mask) {
+  if (seen_mask.empty()) return;  // no partition: every class counts as seen
+  if (seen_mask.size() != store_.n_classes())
+    throw std::invalid_argument("ModelSnapshot: seen mask has " +
+                                std::to_string(seen_mask.size()) + " entries for " +
+                                std::to_string(store_.n_classes()) + " classes");
+  std::size_t seen = 0;
+  for (std::uint8_t m : seen_mask) seen += m != 0;
+  if (seen == seen_mask.size()) return;  // all-seen mask ≡ no partition
+  seen_mask_ = std::move(seen_mask);
+  n_seen_ = seen;
 }
 
 tensor::Tensor ModelSnapshot::embed(const tensor::Tensor& images) const {
   return model_->image_encoder().forward(images, /*train=*/false);
+}
+
+std::shared_ptr<ModelSnapshot> make_gzsl_snapshot(std::shared_ptr<core::ZscModel> model,
+                                                  const tensor::Tensor& seen_attributes,
+                                                  const tensor::Tensor& unseen_attributes,
+                                                  std::size_t binary_expansion,
+                                                  std::size_t preferred_shards) {
+  if (seen_attributes.dim() != 2 || unseen_attributes.dim() != 2 ||
+      seen_attributes.size(1) != unseen_attributes.size(1))
+    throw std::invalid_argument(
+        "make_gzsl_snapshot: seen/unseen attribute matrices must both be [C, alpha] with "
+        "matching alpha");
+  const std::size_t n_seen = seen_attributes.size(0);
+  const std::size_t n_unseen = unseen_attributes.size(0);
+  const std::size_t alpha = seen_attributes.size(1);
+  tensor::Tensor joint({n_seen + n_unseen, alpha});
+  std::copy(seen_attributes.data(), seen_attributes.data() + seen_attributes.numel(),
+            joint.data());
+  std::copy(unseen_attributes.data(), unseen_attributes.data() + unseen_attributes.numel(),
+            joint.data() + seen_attributes.numel());
+  std::vector<std::uint8_t> mask(n_seen + n_unseen, 0);
+  std::fill(mask.begin(), mask.begin() + static_cast<std::ptrdiff_t>(n_seen), 1);
+  return std::make_shared<ModelSnapshot>(std::move(model), joint, binary_expansion,
+                                         preferred_shards, std::move(mask));
 }
 
 }  // namespace hdczsc::serve

@@ -27,16 +27,22 @@ class ModelSnapshot {
   /// codes with higher cosine fidelity). `preferred_shards` records the
   /// shard layout the artifact was sized for (see sharded_store.hpp); it is
   /// a serving hint, not a property of the scores — engines may override it.
+  /// `seen_mask` is the GZSL label-space partition: one byte per class,
+  /// non-zero = *seen* (a training class, eligible for the calibrated-
+  /// stacking handicap); empty = no partition, every class counts as seen
+  /// (the plain single-space artifact — exactly how pre-v3 .hdcsnap files
+  /// load).
   ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                 const tensor::Tensor& class_attributes, std::size_t binary_expansion = 1,
-                std::size_t preferred_shards = 1);
+                std::size_t preferred_shards = 1, std::vector<std::uint8_t> seen_mask = {});
 
   /// Reconstituting constructor (snapshot_io load path): adopt an
   /// already-built PrototypeStore instead of re-encoding ϕ(A) — the store
   /// carries the exact serialized rows, so a loaded snapshot scores
   /// bit-identically to the one that was saved.
   ModelSnapshot(std::shared_ptr<core::ZscModel> model, tensor::Tensor class_attributes,
-                PrototypeStore store, std::size_t preferred_shards = 1);
+                PrototypeStore store, std::size_t preferred_shards = 1,
+                std::vector<std::uint8_t> seen_mask = {});
 
   std::size_t n_classes() const { return store_.n_classes(); }
   std::size_t dim() const { return store_.dim(); }
@@ -44,6 +50,19 @@ class ModelSnapshot {
   /// Shard count the artifact recommends for its label space (≥ 1; old
   /// version-1 .hdcsnap files carry no record and load as 1 = flat).
   std::size_t preferred_shards() const { return preferred_shards_; }
+
+  /// True when the artifact carries a genuine seen/unseen partition (a
+  /// non-empty mask with at least one unseen class). Without one the whole
+  /// label space counts as seen and a seen-class handicap is a uniform —
+  /// ranking-neutral — shift.
+  bool has_partition() const { return !seen_mask_.empty(); }
+  /// Seen-class count (== n_classes() when there is no partition).
+  std::size_t n_seen() const { return has_partition() ? n_seen_ : n_classes(); }
+  std::size_t n_unseen() const { return n_classes() - n_seen(); }
+  /// Whether serving label `c` is a seen (training) class.
+  bool is_seen(std::size_t c) const { return seen_mask_.empty() || seen_mask_[c] != 0; }
+  /// Per-class partition mask (empty = no partition = all seen).
+  const std::vector<std::uint8_t>& seen_mask() const { return seen_mask_; }
 
   /// Eval-mode image-encoder forward: embeddings [B, d] from images
   /// [B, 3, S, S]. Thread-safe (no train-mode caching is touched).
@@ -64,6 +83,20 @@ class ModelSnapshot {
   tensor::Tensor class_attributes_;
   PrototypeStore store_;
   std::size_t preferred_shards_ = 1;
+  std::vector<std::uint8_t> seen_mask_;  // [C] (1 = seen) or empty = all seen
+  std::size_t n_seen_ = 0;               // popcount of seen_mask_ (cached)
+
+  void adopt_seen_mask(std::vector<std::uint8_t> seen_mask);
 };
+
+/// Build a joint seen+unseen GZSL snapshot from the two label spaces'
+/// attribute rows: serving labels [0, C_seen) are the seen (training)
+/// classes, [C_seen, C_seen + C_unseen) the unseen ones — the label order
+/// of Trainer::evaluate_gzsl — with the partition mask set accordingly.
+std::shared_ptr<ModelSnapshot> make_gzsl_snapshot(std::shared_ptr<core::ZscModel> model,
+                                                  const tensor::Tensor& seen_attributes,
+                                                  const tensor::Tensor& unseen_attributes,
+                                                  std::size_t binary_expansion = 1,
+                                                  std::size_t preferred_shards = 1);
 
 }  // namespace hdczsc::serve

@@ -1,8 +1,11 @@
 #include "serve/snapshot_io.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "core/zsc_model.hpp"
 #include "data/attribute_space.hpp"
@@ -74,15 +77,64 @@ void read_end_marker(std::istream& is) {
     throw std::runtime_error("snapshot_io: truncated file (missing end marker)");
 }
 
-std::vector<std::uint64_t> read_packed_words(std::istream& is) {
+/// `expected_words` is what the already-parsed store geometry implies
+/// (C rows × ⌈k·d/64⌉ words/row). A corrupted count is rejected by name
+/// *before* any blind allocation or read — a short (or long) word array
+/// must never parse as a smaller store with trailing records misaligned.
+std::vector<std::uint64_t> read_packed_words(std::istream& is, std::size_t expected_words) {
   const auto n_words = read_pod<std::uint64_t>(is, "packed word count");
-  if (n_words > (std::uint64_t{1} << 28))
-    throw std::runtime_error("snapshot_io: implausible packed word count");
-  std::vector<std::uint64_t> words(static_cast<std::size_t>(n_words));
+  if (n_words != expected_words)
+    throw std::runtime_error("snapshot_io: corrupt record 'packed word count': " +
+                             std::to_string(n_words) + " words, but the prototype rows imply " +
+                             std::to_string(expected_words));
+  std::vector<std::uint64_t> words(expected_words);
   is.read(reinterpret_cast<char*>(words.data()),
           static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
   if (!is) throw std::runtime_error("snapshot_io: truncated reading packed binary rows");
   return words;
+}
+
+/// GZSL label-space partition record (version ≥ 3): u64 seen count, then
+/// ⌈C/64⌉ packed mask words. Internally consistent or rejected by name:
+/// the count must match the mask popcount and tail bits must be zero.
+/// Returns the per-class mask; empty when every class is seen (≡ no
+/// partition, exactly how pre-v3 files load).
+std::vector<std::uint8_t> read_partition(std::istream& is, std::size_t n_classes) {
+  const auto n_seen = read_pod<std::uint64_t>(is, "seen-class count");
+  if (n_seen > n_classes)
+    throw std::runtime_error("snapshot_io: corrupt record 'seen-class count': " +
+                             std::to_string(n_seen) + " seen of " +
+                             std::to_string(n_classes) + " classes");
+  const std::size_t n_words = (n_classes + 63) / 64;
+  std::vector<std::uint64_t> words(n_words);
+  is.read(reinterpret_cast<char*>(words.data()),
+          static_cast<std::streamsize>(n_words * sizeof(std::uint64_t)));
+  if (!is) throw std::runtime_error("snapshot_io: truncated reading seen mask");
+  const std::size_t tail = n_classes % 64;
+  if (tail != 0 && (words.back() >> tail) != 0)
+    throw std::runtime_error(
+        "snapshot_io: corrupt record 'seen mask': bits set beyond the class count");
+  std::size_t bits = 0;
+  for (std::uint64_t w : words) bits += static_cast<std::size_t>(std::popcount(w));
+  if (bits != n_seen)
+    throw std::runtime_error("snapshot_io: corrupt record 'seen mask': popcount " +
+                             std::to_string(bits) + " != seen-class count " +
+                             std::to_string(n_seen));
+  if (n_seen == n_classes) return {};  // all seen ≡ no partition
+  std::vector<std::uint8_t> mask(n_classes);
+  for (std::size_t c = 0; c < n_classes; ++c)
+    mask[c] = static_cast<std::uint8_t>((words[c / 64] >> (c % 64)) & 1);
+  return mask;
+}
+
+void write_partition(std::ostream& os, const ModelSnapshot& snap) {
+  const std::size_t c = snap.n_classes();
+  std::vector<std::uint64_t> words((c + 63) / 64, 0);
+  for (std::size_t i = 0; i < c; ++i)
+    if (snap.is_seen(i)) words[i / 64] |= std::uint64_t{1} << (i % 64);
+  write_pod<std::uint64_t>(os, snap.n_seen());
+  os.write(reinterpret_cast<const char*>(words.data()),
+           static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
 }
 
 }  // namespace
@@ -117,6 +169,7 @@ void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
   os.write(reinterpret_cast<const char*>(store.packed_words().data()),
            static_cast<std::streamsize>(store.packed_words().size() * sizeof(std::uint64_t)));
   write_pod<std::uint64_t>(os, snap.preferred_shards());  // v2 shard-layout record
+  write_partition(os, snap);                              // v3 GZSL partition record
   os.write(kEndMarker, 4);
   if (!os) throw std::runtime_error("save_snapshot: write failed");
 }
@@ -169,12 +222,22 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   const auto lsh_seed = read_pod<std::uint64_t>(is, "lsh seed");
   const float store_scale = read_pod<float>(is, "store scale");
   tensor::Tensor normalized = read_tensor(is, "normalized prototype rows");
-  std::vector<std::uint64_t> packed = read_packed_words(is);
+  if (normalized.dim() != 2 || normalized.size(0) == 0)
+    throw std::runtime_error("snapshot_io: normalized prototype rows are " +
+                             tensor::shape_str(normalized.shape()) + ", expected [C, d]");
+  const std::size_t n_classes = normalized.size(0);
+  const std::size_t words_per_row =
+      (normalized.size(1) * std::max<std::size_t>(expansion, 1) + 63) / 64;
+  std::vector<std::uint64_t> packed = read_packed_words(is, n_classes * words_per_row);
   // Version-1 files predate sharding and load as S = 1 (the flat store).
   const std::size_t shards =
       h.version >= 2
           ? static_cast<std::size_t>(read_pod<std::uint64_t>(is, "preferred shard count"))
           : 1;
+  // Version-1/2 files predate the GZSL partition and load with every class
+  // seen (empty mask).
+  std::vector<std::uint8_t> seen_mask =
+      h.version >= 3 ? read_partition(is, n_classes) : std::vector<std::uint8_t>{};
   read_end_marker(is);
 
   PrototypeStore store = PrototypeStore::from_parts(std::move(normalized), std::move(packed),
@@ -184,7 +247,7 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
                              std::to_string(store.n_classes()) +
                              ") != class-attribute rows (" + std::to_string(a.size(0)) + ")");
   return std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store),
-                                         shards);
+                                         shards, std::move(seen_mask));
 }
 
 void save_snapshot_file(const std::string& path, const ModelSnapshot& snap) {
@@ -234,13 +297,28 @@ SnapshotInfo inspect_snapshot(std::istream& is) {
   read_pod<std::uint64_t>(is, "lsh seed");
   read_pod<float>(is, "store scale");
   const tensor::Tensor normalized = read_tensor(is, "normalized prototype rows");
-  info.dim = normalized.dim() == 2 ? normalized.size(1) : 0;
-  info.code_bits = info.dim * info.expansion;
+  if (normalized.dim() != 2 || normalized.size(0) == 0)
+    throw std::runtime_error("snapshot_io: normalized prototype rows are " +
+                             tensor::shape_str(normalized.shape()) + ", expected [C, d]");
+  info.dim = normalized.size(1);
+  info.code_bits = info.dim * std::max<std::size_t>(info.expansion, 1);
   info.float_bytes = normalized.numel() * sizeof(float);
-  info.binary_bytes = read_packed_words(is).size() * sizeof(std::uint64_t);
+  const std::size_t words_per_row = (info.code_bits + 63) / 64;
+  info.binary_bytes =
+      read_packed_words(is, normalized.size(0) * words_per_row).size() *
+      sizeof(std::uint64_t);
   if (h.version >= 2)
     info.preferred_shards =
         static_cast<std::size_t>(read_pod<std::uint64_t>(is, "preferred shard count"));
+  info.n_seen = info.n_classes;
+  if (h.version >= 3) {
+    const std::vector<std::uint8_t> mask = read_partition(is, normalized.size(0));
+    if (!mask.empty()) {
+      info.has_partition = true;
+      info.n_seen = 0;
+      for (std::uint8_t m : mask) info.n_seen += m != 0;
+    }
+  }
   read_end_marker(is);
   return info;
 }

@@ -3,7 +3,7 @@
 // instead of retraining (the Triton/TensorRT "frozen engine" pattern).
 //
 // The full record table, field widths and versioning rules live in
-// docs/snapshot_format.md; the shape of the file (version 2):
+// docs/snapshot_format.md; the shape of the file (version 3):
 //
 //   "HDCS"  magic, u32 format version
 //   -- model architecture (enough to rebuild the layer stack exactly) --
@@ -19,6 +19,11 @@
 //   u64     preferred shard count S (sharded_store.hpp scatter/gather
 //           layout hint; version-1 files carry no record and load as
 //           S = 1, the flat store)
+//   -- GZSL label-space partition (version ≥ 3) --
+//   u64     seen-class count n_seen
+//   u64[]   seen mask, ⌈C/64⌉ words, bit c = 1 iff serving label c is a
+//           seen class (tail bits zero). Version-1/2 files carry no
+//           record and load with no partition — every class seen.
 //   "PANS"  end marker (truncation tripwire)
 //
 // Both prototype forms are stored verbatim (not recomputed on load), and
@@ -42,7 +47,7 @@ namespace hdczsc::serve {
 
 /// Current .hdcsnap format version (writers emit this; loaders accept
 /// 1..kSnapshotVersion — see docs/snapshot_format.md for the version log).
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Serialize a snapshot (model architecture + parameters + buffers + frozen
 /// prototype store) to a stream / file.
@@ -78,6 +83,11 @@ struct SnapshotInfo {
   std::size_t binary_bytes = 0;  ///< packed binary rows
   /// Recommended scatter/gather shard count (1 for version-1 files).
   std::size_t preferred_shards = 1;
+  /// GZSL partition (version ≥ 3): true when the artifact carries a
+  /// seen/unseen split with at least one unseen class. Pre-v3 files (and
+  /// single-space artifacts) report n_seen == n_classes.
+  bool has_partition = false;
+  std::size_t n_seen = 0;
 };
 
 SnapshotInfo inspect_snapshot(std::istream& is);

@@ -26,6 +26,12 @@ void ServingStats::record_batch(std::size_t batch_size) {
   ++batch_histogram_[bucket];
 }
 
+void ServingStats::record_domains(std::size_t seen, std::size_t unseen) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seen_hits_ += seen;
+  unseen_hits_ += unseen;
+}
+
 void ServingStats::observe_queue_depth(std::size_t depth) {
   std::lock_guard<std::mutex> lock(mu_);
   max_queue_depth_ = std::max(max_queue_depth_, depth);
@@ -59,6 +65,14 @@ ServingStats::Summary ServingStats::summary() const {
   s.mean_batch_size =
       batches_ > 0 ? static_cast<double>(batch_size_sum_) / static_cast<double>(batches_) : 0.0;
   s.max_queue_depth = max_queue_depth_;
+  s.seen_hits = seen_hits_;
+  s.unseen_hits = unseen_hits_;
+  const double domains = static_cast<double>(seen_hits_ + unseen_hits_);
+  if (seen_hits_ > 0 && unseen_hits_ > 0) {
+    const double fs = static_cast<double>(seen_hits_) / domains;
+    const double fu = static_cast<double>(unseen_hits_) / domains;
+    s.domain_harmonic = 2.0 * fs * fu / (fs + fu);
+  }
   s.batch_histogram = batch_histogram_;
   return s;
 }
@@ -76,6 +90,11 @@ util::Table ServingStats::to_table(const std::string& title) const {
   t.add_row({"latency p99 (ms)", util::Table::num(s.p99_latency_ms, 3)});
   t.add_row({"mean batch size", util::Table::num(s.mean_batch_size, 2)});
   t.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
+  if (s.seen_hits + s.unseen_hits > 0) {
+    t.add_row({"seen-class predictions", std::to_string(s.seen_hits)});
+    t.add_row({"unseen-class predictions", std::to_string(s.unseen_hits)});
+    t.add_row({"domain balance H", util::Table::num(s.domain_harmonic, 3)});
+  }
   for (std::size_t k = 0; k < s.batch_histogram.size(); ++k) {
     const std::size_t lo = std::size_t{1} << k;
     const std::size_t hi = (std::size_t{1} << (k + 1)) - 1;
@@ -93,6 +112,8 @@ void ServingStats::reset() {
   rejected_ = 0;
   batches_ = 0;
   batch_size_sum_ = 0;
+  seen_hits_ = 0;
+  unseen_hits_ = 0;
   max_queue_depth_ = 0;
   latencies_ms_.clear();
   batch_histogram_.clear();

@@ -25,6 +25,12 @@ class ServingStats {
   void record_reject();
   /// One executed forward with its coalesced batch size.
   void record_batch(std::size_t batch_size);
+  /// Predicted-label domains of one batch (GZSL serving): how many
+  /// predictions landed on seen vs. unseen classes. Ground truth is not
+  /// known at serving time — these count where the *decisions* land, the
+  /// live signal for whether the calibrated-stacking penalty keeps both
+  /// domains in play.
+  void record_domains(std::size_t seen, std::size_t unseen);
   /// Queue depth observed when a batch was collected (tracks the high-water
   /// mark).
   void observe_queue_depth(std::size_t depth);
@@ -40,6 +46,15 @@ class ServingStats {
     double p99_latency_ms = 0.0;
     double mean_batch_size = 0.0;
     std::size_t max_queue_depth = 0;
+    /// Predictions that landed on seen / unseen classes (GZSL serving;
+    /// both 0 unless record_domains was ever called).
+    std::uint64_t seen_hits = 0;
+    std::uint64_t unseen_hits = 0;
+    /// Harmonic mean of the two domains' shares of all predictions,
+    /// H = 2·f_s·f_u / (f_s + f_u) ∈ [0, 0.5]: 0 when every decision
+    /// collapses into one domain (the failure mode calibrated stacking
+    /// exists to fix), 0.5 at a perfect 50/50 balance.
+    double domain_harmonic = 0.0;
     /// histogram[k] counts batches with size in [2^k, 2^(k+1)) (bucket 0 is
     /// exactly size 1).
     std::vector<std::uint64_t> batch_histogram;
@@ -58,6 +73,8 @@ class ServingStats {
   std::uint64_t rejected_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batch_size_sum_ = 0;
+  std::uint64_t seen_hits_ = 0;
+  std::uint64_t unseen_hits_ = 0;
   std::size_t max_queue_depth_ = 0;
   std::vector<double> latencies_ms_;
   std::vector<std::uint64_t> batch_histogram_;

@@ -85,6 +85,75 @@ TEST(HammingMany, DimensionMismatchThrows) {
   EXPECT_THROW(hdc::hamming_many(q, protos), std::invalid_argument);
 }
 
+/// Naive per-bit Hamming reference, independent of every packed kernel.
+std::uint32_t naive_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) {
+  std::uint32_t h = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    for (std::uint64_t x = a[w] ^ b[w]; x != 0; x >>= 1) h += x & 1;
+  return h;
+}
+
+TEST(HammingMany, RaggedTailsMatchNaiveReferenceOnEveryDispatchPath) {
+  // The query-blocked kernel peels queries in blocks of 4 and the packed
+  // rows carry a masked tail word whenever the code width is not a
+  // multiple of 64 — sweep every remainder shape (n_queries % 4 ∈
+  // {0,1,2,3}, ragged widths) against a per-bit reference, pinned to each
+  // kernel variant the runtime dispatch can select. The pin is process-
+  // global, so restore runtime dispatch unconditionally — even when an
+  // assertion bails out of the test body early.
+  struct RestoreDispatch {
+    ~RestoreDispatch() { hdc::set_hamming_kernel("auto"); }
+  } restore;
+  const std::vector<std::string> kernels = [] {
+    std::vector<std::string> k{"portable"};
+    if (hdc::set_hamming_kernel("popcnt")) k.push_back("popcnt");
+    hdc::set_hamming_kernel("auto");
+    return k;
+  }();
+  EXPECT_FALSE(hdc::set_hamming_kernel("no-such-kernel"));
+
+  util::Rng rng(44);
+  for (const std::string& kernel : kernels) {
+    ASSERT_TRUE(hdc::set_hamming_kernel(kernel.c_str())) << kernel;
+    ASSERT_STREQ(hdc::hamming_kernel_name(), kernel.c_str());
+    for (std::size_t dim : {70u, 130u, 193u, 256u}) {  // three ragged, one exact
+      const std::size_t words = (dim + 63) / 64;
+      for (std::size_t n_queries : {1u, 2u, 3u, 5u, 6u, 7u, 8u}) {
+        const std::size_t n_rows = 23;
+        // BinaryHV::random masks the tail bits — exactly what the packed
+        // store's rows and encoded queries look like.
+        std::vector<std::uint64_t> rows, queries;
+        for (std::size_t i = 0; i < n_rows; ++i) {
+          const auto hv = hdc::BinaryHV::random(dim, rng);
+          rows.insert(rows.end(), hv.words().begin(), hv.words().end());
+        }
+        for (std::size_t q = 0; q < n_queries; ++q) {
+          const auto hv = hdc::BinaryHV::random(dim, rng);
+          queries.insert(queries.end(), hv.words().begin(), hv.words().end());
+        }
+        std::vector<std::uint32_t> multi(n_queries * n_rows), single(n_queries * n_rows);
+        hdc::hamming_many_packed_multi(queries.data(), n_queries, rows.data(), n_rows,
+                                       words, multi.data());
+        for (std::size_t q = 0; q < n_queries; ++q)
+          hdc::hamming_many_packed(queries.data() + q * words, rows.data(), n_rows, words,
+                                  single.data() + q * n_rows);
+        for (std::size_t q = 0; q < n_queries; ++q)
+          for (std::size_t i = 0; i < n_rows; ++i) {
+            const std::uint32_t want =
+                naive_hamming(queries.data() + q * words, rows.data() + i * words, words);
+            ASSERT_EQ(multi[q * n_rows + i], want)
+                << kernel << " multi dim=" << dim << " q=" << q << "/" << n_queries
+                << " row=" << i;
+            ASSERT_EQ(single[q * n_rows + i], want)
+                << kernel << " single dim=" << dim << " q=" << q << "/" << n_queries
+                << " row=" << i;
+          }
+      }
+    }
+  }
+}
+
 // -- prototype store ---------------------------------------------------------
 
 TEST(PrototypeStore, BinaryEqualsFloatExactlyOnBipolarData) {
@@ -233,6 +302,78 @@ TEST(DynamicBatcher, AdmissionControlBoundsQueueDepth) {
   for (int i = 0; i < 3; ++i)
     EXPECT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
   EXPECT_FALSE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  batcher.shutdown();
+}
+
+TEST(DynamicBatcher, LoneRequestIsReleasedWithinTheDelayBound) {
+  // Latency-bound regression: with the batch nowhere near full, a lone
+  // request must be held for ~max_delay_ms (the coalescing window) and
+  // then released — not a multiple of it. The container clock is noisy, so
+  // the upper bound is generous; the buggy failure modes this guards
+  // against (wait re-armed off the wrong timestamp, wakeup re-starting
+  // the window) overshoot by whole windows, not fractions.
+  serve::BatchPolicy policy;
+  policy.max_batch = 8;
+  policy.max_delay_ms = 50.0;
+  serve::DynamicBatcher batcher(policy);
+
+  std::vector<serve::DynamicBatcher::Item> items;
+  const auto t0 = serve::DynamicBatcher::Clock::now();
+  ASSERT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  std::thread collector([&] { ASSERT_TRUE(batcher.collect(items)); });
+  collector.join();
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(serve::DynamicBatcher::Clock::now() - t0)
+          .count();
+
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_GE(waited_ms, 0.5 * policy.max_delay_ms)
+      << "a lone request should be held for the coalescing window";
+  EXPECT_LE(waited_ms, 10.0 * policy.max_delay_ms)
+      << "a lone request must be released once its delay bound expires";
+  batcher.shutdown();
+}
+
+TEST(DynamicBatcher, LateArrivalsDoNotExtendTheOldestRequestsDeadline) {
+  // The regression this file exists for: the coalescing wait must stay
+  // armed off the *oldest* queued request. A feeder keeps injecting fresh
+  // requests (each submit also wakes the collector — covering the
+  // spurious-wakeup path) well past the first request's deadline; if any
+  // wake re-arms the window off a newer enqueue time, the batch release
+  // slips indefinitely while the feeder runs.
+  serve::BatchPolicy policy;
+  policy.max_batch = 1024;  // never fills — only the deadline can release
+  policy.max_delay_ms = 60.0;
+  policy.max_queue_depth = 4096;
+  serve::DynamicBatcher batcher(policy);
+
+  const auto t0 = serve::DynamicBatcher::Clock::now();
+  ASSERT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+
+  std::atomic<bool> stop{false};
+  std::thread feeder([&] {
+    while (!stop.load()) {
+      batcher.submit(Tensor({3, 2, 2}));
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  std::vector<serve::DynamicBatcher::Item> items;
+  ASSERT_TRUE(batcher.collect(items));
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(serve::DynamicBatcher::Clock::now() - t0)
+          .count();
+  stop.store(true);
+  feeder.join();
+
+  ASSERT_GE(items.size(), 1u);
+  // The batch must contain the oldest request and be released near *its*
+  // deadline — the feeder ran for seconds' worth of windows, so any
+  // re-arm bug shows up as an order-of-magnitude overshoot.
+  EXPECT_LE(waited_ms, 10.0 * policy.max_delay_ms)
+      << "late arrivals extended the oldest request's deadline";
+  for (std::size_t i = 1; i < items.size(); ++i)
+    EXPECT_LE(items[0].enqueued, items[i].enqueued) << "FIFO order lost";
   batcher.shutdown();
 }
 

@@ -7,7 +7,9 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "core/zsc_model.hpp"
@@ -252,6 +254,74 @@ TEST(SnapshotIO, TruncationAlwaysThrowsAndNamesTheRecord) {
   const std::string tail_path = temp_path("trunc_tail.hdcsnap");
   write_file(tail_path, bytes.substr(0, bytes.size() - 2));
   EXPECT_THROW(serve::load_snapshot_file(tail_path), std::runtime_error);
+}
+
+TEST(SnapshotIO, TruncationAtEveryRecordBoundaryThrowsNeverReadsShort) {
+  // Regression sweep for every record boundary — and every byte inside the
+  // serving-artifact tail, which packs the expansion/seed/scale fields,
+  // the prototype rows, the v2 shard record, the v3 partition record and
+  // the end marker into its last ~2 KiB. A cut must *always* throw; a
+  // loader that reads short would come back with a half-initialized
+  // snapshot instead. The parameter block (hundreds of KiB) is swept at a
+  // coarse stride; cuts land inside records as well as on their seams.
+  Tiny t = make_tiny(61, "hdc", /*n_classes=*/7);
+  serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/2);
+  std::stringstream full;
+  serve::save_snapshot(full, snap);
+  const std::string bytes = full.str();
+  ASSERT_GT(bytes.size(), 4096u);
+
+  std::vector<std::size_t> cuts;
+  for (std::size_t off = 0; off < bytes.size() - 2048; off += 1499) cuts.push_back(off);
+  for (std::size_t off = bytes.size() - 2048; off < bytes.size(); ++off) cuts.push_back(off);
+
+  for (std::size_t cut : cuts) {
+    std::istringstream in(bytes.substr(0, cut));
+    try {
+      serve::load_snapshot(in);
+      FAIL() << "truncation at byte " << cut << " of " << bytes.size() << " loaded anyway";
+    } catch (const std::runtime_error&) {
+      // Expected: every cut throws; which record it names depends on where
+      // the cut landed.
+    }
+    // inspect_snapshot walks the same records without rebuilding the model
+    // and must be exactly as strict.
+    std::istringstream in2(bytes.substr(0, cut));
+    EXPECT_THROW(serve::inspect_snapshot(in2), std::runtime_error) << "inspect at " << cut;
+  }
+}
+
+TEST(SnapshotIO, CorruptPackedWordCountRejectedBeforeReadingShort) {
+  // The packed-row count is implied by the already-parsed store geometry
+  // (C rows × words/row); a corrupted count must be rejected by name
+  // *before* the loader blindly reads (or allocates) that many words and
+  // misparses every record after them.
+  Tiny t = make_tiny(67, "hdc", /*n_classes=*/7);
+  serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/1);  // d=64 ⇒ 1 word/row
+  std::stringstream full;
+  serve::save_snapshot(full, snap);
+  std::string bytes = full.str();
+
+  // Tail layout (fixed widths, back to front): "PANS" | 1 mask word |
+  // n_seen u64 | shards u64 | 7 packed words | packed count u64.
+  const std::size_t count_off = bytes.size() - 4 - 8 - 8 - 8 - 7 * 8 - 8;
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data() + count_off, 8);
+  ASSERT_EQ(count, 7u) << "tail-layout arithmetic drifted from the format";
+
+  for (std::uint64_t bad : {std::uint64_t{0}, std::uint64_t{6}, std::uint64_t{8},
+                            std::uint64_t{1} << 27}) {
+    std::string corrupt = bytes;
+    std::memcpy(corrupt.data() + count_off, &bad, 8);
+    std::istringstream in(corrupt);
+    try {
+      serve::load_snapshot(in);
+      FAIL() << "corrupt packed word count " << bad << " parsed";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("packed word count"), std::string::npos)
+          << e.what();
+    }
+  }
 }
 
 // -- model registry ----------------------------------------------------------
