@@ -27,18 +27,29 @@
 // paths; the storm report adds per-domain accuracy and the seen/unseen
 // decision balance.
 //
+// Observability: --stats-interval=S prints the live registry table every S
+// seconds while the storm runs (obs::PeriodicReporter); --metrics-out=PATH
+// dumps every registered metric after the storm (.json → JSON, anything
+// else → Prometheus text format); --profile additionally enables the
+// kernel profiling hooks (gemm / Hamming-scan / shard-scan histograms).
+// The final report includes the per-stage latency breakdown (queue-wait /
+// collect / embed / score / reply) and the slowest traced requests.
+//
 //   ./serve_demo [--requests=240] [--clients=4] [--batch=8] [--workers=1]
 //                [--mode=float|binary] [--expansion=8] [--models=1]
 //                [--shards=0] [--topk=0] [--seen-penalty=0]
+//                [--stats-interval=0] [--metrics-out=] [--profile]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "demo_pipeline_config.hpp"
+#include "obs/export.hpp"
 #include "serve/model_registry.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
@@ -66,6 +77,9 @@ int main(int argc, char** argv) {
   const std::size_t topk = static_cast<std::size_t>(args.get_int("topk", 0));
   const float seen_penalty = static_cast<float>(args.get_double("seen-penalty", 0.0));
   const bool gzsl = args.has("seen-penalty");
+  const double stats_interval = args.get_double("stats-interval", 0.0);
+  const std::string metrics_out = args.get_str("metrics-out", "");
+  if (args.has("profile")) obs::set_profiling_enabled(true);
   const std::string mode_str = args.get_str("mode", "binary");
   if (mode_str != "binary" && mode_str != "float") {
     std::fprintf(stderr, "serve_demo: unknown --mode=%s (expected float|binary)\n",
@@ -181,6 +195,13 @@ int main(int argc, char** argv) {
               scfg.batch.max_batch);
 
   // -- 3. request storm, round-robined across model keys ---------------------
+  // Live telemetry while the storm runs: every --stats-interval seconds the
+  // reporter thread prints the per-model registry table.
+  std::unique_ptr<obs::PeriodicReporter> reporter;
+  if (stats_interval > 0.0)
+    reporter = std::make_unique<obs::PeriodicReporter>(
+        stats_interval, [&registry] { registry.to_table("serving telemetry (live)").print(); });
+
   const std::size_t n_images = images.size(0);
   std::vector<std::size_t> hits(clients, 0), matches(clients, 0), sent(clients, 0);
   std::vector<std::thread> threads;
@@ -208,6 +229,7 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& th : threads) th.join();
+  if (reporter) reporter->stop();
 
   std::size_t total_hits = 0, total_matches = 0, total_sent = 0;
   for (std::size_t t = 0; t < clients; ++t) {
@@ -218,17 +240,51 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   registry.to_table("serving telemetry (per model)").print();
+
+  // Per-stage latency breakdown: where a request's time actually went
+  // (queue-wait / collect / embed / score / reply), plus the slowest traced
+  // requests for postmortems.
+  {
+    util::Table stages("per-stage latency (" + keys[0] + ")");
+    stages.set_header({"stage", "count", "mean ms", "p50 ms", "p99 ms", "p999 ms", "max ms"});
+    for (const auto& s : registry.stage_stats(keys[0]))
+      stages.add_row({s.stage, std::to_string(s.count), util::Table::num(s.mean_ms, 3),
+                      util::Table::num(s.p50_ms, 3), util::Table::num(s.p99_ms, 3),
+                      util::Table::num(s.p999_ms, 3), util::Table::num(s.max_ms, 3)});
+    stages.print();
+    const auto slow = registry.slow_traces(keys[0]);
+    const std::size_t n_slow = std::min<std::size_t>(4, slow.size());
+    if (n_slow > 0) std::printf("slowest traced requests (%s):\n", keys[0].c_str());
+    for (std::size_t i = 0; i < n_slow; ++i) {
+      const auto& sp = slow[i];
+      std::printf("  trace #%llu total=%.3fms queue-wait=%.3f collect=%.3f embed=%.3f "
+                  "score=%.3f reply=%.3f\n",
+                  static_cast<unsigned long long>(sp.id), sp.total_ms,
+                  sp.stage(obs::Stage::kQueueWait), sp.stage(obs::Stage::kCollect),
+                  sp.stage(obs::Stage::kEmbed), sp.stage(obs::Stage::kScore),
+                  sp.stage(obs::Stage::kReply));
+    }
+  }
+
   if (engine0->n_shards() > 1) {
     const auto shards = registry.shard_stats(keys[0]);
     util::Table st("prototype scan telemetry (" + keys[0] + ", " +
                    std::to_string(shards.size()) + " shards)");
-    st.set_header({"shard", "rows", "row range", "scans", "rows swept"});
+    st.set_header({"shard", "rows", "row range", "scans", "rows swept", "rows pruned"});
     for (std::size_t s = 0; s < shards.size(); ++s)
       st.add_row({std::to_string(s), std::to_string(shards[s].rows),
                   "[" + std::to_string(shards[s].begin) + ", " +
                       std::to_string(shards[s].begin + shards[s].rows) + ")",
-                  std::to_string(shards[s].scans), std::to_string(shards[s].rows_swept)});
+                  std::to_string(shards[s].scans), std::to_string(shards[s].rows_swept),
+                  std::to_string(shards[s].rows_pruned)});
     st.print();
+  }
+
+  // Machine-readable dump of every registered metric (model series, stage
+  // histograms, kernel profiles): .json → JSON, anything else → Prometheus.
+  if (!metrics_out.empty()) {
+    obs::dump_metrics_file(metrics_out);
+    std::printf("wrote metrics dump: %s\n", metrics_out.c_str());
   }
   // Aggregate the GZSL decision counters across model slots before the
   // registry tears the runtimes down.

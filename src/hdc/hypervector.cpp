@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 
 namespace hdczsc::hdc {
@@ -269,14 +270,27 @@ bool set_hamming_kernel(const char* name) {
   return false;
 }
 
+namespace {
+/// Profiling hook (obs::set_profiling_enabled): wall time of each top-level
+/// packed-Hamming scan, single- and multi-query alike. With profiling off
+/// the ScopedTimer reads no clock.
+obs::Histogram* hamming_hist() {
+  static const std::shared_ptr<obs::Histogram> h = obs::default_registry().histogram(
+      "hdc_hamming_scan_ms", {}, "wall time of one packed-Hamming prototype scan");
+  return h.get();
+}
+}  // namespace
+
 void hamming_many_packed_multi(const std::uint64_t* queries, std::size_t n_queries,
                                const std::uint64_t* rows, std::size_t n_rows,
                                std::size_t words, std::uint32_t* out) {
+  const obs::ScopedTimer profile(hamming_hist());
   hamming_kernels().multi(queries, n_queries, rows, n_rows, words, out);
 }
 
 void hamming_many_packed(const std::uint64_t* query, const std::uint64_t* rows,
                          std::size_t n_rows, std::size_t words, std::uint32_t* out) {
+  const obs::ScopedTimer profile(hamming_hist());
   // Small scans (the common per-query serving case) stay on the calling
   // thread: the XOR+popcount sweep through a few KiB beats any hand-off.
   // Large label spaces — the prototype-store sharding regime — fan the

@@ -1,0 +1,195 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hdczsc::obs {
+
+namespace {
+
+// Prometheus label values escape backslash, double-quote and newline;
+// metric/label names in this codebase are already [a-zA-Z0-9_:].
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_labels(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + escape_label_value(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& reg) {
+  std::string out;
+  std::string last_name;  // # HELP / # TYPE once per metric family
+  reg.for_each([&](const Registry::Entry& e) {
+    const bool new_family = e.name != last_name;
+    last_name = e.name;
+    if (e.counter) {
+      if (new_family) {
+        if (!e.help.empty()) out += "# HELP " + e.name + " " + e.help + "\n";
+        out += "# TYPE " + e.name + " counter\n";
+      }
+      out += e.name + prom_labels(e.labels) + " " + std::to_string(e.counter->value()) + "\n";
+    } else if (e.gauge) {
+      if (new_family) {
+        if (!e.help.empty()) out += "# HELP " + e.name + " " + e.help + "\n";
+        out += "# TYPE " + e.name + " gauge\n";
+      }
+      out += e.name + prom_labels(e.labels) + " " + fmt_double(e.gauge->value()) + "\n";
+    } else if (e.histogram) {
+      if (new_family) {
+        if (!e.help.empty()) out += "# HELP " + e.name + " " + e.help + "\n";
+        out += "# TYPE " + e.name + " histogram\n";
+      }
+      // Cumulative le-buckets over the non-empty subset of the fixed grid —
+      // a legal sparse encoding (Prometheus only requires le to ascend and
+      // counts to be cumulative).
+      std::uint64_t cum = 0;
+      for (const Histogram::Bucket& b : e.histogram->nonzero_buckets()) {
+        cum += b.count;
+        out += e.name + "_bucket" +
+               prom_labels(e.labels, "le=\"" + fmt_double(b.upper) + "\"") + " " +
+               std::to_string(cum) + "\n";
+      }
+      out += e.name + "_bucket" + prom_labels(e.labels, "le=\"+Inf\"") + " " +
+             std::to_string(e.histogram->count()) + "\n";
+      out += e.name + "_sum" + prom_labels(e.labels) + " " + fmt_double(e.histogram->sum()) +
+             "\n";
+      out += e.name + "_count" + prom_labels(e.labels) + " " +
+             std::to_string(e.histogram->count()) + "\n";
+    }
+  });
+  return out;
+}
+
+std::string to_json(const Registry& reg) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  reg.for_each([&](const Registry::Entry& e) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(e.name) + "\", ";
+    out += "\"labels\": {";
+    bool lf = true;
+    for (const auto& [k, v] : e.labels) {
+      if (!lf) out += ", ";
+      lf = false;
+      out += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+    }
+    out += "}, ";
+    if (e.counter) {
+      out += "\"type\": \"counter\", \"value\": " + std::to_string(e.counter->value());
+    } else if (e.gauge) {
+      out += "\"type\": \"gauge\", \"value\": " + fmt_double(e.gauge->value());
+    } else if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      out += "\"type\": \"histogram\", \"count\": " + std::to_string(h.count()) +
+             ", \"sum\": " + fmt_double(h.sum()) + ", \"min\": " + fmt_double(h.min()) +
+             ", \"max\": " + fmt_double(h.max()) + ", \"mean\": " + fmt_double(h.mean()) +
+             ", \"p50\": " + fmt_double(h.percentile(0.50)) +
+             ", \"p90\": " + fmt_double(h.percentile(0.90)) +
+             ", \"p99\": " + fmt_double(h.percentile(0.99)) +
+             ", \"p999\": " + fmt_double(h.percentile(0.999));
+    }
+    out += "}";
+  });
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+void dump_metrics_file(const std::string& path, const Registry& reg) {
+  const bool json = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("obs::dump_metrics_file: cannot open " + path);
+  f << (json ? to_json(reg) : to_prometheus(reg));
+  if (!f) throw std::runtime_error("obs::dump_metrics_file: write failed for " + path);
+}
+
+PeriodicReporter::PeriodicReporter(double interval_s, std::function<void()> fn)
+    : fn_(std::move(fn)), interval_s_(interval_s > 0.0 ? interval_s : 1.0) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(interval_s_));
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+      lock.unlock();  // run the callback without the lock: it may be slow
+      fn_();
+      lock.lock();
+    }
+  });
+}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace hdczsc::obs

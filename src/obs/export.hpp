@@ -1,0 +1,61 @@
+// Machine-readable exporters over an obs::Registry, plus a periodic
+// reporter thread.
+//
+// Two formats, both documented (with examples) in docs/observability.md:
+//
+//  * Prometheus text exposition format (to_prometheus): counters and
+//    gauges as single samples, histograms as cumulative le-buckets (only
+//    non-empty buckets are emitted — a valid subset of the fixed
+//    log-bucket grid) plus _sum/_count. This is what a network front-end
+//    will serve on /metrics.
+//  * JSON (to_json): one object per metric; histograms carry
+//    count/sum/min/max and the p50/p90/p99/p999 quantile estimates. This
+//    is the metrics.json CI artifact next to BENCH_serving.json.
+//
+// Output is deterministic: metrics are emitted ordered by (name, labels),
+// so golden-format tests can compare exact strings.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace hdczsc::obs {
+
+/// Render every registered metric in Prometheus text exposition format.
+std::string to_prometheus(const Registry& reg = default_registry());
+
+/// Render every registered metric as a JSON document.
+std::string to_json(const Registry& reg = default_registry());
+
+/// Write `path` in the format its extension selects: ".json" → to_json,
+/// anything else → to_prometheus. Throws std::runtime_error on I/O failure.
+void dump_metrics_file(const std::string& path, const Registry& reg = default_registry());
+
+/// Background thread invoking `fn` every `interval_s` seconds until stop()
+/// (or destruction). First invocation happens one interval after
+/// construction; stop() is idempotent and joins the thread.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(double interval_s, std::function<void()> fn);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  void stop();
+
+ private:
+  std::function<void()> fn_;
+  double interval_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace hdczsc::obs

@@ -1,0 +1,203 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hdczsc::obs {
+
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::size_t Histogram::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive (and NaN) clamp to the lowest bucket
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m·2^e, m ∈ [0.5, 1)
+  // Octave E = e-1 covers [2^E, 2^(E+1)); sub-bucket from the mantissa:
+  // m·2·kSub ∈ [kSub, 2·kSub).
+  const long octave = static_cast<long>(e) - 1 - kMinExp;
+  long sub = static_cast<long>(m * (2 * kSub)) - kSub;
+  sub = std::clamp<long>(sub, 0, kSub - 1);
+  const long idx = octave * kSub + sub;
+  return static_cast<std::size_t>(std::clamp<long>(idx, 0, static_cast<long>(kBuckets) - 1));
+}
+
+double Histogram::bucket_mid(std::size_t idx) {
+  const int octave = kMinExp + static_cast<int>(idx) / kSub;
+  const int sub = static_cast<int>(idx) % kSub;
+  return std::ldexp(1.0 + (static_cast<double>(sub) + 0.5) / kSub, octave);
+}
+
+void Histogram::record(double v) {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  sum_fp_.fetch_add(static_cast<std::int64_t>(std::llround(v * 1024.0)),
+                    std::memory_order_relaxed);
+  // True extremes via monotone CAS (min_ starts at +inf, max_ at -inf, so
+  // the first sample wins both races without any ordering dependency).
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const { return count() ? min_.load(std::memory_order_relaxed) : 0.0; }
+double Histogram::max() const { return count() ? max_.load(std::memory_order_relaxed) : 0.0; }
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank =
+      std::min<std::uint64_t>(n - 1, static_cast<std::uint64_t>(q * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cum += counts_[i].load(std::memory_order_relaxed);
+    if (cum > rank) {
+      double mid = bucket_mid(i);
+      const double mn = min_.load(std::memory_order_relaxed);
+      const double mx = max_.load(std::memory_order_relaxed);
+      if (mn <= mx) mid = std::clamp(mid, mn, mx);  // mn > mx only mid-record
+      return mid;
+    }
+  }
+  return max();  // concurrent writer raced count_ ahead of its bucket
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    const int octave = kMinExp + static_cast<int>(i) / kSub;
+    const int sub = static_cast<int>(i) % kSub;
+    out.push_back({std::ldexp(1.0 + (static_cast<double>(sub) + 1.0) / kSub, octave), c});
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_fp_.store(0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+std::string render_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+std::string entry_key(const std::string& name, const Labels& labels) {
+  return name + '\0' + render_labels(labels);
+}
+
+}  // namespace
+
+std::shared_ptr<Counter> Registry::counter(const std::string& name, const Labels& labels,
+                                           const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[entry_key(name, labels)];
+  if (e.name.empty()) {
+    e.name = name;
+    e.labels = labels;
+    e.help = help;
+    e.counter = std::make_shared<Counter>();
+  } else if (!e.counter) {
+    throw std::logic_error("obs::Registry: '" + name + "' already registered with another kind");
+  }
+  return e.counter;
+}
+
+std::shared_ptr<Gauge> Registry::gauge(const std::string& name, const Labels& labels,
+                                       const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[entry_key(name, labels)];
+  if (e.name.empty()) {
+    e.name = name;
+    e.labels = labels;
+    e.help = help;
+    e.gauge = std::make_shared<Gauge>();
+  } else if (!e.gauge) {
+    throw std::logic_error("obs::Registry: '" + name + "' already registered with another kind");
+  }
+  return e.gauge;
+}
+
+std::shared_ptr<Histogram> Registry::histogram(const std::string& name, const Labels& labels,
+                                               const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[entry_key(name, labels)];
+  if (e.name.empty()) {
+    e.name = name;
+    e.labels = labels;
+    e.help = help;
+    e.histogram = std::make_shared<Histogram>();
+  } else if (!e.histogram) {
+    throw std::logic_error("obs::Registry: '" + name + "' already registered with another kind");
+  }
+  return e.histogram;
+}
+
+void Registry::for_each(const std::function<void(const Entry&)>& fn) const {
+  // Copy the entries (shared_ptrs, cheap) so fn runs without the lock —
+  // exporters may take arbitrarily long rendering a large registry.
+  std::vector<Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [key, e] : entries_) snapshot.push_back(e);
+  }
+  for (const Entry& e : snapshot) fn(e);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+Registry& default_registry() {
+  static Registry reg;
+  return reg;
+}
+
+// ---------------------------------------------------------------------------
+// Profiling switch
+
+namespace {
+std::atomic<bool> g_profiling{false};
+}
+
+bool profiling_enabled() { return g_profiling.load(std::memory_order_relaxed); }
+void set_profiling_enabled(bool on) { g_profiling.store(on, std::memory_order_relaxed); }
+
+}  // namespace hdczsc::obs

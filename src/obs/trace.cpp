@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hdczsc::obs {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kQueueWait: return "queue-wait";
+    case Stage::kCollect: return "collect";
+    case Stage::kEmbed: return "embed";
+    case Stage::kScore: return "score";
+    case Stage::kReply: return "reply";
+  }
+  return "?";
+}
+
+Tracer::Tracer(const std::string& model, std::size_t slowest_capacity)
+    : capacity_(std::max<std::size_t>(1, slowest_capacity)) {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const Stage s = static_cast<Stage>(i);
+    if (model.empty()) {
+      stage_hist_[i] = std::make_shared<Histogram>();
+    } else {
+      stage_hist_[i] = default_registry().histogram(
+          "serve_stage_ms", {{"model", model}, {"stage", stage_name(s)}},
+          "per-request stage latency (ms) by pipeline stage");
+    }
+  }
+  total_hist_ = model.empty()
+                    ? std::make_shared<Histogram>()
+                    : default_registry().histogram(
+                          "serve_trace_total_ms", {{"model", model}},
+                          "end-to-end traced request latency (ms), submit to reply");
+  slow_.reserve(capacity_);
+}
+
+std::uint64_t Tracer::record(TraceSpan span) {
+  span.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kNumStages; ++i) stage_hist_[i]->record(span.stage_ms[i]);
+  total_hist_->record(span.total_ms);
+
+  // Postmortem ring: only take the lock while this span would actually
+  // place (floor_ < 0 means the ring is not full yet).
+  const double floor = floor_.load(std::memory_order_relaxed);
+  if (span.total_ms > floor || floor < 0.0) {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    if (slow_.size() < capacity_) {
+      slow_.push_back(span);
+    } else {
+      auto worst = std::min_element(slow_.begin(), slow_.end(),
+                                    [](const TraceSpan& a, const TraceSpan& b) {
+                                      return a.total_ms < b.total_ms;
+                                    });
+      if (span.total_ms <= worst->total_ms) return span.id;  // lost the race
+      *worst = span;
+    }
+    if (slow_.size() == capacity_) {
+      double mn = slow_[0].total_ms;
+      for (const TraceSpan& s : slow_) mn = std::min(mn, s.total_ms);
+      floor_.store(mn, std::memory_order_relaxed);
+    }
+  }
+  return span.id;
+}
+
+std::vector<Tracer::StageStat> Tracer::stage_stats() const {
+  std::vector<StageStat> out;
+  out.reserve(kNumStages + 1);
+  auto fold = [&](const std::string& name, const Histogram& h) {
+    out.push_back({name, h.count(), h.mean(), h.percentile(0.50), h.percentile(0.99),
+                   h.percentile(0.999), h.max()});
+  };
+  for (std::size_t i = 0; i < kNumStages; ++i)
+    fold(stage_name(static_cast<Stage>(i)), *stage_hist_[i]);
+  fold("total", *total_hist_);
+  return out;
+}
+
+std::vector<TraceSpan> Tracer::slowest() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) { return a.total_ms > b.total_ms; });
+  return out;
+}
+
+util::Table Tracer::to_table(const std::string& title) const {
+  util::Table t(title);
+  t.set_header({"stage", "count", "mean ms", "p50 ms", "p99 ms", "p999 ms", "max ms"});
+  for (const StageStat& s : stage_stats())
+    t.add_row({s.stage, std::to_string(s.count), util::Table::num(s.mean_ms, 3),
+               util::Table::num(s.p50_ms, 3), util::Table::num(s.p99_ms, 3),
+               util::Table::num(s.p999_ms, 3), util::Table::num(s.max_ms, 3)});
+  return t;
+}
+
+std::string Tracer::dump_slowest() const {
+  std::string out;
+  char line[256];
+  for (const TraceSpan& s : slowest()) {
+    std::snprintf(line, sizeof(line),
+                  "trace #%llu total=%.3fms queue-wait=%.3f collect=%.3f embed=%.3f "
+                  "score=%.3f reply=%.3f\n",
+                  static_cast<unsigned long long>(s.id), s.total_ms,
+                  s.stage(Stage::kQueueWait), s.stage(Stage::kCollect), s.stage(Stage::kEmbed),
+                  s.stage(Stage::kScore), s.stage(Stage::kReply));
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::reset() {
+  for (auto& h : stage_hist_) h->reset();
+  total_hist_->reset();
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_.clear();
+  floor_.store(-1.0, std::memory_order_relaxed);
+}
+
+}  // namespace hdczsc::obs

@@ -1,0 +1,109 @@
+// Per-request stage tracing for the serving stack.
+//
+// Every served request moves through the same pipeline:
+//
+//   admit ──▶ queue-wait ──▶ batch-collect ──▶ embed ──▶ score ──▶ reply
+//   (submit)  (DynamicBatcher (shape check +    (CNN      (prototype (futures
+//             coalescing)     batch assembly)   backbone)  top-k)     resolved)
+//
+// The worker loop stamps each boundary and hands the resulting TraceSpan to
+// a Tracer, which (a) folds every stage into its own fixed-memory
+// obs::Histogram — so per-stage p50/p99/p999 are always available at O(1)
+// memory — and (b) keeps a small ring of the N *slowest* complete spans for
+// postmortems ("why was that p999 request slow: queue or embed?").
+//
+// Cost model: histogram records are wait-free; the slowest-ring is guarded
+// by a mutex but entered only when a span beats the ring's current floor
+// (one relaxed load on the fast path), so steady-state tracing adds a few
+// clock reads + a handful of relaxed fetch_adds per request. Tracing can be
+// disabled per runtime (ServerConfig::tracing) — disabled, the worker loop
+// takes no extra timestamps at all.
+//
+// Stage durations within one batch are shared by its members (the batch IS
+// the unit of embed/score work); queue-wait and total are per request.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/table.hpp"
+
+namespace hdczsc::obs {
+
+/// Pipeline stages of one served request, in order.
+enum class Stage : std::size_t {
+  kQueueWait = 0,  ///< submit → the batch containing it was collected
+  kCollect = 1,    ///< shape check + copy into the coalesced batch tensor
+  kEmbed = 2,      ///< CNN backbone forward (whole batch)
+  kScore = 3,      ///< prototype scan / top-k (whole batch)
+  kReply = 4,      ///< promise resolution + telemetry bookkeeping
+};
+constexpr std::size_t kNumStages = 5;
+const char* stage_name(Stage s);
+
+/// One request's journey, all durations in milliseconds.
+struct TraceSpan {
+  std::uint64_t id = 0;  ///< assigned by Tracer::record, monotone per tracer
+  std::array<double, kNumStages> stage_ms{};
+  double total_ms = 0.0;  ///< submit → reply (≥ any stage; ≈ sum of stages)
+
+  double stage(Stage s) const { return stage_ms[static_cast<std::size_t>(s)]; }
+  double& stage(Stage s) { return stage_ms[static_cast<std::size_t>(s)]; }
+};
+
+class Tracer {
+ public:
+  /// `model` names the metric namespace: non-empty registers the per-stage
+  /// histograms as serve_stage_ms{model=..., stage=...} (plus
+  /// serve_trace_total_ms) in the default registry so exporters see them;
+  /// empty keeps them private to this tracer. `slowest_capacity` bounds the
+  /// postmortem ring.
+  explicit Tracer(const std::string& model = "", std::size_t slowest_capacity = 16);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Fold one completed span in (assigns and returns its id). Call only
+  /// when enabled() — the worker gates on it to skip the timestamps too.
+  std::uint64_t record(TraceSpan span);
+
+  /// Aggregated per-stage view (plus a "total" row).
+  struct StageStat {
+    std::string stage;
+    std::uint64_t count = 0;
+    double mean_ms = 0.0, p50_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0, max_ms = 0.0;
+  };
+  std::vector<StageStat> stage_stats() const;
+
+  /// The slowest complete spans seen so far, total_ms descending.
+  std::vector<TraceSpan> slowest() const;
+
+  /// Render stage_stats as a table (the serve_demo per-stage breakdown).
+  util::Table to_table(const std::string& title = "per-stage latency") const;
+  /// Human-readable slow-trace dump for postmortems (one line per span,
+  /// docs/observability.md documents the format).
+  std::string dump_slowest() const;
+
+  void reset();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::array<std::shared_ptr<Histogram>, kNumStages> stage_hist_;
+  std::shared_ptr<Histogram> total_hist_;
+
+  // Slowest-span ring: floor_ caches the smallest total in a *full* ring so
+  // the common case (span is not a record) is one relaxed load, no lock.
+  std::size_t capacity_;
+  std::atomic<double> floor_{-1.0};
+  mutable std::mutex slow_mu_;
+  std::vector<TraceSpan> slow_;
+};
+
+}  // namespace hdczsc::obs

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/timer.hpp"
 
 namespace hdczsc::serve {
 
@@ -42,27 +43,43 @@ std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor&
                                             : sharded_.topk_binary(emb, k, penalty_ptr());
 }
 
-std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images) const {
+std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images,
+                                                        BatchTimings* timings) const {
   // One coalesced forward end-to-end: the backbone runs a single whole-batch
   // im2col + GEMM per conv layer (tensor/gemm.hpp), so a batch of B images
   // is substantially cheaper than B single-image forwards — dynamic batching
-  // now amortizes the embed, not just the prototype scan.
+  // now amortizes the embed, not just the prototype scan. The embed runs
+  // here (not inside logits/topk_batch) so the two stages can be timed
+  // separately for the per-request tracer; the computation is unchanged.
+  util::Timer clock;
+  tensor::Tensor emb = snapshot_->embed(images);
+  const double embed_ms = clock.millis();
+
+  std::vector<Prediction> out;
   if (sharded_.n_shards() > 1) {
     // Sharded store: classify is the k = 1 retrieval — no [B, C] logits
     // materialization, no full-width argmax sweep.
-    const auto hits = topk_batch(images, 1);
-    std::vector<Prediction> out(hits.size());
+    const auto hits = mode_ == ScoringMode::kFloatCosine
+                          ? sharded_.topk_float(emb, 1, penalty_ptr())
+                          : sharded_.topk_binary(emb, 1, penalty_ptr());
+    out.resize(hits.size());
     for (std::size_t b = 0; b < hits.size(); ++b)
       out[b] = Prediction{hits[b][0].label, hits[b][0].score};
-    return out;
+  } else {
+    const PrototypeStore& store = snapshot_->prototypes();
+    tensor::Tensor p = mode_ == ScoringMode::kFloatCosine ? store.score_float(emb, penalty_ptr())
+                                                          : store.score_binary(emb, penalty_ptr());
+    const std::size_t classes = p.size(1);
+    const std::vector<std::size_t> best = tensor::argmax_rows(p);
+    out.resize(best.size());
+    const float* P = p.data();
+    for (std::size_t b = 0; b < best.size(); ++b)
+      out[b] = Prediction{best[b], P[b * classes + best[b]]};
   }
-  tensor::Tensor p = logits(images);
-  const std::size_t classes = p.size(1);
-  const std::vector<std::size_t> best = tensor::argmax_rows(p);
-  std::vector<Prediction> out(best.size());
-  const float* P = p.data();
-  for (std::size_t b = 0; b < best.size(); ++b)
-    out[b] = Prediction{best[b], P[b * classes + best[b]]};
+  if (timings) {
+    timings->embed_ms = embed_ms;
+    timings->score_ms = clock.millis() - embed_ms;
+  }
   return out;
 }
 

@@ -73,8 +73,18 @@ class InferenceEngine {
   /// per image; k == 0 yields empty results.
   std::vector<std::vector<TopK>> topk_batch(const tensor::Tensor& images, std::size_t k) const;
 
-  /// Argmax + winning score per image.
-  std::vector<Prediction> classify_batch(const tensor::Tensor& images) const;
+  /// Wall time of one classify_batch split at the embed/score boundary —
+  /// the two stages the per-request tracer (obs/trace.hpp) reports
+  /// separately so "slow request" resolves to backbone vs prototype scan.
+  struct BatchTimings {
+    double embed_ms = 0.0;
+    double score_ms = 0.0;
+  };
+
+  /// Argmax + winning score per image. `timings`, when non-null, receives
+  /// the embed/score wall-time split; results are identical either way.
+  std::vector<Prediction> classify_batch(const tensor::Tensor& images,
+                                         BatchTimings* timings = nullptr) const;
 
   ScoringMode mode() const { return mode_; }
   std::size_t n_shards() const { return sharded_.n_shards(); }

@@ -11,7 +11,10 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
   if (key.empty()) throw std::invalid_argument("ModelRegistry::load: empty key");
   if (!snapshot) throw std::invalid_argument("ModelRegistry::load: null snapshot");
   // Build and start outside the lock: worker spawn must not stall routing.
-  const ServerConfig rcfg = cfg.value_or(default_cfg_);
+  ServerConfig rcfg = cfg.value_or(default_cfg_);
+  // The model key is the metric namespace: serve_*{model=key} series in
+  // obs::default_registry(). A reload under the same key continues them.
+  if (rcfg.name.empty()) rcfg.name = key;
   auto engine = std::make_shared<const InferenceEngine>(std::move(snapshot), mode,
                                                         rcfg.n_shards, rcfg.seen_penalty);
   auto runtime = std::make_shared<ServerRuntime>(std::move(engine), rcfg);
@@ -89,6 +92,14 @@ ServingStats::Summary ModelRegistry::stats(const std::string& key) const {
   return find(key)->stats().summary();
 }
 
+std::vector<obs::Tracer::StageStat> ModelRegistry::stage_stats(const std::string& key) const {
+  return find(key)->tracer().stage_stats();
+}
+
+std::vector<obs::TraceSpan> ModelRegistry::slow_traces(const std::string& key) const {
+  return find(key)->tracer().slowest();
+}
+
 std::vector<ShardedPrototypeStore::ShardInfo> ModelRegistry::shard_stats(
     const std::string& key) const {
   return find(key)->engine().sharded_store().shard_stats();
@@ -107,7 +118,8 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
   }
   util::Table t(title);
   t.set_header({"key", "scoring", "classes", "shards", "penalty", "completed", "rejected",
-                "req/s", "p50 ms", "p99 ms", "seen", "unseen", "H(dom)"});
+                "req/s", "q-wait ms", "p50 ms", "p99 ms", "p999 ms", "seen", "unseen",
+                "H(dom)"});
   for (const auto& [key, runtime] : entries) {
     const auto s = runtime->stats().summary();
     const InferenceEngine& engine = runtime->engine();
@@ -123,8 +135,10 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
                    ? util::Table::num(engine.seen_penalty(), 2)
                    : "-",
                std::to_string(s.completed), std::to_string(s.rejected),
-               util::Table::num(s.throughput_rps, 1), util::Table::num(s.p50_latency_ms, 2),
-               util::Table::num(s.p99_latency_ms, 2),
+               util::Table::num(s.throughput_rps, 1),
+               util::Table::num(s.mean_queue_wait_ms, 2),
+               util::Table::num(s.p50_latency_ms, 2), util::Table::num(s.p99_latency_ms, 2),
+               util::Table::num(s.p999_latency_ms, 2),
                gzsl ? std::to_string(s.seen_hits) : "-",
                gzsl ? std::to_string(s.unseen_hits) : "-",
                gzsl ? util::Table::num(s.domain_harmonic, 3) : "-"});

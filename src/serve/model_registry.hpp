@@ -74,6 +74,12 @@ class ModelRegistry {
 
   /// Per-model telemetry. Throws ModelNotFound for an unknown key.
   ServingStats::Summary stats(const std::string& key) const;
+  /// Per-stage latency breakdown (queue-wait/collect/embed/score/reply +
+  /// total) from the model's request tracer. Throws ModelNotFound.
+  std::vector<obs::Tracer::StageStat> stage_stats(const std::string& key) const;
+  /// The model's slowest traced requests, total_ms descending (postmortem
+  /// ring, obs/trace.hpp). Throws ModelNotFound.
+  std::vector<obs::TraceSpan> slow_traces(const std::string& key) const;
   /// Per-shard scan telemetry of the model's sharded prototype store
   /// (one entry per shard, S = 1 for flat stores). Throws ModelNotFound.
   std::vector<ShardedPrototypeStore::ShardInfo> shard_stats(const std::string& key) const;
@@ -83,7 +89,7 @@ class ModelRegistry {
 
   /// One row per model: key, scoring mode, classes (seen+unseen for
   /// partitioned snapshots), shards, calibrated-stacking penalty,
-  /// completed/rejected, req/s, p50/p99, and — for GZSL models — the
+  /// completed/rejected, req/s, mean queue-wait, p50/p99/p999, and — for GZSL models — the
   /// seen/unseen prediction counters with their harmonic domain balance.
   util::Table to_table(const std::string& title = "model registry") const;
 

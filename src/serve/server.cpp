@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "util/log.hpp"
+
 namespace hdczsc::serve {
 
 ServerRuntime::ServerRuntime(std::shared_ptr<const InferenceEngine> engine, ServerConfig cfg)
-    : engine_(std::move(engine)), cfg_(cfg), batcher_(cfg.batch) {
+    : engine_(std::move(engine)), cfg_(std::move(cfg)), batcher_(cfg_.batch), stats_(cfg_.name),
+      trace_(cfg_.name) {
   if (!engine_) throw std::invalid_argument("ServerRuntime: null engine");
   if (cfg_.n_workers == 0) cfg_.n_workers = 1;
+  trace_.set_enabled(cfg_.tracing);
 }
 
 ServerRuntime::~ServerRuntime() { stop(); }
@@ -46,9 +50,18 @@ Prediction ServerRuntime::classify(tensor::Tensor image) {
 }
 
 void ServerRuntime::worker_loop() {
+  using Clock = DynamicBatcher::Clock;
+  const auto ms = [](Clock::duration d) {
+    return std::chrono::duration<double, std::milli>(d).count();
+  };
+
   std::vector<DynamicBatcher::Item> items;
   while (batcher_.collect(items)) {
     if (items.empty()) continue;
+    // Tracing sampled once per batch: off, the only clocks read are the
+    // two the latency metric has always needed (collect + done).
+    const bool tracing = trace_.enabled();
+    const auto collected = Clock::now();
     stats_.observe_queue_depth(batcher_.depth() + items.size());
 
     // The first request of the batch sets the image shape; requests that
@@ -64,6 +77,8 @@ void ServerRuntime::worker_loop() {
       if (items[b].image.numel() == per_image) {
         good.push_back(b);
       } else {
+        util::log_warn("serve: request image shape differs from the rest of the batch (",
+                       items[b].image.numel(), " elements vs ", per_image, "), failing it");
         items[b].promise.set_exception(std::make_exception_ptr(std::invalid_argument(
             "serve: request image shape differs from the rest of the batch")));
       }
@@ -76,10 +91,13 @@ void ServerRuntime::worker_loop() {
       const float* src = items[good[g]].image.data();
       std::copy(src, src + per_image, dst + g * per_image);
     }
+    const auto assembled = tracing ? Clock::now() : collected;
 
     try {
-      std::vector<Prediction> preds = engine_->classify_batch(input);
-      const auto done = DynamicBatcher::Clock::now();
+      InferenceEngine::BatchTimings timings;
+      std::vector<Prediction> preds =
+          engine_->classify_batch(input, tracing ? &timings : nullptr);
+      const auto done = Clock::now();
       stats_.record_batch(good.size());
       // GZSL telemetry: count where the decisions landed in the
       // seen/unseen partition. Only recorded for partitioned snapshots —
@@ -92,13 +110,41 @@ void ServerRuntime::worker_loop() {
         for (const Prediction& p : preds) seen += snap.is_seen(p.label);
         stats_.record_domains(seen, preds.size() - seen);
       }
+      // All telemetry is recorded *before* the promises are fulfilled: a
+      // client that sees its future resolve is guaranteed its request is
+      // already counted, so shutdown reads of the stats/traces are coherent.
+      for (std::size_t g : good) {
+        stats_.record_request(ms(done - items[g].enqueued),
+                              ms(collected - items[g].enqueued));
+      }
+      if (tracing) {
+        // Batch-shared stages (collect/embed/score/reply) are identical for
+        // every member — the batch is the unit of that work; queue-wait and
+        // total are per request. The reply span covers the post-compute
+        // bookkeeping (domain counting, stats) up to the promise handoff.
+        const auto replied = Clock::now();
+        const double collect_ms = ms(assembled - collected);
+        const double reply_ms = ms(replied - done);
+        for (std::size_t g : good) {
+          obs::TraceSpan span;
+          span.stage(obs::Stage::kQueueWait) = ms(collected - items[g].enqueued);
+          span.stage(obs::Stage::kCollect) = collect_ms;
+          span.stage(obs::Stage::kEmbed) = timings.embed_ms;
+          span.stage(obs::Stage::kScore) = timings.score_ms;
+          span.stage(obs::Stage::kReply) = reply_ms;
+          span.total_ms = ms(replied - items[g].enqueued);
+          trace_.record(span);
+        }
+      }
       for (std::size_t g = 0; g < good.size(); ++g) {
         items[good[g]].promise.set_value(preds[g]);
-        stats_.record_request(
-            std::chrono::duration<double, std::milli>(done - items[good[g]].enqueued)
-                .count());
       }
+    } catch (const std::exception& e) {
+      util::log_warn("serve: batch of ", good.size(), " failed: ", e.what());
+      auto eptr = std::current_exception();
+      for (std::size_t g : good) items[g].promise.set_exception(eptr);
     } catch (...) {
+      util::log_warn("serve: batch of ", good.size(), " failed with a non-std exception");
       auto eptr = std::current_exception();
       for (std::size_t g : good) items[g].promise.set_exception(eptr);
     }

@@ -12,8 +12,10 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/stats.hpp"
 
@@ -38,6 +40,14 @@ struct ServerConfig {
   /// the snapshot's partition mask) on both scoring paths. 0 = plain
   /// single-space serving (see InferenceEngine).
   float seen_penalty = 0.0f;
+  /// Metric namespace: non-empty registers this runtime's telemetry (stats
+  /// and per-stage trace histograms) in obs::default_registry() under
+  /// serve_*{model=name} so the exporters see it. ModelRegistry sets it to
+  /// the model key on load.
+  std::string name;
+  /// Per-request stage tracing (obs/trace.hpp). Off, the worker loop takes
+  /// no per-stage timestamps at all.
+  bool tracing = true;
 };
 
 class ServerRuntime {
@@ -66,6 +76,10 @@ class ServerRuntime {
   const std::shared_ptr<const InferenceEngine>& engine_ptr() const { return engine_; }
   ServingStats& stats() { return stats_; }
   const ServingStats& stats() const { return stats_; }
+  /// Per-request stage tracer: admit → queue-wait → collect → embed →
+  /// score → reply breakdowns plus the slowest-span postmortem ring.
+  obs::Tracer& tracer() { return trace_; }
+  const obs::Tracer& tracer() const { return trace_; }
   std::size_t queue_depth() const { return batcher_.depth(); }
   bool running() const { return running_.load(); }
 
@@ -76,6 +90,7 @@ class ServerRuntime {
   ServerConfig cfg_;
   DynamicBatcher batcher_;
   ServingStats stats_;
+  obs::Tracer trace_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopped_{false};

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "util/parallel.hpp"
@@ -113,6 +114,27 @@ class BoundedTopKHamming {
   std::uint64_t bound_;
 };
 
+/// Process-wide scan telemetry in obs::default_registry(): per-shard scan
+/// wall time (profiling-gated, see obs::ScopedTimer) and swept/pruned row
+/// totals across every sharded store in the process. Magic statics so the
+/// hot loops pay one pointer load, no registry lookups.
+obs::Histogram* shard_scan_hist() {
+  static const std::shared_ptr<obs::Histogram> h = obs::default_registry().histogram(
+      "serve_shard_scan_ms", {}, "wall time of one (shard, batch) scatter scan");
+  return h.get();
+}
+obs::Counter& rows_swept_total() {
+  static const std::shared_ptr<obs::Counter> c = obs::default_registry().counter(
+      "serve_shard_rows_swept_total", {}, "prototype rows swept by sharded scatter scans");
+  return *c;
+}
+obs::Counter& rows_pruned_total() {
+  static const std::shared_ptr<obs::Counter> c = obs::default_registry().counter(
+      "serve_shard_rows_pruned_total", {},
+      "rows skipped wholesale by the heap-cutoff block-skip prefilter");
+  return *c;
+}
+
 void check_embeddings(const tensor::Tensor& embeddings, std::size_t dim, const char* what) {
   if (embeddings.dim() != 2 || embeddings.size(1) != dim)
     throw std::invalid_argument(std::string("ShardedPrototypeStore::") + what + ": need [B, " +
@@ -180,8 +202,10 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
   util::parallel_for(
       0, n_sh,
       [&](std::size_t s) {
+        const obs::ScopedTimer scan_timer(shard_scan_hist());
         const Shard sh = shards_[s];
         const std::size_t rows = sh.end - sh.begin;
+        std::uint64_t pruned = 0;
         // Shard-local scores, O(B·C/S) — the full [B, C] logit matrix is
         // never materialized. Zeroed: gemm accumulates.
         std::vector<float> cos(batch * rows, 0.0f);
@@ -208,7 +232,10 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
             std::uint32_t any = 0;
             for (std::size_t j = 0; j < kSelectBlock; ++j)
               any |= row[i + j] >= cut ? 1u : 0u;
-            if (!any) continue;
+            if (!any) {
+              pruned += kSelectBlock;
+              continue;
+            }
             for (std::size_t j = 0; j < kSelectBlock; ++j)
               local.offer(TopK{sh.begin + i + j, row[i + j]});
           }
@@ -217,6 +244,9 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
         }
         counters_[s].scans.fetch_add(batch, std::memory_order_relaxed);
         counters_[s].rows_swept.fetch_add(batch * rows, std::memory_order_relaxed);
+        counters_[s].rows_pruned.fetch_add(pruned, std::memory_order_relaxed);
+        rows_swept_total().add(batch * rows);
+        rows_pruned_total().add(pruned);
       },
       /*grain=*/1);
 
@@ -276,8 +306,10 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
   util::parallel_for(
       0, n_sh,
       [&](std::size_t s) {
+        const obs::ScopedTimer scan_timer(shard_scan_hist());
         const Shard sh = shards_[s];
         const std::size_t rows = sh.end - sh.begin;
+        std::uint64_t pruned = 0;
         // Shard-local distance buffer, O(B·C/S) and for-overwrite (the
         // kernel fills every slot read back) — the full [B, C] matrix is
         // never materialized.
@@ -310,7 +342,10 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
               std::uint32_t any = 0;
               for (std::size_t j = 0; j < kSelectBlock; ++j)
                 any |= hb[i + j] <= t ? 1u : 0u;
-              if (!any) continue;
+              if (!any) {
+                pruned += kSelectBlock;
+                continue;
+              }
               for (std::size_t j = 0; j < kSelectBlock; ++j)
                 local.offer(hb[i + j], sh.begin + i + j);
             }
@@ -345,6 +380,9 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
         }
         counters_[s].scans.fetch_add(batch, std::memory_order_relaxed);
         counters_[s].rows_swept.fetch_add(batch * rows, std::memory_order_relaxed);
+        counters_[s].rows_pruned.fetch_add(pruned, std::memory_order_relaxed);
+        rows_swept_total().add(batch * rows);
+        rows_pruned_total().add(pruned);
       },
       /*grain=*/1);
 
@@ -358,6 +396,7 @@ std::vector<ShardedPrototypeStore::ShardInfo> ShardedPrototypeStore::shard_stats
     out[s].rows = shards_[s].end - shards_[s].begin;
     out[s].scans = counters_[s].scans.load(std::memory_order_relaxed);
     out[s].rows_swept = counters_[s].rows_swept.load(std::memory_order_relaxed);
+    out[s].rows_pruned = counters_[s].rows_pruned.load(std::memory_order_relaxed);
   }
   return out;
 }

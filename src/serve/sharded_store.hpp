@@ -36,8 +36,10 @@
 // scores class rows [begin(s), end(s)) of the same packed words and the
 // same normalized float rows the flat store scans, so S is a pure serving
 // knob — any S yields the same ranking, and an S=1 store behaves exactly
-// like the flat path. Per-shard scan counters (scans, rows swept) are kept
-// for telemetry and surfaced through ServerRuntime/ModelRegistry.
+// like the flat path. Per-shard scan counters (scans, rows swept, rows
+// pruned by the heap-cutoff block-skip) are kept for telemetry and
+// surfaced through ServerRuntime/ModelRegistry; scan wall time feeds the
+// profiling-gated serve_shard_scan_ms histogram (obs/metrics.hpp).
 #pragma once
 
 #include <atomic>
@@ -96,10 +98,14 @@ class ShardedPrototypeStore {
 
   /// Per-shard telemetry snapshot.
   struct ShardInfo {
-    std::size_t begin = 0;         ///< first prototype row of the shard
-    std::size_t rows = 0;          ///< shard height
-    std::uint64_t scans = 0;       ///< (query, shard) scatter scans executed
-    std::uint64_t rows_swept = 0;  ///< prototype rows swept in those scans
+    std::size_t begin = 0;          ///< first prototype row of the shard
+    std::size_t rows = 0;           ///< shard height
+    std::uint64_t scans = 0;        ///< (query, shard) scatter scans executed
+    std::uint64_t rows_swept = 0;   ///< prototype rows swept in those scans
+    std::uint64_t rows_pruned = 0;  ///< rows skipped wholesale by the
+                                    ///< block-skip cutoff (subset of swept;
+                                    ///< the heap-cutoff prune rate is
+                                    ///< rows_pruned / rows_swept)
   };
   std::vector<ShardInfo> shard_stats() const;
 
@@ -114,11 +120,12 @@ class ShardedPrototypeStore {
   std::vector<std::vector<TopK>> gather(std::size_t batch, std::size_t k,
                                         const std::vector<TopK>& cand,
                                         const std::vector<std::uint32_t>& cand_n) const;
-  /// Telemetry (mutable: scoring is logically const). One relaxed
-  /// fetch_add pair per (batch, shard) scatter scan.
+  /// Telemetry (mutable: scoring is logically const). A few relaxed
+  /// fetch_adds per (batch, shard) scatter scan.
   struct Counters {
     std::atomic<std::uint64_t> scans{0};
     std::atomic<std::uint64_t> rows_swept{0};
+    std::atomic<std::uint64_t> rows_pruned{0};
   };
 
   const PrototypeStore* base_;

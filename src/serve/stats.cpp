@@ -5,75 +5,99 @@
 
 namespace hdczsc::serve {
 
-void ServingStats::record_request(double latency_ms) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++completed_;
-  latencies_ms_.push_back(latency_ms);
+ServingStats::ServingStats() { init(""); }
+ServingStats::ServingStats(const std::string& model) { init(model); }
+
+void ServingStats::init(const std::string& model) {
+  if (model.empty()) {
+    completed_ = std::make_shared<obs::Counter>();
+    rejected_ = std::make_shared<obs::Counter>();
+    batches_ = std::make_shared<obs::Counter>();
+    seen_hits_ = std::make_shared<obs::Counter>();
+    unseen_hits_ = std::make_shared<obs::Counter>();
+    latency_ms_ = std::make_shared<obs::Histogram>();
+    queue_wait_ms_ = std::make_shared<obs::Histogram>();
+    batch_size_ = std::make_shared<obs::Histogram>();
+    max_queue_depth_ = std::make_shared<obs::Gauge>();
+    return;
+  }
+  obs::Registry& reg = obs::default_registry();
+  const obs::Labels labels = {{"model", model}};
+  completed_ = reg.counter("serve_requests_total", labels, "completed requests");
+  rejected_ = reg.counter("serve_rejected_total", labels, "admission-control rejections");
+  batches_ = reg.counter("serve_batches_total", labels, "executed coalesced batches");
+  seen_hits_ =
+      reg.counter("serve_seen_predictions_total", labels, "predictions on seen classes (GZSL)");
+  unseen_hits_ = reg.counter("serve_unseen_predictions_total", labels,
+                             "predictions on unseen classes (GZSL)");
+  latency_ms_ =
+      reg.histogram("serve_latency_ms", labels, "end-to-end request latency (ms), submit to reply");
+  queue_wait_ms_ = reg.histogram("serve_queue_wait_ms", labels,
+                                 "time spent queued before batch collection (ms)");
+  batch_size_ = reg.histogram("serve_batch_size", labels, "coalesced batch sizes");
+  max_queue_depth_ =
+      reg.gauge("serve_queue_depth_max", labels, "high-water mark of the batcher queue depth");
 }
 
-void ServingStats::record_reject() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++rejected_;
+void ServingStats::record_request(double latency_ms, double queue_wait_ms) {
+  completed_->add();
+  latency_ms_->record(latency_ms);
+  queue_wait_ms_->record(queue_wait_ms);
 }
+
+void ServingStats::record_reject() { rejected_->add(); }
 
 void ServingStats::record_batch(std::size_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  batch_size_sum_ += batch_size;
+  batches_->add();
+  batch_size_->record(static_cast<double>(batch_size));
+  batch_size_sum_.fetch_add(batch_size, std::memory_order_relaxed);
   std::size_t bucket = 0;
   for (std::size_t s = batch_size; s > 1; s >>= 1) ++bucket;
-  if (batch_histogram_.size() <= bucket) batch_histogram_.resize(bucket + 1, 0);
-  ++batch_histogram_[bucket];
+  bucket = std::min(bucket, kBatchBuckets - 1);
+  batch_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
 void ServingStats::record_domains(std::size_t seen, std::size_t unseen) {
-  std::lock_guard<std::mutex> lock(mu_);
-  seen_hits_ += seen;
-  unseen_hits_ += unseen;
+  if (seen) seen_hits_->add(seen);
+  if (unseen) unseen_hits_->add(unseen);
 }
 
 void ServingStats::observe_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
-  max_queue_depth_ = std::max(max_queue_depth_, depth);
-}
-
-double ServingStats::percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0.0;
-  const std::size_t k = static_cast<std::size_t>(
-      std::min<double>(static_cast<double>(xs.size()) - 1.0,
-                       q * static_cast<double>(xs.size())));
-  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(k), xs.end());
-  return xs[k];
+  max_queue_depth_->observe_max(static_cast<double>(depth));
 }
 
 ServingStats::Summary ServingStats::summary() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Summary s;
-  s.completed = completed_;
-  s.rejected = rejected_;
-  s.batches = batches_;
+  s.completed = completed_->value();
+  s.rejected = rejected_->value();
+  s.batches = batches_->value();
   s.wall_seconds = wall_.seconds();
   s.throughput_rps =
-      s.wall_seconds > 0.0 ? static_cast<double>(completed_) / s.wall_seconds : 0.0;
-  if (!latencies_ms_.empty()) {
-    double sum = 0.0;
-    for (double x : latencies_ms_) sum += x;
-    s.mean_latency_ms = sum / static_cast<double>(latencies_ms_.size());
-    s.p50_latency_ms = percentile(latencies_ms_, 0.50);
-    s.p99_latency_ms = percentile(latencies_ms_, 0.99);
-  }
+      s.wall_seconds > 0.0 ? static_cast<double>(s.completed) / s.wall_seconds : 0.0;
+  s.mean_latency_ms = latency_ms_->mean();
+  s.p50_latency_ms = latency_ms_->percentile(0.50);
+  s.p99_latency_ms = latency_ms_->percentile(0.99);
+  s.p999_latency_ms = latency_ms_->percentile(0.999);
+  s.mean_queue_wait_ms = queue_wait_ms_->mean();
+  s.p99_queue_wait_ms = queue_wait_ms_->percentile(0.99);
+  const std::uint64_t batch_sum = batch_size_sum_.load(std::memory_order_relaxed);
   s.mean_batch_size =
-      batches_ > 0 ? static_cast<double>(batch_size_sum_) / static_cast<double>(batches_) : 0.0;
-  s.max_queue_depth = max_queue_depth_;
-  s.seen_hits = seen_hits_;
-  s.unseen_hits = unseen_hits_;
-  const double domains = static_cast<double>(seen_hits_ + unseen_hits_);
-  if (seen_hits_ > 0 && unseen_hits_ > 0) {
-    const double fs = static_cast<double>(seen_hits_) / domains;
-    const double fu = static_cast<double>(unseen_hits_) / domains;
+      s.batches > 0 ? static_cast<double>(batch_sum) / static_cast<double>(s.batches) : 0.0;
+  s.max_queue_depth = static_cast<std::size_t>(max_queue_depth_->value());
+  s.seen_hits = seen_hits_->value();
+  s.unseen_hits = unseen_hits_->value();
+  const double domains = static_cast<double>(s.seen_hits + s.unseen_hits);
+  if (s.seen_hits > 0 && s.unseen_hits > 0) {
+    const double fs = static_cast<double>(s.seen_hits) / domains;
+    const double fu = static_cast<double>(s.unseen_hits) / domains;
     s.domain_harmonic = 2.0 * fs * fu / (fs + fu);
   }
-  s.batch_histogram = batch_histogram_;
+  std::size_t top = 0;
+  for (std::size_t k = 0; k < kBatchBuckets; ++k)
+    if (batch_hist_[k].load(std::memory_order_relaxed) > 0) top = k + 1;
+  s.batch_histogram.resize(top);
+  for (std::size_t k = 0; k < top; ++k)
+    s.batch_histogram[k] = batch_hist_[k].load(std::memory_order_relaxed);
   return s;
 }
 
@@ -88,6 +112,9 @@ util::Table ServingStats::to_table(const std::string& title) const {
   t.add_row({"latency mean (ms)", util::Table::num(s.mean_latency_ms, 3)});
   t.add_row({"latency p50 (ms)", util::Table::num(s.p50_latency_ms, 3)});
   t.add_row({"latency p99 (ms)", util::Table::num(s.p99_latency_ms, 3)});
+  t.add_row({"latency p999 (ms)", util::Table::num(s.p999_latency_ms, 3)});
+  t.add_row({"queue wait mean (ms)", util::Table::num(s.mean_queue_wait_ms, 3)});
+  t.add_row({"queue wait p99 (ms)", util::Table::num(s.p99_queue_wait_ms, 3)});
   t.add_row({"mean batch size", util::Table::num(s.mean_batch_size, 2)});
   t.add_row({"max queue depth", std::to_string(s.max_queue_depth)});
   if (s.seen_hits + s.unseen_hits > 0) {
@@ -106,17 +133,18 @@ util::Table ServingStats::to_table(const std::string& title) const {
 }
 
 void ServingStats::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
   wall_.reset();
-  completed_ = 0;
-  rejected_ = 0;
-  batches_ = 0;
-  batch_size_sum_ = 0;
-  seen_hits_ = 0;
-  unseen_hits_ = 0;
-  max_queue_depth_ = 0;
-  latencies_ms_.clear();
-  batch_histogram_.clear();
+  completed_->reset();
+  rejected_->reset();
+  batches_->reset();
+  seen_hits_->reset();
+  unseen_hits_->reset();
+  latency_ms_->reset();
+  queue_wait_ms_->reset();
+  batch_size_->reset();
+  max_queue_depth_->reset();
+  batch_size_sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : batch_hist_) b.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace hdczsc::serve

@@ -1,15 +1,28 @@
-// Serving telemetry: counters, latency percentiles, queue-depth high-water
-// mark and a batch-size histogram, rendered via util::Table.
+// Serving telemetry, rebuilt on the obs metrics core.
 //
-// record_* methods are thread-safe and cheap (one mutex; latencies are kept
-// in full so percentiles are exact — at serving-bench scales this is a few
-// MB at most).
+// Every record_* path is lock-free (sharded counters, log-bucketed
+// histograms) — the old design took a mutex per completed request and kept
+// every latency in an unbounded vector so percentiles could be exact; at
+// sustained serving rates that is both a contention point on the hot path
+// and memory that grows forever. Percentiles now come from fixed-memory
+// obs::Histogram buckets (≤ ~0.8 % relative error; tests/test_obs.cpp gates
+// 2 %), and memory_bytes() is a compile-time constant regardless of how
+// many requests were recorded.
+//
+// Constructed with a model name, every metric is also registered in
+// obs::default_registry() under serve_*{model=...} so the exporters
+// (Prometheus text / JSON) see live serving telemetry without any extra
+// plumbing. A default-constructed instance keeps its metrics private
+// (tests, ad-hoc benches).
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -17,10 +30,16 @@ namespace hdczsc::serve {
 
 class ServingStats {
  public:
-  ServingStats() = default;
+  /// Private (unregistered) metrics.
+  ServingStats();
+  /// Registered metrics: serve_requests_total{model=...} etc. in
+  /// obs::default_registry(). Re-creating under the same name (model hot
+  /// reload) continues the same series.
+  explicit ServingStats(const std::string& model);
 
-  /// One completed request with its end-to-end (enqueue→reply) latency.
-  void record_request(double latency_ms);
+  /// One completed request with its end-to-end (enqueue→reply) latency and
+  /// the share of it spent waiting in the batcher queue.
+  void record_request(double latency_ms, double queue_wait_ms = 0.0);
   /// One admission-control rejection.
   void record_reject();
   /// One executed forward with its coalesced batch size.
@@ -44,6 +63,9 @@ class ServingStats {
     double mean_latency_ms = 0.0;
     double p50_latency_ms = 0.0;
     double p99_latency_ms = 0.0;
+    double p999_latency_ms = 0.0;
+    double mean_queue_wait_ms = 0.0;
+    double p99_queue_wait_ms = 0.0;
     double mean_batch_size = 0.0;
     std::size_t max_queue_depth = 0;
     /// Predictions that landed on seen / unseen classes (GZSL serving;
@@ -66,20 +88,31 @@ class ServingStats {
 
   void reset();
 
- private:
-  mutable std::mutex mu_;
-  util::Timer wall_;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batch_size_sum_ = 0;
-  std::uint64_t seen_hits_ = 0;
-  std::uint64_t unseen_hits_ = 0;
-  std::size_t max_queue_depth_ = 0;
-  std::vector<double> latencies_ms_;
-  std::vector<std::uint64_t> batch_histogram_;
+  /// Bytes retained for latency bookkeeping — a constant, not a function of
+  /// the number of requests recorded (the regression test records 1M and
+  /// checks this does not move).
+  static constexpr std::size_t memory_bytes() { return 2 * sizeof(obs::Histogram); }
 
-  static double percentile(std::vector<double> xs, double q);
+ private:
+  void init(const std::string& model);
+
+  util::Timer wall_;
+  std::shared_ptr<obs::Counter> completed_;
+  std::shared_ptr<obs::Counter> rejected_;
+  std::shared_ptr<obs::Counter> batches_;
+  std::shared_ptr<obs::Counter> seen_hits_;
+  std::shared_ptr<obs::Counter> unseen_hits_;
+  std::shared_ptr<obs::Histogram> latency_ms_;
+  std::shared_ptr<obs::Histogram> queue_wait_ms_;
+  std::shared_ptr<obs::Histogram> batch_size_;
+  std::shared_ptr<obs::Gauge> max_queue_depth_;
+
+  /// Exact log2 batch-size histogram (back-compat with the Summary field and
+  /// its table rows). Batches beyond 2^(kBatchBuckets-1) clamp to the last
+  /// bucket — far above any admissible BatchPolicy::max_batch.
+  static constexpr std::size_t kBatchBuckets = 24;
+  std::array<std::atomic<std::uint64_t>, kBatchBuckets> batch_hist_{};
+  std::atomic<std::uint64_t> batch_size_sum_{0};
 };
 
 }  // namespace hdczsc::serve

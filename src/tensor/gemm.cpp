@@ -3,12 +3,22 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "obs/metrics.hpp"
 #include "tensor/scratch.hpp"
 #include "util/parallel.hpp"
 
 namespace hdczsc::tensor {
 
 namespace {
+
+/// Profiling hook (obs::set_profiling_enabled): wall time of each top-level
+/// gemm_accumulate call. Magic static — one pointer load per call; with
+/// profiling off the ScopedTimer reads no clock.
+obs::Histogram* gemm_hist() {
+  static const std::shared_ptr<obs::Histogram> h = obs::default_registry().histogram(
+      "tensor_gemm_ms", {}, "wall time of one gemm_accumulate call");
+  return h.get();
+}
 
 // Cache blocking: an MC x KC packed A block (~128 KiB) stays L2-resident
 // while a KC x NC packed B block streams through; KC deep enough to amortize
@@ -205,6 +215,7 @@ void gemm_accumulate(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size
                      const float* A, std::size_t lda, const float* B, std::size_t ldb, float* C,
                      std::size_t ldc) {
   if (m == 0 || n == 0 || k == 0) return;
+  const obs::ScopedTimer profile(gemm_hist());
   if (m * n * k < kNaiveCutoff) {
     gemm_naive(ta, tb, m, n, k, A, lda, B, ldb, C, ldc);
     return;

@@ -1,7 +1,9 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace hdczsc::util {
@@ -24,9 +26,26 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+std::size_t thread_tag() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t tag = next.fetch_add(1, std::memory_order_relaxed);
+  return tag;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()).count() %
+      1000);
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  const std::size_t tag = thread_tag();
+
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), msg.c_str());
+  std::fprintf(stderr, "[%02d-%02d %02d:%02d:%02d.%03d] [%s] [t%02zu] %s\n", tm.tm_mon + 1,
+               tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec, millis, level_tag(level), tag,
+               msg.c_str());
 }
 
 }  // namespace hdczsc::util

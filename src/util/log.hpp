@@ -1,6 +1,12 @@
 // Minimal leveled logging to stderr, controllable at runtime.
+//
+// Each line is stamped "[MM-DD HH:MM:SS.mmm] [LEVEL] [tNN] msg" — wall-clock
+// timestamp plus a dense per-thread tag so interleaved worker-loop output
+// (e.g. shape-mismatch warnings from several serving workers) can be
+// attributed and correlated with slow-trace dumps.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 
@@ -11,6 +17,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 /// Global log threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Dense id of the calling thread (0, 1, 2, ... in first-log order); the
+/// NN in the [tNN] log prefix.
+std::size_t thread_tag();
 
 /// Emit a message at `level` (thread-safe).
 void log_message(LogLevel level, const std::string& msg);

@@ -1,0 +1,471 @@
+// Observability layer: the log-bucketed histogram must track exact-sort
+// percentiles within its error bound, every primitive must stay correct
+// under concurrent recording, the serving stats must hold percentile
+// accuracy in fixed memory, the per-request tracer must produce coherent
+// stage spans from a real serving runtime, and the exporters must emit
+// exact, deterministic Prometheus/JSON text.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+
+/// Exact percentile with the same rank convention ServingStats has always
+/// used (nth_element at floor(q·n), clamped to n-1).
+double exact_percentile(std::vector<double> xs, double q) {
+  const std::size_t k = static_cast<std::size_t>(std::min<double>(
+      static_cast<double>(xs.size()) - 1.0, q * static_cast<double>(xs.size())));
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(k), xs.end());
+  return xs[k];
+}
+
+// -- histogram ---------------------------------------------------------------
+
+TEST(ObsHistogram, PercentilesWithinTwoPercentOfExactSort) {
+  // Log-normal-ish latencies spanning ~3 decades — the shape serving
+  // latencies actually have (tight body, long tail).
+  util::Rng rng(0x0b5e11ULL);
+  Histogram h;
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) {
+    const double v = std::exp(rng.normal(1.0, 1.2));  // ~0.05 .. ~500 (ms)
+    xs.push_back(v);
+    h.record(v);
+  }
+  ASSERT_EQ(h.count(), xs.size());
+  for (double q : {0.50, 0.90, 0.99, 0.999}) {
+    const double exact = exact_percentile(xs, q);
+    const double est = h.percentile(q);
+    EXPECT_NEAR(est, exact, 0.02 * exact) << "q=" << q;  // ISSUE gate: 2 % relative
+  }
+  // Mean from the fixed-point sum, and true (unbucketed) extremes.
+  double sum = 0.0;
+  for (double v : xs) sum += v;
+  EXPECT_NEAR(h.mean(), sum / static_cast<double>(xs.size()),
+              1e-2 * sum / static_cast<double>(xs.size()));
+  EXPECT_DOUBLE_EQ(h.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(h.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(ObsHistogram, EdgeCases) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  // Non-positive and out-of-range values clamp to edge buckets but still
+  // count, and min/max stay exact.
+  h.record(0.0);
+  h.record(-3.0);
+  h.record(1e12);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(ObsHistogram, SingleValueQuantilesClampToObservedRange) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(7.25);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) EXPECT_DOUBLE_EQ(h.percentile(q), 7.25);
+}
+
+TEST(ObsHistogram, FixedMemoryByConstruction) {
+  // The whole point vs the old unbounded latency vector: footprint is a
+  // compile-time constant, not a function of sample count.
+  static_assert(Histogram::memory_bytes() == sizeof(Histogram));
+  Histogram h;
+  for (int i = 0; i < 1000000; ++i) h.record(0.5 + (i % 97) * 0.1);
+  EXPECT_EQ(Histogram::memory_bytes(), sizeof(Histogram));
+  EXPECT_EQ(h.count(), 1000000u);
+}
+
+TEST(ObsHistogram, ConcurrentRecordLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 4, kPer = 50000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h, t] {
+      util::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPer; ++i) h.record(std::exp(rng.normal(0.0, 1.0)));
+    });
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPer);
+  std::uint64_t bucket_total = 0;
+  for (const auto& b : h.nonzero_buckets()) bucket_total += b.count;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+// -- counter / gauge ---------------------------------------------------------
+
+TEST(ObsCounter, ConcurrentAddsAreExactAfterJoin) {
+  Counter c;
+  constexpr int kThreads = 8, kPer = 100000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kPer; ++i) c.add();
+    });
+  for (auto& th : ts) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer);
+  c.add(41);
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPer + 41);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, ObserveMaxIsMonotone) {
+  Gauge g;
+  g.observe_max(3.0);
+  g.observe_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.observe_max(9.5);
+  EXPECT_DOUBLE_EQ(g.value(), 9.5);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+// -- registry ----------------------------------------------------------------
+
+TEST(ObsRegistry, GetOrCreateContinuesSeriesAndChecksKind) {
+  obs::Registry reg;
+  auto c1 = reg.counter("requests", {{"model", "a"}});
+  c1->add(5);
+  // Same identity → same underlying metric (hot-reload continues series).
+  auto c2 = reg.counter("requests", {{"model", "a"}});
+  EXPECT_EQ(c1.get(), c2.get());
+  EXPECT_EQ(c2->value(), 5u);
+  // Different labels → a different series; different kind → an error.
+  auto c3 = reg.counter("requests", {{"model", "b"}});
+  EXPECT_NE(c1.get(), c3.get());
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_THROW(reg.histogram("requests", {{"model", "a"}}), std::logic_error);
+}
+
+// -- exporters ---------------------------------------------------------------
+
+TEST(ObsExport, PrometheusGolden) {
+  obs::Registry reg;
+  reg.counter("req_total", {{"model", "m0"}}, "completed requests")->add(42);
+  reg.gauge("depth_max", {}, "queue high-water")->set(7);
+  auto h = reg.histogram("lat_ms", {{"model", "m0"}}, "latency");
+  h->record(1.0);  // bucket upper edge for 1.0: first sub-bucket of octave 0
+  h->record(1.0);
+  const std::string text = obs::to_prometheus(reg);
+  const std::string expected =
+      "# HELP depth_max queue high-water\n"
+      "# TYPE depth_max gauge\n"
+      "depth_max 7\n"
+      "# HELP lat_ms latency\n"
+      "# TYPE lat_ms histogram\n"
+      "lat_ms_bucket{model=\"m0\",le=\"1.015625\"} 2\n"
+      "lat_ms_bucket{model=\"m0\",le=\"+Inf\"} 2\n"
+      "lat_ms_sum{model=\"m0\"} 2\n"
+      "lat_ms_count{model=\"m0\"} 2\n"
+      "# HELP req_total completed requests\n"
+      "# TYPE req_total counter\n"
+      "req_total{model=\"m0\"} 42\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsExport, JsonGolden) {
+  obs::Registry reg;
+  reg.counter("req_total", {{"model", "m0"}})->add(3);
+  reg.gauge("depth_max")->set(2.5);
+  const std::string text = obs::to_json(reg);
+  const std::string expected =
+      "{\n"
+      "  \"metrics\": [\n"
+      "    {\"name\": \"depth_max\", \"labels\": {}, \"type\": \"gauge\", \"value\": 2.5},\n"
+      "    {\"name\": \"req_total\", \"labels\": {\"model\": \"m0\"}, \"type\": \"counter\", "
+      "\"value\": 3}\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(ObsExport, JsonHistogramCarriesQuantiles) {
+  obs::Registry reg;
+  auto h = reg.histogram("lat_ms");
+  for (int i = 1; i <= 100; ++i) h->record(static_cast<double>(i));
+  const std::string text = obs::to_json(reg);
+  EXPECT_NE(text.find("\"type\": \"histogram\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(text.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(text.find("\"p999\":"), std::string::npos);
+}
+
+TEST(ObsExport, DumpMetricsFilePicksFormatByExtension) {
+  obs::Registry reg;
+  reg.counter("x_total")->add(1);
+  const std::string jpath = "test_obs_metrics.json";
+  const std::string ppath = "test_obs_metrics.prom";
+  obs::dump_metrics_file(jpath, reg);
+  obs::dump_metrics_file(ppath, reg);
+  std::ifstream jf(jpath), pf(ppath);
+  std::string jtext((std::istreambuf_iterator<char>(jf)), std::istreambuf_iterator<char>());
+  std::string ptext((std::istreambuf_iterator<char>(pf)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(jtext, obs::to_json(reg));
+  EXPECT_EQ(ptext, obs::to_prometheus(reg));
+  std::remove(jpath.c_str());
+  std::remove(ppath.c_str());
+}
+
+TEST(ObsExport, PeriodicReporterFiresAndStops) {
+  std::atomic<int> fired{0};
+  {
+    obs::PeriodicReporter rep(0.02, [&fired] { fired.fetch_add(1); });
+    while (fired.load() < 2) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    rep.stop();
+    const int at_stop = fired.load();
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_EQ(fired.load(), at_stop);  // no firing after stop()
+  }
+  EXPECT_GE(fired.load(), 2);
+}
+
+// -- profiling gate ----------------------------------------------------------
+
+TEST(ObsScopedTimer, GatedByRuntimeFlag) {
+  Histogram h;
+  obs::set_profiling_enabled(false);
+  { obs::ScopedTimer t(&h); }
+  EXPECT_EQ(h.count(), 0u);  // disabled: no clock, no record
+  obs::set_profiling_enabled(true);
+  { obs::ScopedTimer t(&h); }
+  obs::set_profiling_enabled(false);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// -- serving stats on the bounded core ---------------------------------------
+
+TEST(ObsServingStats, BoundedMemoryHoldsPercentileAccuracyOverOneMillionRecords) {
+  // The regression the rewrite exists for: the old implementation kept an
+  // unbounded std::vector<double> of every latency (8 MB per million
+  // requests, growing forever); the histogram footprint is a constant.
+  static_assert(serve::ServingStats::memory_bytes() == 2 * sizeof(Histogram));
+  serve::ServingStats stats;
+  util::Rng rng(0xfeedULL);
+  std::vector<double> xs;
+  xs.reserve(1000000);
+  for (int i = 0; i < 1000000; ++i) {
+    const double v = std::exp(rng.normal(0.5, 1.0));
+    xs.push_back(v);
+    stats.record_request(v, v * 0.25);
+  }
+  const auto s = stats.summary();
+  EXPECT_EQ(s.completed, 1000000u);
+  const double e50 = exact_percentile(xs, 0.50);
+  const double e99 = exact_percentile(xs, 0.99);
+  EXPECT_NEAR(s.p50_latency_ms, e50, 0.02 * e50);
+  EXPECT_NEAR(s.p99_latency_ms, e99, 0.02 * e99);
+  EXPECT_GT(s.p999_latency_ms, s.p99_latency_ms * 0.98);
+  EXPECT_NEAR(s.p99_queue_wait_ms, 0.25 * e99, 0.05 * e99);
+}
+
+TEST(ObsServingStats, BatchHistogramAndDomainsSurvivedTheRewrite) {
+  serve::ServingStats stats;
+  stats.record_batch(1);
+  stats.record_batch(3);
+  stats.record_batch(8);
+  stats.record_batch(8);
+  stats.record_domains(5, 3);
+  stats.observe_queue_depth(17);
+  const auto s = stats.summary();
+  EXPECT_EQ(s.batches, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 5.0);
+  ASSERT_EQ(s.batch_histogram.size(), 4u);  // buckets: 1 | 2-3 | 4-7 | 8-15
+  EXPECT_EQ(s.batch_histogram[0], 1u);
+  EXPECT_EQ(s.batch_histogram[1], 1u);
+  EXPECT_EQ(s.batch_histogram[2], 0u);
+  EXPECT_EQ(s.batch_histogram[3], 2u);
+  EXPECT_EQ(s.max_queue_depth, 17u);
+  EXPECT_EQ(s.seen_hits, 5u);
+  EXPECT_EQ(s.unseen_hits, 3u);
+  EXPECT_NEAR(s.domain_harmonic, 2.0 * 0.625 * 0.375, 1e-12);
+  stats.reset();
+  EXPECT_EQ(stats.summary().batches, 0u);
+  EXPECT_EQ(stats.summary().batch_histogram.size(), 0u);
+}
+
+// -- tracer ------------------------------------------------------------------
+
+obs::TraceSpan make_span(double total) {
+  obs::TraceSpan s;
+  s.stage(obs::Stage::kQueueWait) = total * 0.5;
+  s.stage(obs::Stage::kEmbed) = total * 0.4;
+  s.stage(obs::Stage::kReply) = total * 0.1;
+  s.total_ms = total;
+  return s;
+}
+
+TEST(ObsTracer, SlowestRingKeepsTheLargestTotals) {
+  obs::Tracer tracer("", /*slowest_capacity=*/4);
+  for (double t : {5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0, 4.0}) tracer.record(make_span(t));
+  const auto slow = tracer.slowest();
+  ASSERT_EQ(slow.size(), 4u);
+  EXPECT_DOUBLE_EQ(slow[0].total_ms, 9.0);
+  EXPECT_DOUBLE_EQ(slow[1].total_ms, 8.0);
+  EXPECT_DOUBLE_EQ(slow[2].total_ms, 7.0);
+  EXPECT_DOUBLE_EQ(slow[3].total_ms, 5.0);
+  const auto stats = tracer.stage_stats();
+  ASSERT_EQ(stats.size(), obs::kNumStages + 1);
+  EXPECT_EQ(stats.back().stage, "total");
+  EXPECT_EQ(stats.back().count, 8u);
+  tracer.reset();
+  EXPECT_TRUE(tracer.slowest().empty());
+  EXPECT_EQ(tracer.stage_stats().back().count, 0u);
+}
+
+TEST(ObsTracer, DumpSlowestFormatsOneLinePerSpan) {
+  obs::Tracer tracer("", 2);
+  tracer.record(make_span(4.0));
+  tracer.record(make_span(6.0));
+  const std::string dump = tracer.dump_slowest();
+  EXPECT_NE(dump.find("total=6.000ms"), std::string::npos);
+  EXPECT_NE(dump.find("queue-wait=3.000"), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+// -- end-to-end: spans from a real serving runtime ---------------------------
+
+/// One cheap trained pipeline + snapshot shared by the runtime-facing tests.
+struct SharedObsServe {
+  core::TrainedPipeline tp;
+  std::shared_ptr<const serve::ModelSnapshot> snapshot;
+
+  static const SharedObsServe& get() {
+    static SharedObsServe s;
+    return s;
+  }
+
+ private:
+  SharedObsServe() {
+    core::PipelineConfig cfg;
+    cfg.n_classes = 10;
+    cfg.images_per_class = 4;
+    cfg.train_instances = 3;
+    cfg.image_size = 32;
+    cfg.split = "zs";
+    cfg.zs_train_classes = 6;
+    cfg.model.image.proj_dim = 128;
+    cfg.run_phase1 = false;
+    cfg.run_phase2 = false;
+    cfg.phase3 = {1, 16, 1e-2f, 1e-4f, 5.0f, true, false};
+    cfg.augment.enabled = false;
+    tp = core::run_pipeline_trained(cfg);
+    snapshot = std::make_shared<serve::ModelSnapshot>(tp.model, tp.test_class_attributes);
+  }
+};
+
+nn::Tensor one_image(const nn::Tensor& images, std::size_t b) {
+  const std::size_t per = images.numel() / images.size(0);
+  nn::Tensor out({images.size(1), images.size(2), images.size(3)});
+  const float* src = images.data() + b * per;
+  std::copy(src, src + per, out.data());
+  return out;
+}
+
+TEST(ObsTracer, ServerProducesCoherentStageSpans) {
+  const auto& shared = SharedObsServe::get();
+  auto engine = std::make_shared<const serve::InferenceEngine>(shared.snapshot);
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 4;
+  cfg.batch.max_delay_ms = 1.0;
+  cfg.tracing = true;
+  serve::ServerRuntime server(engine, cfg);
+  server.start();
+  const std::size_t n = 24;
+  std::vector<std::future<serve::Prediction>> futs;
+  for (std::size_t i = 0; i < n; ++i)
+    futs.push_back(server.classify_async(
+        one_image(shared.tp.test_set.images, i % shared.tp.test_set.images.size(0))));
+  for (auto& f : futs) f.get();
+  server.stop();
+
+  // Every request produced a span; per-stage counts match.
+  const auto stats = server.tracer().stage_stats();
+  ASSERT_EQ(stats.size(), obs::kNumStages + 1);
+  for (const auto& s : stats) EXPECT_EQ(s.count, n) << s.stage;
+
+  // Span coherence: stages non-negative, total bounds each stage, and the
+  // stages partition the request's lifetime (their sum cannot exceed the
+  // total by more than clock jitter).
+  const auto slow = server.tracer().slowest();
+  ASSERT_FALSE(slow.empty());
+  for (const auto& sp : slow) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < obs::kNumStages; ++i) {
+      EXPECT_GE(sp.stage_ms[i], 0.0);
+      EXPECT_LE(sp.stage_ms[i], sp.total_ms + 0.5);
+      sum += sp.stage_ms[i];
+    }
+    EXPECT_LE(sum, sp.total_ms + 0.5);
+    EXPECT_GT(sp.total_ms, 0.0);
+  }
+  // The embed/score stages actually measured work (a CNN forward is not
+  // instantaneous), and queue-wait + embed dominate the slowest span.
+  EXPECT_GT(stats[static_cast<std::size_t>(obs::Stage::kEmbed)].mean_ms, 0.0);
+}
+
+TEST(ObsTracer, DisabledTracingRecordsNoSpans) {
+  const auto& shared = SharedObsServe::get();
+  auto engine = std::make_shared<const serve::InferenceEngine>(shared.snapshot);
+  serve::ServerConfig cfg;
+  cfg.batch.max_batch = 4;
+  cfg.tracing = false;
+  serve::ServerRuntime server(engine, cfg);
+  server.start();
+  for (int i = 0; i < 6; ++i)
+    server.classify(one_image(shared.tp.test_set.images, 0));
+  server.stop();
+  EXPECT_EQ(server.tracer().stage_stats().back().count, 0u);
+  EXPECT_TRUE(server.tracer().slowest().empty());
+  // Metrics still flow with tracing off.
+  EXPECT_EQ(server.stats().summary().completed, 6u);
+}
+
+TEST(ObsEngine, BatchTimingsSplitDoesNotChangePredictions) {
+  const auto& shared = SharedObsServe::get();
+  const serve::InferenceEngine engine(shared.snapshot);
+  const auto& images = shared.tp.test_set.images;
+  nn::Tensor batch({4, images.size(1), images.size(2), images.size(3)});
+  std::copy(images.data(), images.data() + batch.numel(), batch.data());
+
+  serve::InferenceEngine::BatchTimings t;
+  const auto with = engine.classify_batch(batch, &t);
+  const auto without = engine.classify_batch(batch);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].label, without[i].label);
+    EXPECT_EQ(with[i].score, without[i].score);
+  }
+  EXPECT_GT(t.embed_ms, 0.0);
+  EXPECT_GE(t.score_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace hdczsc
