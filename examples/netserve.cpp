@@ -1,0 +1,181 @@
+// netserve: host HDC-ZSC model snapshots behind the HDCN binary wire
+// protocol (docs/protocol.md) — the network face of the serving stack.
+//
+// Server mode (default): obtain a model, register it in a ModelRegistry,
+// start the epoll front-end and serve until SIGINT/SIGTERM (or for
+// --run-seconds). Two ways to obtain the model, mirroring serve_demo:
+//
+//   * cold-start from a frozen artifact (production path, no training):
+//       ./netserve --snapshot=model.hdcsnap [--port=7411] [--mode=binary]
+//   * train a small model in-process (demo path; the shared demo pipeline
+//     flags --classes/--image-size/--seed/... apply):
+//       ./netserve [--port=7411] [--save-snapshot=model.hdcsnap]
+//
+//   The bound port is printed as "netserve: listening on PORT" (scripts
+//   grep this line; --port=0 picks an ephemeral port).
+//
+// Client mode: connect to a running server, probe liveness and stream a
+// few requests through the pipelined client, printing statuses:
+//       ./netserve --connect=HOST:PORT [--requests=8] [--dim=256]
+//                  [--key=m0] [--k=1]
+//   Requests carry random embeddings of width --dim (the model's projection
+//   dimension); a width mismatch comes back as a named kBadShape status —
+//   useful for checking a deployment end to end without a dataset.
+//
+//   ./netserve [--port=0] [--io-threads=1] [--workers=1] [--batch=8]
+//              [--queue-depth=4096] [--mode=float|binary] [--models=1]
+//              [--run-seconds=0]
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "demo_pipeline_config.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/model_registry.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+using namespace hdczsc;
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+int run_client(const util::ArgMap& args, const std::string& connect) {
+  const auto colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "netserve: --connect wants HOST:PORT, got '%s'\n", connect.c_str());
+    return 2;
+  }
+  const std::string host = connect.substr(0, colon);
+  const int port = std::atoi(connect.c_str() + colon + 1);
+  const std::size_t n_requests = static_cast<std::size_t>(args.get_int("requests", 8));
+  const std::size_t dim = static_cast<std::size_t>(args.get_int("dim", 256));
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 1));
+  const std::string key = args.get_str("key", "m0");
+
+  net::NetClient client(host, static_cast<std::uint16_t>(port));
+  if (!client.ping()) {
+    std::fprintf(stderr, "netserve: ping to %s failed\n", connect.c_str());
+    return 1;
+  }
+  std::printf("netserve: connected to %s (ping ok)\n", connect.c_str());
+
+  // Pipelined streaming: every request is in flight before the first
+  // response is awaited; the reader thread matches them by request_id.
+  util::Rng rng(0xC11E47ULL);
+  std::vector<std::future<serve::InferResult>> futures;
+  futures.reserve(n_requests);
+  for (std::size_t i = 0; i < n_requests; ++i) {
+    serve::InferRequest req;
+    req.model_key = key;
+    req.input = nn::Tensor::randn({dim}, rng);
+    req.k = k;
+    futures.push_back(client.submit(std::move(req)));
+  }
+  std::size_t ok = 0;
+  for (auto& fut : futures) {
+    const serve::InferResult r = fut.get();
+    if (r.ok()) {
+      ++ok;
+      std::printf("  request %llu: top-1 label %zu (score %.4f)\n",
+                  static_cast<unsigned long long>(r.request_id),
+                  r.top().label, static_cast<double>(r.top().score));
+    } else {
+      std::printf("  request %llu: %s: %s\n",
+                  static_cast<unsigned long long>(r.request_id),
+                  serve::infer_status_name(r.status), r.message.c_str());
+    }
+  }
+  std::printf("netserve: %zu/%zu requests ok\n", ok, n_requests);
+  return ok == n_requests ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgMap args(argc, argv);
+  if (args.has("connect")) return run_client(args, args.get_str("connect", ""));
+
+  const std::string mode_str = args.get_str("mode", "binary");
+  if (mode_str != "binary" && mode_str != "float") {
+    std::fprintf(stderr, "netserve: unknown --mode=%s (expected float|binary)\n",
+                 mode_str.c_str());
+    return 2;
+  }
+  const serve::ScoringMode mode = mode_str == "binary" ? serve::ScoringMode::kBinaryHamming
+                                                       : serve::ScoringMode::kFloatCosine;
+  const std::size_t n_models =
+      static_cast<std::size_t>(std::max<long>(1, args.get_int("models", 1)));
+
+  // -- 1. obtain a snapshot: load the artifact, or train and freeze ----------
+  std::shared_ptr<const serve::ModelSnapshot> snapshot;
+  if (args.has("snapshot")) {
+    const std::string path = args.get_str("snapshot", "");
+    snapshot = serve::load_snapshot_file(path);
+    std::printf("netserve: cold-started from %s (%zu classes, d=%zu)\n", path.c_str(),
+                snapshot->n_classes(), snapshot->dim());
+  } else {
+    core::PipelineConfig cfg = examples::demo_pipeline_config(args);
+    cfg.snapshot_path = args.get_str("save-snapshot", "");
+    cfg.snapshot_expansion = static_cast<std::size_t>(args.get_int("expansion", 8));
+    std::printf("netserve: no --snapshot, training a %zu-class demo model in-process...\n",
+                cfg.n_classes);
+    auto tp = core::run_pipeline_trained(cfg);
+    std::printf("netserve: trained (zero-shot top-1 %.1f %% on unseen classes)\n",
+                100.0 * tp.result.zsc.top1);
+    if (!cfg.snapshot_path.empty())
+      std::printf("netserve: wrote snapshot artifact: %s\n", cfg.snapshot_path.c_str());
+    snapshot = std::make_shared<const serve::ModelSnapshot>(
+        tp.model, tp.test_class_attributes, cfg.snapshot_expansion, 1);
+  }
+
+  // -- 2. registry + network front-end ---------------------------------------
+  serve::ServerConfig scfg;
+  scfg.n_workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  scfg.batch.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
+  scfg.batch.max_delay_ms = args.get_double("delay-ms", 2.0);
+  scfg.batch.max_queue_depth = static_cast<std::size_t>(args.get_int("queue-depth", 4096));
+  serve::ModelRegistry registry(scfg);
+  std::vector<std::string> keys;
+  for (std::size_t m = 0; m < n_models; ++m) {
+    keys.push_back("m" + std::to_string(m));
+    registry.load(keys.back(), snapshot, mode);
+  }
+
+  net::NetServerConfig ncfg;
+  ncfg.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  ncfg.n_io_threads = static_cast<std::size_t>(args.get_int("io-threads", 1));
+  net::NetServer server(registry, ncfg);
+  server.start();
+  std::printf("netserve: serving %zu model(s) [%s] with %s scoring (d=%zu)\n", n_models,
+              keys.front().c_str(), scoring_mode_name(mode).c_str(), snapshot->dim());
+  std::printf("netserve: listening on %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  // -- 3. serve until a signal (or --run-seconds elapses) ---------------------
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  const double run_seconds = args.get_double("run-seconds", 0.0);
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (run_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count() >=
+            run_seconds)
+      break;
+  }
+
+  server.stop();
+  registry.to_table("netserve telemetry").print();
+  registry.stop_all();
+  std::printf("netserve: shut down cleanly\n");
+  return 0;
+}

@@ -202,18 +202,22 @@ int main(int argc, char** argv) {
     reporter = std::make_unique<obs::PeriodicReporter>(
         stats_interval, [&registry] { registry.to_table("serving telemetry (live)").print(); });
 
+  // The storm speaks the unified submit(InferRequest) surface (the same
+  // contract the network front-end serves): failures come back as named
+  // statuses on the results, and a status != kOk counts as a mismatch.
   const std::size_t n_images = images.size(0);
   std::vector<std::size_t> hits(clients, 0), matches(clients, 0), sent(clients, 0);
   std::vector<std::thread> threads;
   for (std::size_t t = 0; t < clients; ++t) {
     threads.emplace_back([&, t] {
       const std::size_t per_client = n_requests / clients;
-      std::vector<std::pair<std::size_t, std::future<serve::Prediction>>> inflight;
+      std::vector<std::pair<std::size_t, std::future<serve::InferResult>>> inflight;
       auto settle = [&] {
         for (auto& [i, f] : inflight) {
-          const serve::Prediction p = f.get();
-          matches[t] += p.label == expected[i].label;
-          if (!labels.empty()) hits[t] += p.label == labels[i];
+          const serve::InferResult r = f.get();
+          if (!r.ok() || r.topk.empty()) continue;
+          matches[t] += r.top().label == expected[i].label;
+          if (!labels.empty()) hits[t] += r.top().label == labels[i];
         }
         sent[t] += inflight.size();
         inflight.clear();
@@ -221,8 +225,11 @@ int main(int argc, char** argv) {
       for (std::size_t r = 0; r < per_client; ++r) {
         const std::size_t req = t * per_client + r;
         const std::size_t idx = req % n_images;
-        inflight.emplace_back(
-            idx, registry.classify_async(keys[req % n_models], slice_image(images, idx)));
+        serve::InferRequest ir;
+        ir.model_key = keys[req % n_models];
+        ir.input = slice_image(images, idx);
+        ir.request_id = req + 1;
+        inflight.emplace_back(idx, registry.submit(std::move(ir)));
         if (inflight.size() >= 16) settle();
       }
       settle();

@@ -1,0 +1,170 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include "net/protocol.hpp"
+
+namespace hdczsc::net {
+
+NetClient::NetClient(const std::string& host, std::uint16_t port)
+    : fd_(tcp_connect(host, port)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+NetClient::~NetClient() { close(); }
+
+void NetClient::close() {
+  // shutdown() (not ::close) breaks the reader out of its blocking recv
+  // without racing the fd number; the fd itself is released afterwards.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+  fail_all("connection closed");
+  fd_.reset();
+}
+
+void NetClient::fail_all(const std::string& why) {
+  dead_.store(true);
+  std::map<std::uint64_t, std::promise<serve::InferResult>> pending;
+  std::vector<std::promise<bool>> pings;
+  {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    pending.swap(pending_);
+    pings.swap(pending_pings_);
+  }
+  for (auto& [id, prom] : pending)
+    prom.set_value(serve::make_error_result(id, serve::InferStatus::kTransport, why));
+  for (auto& prom : pings) prom.set_value(false);
+}
+
+std::future<serve::InferResult> NetClient::submit(serve::InferRequest req) {
+  if (dead_.load())
+    return serve::make_ready_result(serve::make_error_result(
+        req.request_id, serve::InferStatus::kTransport, "connection is closed"));
+  if (req.request_id == 0) req.request_id = next_id_.fetch_add(1);
+
+  std::future<serve::InferResult> fut;
+  {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    auto [it, inserted] = pending_.emplace(req.request_id, std::promise<serve::InferResult>{});
+    if (!inserted)
+      return serve::make_ready_result(serve::make_error_result(
+          req.request_id, serve::InferStatus::kBadRequest,
+          "request_id " + std::to_string(req.request_id) + " is already in flight"));
+    fut = it->second.get_future();
+  }
+
+  std::vector<char> frame;
+  try {
+    frame = encode_request_frame(req);
+  } catch (const ProtocolError& e) {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    auto it = pending_.find(req.request_id);
+    if (it != pending_.end()) {
+      it->second.set_value(serve::make_error_result(req.request_id, e.status(), e.what()));
+      pending_.erase(it);
+    }
+    return fut;
+  }
+
+  bool sent = false;
+  try {
+    std::lock_guard<std::mutex> guard(write_mu_);
+    sent = send_all(fd_.get(), frame.data(), frame.size());
+  } catch (const std::exception&) {
+    sent = false;
+  }
+  if (!sent) fail_all("connection lost while sending");
+  return fut;
+}
+
+serve::InferResult NetClient::infer(serve::InferRequest req) {
+  return submit(std::move(req)).get();
+}
+
+bool NetClient::ping() {
+  if (dead_.load()) return false;
+  std::future<bool> fut;
+  {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    pending_pings_.emplace_back();
+    fut = pending_pings_.back().get_future();
+  }
+  const std::vector<char> frame = encode_control_frame(FrameType::kPing);
+  bool sent = false;
+  try {
+    std::lock_guard<std::mutex> guard(write_mu_);
+    sent = send_all(fd_.get(), frame.data(), frame.size());
+  } catch (const std::exception&) {
+    sent = false;
+  }
+  if (!sent) {
+    fail_all("connection lost while sending");
+    return false;
+  }
+  return fut.get();
+}
+
+void NetClient::reader_loop() {
+  std::vector<char> payload;
+  for (;;) {
+    char header_buf[kHeaderBytes];
+    if (!recv_all(fd_.get(), header_buf, kHeaderBytes)) {
+      fail_all("connection closed by server");
+      return;
+    }
+    FrameHeader header;
+    try {
+      header = decode_header(header_buf);
+    } catch (const ProtocolError& e) {
+      fail_all(e.what());
+      return;
+    }
+    payload.resize(header.payload_bytes);
+    if (header.payload_bytes > 0 &&
+        !recv_all(fd_.get(), payload.data(), payload.size())) {
+      fail_all("connection closed mid-frame");
+      return;
+    }
+
+    if (header.type == FrameType::kPong) {
+      std::promise<bool> prom;
+      bool have = false;
+      {
+        std::lock_guard<std::mutex> guard(pending_mu_);
+        if (!pending_pings_.empty()) {
+          prom = std::move(pending_pings_.front());
+          pending_pings_.erase(pending_pings_.begin());
+          have = true;
+        }
+      }
+      if (have) prom.set_value(true);
+      continue;
+    }
+    if (header.type != FrameType::kInferResponse) continue;  // tolerate unknown-but-valid
+
+    serve::InferResult res;
+    try {
+      res = decode_response_payload(payload.data(), payload.size());
+    } catch (const ProtocolError& e) {
+      fail_all(e.what());
+      return;
+    }
+    std::promise<serve::InferResult> prom;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> guard(pending_mu_);
+      auto it = pending_.find(res.request_id);
+      if (it != pending_.end()) {
+        prom = std::move(it->second);
+        pending_.erase(it);
+        have = true;
+      }
+    }
+    // Unmatched ids (e.g. a server-side kBadFrame report with id 0) are
+    // dropped: the in-flight request it displaced resolves via fail_all
+    // when the server closes the connection.
+    if (have) prom.set_value(std::move(res));
+  }
+}
+
+}  // namespace hdczsc::net

@@ -1,0 +1,86 @@
+// C++ client for the HDCN wire protocol (docs/protocol.md).
+//
+// Two usage modes over one connection:
+//
+//  * blocking  — infer() sends a request and waits for its response:
+//        NetClient c("127.0.0.1", port);
+//        serve::InferResult r = c.infer(req);
+//
+//  * pipelined streaming — submit() returns a future immediately and many
+//    requests ride the connection back-to-back; a reader thread matches
+//    responses to futures by request_id (the server may interleave
+//    responses across batches in any order):
+//        auto f1 = c.submit(req1);  auto f2 = c.submit(req2);
+//        f2.get();  f1.get();
+//
+// request_id is the correlation key: left 0, the client assigns a unique
+// one per connection (echoed on the result); caller-chosen nonzero ids
+// must be unique among in-flight requests — a duplicate is rejected
+// client-side with kBadRequest.
+//
+// Failure model: every failure is a named status on the InferResult, never
+// an exception (matching the in-process submit() contract) — except the
+// constructor, which throws if the host is unreachable. A lost connection
+// resolves every in-flight and subsequent request with kTransport.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "serve/infer.hpp"
+
+namespace hdczsc::net {
+
+class NetClient {
+ public:
+  /// Blocking connect (throws std::runtime_error when unreachable).
+  NetClient(const std::string& host, std::uint16_t port);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Pipelined submit: sends the frame now, resolves the future when the
+  /// response with the matching request_id arrives.
+  std::future<serve::InferResult> submit(serve::InferRequest req);
+
+  /// Blocking round-trip: submit + wait.
+  serve::InferResult infer(serve::InferRequest req);
+
+  /// Liveness probe: ping frame, wait for the pong. False once the
+  /// connection is lost.
+  bool ping();
+
+  /// True until a transport failure is observed.
+  bool connected() const { return !dead_.load(); }
+
+  /// Close the socket; every in-flight future resolves with kTransport.
+  void close();
+
+ private:
+  void reader_loop();
+  /// Resolve every pending future with kTransport and mark the connection
+  /// dead.
+  void fail_all(const std::string& why);
+
+  Fd fd_;
+  std::atomic<bool> dead_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+
+  std::mutex write_mu_;  // frames are written whole, one sender at a time
+
+  std::mutex pending_mu_;
+  std::map<std::uint64_t, std::promise<serve::InferResult>> pending_;
+  std::vector<std::promise<bool>> pending_pings_;  // FIFO: pongs are ordered
+
+  std::thread reader_;
+};
+
+}  // namespace hdczsc::net

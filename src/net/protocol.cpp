@@ -1,0 +1,180 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "tensor/serialize.hpp"
+
+namespace hdczsc::net {
+
+namespace {
+
+using tensor::io::check_readable;
+using tensor::io::read_pod;
+using tensor::io::read_string;
+using tensor::io::write_pod;
+using tensor::io::write_string;
+
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kPong);
+constexpr std::uint8_t kMaxStatus = static_cast<std::uint8_t>(serve::InferStatus::kTransport);
+constexpr std::uint8_t kMaxScoring =
+    static_cast<std::uint8_t>(serve::ScoringSelect::kBinaryHamming);
+
+std::vector<char> frame_from_payload(FrameType type, const std::string& payload) {
+  if (payload.size() > kMaxPayloadBytes)
+    throw ProtocolError(serve::InferStatus::kBadFrame,
+                        "payload of " + std::to_string(payload.size()) +
+                            " bytes exceeds the frame bound");
+  std::vector<char> frame(kHeaderBytes + payload.size());
+  encode_header(frame.data(), type, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  return frame;
+}
+
+/// Every payload decoder runs under this wrapper: tensor::io's named
+/// truncation errors (and any other std::exception from a hostile buffer)
+/// surface as ProtocolError kBadFrame, and trailing bytes are rejected —
+/// a frame parses completely or not at all.
+template <typename Fn>
+auto decode_payload(const char* data, std::size_t n, const char* what, Fn fn) {
+  imemstream is(data, n);
+  try {
+    auto v = fn(is);
+    const auto pos = is.tellg();
+    if (pos < 0 || static_cast<std::size_t>(pos) != n)
+      throw std::runtime_error("trailing bytes after payload");
+    return v;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(serve::InferStatus::kBadFrame,
+                        std::string("malformed ") + what + ": " + e.what());
+  }
+}
+
+}  // namespace
+
+void encode_header(char* buf, FrameType type, std::uint32_t payload_bytes) {
+  std::memcpy(buf, &kMagic, 4);
+  buf[4] = static_cast<char>(kProtocolVersion);
+  buf[5] = static_cast<char>(type);
+  buf[6] = 0;
+  buf[7] = 0;
+  std::memcpy(buf + 8, &payload_bytes, 4);
+}
+
+FrameHeader decode_header(const char* buf) {
+  std::uint32_t magic = 0;
+  std::memcpy(&magic, buf, 4);
+  if (magic != kMagic)
+    throw ProtocolError(serve::InferStatus::kBadProtocol, "bad magic (not an HDCN peer)");
+  const auto version = static_cast<std::uint8_t>(buf[4]);
+  if (version != kProtocolVersion)
+    throw ProtocolError(serve::InferStatus::kBadProtocol,
+                        "protocol version " + std::to_string(version) +
+                            " not supported (this peer speaks " +
+                            std::to_string(kProtocolVersion) + ")");
+  const auto type = static_cast<std::uint8_t>(buf[5]);
+  if (type == 0 || type > kMaxFrameType)
+    throw ProtocolError(serve::InferStatus::kBadFrame,
+                        "unknown frame type " + std::to_string(type));
+  if (buf[6] != 0 || buf[7] != 0)
+    throw ProtocolError(serve::InferStatus::kBadFrame, "reserved header bytes set");
+  FrameHeader h;
+  h.type = static_cast<FrameType>(type);
+  std::memcpy(&h.payload_bytes, buf + 8, 4);
+  if (h.payload_bytes > kMaxPayloadBytes)
+    throw ProtocolError(serve::InferStatus::kBadFrame,
+                        "declared payload of " + std::to_string(h.payload_bytes) +
+                            " bytes exceeds the frame bound");
+  return h;
+}
+
+std::vector<char> encode_request_frame(const serve::InferRequest& req) {
+  std::ostringstream os;
+  write_string(os, req.model_key);
+  write_pod<std::uint32_t>(os, req.k);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(req.scoring));
+  write_pod<std::uint8_t>(os, req.want_logits ? 1 : 0);
+  write_pod<std::uint64_t>(os, req.request_id);
+  tensor::save_tensor(os, req.input);
+  return frame_from_payload(FrameType::kInferRequest, os.str());
+}
+
+serve::InferRequest decode_request_payload(const char* data, std::size_t n) {
+  return decode_payload(data, n, "request", [](std::istream& is) {
+    serve::InferRequest req;
+    req.model_key = read_string(is, "model key");
+    req.k = read_pod<std::uint32_t>(is, "k");
+    const auto scoring = read_pod<std::uint8_t>(is, "scoring mode");
+    if (scoring > kMaxScoring)
+      throw std::runtime_error("unknown scoring selector " + std::to_string(scoring));
+    req.scoring = static_cast<serve::ScoringSelect>(scoring);
+    req.want_logits = read_pod<std::uint8_t>(is, "want_logits flag") != 0;
+    req.request_id = read_pod<std::uint64_t>(is, "request id");
+    req.input = tensor::load_tensor(is);
+    return req;
+  });
+}
+
+std::vector<char> encode_response_frame(const serve::InferResult& res) {
+  std::ostringstream os;
+  write_pod<std::uint64_t>(os, res.request_id);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(res.status));
+  write_string(os, res.message);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(res.topk.size()));
+  for (const serve::TopK& hit : res.topk) {
+    write_pod<std::uint64_t>(os, hit.label);
+    write_pod<float>(os, hit.score);
+  }
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(res.logits.size()));
+  os.write(reinterpret_cast<const char*>(res.logits.data()),
+           static_cast<std::streamsize>(res.logits.size() * sizeof(float)));
+  write_pod<double>(os, res.timings.queue_wait_ms);
+  write_pod<double>(os, res.timings.collect_ms);
+  write_pod<double>(os, res.timings.embed_ms);
+  write_pod<double>(os, res.timings.score_ms);
+  write_pod<double>(os, res.timings.total_ms);
+  return frame_from_payload(FrameType::kInferResponse, os.str());
+}
+
+serve::InferResult decode_response_payload(const char* data, std::size_t n) {
+  return decode_payload(data, n, "response", [](std::istream& is) {
+    serve::InferResult res;
+    res.request_id = read_pod<std::uint64_t>(is, "request id");
+    const auto status = read_pod<std::uint8_t>(is, "status");
+    if (status > kMaxStatus)
+      throw std::runtime_error("unknown status code " + std::to_string(status));
+    res.status = static_cast<serve::InferStatus>(status);
+    res.message = read_string(is, "message");
+    const auto n_topk = read_pod<std::uint32_t>(is, "topk count");
+    check_readable(is, n_topk, sizeof(std::uint64_t) + sizeof(float), "topk hits");
+    res.topk.reserve(n_topk);
+    for (std::uint32_t i = 0; i < n_topk; ++i) {
+      serve::TopK hit;
+      hit.label = static_cast<std::size_t>(read_pod<std::uint64_t>(is, "topk label"));
+      hit.score = read_pod<float>(is, "topk score");
+      res.topk.push_back(hit);
+    }
+    const auto n_logits = read_pod<std::uint32_t>(is, "logit count");
+    check_readable(is, n_logits, sizeof(float), "logit row");
+    res.logits.resize(n_logits);
+    is.read(reinterpret_cast<char*>(res.logits.data()),
+            static_cast<std::streamsize>(n_logits * sizeof(float)));
+    if (!is) throw std::runtime_error("truncated logit row");
+    res.timings.queue_wait_ms = read_pod<double>(is, "queue-wait timing");
+    res.timings.collect_ms = read_pod<double>(is, "collect timing");
+    res.timings.embed_ms = read_pod<double>(is, "embed timing");
+    res.timings.score_ms = read_pod<double>(is, "score timing");
+    res.timings.total_ms = read_pod<double>(is, "total timing");
+    return res;
+  });
+}
+
+std::vector<char> encode_control_frame(FrameType type) {
+  std::vector<char> frame(kHeaderBytes);
+  encode_header(frame.data(), type, 0);
+  return frame;
+}
+
+}  // namespace hdczsc::net

@@ -1,0 +1,118 @@
+// Wire protocol of the network serving front-end (docs/protocol.md is the
+// normative layout description).
+//
+// Every message is one length-prefixed frame:
+//
+//   offset  size  field
+//   0       4     magic  "HDCN" (0x4E434448 as a little-endian u32)
+//   4       1     protocol version (kProtocolVersion = 1)
+//   5       1     frame type (FrameType)
+//   6       2     reserved, must be 0
+//   8       4     payload_bytes (u32 LE, ≤ kMaxPayloadBytes)
+//   12      ...   payload
+//
+// Payloads reuse the repo's one set of bounds-checked binary readers
+// (tensor::io::read_pod / read_string / load_tensor + check_readable), fed
+// through a seekable in-memory stream — the exact helpers the .hdcsnap
+// snapshot loader parses files with, so a truncated or hostile frame fails
+// the same named-error way a truncated snapshot does: before any oversized
+// allocation, never as a partial read or a crash.
+//
+// Versioning rules (docs/protocol.md): the magic and the header layout
+// never change; bumping kProtocolVersion is reserved for payload-layout
+// changes. Status codes and frame types are append-only. A server rejects
+// frames whose version it does not speak with kBadProtocol.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "serve/infer.hpp"
+
+namespace hdczsc::net {
+
+inline constexpr std::uint32_t kMagic = 0x4E434448u;  // "HDCN" little-endian
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Hard payload bound: a header declaring more is rejected (kBadFrame)
+/// before any buffering. 64 MiB comfortably holds the largest admissible
+/// request (one image / embedding) and response (top-k + a logit row).
+inline constexpr std::size_t kMaxPayloadBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+  kPing = 3,  ///< empty payload; the server echoes kPong (liveness probe)
+  kPong = 4,
+};
+
+struct FrameHeader {
+  FrameType type = FrameType::kPing;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Decode/encode failure. `status` is the named InferStatus the failure
+/// maps to on the wire: kBadProtocol for magic/version mismatches (the
+/// peer does not speak this protocol — hang up), kBadFrame for a
+/// malformed/truncated frame within a valid protocol.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(serve::InferStatus status, const std::string& msg)
+      : std::runtime_error("protocol: " + msg), status_(status) {}
+  serve::InferStatus status() const { return status_; }
+
+ private:
+  serve::InferStatus status_;
+};
+
+/// Seekable read-only stream over a byte buffer — what lets the wire
+/// payload codecs share tensor::io's bounds-checked readers (they size the
+/// stream via seek to reject declared-length lies up front).
+class imemstream : private std::streambuf, public std::istream {
+ public:
+  imemstream(const char* data, std::size_t n) : std::istream(this) {
+    char* p = const_cast<char*>(data);
+    setg(p, p, p + n);
+  }
+
+ protected:
+  std::streambuf::pos_type seekoff(std::streambuf::off_type off, std::ios_base::seekdir dir,
+                                   std::ios_base::openmode) override {
+    if (dir == std::ios_base::cur)
+      gbump(static_cast<int>(off));
+    else if (dir == std::ios_base::end)
+      setg(eback(), egptr() + off, egptr());
+    else
+      setg(eback(), eback() + off, egptr());
+    if (gptr() < eback() || gptr() > egptr())
+      return std::streambuf::pos_type(std::streambuf::off_type(-1));
+    return gptr() - eback();
+  }
+  std::streambuf::pos_type seekpos(std::streambuf::pos_type pos,
+                                   std::ios_base::openmode which) override {
+    return seekoff(std::streambuf::off_type(pos), std::ios_base::beg, which);
+  }
+};
+
+/// Header codec. decode_header throws ProtocolError (kBadProtocol on
+/// magic/version mismatch, kBadFrame on a bad type / nonzero reserved
+/// bits / oversized payload). `buf` must hold kHeaderBytes.
+void encode_header(char* buf, FrameType type, std::uint32_t payload_bytes);
+FrameHeader decode_header(const char* buf);
+
+/// Whole-frame encoders (header + payload, ready to send).
+std::vector<char> encode_request_frame(const serve::InferRequest& req);
+std::vector<char> encode_response_frame(const serve::InferResult& res);
+std::vector<char> encode_control_frame(FrameType type);  // kPing / kPong
+
+/// Payload decoders (the transport strips the header). Throw ProtocolError
+/// kBadFrame on any malformation — truncation, declared-length lies,
+/// trailing bytes.
+serve::InferRequest decode_request_payload(const char* data, std::size_t n);
+serve::InferResult decode_response_payload(const char* data, std::size_t n);
+
+}  // namespace hdczsc::net

@@ -1,0 +1,384 @@
+#include "net/server.hpp"
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "util/log.hpp"
+
+namespace hdczsc::net {
+
+namespace {
+using SteadyClock = std::chrono::steady_clock;
+}
+
+/// One accepted connection. The write side (out buffer, EPOLLOUT arming,
+/// closed flag) is shared between its io thread and serving-worker
+/// completion callbacks and is guarded by `mu`; the read side is touched
+/// only by the owning io thread. The Conn carries its own copies of the
+/// tx-side metric handles so completions never reach back into the server.
+struct NetServer::Conn : std::enable_shared_from_this<NetServer::Conn> {
+  Fd fd;
+  std::shared_ptr<IoLoop> loop;
+  std::size_t max_write_buffer = 0;
+
+  std::mutex mu;
+  bool closed = false;
+  bool want_write = false;       // EPOLLOUT currently armed
+  bool close_after_flush = false;
+  std::vector<char> out;
+  std::size_t out_off = 0;
+
+  // io-thread-only read state
+  std::vector<char> in;
+  std::size_t in_off = 0;
+  bool discard_input = false;  // protocol error: drain the reply, read no more
+
+  std::shared_ptr<obs::Counter> tx_frames, tx_bytes, dropped;
+};
+
+/// One io thread's epoll set. Connections register with their fd as the
+/// epoll user datum and are resolved through `conns` (guarded: the accept
+/// path on io thread 0 inserts into other loops' maps, and stop() sweeps
+/// them all).
+struct NetServer::IoLoop {
+  Fd epoll;
+  Fd wake;  // eventfd: stop() pokes it to break epoll_wait
+  std::mutex conns_mu;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+};
+
+NetServer::NetServer(serve::ModelRegistry& registry, NetServerConfig cfg)
+    : registry_(registry), cfg_(cfg) {
+  if (cfg_.n_io_threads == 0) cfg_.n_io_threads = 1;
+  auto& reg = obs::default_registry();
+  connections_total_ = reg.counter("net_connections_total", {}, "accepted TCP connections");
+  rx_frames_ = reg.counter("net_rx_frames_total", {}, "frames received");
+  tx_frames_ = reg.counter("net_tx_frames_total", {}, "frames sent");
+  rx_bytes_ = reg.counter("net_rx_bytes_total", {}, "bytes received");
+  tx_bytes_ = reg.counter("net_tx_bytes_total", {}, "bytes sent");
+  protocol_errors_ = reg.counter("net_protocol_errors_total", {},
+                                 "frames rejected as malformed or wrong-protocol");
+  dropped_responses_ = reg.counter("net_dropped_responses_total", {},
+                                   "responses dropped because the client disconnected");
+  active_conns_ = reg.gauge("net_active_connections", {}, "currently open connections");
+  request_us_ = reg.histogram("net_request_us", {},
+                              "request decoded to response queued, microseconds");
+}
+
+NetServer::~NetServer() { stop(); }
+
+void NetServer::start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+  listener_ = tcp_listen(cfg_.port);
+  port_ = local_port(listener_.get());
+  set_nonblocking(listener_.get(), true);
+
+  loops_.clear();
+  for (std::size_t i = 0; i < cfg_.n_io_threads; ++i) {
+    auto loop = std::make_shared<IoLoop>();
+    loop->epoll.reset(::epoll_create1(0));
+    if (!loop->epoll.valid()) throw std::runtime_error("net: epoll_create1 failed");
+    loop->wake.reset(::eventfd(0, EFD_NONBLOCK));
+    if (!loop->wake.valid()) throw std::runtime_error("net: eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake.get();
+    if (::epoll_ctl(loop->epoll.get(), EPOLL_CTL_ADD, loop->wake.get(), &ev) != 0)
+      throw std::runtime_error("net: epoll_ctl(wake) failed");
+    loops_.push_back(std::move(loop));
+  }
+  // The listener lives on io thread 0's set only — no thundering herd.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listener_.get();
+  if (::epoll_ctl(loops_[0]->epoll.get(), EPOLL_CTL_ADD, listener_.get(), &ev) != 0)
+    throw std::runtime_error("net: epoll_ctl(listener) failed");
+
+  threads_.reserve(loops_.size());
+  for (std::size_t i = 0; i < loops_.size(); ++i)
+    threads_.emplace_back([this, i] { io_thread(i); });
+}
+
+void NetServer::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  const std::uint64_t one = 1;
+  for (auto& loop : loops_) {
+    if (loop->wake.valid() && ::write(loop->wake.get(), &one, sizeof(one)) < 0)
+      util::log_warn("net: wake write failed: ", std::strerror(errno));
+  }
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  listener_.reset();
+  std::size_t open = 0;
+  for (auto& loop : loops_) {
+    std::lock_guard<std::mutex> guard(loop->conns_mu);
+    for (auto& [fd, conn] : loop->conns) {
+      std::lock_guard<std::mutex> cguard(conn->mu);
+      conn->closed = true;
+      conn->fd.reset();
+      ++open;
+    }
+    loop->conns.clear();
+  }
+  if (open > 0) active_conns_->set(0.0);
+  // loops_ (and their epoll fds) stay alive until destruction: a late
+  // completion callback still holds shared_ptr<Conn> → shared_ptr<IoLoop>,
+  // and must find the handles it checks `closed` against intact.
+  running_.store(false);
+}
+
+std::size_t NetServer::active_connections() const {
+  std::size_t n = 0;
+  for (const auto& loop : loops_) {
+    std::lock_guard<std::mutex> guard(loop->conns_mu);
+    n += loop->conns.size();
+  }
+  return n;
+}
+
+void NetServer::io_thread(std::size_t idx) {
+  IoLoop& loop = *loops_[idx];
+  std::array<epoll_event, 64> events;
+  while (!stopping_.load()) {
+    const int n = ::epoll_wait(loop.epoll.get(), events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      util::log_warn("net: epoll_wait failed: ", std::strerror(errno));
+      break;
+    }
+    for (int i = 0; i < n && !stopping_.load(); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake.get()) {
+        std::uint64_t drain;
+        while (::read(loop.wake.get(), &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (idx == 0 && fd == listener_.get()) {
+        accept_ready();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> guard(loop.conns_mu);
+        auto it = loop.conns.find(fd);
+        if (it != loop.conns.end()) conn = it->second;
+      }
+      if (!conn) continue;
+      bool ok = (events[i].events & (EPOLLHUP | EPOLLERR)) == 0;
+      if (ok && (events[i].events & EPOLLIN)) ok = handle_readable(conn);
+      if (ok && (events[i].events & EPOLLOUT)) ok = handle_writable(conn);
+      if (!ok) close_conn(conn);
+    }
+  }
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int raw = ::accept4(listener_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+    if (raw < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      util::log_warn("net: accept failed: ", std::strerror(errno));
+      return;
+    }
+    auto conn = std::make_shared<Conn>();
+    conn->fd.reset(raw);
+    try {
+      set_nodelay(raw);
+    } catch (const std::exception&) {
+      // Best-effort: a socket that raced into reset still gets torn down
+      // by its first read.
+    }
+    conn->loop = loops_[next_loop_.fetch_add(1) % loops_.size()];
+    conn->max_write_buffer = cfg_.max_write_buffer;
+    conn->tx_frames = tx_frames_;
+    conn->tx_bytes = tx_bytes_;
+    conn->dropped = dropped_responses_;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = raw;
+    {
+      std::lock_guard<std::mutex> guard(conn->loop->conns_mu);
+      conn->loop->conns.emplace(raw, conn);
+    }
+    if (::epoll_ctl(conn->loop->epoll.get(), EPOLL_CTL_ADD, raw, &ev) != 0) {
+      util::log_warn("net: epoll_ctl(conn) failed: ", std::strerror(errno));
+      close_conn(conn);
+      continue;
+    }
+    connections_total_->add();
+    active_conns_->set(static_cast<double>(active_connections()));
+  }
+}
+
+bool NetServer::handle_readable(const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (r == 0) return false;  // clean EOF
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    rx_bytes_->add(static_cast<std::uint64_t>(r));
+    if (conn->discard_input) continue;  // protocol error: reply is in flight
+    conn->in.insert(conn->in.end(), buf, buf + r);
+  }
+
+  // Dispatch every complete frame in the buffer.
+  while (!conn->discard_input && conn->in.size() - conn->in_off >= kHeaderBytes) {
+    FrameHeader header;
+    try {
+      header = decode_header(conn->in.data() + conn->in_off);
+    } catch (const ProtocolError& e) {
+      protocol_errors_->add();
+      queue_frame(conn,
+                  encode_response_frame(serve::make_error_result(0, e.status(), e.what())),
+                  /*close_after_flush=*/true);
+      conn->discard_input = true;
+      break;
+    }
+    if (conn->in.size() - conn->in_off < kHeaderBytes + header.payload_bytes) break;
+    dispatch_frame(conn, header, conn->in.data() + conn->in_off + kHeaderBytes);
+    conn->in_off += kHeaderBytes + header.payload_bytes;
+  }
+  if (conn->in_off > 0) {
+    conn->in.erase(conn->in.begin(),
+                   conn->in.begin() + static_cast<std::ptrdiff_t>(conn->in_off));
+    conn->in_off = 0;
+  }
+  return true;
+}
+
+void NetServer::dispatch_frame(const std::shared_ptr<Conn>& conn, FrameHeader header,
+                               const char* payload) {
+  rx_frames_->add();
+  switch (header.type) {
+    case FrameType::kPing:
+      queue_frame(conn, encode_control_frame(FrameType::kPong), false);
+      return;
+    case FrameType::kPong:
+    case FrameType::kInferResponse: {
+      // A client has no business sending these; framing is suspect.
+      protocol_errors_->add();
+      queue_frame(conn,
+                  encode_response_frame(serve::make_error_result(
+                      0, serve::InferStatus::kBadFrame, "unexpected frame type from client")),
+                  true);
+      conn->discard_input = true;
+      return;
+    }
+    case FrameType::kInferRequest:
+      break;
+  }
+
+  serve::InferRequest req;
+  try {
+    req = decode_request_payload(payload, header.payload_bytes);
+  } catch (const ProtocolError& e) {
+    protocol_errors_->add();
+    queue_frame(conn,
+                encode_response_frame(serve::make_error_result(0, e.status(), e.what())),
+                true);
+    conn->discard_input = true;
+    return;
+  }
+
+  // Hand off to the serving stack. The completion (worker thread, or this
+  // thread for synchronous rejections) owns only the Conn and the metric
+  // handles — never the server, which may stop() before it fires.
+  const auto started = SteadyClock::now();
+  auto hist = request_us_;
+  registry_.submit(std::move(req),
+                   [conn, hist, started](serve::InferResult&& res) {
+                     queue_frame(conn, encode_response_frame(res), false);
+                     hist->record(std::chrono::duration<double, std::micro>(
+                                      SteadyClock::now() - started)
+                                      .count());
+                   });
+}
+
+void NetServer::queue_frame(const std::shared_ptr<Conn>& conn, std::vector<char> frame,
+                            bool close_after_flush) {
+  std::lock_guard<std::mutex> guard(conn->mu);
+  if (conn->closed) {
+    conn->dropped->add();
+    return;
+  }
+  if (conn->out.size() - conn->out_off + frame.size() > conn->max_write_buffer) {
+    // Slow consumer: drop the response and let the io thread tear the
+    // connection down on its next pass rather than buffering unboundedly.
+    conn->dropped->add();
+    conn->close_after_flush = true;
+    return;
+  }
+  conn->out.insert(conn->out.end(), frame.begin(), frame.end());
+  conn->close_after_flush |= close_after_flush;
+  conn->tx_frames->add();
+  if (!conn->want_write) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT;
+    ev.data.fd = conn->fd.get();
+    if (::epoll_ctl(conn->loop->epoll.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0)
+      conn->want_write = true;
+  }
+}
+
+bool NetServer::handle_writable(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> guard(conn->mu);
+  if (conn->closed) return false;
+  while (conn->out_off < conn->out.size()) {
+    const ssize_t w = ::send(conn->fd.get(), conn->out.data() + conn->out_off,
+                             conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // stay armed
+      if (errno == EINTR) continue;
+      return false;
+    }
+    tx_bytes_->add(static_cast<std::uint64_t>(w));
+    conn->out_off += static_cast<std::size_t>(w);
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  if (conn->close_after_flush) return false;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = conn->fd.get();
+  if (::epoll_ctl(conn->loop->epoll.get(), EPOLL_CTL_MOD, conn->fd.get(), &ev) == 0)
+    conn->want_write = false;
+  return true;
+}
+
+void NetServer::close_conn(const std::shared_ptr<Conn>& conn) {
+  {
+    std::lock_guard<std::mutex> guard(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    if (conn->fd.valid())
+      ::epoll_ctl(conn->loop->epoll.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+    conn->fd.reset();
+  }
+  {
+    std::lock_guard<std::mutex> guard(conn->loop->conns_mu);
+    for (auto it = conn->loop->conns.begin(); it != conn->loop->conns.end(); ++it) {
+      if (it->second == conn) {
+        conn->loop->conns.erase(it);
+        break;
+      }
+    }
+  }
+  active_conns_->set(static_cast<double>(active_connections()));
+}
+
+}  // namespace hdczsc::net

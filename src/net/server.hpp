@@ -1,0 +1,122 @@
+// Epoll-based TCP front-end over the ModelRegistry.
+//
+// Architecture (one box per thread kind):
+//
+//   accept + io threads (epoll, level-triggered)     ServerRuntime workers
+//   ┌───────────────────────────────────────────┐    ┌───────────────────┐
+//   │ read frames → decode → registry.submit ───┼───▶│ batcher → engine  │
+//   │ write queued response frames ◀────────────┼────┤ completion hook   │
+//   └───────────────────────────────────────────┘    └───────────────────┘
+//
+// Each io thread runs its own epoll set; accepted connections are
+// distributed round-robin. Requests are decoded on the io thread and handed
+// to ModelRegistry::submit with a completion callback; the callback (run on
+// a serving worker) serializes the response, appends it to the
+// connection's write buffer and arms EPOLLOUT — responses therefore never
+// block a worker on a slow client, and admission control stays where it
+// belongs (the bounded batcher queue → kOverloaded responses).
+//
+// Failure containment: a frame with a bad magic/version gets a
+// kBadProtocol response and the connection is closed (the peer doesn't
+// speak HDCN); a malformed request payload gets kBadFrame and also closes
+// (framing sync is lost); per-request failures (kBadModel/kBadShape/...)
+// are ordinary responses on a healthy connection. An abrupt client
+// disconnect cancels nothing that is already queued — in-flight
+// completions find the connection closed and drop their responses.
+//
+// Telemetry: net_* counters/gauges in obs::default_registry()
+// (connections, frames, bytes, protocol errors, dropped responses) plus a
+// net_request_us histogram measuring frame-decoded → response-queued, the
+// span that joins the queue-wait→score trace the serving runtime records.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_registry.hpp"
+
+namespace hdczsc::net {
+
+struct NetServerConfig {
+  std::uint16_t port = 0;     ///< 0 = ephemeral (read back with port())
+  std::size_t n_io_threads = 1;
+  /// Per-connection pending-write cap: a consumer that stops reading while
+  /// responses pile up past this is disconnected instead of growing the
+  /// buffer without bound.
+  std::size_t max_write_buffer = 64u << 20;
+};
+
+class NetServer {
+ public:
+  /// `registry` must outlive the server (the typical owner constructs both
+  /// and stops the server first).
+  NetServer(serve::ModelRegistry& registry, NetServerConfig cfg);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Bind + listen + spawn the io threads. Throws on bind failure.
+  void start();
+  /// Close the listener and every connection, join io threads. In-flight
+  /// serving completions are not waited for — they drop their responses
+  /// against closed connections. Idempotent; also run by the destructor.
+  void stop();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  /// Connections currently open across all io threads.
+  std::size_t active_connections() const;
+
+ private:
+  struct Conn;
+  struct IoLoop;
+
+  void io_thread(std::size_t idx);
+  void accept_ready();
+  /// Drain readable bytes and dispatch complete frames; returns false when
+  /// the connection must close.
+  bool handle_readable(const std::shared_ptr<Conn>& conn);
+  bool handle_writable(const std::shared_ptr<Conn>& conn);
+  void dispatch_frame(const std::shared_ptr<Conn>& conn, FrameHeader header,
+                      const char* payload);
+  /// Append one frame to the connection's write buffer and arm EPOLLOUT.
+  /// Static on purpose: serving-worker completion callbacks call it after
+  /// NetServer::stop() may have returned (stop does not wait for in-flight
+  /// submits), so it must not touch the server object — everything it
+  /// needs (epoll handle, buffers, counters) lives on the Conn, and a
+  /// closed connection makes it a counted no-op.
+  static void queue_frame(const std::shared_ptr<Conn>& conn, std::vector<char> frame,
+                          bool close_after_flush);
+  void close_conn(const std::shared_ptr<Conn>& conn);
+
+  serve::ModelRegistry& registry_;
+  NetServerConfig cfg_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::shared_ptr<IoLoop>> loops_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> next_loop_{0};
+
+  // net_* telemetry (obs::default_registry()).
+  std::shared_ptr<obs::Counter> connections_total_;
+  std::shared_ptr<obs::Counter> rx_frames_;
+  std::shared_ptr<obs::Counter> tx_frames_;
+  std::shared_ptr<obs::Counter> rx_bytes_;
+  std::shared_ptr<obs::Counter> tx_bytes_;
+  std::shared_ptr<obs::Counter> protocol_errors_;
+  std::shared_ptr<obs::Counter> dropped_responses_;
+  std::shared_ptr<obs::Gauge> active_conns_;
+  std::shared_ptr<obs::Histogram> request_us_;
+};
+
+}  // namespace hdczsc::net

@@ -1,0 +1,128 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <stdexcept>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hdczsc::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("net: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd tcp_listen(std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0)
+    fail("setsockopt(SO_REUSEADDR)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    fail("bind(port " + std::to_string(port) + ")");
+  if (::listen(fd.get(), backlog) != 0) fail("listen");
+  return fd;
+}
+
+Fd tcp_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res);
+  if (rc != 0)
+    throw std::runtime_error("net: resolve '" + host + "': " + gai_strerror(rc));
+  Fd fd;
+  int last_errno = 0;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd candidate(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    if (::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+      fd = std::move(candidate);
+      break;
+    }
+    last_errno = errno;
+  }
+  ::freeaddrinfo(res);
+  if (!fd.valid()) {
+    errno = last_errno;
+    fail("connect to " + host + ":" + std::to_string(port));
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) != 0) fail("fcntl(F_SETFL)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0)
+    fail("setsockopt(TCP_NODELAY)");
+}
+
+bool send_all(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not kill the process.
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      fail("send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool recv_all(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r == 0) return false;  // EOF
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return false;
+      fail("recv");
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace hdczsc::net

@@ -1,0 +1,75 @@
+// Thin POSIX TCP helpers for the network serving front-end: an RAII fd,
+// listen/connect constructors, and whole-buffer send/recv loops. Linux-only
+// (like the rest of the repo's tooling); everything throws
+// std::runtime_error with the errno message on failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hdczsc::net {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Close the held fd (if any) and adopt `fd`.
+  void reset(int fd = -1);
+  /// Give up ownership without closing.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket on 0.0.0.0:`port` (SO_REUSEADDR; port 0 picks an
+/// ephemeral port — read it back with local_port()).
+Fd tcp_listen(std::uint16_t port, int backlog = 128);
+
+/// Blocking connect to `host`:`port` (numeric or resolvable name).
+/// TCP_NODELAY is set — the protocol writes whole frames, Nagle only adds
+/// latency.
+Fd tcp_connect(const std::string& host, std::uint16_t port);
+
+/// The locally-bound port of a socket (the ephemeral port after
+/// tcp_listen(0)).
+std::uint16_t local_port(int fd);
+
+void set_nonblocking(int fd, bool on);
+void set_nodelay(int fd);
+
+/// Write exactly `n` bytes to a *blocking* socket (loops over partial
+/// writes and EINTR). Returns false when the peer is gone (EPIPE /
+/// ECONNRESET); throws on any other error.
+bool send_all(int fd, const void* buf, std::size_t n);
+
+/// Read exactly `n` bytes from a *blocking* socket. Returns false on a
+/// clean EOF before the first byte OR a connection reset; throws on any
+/// other error. A mid-buffer EOF (peer died inside a frame) also returns
+/// false — the caller cannot distinguish it from a pre-frame close, and
+/// treats both as disconnect.
+bool recv_all(int fd, void* buf, std::size_t n);
+
+}  // namespace hdczsc::net

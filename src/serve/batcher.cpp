@@ -6,17 +6,18 @@ DynamicBatcher::DynamicBatcher(BatchPolicy policy) : policy_(policy) {
   if (policy_.max_batch == 0) policy_.max_batch = 1;
 }
 
-std::optional<std::future<Prediction>> DynamicBatcher::submit(tensor::Tensor image) {
+DynamicBatcher::Admit DynamicBatcher::submit(InferRequest& req, InferDone& done) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (shutdown_ || queue_.size() >= policy_.max_queue_depth) return std::nullopt;
+  if (shutdown_) return Admit::kShutdown;
+  if (queue_.size() >= policy_.max_queue_depth) return Admit::kQueueFull;
   Item item;
-  item.image = std::move(image);
+  item.req = std::move(req);
+  item.done = std::move(done);
   item.enqueued = Clock::now();
-  std::future<Prediction> fut = item.promise.get_future();
   queue_.push_back(std::move(item));
   lock.unlock();
   cv_.notify_one();
-  return fut;
+  return Admit::kAccepted;
 }
 
 bool DynamicBatcher::collect(std::vector<Item>& out) {

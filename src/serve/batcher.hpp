@@ -1,24 +1,24 @@
 // Dynamic request batcher (the Triton-style coalescing queue).
 //
-// Producer threads submit single-image requests and receive futures;
+// Producer threads submit InferRequests paired with completion callbacks;
 // consumer (worker) threads call collect(), which blocks until at least one
 // request is queued and then waits — at most until the *oldest* request has
 // aged `max_delay_ms` — for up to `max_batch` requests to coalesce. Under
 // load batches fill instantly; when idle a lone request pays at most the
 // delay bound. A bounded queue provides admission control: submissions
 // beyond `max_queue_depth` are rejected up front instead of building an
-// unbounded backlog.
+// unbounded backlog — the caller maps a rejection to kOverloaded/kShutdown
+// (the batcher never invokes `done` itself; the worker draining collect()
+// does, exactly once per accepted request).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <future>
 #include <mutex>
-#include <optional>
 #include <vector>
 
-#include "serve/engine.hpp"
+#include "serve/infer.hpp"
 #include "tensor/tensor.hpp"
 
 namespace hdczsc::serve {
@@ -34,16 +34,20 @@ class DynamicBatcher {
   using Clock = std::chrono::steady_clock;
 
   struct Item {
-    tensor::Tensor image;  ///< [3, S, S] (or [1, 3, S, S])
-    std::promise<Prediction> promise;
+    InferRequest req;  ///< input [3,S,S] / [1,3,S,S] image or [d] / [1,d] embedding
+    InferDone done;    ///< invoked exactly once by the draining worker
     Clock::time_point enqueued;
   };
 
+  /// Admission-control outcome of one submit.
+  enum class Admit { kAccepted, kQueueFull, kShutdown };
+
   explicit DynamicBatcher(BatchPolicy policy);
 
-  /// Enqueue one request. Returns the result future, or nullopt when the
-  /// queue is at max_queue_depth (admission control) or shut down.
-  std::optional<std::future<Prediction>> submit(tensor::Tensor image);
+  /// Enqueue one request. `req` and `done` are consumed only on
+  /// kAccepted — on rejection both are left intact so the caller can
+  /// resolve `done` with the matching status itself.
+  Admit submit(InferRequest& req, InferDone& done);
 
   /// Block until requests are available (or shutdown), then move up to
   /// max_batch of them into `out` (cleared first), honoring the delay

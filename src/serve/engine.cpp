@@ -29,21 +29,57 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
       penalty_(snapshot_->prototypes().resolve_penalty(seen_penalty,
                                                        snapshot_->seen_mask())) {}
 
-tensor::Tensor InferenceEngine::logits(const tensor::Tensor& images) const {
-  tensor::Tensor emb = snapshot_->embed(images);
+tensor::Tensor InferenceEngine::embed_inputs(const tensor::Tensor& inputs,
+                                             double* embed_ms) const {
+  // Split inference: a [B, d] batch already *is* the embedding (the
+  // backbone ran on the client/edge — examples/edge_inference) and only
+  // needs a width check; images run the whole-batch eval-mode forward.
+  if (inputs.dim() == 2) {
+    if (inputs.size(1) != snapshot_->dim())
+      throw std::invalid_argument(
+          "InferenceEngine: embedding width " + std::to_string(inputs.size(1)) +
+          " does not match the model dim " + std::to_string(snapshot_->dim()));
+    if (embed_ms) *embed_ms = 0.0;
+    return inputs;
+  }
+  util::Timer clock;
+  tensor::Tensor emb = snapshot_->embed(inputs);
+  if (embed_ms) *embed_ms = clock.millis();
+  return emb;
+}
+
+tensor::Tensor InferenceEngine::logits(const tensor::Tensor& inputs,
+                                       BatchTimings* timings) const {
+  double embed_ms = 0.0;
+  tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
+  util::Timer clock;
   const PrototypeStore& store = snapshot_->prototypes();
-  return mode_ == ScoringMode::kFloatCosine ? store.score_float(emb, penalty_ptr())
-                                            : store.score_binary(emb, penalty_ptr());
+  tensor::Tensor out = mode_ == ScoringMode::kFloatCosine
+                           ? store.score_float(emb, penalty_ptr())
+                           : store.score_binary(emb, penalty_ptr());
+  if (timings) {
+    timings->embed_ms = embed_ms;
+    timings->score_ms = clock.millis();
+  }
+  return out;
 }
 
-std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor& images,
-                                                           std::size_t k) const {
-  tensor::Tensor emb = snapshot_->embed(images);
-  return mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k, penalty_ptr())
-                                            : sharded_.topk_binary(emb, k, penalty_ptr());
+std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor& inputs,
+                                                           std::size_t k,
+                                                           BatchTimings* timings) const {
+  double embed_ms = 0.0;
+  tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
+  util::Timer clock;
+  auto out = mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k, penalty_ptr())
+                                                : sharded_.topk_binary(emb, k, penalty_ptr());
+  if (timings) {
+    timings->embed_ms = embed_ms;
+    timings->score_ms = clock.millis();
+  }
+  return out;
 }
 
-std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& images,
+std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& inputs,
                                                         BatchTimings* timings) const {
   // One coalesced forward end-to-end: the backbone runs a single whole-batch
   // im2col + GEMM per conv layer (tensor/gemm.hpp), so a batch of B images
@@ -51,9 +87,9 @@ std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& im
   // now amortizes the embed, not just the prototype scan. The embed runs
   // here (not inside logits/topk_batch) so the two stages can be timed
   // separately for the per-request tracer; the computation is unchanged.
+  double embed_ms = 0.0;
+  tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
   util::Timer clock;
-  tensor::Tensor emb = snapshot_->embed(images);
-  const double embed_ms = clock.millis();
 
   std::vector<Prediction> out;
   if (sharded_.n_shards() > 1) {
@@ -78,7 +114,7 @@ std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& im
   }
   if (timings) {
     timings->embed_ms = embed_ms;
-    timings->score_ms = clock.millis() - embed_ms;
+    timings->score_ms = clock.millis();
   }
   return out;
 }

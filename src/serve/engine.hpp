@@ -65,25 +65,32 @@ class InferenceEngine {
                   ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0,
                   float seen_penalty = 0.0f);
 
-  /// Full logits [B, C] for images [B, 3, S, S] (flat store scan).
-  tensor::Tensor logits(const tensor::Tensor& images) const;
-
-  /// Top-k (label, score) hits per image, ordered by (score desc, label
-  /// asc), via the sharded scatter/gather scan. Returns min(k, C) entries
-  /// per image; k == 0 yields empty results.
-  std::vector<std::vector<TopK>> topk_batch(const tensor::Tensor& images, std::size_t k) const;
-
-  /// Wall time of one classify_batch split at the embed/score boundary —
+  /// Wall time of one batch forward split at the embed/score boundary —
   /// the two stages the per-request tracer (obs/trace.hpp) reports
   /// separately so "slow request" resolves to backbone vs prototype scan.
+  /// Embedding inputs report embed_ms == 0 (no backbone ran).
   struct BatchTimings {
     double embed_ms = 0.0;
     double score_ms = 0.0;
   };
 
-  /// Argmax + winning score per image. `timings`, when non-null, receives
-  /// the embed/score wall-time split; results are identical either way.
-  std::vector<Prediction> classify_batch(const tensor::Tensor& images,
+  /// Full logits [B, C] via the flat store scan. `inputs` is either an
+  /// image batch [B, 3, S, S] (embedded by the backbone) or a
+  /// pre-computed embedding batch [B, d] (split inference: the backbone
+  /// ran on the client/edge, only the prototype scan runs here).
+  tensor::Tensor logits(const tensor::Tensor& inputs, BatchTimings* timings = nullptr) const;
+
+  /// Top-k (label, score) hits per input, ordered by (score desc, label
+  /// asc), via the sharded scatter/gather scan. Returns min(k, C) entries
+  /// per input; k == 0 yields empty results. Accepts the same image /
+  /// embedding input shapes as logits().
+  std::vector<std::vector<TopK>> topk_batch(const tensor::Tensor& inputs, std::size_t k,
+                                            BatchTimings* timings = nullptr) const;
+
+  /// Argmax + winning score per input (images or embeddings, as above).
+  /// `timings`, when non-null, receives the embed/score wall-time split;
+  /// results are identical either way.
+  std::vector<Prediction> classify_batch(const tensor::Tensor& inputs,
                                          BatchTimings* timings = nullptr) const;
 
   ScoringMode mode() const { return mode_; }
@@ -95,6 +102,12 @@ class InferenceEngine {
   const ModelSnapshot& snapshot() const { return *snapshot_; }
 
  private:
+  /// Rank-2 inputs [B, d] are pre-computed embeddings and pass through
+  /// (width-checked against the store dim); everything else runs the
+  /// eval-mode backbone. `embed_ms` receives the backbone wall time
+  /// (0 for the passthrough).
+  tensor::Tensor embed_inputs(const tensor::Tensor& inputs, double* embed_ms) const;
+
   std::shared_ptr<const ModelSnapshot> snapshot_;
   ScoringMode mode_;
   ShardedPrototypeStore sharded_;

@@ -1,0 +1,57 @@
+#include "serve/infer.hpp"
+
+#include <stdexcept>
+
+namespace hdczsc::serve {
+
+const char* infer_status_name(InferStatus s) {
+  switch (s) {
+    case InferStatus::kOk: return "ok";
+    case InferStatus::kBadModel: return "bad-model";
+    case InferStatus::kBadShape: return "bad-shape";
+    case InferStatus::kBadScoring: return "bad-scoring-mode";
+    case InferStatus::kBadRequest: return "bad-request";
+    case InferStatus::kOverloaded: return "overloaded";
+    case InferStatus::kShutdown: return "shutdown";
+    case InferStatus::kInternal: return "internal-error";
+    case InferStatus::kBadFrame: return "bad-frame";
+    case InferStatus::kBadProtocol: return "bad-protocol";
+    case InferStatus::kTransport: return "transport-error";
+  }
+  return "unknown";
+}
+
+const TopK& InferResult::top() const {
+  if (topk.empty())
+    throw std::logic_error(std::string("InferResult::top: no hits (status ") +
+                           infer_status_name(status) + ")");
+  return topk.front();
+}
+
+bool is_valid_model_key(const std::string& key) {
+  if (key.empty() || key.size() > kMaxModelKeyBytes) return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+InferResult make_error_result(std::uint64_t request_id, InferStatus status,
+                              std::string message) {
+  InferResult r;
+  r.request_id = request_id;
+  r.status = status;
+  r.message = std::move(message);
+  return r;
+}
+
+std::future<InferResult> make_ready_result(InferResult r) {
+  std::promise<InferResult> p;
+  std::future<InferResult> f = p.get_future();
+  p.set_value(std::move(r));
+  return f;
+}
+
+}  // namespace hdczsc::serve

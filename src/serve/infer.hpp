@@ -1,0 +1,130 @@
+// The one versioned request/response contract of the serving stack.
+//
+// Every scoring entrypoint — in-process (`ServerRuntime::submit`,
+// `ModelRegistry::submit`) and over the wire (src/net/) — speaks the same
+// pair of types:
+//
+//   InferRequest  { model_key, input, k, scoring, want_logits, request_id }
+//   InferResult   { request_id, status, topk hits, logits?, stage timings }
+//
+// and every failure mode is a *named status code* on the result, not an
+// ad-hoc exception type: the wire protocol serializes both structs
+// verbatim (docs/protocol.md), so a network client sees exactly the
+// statuses an in-process caller sees. The legacy classify()/
+// classify_async() entrypoints survive as thin shims over submit().
+//
+// Inputs come in two shapes (the Triton-style "the tensor is the
+// contract" rule):
+//   * an image  [3, S, S] or [1, 3, S, S] — the full embed + score path;
+//   * a pre-computed embedding [d] or [1, d] with d == the model's
+//     projection dim — scoring only. This is the split-inference shape:
+//     an edge device runs the backbone locally (examples/edge_inference)
+//     and ships the d-dimensional query, ~10-50x smaller than the image,
+//     to the prototype store.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/sharded_store.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::serve {
+
+/// Result status of one inference request. Append-only: codes are
+/// mirrored verbatim in the wire protocol (docs/protocol.md), so values
+/// never change meaning and new codes only ever extend the list.
+enum class InferStatus : std::uint8_t {
+  kOk = 0,
+  kBadModel = 1,     ///< model_key invalid or not registered
+  kBadShape = 2,     ///< input is not an admissible image/embedding shape
+  kBadScoring = 3,   ///< request pinned a scoring mode the model does not serve
+  kBadRequest = 4,   ///< semantically empty request (k == 0, no logits)
+  kOverloaded = 5,   ///< admission control: bounded queue full, retry later
+  kShutdown = 6,     ///< runtime stopped; no further requests served
+  kInternal = 7,     ///< execution failed server-side (message has details)
+  kBadFrame = 8,     ///< wire: malformed/truncated frame payload
+  kBadProtocol = 9,  ///< wire: magic/version mismatch
+  kTransport = 10,   ///< client-side: connection lost before a response
+};
+
+const char* infer_status_name(InferStatus s);
+
+/// Scoring-mode pin on a request. kModelDefault defers to whatever mode
+/// the model was loaded with; a non-default value is a contract assertion
+/// — if it differs from the model's serving mode the request fails with
+/// kBadScoring instead of silently scoring under the other path.
+enum class ScoringSelect : std::uint8_t {
+  kModelDefault = 0,
+  kFloatCosine = 1,
+  kBinaryHamming = 2,
+};
+
+/// One inference request (the unit the wire protocol frames).
+struct InferRequest {
+  /// Registry endpoint name (see is_valid_model_key). Ignored when
+  /// submitting straight to a single-model ServerRuntime.
+  std::string model_key;
+  /// Image [3, S, S] / [1, 3, S, S], or embedding [d] / [1, d].
+  tensor::Tensor input;
+  /// Top-k hits wanted (clamped to the model's class count). k == 0 is
+  /// admissible only with want_logits — "just give me the row".
+  std::uint32_t k = 1;
+  ScoringSelect scoring = ScoringSelect::kModelDefault;
+  /// Also return the full C-wide logit row (flat-scan path).
+  bool want_logits = false;
+  /// Client-chosen correlation id, echoed verbatim on the result. The
+  /// network client auto-assigns one per connection when left 0.
+  std::uint64_t request_id = 0;
+};
+
+/// Server-side stage wall times of one request (milliseconds). The
+/// queue-wait → score chain joins the per-request obs::Tracer spans; the
+/// network layer adds its own net_* histograms around them.
+struct InferTimings {
+  double queue_wait_ms = 0.0;  ///< submit → batch collected
+  double collect_ms = 0.0;     ///< shape check + batch assembly
+  double embed_ms = 0.0;       ///< backbone forward (0 for embedding inputs)
+  double score_ms = 0.0;       ///< prototype scan / top-k
+  double total_ms = 0.0;       ///< submit → result built
+};
+
+/// One inference result. status != kOk carries a human-readable `message`
+/// and empty payload fields.
+struct InferResult {
+  std::uint64_t request_id = 0;
+  InferStatus status = InferStatus::kOk;
+  std::string message;
+  /// min(k, C) hits ordered by (score desc, label asc) — identical to the
+  /// sharded scatter/gather ranking and to the flat argsort.
+  std::vector<TopK> topk;
+  /// Full logit row [C] iff want_logits was set.
+  std::vector<float> logits;
+  InferTimings timings;
+
+  bool ok() const { return status == InferStatus::kOk; }
+  /// The winning hit; throws std::logic_error when there is none.
+  const TopK& top() const;
+};
+
+/// Completion callback: invoked exactly once per submitted request —
+/// synchronously on rejection (admission control / validation), from a
+/// worker thread otherwise. The network front-end serves responses from
+/// this hook; future-returning submit() is implemented on top of it.
+using InferDone = std::function<void(InferResult&&)>;
+
+/// Registry keys are stable endpoint names, mirrored verbatim in the wire
+/// protocol and in obs metric labels: 1..64 chars of [A-Za-z0-9._-].
+inline constexpr std::size_t kMaxModelKeyBytes = 64;
+bool is_valid_model_key(const std::string& key);
+
+/// Error-result constructor (payload empty, message attached).
+InferResult make_error_result(std::uint64_t request_id, InferStatus status,
+                              std::string message);
+/// A future already resolved to `r` (synchronous-rejection plumbing).
+std::future<InferResult> make_ready_result(InferResult r);
+
+}  // namespace hdczsc::serve

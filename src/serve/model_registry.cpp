@@ -8,7 +8,10 @@ ModelRegistry::~ModelRegistry() { stop_all(); }
 
 void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnapshot> snapshot,
                          ScoringMode mode, std::optional<ServerConfig> cfg) {
-  if (key.empty()) throw std::invalid_argument("ModelRegistry::load: empty key");
+  if (!is_valid_model_key(key))
+    throw std::invalid_argument("ModelRegistry::load: invalid key '" + key +
+                                "' (want 1.." + std::to_string(kMaxModelKeyBytes) +
+                                " chars of [A-Za-z0-9._-])");
   if (!snapshot) throw std::invalid_argument("ModelRegistry::load: null snapshot");
   // Build and start outside the lock: worker spawn must not stall routing.
   ServerConfig rcfg = cfg.value_or(default_cfg_);
@@ -57,6 +60,40 @@ std::shared_ptr<ServerRuntime> ModelRegistry::find(const std::string& key) const
   auto it = models_.find(key);
   if (it == models_.end()) throw ModelNotFound(key);
   return it->second;
+}
+
+void ModelRegistry::submit(InferRequest req, InferDone done) {
+  // Routing failures are statuses, not exceptions: the wire protocol
+  // carries kBadModel back to the client verbatim. Validating the key
+  // *before* the map lookup keeps the error distinguishable from a merely
+  // unregistered name only in the message — both are kBadModel.
+  if (!is_valid_model_key(req.model_key)) {
+    done(make_error_result(req.request_id, InferStatus::kBadModel,
+                           "invalid model key (want 1.." + std::to_string(kMaxModelKeyBytes) +
+                               " chars of [A-Za-z0-9._-])"));
+    return;
+  }
+  std::shared_ptr<ServerRuntime> runtime;
+  {
+    std::shared_lock lock(mu_);
+    auto it = models_.find(req.model_key);
+    if (it != models_.end()) runtime = it->second;
+  }
+  if (!runtime) {
+    done(make_error_result(req.request_id, InferStatus::kBadModel,
+                           "no model registered under key '" + req.model_key + "'"));
+    return;
+  }
+  // The submit (and the batched forward it feeds) runs with no registry
+  // lock held.
+  runtime->submit(std::move(req), std::move(done));
+}
+
+std::future<InferResult> ModelRegistry::submit(InferRequest req) {
+  auto prom = std::make_shared<std::promise<InferResult>>();
+  std::future<InferResult> fut = prom->get_future();
+  submit(std::move(req), [prom](InferResult&& r) { prom->set_value(std::move(r)); });
+  return fut;
 }
 
 std::future<Prediction> ModelRegistry::classify_async(const std::string& key,

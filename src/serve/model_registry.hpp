@@ -48,7 +48,10 @@ class ModelRegistry {
   /// Hot-register `snapshot` under `key` (replacing any previous model with
   /// that key): builds an engine + runtime, starts its workers, then swaps
   /// it into the map. A replaced runtime drains its queue and joins after
-  /// the swap, outside the registry lock.
+  /// the swap, outside the registry lock. Keys are stable endpoint names —
+  /// 1..64 chars of [A-Za-z0-9._-] (is_valid_model_key), the charset the
+  /// wire protocol and the obs metric labels carry verbatim — anything else
+  /// throws std::invalid_argument.
   void load(const std::string& key, std::shared_ptr<const ModelSnapshot> snapshot,
             ScoringMode mode = ScoringMode::kFloatCosine,
             std::optional<ServerConfig> cfg = std::nullopt);
@@ -63,9 +66,20 @@ class ModelRegistry {
   /// completes). Returns false when the key was not registered.
   bool unload(const std::string& key);
 
-  /// Route one request to the model under `key`. Throws ModelNotFound for
-  /// an unknown key, ServerOverloaded on admission-control rejection.
+  /// Route one request to the model named by req.model_key. Never throws
+  /// for per-request conditions: an invalid or unregistered key resolves to
+  /// InferStatus::kBadModel, everything else follows ServerRuntime::submit's
+  /// status contract. This is the network front-end's dispatch point.
+  std::future<InferResult> submit(InferRequest req);
+  /// Callback form: `done` runs exactly once (synchronously for routing /
+  /// validation / admission failures, from a worker thread otherwise).
+  void submit(InferRequest req, InferDone done);
+
+  /// Deprecated shims over submit() (see ServerRuntime::classify_async):
+  /// legacy throwing contract — ModelNotFound for an unknown key,
+  /// ServerOverloaded on admission-control rejection.
   std::future<Prediction> classify_async(const std::string& key, tensor::Tensor image);
+  /// Deprecated blocking shim: submit and wait (see classify_async).
   Prediction classify(const std::string& key, tensor::Tensor image);
 
   bool has(const std::string& key) const;

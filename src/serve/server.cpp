@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/log.hpp"
 
@@ -33,16 +34,97 @@ void ServerRuntime::stop() {
   running_.store(false);
 }
 
+std::optional<InferResult> ServerRuntime::validate(const InferRequest& req) const {
+  const tensor::Tensor& in = req.input;
+  const bool image = in.dim() == 3 || (in.dim() == 4 && in.size(0) == 1);
+  const bool embedding = in.dim() == 1 || (in.dim() == 2 && in.size(0) == 1);
+  if (!(image || embedding) || in.numel() == 0)
+    return make_error_result(req.request_id, InferStatus::kBadShape,
+                             "input must be an image [3,S,S] / [1,3,S,S] or an embedding "
+                             "[d] / [1,d]");
+  if (embedding) {
+    const std::size_t d = in.dim() == 1 ? in.size(0) : in.size(1);
+    if (d != engine_->snapshot().dim())
+      return make_error_result(req.request_id, InferStatus::kBadShape,
+                               "embedding width " + std::to_string(d) +
+                                   " does not match the model dim " +
+                                   std::to_string(engine_->snapshot().dim()));
+  }
+  if (req.k == 0 && !req.want_logits)
+    return make_error_result(req.request_id, InferStatus::kBadRequest,
+                             "k == 0 with want_logits false requests nothing");
+  if (req.scoring != ScoringSelect::kModelDefault) {
+    const bool want_float = req.scoring == ScoringSelect::kFloatCosine;
+    const bool is_float = engine_->mode() == ScoringMode::kFloatCosine;
+    if (want_float != is_float)
+      return make_error_result(req.request_id, InferStatus::kBadScoring,
+                               "request pinned " +
+                                   scoring_mode_name(want_float ? ScoringMode::kFloatCosine
+                                                                : ScoringMode::kBinaryHamming) +
+                                   " but the model serves " + scoring_mode_name(engine_->mode()));
+  }
+  return std::nullopt;
+}
+
+void ServerRuntime::submit(InferRequest req, InferDone done) {
+  if (auto err = validate(req)) {
+    done(std::move(*err));
+    return;
+  }
+  const std::uint64_t id = req.request_id;
+  switch (batcher_.submit(req, done)) {
+    case DynamicBatcher::Admit::kAccepted:
+      return;
+    case DynamicBatcher::Admit::kQueueFull:
+      stats_.record_reject();
+      done(make_error_result(id, InferStatus::kOverloaded,
+                             "queue full (max_queue_depth=" +
+                                 std::to_string(batcher_.policy().max_queue_depth) + ")"));
+      return;
+    case DynamicBatcher::Admit::kShutdown:
+      stats_.record_reject();
+      done(make_error_result(id, InferStatus::kShutdown, "runtime stopped"));
+      return;
+  }
+}
+
+std::future<InferResult> ServerRuntime::submit(InferRequest req) {
+  auto prom = std::make_shared<std::promise<InferResult>>();
+  std::future<InferResult> fut = prom->get_future();
+  submit(std::move(req), [prom](InferResult&& r) { prom->set_value(std::move(r)); });
+  return fut;
+}
+
 std::future<Prediction> ServerRuntime::classify_async(tensor::Tensor image) {
-  // Reject malformed requests synchronously, before they can join a batch.
+  // The legacy contract: malformed requests throw synchronously, before
+  // they can join a batch.
   if (!(image.dim() == 3 || (image.dim() == 4 && image.size(0) == 1)))
     throw std::invalid_argument("serve: request image must be [3,S,S] or [1,3,S,S]");
-  auto fut = batcher_.submit(std::move(image));
-  if (!fut) {
+
+  InferRequest req;
+  req.input = std::move(image);
+  req.k = 1;
+  auto prom = std::make_shared<std::promise<Prediction>>();
+  std::future<Prediction> fut = prom->get_future();
+  InferDone done = [prom](InferResult&& r) {
+    if (r.ok() && !r.topk.empty()) {
+      prom->set_value(Prediction{r.topk[0].label, r.topk[0].score});
+    } else if (r.status == InferStatus::kBadShape) {
+      prom->set_exception(
+          std::make_exception_ptr(std::invalid_argument("serve: " + r.message)));
+    } else {
+      prom->set_exception(std::make_exception_ptr(std::runtime_error(
+          "serve: " + std::string(infer_status_name(r.status)) +
+          (r.message.empty() ? std::string() : ": " + r.message))));
+    }
+  };
+  // Admission failures also keep the legacy shape: a synchronous
+  // ServerOverloaded throw, for both the queue-full and the post-stop case.
+  if (batcher_.submit(req, done) != DynamicBatcher::Admit::kAccepted) {
     stats_.record_reject();
     throw ServerOverloaded();
   }
-  return std::move(*fut);
+  return fut;
 }
 
 Prediction ServerRuntime::classify(tensor::Tensor image) {
@@ -58,73 +140,135 @@ void ServerRuntime::worker_loop() {
   std::vector<DynamicBatcher::Item> items;
   while (batcher_.collect(items)) {
     if (items.empty()) continue;
-    // Tracing sampled once per batch: off, the only clocks read are the
-    // two the latency metric has always needed (collect + done).
     const bool tracing = trace_.enabled();
     const auto collected = Clock::now();
     stats_.observe_queue_depth(batcher_.depth() + items.size());
 
-    // The first request of the batch sets the image shape; requests that
-    // don't match it fail individually instead of poisoning the batch.
-    const tensor::Tensor& first = items[0].image;
-    const std::size_t per_image = first.numel();
-    tensor::Shape shape = first.dim() == 3
-                              ? tensor::Shape{0, first.size(0), first.size(1), first.size(2)}
-                              : tensor::Shape{0, first.size(1), first.size(2), first.size(3)};
+    // The first request of the batch sets its input kind (image vs
+    // pre-computed embedding) and element count; requests that don't match
+    // both fail individually instead of poisoning the batch. validate()
+    // already pinned every embedding to the model dim, so an embedding can
+    // only be split from the batch by an image whose numel coincides —
+    // which the kind check catches.
+    const tensor::Tensor& first = items[0].req.input;
+    const bool embed_kind = first.dim() <= 2;
+    const std::size_t per_input = first.numel();
     std::vector<std::size_t> good;
     good.reserve(items.size());
     for (std::size_t b = 0; b < items.size(); ++b) {
-      if (items[b].image.numel() == per_image) {
+      const tensor::Tensor& in = items[b].req.input;
+      if ((in.dim() <= 2) == embed_kind && in.numel() == per_input) {
         good.push_back(b);
       } else {
-        util::log_warn("serve: request image shape differs from the rest of the batch (",
-                       items[b].image.numel(), " elements vs ", per_image, "), failing it");
-        items[b].promise.set_exception(std::make_exception_ptr(std::invalid_argument(
-            "serve: request image shape differs from the rest of the batch")));
+        util::log_warn("serve: request input differs from the rest of the batch (",
+                       in.numel(), " elements vs ", per_input, "), failing it");
+        items[b].done(make_error_result(items[b].req.request_id, InferStatus::kBadShape,
+                                        "request input differs from the rest of the batch"));
       }
     }
 
+    tensor::Shape shape;
+    if (embed_kind) {
+      shape = {0, per_input};
+    } else {
+      shape = first.dim() == 3 ? tensor::Shape{0, first.size(0), first.size(1), first.size(2)}
+                               : tensor::Shape{0, first.size(1), first.size(2), first.size(3)};
+    }
     shape[0] = good.size();
     tensor::Tensor input(shape);
     float* dst = input.data();
     for (std::size_t g = 0; g < good.size(); ++g) {
-      const float* src = items[good[g]].image.data();
-      std::copy(src, src + per_image, dst + g * per_image);
+      const float* src = items[good[g]].req.input.data();
+      std::copy(src, src + per_input, dst + g * per_input);
     }
-    const auto assembled = tracing ? Clock::now() : collected;
+    const auto assembled = Clock::now();
+
+    std::size_t kmax = 0;
+    bool any_logits = false;
+    for (std::size_t g : good) {
+      kmax = std::max<std::size_t>(kmax, items[g].req.k);
+      any_logits |= items[g].req.want_logits;
+    }
 
     try {
       InferenceEngine::BatchTimings timings;
-      std::vector<Prediction> preds =
-          engine_->classify_batch(input, tracing ? &timings : nullptr);
-      const auto done = Clock::now();
+      std::vector<std::vector<TopK>> hits;
+      tensor::Tensor lg;
+      if (any_logits) {
+        // One flat-scan forward serves the whole batch; per-item top-k is
+        // derived from each row by (score desc, label asc) — the exact
+        // ordering the sharded scatter/gather retrieval produces, so the
+        // two execution paths stay bit-identical (tests/test_infer_api).
+        lg = engine_->logits(input, &timings);
+      } else {
+        hits = engine_->topk_batch(input, kmax, &timings);
+      }
+      const auto done_ts = Clock::now();
+
+      std::vector<InferResult> results(good.size());
+      for (std::size_t g = 0; g < good.size(); ++g) {
+        const InferRequest& req = items[good[g]].req;
+        InferResult& r = results[g];
+        r.request_id = req.request_id;
+        if (any_logits) {
+          const std::size_t classes = lg.size(1);
+          const float* row = lg.data() + g * classes;
+          const std::size_t k = std::min<std::size_t>(req.k, classes);
+          if (k > 0) {
+            std::vector<std::size_t> idx(classes);
+            std::iota(idx.begin(), idx.end(), std::size_t{0});
+            std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                              [row](std::size_t a, std::size_t b) {
+                                if (row[a] != row[b]) return row[a] > row[b];
+                                return a < b;
+                              });
+            r.topk.reserve(k);
+            for (std::size_t i = 0; i < k; ++i) r.topk.push_back(TopK{idx[i], row[idx[i]]});
+          }
+          if (req.want_logits) r.logits.assign(row, row + classes);
+        } else {
+          r.topk = std::move(hits[g]);
+          if (r.topk.size() > req.k) r.topk.resize(req.k);
+        }
+        r.timings.queue_wait_ms = ms(collected - items[good[g]].enqueued);
+        r.timings.collect_ms = ms(assembled - collected);
+        r.timings.embed_ms = timings.embed_ms;
+        r.timings.score_ms = timings.score_ms;
+        r.timings.total_ms = ms(done_ts - items[good[g]].enqueued);
+      }
+
       stats_.record_batch(good.size());
-      // GZSL telemetry: count where the decisions landed in the
+      // GZSL telemetry: count where the top-1 decisions landed in the
       // seen/unseen partition. Only recorded for partitioned snapshots —
       // without one every label counts as seen, and an all-seen counter
       // would be indistinguishable from the one-domain collapse the
       // balance metric exists to flag.
       const ModelSnapshot& snap = engine_->snapshot();
       if (snap.has_partition()) {
-        std::size_t seen = 0;
-        for (const Prediction& p : preds) seen += snap.is_seen(p.label);
-        stats_.record_domains(seen, preds.size() - seen);
+        std::size_t seen = 0, decided = 0;
+        for (const InferResult& r : results) {
+          if (r.topk.empty()) continue;
+          ++decided;
+          seen += snap.is_seen(r.topk[0].label);
+        }
+        if (decided > 0) stats_.record_domains(seen, decided - seen);
       }
-      // All telemetry is recorded *before* the promises are fulfilled: a
-      // client that sees its future resolve is guaranteed its request is
-      // already counted, so shutdown reads of the stats/traces are coherent.
+      // All telemetry is recorded *before* the completions run: a client
+      // that sees its result is guaranteed its request is already counted,
+      // so shutdown reads of the stats/traces are coherent.
       for (std::size_t g : good) {
-        stats_.record_request(ms(done - items[g].enqueued),
+        stats_.record_request(ms(done_ts - items[g].enqueued),
                               ms(collected - items[g].enqueued));
       }
       if (tracing) {
         // Batch-shared stages (collect/embed/score/reply) are identical for
         // every member — the batch is the unit of that work; queue-wait and
         // total are per request. The reply span covers the post-compute
-        // bookkeeping (domain counting, stats) up to the promise handoff.
+        // bookkeeping (result assembly, domain counting, stats) up to the
+        // completion handoff.
         const auto replied = Clock::now();
         const double collect_ms = ms(assembled - collected);
-        const double reply_ms = ms(replied - done);
+        const double reply_ms = ms(replied - done_ts);
         for (std::size_t g : good) {
           obs::TraceSpan span;
           span.stage(obs::Stage::kQueueWait) = ms(collected - items[g].enqueued);
@@ -137,16 +281,18 @@ void ServerRuntime::worker_loop() {
         }
       }
       for (std::size_t g = 0; g < good.size(); ++g) {
-        items[good[g]].promise.set_value(preds[g]);
+        items[good[g]].done(std::move(results[g]));
       }
     } catch (const std::exception& e) {
       util::log_warn("serve: batch of ", good.size(), " failed: ", e.what());
-      auto eptr = std::current_exception();
-      for (std::size_t g : good) items[g].promise.set_exception(eptr);
+      for (std::size_t g : good)
+        items[g].done(
+            make_error_result(items[g].req.request_id, InferStatus::kInternal, e.what()));
     } catch (...) {
       util::log_warn("serve: batch of ", good.size(), " failed with a non-std exception");
-      auto eptr = std::current_exception();
-      for (std::size_t g : good) items[g].promise.set_exception(eptr);
+      for (std::size_t g : good)
+        items[g].done(make_error_result(items[g].req.request_id, InferStatus::kInternal,
+                                        "non-std exception"));
     }
   }
 }

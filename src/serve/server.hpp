@@ -1,8 +1,15 @@
 // Serving runtime: N worker threads draining a DynamicBatcher into an
 // InferenceEngine, with admission control and telemetry.
 //
+// The request surface is the unified InferRequest → InferResult contract
+// (serve/infer.hpp): submit() never throws for per-request conditions —
+// bad shape, scoring-mode mismatch, overload and shutdown all come back
+// as named statuses on the result, exactly as they appear on the wire
+// (src/net/). The callback overload is the zero-future path the network
+// front-end serves responses from.
+//
 // Lifecycle: construct → (optionally submit; requests queue up) → start()
-// → submit/classify from any number of client threads → stop() (drains the
+// → submit from any number of client threads → stop() (drains the
 // queue, joins workers). stop() is terminal — the underlying queue stays
 // shut down, so construct a new runtime to serve again. Eval-mode forwards
 // are read-only, so workers share the snapshot without locking; on a
@@ -11,18 +18,22 @@
 
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
+#include "serve/engine.hpp"
 #include "serve/stats.hpp"
 
 namespace hdczsc::serve {
 
-/// Thrown by classify()/classify_async() when admission control rejects the
-/// request (queue at max_queue_depth, or server shut down).
+/// Thrown by the deprecated classify()/classify_async() shims when
+/// admission control rejects the request (queue at max_queue_depth, or
+/// server shut down). submit() reports the same condition as
+/// InferStatus::kOverloaded / kShutdown instead of throwing.
 class ServerOverloaded : public std::runtime_error {
  public:
   ServerOverloaded() : std::runtime_error("serve: queue full, request rejected") {}
@@ -45,8 +56,9 @@ struct ServerConfig {
   /// serve_*{model=name} so the exporters see it. ModelRegistry sets it to
   /// the model key on load.
   std::string name;
-  /// Per-request stage tracing (obs/trace.hpp). Off, the worker loop takes
-  /// no per-stage timestamps at all.
+  /// Per-request stage tracing (obs/trace.hpp). Off, no spans are recorded
+  /// (InferResult timings are still filled — they cost a handful of clock
+  /// reads per *batch*, not per request).
   bool tracing = true;
 };
 
@@ -65,9 +77,25 @@ class ServerRuntime {
   /// Terminal: subsequent submissions are rejected and start() refuses.
   void stop();
 
-  /// Enqueue one image [3, S, S]; throws ServerOverloaded on rejection.
+  /// Enqueue one request (req.model_key is ignored — this runtime *is*
+  /// the model). The future always resolves; failures are named statuses
+  /// (kBadShape / kBadScoring / kBadRequest synchronously, kOverloaded /
+  /// kShutdown on admission rejection, kInternal on execution failure) —
+  /// never exceptions.
+  std::future<InferResult> submit(InferRequest req);
+
+  /// Callback form (the network front-end's path): `done` is invoked
+  /// exactly once — synchronously on the caller's thread for validation /
+  /// admission failures, from a worker thread otherwise.
+  void submit(InferRequest req, InferDone done);
+
+  /// Deprecated shims over submit(): the pre-InferRequest entrypoints,
+  /// kept for callers that want the single-label convenience shape.
+  /// Unlike submit(), they keep the legacy throwing contract
+  /// (std::invalid_argument on bad shape, ServerOverloaded on rejection,
+  /// and execution failures re-thrown from the future).
   std::future<Prediction> classify_async(tensor::Tensor image);
-  /// Blocking convenience: submit and wait.
+  /// Deprecated blocking shim: submit and wait (see classify_async).
   Prediction classify(tensor::Tensor image);
 
   const InferenceEngine& engine() const { return *engine_; }
@@ -84,6 +112,9 @@ class ServerRuntime {
   bool running() const { return running_.load(); }
 
  private:
+  /// Synchronous per-request validation: nullopt when admissible, else the
+  /// ready-to-return error result (shape / scoring pin / empty request).
+  std::optional<InferResult> validate(const InferRequest& req) const;
   void worker_loop();
 
   std::shared_ptr<const InferenceEngine> engine_;

@@ -87,6 +87,7 @@ std::vector<std::uint64_t> read_packed_words(std::istream& is, std::size_t expec
     throw std::runtime_error("snapshot_io: corrupt record 'packed word count': " +
                              std::to_string(n_words) + " words, but the prototype rows imply " +
                              std::to_string(expected_words));
+  tensor::io::check_readable(is, n_words, sizeof(std::uint64_t), "packed binary rows");
   std::vector<std::uint64_t> words(expected_words);
   is.read(reinterpret_cast<char*>(words.data()),
           static_cast<std::streamsize>(words.size() * sizeof(std::uint64_t)));
@@ -106,6 +107,7 @@ std::vector<std::uint8_t> read_partition(std::istream& is, std::size_t n_classes
                              std::to_string(n_seen) + " seen of " +
                              std::to_string(n_classes) + " classes");
   const std::size_t n_words = (n_classes + 63) / 64;
+  tensor::io::check_readable(is, n_words, sizeof(std::uint64_t), "seen mask");
   std::vector<std::uint64_t> words(n_words);
   is.read(reinterpret_cast<char*>(words.data()),
           static_cast<std::streamsize>(n_words * sizeof(std::uint64_t)));

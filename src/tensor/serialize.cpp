@@ -17,10 +17,30 @@ std::string read_string(std::istream& is, const char* what) {
   const auto n = read_pod<std::uint32_t>(is, what);
   if (n > (1u << 20))
     throw std::runtime_error(std::string("serialize: implausible length for ") + what);
+  check_readable(is, n, 1, what);
   std::string s(n, '\0');
   is.read(s.data(), n);
   if (!is) throw std::runtime_error(std::string("serialize: truncated reading ") + what);
   return s;
+}
+
+void check_readable(std::istream& is, std::uint64_t count, std::size_t item_bytes,
+                    const char* what) {
+  const auto pos = is.tellg();
+  if (pos < 0) return;  // non-seekable: the read itself still fails cleanly
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  is.seekg(pos);
+  if (!is || end < pos)
+    throw std::runtime_error(std::string("serialize: cannot size stream for ") + what);
+  const auto remaining = static_cast<std::uint64_t>(end - pos);
+  // Divide instead of multiplying: count * item_bytes can overflow u64 on
+  // a hostile declared length, remaining / item_bytes cannot.
+  if (item_bytes != 0 && remaining / item_bytes < count)
+    throw std::runtime_error(std::string("serialize: truncated ") + what + " (declared " +
+                             std::to_string(count) + " items of " +
+                             std::to_string(item_bytes) + " bytes, " +
+                             std::to_string(remaining) + " bytes remain)");
 }
 
 }  // namespace io
@@ -65,6 +85,7 @@ Tensor load_tensor(std::istream& is) {
   }
   if (numel > (std::size_t{1} << 31))
     throw std::runtime_error("load_tensor: implausible element count");
+  io::check_readable(is, numel, sizeof(float), "tensor data");
   Tensor t(shape);
   is.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(numel * sizeof(float)));

@@ -7,6 +7,7 @@
 // count-prefixed sequence of (name, tensor) records.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <istream>
 #include <ostream>
@@ -37,6 +38,17 @@ T read_pod(std::istream& is, const char* what = "value") {
 
 void write_string(std::ostream& os, const std::string& s);
 std::string read_string(std::istream& is, const char* what = "string");
+
+/// Bounds check a declared element count against what the stream actually
+/// holds *before* allocating for it: on a seekable stream, throws
+/// std::runtime_error("... truncated ...") unless `count * item_bytes`
+/// bytes remain past the current position. Non-seekable streams pass (the
+/// subsequent read still fails cleanly on truncation) — but every consumer
+/// in the repo (snapshot/tensor files, wire frames via imemstream) is
+/// seekable, so a frame that *declares* more data than it carries is
+/// rejected up front instead of first allocating gigabytes for it.
+void check_readable(std::istream& is, std::uint64_t count, std::size_t item_bytes,
+                    const char* what);
 
 }  // namespace hdczsc::tensor::io
 

@@ -275,13 +275,23 @@ TEST(InferenceEngine, BinaryArgmaxAgreesWithFloatOnTrainedModel) {
 
 // -- dynamic batcher ---------------------------------------------------------
 
+using Admit = serve::DynamicBatcher::Admit;
+
+/// Enqueue one request with a no-op completion (batcher-level tests never
+/// drain through a worker).
+Admit submit_one(serve::DynamicBatcher& batcher, Tensor input = Tensor({3, 2, 2})) {
+  serve::InferRequest req;
+  req.input = std::move(input);
+  serve::InferDone done = [](serve::InferResult&&) {};
+  return batcher.submit(req, done);
+}
+
 TEST(DynamicBatcher, CoalescesUpToMaxBatch) {
   serve::BatchPolicy policy;
   policy.max_batch = 4;
   policy.max_delay_ms = 0.0;  // don't wait in a single-threaded test
   serve::DynamicBatcher batcher(policy);
-  for (int i = 0; i < 5; ++i)
-    ASSERT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(submit_one(batcher), Admit::kAccepted);
   EXPECT_EQ(batcher.depth(), 5u);
 
   std::vector<serve::DynamicBatcher::Item> items;
@@ -292,16 +302,25 @@ TEST(DynamicBatcher, CoalescesUpToMaxBatch) {
 
   batcher.shutdown();
   EXPECT_FALSE(batcher.collect(items));
-  EXPECT_FALSE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  EXPECT_EQ(submit_one(batcher), Admit::kShutdown);
 }
 
 TEST(DynamicBatcher, AdmissionControlBoundsQueueDepth) {
   serve::BatchPolicy policy;
   policy.max_queue_depth = 3;
   serve::DynamicBatcher batcher(policy);
-  for (int i = 0; i < 3; ++i)
-    EXPECT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
-  EXPECT_FALSE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(submit_one(batcher), Admit::kAccepted);
+  EXPECT_EQ(submit_one(batcher), Admit::kQueueFull);
+  // A rejected submit must leave the request intact for the caller to
+  // resolve (the batcher consumes it only on kAccepted).
+  serve::InferRequest rejected;
+  rejected.input = Tensor({3, 2, 2});
+  rejected.request_id = 77;
+  serve::InferDone done = [](serve::InferResult&&) {};
+  EXPECT_EQ(batcher.submit(rejected, done), Admit::kQueueFull);
+  EXPECT_EQ(rejected.request_id, 77u);
+  EXPECT_EQ(rejected.input.numel(), 12u);
+  EXPECT_TRUE(static_cast<bool>(done));
   batcher.shutdown();
 }
 
@@ -319,7 +338,7 @@ TEST(DynamicBatcher, LoneRequestIsReleasedWithinTheDelayBound) {
 
   std::vector<serve::DynamicBatcher::Item> items;
   const auto t0 = serve::DynamicBatcher::Clock::now();
-  ASSERT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  ASSERT_EQ(submit_one(batcher), Admit::kAccepted);
   std::thread collector([&] { ASSERT_TRUE(batcher.collect(items)); });
   collector.join();
   const double waited_ms =
@@ -348,12 +367,12 @@ TEST(DynamicBatcher, LateArrivalsDoNotExtendTheOldestRequestsDeadline) {
   serve::DynamicBatcher batcher(policy);
 
   const auto t0 = serve::DynamicBatcher::Clock::now();
-  ASSERT_TRUE(batcher.submit(Tensor({3, 2, 2})).has_value());
+  ASSERT_EQ(submit_one(batcher), Admit::kAccepted);
 
   std::atomic<bool> stop{false};
   std::thread feeder([&] {
     while (!stop.load()) {
-      batcher.submit(Tensor({3, 2, 2}));
+      submit_one(batcher);
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
   });
@@ -396,33 +415,35 @@ TEST(ServerRuntime, MultiThreadedStormCompletesWithCorrectTop1) {
 
   // Phase 1: storm *before* start() so the queue is fully loaded — the
   // drain is then guaranteed to coalesce (deterministic batch histogram).
+  // The storm speaks the unified submit(InferRequest) surface: admission
+  // failures would come back as statuses on the futures, not exceptions.
   const std::size_t n_threads = 4, reps = 3;
-  std::vector<std::vector<std::pair<std::size_t, std::future<serve::Prediction>>>> futs(
+  std::vector<std::vector<std::pair<std::size_t, std::future<serve::InferResult>>>> futs(
       n_threads);
   std::vector<std::thread> clients;
-  std::atomic<std::size_t> failures{0};
   for (std::size_t t = 0; t < n_threads; ++t) {
     clients.emplace_back([&, t] {
       for (std::size_t r = 0; r < reps; ++r)
         for (std::size_t i = 0; i < n_images; ++i) {
-          try {
-            futs[t].emplace_back(i, server.classify_async(slice_image(images, i)));
-          } catch (const serve::ServerOverloaded&) {
-            ++failures;
-          }
+          serve::InferRequest req;
+          req.input = slice_image(images, i);
+          req.request_id = i + 1;
+          futs[t].emplace_back(i, server.submit(std::move(req)));
         }
     });
   }
   for (auto& c : clients) c.join();
-  ASSERT_EQ(failures.load(), 0u);
 
   server.start();
   std::size_t checked = 0;
   for (auto& per_thread : futs)
     for (auto& [idx, fut] : per_thread) {
-      serve::Prediction p = fut.get();
-      ASSERT_EQ(p.label, expected[idx].label);
-      ASSERT_FLOAT_EQ(p.score, expected[idx].score);
+      serve::InferResult r = fut.get();
+      ASSERT_EQ(r.status, serve::InferStatus::kOk)
+          << serve::infer_status_name(r.status) << ": " << r.message;
+      ASSERT_EQ(r.request_id, idx + 1);
+      ASSERT_EQ(r.top().label, expected[idx].label);
+      ASSERT_FLOAT_EQ(r.top().score, expected[idx].score);
       ++checked;
     }
   EXPECT_EQ(checked, n_threads * reps * n_images);
