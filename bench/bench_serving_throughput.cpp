@@ -50,6 +50,7 @@
 #include <future>
 #include <numeric>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "core/pipeline.hpp"
@@ -93,7 +94,9 @@ double storm_wall_seconds(Submit&& submit, std::size_t n_requests, std::size_t c
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      std::vector<std::future<serve::Prediction>> inflight;
+      // Future type follows the submit path: InferResult for submit(),
+      // Prediction for the registry's legacy shim.
+      std::vector<std::invoke_result_t<Submit&, std::size_t>> inflight;
       for (std::size_t r = 0; r < per_client; ++r) {
         inflight.push_back(submit(c * per_client + r));
         if (inflight.size() >= burst) {
@@ -115,7 +118,9 @@ RunResult storm(serve::ServerRuntime& server, const nn::Tensor& images,
   const std::size_t n_images = images.size(0);
   storm_wall_seconds(
       [&](std::size_t req) {
-        return server.classify_async(slice_image(images, req % n_images));
+        serve::InferRequest r;
+        r.input = slice_image(images, req % n_images);
+        return server.submit(std::move(r));
       },
       n_requests, clients);
   const auto s = server.stats().summary();
@@ -357,10 +362,12 @@ int main(int argc, char** argv) {
     server.start();
     const std::size_t n_images = images.size(0);
     util::Timer clock;
-    std::vector<std::future<serve::Prediction>> futs;
+    std::vector<std::future<serve::InferResult>> futs;
     futs.reserve(n_requests);
     for (std::size_t r = 0; r < n_requests; ++r) {
-      futs.push_back(server.classify_async(slice_image(images, r % n_images)));
+      serve::InferRequest req;
+      req.input = slice_image(images, r % n_images);
+      futs.push_back(server.submit(std::move(req)));
     }
     for (auto& f : futs) f.get();
     const double secs = clock.seconds();

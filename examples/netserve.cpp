@@ -17,14 +17,23 @@
 // Client mode: connect to a running server, probe liveness and stream a
 // few requests through the pipelined client, printing statuses:
 //       ./netserve --connect=HOST:PORT [--requests=8] [--dim=256]
-//                  [--key=m0] [--k=1]
+//                  [--key=m0] [--k=1] [--send-images] [--image-size=32]
 //   Requests carry random embeddings of width --dim (the model's projection
 //   dimension); a width mismatch comes back as a named kBadShape status —
 //   useful for checking a deployment end to end without a dataset.
+//   --send-images sends random [3, S, S] images instead, which drives the
+//   server's backbone (the way to smoke-test an int8 deployment: an
+//   embedding request skips the quantized path entirely).
 //
 //   ./netserve [--port=0] [--io-threads=1] [--workers=1] [--batch=8]
 //              [--queue-depth=4096] [--mode=float|binary] [--models=1]
+//              [--precision=float32|int8] [--calib-method=minmax|entropy]
 //              [--run-seconds=0]
+//
+//   --precision=int8 serves the backbone through the quantized int8 path:
+//   with --snapshot the artifact must be a v4 file carrying quantization
+//   records (snapshot_tool --quantize produces one); the in-process demo
+//   path calibrates and quantizes the freshly trained model itself.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -60,6 +69,8 @@ int run_client(const util::ArgMap& args, const std::string& connect) {
   const std::size_t dim = static_cast<std::size_t>(args.get_int("dim", 256));
   const std::size_t k = static_cast<std::size_t>(args.get_int("k", 1));
   const std::string key = args.get_str("key", "m0");
+  const bool send_images = args.has("send-images");
+  const std::size_t image_size = static_cast<std::size_t>(args.get_int("image-size", 32));
 
   net::NetClient client(host, static_cast<std::uint16_t>(port));
   if (!client.ping()) {
@@ -76,7 +87,10 @@ int run_client(const util::ArgMap& args, const std::string& connect) {
   for (std::size_t i = 0; i < n_requests; ++i) {
     serve::InferRequest req;
     req.model_key = key;
-    req.input = nn::Tensor::randn({dim}, rng);
+    // Images drive the server-side backbone (float or int8); embeddings
+    // skip it and exercise only the scoring path.
+    req.input = send_images ? nn::Tensor::randn({3, image_size, image_size}, rng)
+                            : nn::Tensor::randn({dim}, rng);
     req.k = k;
     futures.push_back(client.submit(std::move(req)));
   }
@@ -114,14 +128,33 @@ int main(int argc, char** argv) {
                                                        : serve::ScoringMode::kFloatCosine;
   const std::size_t n_models =
       static_cast<std::size_t>(std::max<long>(1, args.get_int("models", 1)));
+  serve::Precision precision = serve::Precision::kFloat32;
+  try {
+    precision = serve::precision_from_name(args.get_str("precision", "float32"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "netserve: %s\n", e.what());
+    return 2;
+  }
+  const nn::CalibMethod calib = args.get_str("calib-method", "minmax") == "entropy"
+                                    ? nn::CalibMethod::kEntropy
+                                    : nn::CalibMethod::kMinMax;
 
   // -- 1. obtain a snapshot: load the artifact, or train and freeze ----------
   std::shared_ptr<const serve::ModelSnapshot> snapshot;
   if (args.has("snapshot")) {
     const std::string path = args.get_str("snapshot", "");
-    snapshot = serve::load_snapshot_file(path);
-    std::printf("netserve: cold-started from %s (%zu classes, d=%zu)\n", path.c_str(),
-                snapshot->n_classes(), snapshot->dim());
+    auto loaded = serve::load_snapshot_file(path);
+    if (precision == serve::Precision::kInt8 && !loaded->has_quantized()) {
+      std::fprintf(stderr,
+                   "netserve: --precision=int8 but %s carries no quantization records "
+                   "(produce a v4 artifact with snapshot_tool --quantize)\n",
+                   path.c_str());
+      return 2;
+    }
+    snapshot = loaded;
+    std::printf("netserve: cold-started from %s (%zu classes, d=%zu%s)\n", path.c_str(),
+                snapshot->n_classes(), snapshot->dim(),
+                snapshot->has_quantized() ? ", int8-capable" : "");
   } else {
     core::PipelineConfig cfg = examples::demo_pipeline_config(args);
     cfg.snapshot_path = args.get_str("save-snapshot", "");
@@ -133,8 +166,19 @@ int main(int argc, char** argv) {
                 100.0 * tp.result.zsc.top1);
     if (!cfg.snapshot_path.empty())
       std::printf("netserve: wrote snapshot artifact: %s\n", cfg.snapshot_path.c_str());
-    snapshot = std::make_shared<const serve::ModelSnapshot>(
+    auto built = std::make_shared<serve::ModelSnapshot>(
         tp.model, tp.test_class_attributes, cfg.snapshot_expansion, 1);
+    if (precision == serve::Precision::kInt8) {
+      // PTQ against the held-out eval images (unlabeled data is all
+      // calibration needs) before the snapshot is frozen behind const.
+      const auto artifact = built->quantize(tp.test_set.images, calib);
+      const auto qi = artifact->info();
+      std::printf("netserve: int8 backbone calibrated (%s) on %zu images "
+                  "(%zu conv + %zu linear, %zu weight bytes)\n",
+                  nn::calib_method_name(qi.method), tp.test_set.images.size(0), qi.n_conv,
+                  qi.n_linear, qi.weight_bytes);
+    }
+    snapshot = built;
   }
 
   // -- 2. registry + network front-end ---------------------------------------
@@ -143,6 +187,7 @@ int main(int argc, char** argv) {
   scfg.batch.max_batch = static_cast<std::size_t>(args.get_int("batch", 8));
   scfg.batch.max_delay_ms = args.get_double("delay-ms", 2.0);
   scfg.batch.max_queue_depth = static_cast<std::size_t>(args.get_int("queue-depth", 4096));
+  scfg.backbone_precision = precision;
   serve::ModelRegistry registry(scfg);
   std::vector<std::string> keys;
   for (std::size_t m = 0; m < n_models; ++m) {
@@ -155,8 +200,9 @@ int main(int argc, char** argv) {
   ncfg.n_io_threads = static_cast<std::size_t>(args.get_int("io-threads", 1));
   net::NetServer server(registry, ncfg);
   server.start();
-  std::printf("netserve: serving %zu model(s) [%s] with %s scoring (d=%zu)\n", n_models,
-              keys.front().c_str(), scoring_mode_name(mode).c_str(), snapshot->dim());
+  std::printf("netserve: serving %zu model(s) [%s] with %s scoring, %s backbone (d=%zu)\n",
+              n_models, keys.front().c_str(), scoring_mode_name(mode).c_str(),
+              serve::precision_name(precision).c_str(), snapshot->dim());
   std::printf("netserve: listening on %u\n", static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 

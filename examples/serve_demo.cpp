@@ -35,8 +35,15 @@
 // The final report includes the per-stage latency breakdown (queue-wait /
 // collect / embed / score / reply) and the slowest traced requests.
 //
+// Int8 serving: --precision=int8 routes the embed stage through the
+// post-training-quantized backbone. In training mode the demo calibrates
+// and quantizes in-process (--calib-method=minmax|entropy); in --snapshot
+// mode the artifact must be a v4 file carrying quantization records
+// (snapshot_tool --quantize).
+//
 //   ./serve_demo [--requests=240] [--clients=4] [--batch=8] [--workers=1]
-//                [--mode=float|binary] [--expansion=8] [--models=1]
+//                [--mode=float|binary] [--precision=float32|int8]
+//                [--calib-method=minmax] [--expansion=8] [--models=1]
 //                [--shards=0] [--topk=0] [--seen-penalty=0]
 //                [--stats-interval=0] [--metrics-out=] [--profile]
 #include <algorithm>
@@ -88,6 +95,16 @@ int main(int argc, char** argv) {
   }
   const serve::ScoringMode mode = mode_str == "binary" ? serve::ScoringMode::kBinaryHamming
                                                        : serve::ScoringMode::kFloatCosine;
+  serve::Precision precision = serve::Precision::kFloat32;
+  try {
+    precision = serve::precision_from_name(args.get_str("precision", "float32"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "serve_demo: %s\n", e.what());
+    return 2;
+  }
+  const nn::CalibMethod calib = args.get_str("calib-method", "minmax") == "entropy"
+                                    ? nn::CalibMethod::kEntropy
+                                    : nn::CalibMethod::kMinMax;
 
   // -- 1. obtain a snapshot: load the artifact, or train and freeze ----------
   std::shared_ptr<const serve::ModelSnapshot> snapshot;
@@ -96,10 +113,18 @@ int main(int argc, char** argv) {
   if (args.has("snapshot")) {
     const std::string path = args.get_str("snapshot", "");
     snapshot = serve::load_snapshot_file(path);
-    std::printf("serve_demo: cold-started from %s (%zu classes, d=%zu, x%zu codes) — "
+    if (precision == serve::Precision::kInt8 && !snapshot->has_quantized()) {
+      std::fprintf(stderr,
+                   "serve_demo: --precision=int8 but %s carries no quantization records "
+                   "(produce a v4 artifact with snapshot_tool --quantize)\n",
+                   path.c_str());
+      return 2;
+    }
+    std::printf("serve_demo: cold-started from %s (%zu classes, d=%zu, x%zu codes%s) — "
                 "no retraining\n",
                 path.c_str(), snapshot->n_classes(), snapshot->dim(),
-                snapshot->prototypes().expansion());
+                snapshot->prototypes().expansion(),
+                snapshot->has_quantized() ? ", int8-capable" : "");
     if (snapshot->has_partition())
       std::printf("serve_demo: GZSL partition: %zu seen + %zu unseen classes\n",
                   snapshot->n_seen(), snapshot->n_unseen());
@@ -126,22 +151,33 @@ int main(int argc, char** argv) {
                 100.0 * tp.result.zsc.top1);
     if (!cfg.snapshot_path.empty())
       std::printf("wrote snapshot artifact: %s\n", cfg.snapshot_path.c_str());
+    std::shared_ptr<serve::ModelSnapshot> built;
     if (gzsl) {
       // Joint label space, training classes first; the request pool mixes
       // the seen domain's held-out images with the unseen domain's, with
       // ground-truth labels in joint ids.
-      snapshot = serve::make_gzsl_snapshot(tp.model, tp.seen_class_attributes,
-                                           tp.test_class_attributes, expansion,
-                                           std::max<std::size_t>(1, n_shards));
+      built = serve::make_gzsl_snapshot(tp.model, tp.seen_class_attributes,
+                                        tp.test_class_attributes, expansion,
+                                        std::max<std::size_t>(1, n_shards));
       data::Batch joint = core::joint_gzsl_eval_set(tp);
       images = std::move(joint.images);
       labels = std::move(joint.labels);
     } else {
-      snapshot = std::make_shared<const serve::ModelSnapshot>(
+      built = std::make_shared<serve::ModelSnapshot>(
           tp.model, tp.test_class_attributes, expansion, std::max<std::size_t>(1, n_shards));
       images = tp.test_set.images;
       labels = tp.test_set.labels;
     }
+    if (precision == serve::Precision::kInt8) {
+      // Calibrate on the request pool itself: PTQ only needs unlabeled
+      // images drawn from the serving distribution.
+      const auto qi = built->quantize(images, calib)->info();
+      std::printf("serve_demo: int8 backbone calibrated (%s) on %zu images "
+                  "(%zu conv + %zu linear, %zu weight bytes)\n",
+                  nn::calib_method_name(qi.method), images.size(0), qi.n_conv, qi.n_linear,
+                  qi.weight_bytes);
+    }
+    snapshot = built;
   }
 
   const auto& store = snapshot->prototypes();
@@ -161,6 +197,7 @@ int main(int argc, char** argv) {
   scfg.batch.max_queue_depth = 4096;
   scfg.n_shards = n_shards;  // 0 = adopt the snapshot's preferred layout
   scfg.seen_penalty = seen_penalty;
+  scfg.backbone_precision = precision;
   serve::ModelRegistry registry(scfg);
   std::vector<std::string> keys;
   for (std::size_t m = 0; m < n_models; ++m) {

@@ -13,6 +13,14 @@
 //       frozen prototype rows).
 //   ./snapshot_tool --inspect=model.hdcsnap
 //       print the header / size table without rebuilding the model.
+//   ./snapshot_tool --quantize=model.hdcsnap --out=model.int8.hdcsnap
+//                   [--calib-method=minmax|entropy] [--calib-images=64]
+//       load a float artifact, post-training-quantize its embed path
+//       against a deterministic synthetic calibration batch, and write a
+//       v4 artifact carrying the calibration table + int8 weights — the
+//       input a server needs to cold-start with --precision=int8. Prints
+//       the int8-vs-float probe agreement so drift is visible up front.
+#include <algorithm>
 #include <cstdio>
 
 #include "core/pipeline.hpp"
@@ -73,6 +81,12 @@ void print_info(const std::string& path) {
                  ? std::to_string(info.n_seen) + " seen + " +
                        std::to_string(info.n_classes - info.n_seen) + " unseen"
                  : (info.version < 3 ? "none (pre-v3: all seen)" : "none (all seen)")});
+  t.add_row({"int8 quantization",
+             info.has_quant
+                 ? info.quant_method + " calibrated: " + std::to_string(info.quant_conv) +
+                       " conv + " + std::to_string(info.quant_linear) + " linear, " +
+                       std::to_string(info.quant_weight_bytes) + " weight bytes"
+                 : (info.version < 4 ? "none (pre-v4: float only)" : "none (float only)")});
   t.print();
 }
 
@@ -97,6 +111,54 @@ int main(int argc, char** argv) {
 
   if (args.has("inspect")) {
     print_info(args.get_str("inspect", ""));
+    return 0;
+  }
+
+  if (args.has("quantize")) {
+    const std::string in = args.get_str("quantize", "");
+    const std::string out = args.get_str("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "snapshot_tool: --quantize needs --out=PATH for the v4 artifact\n");
+      return 2;
+    }
+    const nn::CalibMethod method = args.get_str("calib-method", "minmax") == "entropy"
+                                       ? nn::CalibMethod::kEntropy
+                                       : nn::CalibMethod::kMinMax;
+    const std::size_t n_calib = static_cast<std::size_t>(args.get_int("calib-images", 64));
+
+    auto snap = serve::load_snapshot_file(in);
+    // Deterministic synthetic calibration batch (seed differs from the
+    // probe batch so calibration never sees the agreement-check inputs).
+    util::Rng rng(0xCA11B0ULL);
+    const nn::Tensor calib_images =
+        nn::Tensor::randn({n_calib, 3, image_size, image_size}, rng);
+    const auto qi = snap->quantize(calib_images, method)->info();
+    serve::save_snapshot_file(out, *snap);
+    std::printf("quantized %s -> %s: %s calibrated, %zu conv + %zu linear, %zu weight "
+                "bytes\n",
+                in.c_str(), out.c_str(), nn::calib_method_name(qi.method), qi.n_conv,
+                qi.n_linear, qi.weight_bytes);
+
+    // Drift report on the held-out probe batch: top-1 agreement between the
+    // float and int8 score paths, plus the worst embedding deviation.
+    const nn::Tensor probe = probe_images(n_probe, image_size);
+    const nn::Tensor ef = snap->embed(probe);
+    const nn::Tensor eq = snap->embed_int8(probe);
+    const nn::Tensor sf = snap->prototypes().score_float(ef);
+    const nn::Tensor sq = snap->prototypes().score_float(eq);
+    const std::size_t n_classes = snap->n_classes();
+    std::size_t agree = 0;
+    for (std::size_t b = 0; b < n_probe; ++b) {
+      const float* rf = sf.data() + b * n_classes;
+      const float* rq = sq.data() + b * n_classes;
+      const std::size_t af = std::max_element(rf, rf + n_classes) - rf;
+      const std::size_t aq = std::max_element(rq, rq + n_classes) - rq;
+      agree += af == aq;
+    }
+    std::printf("int8 vs float: top-1 agreement %zu/%zu on the probe batch, "
+                "embedding max |diff| = %g\n",
+                agree, n_probe, static_cast<double>(tensor::max_abs_diff(ef, eq)));
+    print_info(out);
     return 0;
   }
 
@@ -150,6 +212,8 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "usage: snapshot_tool --save=PATH [--classes=N --seed=S --expansion=K "
-               "--epochs=E --shards=S --gzsl] | --load=PATH | --inspect=PATH\n");
+               "--epochs=E --shards=S --gzsl] | --load=PATH | --inspect=PATH | "
+               "--quantize=PATH --out=PATH [--calib-method=minmax|entropy "
+               "--calib-images=N]\n");
   return 2;
 }

@@ -54,6 +54,9 @@ class ImageEncoder {
   void set_projection_frozen(bool frozen);
 
   nn::Sequential& backbone() { return *backbone_.net; }
+  /// Projection FC layer, or nullptr when use_projection == false (the
+  /// quantizer walks backbone + projection as one embed graph).
+  nn::Linear* projection() { return fc_.get(); }
 
  private:
   nn::Backbone backbone_;

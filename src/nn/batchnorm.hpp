@@ -20,6 +20,12 @@ class BatchNorm2d : public Layer {
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }
+  /// Affine parameters + epsilon — the eval-mode BN is the exact per-channel
+  /// affine y = γ(x-μ)/√(σ²+ε) + β, which the quantizer folds into the
+  /// preceding conv's weights and bias (nn/quant.hpp).
+  const Tensor& gamma() const { return gamma_.value; }
+  const Tensor& beta() const { return beta_.value; }
+  float eps() const { return eps_; }
 
  private:
   std::size_t channels_;

@@ -46,6 +46,11 @@ class Conv2d : public Layer {
   std::size_t kernel() const { return k_; }
   std::size_t stride() const { return stride_; }
   std::size_t padding() const { return pad_; }
+  bool has_bias() const { return has_bias_; }
+  /// Direct parameter handles (the post-training quantizer folds BN scale
+  /// into the weights and needs the raw values; see nn/quant.hpp).
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
 
   /// Output spatial size for a given input size.
   std::size_t out_size(std::size_t in) const { return (in + 2 * pad_ - k_) / stride_ + 1; }

@@ -12,6 +12,9 @@ class MaxPool2d : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "MaxPool2d"; }
 
+  std::size_t kernel() const { return k_; }
+  std::size_t stride() const { return stride_; }
+
  private:
   std::size_t k_, stride_;
   Shape cached_in_shape_;

@@ -30,6 +30,16 @@ class BasicBlock : public Layer {
 
   static constexpr std::size_t kExpansion = 1;
 
+  /// Structural accessors for the post-training quantizer (nn/quant.hpp):
+  /// it replicates this block's forward graph with BN folded into each conv
+  /// and needs the internals in walk order. nullptr = identity shortcut.
+  Conv2d& conv1() { return conv1_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  Conv2d& conv2() { return conv2_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  Conv2d* down_conv() { return down_conv_.get(); }
+  BatchNorm2d* down_bn() { return down_bn_.get(); }
+
  private:
   Conv2d conv1_;
   BatchNorm2d bn1_;
@@ -54,6 +64,16 @@ class Bottleneck : public Layer {
   std::string name() const override { return "Bottleneck"; }
 
   static constexpr std::size_t kExpansion = 4;
+
+  /// Structural accessors for the post-training quantizer (see BasicBlock).
+  Conv2d& conv1() { return conv1_; }
+  BatchNorm2d& bn1() { return bn1_; }
+  Conv2d& conv2() { return conv2_; }
+  BatchNorm2d& bn2() { return bn2_; }
+  Conv2d& conv3() { return conv3_; }
+  BatchNorm2d& bn3() { return bn3_; }
+  Conv2d* down_conv() { return down_conv_.get(); }
+  BatchNorm2d* down_bn() { return down_bn_.get(); }
 
  private:
   Conv2d conv1_;

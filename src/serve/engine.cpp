@@ -18,16 +18,34 @@ std::string scoring_mode_name(ScoringMode mode) {
   return mode == ScoringMode::kFloatCosine ? "float-cosine" : "binary-hamming";
 }
 
+std::string precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "float32";
+}
+
+Precision precision_from_name(const std::string& name) {
+  if (name == "float32" || name == "fp32" || name == "float") return Precision::kFloat32;
+  if (name == "int8") return Precision::kInt8;
+  throw std::invalid_argument("unknown backbone precision '" + name +
+                              "' (expected float32 or int8)");
+}
+
 InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
-                                 ScoringMode mode, std::size_t n_shards, float seen_penalty)
+                                 ScoringMode mode, std::size_t n_shards, float seen_penalty,
+                                 Precision precision)
     : snapshot_(std::move(snapshot)),
       mode_(mode),
+      precision_(precision),
       // Both arguments null-check through deref: their evaluation order is
       // unspecified, so neither may touch snapshot_ bare.
       sharded_(deref(snapshot_).prototypes(),
                n_shards == 0 ? deref(snapshot_).preferred_shards() : n_shards),
       penalty_(snapshot_->prototypes().resolve_penalty(seen_penalty,
-                                                       snapshot_->seen_mask())) {}
+                                                       snapshot_->seen_mask())) {
+  if (precision_ == Precision::kInt8 && !snapshot_->has_quantized())
+    throw std::invalid_argument(
+        "InferenceEngine: int8 precision requested but the snapshot carries no quantized "
+        "artifact (quantize it, or load a v4 .hdcsnap with quantization records)");
+}
 
 tensor::Tensor InferenceEngine::embed_inputs(const tensor::Tensor& inputs,
                                              double* embed_ms) const {
@@ -43,7 +61,8 @@ tensor::Tensor InferenceEngine::embed_inputs(const tensor::Tensor& inputs,
     return inputs;
   }
   util::Timer clock;
-  tensor::Tensor emb = snapshot_->embed(inputs);
+  tensor::Tensor emb = precision_ == Precision::kInt8 ? snapshot_->embed_int8(inputs)
+                                                      : snapshot_->embed(inputs);
   if (embed_ms) *embed_ms = clock.millis();
   return emb;
 }

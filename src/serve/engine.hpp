@@ -39,6 +39,19 @@ enum class ScoringMode { kFloatCosine, kBinaryHamming };
 
 std::string scoring_mode_name(ScoringMode mode);
 
+/// Numeric precision of the backbone embed stage. kInt8 routes images
+/// through the snapshot's attached quantized artifact (nn/quant.hpp) —
+/// u8×s8→s32 GEMMs instead of fp32 — and requires a snapshot that carries
+/// one (quantize() at build time, or a v4 .hdcsnap with quant records).
+/// Scoring always runs float/binary exactly as before; only the embed
+/// changes.
+enum class Precision : unsigned char { kFloat32 = 0, kInt8 = 1 };
+
+std::string precision_name(Precision p);
+/// Parse "float32" / "int8" (the ServerConfig / CLI spellings); throws
+/// std::invalid_argument on anything else.
+Precision precision_from_name(const std::string& name);
+
 /// One classified request.
 struct Prediction {
   std::size_t label = 0;  ///< argmax class (prototype-store row)
@@ -61,9 +74,12 @@ class InferenceEngine {
   /// sharded integer-key selection stays exact (see SeenPenalty). 0
   /// disables it; a snapshot without a partition treats every class as
   /// seen, making the handicap a uniform, ranking-neutral shift.
+  /// `precision` selects the embed stage's numeric path; kInt8 throws
+  /// std::invalid_argument at construction when the snapshot carries no
+  /// quantized artifact (fail at load, not on the first request).
   InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
                   ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0,
-                  float seen_penalty = 0.0f);
+                  float seen_penalty = 0.0f, Precision precision = Precision::kFloat32);
 
   /// Wall time of one batch forward split at the embed/score boundary —
   /// the two stages the per-request tracer (obs/trace.hpp) reports
@@ -94,6 +110,7 @@ class InferenceEngine {
                                          BatchTimings* timings = nullptr) const;
 
   ScoringMode mode() const { return mode_; }
+  Precision precision() const { return precision_; }
   std::size_t n_shards() const { return sharded_.n_shards(); }
   /// Calibrated-stacking handicap subtracted from seen-class logits
   /// (0 = plain single-space serving).
@@ -110,6 +127,7 @@ class InferenceEngine {
 
   std::shared_ptr<const ModelSnapshot> snapshot_;
   ScoringMode mode_;
+  Precision precision_;
   ShardedPrototypeStore sharded_;
   SeenPenalty penalty_;  // resolved once against the snapshot's store/mask
 

@@ -18,8 +18,8 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
   // The model key is the metric namespace: serve_*{model=key} series in
   // obs::default_registry(). A reload under the same key continues them.
   if (rcfg.name.empty()) rcfg.name = key;
-  auto engine = std::make_shared<const InferenceEngine>(std::move(snapshot), mode,
-                                                        rcfg.n_shards, rcfg.seen_penalty);
+  auto engine = std::make_shared<const InferenceEngine>(
+      std::move(snapshot), mode, rcfg.n_shards, rcfg.seen_penalty, rcfg.backbone_precision);
   auto runtime = std::make_shared<ServerRuntime>(std::move(engine), rcfg);
   runtime->start();
 
@@ -99,8 +99,12 @@ std::future<InferResult> ModelRegistry::submit(InferRequest req) {
 std::future<Prediction> ModelRegistry::classify_async(const std::string& key,
                                                       tensor::Tensor image) {
   // find() copies the shared_ptr under a shared lock; the submit (and the
-  // batched forward it feeds) runs with no registry lock held.
+  // batched forward it feeds) runs with no registry lock held. The registry
+  // shim rides the runtime shim — same legacy surface, one implementation.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return find(key)->classify_async(std::move(image));
+#pragma GCC diagnostic pop
 }
 
 Prediction ModelRegistry::classify(const std::string& key, tensor::Tensor image) {
@@ -154,16 +158,16 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
     entries.assign(models_.begin(), models_.end());
   }
   util::Table t(title);
-  t.set_header({"key", "scoring", "classes", "shards", "penalty", "completed", "rejected",
-                "req/s", "q-wait ms", "p50 ms", "p99 ms", "p999 ms", "seen", "unseen",
-                "H(dom)"});
+  t.set_header({"key", "scoring", "prec", "classes", "shards", "penalty", "completed",
+                "rejected", "req/s", "q-wait ms", "p50 ms", "p99 ms", "p999 ms", "seen",
+                "unseen", "H(dom)"});
   for (const auto& [key, runtime] : entries) {
     const auto s = runtime->stats().summary();
     const InferenceEngine& engine = runtime->engine();
     // GZSL columns only carry signal for partitioned snapshots: without a
     // partition every decision counts as seen and H is identically 0.
     const bool gzsl = engine.snapshot().has_partition();
-    t.add_row({key, scoring_mode_name(engine.mode()),
+    t.add_row({key, scoring_mode_name(engine.mode()), precision_name(engine.precision()),
                gzsl ? std::to_string(engine.snapshot().n_seen()) + "+" +
                           std::to_string(engine.snapshot().n_unseen())
                     : std::to_string(engine.snapshot().n_classes()),

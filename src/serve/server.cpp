@@ -13,6 +13,16 @@ ServerRuntime::ServerRuntime(std::shared_ptr<const InferenceEngine> engine, Serv
   if (!engine_) throw std::invalid_argument("ServerRuntime: null engine");
   if (cfg_.n_workers == 0) cfg_.n_workers = 1;
   trace_.set_enabled(cfg_.tracing);
+  // Expose the backbone numeric path alongside the serve_* series so an
+  // exporter scrape distinguishes int8 replicas from float32 ones. The
+  // engine's precision is authoritative (construction already validated the
+  // snapshot carries a quantized artifact when int8 was requested).
+  if (!cfg_.name.empty()) {
+    obs::default_registry()
+        .gauge("serve_embed_precision", {{"model", cfg_.name}},
+               "backbone numeric path (0 = float32, 1 = int8)")
+        ->set(static_cast<double>(static_cast<unsigned>(engine_->precision())));
+  }
 }
 
 ServerRuntime::~ServerRuntime() { stop(); }
@@ -128,7 +138,12 @@ std::future<Prediction> ServerRuntime::classify_async(tensor::Tensor image) {
 }
 
 Prediction ServerRuntime::classify(tensor::Tensor image) {
+  // The blocking shim is defined in terms of the async one; the deprecation
+  // warning is for external callers, not the shim implementation itself.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   return classify_async(std::move(image)).get();
+#pragma GCC diagnostic pop
 }
 
 void ServerRuntime::worker_loop() {

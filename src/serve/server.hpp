@@ -51,6 +51,12 @@ struct ServerConfig {
   /// the snapshot's partition mask) on both scoring paths. 0 = plain
   /// single-space serving (see InferenceEngine).
   float seen_penalty = 0.0f;
+  /// Backbone embed precision for the engines ModelRegistry builds from
+  /// this config. kInt8 requires the snapshot to carry a quantized artifact
+  /// (a v4 .hdcsnap with quant records, or ModelSnapshot::quantize) — the
+  /// load fails up front otherwise. Scoring is unaffected; only the embed
+  /// stage changes numeric path (see serve::Precision).
+  Precision backbone_precision = Precision::kFloat32;
   /// Metric namespace: non-empty registers this runtime's telemetry (stats
   /// and per-stage trace histograms) in obs::default_registry() under
   /// serve_*{model=name} so the exporters see it. ModelRegistry sets it to
@@ -94,8 +100,10 @@ class ServerRuntime {
   /// Unlike submit(), they keep the legacy throwing contract
   /// (std::invalid_argument on bad shape, ServerOverloaded on rejection,
   /// and execution failures re-thrown from the future).
+  [[deprecated("use submit(InferRequest) — statuses instead of exceptions")]]
   std::future<Prediction> classify_async(tensor::Tensor image);
   /// Deprecated blocking shim: submit and wait (see classify_async).
+  [[deprecated("use submit(InferRequest) — statuses instead of exceptions")]]
   Prediction classify(tensor::Tensor image);
 
   const InferenceEngine& engine() const { return *engine_; }

@@ -59,6 +59,24 @@ tensor::Tensor ModelSnapshot::embed(const tensor::Tensor& images) const {
   return model_->image_encoder().forward(images, /*train=*/false);
 }
 
+tensor::Tensor ModelSnapshot::embed_int8(const tensor::Tensor& images) const {
+  if (!quant_)
+    throw std::logic_error(
+        "ModelSnapshot::embed_int8: no quantized artifact attached (quantize the snapshot or "
+        "load a v4 .hdcsnap with quantization records)");
+  return quant_->forward(images);
+}
+
+std::shared_ptr<const nn::QuantizedEmbed> ModelSnapshot::quantize(
+    const tensor::Tensor& calibration_images, nn::CalibMethod method, std::size_t batch) {
+  core::ImageEncoder& enc = model_->image_encoder();
+  const nn::CalibrationTable table =
+      nn::QuantizedEmbed::calibrate(enc.backbone(), enc.projection(), calibration_images,
+                                    method, batch);
+  quant_ = nn::QuantizedEmbed::build(enc.backbone(), enc.projection(), table);
+  return quant_;
+}
+
 std::shared_ptr<ModelSnapshot> make_gzsl_snapshot(std::shared_ptr<core::ZscModel> model,
                                                   const tensor::Tensor& seen_attributes,
                                                   const tensor::Tensor& unseen_attributes,

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/zsc_model.hpp"
+#include "nn/quant.hpp"
 #include "serve/prototype_store.hpp"
 
 namespace hdczsc::serve {
@@ -68,6 +69,30 @@ class ModelSnapshot {
   /// [B, 3, S, S]. Thread-safe (no train-mode caching is touched).
   tensor::Tensor embed(const tensor::Tensor& images) const;
 
+  /// INT8 embed path — same contract as embed(), computed through the
+  /// attached quantized backbone. Throws std::logic_error when the snapshot
+  /// carries no quantized artifact (check has_quantized(), or request
+  /// Precision::kInt8 through the engine which validates at construction).
+  tensor::Tensor embed_int8(const tensor::Tensor& images) const;
+
+  /// True when an INT8 artifact (weights + calibration) rides along — set
+  /// by quantize(), attach_quantized(), or loading a v4 .hdcsnap that
+  /// carries the quantization records.
+  bool has_quantized() const { return quant_ != nullptr; }
+  const std::shared_ptr<const nn::QuantizedEmbed>& quantized() const { return quant_; }
+
+  /// Post-training-quantize this snapshot's embed path against a
+  /// calibration set (images [N, 3, S, S]) and attach the result; returns
+  /// the artifact. Idempotent re-runs replace the previous artifact.
+  std::shared_ptr<const nn::QuantizedEmbed> quantize(
+      const tensor::Tensor& calibration_images,
+      nn::CalibMethod method = nn::CalibMethod::kMinMax, std::size_t batch = 32);
+
+  /// Adopt an already-built quantized embed (snapshot_io v4 load path).
+  void attach_quantized(std::shared_ptr<const nn::QuantizedEmbed> quant) {
+    quant_ = std::move(quant);
+  }
+
   const PrototypeStore& prototypes() const { return store_; }
   const core::ZscModel& model() const { return *model_; }
   /// The frozen class-attribute rows A [C, α] the store was built against.
@@ -85,6 +110,7 @@ class ModelSnapshot {
   std::size_t preferred_shards_ = 1;
   std::vector<std::uint8_t> seen_mask_;  // [C] (1 = seen) or empty = all seen
   std::size_t n_seen_ = 0;               // popcount of seen_mask_ (cached)
+  std::shared_ptr<const nn::QuantizedEmbed> quant_;  // optional INT8 artifact
 
   void adopt_seen_mask(std::vector<std::uint8_t> seen_mask);
 };

@@ -172,9 +172,40 @@ void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
            static_cast<std::streamsize>(store.packed_words().size() * sizeof(std::uint64_t)));
   write_pod<std::uint64_t>(os, snap.preferred_shards());  // v2 shard-layout record
   write_partition(os, snap);                              // v3 GZSL partition record
+  // v4 INT8 quantization record pair: calibration table + quantized weights.
+  write_pod<std::uint8_t>(os, snap.has_quantized() ? 1 : 0);
+  if (snap.has_quantized()) {
+    nn::save_calibration(os, snap.quantized()->table());
+    snap.quantized()->save(os);
+  }
   os.write(kEndMarker, 4);
   if (!os) throw std::runtime_error("save_snapshot: write failed");
 }
+
+namespace {
+
+/// v4 quantization record pair: u8 flag, then the calibration table and the
+/// quantized embed graph. The standalone table record is the artifact's
+/// stated calibration; it must agree entry-for-entry with the one embedded
+/// in the weights record, or the pair is rejected as inconsistent.
+std::shared_ptr<const nn::QuantizedEmbed> read_quant_records(std::istream& is) {
+  if (read_pod<std::uint8_t>(is, "quantization flag") == 0) return nullptr;
+  const nn::CalibrationTable table = nn::load_calibration(is);
+  std::shared_ptr<nn::QuantizedEmbed> quant = nn::QuantizedEmbed::load(is);
+  const nn::CalibrationTable& embedded = quant->table();
+  if (embedded.method != table.method ||
+      embedded.activations.size() != table.activations.size())
+    throw std::runtime_error(
+        "snapshot_io: quantization records disagree (calibration table vs int8 weights)");
+  for (std::size_t i = 0; i < table.activations.size(); ++i)
+    if (table.activations[i].scale != embedded.activations[i].scale ||
+        table.activations[i].zero_point != embedded.activations[i].zero_point)
+      throw std::runtime_error("snapshot_io: quantization records disagree at entry " +
+                               std::to_string(i));
+  return quant;
+}
+
+}  // namespace
 
 std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   const Header h = read_header(is);
@@ -240,6 +271,9 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   // seen (empty mask).
   std::vector<std::uint8_t> seen_mask =
       h.version >= 3 ? read_partition(is, n_classes) : std::vector<std::uint8_t>{};
+  // Version-1..3 files predate quantization and load float-only.
+  std::shared_ptr<const nn::QuantizedEmbed> quant =
+      h.version >= 4 ? read_quant_records(is) : nullptr;
   read_end_marker(is);
 
   PrototypeStore store = PrototypeStore::from_parts(std::move(normalized), std::move(packed),
@@ -248,8 +282,10 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
     throw std::runtime_error("snapshot_io: prototype store rows (" +
                              std::to_string(store.n_classes()) +
                              ") != class-attribute rows (" + std::to_string(a.size(0)) + ")");
-  return std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store),
-                                         shards, std::move(seen_mask));
+  auto snap = std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store),
+                                              shards, std::move(seen_mask));
+  if (quant) snap->attach_quantized(std::move(quant));
+  return snap;
 }
 
 void save_snapshot_file(const std::string& path, const ModelSnapshot& snap) {
@@ -319,6 +355,17 @@ SnapshotInfo inspect_snapshot(std::istream& is) {
       info.has_partition = true;
       info.n_seen = 0;
       for (std::uint8_t m : mask) info.n_seen += m != 0;
+    }
+  }
+  if (h.version >= 4) {
+    const auto quant = read_quant_records(is);
+    if (quant) {
+      const nn::QuantizedEmbed::QuantInfo qi = quant->info();
+      info.has_quant = true;
+      info.quant_method = nn::calib_method_name(qi.method);
+      info.quant_conv = qi.n_conv;
+      info.quant_linear = qi.n_linear;
+      info.quant_weight_bytes = qi.weight_bytes;
     }
   }
   read_end_marker(is);

@@ -24,6 +24,12 @@
 //   u64[]   seen mask, ⌈C/64⌉ words, bit c = 1 iff serving label c is a
 //           seen class (tail bits zero). Version-1/2 files carry no
 //           record and load with no partition — every class seen.
+//   -- INT8 quantization record pair (version ≥ 4) --
+//   u8      has_quant flag; when set, two records follow:
+//   record  activation calibration table (nn::save_calibration)
+//   record  quantized embed graph — "HQNT" magic, BN-folded per-channel
+//           int8 weights + per-op input qparams (nn::QuantizedEmbed::save).
+//           Pre-v4 files carry neither and load float-only.
 //   "PANS"  end marker (truncation tripwire)
 //
 // Both prototype forms are stored verbatim (not recomputed on load), and
@@ -47,7 +53,7 @@ namespace hdczsc::serve {
 
 /// Current .hdcsnap format version (writers emit this; loaders accept
 /// 1..kSnapshotVersion — see docs/snapshot_format.md for the version log).
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Serialize a snapshot (model architecture + parameters + buffers + frozen
 /// prototype store) to a stream / file.
@@ -88,6 +94,13 @@ struct SnapshotInfo {
   /// single-space artifacts) report n_seen == n_classes.
   bool has_partition = false;
   std::size_t n_seen = 0;
+  /// INT8 quantization records (version ≥ 4): present iff the artifact can
+  /// cold-start int8 serving. Pre-v4 files report has_quant == false.
+  bool has_quant = false;
+  std::string quant_method;           ///< "minmax" / "entropy"
+  std::size_t quant_conv = 0;         ///< quantized convs (incl. downsamples)
+  std::size_t quant_linear = 0;       ///< quantized FC layers
+  std::size_t quant_weight_bytes = 0; ///< total int8 weight payload
 };
 
 SnapshotInfo inspect_snapshot(std::istream& is);

@@ -162,6 +162,7 @@ const char* gemm_kernel_name() { return kernel().name; }
 
 void gemm_naive(Trans ta, Trans tb, std::size_t m, std::size_t n, std::size_t k, const float* A,
                 std::size_t lda, const float* B, std::size_t ldb, float* C, std::size_t ldc) {
+  if (m == 0 || n == 0 || k == 0) return;  // degenerate: C += op(A)*op(B) is a no-op
   if (ta == Trans::N && tb == Trans::N) {
     // i-k-j: unit stride over B and C rows (the seed matmul loop).
     for (std::size_t i = 0; i < m; ++i) {

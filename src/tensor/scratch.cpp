@@ -10,15 +10,30 @@ namespace {
 std::atomic<std::size_t> g_grow_count{0};
 }  // namespace
 
-float* scratch_f32(std::size_t slot, std::size_t count) {
-  if (slot >= kScratchSlots) throw std::out_of_range("scratch_f32: bad slot");
-  thread_local std::vector<float> buffers[kScratchSlots];
-  std::vector<float>& buf = buffers[slot];
+namespace {
+template <typename T>
+T* scratch_impl(std::size_t slot, std::size_t count) {
+  if (slot >= kScratchSlots) throw std::out_of_range("scratch: bad slot");
+  thread_local std::vector<T> buffers[kScratchSlots];
+  std::vector<T>& buf = buffers[slot];
   if (buf.size() < count) {
     buf.resize(count);
     g_grow_count.fetch_add(1, std::memory_order_relaxed);
   }
   return buf.data();
+}
+}  // namespace
+
+float* scratch_f32(std::size_t slot, std::size_t count) {
+  return scratch_impl<float>(slot, count);
+}
+
+std::uint8_t* scratch_u8(std::size_t slot, std::size_t count) {
+  return scratch_impl<std::uint8_t>(slot, count);
+}
+
+std::int32_t* scratch_i32(std::size_t slot, std::size_t count) {
+  return scratch_impl<std::int32_t>(slot, count);
 }
 
 std::size_t scratch_grow_count() { return g_grow_count.load(std::memory_order_relaxed); }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace hdczsc::tensor {
 
@@ -30,6 +31,14 @@ enum ScratchSlot : std::size_t {
 /// the pointer stays valid until the same slot is requested with a larger
 /// count on the same thread.
 float* scratch_f32(std::size_t slot, std::size_t count);
+
+/// Byte-typed and s32-typed variants for the int8 quantized path (packed
+/// int8 GEMM panels, quantized im2col matrices, s32 accumulators). Each
+/// element type owns an independent per-thread pool, so the same slot id
+/// can be live in scratch_f32 and scratch_u8 at once — slot ids only
+/// collide within one type. Same growth/validity contract as scratch_f32.
+std::uint8_t* scratch_u8(std::size_t slot, std::size_t count);
+std::int32_t* scratch_i32(std::size_t slot, std::size_t count);
 
 /// Process-wide number of scratch grow events (allocations) since start.
 /// Steady-state hot loops must keep this constant — asserted in tests.

@@ -3,12 +3,14 @@
 // on it.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <vector>
 
 #include "hdc/hypervector.hpp"
 #include "nn/conv2d.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_int8.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/scratch.hpp"
 #include "util/parallel.hpp"
@@ -151,6 +153,92 @@ TEST(Gemm, MatmulWrappersMatchReference) {
 TEST(Gemm, KernelNameIsKnownVariant) {
   const std::string name = tensor::gemm_kernel_name();
   EXPECT_TRUE(name == "avx512" || name == "avx2" || name == "portable") << name;
+}
+
+// -- int8 GEMM (tensor/gemm_int8.hpp) ----------------------------------------
+
+/// Fill one (m, n, k) problem with contract-range codes (A in ±63, B full
+/// u8) and check the blocked kernel bit-exact against the naive triple loop.
+void check_int8_shape(std::size_t m, std::size_t n, std::size_t k, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int8_t> A(m * k);
+  std::vector<std::uint8_t> B(k * n);
+  for (auto& v : A) v = static_cast<std::int8_t>(static_cast<int>(rng.next_u64() % 127) - 63);
+  for (auto& v : B) v = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  std::vector<std::int32_t> want(m * n, 0), got(m * n, 0);
+  tensor::gemm_s32_naive(m, n, k, A.data(), k, B.data(), n, want.data(), n);
+  tensor::gemm_s8u8_accumulate(m, n, k, A.data(), k, B.data(), n, got.data(), n);
+  ASSERT_EQ(got, want) << "int8 kernel '" << tensor::gemm_int8_kernel_name() << "' diverged at "
+                       << m << "x" << n << "x" << k;
+}
+
+TEST(GemmInt8, EveryKernelBitExactAcrossEdgeShapes) {
+  // Integer accumulation is exact, so every ISA variant this machine can
+  // run must agree with the reference to the bit — including shapes that
+  // stress tile remainders, the k-quad padding, and the blocking cutoffs.
+  for (const char* kernel : {"portable", "avx2", "avx512vnni"}) {
+    if (!tensor::gemm_int8_force_kernel(kernel)) continue;  // CPU can't run it
+    check_int8_shape(1, 1, 1, 31);
+    check_int8_shape(1, 1, 3, 32);      // k not a multiple of the packed quad
+    check_int8_shape(3, 5, 7, 33);
+    check_int8_shape(16, 64, 256, 34);  // exact tiles, full KC depth
+    check_int8_shape(17, 65, 257, 35);  // one past everything
+    check_int8_shape(1000, 8, 3, 36);   // tall-skinny
+    check_int8_shape(7, 1000, 9, 37);   // short-wide
+    check_int8_shape(2, 3, 1000, 38);   // deep k, thin output
+  }
+  ASSERT_TRUE(tensor::gemm_int8_force_kernel("auto"));
+}
+
+TEST(GemmInt8, DegenerateShapesAreNoOpsEvenWithNullBuffers) {
+  // The m/n/k == 0 guards must return before touching scratch, packing, or
+  // any operand — nullptr operands make a violation a crash, not a flake.
+  tensor::gemm_s8u8_accumulate(0, 8, 8, nullptr, 1, nullptr, 8, nullptr, 8);
+  tensor::gemm_s8u8_accumulate(8, 0, 8, nullptr, 8, nullptr, 1, nullptr, 1);
+  tensor::gemm_s8u8_accumulate(8, 8, 0, nullptr, 1, nullptr, 8, nullptr, 8);
+  tensor::gemm_s32_naive(0, 0, 0, nullptr, 1, nullptr, 1, nullptr, 1);
+
+  // k == 0 with live C: still strictly accumulate — C must be untouched.
+  std::vector<std::int32_t> C(4, 77);
+  tensor::gemm_s8u8_accumulate(2, 2, 0, nullptr, 1, nullptr, 2, C.data(), 2);
+  for (std::int32_t v : C) EXPECT_EQ(v, 77);
+}
+
+TEST(GemmInt8, AccumulatesIntoC) {
+  const std::size_t m = 6, n = 30, k = 40;
+  util::Rng rng(39);
+  std::vector<std::int8_t> A(m * k);
+  std::vector<std::uint8_t> B(k * n);
+  for (auto& v : A) v = static_cast<std::int8_t>(static_cast<int>(rng.next_u64() % 127) - 63);
+  for (auto& v : B) v = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  std::vector<std::int32_t> want(m * n, 5), got(m * n, 5);
+  tensor::gemm_s32_naive(m, n, k, A.data(), k, B.data(), n, want.data(), n);
+  tensor::gemm_s8u8_accumulate(m, n, k, A.data(), k, B.data(), n, got.data(), n);
+  EXPECT_EQ(got, want);
+}
+
+TEST(GemmInt8, ExtremeCodesStayExactAtDepth) {
+  // Worst-case magnitudes of the range contract: A = -64 everywhere
+  // (the one value past ±63 the contract still admits), B = 255, deep k.
+  // The AVX2 path's s16 pair sums sit exactly at their -32640 bound and
+  // the s32 accumulator at -64*255*4096 — any saturation or overflow shows
+  // up as a wrong constant.
+  const std::size_t m = 8, n = 48, k = 4096;
+  std::vector<std::int8_t> A(m * k, -64);
+  std::vector<std::uint8_t> B(k * n, 255);
+  std::vector<std::int32_t> got(m * n, 0);
+  tensor::gemm_s8u8_accumulate(m, n, k, A.data(), k, B.data(), n, got.data(), n);
+  const std::int32_t want = -64 * 255 * static_cast<std::int32_t>(k);
+  for (std::int32_t v : got) ASSERT_EQ(v, want);
+}
+
+TEST(GemmInt8, KernelNameIsKnownVariantAndForceRejectsUnknown) {
+  const std::string name = tensor::gemm_int8_kernel_name();
+  EXPECT_TRUE(name == "avx512vnni" || name == "avx2" || name == "portable") << name;
+  EXPECT_FALSE(tensor::gemm_int8_force_kernel("not-a-kernel"));
+  EXPECT_EQ(tensor::gemm_int8_kernel_name(), name) << "failed force must not change kernel";
+  EXPECT_TRUE(tensor::gemm_int8_force_kernel("portable"));  // always available
+  EXPECT_TRUE(tensor::gemm_int8_force_kernel("auto"));
 }
 
 // -- conv through the batched path -------------------------------------------

@@ -355,11 +355,11 @@ TEST(GzslSnapshotIo, V2FileLoadsAsAllSeen) {
   serve::save_snapshot(ss, *snapshot);
   std::string bytes = ss.str();
   // Reconstruct the version-2 layout byte-for-byte: v3 appended exactly
-  // one u64 seen count + ⌈40/64⌉ = 1 mask word immediately before the end
-  // marker, so dropping those 16 bytes and rewriting the u32 version
-  // field yields a genuine v2 file.
+  // one u64 seen count + ⌈40/64⌉ = 1 mask word and v4 one u8 has_quant
+  // flag immediately before the end marker, so dropping those 17 bytes
+  // and rewriting the u32 version field yields a genuine v2 file.
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 4 - 16, 16);
+  bytes.erase(bytes.size() - 4 - 17, 17);
   const std::uint32_t v2 = 2;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v2), 4);
 

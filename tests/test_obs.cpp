@@ -399,10 +399,12 @@ TEST(ObsTracer, ServerProducesCoherentStageSpans) {
   serve::ServerRuntime server(engine, cfg);
   server.start();
   const std::size_t n = 24;
-  std::vector<std::future<serve::Prediction>> futs;
-  for (std::size_t i = 0; i < n; ++i)
-    futs.push_back(server.classify_async(
-        one_image(shared.tp.test_set.images, i % shared.tp.test_set.images.size(0))));
+  std::vector<std::future<serve::InferResult>> futs;
+  for (std::size_t i = 0; i < n; ++i) {
+    serve::InferRequest req;
+    req.input = one_image(shared.tp.test_set.images, i % shared.tp.test_set.images.size(0));
+    futs.push_back(server.submit(std::move(req)));
+  }
   for (auto& f : futs) f.get();
   server.stop();
 
@@ -439,8 +441,11 @@ TEST(ObsTracer, DisabledTracingRecordsNoSpans) {
   cfg.tracing = false;
   serve::ServerRuntime server(engine, cfg);
   server.start();
-  for (int i = 0; i < 6; ++i)
-    server.classify(one_image(shared.tp.test_set.images, 0));
+  for (int i = 0; i < 6; ++i) {
+    serve::InferRequest req;
+    req.input = one_image(shared.tp.test_set.images, 0);
+    server.submit(std::move(req)).get();
+  }
   server.stop();
   EXPECT_EQ(server.tracer().stage_stats().back().count, 0u);
   EXPECT_TRUE(server.tracer().slowest().empty());

@@ -470,19 +470,25 @@ TEST(ServerRuntime, MalformedRequestFailsAloneWithoutPoisoningItsBatch) {
   cfg.batch.max_batch = 8;
   serve::ServerRuntime server(engine, cfg);
 
+  auto submit_one = [&](Tensor in) {
+    serve::InferRequest req;
+    req.input = std::move(in);
+    return server.submit(std::move(req));
+  };
+
   // Wrong dimensionality is rejected synchronously, before batching.
-  EXPECT_THROW(server.classify_async(Tensor({4, 4})), std::invalid_argument);
+  EXPECT_EQ(submit_one(Tensor({4, 4})).get().status, serve::InferStatus::kBadShape);
 
   // A wrong-sized (but 3-d) image coalesced between valid requests must
   // fail alone; the valid requests around it still complete correctly.
-  std::vector<std::future<serve::Prediction>> valid;
-  valid.push_back(server.classify_async(slice_image(images, 0)));
-  auto bad = server.classify_async(Tensor({3, 4, 4}));
-  valid.push_back(server.classify_async(slice_image(images, 1)));
+  std::vector<std::future<serve::InferResult>> valid;
+  valid.push_back(submit_one(slice_image(images, 0)));
+  auto bad = submit_one(Tensor({3, 4, 4}));
+  valid.push_back(submit_one(slice_image(images, 1)));
   server.start();
-  EXPECT_EQ(valid[0].get().label, expected[0].label);
-  EXPECT_EQ(valid[1].get().label, expected[1].label);
-  EXPECT_THROW(bad.get(), std::invalid_argument);
+  EXPECT_EQ(valid[0].get().top().label, expected[0].label);
+  EXPECT_EQ(valid[1].get().top().label, expected[1].label);
+  EXPECT_EQ(bad.get().status, serve::InferStatus::kBadShape);
 }
 
 TEST(ServerRuntime, StopIsTerminal) {
@@ -493,7 +499,9 @@ TEST(ServerRuntime, StopIsTerminal) {
   server.start();
   server.stop();
   EXPECT_THROW(server.start(), std::logic_error);
-  EXPECT_THROW(server.classify_async(Tensor({3, 2, 2})), serve::ServerOverloaded);
+  serve::InferRequest req;
+  req.input = Tensor({3, 2, 2});
+  EXPECT_EQ(server.submit(std::move(req)).get().status, serve::InferStatus::kShutdown);
 }
 
 TEST(ServerRuntime, RejectsWhenQueueFullThenDrainsAfterStart) {
@@ -508,15 +516,19 @@ TEST(ServerRuntime, RejectsWhenQueueFullThenDrainsAfterStart) {
   cfg.batch.max_queue_depth = 4;
   serve::ServerRuntime server(engine, cfg);
 
-  std::vector<std::future<serve::Prediction>> accepted;
-  for (std::size_t i = 0; i < 4; ++i)
-    accepted.push_back(server.classify_async(slice_image(images, i)));
-  EXPECT_THROW(server.classify_async(slice_image(images, 0)), serve::ServerOverloaded);
+  auto submit_one = [&](Tensor in) {
+    serve::InferRequest req;
+    req.input = std::move(in);
+    return server.submit(std::move(req));
+  };
+  std::vector<std::future<serve::InferResult>> accepted;
+  for (std::size_t i = 0; i < 4; ++i) accepted.push_back(submit_one(slice_image(images, i)));
+  EXPECT_EQ(submit_one(slice_image(images, 0)).get().status, serve::InferStatus::kOverloaded);
   EXPECT_EQ(server.stats().summary().rejected, 1u);
 
   server.start();
   for (std::size_t i = 0; i < accepted.size(); ++i)
-    EXPECT_EQ(accepted[i].get().label, expected[i].label);
+    EXPECT_EQ(accepted[i].get().top().label, expected[i].label);
 }
 
 }  // namespace

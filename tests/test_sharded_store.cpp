@@ -299,12 +299,12 @@ TEST(ShardedSnapshotIo, V1FileLoadsAsFlatStore) {
   serve::save_snapshot(ss, *snapshot);
   std::string bytes = ss.str();
   // Reconstruct the version-1 layout byte-for-byte: v2 appended one u64
-  // shard record and v3 one u64 seen count + ⌈C/64⌉ u64 mask words, all
-  // immediately before the end marker — so for C = 40 dropping those
-  // 8 + 8 + 8 bytes and rewriting the u32 version field yields a genuine
-  // v1 file.
+  // shard record, v3 one u64 seen count + ⌈C/64⌉ u64 mask words, and v4
+  // one u8 has_quant flag, all immediately before the end marker — so for
+  // C = 40 dropping those 8 + 8 + 8 + 1 bytes and rewriting the u32
+  // version field yields a genuine v1 file.
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 4 - 24, 24);
+  bytes.erase(bytes.size() - 4 - 25, 25);
   const std::uint32_t v1 = 1;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v1), 4);
 

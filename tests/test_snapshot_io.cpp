@@ -302,9 +302,10 @@ TEST(SnapshotIO, CorruptPackedWordCountRejectedBeforeReadingShort) {
   serve::save_snapshot(full, snap);
   std::string bytes = full.str();
 
-  // Tail layout (fixed widths, back to front): "PANS" | 1 mask word |
-  // n_seen u64 | shards u64 | 7 packed words | packed count u64.
-  const std::size_t count_off = bytes.size() - 4 - 8 - 8 - 8 - 7 * 8 - 8;
+  // Tail layout (fixed widths, back to front): "PANS" | has_quant u8 (0,
+  // no quant records follow) | 1 mask word | n_seen u64 | shards u64 |
+  // 7 packed words | packed count u64.
+  const std::size_t count_off = bytes.size() - 4 - 1 - 8 - 8 - 8 - 7 * 8 - 8;
   std::uint64_t count = 0;
   std::memcpy(&count, bytes.data() + count_off, 8);
   ASSERT_EQ(count, 7u) << "tail-layout arithmetic drifted from the format";
@@ -321,6 +322,136 @@ TEST(SnapshotIO, CorruptPackedWordCountRejectedBeforeReadingShort) {
       EXPECT_NE(std::string(e.what()).find("packed word count"), std::string::npos)
           << e.what();
     }
+  }
+}
+
+// -- v4 quantization records -------------------------------------------------
+
+TEST(SnapshotIO, QuantizedV4RoundTripServesInt8) {
+  Tiny t = make_tiny(71, "hdc", /*n_classes=*/7);
+  serve::ModelSnapshot original(t.model, t.a, /*binary_expansion=*/2);
+  util::Rng rng(72);
+  original.quantize(Tensor::randn({24, 3, 32, 32}, rng), nn::CalibMethod::kMinMax);
+  ASSERT_TRUE(original.has_quantized());
+
+  const std::string path = temp_path("quant_v4.hdcsnap");
+  serve::save_snapshot_file(path, original);
+  auto loaded = serve::load_snapshot_file(path);
+  ASSERT_TRUE(loaded->has_quantized());
+
+  // Integer weights and qparams travel exactly, so the int8 embed path —
+  // and everything float alongside it — must reproduce bit-for-bit.
+  const Tensor probe = probe_images(5, 0xA1CEULL);
+  EXPECT_EQ(tensor::max_abs_diff(original.embed_int8(probe), loaded->embed_int8(probe)),
+            0.0f);
+  EXPECT_EQ(tensor::max_abs_diff(original.embed(probe), loaded->embed(probe)), 0.0f);
+
+  // inspect_snapshot surfaces the quantization block without rebuilding.
+  std::ifstream f(path, std::ios::binary);
+  const auto info = serve::inspect_snapshot(f);
+  EXPECT_EQ(info.version, serve::kSnapshotVersion);
+  EXPECT_TRUE(info.has_quant);
+  EXPECT_EQ(info.quant_method, "minmax");
+  EXPECT_EQ(info.quant_conv, original.quantized()->info().n_conv);
+  EXPECT_EQ(info.quant_linear, original.quantized()->info().n_linear);
+  EXPECT_GT(info.quant_weight_bytes, 0u);
+}
+
+TEST(SnapshotIO, CrossVersionLoadMatrixV1ToV4) {
+  // One snapshot, every on-disk generation: a current (unquantized) v4
+  // file shrinks to a byte-genuine v3 / v2 / v1 by stripping exactly the
+  // records each version appended — v4 one u8 has_quant flag, v3 one u64
+  // seen count + ⌈7/64⌉ = 1 mask word, v2 one u64 shard record — and
+  // rewriting the u32 version field. Every generation must load, agree on
+  // its version via inspect, and score bit-identically to the v4 file.
+  Tiny t = make_tiny(73, "hdc", /*n_classes=*/7);
+  serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/2);
+  std::stringstream full;
+  serve::save_snapshot(full, snap);
+  const std::string v4 = full.str();
+  ASSERT_EQ(v4.substr(v4.size() - 4), "PANS");
+
+  auto downgrade = [&](std::uint32_t version, std::size_t strip) {
+    std::string bytes = v4;
+    bytes.erase(bytes.size() - 4 - strip, strip);
+    bytes.replace(4, 4, reinterpret_cast<const char*>(&version), 4);
+    return bytes;
+  };
+  const std::vector<std::pair<std::uint32_t, std::string>> matrix = {
+      {4, v4}, {3, downgrade(3, 1)}, {2, downgrade(2, 17)}, {1, downgrade(1, 25)}};
+
+  const Tensor probe = probe_images(4, 0xC0DEULL);
+  const Tensor want = snap.prototypes().score_float(snap.embed(probe));
+  for (const auto& [version, bytes] : matrix) {
+    std::istringstream in(bytes);
+    auto loaded = serve::load_snapshot(in);
+    EXPECT_FALSE(loaded->has_quantized()) << "v" << version;
+    EXPECT_EQ(tensor::max_abs_diff(loaded->prototypes().score_float(loaded->embed(probe)),
+                                   want),
+              0.0f)
+        << "v" << version << " scores diverged";
+
+    std::istringstream in2(bytes);
+    const auto info = serve::inspect_snapshot(in2);
+    EXPECT_EQ(info.version, version);
+    EXPECT_FALSE(info.has_quant) << "v" << version;
+  }
+}
+
+TEST(SnapshotIO, TruncationInsideQuantRecordsAlwaysThrows) {
+  // The v4 tail appends two records (standalone calibration table +
+  // self-contained int8 weights blob) after the has_quant flag. Saving the
+  // same snapshot with and without the artifact brackets that region
+  // exactly; a cut anywhere inside it must throw — for load_snapshot AND
+  // the no-rebuild inspect walk — never read short.
+  Tiny t = make_tiny(79, "hdc", /*n_classes=*/7);
+  serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/1);
+  std::stringstream bare;
+  serve::save_snapshot(bare, snap);
+  const std::size_t quant_begin = bare.str().size() - 4;  // after the has_quant flag
+
+  util::Rng rng(80);
+  snap.quantize(Tensor::randn({16, 3, 32, 32}, rng), nn::CalibMethod::kEntropy);
+  std::stringstream full;
+  serve::save_snapshot(full, snap);
+  const std::string bytes = full.str();
+  ASSERT_GT(bytes.size(), quant_begin + 4096);
+
+  std::vector<std::size_t> cuts;
+  for (std::size_t off = quant_begin; off < bytes.size(); off += 211) cuts.push_back(off);
+  for (std::size_t off = bytes.size() - 256; off < bytes.size(); ++off) cuts.push_back(off);
+  for (std::size_t cut : cuts) {
+    std::istringstream in(bytes.substr(0, cut));
+    EXPECT_THROW(serve::load_snapshot(in), std::runtime_error) << "cut at " << cut;
+    std::istringstream in2(bytes.substr(0, cut));
+    EXPECT_THROW(serve::inspect_snapshot(in2), std::runtime_error) << "inspect at " << cut;
+  }
+}
+
+TEST(SnapshotIO, QuantRecordCorruptionNeverLoadsQuietly) {
+  // Flip single bytes across the calibration-table record: whatever the
+  // byte hits — method id, entry count, a scale, a zero point — the loader
+  // must reject (bad qparams or a standalone/embedded table disagreement),
+  // never attach a silently different artifact.
+  Tiny t = make_tiny(83, "hdc", /*n_classes=*/7);
+  serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/1);
+  std::stringstream bare;
+  serve::save_snapshot(bare, snap);
+  const std::size_t table_off = bare.str().size() - 4;  // standalone table starts here
+
+  util::Rng rng(84);
+  snap.quantize(Tensor::randn({16, 3, 32, 32}, rng));
+  std::stringstream full;
+  serve::save_snapshot(full, snap);
+  const std::string bytes = full.str();
+
+  const std::size_t table_bytes = 1 + 8 + snap.quantized()->table().activations.size() * 12;
+  for (std::size_t off = table_off; off < table_off + table_bytes; off += 5) {
+    std::string corrupt = bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x5A);
+    std::istringstream in(corrupt);
+    EXPECT_THROW(serve::load_snapshot(in), std::runtime_error)
+        << "flipped byte at " << off << " loaded anyway";
   }
 }
 
