@@ -94,8 +94,6 @@ double storm_wall_seconds(Submit&& submit, std::size_t n_requests, std::size_t c
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      // Future type follows the submit path: InferResult for submit(),
-      // Prediction for the registry's legacy shim.
       std::vector<std::invoke_result_t<Submit&, std::size_t>> inflight;
       for (std::size_t r = 0; r < per_client; ++r) {
         inflight.push_back(submit(c * per_client + r));
@@ -136,8 +134,10 @@ double storm_registry(serve::ModelRegistry& registry, const std::vector<std::str
   const std::size_t per_client = n_requests / clients;
   const double secs = storm_wall_seconds(
       [&](std::size_t req) {
-        return registry.classify_async(keys[req % keys.size()],
-                                       slice_image(images, req % n_images));
+        serve::InferRequest r;
+        r.model_key = keys[req % keys.size()];
+        r.input = slice_image(images, req % n_images);
+        return registry.submit(std::move(r));
       },
       n_requests, clients);
   return static_cast<double>(per_client * clients) / secs;

@@ -28,12 +28,19 @@
 //   ./netserve [--port=0] [--io-threads=1] [--workers=1] [--batch=8]
 //              [--queue-depth=4096] [--mode=float|binary] [--models=1]
 //              [--precision=float32|int8] [--calib-method=minmax|entropy]
+//              [--retrieval=exact|ivf|cascade] [--nprobe=0] [--rerank=4]
 //              [--run-seconds=0]
 //
 //   --precision=int8 serves the backbone through the quantized int8 path:
 //   with --snapshot the artifact must be a v4 file carrying quantization
 //   records (snapshot_tool --quantize produces one); the in-process demo
 //   path calibrates and quantizes the freshly trained model itself.
+//
+//   --retrieval=ivf|cascade serves top-k through the approximate IVF tier
+//   (probing --nprobe coarse lists; cascade float-reranks rerank·k binary
+//   survivors). A v5 artifact's persisted index is adopted; otherwise the
+//   engines cluster one deterministically at load (snapshot_tool
+//   --build-ivf moves that cost offline).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -138,6 +145,13 @@ int main(int argc, char** argv) {
   const nn::CalibMethod calib = args.get_str("calib-method", "minmax") == "entropy"
                                     ? nn::CalibMethod::kEntropy
                                     : nn::CalibMethod::kMinMax;
+  serve::RetrievalMode retrieval = serve::RetrievalMode::kExact;
+  try {
+    retrieval = serve::retrieval_mode_from_name(args.get_str("retrieval", "exact"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "netserve: %s\n", e.what());
+    return 2;
+  }
 
   // -- 1. obtain a snapshot: load the artifact, or train and freeze ----------
   std::shared_ptr<const serve::ModelSnapshot> snapshot;
@@ -188,6 +202,13 @@ int main(int argc, char** argv) {
   scfg.batch.max_delay_ms = args.get_double("delay-ms", 2.0);
   scfg.batch.max_queue_depth = static_cast<std::size_t>(args.get_int("queue-depth", 4096));
   scfg.backbone_precision = precision;
+  scfg.retrieval = retrieval;
+  scfg.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 0));
+  scfg.rerank = static_cast<std::size_t>(args.get_int("rerank", 4));
+  if (retrieval != serve::RetrievalMode::kExact)
+    std::printf("netserve: %s retrieval (%s IVF index, nprobe=%zu, rerank=%zu)\n",
+                serve::retrieval_mode_name(retrieval).c_str(),
+                snapshot->has_ivf() ? "persisted" : "load-time", scfg.nprobe, scfg.rerank);
   serve::ModelRegistry registry(scfg);
   std::vector<std::string> keys;
   for (std::size_t m = 0; m < n_models; ++m) {
@@ -221,6 +242,14 @@ int main(int argc, char** argv) {
 
   server.stop();
   registry.to_table("netserve telemetry").print();
+  if (const auto ann = registry.ann_stats(keys.front()))
+    std::printf("netserve: ivf probes: %llu queries, %llu lists opened, %llu rows swept "
+                "(%llu pruned, %llu reranked)\n",
+                static_cast<unsigned long long>(ann->queries),
+                static_cast<unsigned long long>(ann->centroids_probed),
+                static_cast<unsigned long long>(ann->rows_swept),
+                static_cast<unsigned long long>(ann->rows_pruned),
+                static_cast<unsigned long long>(ann->rows_reranked));
   registry.stop_all();
   std::printf("netserve: shut down cleanly\n");
   return 0;

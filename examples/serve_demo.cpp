@@ -41,10 +41,18 @@
 // mode the artifact must be a v4 file carrying quantization records
 // (snapshot_tool --quantize).
 //
+// Approximate retrieval: --retrieval=ivf probes --nprobe coarse IVF lists
+// instead of scanning every prototype row; --retrieval=cascade adds the
+// binary-prefilter → float-rerank stage with a rerank·k candidate budget
+// (--rerank, 0 = unbounded). The engines adopt the snapshot's persisted
+// v5 index or cluster one deterministically at load; the storm report adds
+// the probe/prune telemetry line.
+//
 //   ./serve_demo [--requests=240] [--clients=4] [--batch=8] [--workers=1]
 //                [--mode=float|binary] [--precision=float32|int8]
 //                [--calib-method=minmax] [--expansion=8] [--models=1]
 //                [--shards=0] [--topk=0] [--seen-penalty=0]
+//                [--retrieval=exact|ivf|cascade] [--nprobe=0] [--rerank=4]
 //                [--stats-interval=0] [--metrics-out=] [--profile]
 #include <algorithm>
 #include <cstdint>
@@ -105,6 +113,13 @@ int main(int argc, char** argv) {
   const nn::CalibMethod calib = args.get_str("calib-method", "minmax") == "entropy"
                                     ? nn::CalibMethod::kEntropy
                                     : nn::CalibMethod::kMinMax;
+  serve::RetrievalMode retrieval = serve::RetrievalMode::kExact;
+  try {
+    retrieval = serve::retrieval_mode_from_name(args.get_str("retrieval", "exact"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "serve_demo: %s\n", e.what());
+    return 2;
+  }
 
   // -- 1. obtain a snapshot: load the artifact, or train and freeze ----------
   std::shared_ptr<const serve::ModelSnapshot> snapshot;
@@ -198,6 +213,16 @@ int main(int argc, char** argv) {
   scfg.n_shards = n_shards;  // 0 = adopt the snapshot's preferred layout
   scfg.seen_penalty = seen_penalty;
   scfg.backbone_precision = precision;
+  scfg.retrieval = retrieval;
+  scfg.nprobe = static_cast<std::size_t>(args.get_int("nprobe", 0));
+  scfg.rerank = static_cast<std::size_t>(args.get_int("rerank", 4));
+  if (retrieval != serve::RetrievalMode::kExact)
+    std::printf("serve_demo: %s retrieval (%s IVF index, nprobe=%zu%s)\n",
+                serve::retrieval_mode_name(retrieval).c_str(),
+                snapshot->has_ivf() ? "persisted" : "load-time",
+                scfg.nprobe, retrieval == serve::RetrievalMode::kCascade
+                                 ? (", rerank=" + std::to_string(scfg.rerank)).c_str()
+                                 : "");
   serve::ModelRegistry registry(scfg);
   std::vector<std::string> keys;
   for (std::size_t m = 0; m < n_models; ++m) {
@@ -322,6 +347,18 @@ int main(int argc, char** argv) {
                   std::to_string(shards[s].scans), std::to_string(shards[s].rows_swept),
                   std::to_string(shards[s].rows_pruned)});
     st.print();
+  }
+
+  // Approximate-tier telemetry: how much of the label space the probes
+  // actually touched, and what the Hamming early exit saved.
+  if (const auto ann = registry.ann_stats(keys[0])) {
+    std::printf("ivf probes (%s): %llu queries, %llu lists opened, %llu rows swept "
+                "(%llu pruned, %llu reranked)\n",
+                keys[0].c_str(), static_cast<unsigned long long>(ann->queries),
+                static_cast<unsigned long long>(ann->centroids_probed),
+                static_cast<unsigned long long>(ann->rows_swept),
+                static_cast<unsigned long long>(ann->rows_pruned),
+                static_cast<unsigned long long>(ann->rows_reranked));
   }
 
   // Machine-readable dump of every registered metric (model series, stage

@@ -20,6 +20,15 @@
 //       v4 artifact carrying the calibration table + int8 weights — the
 //       input a server needs to cold-start with --precision=int8. Prints
 //       the int8-vs-float probe agreement so drift is visible up front.
+//   ./snapshot_tool --build-ivf=model.hdcsnap --out=model.ivf.hdcsnap
+//                   [--centroids=0]
+//       load an artifact, cluster its prototype store into an IVF coarse
+//       index (0 centroids = ~sqrt(C) auto), and write a v5 artifact
+//       carrying the centroid + assignment records — servers configured
+//       for --retrieval=ivf|cascade then skip the load-time clustering.
+//       Building is deterministic, so the persisted index always matches
+//       what a server would have built; persisting just moves the k-means
+//       cost from every cold start to this one-time step.
 #include <algorithm>
 #include <cstdio>
 
@@ -87,6 +96,10 @@ void print_info(const std::string& path) {
                        " conv + " + std::to_string(info.quant_linear) + " linear, " +
                        std::to_string(info.quant_weight_bytes) + " weight bytes"
                  : (info.version < 4 ? "none (pre-v4: float only)" : "none (float only)")});
+  t.add_row({"ivf coarse index",
+             info.has_ivf
+                 ? std::to_string(info.n_centroids) + " centroids (persisted assignments)"
+                 : (info.version < 5 ? "none (pre-v5: built at load)" : "none (built at load)")});
   t.print();
 }
 
@@ -162,6 +175,25 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.has("build-ivf")) {
+    const std::string in = args.get_str("build-ivf", "");
+    const std::string out = args.get_str("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "snapshot_tool: --build-ivf needs --out=PATH for the v5 artifact\n");
+      return 2;
+    }
+    const std::size_t n_centroids = static_cast<std::size_t>(args.get_int("centroids", 0));
+    auto snap = serve::load_snapshot_file(in);
+    const auto ivf = snap->build_ivf(n_centroids);
+    serve::save_snapshot_file(out, *snap);
+    std::printf("clustered %s -> %s: %zu classes into %zu coarse lists "
+                "(default nprobe %zu)\n",
+                in.c_str(), out.c_str(), snap->n_classes(), ivf->n_centroids(),
+                ivf->default_nprobe());
+    print_info(out);
+    return 0;
+  }
+
   if (args.has("load")) {
     const std::string path = args.get_str("load", "");
     print_info(path);
@@ -214,6 +246,6 @@ int main(int argc, char** argv) {
                "usage: snapshot_tool --save=PATH [--classes=N --seed=S --expansion=K "
                "--epochs=E --shards=S --gzsl] | --load=PATH | --inspect=PATH | "
                "--quantize=PATH --out=PATH [--calib-method=minmax|entropy "
-               "--calib-images=N]\n");
+               "--calib-images=N] | --build-ivf=PATH --out=PATH [--centroids=N]\n");
   return 2;
 }

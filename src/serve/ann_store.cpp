@@ -1,0 +1,703 @@
+#include "serve/ann_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hdc/hypervector.hpp"
+#include "obs/metrics.hpp"
+#include "serve/topk_select.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace hdczsc::serve {
+
+namespace {
+
+using detail::BoundedTopKHamming;
+using BoundedTopKFloat = detail::BoundedTopK<TopK>;
+
+/// Rows per k-means assignment chunk: bounds the gathered-row and dot
+/// scratch to a few MB regardless of store size, and gives the worker pool
+/// enough chunks to balance.
+constexpr std::size_t kAssignChunk = 1024;
+
+/// Automatic early-exit split: score a quarter of the words up front, keep
+/// the early exit off for codes too narrow for a meaningful prefix (the
+/// prune test would cost more than the skipped words).
+std::size_t auto_prefix_words(std::size_t words_per_row) {
+  return words_per_row <= 2 ? words_per_row
+                            : std::max<std::size_t>(1, words_per_row / 4);
+}
+
+/// Per-query scratch for the probed-list scans, sized to the longest
+/// inverted list so every list reuses the same three blocks.
+struct ScanScratch {
+  std::vector<std::uint32_t> hpre;       // batched prefix Hamming counts
+  std::vector<std::uint32_t> hsuf;       // batched suffix counts (dense pass)
+  std::vector<std::uint32_t> survivors;  // in-list indices that beat the bound
+  explicit ScanScratch(std::size_t max_list)
+      : hpre(max_list), hsuf(max_list), survivors(max_list) {}
+};
+
+/// One query's early-exit sweep over the probed lists in the integer key
+/// domain — shared by the IVF binary path and the cascade prefilter. Per
+/// list: one batched popcount sweep over the contiguous prefix block, the
+/// admissible prune against the heap threshold (a prefix count above it
+/// cannot complete to a kept key, the suffix only adds; equality survives
+/// for the label tie-break), then a suffix pass over the survivors.
+///
+/// The suffix pass is adaptive: a dense survivor set (prune barely firing,
+/// the common case when the heap bound sits among cluster-mates) takes one
+/// batched sweep over the list's whole contiguous suffix block, amortizing
+/// the kernel dispatch that a row-at-a-time loop pays per survivor; a
+/// sparse set reads only the survivors' suffix words, re-testing against
+/// the live bound as it tightens. Either way the offered keys are
+/// identical — the heap drops anything at or above its bound — so the
+/// choice moves scan cost only, never results.
+void scan_probed_lists(const std::uint64_t* qw, const std::vector<std::uint32_t>& probes,
+                       const std::vector<std::size_t>& list_offsets,
+                       const std::vector<std::uint32_t>& list_rows,
+                       const std::vector<std::uint64_t>& codes_prefix,
+                       const std::vector<std::uint64_t>& codes_suffix, std::size_t wp,
+                       std::size_t ws, const std::uint32_t* row_offset,
+                       BoundedTopKHamming& heap, ScanScratch& scratch, std::uint64_t& swept,
+                       std::uint64_t& pruned) {
+  std::uint32_t* hpre = scratch.hpre.data();
+  std::uint32_t* hsuf = scratch.hsuf.data();
+  std::uint32_t* survivors = scratch.survivors.data();
+  for (std::uint32_t c : probes) {
+    const std::size_t off = list_offsets[c];
+    const std::size_t len = list_offsets[c + 1] - off;
+    if (len == 0) continue;
+    swept += len;
+    hdc::hamming_many_packed(qw, codes_prefix.data() + off * wp, len, wp, hpre);
+    if (row_offset) {
+      // Fold the GZSL handicap into the prefix counts up front: the prune
+      // bound, the heap keys and the score conversion then all see one
+      // consistent h + Δ integer domain.
+      for (std::size_t i = 0; i < len; ++i) hpre[i] += row_offset[list_rows[off + i]];
+    }
+    const std::uint32_t t0 = heap.threshold();
+    std::size_t n_sur = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (hpre[i] > t0)
+        ++pruned;
+      else
+        survivors[n_sur++] = static_cast<std::uint32_t>(i);
+    }
+    if (n_sur == 0) continue;
+    if (ws == 0) {
+      for (std::size_t s = 0; s < n_sur; ++s) {
+        const std::uint32_t i = survivors[s];
+        heap.offer(hpre[i], list_rows[off + i]);
+      }
+    } else if (3 * n_sur > len) {
+      hdc::hamming_many_packed(qw + wp, codes_suffix.data() + off * ws, len, ws, hsuf);
+      for (std::size_t s = 0; s < n_sur; ++s) {
+        const std::uint32_t i = survivors[s];
+        heap.offer(hpre[i] + hsuf[i], list_rows[off + i]);
+      }
+    } else {
+      for (std::size_t s = 0; s < n_sur; ++s) {
+        const std::uint32_t i = survivors[s];
+        // The bound keeps tightening as rows land; re-test before paying
+        // for this row's suffix words.
+        if (hpre[i] > heap.threshold()) {
+          ++pruned;
+          continue;
+        }
+        std::uint32_t hs = 0;
+        hdc::hamming_many_packed(qw + wp, codes_suffix.data() + (off + i) * ws, 1, ws, &hs);
+        heap.offer(hpre[i] + hs, list_rows[off + i]);
+      }
+    }
+  }
+}
+
+/// Full-width variant for the float-domain fallbacks: no admissible bound
+/// exists there, every row's complete count is needed, so the suffix sweep
+/// is always batched. Calls `emit(global_row, h)` per row in list order.
+template <typename Emit>
+void scan_probed_lists_full(const std::uint64_t* qw, const std::vector<std::uint32_t>& probes,
+                            const std::vector<std::size_t>& list_offsets,
+                            const std::vector<std::uint32_t>& list_rows,
+                            const std::vector<std::uint64_t>& codes_prefix,
+                            const std::vector<std::uint64_t>& codes_suffix, std::size_t wp,
+                            std::size_t ws, ScanScratch& scratch, std::uint64_t& swept,
+                            Emit&& emit) {
+  std::uint32_t* hpre = scratch.hpre.data();
+  std::uint32_t* hsuf = scratch.hsuf.data();
+  for (std::uint32_t c : probes) {
+    const std::size_t off = list_offsets[c];
+    const std::size_t len = list_offsets[c + 1] - off;
+    if (len == 0) continue;
+    swept += len;
+    hdc::hamming_many_packed(qw, codes_prefix.data() + off * wp, len, wp, hpre);
+    if (ws)
+      hdc::hamming_many_packed(qw + wp, codes_suffix.data() + off * ws, len, ws, hsuf);
+    for (std::size_t i = 0; i < len; ++i)
+      emit(list_rows[off + i], ws ? hpre[i] + hsuf[i] : hpre[i]);
+  }
+}
+
+/// Process-wide probe/prune telemetry in obs::default_registry(), the
+/// approximate-tier mirror of the serve_shard_* counters. Magic statics so
+/// the hot loops pay one pointer load, no registry lookups.
+obs::Counter& ivf_centroids_probed_total() {
+  static const std::shared_ptr<obs::Counter> c = obs::default_registry().counter(
+      "serve_ivf_centroids_probed_total", {}, "inverted lists opened by IVF probes");
+  return *c;
+}
+obs::Counter& ivf_rows_swept_total() {
+  static const std::shared_ptr<obs::Counter> c = obs::default_registry().counter(
+      "serve_ivf_rows_swept_total", {}, "prototype rows prefix-scored by IVF scans");
+  return *c;
+}
+obs::Counter& ivf_rows_pruned_total() {
+  static const std::shared_ptr<obs::Counter> c = obs::default_registry().counter(
+      "serve_ivf_rows_pruned_total", {},
+      "rows early-exited by the Hamming prefix bound before their suffix was read");
+  return *c;
+}
+obs::Counter& ivf_rows_reranked_total() {
+  static const std::shared_ptr<obs::Counter> c = obs::default_registry().counter(
+      "serve_ivf_rows_reranked_total", {}, "binary candidates re-scored in float by the cascade");
+  return *c;
+}
+
+void check_embeddings(const tensor::Tensor& embeddings, std::size_t dim, const char* what) {
+  if (embeddings.dim() != 2 || embeddings.size(1) != dim)
+    throw std::invalid_argument(std::string("IvfIndex::") + what + ": need [B, " +
+                                std::to_string(dim) + "] embeddings, got " +
+                                tensor::shape_str(embeddings.shape()));
+}
+
+}  // namespace
+
+std::string retrieval_mode_name(RetrievalMode mode) {
+  switch (mode) {
+    case RetrievalMode::kIvf:
+      return "ivf";
+    case RetrievalMode::kCascade:
+      return "cascade";
+    case RetrievalMode::kExact:
+      break;
+  }
+  return "exact";
+}
+
+RetrievalMode retrieval_mode_from_name(const std::string& name) {
+  if (name == "exact") return RetrievalMode::kExact;
+  if (name == "ivf") return RetrievalMode::kIvf;
+  if (name == "cascade") return RetrievalMode::kCascade;
+  throw std::invalid_argument("unknown retrieval mode '" + name +
+                              "' (expected exact, ivf or cascade)");
+}
+
+IvfIndex::IvfIndex(const PrototypeStore& base, std::size_t n_centroids, std::size_t iters,
+                   std::uint64_t seed)
+    : base_(&base) {
+  const std::size_t rows = base.n_classes();
+  const std::size_t d = base.dim();
+  std::size_t cc =
+      n_centroids == 0
+          ? static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(rows))))
+          : n_centroids;
+  cc = std::clamp<std::size_t>(cc, 1, rows);
+
+  const float* P = base.normalized_prototypes().data();
+  util::Rng rng(seed);
+  const std::vector<std::size_t> perm = rng.permutation(rows);
+
+  // Init: Cc distinct random rows (already unit-norm).
+  centroids_ = tensor::Tensor({cc, d});
+  float* Cm = centroids_.data();
+  for (std::size_t c = 0; c < cc; ++c)
+    std::copy(P + perm[c] * d, P + (perm[c] + 1) * d, Cm + c * d);
+
+  // Nearest-centroid assignment by chunked GEMM: gather (for sampled ids)
+  // or slice (ids == nullptr: the contiguous range [0, n)) a chunk of
+  // rows, one [chunk, Cc] dot block, argmax per row under (dot desc, id
+  // asc). Centroids are read-only during a pass, so chunks fan out across
+  // the worker pool.
+  const auto assign_rows = [&](const std::size_t* ids, std::size_t n,
+                               std::uint32_t* out_assign) {
+    const std::size_t n_chunks = (n + kAssignChunk - 1) / kAssignChunk;
+    util::parallel_for(
+        0, n_chunks,
+        [&](std::size_t ch) {
+          const std::size_t lo = ch * kAssignChunk;
+          const std::size_t hi = std::min(n, lo + kAssignChunk);
+          const std::size_t cn = hi - lo;
+          std::vector<float> gathered;
+          const float* src;
+          if (ids) {
+            gathered.resize(cn * d);
+            for (std::size_t r = 0; r < cn; ++r)
+              std::copy(P + ids[lo + r] * d, P + (ids[lo + r] + 1) * d,
+                        gathered.data() + r * d);
+            src = gathered.data();
+          } else {
+            src = P + lo * d;
+          }
+          std::vector<float> dots(cn * cc, 0.0f);
+          tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::T, cn, cc, d, src, d, Cm, d,
+                                  dots.data(), cc);
+          for (std::size_t r = 0; r < cn; ++r) {
+            const float* row = dots.data() + r * cc;
+            std::size_t best = 0;
+            for (std::size_t c = 1; c < cc; ++c)
+              if (row[c] > row[best]) best = c;
+            out_assign[lo + r] = static_cast<std::uint32_t>(best);
+          }
+        },
+        /*grain=*/1);
+  };
+
+  // Spherical k-means on a bounded sample (kSamplePerCentroid rows per
+  // centroid, FAISS-style): the coarse quantizer needs Voronoi structure,
+  // not convergence, and the sample keeps build cost sublinear in C for
+  // huge stores. Only the final assignment pass below touches every row.
+  const std::size_t sample_n = std::min(rows, cc * kSamplePerCentroid);
+  std::vector<std::uint32_t> sassign(sample_n);
+  std::vector<double> sums(cc * d);
+  std::vector<std::uint32_t> counts(cc);
+  for (std::size_t it = 0; it < iters; ++it) {
+    assign_rows(perm.data(), sample_n, sassign.data());
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (std::size_t s = 0; s < sample_n; ++s) {
+      const float* row = P + perm[s] * d;
+      double* acc = sums.data() + sassign[s] * d;
+      for (std::size_t j = 0; j < d; ++j) acc[j] += row[j];
+      ++counts[sassign[s]];
+    }
+    for (std::size_t c = 0; c < cc; ++c) {
+      float* dst = Cm + c * d;
+      double norm2 = 0.0;
+      const double* acc = sums.data() + c * d;
+      for (std::size_t j = 0; j < d; ++j) norm2 += acc[j] * acc[j];
+      if (counts[c] == 0 || norm2 < 1e-20) {
+        // Empty (or degenerate) cluster: reseed to a random sample row so
+        // every centroid keeps earning rows.
+        const std::size_t r = perm[rng.next_below(sample_n)];
+        std::copy(P + r * d, P + (r + 1) * d, dst);
+        continue;
+      }
+      const double inv = 1.0 / std::sqrt(norm2);
+      for (std::size_t j = 0; j < d; ++j) dst[j] = static_cast<float>(acc[j] * inv);
+    }
+  }
+
+  assignments_.resize(rows);
+  assign_rows(nullptr, rows, assignments_.data());
+  prefix_words_ = auto_prefix_words(base.words_per_row());
+  build_lists();
+}
+
+IvfIndex IvfIndex::from_parts(const PrototypeStore& base, tensor::Tensor centroids,
+                              std::vector<std::uint32_t> assignments) {
+  if (centroids.dim() != 2 || centroids.size(0) == 0 || centroids.size(1) != base.dim())
+    throw std::invalid_argument("IvfIndex::from_parts: centroids are " +
+                                tensor::shape_str(centroids.shape()) + ", expected [Cc, " +
+                                std::to_string(base.dim()) + "]");
+  if (assignments.size() != base.n_classes())
+    throw std::invalid_argument(
+        "IvfIndex::from_parts: " + std::to_string(assignments.size()) + " assignments for " +
+        std::to_string(base.n_classes()) + " prototype rows");
+  const std::size_t cc = centroids.size(0);
+  for (std::uint32_t a : assignments)
+    if (a >= cc)
+      throw std::invalid_argument("IvfIndex::from_parts: assignment " + std::to_string(a) +
+                                  " out of range for " + std::to_string(cc) + " centroids");
+  IvfIndex idx;
+  idx.base_ = &base;
+  idx.centroids_ = std::move(centroids);
+  idx.assignments_ = std::move(assignments);
+  idx.prefix_words_ = auto_prefix_words(base.words_per_row());
+  idx.build_lists();
+  return idx;
+}
+
+void IvfIndex::build_lists() {
+  const std::size_t rows = base_->n_classes();
+  const std::size_t cc = centroids_.size(0);
+  const std::size_t d = base_->dim();
+  const std::size_t wpr = base_->words_per_row();
+
+  // Packed centroid codes (the binary path's probe targets), encoded with
+  // the store's own query encoder so expansion/LSH behave identically.
+  centroid_codes_.assign(cc * wpr, 0);
+  for (std::size_t c = 0; c < cc; ++c) {
+    const hdc::BinaryHV code = base_->encode_query(centroids_.data() + c * d);
+    std::copy(code.words().begin(), code.words().end(), centroid_codes_.begin() + c * wpr);
+  }
+
+  // Inverted lists: counting sort of row ids by centroid — rows stay
+  // ascending within each list, so a full probe enumerates labels in the
+  // same per-list order every time.
+  std::vector<std::size_t> counts(cc, 0);
+  for (std::uint32_t a : assignments_) ++counts[a];
+  list_offsets_.assign(cc + 1, 0);
+  for (std::size_t c = 0; c < cc; ++c) list_offsets_[c + 1] = list_offsets_[c] + counts[c];
+  list_rows_.resize(rows);
+  std::vector<std::size_t> cursor(list_offsets_.begin(), list_offsets_.end() - 1);
+  for (std::size_t r = 0; r < rows; ++r)
+    list_rows_[cursor[assignments_[r]]++] = static_cast<std::uint32_t>(r);
+  max_list_ = 0;
+  for (std::size_t c = 0; c < cc; ++c) max_list_ = std::max(max_list_, counts[c]);
+  repack_codes();
+}
+
+void IvfIndex::repack_codes() {
+  const std::size_t rows = base_->n_classes();
+  const std::size_t wpr = base_->words_per_row();
+  const std::size_t wp = prefix_words_;
+  const std::size_t ws = wpr - wp;
+  const std::uint64_t* packed = base_->packed_words().data();
+  codes_prefix_.resize(rows * wp);
+  codes_suffix_.resize(rows * ws);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t* src = packed + list_rows_[i] * wpr;
+    std::copy(src, src + wp, codes_prefix_.data() + i * wp);
+    if (ws) std::copy(src + wp, src + wpr, codes_suffix_.data() + i * ws);
+  }
+}
+
+void IvfIndex::set_prefix_words(std::size_t words) {
+  const std::size_t wpr = base_->words_per_row();
+  prefix_words_ =
+      words == 0 ? auto_prefix_words(wpr) : std::clamp<std::size_t>(words, 1, wpr);
+  repack_codes();
+}
+
+std::size_t IvfIndex::resolve_nprobe(std::size_t nprobe) const {
+  if (nprobe == 0) nprobe = default_nprobe();
+  return std::clamp<std::size_t>(nprobe, 1, n_centroids());
+}
+
+std::vector<std::uint32_t> IvfIndex::probe_float(const float* dots,
+                                                 std::size_t nprobe) const {
+  const std::size_t cc = n_centroids();
+  std::vector<std::uint32_t> ids(cc);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::partial_sort(ids.begin(), ids.begin() + nprobe, ids.end(),
+                    [dots](std::uint32_t a, std::uint32_t b) {
+                      if (dots[a] != dots[b]) return dots[a] > dots[b];
+                      return a < b;
+                    });
+  ids.resize(nprobe);
+  return ids;
+}
+
+std::vector<std::uint32_t> IvfIndex::probe_binary(const std::uint64_t* qwords,
+                                                  std::size_t nprobe) const {
+  const std::size_t cc = n_centroids();
+  const std::size_t wpr = base_->words_per_row();
+  std::vector<std::uint32_t> h(cc);
+  hdc::hamming_many_packed(qwords, centroid_codes_.data(), cc, wpr, h.data());
+  std::vector<std::uint32_t> ids(cc);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::partial_sort(ids.begin(), ids.begin() + nprobe, ids.end(),
+                    [&h](std::uint32_t a, std::uint32_t b) {
+                      if (h[a] != h[b]) return h[a] < h[b];
+                      return a < b;
+                    });
+  ids.resize(nprobe);
+  return ids;
+}
+
+IvfIndex::ProbeStats IvfIndex::probe_stats() const {
+  ProbeStats s;
+  s.queries = counters_.queries.load(std::memory_order_relaxed);
+  s.centroids_probed = counters_.centroids_probed.load(std::memory_order_relaxed);
+  s.rows_swept = counters_.rows_swept.load(std::memory_order_relaxed);
+  s.rows_pruned = counters_.rows_pruned.load(std::memory_order_relaxed);
+  s.rows_reranked = counters_.rows_reranked.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<std::vector<TopK>> IvfIndex::topk_float(const tensor::Tensor& embeddings,
+                                                    std::size_t k, std::size_t nprobe,
+                                                    const SeenPenalty* penalty) const {
+  check_embeddings(embeddings, base_->dim(), "topk_float");
+  const std::size_t batch = embeddings.size(0);
+  std::vector<std::vector<TopK>> out(batch);
+  if (k == 0 || batch == 0) return out;
+
+  const std::size_t d = base_->dim();
+  const std::size_t cc = n_centroids();
+  const std::size_t np = resolve_nprobe(nprobe);
+  const float scale = base_->scale();
+  const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
+  const float* E = e_hat.data();
+  const float* P = base_->normalized_prototypes().data();
+  const bool penalized = penalty && penalty->active();
+  const std::size_t kk = std::min(k, n_rows());
+
+  // Probe: one [B, Cc] dot block against the centroids for the whole batch.
+  std::vector<float> cdots(batch * cc, 0.0f);
+  tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::T, batch, cc, d, E, d,
+                          centroids_.data(), d, cdots.data(), cc);
+
+  util::parallel_for(
+      0, batch,
+      [&](std::size_t b) {
+        const std::vector<std::uint32_t> probes = probe_float(cdots.data() + b * cc, np);
+        const float* erow = E + b * d;
+        std::uint64_t swept = 0;
+        std::vector<TopK> slots(kk);
+        BoundedTopKFloat heap(slots.data(), kk);
+        for (std::uint32_t c : probes) {
+          const std::size_t off = list_offsets_[c];
+          const std::size_t len = list_offsets_[c + 1] - off;
+          swept += len;
+          for (std::size_t i = 0; i < len; ++i) {
+            const std::size_t row = list_rows_[off + i];
+            // Double-accumulated row dot — the exact summation the naive
+            // GEMM kernel (tensor/gemm.cpp N×T path) performs, so a full
+            // probe reproduces the exact path's scores bit-for-bit
+            // wherever that kernel runs.
+            const float* prow = P + row * d;
+            double acc = 0.0;
+            for (std::size_t j = 0; j < d; ++j) acc += erow[j] * prow[j];
+            float s = scale * static_cast<float>(acc);
+            if (penalized) s -= penalty->row_penalty[row];
+            heap.offer(TopK{row, s});
+          }
+        }
+        std::vector<TopK>& merged = out[b];
+        merged.assign(slots.begin(), slots.begin() + heap.size());
+        std::sort(merged.begin(), merged.end(), detail::better<TopK>);
+        counters_.queries.fetch_add(1, std::memory_order_relaxed);
+        counters_.centroids_probed.fetch_add(probes.size(), std::memory_order_relaxed);
+        counters_.rows_swept.fetch_add(swept, std::memory_order_relaxed);
+        ivf_centroids_probed_total().add(probes.size());
+        ivf_rows_swept_total().add(swept);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+std::vector<std::vector<TopK>> IvfIndex::topk_binary(const tensor::Tensor& embeddings,
+                                                     std::size_t k, std::size_t nprobe,
+                                                     const SeenPenalty* penalty) const {
+  check_embeddings(embeddings, base_->dim(), "topk_binary");
+  const std::size_t batch = embeddings.size(0);
+  std::vector<std::vector<TopK>> out(batch);
+  if (k == 0 || batch == 0) return out;
+
+  const std::size_t d = base_->dim();
+  const std::size_t np = resolve_nprobe(nprobe);
+  const std::size_t wpr = base_->words_per_row();
+  const std::size_t wp = prefix_words_;
+  const std::size_t ws = wpr - wp;
+  const float scale = base_->scale();
+  const float inv_d = 1.0f / static_cast<float>(base_->code_bits());
+  const bool penalized = penalty && penalty->active();
+  const std::size_t kk = std::min(k, n_rows());
+  // Same integer-domain precondition as the exact sharded scan
+  // (topk_select.hpp): integer keys — and with them the early exit — need
+  // the (h asc, label asc) order to coincide with (score desc, label asc).
+  const bool integer_select = scale > 0.0f && base_->code_bits() < (std::size_t{1} << 24) &&
+                              (!penalized || penalty->integer_exact);
+
+  std::vector<std::uint64_t> qwords(batch * wpr);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const hdc::BinaryHV q = base_->encode_query(embeddings.data() + b * d);
+    std::copy(q.words().begin(), q.words().end(), qwords.begin() + b * wpr);
+  }
+
+  util::parallel_for(
+      0, batch,
+      [&](std::size_t b) {
+        const std::uint64_t* qw = qwords.data() + b * wpr;
+        const std::vector<std::uint32_t> probes = probe_binary(qw, np);
+        std::uint64_t swept = 0, pruned = 0;
+        ScanScratch scratch(max_list_);
+        std::vector<TopK>& merged = out[b];
+
+        if (integer_select) {
+          std::vector<std::uint64_t> keys(kk);
+          BoundedTopKHamming heap(keys.data(), kk, ~std::uint64_t{0});
+          scan_probed_lists(qw, probes, list_offsets_, list_rows_, codes_prefix_,
+                            codes_suffix_, wp, ws,
+                            penalized ? penalty->row_offset.data() : nullptr, heap, scratch,
+                            swept, pruned);
+          // Ascending keys == (h asc, label asc) == (score desc, label asc)
+          // under the integer-select precondition — the exact gather order.
+          std::sort(keys.begin(), keys.begin() + heap.size());
+          merged.resize(heap.size());
+          for (std::size_t i = 0; i < heap.size(); ++i) {
+            const auto hv = static_cast<float>(keys[i] >> 32);
+            merged[i] = TopK{static_cast<std::size_t>(keys[i] & 0xffffffffu),
+                             scale * (1.0f - 2.0f * hv * inv_d)};
+          }
+        } else {
+          // Float-domain fallback (pathological widths, non-positive
+          // scale, or a non-integer GZSL handicap): full-width scan,
+          // subtract-form scores — exactly the exact path's fallback. No
+          // early exit: without integer keys there is no admissible
+          // integer bound to prune on.
+          const float* adj = penalized ? penalty->row_penalty.data() : nullptr;
+          std::vector<TopK> slots(kk);
+          BoundedTopKFloat heap(slots.data(), kk);
+          scan_probed_lists_full(qw, probes, list_offsets_, list_rows_, codes_prefix_,
+                                 codes_suffix_, wp, ws, scratch, swept,
+                                 [&](std::uint32_t row, std::uint32_t h) {
+                                   if (adj) {
+                                     heap.offer(TopK{row, scale * (1.0f -
+                                                                   2.0f * static_cast<float>(h) *
+                                                                       inv_d) -
+                                                              adj[row]});
+                                   } else {
+                                     heap.offer(TopK{row, scale * (1.0f -
+                                                                   2.0f * static_cast<float>(h) *
+                                                                       inv_d)});
+                                   }
+                                 });
+          merged.assign(slots.begin(), slots.begin() + heap.size());
+          std::sort(merged.begin(), merged.end(), detail::better<TopK>);
+        }
+
+        counters_.queries.fetch_add(1, std::memory_order_relaxed);
+        counters_.centroids_probed.fetch_add(probes.size(), std::memory_order_relaxed);
+        counters_.rows_swept.fetch_add(swept, std::memory_order_relaxed);
+        counters_.rows_pruned.fetch_add(pruned, std::memory_order_relaxed);
+        ivf_centroids_probed_total().add(probes.size());
+        ivf_rows_swept_total().add(swept);
+        ivf_rows_pruned_total().add(pruned);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+std::vector<std::vector<TopK>> IvfIndex::topk_cascade(const tensor::Tensor& embeddings,
+                                                      std::size_t k, std::size_t nprobe,
+                                                      std::size_t rerank,
+                                                      const SeenPenalty* penalty) const {
+  check_embeddings(embeddings, base_->dim(), "topk_cascade");
+  const std::size_t batch = embeddings.size(0);
+  std::vector<std::vector<TopK>> out(batch);
+  if (k == 0 || batch == 0) return out;
+
+  const std::size_t d = base_->dim();
+  const std::size_t cc = n_centroids();
+  const std::size_t np = resolve_nprobe(nprobe);
+  const std::size_t wpr = base_->words_per_row();
+  const std::size_t wp = prefix_words_;
+  const std::size_t ws = wpr - wp;
+  const float scale = base_->scale();
+  const bool penalized = penalty && penalty->active();
+  const std::size_t kk = std::min(k, n_rows());
+  // The prefilter ranks raw integer Hamming keys; an integer-exact GZSL
+  // handicap folds in, any other handicap is applied only by the float
+  // rerank (the prefilter then ranks unpenalized — documented contract).
+  const bool integer_keys = scale > 0.0f && base_->code_bits() < (std::size_t{1} << 24);
+  const bool fold_offsets = penalized && penalty->integer_exact;
+
+  const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
+  const float* E = e_hat.data();
+  const float* P = base_->normalized_prototypes().data();
+
+  // Probe in the float domain (the rerank needs e_hat anyway).
+  std::vector<float> cdots(batch * cc, 0.0f);
+  tensor::gemm_accumulate(tensor::Trans::N, tensor::Trans::T, batch, cc, d, E, d,
+                          centroids_.data(), d, cdots.data(), cc);
+
+  std::vector<std::uint64_t> qwords(batch * wpr);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const hdc::BinaryHV q = base_->encode_query(embeddings.data() + b * d);
+    std::copy(q.words().begin(), q.words().end(), qwords.begin() + b * wpr);
+  }
+
+  util::parallel_for(
+      0, batch,
+      [&](std::size_t b) {
+        const std::vector<std::uint32_t> probes = probe_float(cdots.data() + b * cc, np);
+        const std::uint64_t* qw = qwords.data() + b * wpr;
+        const float* erow = E + b * d;
+        std::uint64_t swept = 0, pruned = 0;
+
+        std::size_t total = 0;
+        for (std::uint32_t c : probes) total += list_offsets_[c + 1] - list_offsets_[c];
+        // rerank == 0 is the unbounded sentinel; a budget covering every
+        // probed row skips the prefilter outright — with nprobe == Cc that
+        // is exactly the exact float top-k.
+        const std::size_t kprime =
+            (rerank == 0 || rerank >= (total + kk - 1) / kk) ? total : rerank * kk;
+
+        std::vector<std::uint32_t> cands;
+        if (kprime >= total) {
+          cands.reserve(total);
+          for (std::uint32_t c : probes) {
+            const std::size_t off = list_offsets_[c];
+            const std::size_t len = list_offsets_[c + 1] - off;
+            cands.insert(cands.end(), list_rows_.begin() + off,
+                         list_rows_.begin() + off + len);
+          }
+        } else if (integer_keys) {
+          // Binary prefilter with the same early-exit scan the IVF binary
+          // path runs, k-heap bounded at rerank·k.
+          ScanScratch scratch(max_list_);
+          std::vector<std::uint64_t> keys(kprime);
+          BoundedTopKHamming heap(keys.data(), kprime, ~std::uint64_t{0});
+          scan_probed_lists(qw, probes, list_offsets_, list_rows_, codes_prefix_,
+                            codes_suffix_, wp, ws,
+                            fold_offsets ? penalty->row_offset.data() : nullptr, heap,
+                            scratch, swept, pruned);
+          cands.reserve(heap.size());
+          for (std::size_t i = 0; i < heap.size(); ++i)
+            cands.push_back(static_cast<std::uint32_t>(keys[i] & 0xffffffffu));
+        } else {
+          // No integer key order (non-positive scale or ≥ 2²⁴-bit codes):
+          // full-width float-domain prefilter on unpenalized binary scores.
+          const float inv_d = 1.0f / static_cast<float>(base_->code_bits());
+          ScanScratch scratch(max_list_);
+          std::vector<TopK> slots(kprime);
+          BoundedTopKFloat heap(slots.data(), kprime);
+          scan_probed_lists_full(
+              qw, probes, list_offsets_, list_rows_, codes_prefix_, codes_suffix_, wp, ws,
+              scratch, swept, [&](std::uint32_t row, std::uint32_t h) {
+                heap.offer(TopK{row, scale * (1.0f - 2.0f * static_cast<float>(h) * inv_d)});
+              });
+          cands.reserve(heap.size());
+          for (std::size_t i = 0; i < heap.size(); ++i)
+            cands.push_back(static_cast<std::uint32_t>(slots[i].label));
+        }
+
+        // Float rerank: exact cosine dots (double-accumulated, the naive
+        // GEMM summation) over the surviving candidates only.
+        std::vector<TopK> slots(kk);
+        BoundedTopKFloat final_heap(slots.data(), kk);
+        for (std::uint32_t row : cands) {
+          const float* prow = P + static_cast<std::size_t>(row) * d;
+          double acc = 0.0;
+          for (std::size_t j = 0; j < d; ++j) acc += erow[j] * prow[j];
+          float s = scale * static_cast<float>(acc);
+          if (penalized) s -= penalty->row_penalty[row];
+          final_heap.offer(TopK{row, s});
+        }
+        std::vector<TopK>& merged = out[b];
+        merged.assign(slots.begin(), slots.begin() + final_heap.size());
+        std::sort(merged.begin(), merged.end(), detail::better<TopK>);
+
+        counters_.queries.fetch_add(1, std::memory_order_relaxed);
+        counters_.centroids_probed.fetch_add(probes.size(), std::memory_order_relaxed);
+        counters_.rows_swept.fetch_add(swept, std::memory_order_relaxed);
+        counters_.rows_pruned.fetch_add(pruned, std::memory_order_relaxed);
+        counters_.rows_reranked.fetch_add(cands.size(), std::memory_order_relaxed);
+        ivf_centroids_probed_total().add(probes.size());
+        ivf_rows_swept_total().add(swept);
+        ivf_rows_pruned_total().add(pruned);
+        ivf_rows_reranked_total().add(cands.size());
+      },
+      /*grain=*/1);
+  return out;
+}
+
+}  // namespace hdczsc::serve

@@ -1,0 +1,223 @@
+// Approximate retrieval tier: IVF coarse probing + Hamming early-exit +
+// binary→float rerank cascade over a frozen PrototypeStore.
+//
+// The exact sharded scatter/gather (sharded_store.hpp) sweeps every packed
+// prototype row per query — cost linear in the label space C. At
+// million-class scale that linear sweep is the bottleneck, so this tier
+// trades a measured sliver of recall for sublinear scan cost, in three
+// composable stages:
+//
+//  1. IVF coarse quantizer — spherical k-means clusters the store's
+//     normalized prototype rows into Cc centroids (built once, persisted in
+//     .hdcsnap v5, or rebuilt deterministically on load of older files).
+//     Rows are regrouped into per-centroid inverted lists whose packed
+//     binary codes are stored contiguously, FAISS-IVF style. A query probes
+//     its `nprobe` nearest centroids (float dot for float/cascade queries,
+//     Hamming over packed centroid codes for binary queries) and scans only
+//     those lists: the swept fraction is ~nprobe/Cc.
+//
+//  2. Hamming early-exit — each list's codes are split into a word *prefix*
+//     block and a *suffix* block. The prefix Hamming count of every row is
+//     computed with the batched popcount kernel; since the suffix can only
+//     add to the count, a row whose prefix count (plus its GZSL integer
+//     offset) already exceeds the current k-heap threshold can never enter
+//     the top-k, and its suffix words are never read. The prune reuses the
+//     exact path's block-skip machinery (topk_select.hpp), so it is
+//     *admissible*: with nprobe == Cc the result is bit-identical to the
+//     exact sharded top-k, early exit and all.
+//
+//  3. Binary-prefilter → float-rerank cascade — the top rerank·k binary
+//     candidates from the probed lists are re-scored with exact float
+//     cosine dots (double-accumulated, matching the naive GEMM kernel's
+//     summation exactly), recovering float-quality ranking at binary-scan
+//     cost. rerank == 0 means unbounded: every probed row is reranked, so
+//     nprobe == Cc degenerates to the exact float top-k.
+//
+// All three respect the retrieval contract shared with the exact paths:
+// results ordered by (score desc, label asc), scores computed by the same
+// expressions score_float / score_binary materialize, GZSL seen-penalties
+// applied identically (integer Hamming offsets where exact, float subtract
+// form otherwise). Thread-safe after construction (telemetry is atomic);
+// the set_prefix_words test hook is the one non-const exception.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/prototype_store.hpp"
+#include "serve/sharded_store.hpp"
+#include "tensor/tensor.hpp"
+
+namespace hdczsc::serve {
+
+/// Retrieval tier selection, threaded from ServerConfig through
+/// InferenceEngine: exact sharded scatter/gather, IVF-probed scan in the
+/// engine's scoring mode, or the IVF + binary-prefilter + float-rerank
+/// cascade.
+enum class RetrievalMode : unsigned char { kExact = 0, kIvf = 1, kCascade = 2 };
+
+std::string retrieval_mode_name(RetrievalMode mode);
+/// Parse "exact" / "ivf" / "cascade" (the ServerConfig / CLI spellings);
+/// throws std::invalid_argument on anything else.
+RetrievalMode retrieval_mode_from_name(const std::string& name);
+
+class IvfIndex {
+ public:
+  /// Default k-means rounds; the coarse quantizer needs rough Voronoi
+  /// structure, not convergence.
+  static constexpr std::size_t kBuildIters = 6;
+  /// k-means trains on min(C, kSamplePerCentroid·Cc) sampled rows (the
+  /// FAISS max_points_per_centroid pattern); only the final assignment
+  /// pass touches every row.
+  static constexpr std::size_t kSamplePerCentroid = 128;
+  /// Deterministic build seed: the same store always clusters identically,
+  /// so an index rebuilt on load of a pre-v5 snapshot matches the one a
+  /// v5 writer would have persisted.
+  static constexpr std::uint64_t kBuildSeed = 0x1BF5EEDULL;
+
+  /// Build by spherical k-means over `base.normalized_prototypes()`.
+  /// `n_centroids` == 0 picks ~√C (clamped to [1, C]). `base` must outlive
+  /// this index (ModelSnapshot owns both for the serving stack).
+  explicit IvfIndex(const PrototypeStore& base, std::size_t n_centroids = 0,
+                    std::size_t iters = kBuildIters, std::uint64_t seed = kBuildSeed);
+
+  /// Adopt persisted centroids + assignments (snapshot_io v5 load path):
+  /// nothing is re-clustered, so a loaded index probes identically to the
+  /// one that was saved. Packed centroid codes and the inverted-list
+  /// layout are rebuilt deterministically from the parts. Throws
+  /// std::invalid_argument when the parts disagree with the store
+  /// geometry (centroid width, assignment count/range).
+  static IvfIndex from_parts(const PrototypeStore& base, tensor::Tensor centroids,
+                             std::vector<std::uint32_t> assignments);
+
+  std::size_t n_centroids() const { return list_offsets_.size() - 1; }
+  std::size_t n_rows() const { return base_->n_classes(); }
+  const PrototypeStore& base() const { return *base_; }
+  /// L2-normalized centroid rows [Cc, d] (the v5 persistence payload,
+  /// together with assignments()).
+  const tensor::Tensor& centroids() const { return centroids_; }
+  /// Per-row centroid assignment [C], values in [0, Cc).
+  const std::vector<std::uint32_t>& assignments() const { return assignments_; }
+  std::size_t list_size(std::size_t c) const {
+    return list_offsets_[c + 1] - list_offsets_[c];
+  }
+
+  /// The nprobe an `nprobe == 0` request resolves to: Cc/8, at least 1 —
+  /// scan ~1/8 of the label space before early exit trims further.
+  std::size_t default_nprobe() const { return std::max<std::size_t>(1, n_centroids() / 8); }
+  /// Resolve a caller nprobe: 0 → default_nprobe(), clamped to [1, Cc].
+  std::size_t resolve_nprobe(std::size_t nprobe) const;
+
+  /// Early-exit split: how many leading words of each packed row the
+  /// prefix pass scores before the prune test. In [1, words_per_row];
+  /// == words_per_row disables the early exit (one full-width pass).
+  std::size_t prefix_words() const { return prefix_words_; }
+  /// Test/diagnostics hook: repack the list codes under a different split
+  /// (0 = the automatic choice). NOT thread-safe — call before serving,
+  /// never concurrently with a scan.
+  void set_prefix_words(std::size_t words);
+
+  /// IVF top-k on the float-cosine path: probe `nprobe` centroids by float
+  /// dot, score every row of the probed lists with a double-accumulated
+  /// cosine dot (the naive GEMM kernel's exact summation), select with the
+  /// exact path's k-bounded heap. result[b] holds min(k, probed rows)
+  /// entries ordered by (score desc, label asc). With nprobe == Cc the
+  /// result is the exact float top-k (bit-identical to the sharded scan
+  /// wherever the GEMM runs its naive kernel — see tests). `penalty` as in
+  /// ShardedPrototypeStore::topk_float.
+  std::vector<std::vector<TopK>> topk_float(const tensor::Tensor& embeddings, std::size_t k,
+                                            std::size_t nprobe,
+                                            const SeenPenalty* penalty = nullptr) const;
+
+  /// IVF top-k on the binary-Hamming path: probe by centroid-code Hamming,
+  /// then the prefix/early-exit scan over the probed lists' packed codes,
+  /// selecting in the integer key domain exactly as the exact sharded scan
+  /// does (same integer-exactness preconditions; pathological widths and
+  /// non-integer GZSL handicaps take a full-width float-domain scan). With
+  /// nprobe == Cc the result is bit-identical to
+  /// ShardedPrototypeStore::topk_binary — the early exit is admissible and
+  /// never drops a true top-k row.
+  std::vector<std::vector<TopK>> topk_binary(const tensor::Tensor& embeddings, std::size_t k,
+                                             std::size_t nprobe,
+                                             const SeenPenalty* penalty = nullptr) const;
+
+  /// Cascade: binary-prefilter the probed lists down to rerank·k candidate
+  /// rows (early-exit scan, integer keys), then re-score those candidates
+  /// with exact float cosine dots and select the final k. rerank == 0
+  /// means unbounded — every probed row is reranked — so nprobe == Cc +
+  /// rerank == 0 degenerates to the exact float top-k. GZSL handicaps:
+  /// the prefilter folds the integer offset where exact (otherwise it
+  /// ranks unpenalized raw Hamming); the float rerank always applies the
+  /// exact row_penalty subtraction.
+  std::vector<std::vector<TopK>> topk_cascade(const tensor::Tensor& embeddings, std::size_t k,
+                                              std::size_t nprobe, std::size_t rerank,
+                                              const SeenPenalty* penalty = nullptr) const;
+
+  /// Cumulative probe/prune telemetry (process-lifetime totals also feed
+  /// the serve_ivf_* counters in obs::default_registry()).
+  struct ProbeStats {
+    std::uint64_t queries = 0;           ///< single-query probes served
+    std::uint64_t centroids_probed = 0;  ///< inverted lists opened
+    std::uint64_t rows_swept = 0;        ///< rows whose prefix was scored
+    std::uint64_t rows_pruned = 0;       ///< rows early-exited before their
+                                         ///< suffix words were read
+    std::uint64_t rows_reranked = 0;     ///< cascade float re-scores
+  };
+  ProbeStats probe_stats() const;
+
+ private:
+  IvfIndex() = default;  // used by from_parts
+
+  /// Derive list offsets/rows from assignments_ and repack the codes.
+  void build_lists();
+  /// Split every list row's packed words into the contiguous prefix/suffix
+  /// blocks under prefix_words_.
+  void repack_codes();
+  /// Probed-centroid ids for one query, nearest first: float-dot order for
+  /// the float/cascade paths, centroid-code Hamming order for binary.
+  std::vector<std::uint32_t> probe_float(const float* dots, std::size_t nprobe) const;
+  std::vector<std::uint32_t> probe_binary(const std::uint64_t* qwords,
+                                          std::size_t nprobe) const;
+
+  const PrototypeStore* base_ = nullptr;
+  tensor::Tensor centroids_;                    // [Cc, d], unit rows
+  std::vector<std::uint64_t> centroid_codes_;   // [Cc * words_per_row]
+  std::vector<std::uint32_t> assignments_;      // [C], row -> centroid
+  std::vector<std::size_t> list_offsets_;       // [Cc + 1] into list_rows_
+  std::vector<std::uint32_t> list_rows_;        // [C], row ids grouped by list
+  std::vector<std::uint64_t> codes_prefix_;     // [C * prefix_words_], list order
+  std::vector<std::uint64_t> codes_suffix_;     // [C * suffix words], list order
+  std::size_t prefix_words_ = 0;
+  std::size_t max_list_ = 0;  // longest list (scan scratch sizing)
+
+  struct Counters {
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> centroids_probed{0};
+    std::atomic<std::uint64_t> rows_swept{0};
+    std::atomic<std::uint64_t> rows_pruned{0};
+    std::atomic<std::uint64_t> rows_reranked{0};
+
+    // Movable so from_parts can return the index by value; moves happen
+    // only before the index is shared, never concurrently with scans.
+    Counters() = default;
+    Counters(Counters&& o) noexcept { *this = std::move(o); }
+    Counters& operator=(Counters&& o) noexcept {
+      queries.store(o.queries.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      centroids_probed.store(o.centroids_probed.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+      rows_swept.store(o.rows_swept.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      rows_pruned.store(o.rows_pruned.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      rows_reranked.store(o.rows_reranked.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      return *this;
+    }
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace hdczsc::serve

@@ -1,5 +1,6 @@
 #include "serve/engine.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
@@ -31,7 +32,8 @@ Precision precision_from_name(const std::string& name) {
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
                                  ScoringMode mode, std::size_t n_shards, float seen_penalty,
-                                 Precision precision)
+                                 Precision precision, RetrievalMode retrieval,
+                                 std::size_t nprobe, std::size_t rerank)
     : snapshot_(std::move(snapshot)),
       mode_(mode),
       precision_(precision),
@@ -40,11 +42,22 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
       sharded_(deref(snapshot_).prototypes(),
                n_shards == 0 ? deref(snapshot_).preferred_shards() : n_shards),
       penalty_(snapshot_->prototypes().resolve_penalty(seen_penalty,
-                                                       snapshot_->seen_mask())) {
+                                                       snapshot_->seen_mask())),
+      retrieval_(retrieval),
+      nprobe_(nprobe),
+      rerank_(rerank) {
   if (precision_ == Precision::kInt8 && !snapshot_->has_quantized())
     throw std::invalid_argument(
         "InferenceEngine: int8 precision requested but the snapshot carries no quantized "
         "artifact (quantize it, or load a v4 .hdcsnap with quantization records)");
+  if (retrieval_ != RetrievalMode::kExact) {
+    // Adopt the snapshot's persisted index (v5 .hdcsnap) when there is
+    // one; otherwise cluster here — deterministic, so a rebuilt index
+    // matches what a v5 writer would have saved for this store.
+    ivf_ = snapshot_->has_ivf()
+               ? snapshot_->ivf()
+               : std::make_shared<const IvfIndex>(snapshot_->prototypes());
+  }
 }
 
 tensor::Tensor InferenceEngine::embed_inputs(const tensor::Tensor& inputs,
@@ -83,14 +96,31 @@ tensor::Tensor InferenceEngine::logits(const tensor::Tensor& inputs,
   return out;
 }
 
+std::vector<std::vector<TopK>> InferenceEngine::topk_embedded(const tensor::Tensor& emb,
+                                                              std::size_t k) const {
+  switch (retrieval_) {
+    case RetrievalMode::kIvf:
+      return mode_ == ScoringMode::kFloatCosine
+                 ? ivf_->topk_float(emb, k, nprobe_, penalty_ptr())
+                 : ivf_->topk_binary(emb, k, nprobe_, penalty_ptr());
+    case RetrievalMode::kCascade:
+      // Cascade scores are float-domain regardless of the engine's scoring
+      // mode: the binary stage only prefilters, the rerank decides.
+      return ivf_->topk_cascade(emb, k, nprobe_, rerank_, penalty_ptr());
+    case RetrievalMode::kExact:
+      break;
+  }
+  return mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k, penalty_ptr())
+                                            : sharded_.topk_binary(emb, k, penalty_ptr());
+}
+
 std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor& inputs,
                                                            std::size_t k,
                                                            BatchTimings* timings) const {
   double embed_ms = 0.0;
   tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
   util::Timer clock;
-  auto out = mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k, penalty_ptr())
-                                                : sharded_.topk_binary(emb, k, penalty_ptr());
+  auto out = topk_embedded(emb, k);
   if (timings) {
     timings->embed_ms = embed_ms;
     timings->score_ms = clock.millis();
@@ -111,15 +141,18 @@ std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& in
   util::Timer clock;
 
   std::vector<Prediction> out;
-  if (sharded_.n_shards() > 1) {
-    // Sharded store: classify is the k = 1 retrieval — no [B, C] logits
-    // materialization, no full-width argmax sweep.
-    const auto hits = mode_ == ScoringMode::kFloatCosine
-                          ? sharded_.topk_float(emb, 1, penalty_ptr())
-                          : sharded_.topk_binary(emb, 1, penalty_ptr());
+  if (retrieval_ != RetrievalMode::kExact || sharded_.n_shards() > 1) {
+    // Approximate tiers and the sharded store: classify is the k = 1
+    // retrieval — no [B, C] logits materialization, no full-width argmax
+    // sweep. An IVF probe can in principle come back empty (every probed
+    // list empty); that degenerates to "no prediction", reported as label
+    // 0 with a -inf score rather than UB.
+    const auto hits = topk_embedded(emb, 1);
     out.resize(hits.size());
     for (std::size_t b = 0; b < hits.size(); ++b)
-      out[b] = Prediction{hits[b][0].label, hits[b][0].score};
+      out[b] = hits[b].empty()
+                   ? Prediction{0, -std::numeric_limits<float>::infinity()}
+                   : Prediction{hits[b][0].label, hits[b][0].score};
   } else {
     const PrototypeStore& store = snapshot_->prototypes();
     tensor::Tensor p = mode_ == ScoringMode::kFloatCosine ? store.score_float(emb, penalty_ptr())

@@ -22,14 +22,23 @@
 // subtracted from every seen-class logit on *both* scoring paths (as an
 // exact integer Hamming-domain offset on the binary path where possible),
 // consistently across logits / topk_batch / classify_batch.
+//
+// Approximate retrieval: `retrieval` selects the top-k tier (ann_store.hpp)
+// — kExact scans every row (the default, results equal the flat argsort);
+// kIvf probes `nprobe` coarse-quantizer lists and scans only those, in the
+// engine's scoring mode; kCascade adds the binary-prefilter → float-rerank
+// stage. The engine reuses the snapshot's persisted IVF index (v5
+// .hdcsnap) or builds one deterministically at construction. logits() is
+// always exact — the full [B, C] matrix has no approximate form.
 // Thread-safe: all state is read-only after construction (the sharded
-// store's telemetry counters are atomic).
+// store's and IVF index's telemetry counters are atomic).
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "serve/ann_store.hpp"
 #include "serve/sharded_store.hpp"
 #include "serve/snapshot.hpp"
 
@@ -77,9 +86,18 @@ class InferenceEngine {
   /// `precision` selects the embed stage's numeric path; kInt8 throws
   /// std::invalid_argument at construction when the snapshot carries no
   /// quantized artifact (fail at load, not on the first request).
+  ///
+  /// `retrieval` picks the top-k tier. Anything but kExact adopts the
+  /// snapshot's IVF index — or clusters one deterministically here when
+  /// the snapshot carries none (pre-v5 artifacts). `nprobe` (0 = the
+  /// index default, ~Cc/8) bounds the probed coarse lists; `rerank` is the
+  /// cascade's candidate budget multiplier (rerank·k binary survivors get
+  /// float-reranked; 0 = unbounded, every probed row).
   InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
                   ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0,
-                  float seen_penalty = 0.0f, Precision precision = Precision::kFloat32);
+                  float seen_penalty = 0.0f, Precision precision = Precision::kFloat32,
+                  RetrievalMode retrieval = RetrievalMode::kExact, std::size_t nprobe = 0,
+                  std::size_t rerank = 4);
 
   /// Wall time of one batch forward split at the embed/score boundary —
   /// the two stages the per-request tracer (obs/trace.hpp) reports
@@ -111,6 +129,13 @@ class InferenceEngine {
 
   ScoringMode mode() const { return mode_; }
   Precision precision() const { return precision_; }
+  RetrievalMode retrieval() const { return retrieval_; }
+  /// Probe width for approximate retrieval (0 = the index default).
+  std::size_t nprobe() const { return nprobe_; }
+  /// Cascade rerank budget multiplier (0 = unbounded).
+  std::size_t rerank() const { return rerank_; }
+  /// The engine's IVF index — null iff retrieval() == kExact.
+  const std::shared_ptr<const IvfIndex>& ivf() const { return ivf_; }
   std::size_t n_shards() const { return sharded_.n_shards(); }
   /// Calibrated-stacking handicap subtracted from seen-class logits
   /// (0 = plain single-space serving).
@@ -125,11 +150,18 @@ class InferenceEngine {
   /// (0 for the passthrough).
   tensor::Tensor embed_inputs(const tensor::Tensor& inputs, double* embed_ms) const;
 
+  /// Top-k over an already-embedded batch, routed by retrieval_ / mode_.
+  std::vector<std::vector<TopK>> topk_embedded(const tensor::Tensor& emb, std::size_t k) const;
+
   std::shared_ptr<const ModelSnapshot> snapshot_;
   ScoringMode mode_;
   Precision precision_;
   ShardedPrototypeStore sharded_;
   SeenPenalty penalty_;  // resolved once against the snapshot's store/mask
+  RetrievalMode retrieval_ = RetrievalMode::kExact;
+  std::size_t nprobe_ = 0;
+  std::size_t rerank_ = 4;
+  std::shared_ptr<const IvfIndex> ivf_;  // set iff retrieval_ != kExact
 
   const SeenPenalty* penalty_ptr() const { return penalty_.active() ? &penalty_ : nullptr; }
 };

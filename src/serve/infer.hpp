@@ -10,8 +10,7 @@
 // and every failure mode is a *named status code* on the result, not an
 // ad-hoc exception type: the wire protocol serializes both structs
 // verbatim (docs/protocol.md), so a network client sees exactly the
-// statuses an in-process caller sees. The legacy classify()/
-// classify_async() entrypoints survive as thin shims over submit().
+// statuses an in-process caller sees.
 //
 // Inputs come in two shapes (the Triton-style "the tensor is the
 // contract" rule):

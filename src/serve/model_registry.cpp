@@ -19,7 +19,8 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
   // obs::default_registry(). A reload under the same key continues them.
   if (rcfg.name.empty()) rcfg.name = key;
   auto engine = std::make_shared<const InferenceEngine>(
-      std::move(snapshot), mode, rcfg.n_shards, rcfg.seen_penalty, rcfg.backbone_precision);
+      std::move(snapshot), mode, rcfg.n_shards, rcfg.seen_penalty, rcfg.backbone_precision,
+      rcfg.retrieval, rcfg.nprobe, rcfg.rerank);
   auto runtime = std::make_shared<ServerRuntime>(std::move(engine), rcfg);
   runtime->start();
 
@@ -96,21 +97,6 @@ std::future<InferResult> ModelRegistry::submit(InferRequest req) {
   return fut;
 }
 
-std::future<Prediction> ModelRegistry::classify_async(const std::string& key,
-                                                      tensor::Tensor image) {
-  // find() copies the shared_ptr under a shared lock; the submit (and the
-  // batched forward it feeds) runs with no registry lock held. The registry
-  // shim rides the runtime shim — same legacy surface, one implementation.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  return find(key)->classify_async(std::move(image));
-#pragma GCC diagnostic pop
-}
-
-Prediction ModelRegistry::classify(const std::string& key, tensor::Tensor image) {
-  return classify_async(key, std::move(image)).get();
-}
-
 bool ModelRegistry::has(const std::string& key) const {
   std::shared_lock lock(mu_);
   return models_.count(key) > 0;
@@ -146,6 +132,12 @@ std::vector<ShardedPrototypeStore::ShardInfo> ModelRegistry::shard_stats(
   return find(key)->engine().sharded_store().shard_stats();
 }
 
+std::optional<IvfIndex::ProbeStats> ModelRegistry::ann_stats(const std::string& key) const {
+  const auto& ivf = find(key)->engine().ivf();
+  if (!ivf) return std::nullopt;
+  return ivf->probe_stats();
+}
+
 std::shared_ptr<const InferenceEngine> ModelRegistry::engine(const std::string& key) const {
   return find(key)->engine_ptr();
 }
@@ -158,7 +150,7 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
     entries.assign(models_.begin(), models_.end());
   }
   util::Table t(title);
-  t.set_header({"key", "scoring", "prec", "classes", "shards", "penalty", "completed",
+  t.set_header({"key", "scoring", "prec", "retr", "classes", "shards", "penalty", "completed",
                 "rejected", "req/s", "q-wait ms", "p50 ms", "p99 ms", "p999 ms", "seen",
                 "unseen", "H(dom)"});
   for (const auto& [key, runtime] : entries) {
@@ -168,6 +160,7 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
     // partition every decision counts as seen and H is identically 0.
     const bool gzsl = engine.snapshot().has_partition();
     t.add_row({key, scoring_mode_name(engine.mode()), precision_name(engine.precision()),
+               retrieval_mode_name(engine.retrieval()),
                gzsl ? std::to_string(engine.snapshot().n_seen()) + "+" +
                           std::to_string(engine.snapshot().n_unseen())
                     : std::to_string(engine.snapshot().n_classes()),

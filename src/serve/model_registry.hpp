@@ -11,9 +11,9 @@
 //  * load()/unload() build/start (resp. drain/join) the runtime *outside*
 //    the lock and only swap the map entry under the exclusive lock. Requests
 //    already routed to a replaced/unloaded runtime drain to completion —
-//    their futures all resolve; requests racing the swap may be rejected
-//    with ServerOverloaded, exactly as an overloaded single-model server
-//    would reject them.
+//    their futures all resolve; requests racing the swap may come back
+//    with InferStatus::kShutdown, exactly as a stopping single-model
+//    server would report them.
 //  * load_file() gives the strong guarantee: a corrupt or truncated
 //    .hdcsnap throws before the registry is touched — a half-loaded model
 //    is never registered.
@@ -75,13 +75,6 @@ class ModelRegistry {
   /// validation / admission failures, from a worker thread otherwise).
   void submit(InferRequest req, InferDone done);
 
-  /// Deprecated shims over submit() (see ServerRuntime::classify_async):
-  /// legacy throwing contract — ModelNotFound for an unknown key,
-  /// ServerOverloaded on admission-control rejection.
-  std::future<Prediction> classify_async(const std::string& key, tensor::Tensor image);
-  /// Deprecated blocking shim: submit and wait (see classify_async).
-  Prediction classify(const std::string& key, tensor::Tensor image);
-
   bool has(const std::string& key) const;
   std::size_t size() const;
   std::vector<std::string> keys() const;
@@ -97,12 +90,15 @@ class ModelRegistry {
   /// Per-shard scan telemetry of the model's sharded prototype store
   /// (one entry per shard, S = 1 for flat stores). Throws ModelNotFound.
   std::vector<ShardedPrototypeStore::ShardInfo> shard_stats(const std::string& key) const;
+  /// Probe/prune/rerank telemetry of the model's IVF index — nullopt when
+  /// the model serves exact retrieval (no index). Throws ModelNotFound.
+  std::optional<IvfIndex::ProbeStats> ann_stats(const std::string& key) const;
   /// Shared handle (not a reference): the engine may outlive a concurrent
   /// unload/replace of the key, so the caller keeps it alive.
   std::shared_ptr<const InferenceEngine> engine(const std::string& key) const;
 
-  /// One row per model: key, scoring mode, classes (seen+unseen for
-  /// partitioned snapshots), shards, calibrated-stacking penalty,
+  /// One row per model: key, scoring mode, retrieval tier, classes
+  /// (seen+unseen for partitioned snapshots), shards, calibrated-stacking penalty,
   /// completed/rejected, req/s, mean queue-wait, p50/p99/p999, and — for GZSL models — the
   /// seen/unseen prediction counters with their harmonic domain balance.
   util::Table to_table(const std::string& title = "model registry") const;

@@ -22,6 +22,10 @@ ServerRuntime::ServerRuntime(std::shared_ptr<const InferenceEngine> engine, Serv
         .gauge("serve_embed_precision", {{"model", cfg_.name}},
                "backbone numeric path (0 = float32, 1 = int8)")
         ->set(static_cast<double>(static_cast<unsigned>(engine_->precision())));
+    obs::default_registry()
+        .gauge("serve_retrieval_mode", {{"model", cfg_.name}},
+               "top-k retrieval tier (0 = exact, 1 = ivf, 2 = cascade)")
+        ->set(static_cast<double>(static_cast<unsigned>(engine_->retrieval())));
   }
 }
 
@@ -103,47 +107,6 @@ std::future<InferResult> ServerRuntime::submit(InferRequest req) {
   std::future<InferResult> fut = prom->get_future();
   submit(std::move(req), [prom](InferResult&& r) { prom->set_value(std::move(r)); });
   return fut;
-}
-
-std::future<Prediction> ServerRuntime::classify_async(tensor::Tensor image) {
-  // The legacy contract: malformed requests throw synchronously, before
-  // they can join a batch.
-  if (!(image.dim() == 3 || (image.dim() == 4 && image.size(0) == 1)))
-    throw std::invalid_argument("serve: request image must be [3,S,S] or [1,3,S,S]");
-
-  InferRequest req;
-  req.input = std::move(image);
-  req.k = 1;
-  auto prom = std::make_shared<std::promise<Prediction>>();
-  std::future<Prediction> fut = prom->get_future();
-  InferDone done = [prom](InferResult&& r) {
-    if (r.ok() && !r.topk.empty()) {
-      prom->set_value(Prediction{r.topk[0].label, r.topk[0].score});
-    } else if (r.status == InferStatus::kBadShape) {
-      prom->set_exception(
-          std::make_exception_ptr(std::invalid_argument("serve: " + r.message)));
-    } else {
-      prom->set_exception(std::make_exception_ptr(std::runtime_error(
-          "serve: " + std::string(infer_status_name(r.status)) +
-          (r.message.empty() ? std::string() : ": " + r.message))));
-    }
-  };
-  // Admission failures also keep the legacy shape: a synchronous
-  // ServerOverloaded throw, for both the queue-full and the post-stop case.
-  if (batcher_.submit(req, done) != DynamicBatcher::Admit::kAccepted) {
-    stats_.record_reject();
-    throw ServerOverloaded();
-  }
-  return fut;
-}
-
-Prediction ServerRuntime::classify(tensor::Tensor image) {
-  // The blocking shim is defined in terms of the async one; the deprecation
-  // warning is for external callers, not the shim implementation itself.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  return classify_async(std::move(image)).get();
-#pragma GCC diagnostic pop
 }
 
 void ServerRuntime::worker_loop() {

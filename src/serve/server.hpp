@@ -30,15 +30,6 @@
 
 namespace hdczsc::serve {
 
-/// Thrown by the deprecated classify()/classify_async() shims when
-/// admission control rejects the request (queue at max_queue_depth, or
-/// server shut down). submit() reports the same condition as
-/// InferStatus::kOverloaded / kShutdown instead of throwing.
-class ServerOverloaded : public std::runtime_error {
- public:
-  ServerOverloaded() : std::runtime_error("serve: queue full, request rejected") {}
-};
-
 struct ServerConfig {
   std::size_t n_workers = 1;
   BatchPolicy batch;
@@ -57,6 +48,20 @@ struct ServerConfig {
   /// load fails up front otherwise. Scoring is unaffected; only the embed
   /// stage changes numeric path (see serve::Precision).
   Precision backbone_precision = Precision::kFloat32;
+  /// Top-k retrieval tier for the engines ModelRegistry builds from this
+  /// config (ann_store.hpp): kExact scans every prototype row; kIvf probes
+  /// `nprobe` coarse lists in the model's scoring mode; kCascade adds the
+  /// binary-prefilter → float-rerank stage. Approximate tiers adopt the
+  /// snapshot's persisted IVF index (v5 .hdcsnap) or cluster one
+  /// deterministically at load.
+  RetrievalMode retrieval = RetrievalMode::kExact;
+  /// Coarse lists probed per query by the approximate tiers (0 = the index
+  /// default, ~Cc/8; clamped to [1, Cc]). Ignored under kExact.
+  std::size_t nprobe = 0;
+  /// Cascade candidate budget multiplier: rerank·k binary survivors get
+  /// float-reranked (0 = unbounded — every probed row). Ignored outside
+  /// kCascade.
+  std::size_t rerank = 4;
   /// Metric namespace: non-empty registers this runtime's telemetry (stats
   /// and per-stage trace histograms) in obs::default_registry() under
   /// serve_*{model=name} so the exporters see it. ModelRegistry sets it to
@@ -94,17 +99,6 @@ class ServerRuntime {
   /// exactly once — synchronously on the caller's thread for validation /
   /// admission failures, from a worker thread otherwise.
   void submit(InferRequest req, InferDone done);
-
-  /// Deprecated shims over submit(): the pre-InferRequest entrypoints,
-  /// kept for callers that want the single-label convenience shape.
-  /// Unlike submit(), they keep the legacy throwing contract
-  /// (std::invalid_argument on bad shape, ServerOverloaded on rejection,
-  /// and execution failures re-thrown from the future).
-  [[deprecated("use submit(InferRequest) — statuses instead of exceptions")]]
-  std::future<Prediction> classify_async(tensor::Tensor image);
-  /// Deprecated blocking shim: submit and wait (see classify_async).
-  [[deprecated("use submit(InferRequest) — statuses instead of exceptions")]]
-  Prediction classify(tensor::Tensor image);
 
   const InferenceEngine& engine() const { return *engine_; }
   /// Shared handle for callers that may outlive this runtime (the registry's

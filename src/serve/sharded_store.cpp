@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "serve/topk_select.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
 #include "util/parallel.hpp"
@@ -13,106 +14,14 @@ namespace hdczsc::serve {
 
 namespace {
 
-/// The one retrieval order both scoring paths and both store layouts share:
-/// score descending, label ascending on exact score ties. The flat
-/// reference (full argsort of score_float / score_binary logits) under this
-/// order is what the scatter/gather result is asserted against.
-inline bool better(const TopK& a, const TopK& b) {
-  return a.score > b.score || (a.score == b.score && a.label < b.label);
-}
-
-/// Rows per block-skip test in the selection loops: once a cutoff is
-/// known, a whole block is skipped with one vectorizable compare-reduce
-/// over its scores, so the steady-state selection cost drops well below
-/// one branch per row. 16 keeps the reduce inside two SSE registers.
-constexpr std::size_t kSelectBlock = 16;
-
-/// k-bounded candidate selection over caller-provided storage (one flat
-/// slot per (shard, query), so the scatter allocates nothing per scan): a
-/// binary heap with the *worst* kept candidate on top (std::push_heap with
-/// `better` as the ordering puts the minimum there), so the steady-state
-/// cost per scanned row is one score compare against the current cutoff.
-class BoundedTopK {
- public:
-  BoundedTopK(TopK* slot, std::size_t k) : slot_(slot), k_(k) {}
-
-  void offer(TopK c) {
-    if (n_ < k_) {
-      slot_[n_++] = c;
-      std::push_heap(slot_, slot_ + n_, better);
-      return;
-    }
-    if (!better(c, slot_[0])) return;  // cutoff miss: the common case
-    std::pop_heap(slot_, slot_ + n_, better);
-    slot_[n_ - 1] = c;
-    std::push_heap(slot_, slot_ + n_, better);
-  }
-
-  std::size_t size() const { return n_; }
-  /// Block-skip threshold: scores strictly below it cannot enter (equal
-  /// scores still can, via the label tie-break), -inf while filling.
-  float cutoff_score() const {
-    return n_ == k_ ? slot_[0].score : -std::numeric_limits<float>::infinity();
-  }
-
- private:
-  TopK* slot_;
-  std::size_t k_;
-  std::size_t n_ = 0;
-};
-
-/// Integer-domain variant of BoundedTopK for the binary path: candidates
-/// are packed (hamming << 32) | label keys, so the retrieval order
-/// (score desc, label asc) becomes a single u64 compare (h asc, label asc)
-/// and the fast path is one predictable compare per scanned row.
-///
-/// Exactness precondition (checked by the caller): the two orders coincide
-/// iff distinct Hamming counts never round to the same float logit.
-/// score = scale·(1 − 2h/D) is weakly decreasing in h under float rounding
-/// (for scale > 0), and strictly so while 1/D stays above float resolution
-/// — i.e. for D < 2^24 code bits, far beyond any practical code width.
-/// Wider codes (or non-positive scales) take the float-domain path.
-class BoundedTopKHamming {
- public:
-  /// `bound` is a global-cutoff hint: a key value known to have at least k
-  /// better keys somewhere in the store (another shard's k-th best).
-  /// Anything at or above it cannot make the global top-k and is dropped
-  /// before touching the local heap — keys are unique (the label is in the
-  /// low bits), so `>=` never discards a genuine tie.
-  BoundedTopKHamming(std::uint64_t* slot, std::size_t k, std::uint64_t bound)
-      : slot_(slot), k_(k), bound_(bound) {}
-
-  void offer(std::uint32_t h, std::size_t label) {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(h) << 32) | static_cast<std::uint64_t>(label);
-    if (key >= bound_) return;  // cutoff miss: the common case
-    if (n_ < k_) {
-      slot_[n_++] = key;
-      std::push_heap(slot_, slot_ + n_);  // max-key (worst candidate) on top
-      if (n_ == k_) bound_ = std::min(bound_, slot_[0]);
-      return;
-    }
-    std::pop_heap(slot_, slot_ + n_);
-    slot_[n_ - 1] = key;
-    std::push_heap(slot_, slot_ + n_);
-    bound_ = std::min(bound_, slot_[0]);
-  }
-
-  std::size_t size() const { return n_; }
-  /// The local k-th best key once full (the caller publishes it as the
-  /// next shard's starting bound).
-  std::uint64_t cutoff() const { return n_ == k_ ? slot_[0] : ~std::uint64_t{0}; }
-  /// Block-skip threshold in the Hamming domain: rows with h strictly
-  /// above it cannot beat the bound (h == threshold may, via the label
-  /// bits), so a whole block of rows above it is skipped wholesale.
-  std::uint32_t threshold() const { return static_cast<std::uint32_t>(bound_ >> 32); }
-
- private:
-  std::uint64_t* slot_;
-  std::size_t k_;
-  std::size_t n_ = 0;
-  std::uint64_t bound_;
-};
+// Selection primitives shared with the approximate tier (topk_select.hpp):
+// same (score desc, label asc) order, same block-skip thresholds, same
+// integer-key Hamming domain — the basis of the exact/approximate
+// bit-identity properties in tests/test_ann_retrieval.cpp.
+using detail::kSelectBlock;
+using BoundedTopK = detail::BoundedTopK<TopK>;
+using detail::BoundedTopKHamming;
+inline bool better(const TopK& a, const TopK& b) { return detail::better(a, b); }
 
 /// Process-wide scan telemetry in obs::default_registry(): per-shard scan
 /// wall time (profiling-gated, see obs::ScopedTimer) and swept/pruned row

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "serve/ann_store.hpp"
+
 namespace hdczsc::serve {
 
 namespace {
@@ -65,6 +67,11 @@ tensor::Tensor ModelSnapshot::embed_int8(const tensor::Tensor& images) const {
         "ModelSnapshot::embed_int8: no quantized artifact attached (quantize the snapshot or "
         "load a v4 .hdcsnap with quantization records)");
   return quant_->forward(images);
+}
+
+std::shared_ptr<const IvfIndex> ModelSnapshot::build_ivf(std::size_t n_centroids) {
+  ivf_ = std::make_shared<const IvfIndex>(store_, n_centroids);
+  return ivf_;
 }
 
 std::shared_ptr<const nn::QuantizedEmbed> ModelSnapshot::quantize(

@@ -20,6 +20,8 @@
 
 namespace hdczsc::serve {
 
+class IvfIndex;  // serve/ann_store.hpp
+
 class ModelSnapshot {
  public:
   /// `class_attributes` is A [C, α] in serving-label order; row c of the
@@ -93,6 +95,22 @@ class ModelSnapshot {
     quant_ = std::move(quant);
   }
 
+  /// True when an IVF coarse index rides along — built by build_ivf(),
+  /// attached from a v5 .hdcsnap's centroid records, or lazily by an engine
+  /// configured for approximate retrieval.
+  bool has_ivf() const { return ivf_ != nullptr; }
+  const std::shared_ptr<const IvfIndex>& ivf() const { return ivf_; }
+
+  /// Cluster this snapshot's prototype store into an IVF coarse index and
+  /// attach it (n_centroids == 0 → ~√C; see IvfIndex). Deterministic — the
+  /// same store always yields the same index. Replaces any previous index.
+  /// The index borrows this snapshot's store, so it must not outlive the
+  /// snapshot (the serving stack holds both through one shared_ptr).
+  std::shared_ptr<const IvfIndex> build_ivf(std::size_t n_centroids = 0);
+
+  /// Adopt a reconstituted index (snapshot_io v5 load path).
+  void attach_ivf(std::shared_ptr<const IvfIndex> ivf) { ivf_ = std::move(ivf); }
+
   const PrototypeStore& prototypes() const { return store_; }
   const core::ZscModel& model() const { return *model_; }
   /// The frozen class-attribute rows A [C, α] the store was built against.
@@ -111,6 +129,7 @@ class ModelSnapshot {
   std::vector<std::uint8_t> seen_mask_;  // [C] (1 = seen) or empty = all seen
   std::size_t n_seen_ = 0;               // popcount of seen_mask_ (cached)
   std::shared_ptr<const nn::QuantizedEmbed> quant_;  // optional INT8 artifact
+  std::shared_ptr<const IvfIndex> ivf_;              // optional IVF coarse index
 
   void adopt_seen_mask(std::vector<std::uint8_t> seen_mask);
 };

@@ -10,6 +10,7 @@
 #include "core/zsc_model.hpp"
 #include "data/attribute_space.hpp"
 #include "nn/serialize.hpp"
+#include "serve/ann_store.hpp"
 #include "tensor/serialize.hpp"
 
 namespace hdczsc::serve {
@@ -178,6 +179,16 @@ void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
     nn::save_calibration(os, snap.quantized()->table());
     snap.quantized()->save(os);
   }
+  // v5 IVF coarse-index record pair: centroids + per-row assignments (the
+  // inverted-list layout and packed centroid codes are derived, not stored).
+  write_pod<std::uint8_t>(os, snap.has_ivf() ? 1 : 0);
+  if (snap.has_ivf()) {
+    const IvfIndex& ivf = *snap.ivf();
+    tensor::save_tensor(os, ivf.centroids());
+    write_pod<std::uint64_t>(os, ivf.assignments().size());
+    os.write(reinterpret_cast<const char*>(ivf.assignments().data()),
+             static_cast<std::streamsize>(ivf.assignments().size() * sizeof(std::uint32_t)));
+  }
   os.write(kEndMarker, 4);
   if (!os) throw std::runtime_error("save_snapshot: write failed");
 }
@@ -203,6 +214,45 @@ std::shared_ptr<const nn::QuantizedEmbed> read_quant_records(std::istream& is) {
       throw std::runtime_error("snapshot_io: quantization records disagree at entry " +
                                std::to_string(i));
   return quant;
+}
+
+/// v5 IVF record pair: u8 flag, then the centroid tensor and the per-row
+/// assignment array. Validated against the already-parsed store geometry
+/// by name before anything is adopted: the centroid width must match the
+/// store dim, the assignment count must match C, and every assignment must
+/// land in [0, Cc).
+struct IvfRecords {
+  bool present = false;
+  tensor::Tensor centroids;
+  std::vector<std::uint32_t> assignments;
+};
+
+IvfRecords read_ivf_records(std::istream& is, std::size_t n_classes, std::size_t dim) {
+  IvfRecords r;
+  if (read_pod<std::uint8_t>(is, "ivf flag") == 0) return r;
+  r.centroids = read_tensor(is, "ivf centroids");
+  if (r.centroids.dim() != 2 || r.centroids.size(0) == 0 || r.centroids.size(1) != dim)
+    throw std::runtime_error("snapshot_io: corrupt record 'ivf centroids': " +
+                             tensor::shape_str(r.centroids.shape()) + ", expected [Cc, " +
+                             std::to_string(dim) + "]");
+  const auto count = read_pod<std::uint64_t>(is, "ivf assignment count");
+  if (count != n_classes)
+    throw std::runtime_error("snapshot_io: corrupt record 'ivf assignment count': " +
+                             std::to_string(count) + " assignments for " +
+                             std::to_string(n_classes) + " prototype rows");
+  tensor::io::check_readable(is, count, sizeof(std::uint32_t), "ivf assignments");
+  r.assignments.resize(n_classes);
+  is.read(reinterpret_cast<char*>(r.assignments.data()),
+          static_cast<std::streamsize>(n_classes * sizeof(std::uint32_t)));
+  if (!is) throw std::runtime_error("snapshot_io: truncated reading ivf assignments");
+  const std::size_t cc = r.centroids.size(0);
+  for (std::uint32_t a : r.assignments)
+    if (a >= cc)
+      throw std::runtime_error("snapshot_io: corrupt record 'ivf assignments': value " +
+                               std::to_string(a) + " out of range for " + std::to_string(cc) +
+                               " centroids");
+  r.present = true;
+  return r;
 }
 
 }  // namespace
@@ -274,6 +324,11 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   // Version-1..3 files predate quantization and load float-only.
   std::shared_ptr<const nn::QuantizedEmbed> quant =
       h.version >= 4 ? read_quant_records(is) : nullptr;
+  // Version-1..4 files predate the IVF tier and load exact-only (engines
+  // configured for approximate retrieval rebuild the index on demand).
+  IvfRecords ivf = h.version >= 5
+                       ? read_ivf_records(is, n_classes, normalized.size(1))
+                       : IvfRecords{};
   read_end_marker(is);
 
   PrototypeStore store = PrototypeStore::from_parts(std::move(normalized), std::move(packed),
@@ -285,6 +340,10 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   auto snap = std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store),
                                               shards, std::move(seen_mask));
   if (quant) snap->attach_quantized(std::move(quant));
+  // The reconstituted index borrows the snapshot's own (heap-held) store.
+  if (ivf.present)
+    snap->attach_ivf(std::make_shared<const IvfIndex>(IvfIndex::from_parts(
+        snap->prototypes(), std::move(ivf.centroids), std::move(ivf.assignments))));
   return snap;
 }
 
@@ -366,6 +425,13 @@ SnapshotInfo inspect_snapshot(std::istream& is) {
       info.quant_conv = qi.n_conv;
       info.quant_linear = qi.n_linear;
       info.quant_weight_bytes = qi.weight_bytes;
+    }
+  }
+  if (h.version >= 5) {
+    const IvfRecords ivf = read_ivf_records(is, normalized.size(0), normalized.size(1));
+    if (ivf.present) {
+      info.has_ivf = true;
+      info.n_centroids = ivf.centroids.size(0);
     }
   }
   read_end_marker(is);

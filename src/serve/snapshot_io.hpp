@@ -30,6 +30,16 @@
 //   record  quantized embed graph — "HQNT" magic, BN-folded per-channel
 //           int8 weights + per-op input qparams (nn::QuantizedEmbed::save).
 //           Pre-v4 files carry neither and load float-only.
+//   -- IVF coarse-index record pair (version ≥ 5) --
+//   u8      has_ivf flag; when set, two records follow:
+//   record  centroid tensor [Cc, d] — the unit-norm spherical k-means
+//           centroids of the IVF coarse quantizer (ann_store.hpp)
+//   u64     assignment count (must equal C), then u32[C] per-row centroid
+//           assignments, each < Cc. Inverted lists and packed centroid
+//           codes are rebuilt deterministically from these on load, so a
+//           loaded index probes identically to the saved one. Pre-v5
+//           files carry neither and load exact-only (engines rebuild on
+//           demand).
 //   "PANS"  end marker (truncation tripwire)
 //
 // Both prototype forms are stored verbatim (not recomputed on load), and
@@ -53,7 +63,7 @@ namespace hdczsc::serve {
 
 /// Current .hdcsnap format version (writers emit this; loaders accept
 /// 1..kSnapshotVersion — see docs/snapshot_format.md for the version log).
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// Serialize a snapshot (model architecture + parameters + buffers + frozen
 /// prototype store) to a stream / file.
@@ -101,6 +111,11 @@ struct SnapshotInfo {
   std::size_t quant_conv = 0;         ///< quantized convs (incl. downsamples)
   std::size_t quant_linear = 0;       ///< quantized FC layers
   std::size_t quant_weight_bytes = 0; ///< total int8 weight payload
+  /// IVF coarse-index records (version ≥ 5): present iff the artifact
+  /// cold-starts approximate retrieval without re-clustering. Pre-v5 files
+  /// report has_ivf == false.
+  bool has_ivf = false;
+  std::size_t n_centroids = 0;  ///< coarse-quantizer centroid count Cc
 };
 
 SnapshotInfo inspect_snapshot(std::istream& is);

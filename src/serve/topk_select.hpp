@@ -1,0 +1,130 @@
+// Shared k-bounded selection primitives for prototype retrieval.
+//
+// Extracted from the sharded scatter/gather scan (sharded_store.cpp) so the
+// approximate retrieval tier (ann_store.hpp) selects candidates with the
+// *identical* machinery — same ordering, same block-skip thresholds, same
+// float/integer domains. That identity is what makes the "nprobe == C and
+// unbounded rerank degenerates bit-identically to the exact path" property
+// provable instead of merely plausible (tests/test_ann_retrieval.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace hdczsc::serve {
+
+struct TopK;  // serve/sharded_store.hpp
+
+namespace detail {
+
+/// The one retrieval order both scoring paths and all store layouts share:
+/// score descending, label ascending on exact score ties. The flat
+/// reference (full argsort of score_float / score_binary logits) under this
+/// order is what every scatter/gather and approximate result is asserted
+/// against.
+template <typename Hit>
+inline bool better(const Hit& a, const Hit& b) {
+  return a.score > b.score || (a.score == b.score && a.label < b.label);
+}
+
+/// Rows per block-skip test in the selection loops: once a cutoff is
+/// known, a whole block is skipped with one vectorizable compare-reduce
+/// over its scores, so the steady-state selection cost drops well below
+/// one branch per row. 16 keeps the reduce inside two SSE registers.
+inline constexpr std::size_t kSelectBlock = 16;
+
+/// k-bounded candidate selection over caller-provided storage (one flat
+/// slot per (shard, query), so the scatter allocates nothing per scan): a
+/// binary heap with the *worst* kept candidate on top (std::push_heap with
+/// `better` as the ordering puts the minimum there), so the steady-state
+/// cost per scanned row is one score compare against the current cutoff.
+template <typename Hit>
+class BoundedTopK {
+ public:
+  BoundedTopK(Hit* slot, std::size_t k) : slot_(slot), k_(k) {}
+
+  void offer(Hit c) {
+    if (n_ < k_) {
+      slot_[n_++] = c;
+      std::push_heap(slot_, slot_ + n_, better<Hit>);
+      return;
+    }
+    if (!better(c, slot_[0])) return;  // cutoff miss: the common case
+    std::pop_heap(slot_, slot_ + n_, better<Hit>);
+    slot_[n_ - 1] = c;
+    std::push_heap(slot_, slot_ + n_, better<Hit>);
+  }
+
+  std::size_t size() const { return n_; }
+  /// Block-skip threshold: scores strictly below it cannot enter (equal
+  /// scores still can, via the label tie-break), -inf while filling.
+  float cutoff_score() const {
+    return n_ == k_ ? slot_[0].score : -std::numeric_limits<float>::infinity();
+  }
+
+ private:
+  Hit* slot_;
+  std::size_t k_;
+  std::size_t n_ = 0;
+};
+
+/// Integer-domain variant of BoundedTopK for the binary path: candidates
+/// are packed (hamming << 32) | label keys, so the retrieval order
+/// (score desc, label asc) becomes a single u64 compare (h asc, label asc)
+/// and the fast path is one predictable compare per scanned row.
+///
+/// Exactness precondition (checked by the caller): the two orders coincide
+/// iff distinct Hamming counts never round to the same float logit.
+/// score = scale·(1 − 2h/D) is weakly decreasing in h under float rounding
+/// (for scale > 0), and strictly so while 1/D stays above float resolution
+/// — i.e. for D < 2^24 code bits, far beyond any practical code width.
+/// Wider codes (or non-positive scales) take the float-domain path.
+class BoundedTopKHamming {
+ public:
+  /// `bound` is a global-cutoff hint: a key value known to have at least k
+  /// better keys somewhere in the store (another shard's k-th best).
+  /// Anything at or above it cannot make the global top-k and is dropped
+  /// before touching the local heap — keys are unique (the label is in the
+  /// low bits), so `>=` never discards a genuine tie.
+  BoundedTopKHamming(std::uint64_t* slot, std::size_t k, std::uint64_t bound)
+      : slot_(slot), k_(k), bound_(bound) {}
+
+  void offer(std::uint32_t h, std::size_t label) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(h) << 32) | static_cast<std::uint64_t>(label);
+    if (key >= bound_) return;  // cutoff miss: the common case
+    if (n_ < k_) {
+      slot_[n_++] = key;
+      std::push_heap(slot_, slot_ + n_);  // max-key (worst candidate) on top
+      if (n_ == k_) bound_ = std::min(bound_, slot_[0]);
+      return;
+    }
+    std::pop_heap(slot_, slot_ + n_);
+    slot_[n_ - 1] = key;
+    std::push_heap(slot_, slot_ + n_);
+    bound_ = std::min(bound_, slot_[0]);
+  }
+
+  std::size_t size() const { return n_; }
+  /// The local k-th best key once full (the caller publishes it as the
+  /// next shard's starting bound).
+  std::uint64_t cutoff() const { return n_ == k_ ? slot_[0] : ~std::uint64_t{0}; }
+  /// Block-skip threshold in the Hamming domain: rows with h strictly
+  /// above it cannot beat the bound (h == threshold may, via the label
+  /// bits), so a whole block of rows above it is skipped wholesale. The
+  /// same inequality makes the prefix-word early exit admissible: a row
+  /// whose *partial* Hamming count already exceeds the threshold cannot
+  /// complete to a kept key, because the remaining words only add to h
+  /// (ann_store.cpp).
+  std::uint32_t threshold() const { return static_cast<std::uint32_t>(bound_ >> 32); }
+
+ private:
+  std::uint64_t* slot_;
+  std::size_t k_;
+  std::size_t n_ = 0;
+  std::uint64_t bound_;
+};
+
+}  // namespace detail
+}  // namespace hdczsc::serve

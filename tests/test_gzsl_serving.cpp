@@ -355,11 +355,12 @@ TEST(GzslSnapshotIo, V2FileLoadsAsAllSeen) {
   serve::save_snapshot(ss, *snapshot);
   std::string bytes = ss.str();
   // Reconstruct the version-2 layout byte-for-byte: v3 appended exactly
-  // one u64 seen count + ⌈40/64⌉ = 1 mask word and v4 one u8 has_quant
-  // flag immediately before the end marker, so dropping those 17 bytes
-  // and rewriting the u32 version field yields a genuine v2 file.
+  // one u64 seen count + ⌈40/64⌉ = 1 mask word, v4 one u8 has_quant flag
+  // and v5 one u8 has_ivf flag immediately before the end marker, so
+  // dropping those 18 bytes and rewriting the u32 version field yields a
+  // genuine v2 file.
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 4 - 17, 17);
+  bytes.erase(bytes.size() - 4 - 18, 18);
   const std::uint32_t v2 = 2;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v2), 4);
 
@@ -385,11 +386,12 @@ TEST(GzslSnapshotIo, V2FileLoadsAsAllSeen) {
 }
 
 TEST(GzslSnapshotIo, CorruptPartitionRecordRejectedByName) {
-  auto snapshot = make_gzsl(30, 10);  // C = 40: tail is n_seen u64 + 1 mask word + "PANS"
+  auto snapshot = make_gzsl(30, 10);  // C = 40: tail is n_seen u64 + 1 mask word +
+                                      // has_quant u8 + has_ivf u8 + "PANS"
   std::stringstream ss;
   serve::save_snapshot(ss, *snapshot);
   const std::string bytes = ss.str();
-  const std::size_t mask_off = bytes.size() - 4 - 8;   // one mask word
+  const std::size_t mask_off = bytes.size() - 4 - 1 - 1 - 8;  // one mask word
   const std::size_t n_seen_off = mask_off - 8;
 
   // Seen count beyond the class count.
@@ -442,8 +444,14 @@ TEST(GzslRegistry, PerModelPenaltyAndDomainTelemetry) {
   util::Rng rng(59);
   const std::size_t n = 12;
   for (std::size_t i = 0; i < n; ++i) {
-    const auto p = registry.classify("gzsl", Tensor::randn({3, 32, 32}, rng));
-    EXPECT_GE(p.label, 30u) << "request " << i;
+    serve::InferRequest req;
+    req.model_key = "gzsl";
+    req.input = Tensor::randn({3, 32, 32}, rng);
+    req.k = 1;
+    const serve::InferResult r = registry.submit(std::move(req)).get();
+    ASSERT_EQ(r.status, serve::InferStatus::kOk) << "request " << i;
+    ASSERT_FALSE(r.topk.empty());
+    EXPECT_GE(r.topk[0].label, 30u) << "request " << i;
   }
   // The worker records domain counters *after* resolving the future, so
   // give the last batch a moment to land before asserting.

@@ -1,9 +1,7 @@
 // The versioned InferRequest/InferResult surface: every failure mode is a
 // named status (never an ad-hoc exception), embedding inputs score
 // bit-identically to the image path they shortcut, want_logits derives the
-// same ranking as topk, and the registry validates endpoint names. The
-// legacy classify()/classify_async() shims must keep their throwing
-// contract on top.
+// same ranking as topk, and the registry validates endpoint names.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -307,36 +305,6 @@ TEST(InferApi, RegistryRoutesByKeyAndNamesBadModels) {
   EXPECT_THROW(registry.load("", s.snapshot), std::invalid_argument);
   registry.stop_all();
 }
-
-// The one place the deprecated shims are still exercised on purpose: this
-// test IS the shim contract. Everything else in the repo goes through
-// submit().
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(InferApi, LegacyShimsKeepTheThrowingContract) {
-  const auto& s = SharedApi::get();
-  auto engine =
-      std::make_shared<const serve::InferenceEngine>(s.snapshot, serve::ScoringMode::kFloatCosine);
-  serve::ServerRuntime server(engine, small_config());
-  server.start();
-
-  // The shim's Prediction must be the submit() top-1, bit for bit.
-  serve::InferRequest req;
-  req.input = one_image(3);
-  const serve::InferResult r = server.submit(std::move(req)).get();
-  const serve::Prediction p = server.classify(one_image(3));
-  ASSERT_TRUE(r.ok());
-  EXPECT_EQ(p.label, r.top().label);
-  EXPECT_EQ(p.score, r.top().score);
-
-  // Bad shapes still throw synchronously (the documented legacy contract).
-  EXPECT_THROW(server.classify_async(Tensor({5, 7})), std::invalid_argument);
-  server.stop();
-
-  // Admission failure still surfaces as ServerOverloaded.
-  EXPECT_THROW(server.classify(one_image()), serve::ServerOverloaded);
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace hdczsc

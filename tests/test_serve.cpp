@@ -324,6 +324,35 @@ TEST(DynamicBatcher, AdmissionControlBoundsQueueDepth) {
   batcher.shutdown();
 }
 
+TEST(DynamicBatcher, ShutdownWhileQueuedDrainsEveryItem) {
+  // shutdown() rejects new submits immediately but must NOT drop what is
+  // already queued: collect() keeps handing out the backlog (completions
+  // intact, so the worker can resolve every accepted future) and only
+  // reports end-of-stream once the queue is empty.
+  serve::BatchPolicy policy;
+  policy.max_batch = 3;
+  policy.max_delay_ms = 0.0;
+  serve::DynamicBatcher batcher(policy);
+  for (int i = 0; i < 7; ++i) ASSERT_EQ(submit_one(batcher), Admit::kAccepted);
+
+  batcher.shutdown();
+  EXPECT_EQ(submit_one(batcher), Admit::kShutdown);
+  EXPECT_EQ(batcher.depth(), 7u);  // the backlog survives the shutdown
+
+  std::size_t drained = 0;
+  std::vector<serve::DynamicBatcher::Item> items;
+  while (batcher.collect(items)) {
+    ASSERT_LE(items.size(), 3u);
+    for (const auto& item : items) {
+      EXPECT_TRUE(static_cast<bool>(item.done)) << "completion lost in shutdown drain";
+      ++drained;
+    }
+  }
+  EXPECT_EQ(drained, 7u);
+  EXPECT_EQ(batcher.depth(), 0u);
+  EXPECT_FALSE(batcher.collect(items));  // stays terminal once drained
+}
+
 TEST(DynamicBatcher, LoneRequestIsReleasedWithinTheDelayBound) {
   // Latency-bound regression: with the batch nowhere near full, a lone
   // request must be held for ~max_delay_ms (the coalescing window) and

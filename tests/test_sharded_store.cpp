@@ -264,8 +264,13 @@ TEST(ShardedRegistry, ShardKnobAndPerShardStats) {
   serve::ModelRegistry registry(cfg);
   registry.load("m", make_snapshot(40), serve::ScoringMode::kBinaryHamming);
   util::Rng rng(43);
-  for (int i = 0; i < 4; ++i)
-    registry.classify("m", Tensor::randn({3, 32, 32}, rng));
+  for (int i = 0; i < 4; ++i) {
+    serve::InferRequest req;
+    req.model_key = "m";
+    req.input = Tensor::randn({3, 32, 32}, rng);
+    req.k = 1;
+    ASSERT_EQ(registry.submit(std::move(req)).get().status, serve::InferStatus::kOk);
+  }
   const auto stats = registry.shard_stats("m");
   ASSERT_EQ(stats.size(), 3u);
   std::uint64_t scans = 0;
@@ -299,12 +304,12 @@ TEST(ShardedSnapshotIo, V1FileLoadsAsFlatStore) {
   serve::save_snapshot(ss, *snapshot);
   std::string bytes = ss.str();
   // Reconstruct the version-1 layout byte-for-byte: v2 appended one u64
-  // shard record, v3 one u64 seen count + ⌈C/64⌉ u64 mask words, and v4
-  // one u8 has_quant flag, all immediately before the end marker — so for
-  // C = 40 dropping those 8 + 8 + 8 + 1 bytes and rewriting the u32
-  // version field yields a genuine v1 file.
+  // shard record, v3 one u64 seen count + ⌈C/64⌉ u64 mask words, v4 one
+  // u8 has_quant flag, and v5 one u8 has_ivf flag, all immediately before
+  // the end marker — so for C = 40 dropping those 8 + 8 + 8 + 1 + 1 bytes
+  // and rewriting the u32 version field yields a genuine v1 file.
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 4 - 25, 25);
+  bytes.erase(bytes.size() - 4 - 26, 26);
   const std::uint32_t v1 = 1;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v1), 4);
 

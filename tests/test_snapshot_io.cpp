@@ -302,10 +302,10 @@ TEST(SnapshotIO, CorruptPackedWordCountRejectedBeforeReadingShort) {
   serve::save_snapshot(full, snap);
   std::string bytes = full.str();
 
-  // Tail layout (fixed widths, back to front): "PANS" | has_quant u8 (0,
-  // no quant records follow) | 1 mask word | n_seen u64 | shards u64 |
-  // 7 packed words | packed count u64.
-  const std::size_t count_off = bytes.size() - 4 - 1 - 8 - 8 - 8 - 7 * 8 - 8;
+  // Tail layout (fixed widths, back to front): "PANS" | has_ivf u8 (0) |
+  // has_quant u8 (0, no quant records follow) | 1 mask word | n_seen u64 |
+  // shards u64 | 7 packed words | packed count u64.
+  const std::size_t count_off = bytes.size() - 4 - 1 - 1 - 8 - 8 - 8 - 7 * 8 - 8;
   std::uint64_t count = 0;
   std::memcpy(&count, bytes.data() + count_off, 8);
   ASSERT_EQ(count, 7u) << "tail-layout arithmetic drifted from the format";
@@ -357,28 +357,33 @@ TEST(SnapshotIO, QuantizedV4RoundTripServesInt8) {
   EXPECT_GT(info.quant_weight_bytes, 0u);
 }
 
-TEST(SnapshotIO, CrossVersionLoadMatrixV1ToV4) {
-  // One snapshot, every on-disk generation: a current (unquantized) v4
-  // file shrinks to a byte-genuine v3 / v2 / v1 by stripping exactly the
-  // records each version appended — v4 one u8 has_quant flag, v3 one u64
-  // seen count + ⌈7/64⌉ = 1 mask word, v2 one u64 shard record — and
-  // rewriting the u32 version field. Every generation must load, agree on
-  // its version via inspect, and score bit-identically to the v4 file.
+TEST(SnapshotIO, CrossVersionLoadMatrixV1ToV5) {
+  // One snapshot, every on-disk generation: a current (unquantized, no
+  // IVF) v5 file shrinks to a byte-genuine v4 / v3 / v2 / v1 by stripping
+  // exactly the records each version appended — v5 one u8 has_ivf flag,
+  // v4 one u8 has_quant flag, v3 one u64 seen count + ⌈7/64⌉ = 1 mask
+  // word, v2 one u64 shard record — and rewriting the u32 version field.
+  // Every generation must load, agree on its version via inspect, and
+  // score bit-identically to the v5 file.
   Tiny t = make_tiny(73, "hdc", /*n_classes=*/7);
   serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/2);
   std::stringstream full;
   serve::save_snapshot(full, snap);
-  const std::string v4 = full.str();
-  ASSERT_EQ(v4.substr(v4.size() - 4), "PANS");
+  const std::string v5 = full.str();
+  ASSERT_EQ(v5.substr(v5.size() - 4), "PANS");
 
   auto downgrade = [&](std::uint32_t version, std::size_t strip) {
-    std::string bytes = v4;
+    std::string bytes = v5;
     bytes.erase(bytes.size() - 4 - strip, strip);
     bytes.replace(4, 4, reinterpret_cast<const char*>(&version), 4);
     return bytes;
   };
   const std::vector<std::pair<std::uint32_t, std::string>> matrix = {
-      {4, v4}, {3, downgrade(3, 1)}, {2, downgrade(2, 17)}, {1, downgrade(1, 25)}};
+      {5, v5},
+      {4, downgrade(4, 1)},
+      {3, downgrade(3, 2)},
+      {2, downgrade(2, 18)},
+      {1, downgrade(1, 26)}};
 
   const Tensor probe = probe_images(4, 0xC0DEULL);
   const Tensor want = snap.prototypes().score_float(snap.embed(probe));
@@ -390,6 +395,7 @@ TEST(SnapshotIO, CrossVersionLoadMatrixV1ToV4) {
                                    want),
               0.0f)
         << "v" << version << " scores diverged";
+    EXPECT_FALSE(loaded->has_ivf()) << "v" << version;
 
     std::istringstream in2(bytes);
     const auto info = serve::inspect_snapshot(in2);
@@ -408,7 +414,10 @@ TEST(SnapshotIO, TruncationInsideQuantRecordsAlwaysThrows) {
   serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/1);
   std::stringstream bare;
   serve::save_snapshot(bare, snap);
-  const std::size_t quant_begin = bare.str().size() - 4;  // after the has_quant flag
+  // Quant records sit between the has_quant flag and the v5 has_ivf flag,
+  // so in the unquantized file their future position is 5 bytes from the
+  // end (has_ivf u8 + "PANS").
+  const std::size_t quant_begin = bare.str().size() - 4 - 1;
 
   util::Rng rng(80);
   snap.quantize(Tensor::randn({16, 3, 32, 32}, rng), nn::CalibMethod::kEntropy);
@@ -437,7 +446,9 @@ TEST(SnapshotIO, QuantRecordCorruptionNeverLoadsQuietly) {
   serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/1);
   std::stringstream bare;
   serve::save_snapshot(bare, snap);
-  const std::size_t table_off = bare.str().size() - 4;  // standalone table starts here
+  // Standalone table starts right after has_quant — 5 bytes from the end
+  // of the bare file (v5 has_ivf u8 + "PANS").
+  const std::size_t table_off = bare.str().size() - 4 - 1;
 
   util::Rng rng(84);
   snap.quantize(Tensor::randn({16, 3, 32, 32}, rng));
@@ -466,6 +477,16 @@ serve::ServerConfig fast_cfg() {
   return cfg;
 }
 
+/// One request through the status-based submit surface, resolved.
+serve::InferResult submit_one(serve::ModelRegistry& registry, const std::string& key,
+                              Tensor input) {
+  serve::InferRequest req;
+  req.model_key = key;
+  req.input = std::move(input);
+  req.k = 1;
+  return registry.submit(std::move(req)).get();
+}
+
 TEST(ModelRegistry, NeverRegistersAHalfLoadedModel) {
   Tiny t = make_tiny(41);
   serve::ModelSnapshot snap(t.model, t.a);
@@ -483,8 +504,10 @@ TEST(ModelRegistry, NeverRegistersAHalfLoadedModel) {
   write_file(path, bytes);
   registry.load_file("m", path);
   EXPECT_TRUE(registry.has("m"));
-  EXPECT_EQ(registry.classify("m", probe_images(1).reshape({3, 32, 32})).label,
-            registry.engine("m")->classify_batch(probe_images(1))[0].label);
+  const serve::InferResult r = submit_one(registry, "m", probe_images(1).reshape({3, 32, 32}));
+  ASSERT_EQ(r.status, serve::InferStatus::kOk);
+  ASSERT_FALSE(r.topk.empty());
+  EXPECT_EQ(r.topk[0].label, registry.engine("m")->classify_batch(probe_images(1))[0].label);
 }
 
 TEST(ModelRegistry, RoutesRequestsByKey) {
@@ -505,24 +528,31 @@ TEST(ModelRegistry, RoutesRequestsByKey) {
     Tensor one({3, 32, 32});
     std::copy(probe.data() + i * one.numel(), probe.data() + (i + 1) * one.numel(),
               one.data());
-    const auto pa = registry.classify("a", one);
-    const auto pb = registry.classify("b", one.clone());
-    EXPECT_EQ(pa.label, expect_a[i].label);
-    EXPECT_FLOAT_EQ(pa.score, expect_a[i].score);
-    EXPECT_EQ(pb.label, expect_b[i].label);
-    EXPECT_FLOAT_EQ(pb.score, expect_b[i].score);
+    const serve::InferResult pa = submit_one(registry, "a", one);
+    const serve::InferResult pb = submit_one(registry, "b", one.clone());
+    ASSERT_EQ(pa.status, serve::InferStatus::kOk);
+    ASSERT_EQ(pb.status, serve::InferStatus::kOk);
+    ASSERT_FALSE(pa.topk.empty());
+    ASSERT_FALSE(pb.topk.empty());
+    EXPECT_EQ(pa.topk[0].label, expect_a[i].label);
+    EXPECT_FLOAT_EQ(pa.topk[0].score, expect_a[i].score);
+    EXPECT_EQ(pb.topk[0].label, expect_b[i].label);
+    EXPECT_FLOAT_EQ(pb.topk[0].score, expect_b[i].score);
   }
 
-  EXPECT_THROW(registry.classify_async("missing", probe_images(1).reshape({3, 32, 32})),
-               serve::ModelNotFound);
+  // Unknown keys are a named status, not an exception (the wire contract).
+  EXPECT_EQ(submit_one(registry, "missing", probe_images(1).reshape({3, 32, 32})).status,
+            serve::InferStatus::kBadModel);
   EXPECT_TRUE(registry.unload("a"));
   EXPECT_FALSE(registry.unload("a"));
   EXPECT_FALSE(registry.has("a"));
-  EXPECT_THROW(registry.classify_async("a", probe_images(1).reshape({3, 32, 32})),
-               serve::ModelNotFound);
+  EXPECT_EQ(submit_one(registry, "a", probe_images(1).reshape({3, 32, 32})).status,
+            serve::InferStatus::kBadModel);
   // "b" is untouched by "a"'s unload.
-  EXPECT_EQ(registry.classify("b", probe_images(1).reshape({3, 32, 32})).label,
-            expect_b[0].label);
+  const serve::InferResult rb = submit_one(registry, "b", probe_images(1).reshape({3, 32, 32}));
+  ASSERT_EQ(rb.status, serve::InferStatus::kOk);
+  ASSERT_FALSE(rb.topk.empty());
+  EXPECT_EQ(rb.topk[0].label, expect_b[0].label);
 }
 
 TEST(ModelRegistry, ServesThroughConcurrentHotLoadAndUnload) {
@@ -535,20 +565,24 @@ TEST(ModelRegistry, ServesThroughConcurrentHotLoadAndUnload) {
   registry.load("hot", snap_a);
 
   // Client threads storm the "hot" key while the control thread swaps the
-  // model behind it and churns a side key. Requests racing a swap may be
-  // rejected (ServerOverloaded, as on any overloaded server) but every
-  // accepted request must resolve — no deadlock, no lost futures.
+  // model behind it and churns a side key. Requests racing a swap may come
+  // back kShutdown / kOverloaded (a stopping runtime rejects, as on any
+  // overloaded server) but every future must resolve with a named status —
+  // no deadlock, no lost futures, no exceptions.
   const std::size_t per_client = 60;
   std::atomic<std::size_t> ok{0}, rejected{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < 2; ++c) {
     clients.emplace_back([&] {
       for (std::size_t r = 0; r < per_client; ++r) {
-        try {
-          auto fut = registry.classify_async("hot", probe_images(1, 100 + r).reshape({3, 32, 32}));
-          fut.get();
+        const serve::InferResult res =
+            submit_one(registry, "hot", probe_images(1, 100 + r).reshape({3, 32, 32}));
+        if (res.ok()) {
           ++ok;
-        } catch (const serve::ServerOverloaded&) {
+        } else {
+          EXPECT_TRUE(res.status == serve::InferStatus::kShutdown ||
+                      res.status == serve::InferStatus::kOverloaded)
+              << infer_status_name(res.status);
           ++rejected;
         }
       }
@@ -566,7 +600,48 @@ TEST(ModelRegistry, ServesThroughConcurrentHotLoadAndUnload) {
   EXPECT_TRUE(registry.has("hot"));
   EXPECT_FALSE(registry.has("side"));
   // The registry still serves after the churn.
-  EXPECT_NO_THROW(registry.classify("hot", probe_images(1).reshape({3, 32, 32})));
+  EXPECT_EQ(submit_one(registry, "hot", probe_images(1).reshape({3, 32, 32})).status,
+            serve::InferStatus::kOk);
+}
+
+TEST(ModelRegistry, UnloadWhileInflightResolvesEveryFuture) {
+  // Queue a burst of accepted requests, then rip the model out from under
+  // them. unload() drains the runtime, so every already-accepted future
+  // must resolve with a named status — served (kOk) or rejected by the
+  // stopping runtime (kShutdown) — never hang, never throw.
+  Tiny t = make_tiny(61);
+  auto snap = std::make_shared<const serve::ModelSnapshot>(t.model, t.a);
+  serve::ServerConfig cfg = fast_cfg();
+  cfg.batch.max_delay_ms = 2.0;  // hold a window open so a backlog builds
+  serve::ModelRegistry registry(cfg);
+  registry.load("doomed", snap);
+
+  std::vector<std::future<serve::InferResult>> futures;
+  for (std::size_t r = 0; r < 32; ++r) {
+    serve::InferRequest req;
+    req.model_key = "doomed";
+    req.input = probe_images(1, 700 + r).reshape({3, 32, 32});
+    req.k = 1;
+    futures.push_back(registry.submit(std::move(req)));
+  }
+  ASSERT_TRUE(registry.unload("doomed"));
+  EXPECT_FALSE(registry.has("doomed"));
+
+  std::size_t ok = 0, shutdown = 0;
+  for (auto& f : futures) {
+    const serve::InferResult res = f.get();  // must resolve, not hang
+    if (res.ok()) {
+      EXPECT_EQ(res.topk.size(), 1u);
+      ++ok;
+    } else {
+      EXPECT_EQ(res.status, serve::InferStatus::kShutdown) << infer_status_name(res.status);
+      ++shutdown;
+    }
+  }
+  EXPECT_EQ(ok + shutdown, 32u);
+  // The key is gone: a fresh submit resolves kBadModel, again by status.
+  EXPECT_EQ(submit_one(registry, "doomed", probe_images(1).reshape({3, 32, 32})).status,
+            serve::InferStatus::kBadModel);
 }
 
 }  // namespace
