@@ -1,0 +1,188 @@
+// Live-evolution benchmark: classes-appended-per-second *while serving*.
+//
+// Builds a large-label-space snapshot (default 100k classes — the regime
+// where the copy-on-write slab design earns its keep), serves it through
+// the ModelRegistry under continuous embedding-query traffic, and times a
+// run of online appends (`ModelRegistry::append_classes`, the same path
+// the HDCN kAppendClasses admin frame lands on). Reported per append:
+// encode ϕ(a) + slab append + shard rebuild + checksum chain + publish.
+//
+// The interesting number is not the mean but the shape: the *first*
+// append pays the one-time ×2 slab reallocation (a loaded snapshot's
+// store is exact-fit), every later append within capacity structurally
+// shares planes and should be far cheaper. Both are reported.
+//
+// Traffic threads run the whole time; any non-kOk response is a failure —
+// live evolution that drops requests is not live.
+//
+// Gates (defaults keep local runs informational):
+//   --min-appends-per-sec=X   floor on sustained appends/s, measured over
+//                             the whole run including the realloc append
+//                             (CI passes 1.0 at 100k classes). Setting the
+//                             gate also requires zero request failures.
+//
+//   ./bench_evolution [--classes=100000] [--dim=64] [--alpha=24]
+//                     [--expansion=2] [--appends=16] [--batch=8]
+//                     [--traffic-threads=2] [--k=10] [--shards=4]
+//                     [--json=BENCH_evolve.json] [--min-appends-per-sec=0]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/zsc_model.hpp"
+#include "data/attribute_space.hpp"
+#include "serve/model_registry.hpp"
+#include "tensor/tensor.hpp"
+#include "util/config.hpp"
+#include "util/timer.hpp"
+
+using namespace hdczsc;
+
+int main(int argc, char** argv) {
+  util::ArgMap args(argc, argv);
+  const std::size_t classes = static_cast<std::size_t>(args.get_int("classes", 100000));
+  const std::size_t dim = static_cast<std::size_t>(args.get_int("dim", 64));
+  const std::size_t alpha = static_cast<std::size_t>(args.get_int("alpha", 24));
+  const std::size_t expansion = static_cast<std::size_t>(args.get_int("expansion", 2));
+  const std::size_t n_appends = static_cast<std::size_t>(args.get_int("appends", 16));
+  const std::size_t batch = static_cast<std::size_t>(args.get_int("batch", 8));
+  const std::size_t n_traffic = static_cast<std::size_t>(args.get_int("traffic-threads", 2));
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 10));
+  const std::size_t shards = static_cast<std::size_t>(args.get_int("shards", 4));
+  util::Timer wall;
+
+  // -- build: frozen model + C-class snapshot --------------------------------
+  util::Rng rng(0xE70BE9CULL);
+  core::ImageEncoderConfig icfg;
+  icfg.arch = "resnet_micro_flat";
+  icfg.proj_dim = dim;
+  auto img = std::make_unique<core::ImageEncoder>(icfg, rng);
+  data::AttributeSpace space = data::AttributeSpace::toy(alpha, 1, 1);
+  auto attr = std::make_unique<core::HdcAttributeEncoder>(space, img->dim(), rng);
+  auto model = std::make_shared<core::ZscModel>(std::move(img), std::move(attr), 4.0f);
+
+  util::Timer build_t;
+  auto snapshot = std::make_shared<const serve::ModelSnapshot>(
+      model, tensor::Tensor::randn({classes, alpha}, rng), expansion, shards);
+  const double build_s = build_t.seconds();
+  std::printf("built %zu-class snapshot (dim=%zu, expansion=%zu): %.2f s\n", classes, dim,
+              expansion, build_s);
+
+  serve::ServerConfig cfg;
+  cfg.n_workers = 2;
+  cfg.batch.max_batch = 16;
+  cfg.batch.max_delay_ms = 0.2;
+  cfg.batch.max_queue_depth = 1 << 16;
+  serve::ModelRegistry registry(cfg);
+  registry.load("evolve", snapshot, serve::ScoringMode::kBinaryHamming);
+
+  // -- serve: continuous embedding traffic -----------------------------------
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0}, failed{0};
+  std::vector<std::thread> traffic;
+  for (std::size_t t = 0; t < n_traffic; ++t) {
+    traffic.emplace_back([&, t] {
+      util::Rng trng(0x7AFF1CULL + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::InferRequest req;
+        req.model_key = "evolve";
+        req.input = tensor::Tensor::randn({dim}, trng);
+        req.k = static_cast<std::uint32_t>(k);
+        const serve::InferResult r = registry.submit(std::move(req)).get();
+        (r.ok() ? served : failed).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Warm the pipeline before the timed section.
+  while (served.load() + failed.load() < n_traffic * 4) std::this_thread::yield();
+
+  // -- the timed section: online appends under load --------------------------
+  std::vector<double> append_ms(n_appends, 0.0);
+  util::Rng arng(0xADDC1A55ULL);
+  util::Timer run_t;
+  for (std::size_t a = 0; a < n_appends; ++a) {
+    const tensor::Tensor attrs = tensor::Tensor::randn({batch, alpha}, arng);
+    util::Timer t;
+    registry.append_classes("evolve", attrs);
+    append_ms[a] = t.seconds() * 1e3;
+  }
+  const double run_s = run_t.seconds();
+  stop.store(true);
+  for (auto& t : traffic) t.join();
+  const auto engine = registry.engine("evolve");
+  registry.stop_all();
+  const double appends_per_sec = static_cast<double>(n_appends) / run_s;
+  const double classes_per_sec = static_cast<double>(n_appends * batch) / run_s;
+  std::vector<double> sorted = append_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double p50 = sorted[sorted.size() / 2];
+  const double worst = sorted.back();
+
+  std::printf("\nappends under load: %zu x %zu classes in %.3f s\n", n_appends, batch, run_s);
+  std::printf("  appends/s            %.2f\n", appends_per_sec);
+  std::printf("  classes/s            %.2f\n", classes_per_sec);
+  std::printf("  first (realloc) ms   %.2f\n", append_ms.front());
+  std::printf("  p50 (shared) ms      %.2f\n", p50);
+  std::printf("  worst ms             %.2f\n", worst);
+  std::printf("  final version        %llu (%zu classes)\n",
+              static_cast<unsigned long long>(engine->store_version()), engine->n_classes());
+  std::printf("  requests served      %llu (failed %llu)\n",
+              static_cast<unsigned long long>(served.load()),
+              static_cast<unsigned long long>(failed.load()));
+
+  if (args.has("json")) {
+    const std::string json_path = args.get_str("json", "BENCH_evolve.json");
+    FILE* j = std::fopen(json_path.c_str(), "w");
+    if (!j) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(j, "{\n");
+    std::fprintf(j, "  \"bench\": \"evolution\",\n");
+    std::fprintf(j,
+                 "  \"config\": {\"classes\": %zu, \"dim\": %zu, \"alpha\": %zu, "
+                 "\"expansion\": %zu, \"appends\": %zu, \"batch\": %zu, "
+                 "\"traffic_threads\": %zu, \"shards\": %zu},\n",
+                 classes, dim, alpha, expansion, n_appends, batch, n_traffic, shards);
+    std::fprintf(j, "  \"build_seconds\": %.3f,\n", build_s);
+    std::fprintf(j,
+                 "  \"appends\": {\"per_sec\": %.3f, \"classes_per_sec\": %.3f, "
+                 "\"first_ms\": %.3f, \"p50_ms\": %.3f, \"worst_ms\": %.3f},\n",
+                 appends_per_sec, classes_per_sec, append_ms.front(), p50, worst);
+    std::fprintf(j, "  \"final\": {\"version\": %llu, \"classes\": %zu},\n",
+                 static_cast<unsigned long long>(engine->store_version()),
+                 engine->n_classes());
+    std::fprintf(j, "  \"traffic\": {\"served\": %llu, \"failed\": %llu}\n",
+                 static_cast<unsigned long long>(served.load()),
+                 static_cast<unsigned long long>(failed.load()));
+    std::fprintf(j, "}\n");
+    std::fclose(j);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  // -- acceptance gates ------------------------------------------------------
+  const double min_aps = args.get_double("min-appends-per-sec", 0.0);
+  int rc = 0;
+  if (min_aps > 0.0) {
+    std::printf("appends/s: %.2f (gate >= %.2f: %s)\n", appends_per_sec, min_aps,
+                appends_per_sec >= min_aps ? "PASS" : "FAIL");
+    if (appends_per_sec < min_aps) {
+      std::fprintf(stderr, "FAIL: %.2f appends/s below required %.2f\n", appends_per_sec,
+                   min_aps);
+      rc = 1;
+    }
+    if (failed.load() != 0) {
+      std::fprintf(stderr, "FAIL: %llu requests failed during live evolution\n",
+                   static_cast<unsigned long long>(failed.load()));
+      rc = 1;
+    }
+  } else {
+    std::printf("appends/s: %.2f (informational — no gate set)\n", appends_per_sec);
+  }
+  std::printf("wall time: %.1f s\n", wall.seconds());
+  return rc;
+}

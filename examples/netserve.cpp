@@ -18,6 +18,12 @@
 // few requests through the pipelined client, printing statuses:
 //       ./netserve --connect=HOST:PORT [--requests=8] [--dim=256]
 //                  [--key=m0] [--k=1] [--send-images] [--image-size=32]
+//                  [--append-classes=N --alpha=A [--append-seen=K]]
+//   --append-classes sends one admin-plane kAppendClasses frame first:
+//   N random attribute rows of width --alpha (the model's attribute
+//   dimension) grow the served label space live — the response carries
+//   the newly published store version, and the inference stream that
+//   follows can rank the appended labels.
 //   Requests carry random embeddings of width --dim (the model's projection
 //   dimension); a width mismatch comes back as a named kBadShape status —
 //   useful for checking a deployment end to end without a dataset.
@@ -85,6 +91,36 @@ int run_client(const util::ArgMap& args, const std::string& connect) {
     return 1;
   }
   std::printf("netserve: connected to %s (ping ok)\n", connect.c_str());
+
+  // Admin plane: grow the served model before streaming inference at it.
+  const std::size_t n_append = static_cast<std::size_t>(args.get_int("append-classes", 0));
+  if (n_append > 0) {
+    const std::size_t alpha = static_cast<std::size_t>(args.get_int("alpha", 0));
+    if (alpha == 0) {
+      std::fprintf(stderr, "netserve: --append-classes needs --alpha=A (the model's "
+                           "attribute dimension; a mismatch comes back as a named status)\n");
+      return 2;
+    }
+    const std::size_t n_seen = static_cast<std::size_t>(args.get_int("append-seen", 0));
+    util::Rng arng(0xAD0BEULL);
+    net::AppendRequest areq;
+    areq.model_key = key;
+    areq.attributes = nn::Tensor::randn({n_append, alpha}, arng);
+    if (n_seen > 0) {
+      areq.seen_flags.assign(n_append, 0);
+      for (std::size_t i = 0; i < std::min(n_seen, n_append); ++i) areq.seen_flags[i] = 1;
+    }
+    const net::AppendResult ar = client.append_classes(std::move(areq));
+    if (ar.status == serve::InferStatus::kOk) {
+      std::printf("netserve: appended %zu classes -> store version %llu (%llu classes)\n",
+                  n_append, static_cast<unsigned long long>(ar.version),
+                  static_cast<unsigned long long>(ar.n_classes));
+    } else {
+      std::printf("netserve: append failed: %s: %s\n", serve::infer_status_name(ar.status),
+                  ar.message.c_str());
+      return 1;
+    }
+  }
 
   // Pipelined streaming: every request is in flight before the first
   // response is awaited; the reader thread matches them by request_id.

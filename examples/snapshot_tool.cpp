@@ -29,6 +29,14 @@
 //       Building is deterministic, so the persisted index always matches
 //       what a server would have built; persisting just moves the k-means
 //       cost from every cold start to this one-time step.
+//   ./snapshot_tool --append=model.hdcsnap --out=new.hdcdelta
+//                   [--classes=N] [--seen=K] [--seed=S]
+//       grow the artifact by N synthetic classes (first K marked seen) and
+//       write the .hdcdelta append record — the file a running server
+//       applies live via ModelRegistry::load_file without a restart.
+//   ./snapshot_tool --compact=model.hdcsnap --deltas=D1[,D2...] --out=full.hdcsnap
+//       apply a delta chain offline and write the equivalent full v6
+//       artifact (bitwise the chain's end state, version counter advanced).
 #include <algorithm>
 #include <cstdio>
 
@@ -100,6 +108,44 @@ void print_info(const std::string& path) {
              info.has_ivf
                  ? std::to_string(info.n_centroids) + " centroids (persisted assignments)"
                  : (info.version < 5 ? "none (pre-v5: built at load)" : "none (built at load)")});
+  if (info.has_partition) {
+    t.add_row({"gzsl penalty", info.version < 6
+                                   ? "none persisted (pre-v6)"
+                                   : util::Table::num(info.calibrated_penalty, 4) +
+                                         " (calibrated, " + std::to_string(info.n_seen) +
+                                         " seen / " +
+                                         std::to_string(info.n_classes - info.n_seen) +
+                                         " unseen)"});
+  }
+  if (info.version >= 6) {
+    t.add_row({"store version", std::to_string(info.store_version)});
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(info.content_checksum));
+    t.add_row({"content checksum", hex});
+  }
+  if (info.has_ivf && !info.ivf_list_sizes.empty()) {
+    // Coarse-list balance at a glance: min / median / max plus a coarse
+    // occupancy histogram (how many lists fall in each size band).
+    std::vector<std::size_t> sizes = info.ivf_list_sizes;
+    std::sort(sizes.begin(), sizes.end());
+    const std::size_t lo = sizes.front(), hi = sizes.back();
+    const std::size_t med = sizes[sizes.size() / 2];
+    t.add_row({"ivf list sizes", "min " + std::to_string(lo) + ", median " +
+                                     std::to_string(med) + ", max " + std::to_string(hi)});
+    const std::size_t n_bands = std::min<std::size_t>(5, hi - lo + 1);
+    const std::size_t band = (hi - lo) / n_bands + 1;
+    for (std::size_t b = 0; b < n_bands; ++b) {
+      const std::size_t b_lo = lo + b * band;
+      const std::size_t b_hi = std::min(hi, b_lo + band - 1);
+      if (b_lo > hi) break;
+      const std::size_t count = static_cast<std::size_t>(
+          std::count_if(sizes.begin(), sizes.end(),
+                        [&](std::size_t s) { return s >= b_lo && s <= b_hi; }));
+      t.add_row({"  lists of " + std::to_string(b_lo) + ".." + std::to_string(b_hi),
+                 std::to_string(count) + " " + std::string(count, '#')});
+    }
+  }
   t.print();
 }
 
@@ -194,6 +240,76 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.has("append")) {
+    const std::string in = args.get_str("append", "");
+    const std::string out = args.get_str("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr,
+                   "snapshot_tool: --append needs --out=PATH for the .hdcdelta artifact\n");
+      return 2;
+    }
+    const std::size_t n_new = static_cast<std::size_t>(args.get_int("classes", 4));
+    const std::size_t n_seen_new = static_cast<std::size_t>(args.get_int("seen", 0));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+    auto snap = serve::load_snapshot_file(in);
+    const std::size_t alpha = snap->class_attributes().size(1);
+    // The engine's version 0 *is* the base artifact's state; appending in
+    // process and diffing the two pinned versions yields a delta that any
+    // server holding the same artifact can apply bit-identically.
+    const serve::InferenceEngine engine(snap);
+    const auto base = engine.pin();
+    util::Rng rng(seed ^ 0xADDC1A55ULL);
+    const nn::Tensor attrs = nn::Tensor::randn({n_new, alpha}, rng);
+    std::vector<std::uint8_t> flags;
+    if (n_seen_new > 0) {
+      flags.assign(n_new, 0);
+      for (std::size_t i = 0; i < std::min(n_seen_new, n_new); ++i) flags[i] = 1;
+    }
+    const auto next = engine.append_classes(attrs, flags);
+    const serve::SnapshotDelta delta = serve::make_delta(*base, *next);
+    serve::save_delta_file(out, delta);
+    std::printf("appended %zu classes (%zu seen) to %s -> %s: base version %llu "
+                "(%llu classes, checksum %016llx) -> version %llu (checksum %016llx)\n",
+                n_new, std::min(n_seen_new, n_new), in.c_str(), out.c_str(),
+                static_cast<unsigned long long>(delta.base_version),
+                static_cast<unsigned long long>(delta.base_rows),
+                static_cast<unsigned long long>(delta.base_checksum),
+                static_cast<unsigned long long>(next->version),
+                static_cast<unsigned long long>(delta.new_checksum));
+    return 0;
+  }
+
+  if (args.has("compact")) {
+    const std::string in = args.get_str("compact", "");
+    const std::string out = args.get_str("out", "");
+    const std::string chain_arg = args.get_str("deltas", "");
+    if (out.empty() || chain_arg.empty()) {
+      std::fprintf(stderr, "snapshot_tool: --compact needs --deltas=D1[,D2...] and "
+                           "--out=PATH for the compacted v6 artifact\n");
+      return 2;
+    }
+    auto base = serve::load_snapshot_file(in);
+    std::vector<serve::SnapshotDelta> chain;
+    std::size_t start = 0;
+    while (start <= chain_arg.size()) {
+      const std::size_t comma = chain_arg.find(',', start);
+      const std::string piece =
+          chain_arg.substr(start, comma == std::string::npos ? std::string::npos
+                                                             : comma - start);
+      if (!piece.empty()) chain.push_back(serve::load_delta_file(piece));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    auto full = serve::compact_snapshot(*base, chain);
+    serve::save_snapshot_file(out, *full);
+    std::printf("compacted %s + %zu delta(s) -> %s: %zu classes at store version %llu\n",
+                in.c_str(), chain.size(), out.c_str(), full->n_classes(),
+                static_cast<unsigned long long>(full->store_version()));
+    print_info(out);
+    return 0;
+  }
+
   if (args.has("load")) {
     const std::string path = args.get_str("load", "");
     print_info(path);
@@ -232,7 +348,7 @@ int main(int argc, char** argv) {
         in_memory.prototypes().score_float(in_memory.embed(probe)),
         reloaded->prototypes().score_float(reloaded->embed(probe)));
     const bool packed_equal =
-        in_memory.prototypes().packed_words() == reloaded->prototypes().packed_words();
+        in_memory.prototypes().packed_copy() == reloaded->prototypes().packed_copy();
     std::printf("round-trip: float max |diff| = %g, packed binary rows %s -> %s\n",
                 static_cast<double>(diff), packed_equal ? "identical" : "DIVERGED",
                 diff == 0.0f && packed_equal ? "OK" : "FAIL");
@@ -246,6 +362,8 @@ int main(int argc, char** argv) {
                "usage: snapshot_tool --save=PATH [--classes=N --seed=S --expansion=K "
                "--epochs=E --shards=S --gzsl] | --load=PATH | --inspect=PATH | "
                "--quantize=PATH --out=PATH [--calib-method=minmax|entropy "
-               "--calib-images=N] | --build-ivf=PATH --out=PATH [--centroids=N]\n");
+               "--calib-images=N] | --build-ivf=PATH --out=PATH [--centroids=N] | "
+               "--append=PATH --out=DELTA [--classes=N --seen=K --seed=S] | "
+               "--compact=PATH --deltas=D1[,D2...] --out=PATH\n");
   return 2;
 }

@@ -10,7 +10,8 @@ fail=0
 # The documentation set the README promises.
 for required in README.md DESIGN.md ROADMAP.md CHANGES.md PAPER.md \
                 docs/snapshot_format.md docs/observability.md \
-                docs/protocol.md docs/quantization.md docs/retrieval.md; do
+                docs/protocol.md docs/quantization.md docs/retrieval.md \
+                docs/evolution.md; do
   if [ ! -f "$required" ]; then
     echo "MISSING required doc: $required"
     fail=1

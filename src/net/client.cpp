@@ -26,15 +26,42 @@ void NetClient::fail_all(const std::string& why) {
   dead_.store(true);
   std::map<std::uint64_t, std::promise<serve::InferResult>> pending;
   std::vector<std::promise<bool>> pings;
+  std::map<std::uint64_t, std::promise<AppendResult>> appends;
   {
     std::lock_guard<std::mutex> guard(pending_mu_);
     pending.swap(pending_);
+    appends.swap(pending_appends_);
     pings.swap(pending_pings_);
   }
   for (auto& [id, prom] : pending)
     prom.set_value(serve::make_error_result(id, serve::InferStatus::kTransport, why));
+  for (auto& [id, prom] : appends) {
+    AppendResult res;
+    res.request_id = id;
+    res.status = serve::InferStatus::kTransport;
+    res.message = why;
+    prom.set_value(std::move(res));
+  }
   for (auto& prom : pings) prom.set_value(false);
 }
+
+namespace {
+
+std::future<AppendResult> ready_append_result(AppendResult res) {
+  std::promise<AppendResult> prom;
+  prom.set_value(std::move(res));
+  return prom.get_future();
+}
+
+AppendResult append_error(std::uint64_t id, serve::InferStatus status, std::string why) {
+  AppendResult res;
+  res.request_id = id;
+  res.status = status;
+  res.message = std::move(why);
+  return res;
+}
+
+}  // namespace
 
 std::future<serve::InferResult> NetClient::submit(serve::InferRequest req) {
   if (dead_.load())
@@ -79,6 +106,52 @@ std::future<serve::InferResult> NetClient::submit(serve::InferRequest req) {
 
 serve::InferResult NetClient::infer(serve::InferRequest req) {
   return submit(std::move(req)).get();
+}
+
+std::future<AppendResult> NetClient::submit_append(AppendRequest req) {
+  if (dead_.load())
+    return ready_append_result(append_error(req.request_id, serve::InferStatus::kTransport,
+                                            "connection is closed"));
+  if (req.request_id == 0) req.request_id = next_id_.fetch_add(1);
+
+  std::future<AppendResult> fut;
+  {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    auto [it, inserted] =
+        pending_appends_.emplace(req.request_id, std::promise<AppendResult>{});
+    if (!inserted)
+      return ready_append_result(append_error(
+          req.request_id, serve::InferStatus::kBadRequest,
+          "request_id " + std::to_string(req.request_id) + " is already in flight"));
+    fut = it->second.get_future();
+  }
+
+  std::vector<char> frame;
+  try {
+    frame = encode_append_request_frame(req);
+  } catch (const ProtocolError& e) {
+    std::lock_guard<std::mutex> guard(pending_mu_);
+    auto it = pending_appends_.find(req.request_id);
+    if (it != pending_appends_.end()) {
+      it->second.set_value(append_error(req.request_id, e.status(), e.what()));
+      pending_appends_.erase(it);
+    }
+    return fut;
+  }
+
+  bool sent = false;
+  try {
+    std::lock_guard<std::mutex> guard(write_mu_);
+    sent = send_all(fd_.get(), frame.data(), frame.size());
+  } catch (const std::exception&) {
+    sent = false;
+  }
+  if (!sent) fail_all("connection lost while sending");
+  return fut;
+}
+
+AppendResult NetClient::append_classes(AppendRequest req) {
+  return submit_append(std::move(req)).get();
 }
 
 bool NetClient::ping() {
@@ -138,6 +211,28 @@ void NetClient::reader_loop() {
         }
       }
       if (have) prom.set_value(true);
+      continue;
+    }
+    if (header.type == FrameType::kAppendResponse) {
+      AppendResult res;
+      try {
+        res = decode_append_response_payload(payload.data(), payload.size());
+      } catch (const ProtocolError& e) {
+        fail_all(e.what());
+        return;
+      }
+      std::promise<AppendResult> prom;
+      bool have = false;
+      {
+        std::lock_guard<std::mutex> guard(pending_mu_);
+        auto it = pending_appends_.find(res.request_id);
+        if (it != pending_appends_.end()) {
+          prom = std::move(it->second);
+          pending_appends_.erase(it);
+          have = true;
+        }
+      }
+      if (have) prom.set_value(std::move(res));
       continue;
     }
     if (header.type != FrameType::kInferResponse) continue;  // tolerate unknown-but-valid

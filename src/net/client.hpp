@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "serve/infer.hpp"
 
@@ -53,6 +54,16 @@ class NetClient {
 
   /// Blocking round-trip: submit + wait.
   serve::InferResult infer(serve::InferRequest req);
+
+  /// Admin plane, pipelined: send an append-classes frame now, resolve the
+  /// future when the server's kAppendResponse with the matching request_id
+  /// arrives. Shares the connection's request-id namespace with inference.
+  std::future<AppendResult> submit_append(AppendRequest req);
+
+  /// Blocking admin round-trip: append classes to the served model and
+  /// wait for the published store version. Failures are named statuses on
+  /// the AppendResult, never exceptions.
+  AppendResult append_classes(AppendRequest req);
 
   /// Liveness probe: ping frame, wait for the pong. False once the
   /// connection is lost.
@@ -78,6 +89,7 @@ class NetClient {
 
   std::mutex pending_mu_;
   std::map<std::uint64_t, std::promise<serve::InferResult>> pending_;
+  std::map<std::uint64_t, std::promise<AppendResult>> pending_appends_;
   std::vector<std::promise<bool>> pending_pings_;  // FIFO: pongs are ordered
 
   std::thread reader_;

@@ -15,7 +15,7 @@ using tensor::io::read_string;
 using tensor::io::write_pod;
 using tensor::io::write_string;
 
-constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kPong);
+constexpr std::uint8_t kMaxFrameType = static_cast<std::uint8_t>(FrameType::kAppendResponse);
 constexpr std::uint8_t kMaxStatus = static_cast<std::uint8_t>(serve::InferStatus::kTransport);
 constexpr std::uint8_t kMaxScoring =
     static_cast<std::uint8_t>(serve::ScoringSelect::kBinaryHamming);
@@ -175,6 +175,61 @@ std::vector<char> encode_control_frame(FrameType type) {
   std::vector<char> frame(kHeaderBytes);
   encode_header(frame.data(), type, 0);
   return frame;
+}
+
+std::vector<char> encode_append_request_frame(const AppendRequest& req) {
+  std::ostringstream os;
+  write_string(os, req.model_key);
+  write_pod<std::uint64_t>(os, req.request_id);
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(req.seen_flags.size()));
+  os.write(reinterpret_cast<const char*>(req.seen_flags.data()),
+           static_cast<std::streamsize>(req.seen_flags.size()));
+  tensor::save_tensor(os, req.attributes);
+  return frame_from_payload(FrameType::kAppendClasses, os.str());
+}
+
+AppendRequest decode_append_request_payload(const char* data, std::size_t n) {
+  return decode_payload(data, n, "append request", [](std::istream& is) {
+    AppendRequest req;
+    req.model_key = read_string(is, "model key");
+    req.request_id = read_pod<std::uint64_t>(is, "request id");
+    const auto n_flags = read_pod<std::uint32_t>(is, "seen-flag count");
+    check_readable(is, n_flags, 1, "seen flags");
+    req.seen_flags.resize(n_flags);
+    is.read(reinterpret_cast<char*>(req.seen_flags.data()),
+            static_cast<std::streamsize>(n_flags));
+    if (!is) throw std::runtime_error("truncated seen flags");
+    req.attributes = tensor::load_tensor(is);
+    if (!req.seen_flags.empty() && req.attributes.dim() >= 1 &&
+        req.seen_flags.size() != static_cast<std::size_t>(req.attributes.size(0)))
+      throw std::runtime_error("seen-flag count disagrees with the attribute row count");
+    return req;
+  });
+}
+
+std::vector<char> encode_append_response_frame(const AppendResult& res) {
+  std::ostringstream os;
+  write_pod<std::uint64_t>(os, res.request_id);
+  write_pod<std::uint8_t>(os, static_cast<std::uint8_t>(res.status));
+  write_string(os, res.message);
+  write_pod<std::uint64_t>(os, res.version);
+  write_pod<std::uint64_t>(os, res.n_classes);
+  return frame_from_payload(FrameType::kAppendResponse, os.str());
+}
+
+AppendResult decode_append_response_payload(const char* data, std::size_t n) {
+  return decode_payload(data, n, "append response", [](std::istream& is) {
+    AppendResult res;
+    res.request_id = read_pod<std::uint64_t>(is, "request id");
+    const auto status = read_pod<std::uint8_t>(is, "status");
+    if (status > kMaxStatus)
+      throw std::runtime_error("unknown status code " + std::to_string(status));
+    res.status = static_cast<serve::InferStatus>(status);
+    res.message = read_string(is, "message");
+    res.version = read_pod<std::uint64_t>(is, "store version");
+    res.n_classes = read_pod<std::uint64_t>(is, "class count");
+    return res;
+  });
 }
 
 }  // namespace hdczsc::net

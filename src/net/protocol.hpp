@@ -48,6 +48,8 @@ enum class FrameType : std::uint8_t {
   kInferResponse = 2,
   kPing = 3,  ///< empty payload; the server echoes kPong (liveness probe)
   kPong = 4,
+  kAppendClasses = 5,   ///< admin plane: append classes to a served model
+  kAppendResponse = 6,  ///< server's reply to kAppendClasses
 };
 
 struct FrameHeader {
@@ -104,15 +106,43 @@ class imemstream : private std::streambuf, public std::istream {
 void encode_header(char* buf, FrameType type, std::uint32_t payload_bytes);
 FrameHeader decode_header(const char* buf);
 
+/// Admin-plane append request: grow the model under `model_key` by the
+/// attribute rows [n, α] (encoded server-side with the model's frozen
+/// attribute encoder). `seen_flags` is empty (all-unseen) or one byte per
+/// row (non-zero = seen). request_id correlates the kAppendResponse, with
+/// the same client-assigned-when-0 convention as inference.
+struct AppendRequest {
+  std::string model_key;
+  std::uint64_t request_id = 0;
+  tensor::Tensor attributes;
+  std::vector<std::uint8_t> seen_flags;
+};
+
+/// Reply to an AppendRequest. On kOk, `version` is the just-published
+/// store version and `n_classes` the grown label-space size; on any error
+/// status nothing was published and both echo the pre-call state (0 when
+/// the model key never resolved).
+struct AppendResult {
+  std::uint64_t request_id = 0;
+  serve::InferStatus status = serve::InferStatus::kOk;
+  std::string message;
+  std::uint64_t version = 0;
+  std::uint64_t n_classes = 0;
+};
+
 /// Whole-frame encoders (header + payload, ready to send).
 std::vector<char> encode_request_frame(const serve::InferRequest& req);
 std::vector<char> encode_response_frame(const serve::InferResult& res);
 std::vector<char> encode_control_frame(FrameType type);  // kPing / kPong
+std::vector<char> encode_append_request_frame(const AppendRequest& req);
+std::vector<char> encode_append_response_frame(const AppendResult& res);
 
 /// Payload decoders (the transport strips the header). Throw ProtocolError
 /// kBadFrame on any malformation — truncation, declared-length lies,
 /// trailing bytes.
 serve::InferRequest decode_request_payload(const char* data, std::size_t n);
 serve::InferResult decode_response_payload(const char* data, std::size_t n);
+AppendRequest decode_append_request_payload(const char* data, std::size_t n);
+AppendResult decode_append_response_payload(const char* data, std::size_t n);
 
 }  // namespace hdczsc::net

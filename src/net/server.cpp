@@ -269,7 +269,8 @@ void NetServer::dispatch_frame(const std::shared_ptr<Conn>& conn, FrameHeader he
       queue_frame(conn, encode_control_frame(FrameType::kPong), false);
       return;
     case FrameType::kPong:
-    case FrameType::kInferResponse: {
+    case FrameType::kInferResponse:
+    case FrameType::kAppendResponse: {
       // A client has no business sending these; framing is suspect.
       protocol_errors_->add();
       queue_frame(conn,
@@ -277,6 +278,10 @@ void NetServer::dispatch_frame(const std::shared_ptr<Conn>& conn, FrameHeader he
                       0, serve::InferStatus::kBadFrame, "unexpected frame type from client")),
                   true);
       conn->discard_input = true;
+      return;
+    }
+    case FrameType::kAppendClasses: {
+      handle_append(conn, header, payload);
       return;
     }
     case FrameType::kInferRequest:
@@ -307,6 +312,37 @@ void NetServer::dispatch_frame(const std::shared_ptr<Conn>& conn, FrameHeader he
                                       SteadyClock::now() - started)
                                       .count());
                    });
+}
+
+void NetServer::handle_append(const std::shared_ptr<Conn>& conn, FrameHeader header,
+                              const char* payload) {
+  AppendResult res;
+  AppendRequest req;
+  try {
+    req = decode_append_request_payload(payload, header.payload_bytes);
+  } catch (const ProtocolError& e) {
+    protocol_errors_->add();
+    res.status = e.status();
+    res.message = e.what();
+    queue_frame(conn, encode_append_response_frame(res), true);
+    conn->discard_input = true;
+    return;
+  }
+  res.request_id = req.request_id;
+  try {
+    res.version = registry_.append_classes(req.model_key, req.attributes, req.seen_flags);
+    res.n_classes = registry_.engine(req.model_key)->n_classes();
+  } catch (const serve::ModelNotFound& e) {
+    res.status = serve::InferStatus::kBadModel;
+    res.message = e.what();
+  } catch (const std::invalid_argument& e) {
+    res.status = serve::InferStatus::kBadRequest;
+    res.message = e.what();
+  } catch (const std::exception& e) {
+    res.status = serve::InferStatus::kInternal;
+    res.message = e.what();
+  }
+  queue_frame(conn, encode_append_response_frame(res), false);
 }
 
 void NetServer::queue_frame(const std::shared_ptr<Conn>& conn, std::vector<char> frame,

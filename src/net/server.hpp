@@ -87,6 +87,13 @@ class NetServer {
   bool handle_writable(const std::shared_ptr<Conn>& conn);
   void dispatch_frame(const std::shared_ptr<Conn>& conn, FrameHeader header,
                       const char* payload);
+  /// Admin plane: decode a kAppendClasses payload, run the registry append
+  /// synchronously (version construction is serialized engine-side; the
+  /// data plane keeps answering off the previous version throughout), and
+  /// queue the kAppendResponse. Every failure is a named status on the
+  /// response — nothing published, the connection stays up.
+  void handle_append(const std::shared_ptr<Conn>& conn, FrameHeader header,
+                     const char* payload);
   /// Append one frame to the connection's write buffer and arm EPOLLOUT.
   /// Static on purpose: serving-worker completion callbacks call it after
   /// NetServer::stop() may have returned (stop does not wait for in-flight

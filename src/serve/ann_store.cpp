@@ -209,7 +209,7 @@ IvfIndex::IvfIndex(const PrototypeStore& base, std::size_t n_centroids, std::siz
           : n_centroids;
   cc = std::clamp<std::size_t>(cc, 1, rows);
 
-  const float* P = base.normalized_prototypes().data();
+  const float* P = base.float_rows();
   util::Rng rng(seed);
   const std::vector<std::size_t> perm = rng.permutation(rows);
 
@@ -358,7 +358,7 @@ void IvfIndex::repack_codes() {
   const std::size_t wpr = base_->words_per_row();
   const std::size_t wp = prefix_words_;
   const std::size_t ws = wpr - wp;
-  const std::uint64_t* packed = base_->packed_words().data();
+  const std::uint64_t* packed = base_->packed_data();
   codes_prefix_.resize(rows * wp);
   codes_suffix_.resize(rows * ws);
   for (std::size_t i = 0; i < rows; ++i) {
@@ -435,7 +435,7 @@ std::vector<std::vector<TopK>> IvfIndex::topk_float(const tensor::Tensor& embedd
   const float scale = base_->scale();
   const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
   const float* E = e_hat.data();
-  const float* P = base_->normalized_prototypes().data();
+  const float* P = base_->float_rows();
   const bool penalized = penalty && penalty->active();
   const std::size_t kk = std::min(k, n_rows());
 
@@ -602,7 +602,7 @@ std::vector<std::vector<TopK>> IvfIndex::topk_cascade(const tensor::Tensor& embe
 
   const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
   const float* E = e_hat.data();
-  const float* P = base_->normalized_prototypes().data();
+  const float* P = base_->float_rows();
 
   // Probe in the float domain (the rerank needs e_hat anyway).
   std::vector<float> cdots(batch * cc, 0.0f);

@@ -78,7 +78,7 @@ class IvfIndex {
   /// v5 writer would have persisted.
   static constexpr std::uint64_t kBuildSeed = 0x1BF5EEDULL;
 
-  /// Build by spherical k-means over `base.normalized_prototypes()`.
+  /// Build by spherical k-means over the store's normalized float rows.
   /// `n_centroids` == 0 picks ~√C (clamped to [1, C]). `base` must outlive
   /// this index (ModelSnapshot owns both for the serving stack).
   explicit IvfIndex(const PrototypeStore& base, std::size_t n_centroids = 0,

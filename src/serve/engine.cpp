@@ -1,18 +1,24 @@
 #include "serve/engine.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
+#include "serve/snapshot_io.hpp"
 #include "tensor/ops.hpp"
 #include "util/timer.hpp"
 
 namespace hdczsc::serve {
 
 namespace {
-const ModelSnapshot& deref(const std::shared_ptr<const ModelSnapshot>& snapshot) {
-  if (!snapshot) throw std::invalid_argument("InferenceEngine: null snapshot");
-  return *snapshot;
+
+tensor::Tensor concat_rows(const tensor::Tensor& a, const tensor::Tensor& b) {
+  tensor::Tensor out({a.size(0) + b.size(0), a.size(1)});
+  std::copy(a.data(), a.data() + a.numel(), out.data());
+  std::copy(b.data(), b.data() + b.numel(), out.data() + a.numel());
+  return out;
 }
+
 }  // namespace
 
 std::string scoring_mode_name(ScoringMode mode) {
@@ -33,31 +39,56 @@ Precision precision_from_name(const std::string& name) {
 InferenceEngine::InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
                                  ScoringMode mode, std::size_t n_shards, float seen_penalty,
                                  Precision precision, RetrievalMode retrieval,
-                                 std::size_t nprobe, std::size_t rerank)
+                                 std::size_t nprobe, std::size_t rerank,
+                                 std::shared_ptr<const GzslCalibration> calibration)
     : snapshot_(std::move(snapshot)),
       mode_(mode),
       precision_(precision),
-      // Both arguments null-check through deref: their evaluation order is
-      // unspecified, so neither may touch snapshot_ bare.
-      sharded_(deref(snapshot_).prototypes(),
-               n_shards == 0 ? deref(snapshot_).preferred_shards() : n_shards),
-      penalty_(snapshot_->prototypes().resolve_penalty(seen_penalty,
-                                                       snapshot_->seen_mask())),
+      cfg_penalty_(seen_penalty),
       retrieval_(retrieval),
       nprobe_(nprobe),
-      rerank_(rerank) {
+      rerank_(rerank),
+      calibration_(std::move(calibration)) {
+  if (!snapshot_) throw std::invalid_argument("InferenceEngine: null snapshot");
   if (precision_ == Precision::kInt8 && !snapshot_->has_quantized())
     throw std::invalid_argument(
         "InferenceEngine: int8 precision requested but the snapshot carries no quantized "
         "artifact (quantize it, or load a v4 .hdcsnap with quantization records)");
+  shard_target_ = n_shards == 0 ? snapshot_->preferred_shards() : n_shards;
+
+  // Version 0 of this engine's lineage: the snapshot's state, re-bundled.
+  auto v = std::make_shared<StoreVersion>();
+  v->version = snapshot_->store_version();
+  v->store = snapshot_->store_ptr();
+  v->seen_mask = snapshot_->seen_mask();
+  v->n_seen = v->seen_mask.empty() ? 0 : snapshot_->n_seen();
+  v->class_attributes = snapshot_->class_attributes();
+  v->sharded = std::make_shared<const ShardedPrototypeStore>(*v->store, shard_target_);
   if (retrieval_ != RetrievalMode::kExact) {
     // Adopt the snapshot's persisted index (v5 .hdcsnap) when there is
     // one; otherwise cluster here — deterministic, so a rebuilt index
     // matches what a v5 writer would have saved for this store.
-    ivf_ = snapshot_->has_ivf()
-               ? snapshot_->ivf()
-               : std::make_shared<const IvfIndex>(snapshot_->prototypes());
+    v->ivf = snapshot_->has_ivf() ? snapshot_->ivf()
+                                  : std::make_shared<const IvfIndex>(*v->store);
   }
+  v->penalty =
+      v->store->resolve_penalty(effective_penalty(*v->store, v->seen_mask), v->seen_mask);
+  v->content_checksum = content_checksum(*v->store, v->seen_mask);
+  version_ = std::move(v);
+}
+
+float InferenceEngine::effective_penalty(const PrototypeStore& store,
+                                         const std::vector<std::uint8_t>& seen_mask) const {
+  if (calibration_)
+    return calibrate_seen_penalty(store, seen_mask, *calibration_,
+                                  mode_ == ScoringMode::kBinaryHamming);
+  if (cfg_penalty_ != 0.0f) return cfg_penalty_;
+  return snapshot_->calibrated_penalty();
+}
+
+std::shared_ptr<const StoreVersion> InferenceEngine::pin() const {
+  std::shared_lock lock(ver_mu_);
+  return version_;
 }
 
 tensor::Tensor InferenceEngine::embed_inputs(const tensor::Tensor& inputs,
@@ -85,10 +116,10 @@ tensor::Tensor InferenceEngine::logits(const tensor::Tensor& inputs,
   double embed_ms = 0.0;
   tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
   util::Timer clock;
-  const PrototypeStore& store = snapshot_->prototypes();
+  const std::shared_ptr<const StoreVersion> ver = pin();  // one version per batch
   tensor::Tensor out = mode_ == ScoringMode::kFloatCosine
-                           ? store.score_float(emb, penalty_ptr())
-                           : store.score_binary(emb, penalty_ptr());
+                           ? ver->store->score_float(emb, ver->penalty_ptr())
+                           : ver->store->score_binary(emb, ver->penalty_ptr());
   if (timings) {
     timings->embed_ms = embed_ms;
     timings->score_ms = clock.millis();
@@ -96,22 +127,24 @@ tensor::Tensor InferenceEngine::logits(const tensor::Tensor& inputs,
   return out;
 }
 
-std::vector<std::vector<TopK>> InferenceEngine::topk_embedded(const tensor::Tensor& emb,
+std::vector<std::vector<TopK>> InferenceEngine::topk_embedded(const StoreVersion& ver,
+                                                              const tensor::Tensor& emb,
                                                               std::size_t k) const {
   switch (retrieval_) {
     case RetrievalMode::kIvf:
       return mode_ == ScoringMode::kFloatCosine
-                 ? ivf_->topk_float(emb, k, nprobe_, penalty_ptr())
-                 : ivf_->topk_binary(emb, k, nprobe_, penalty_ptr());
+                 ? ver.ivf->topk_float(emb, k, nprobe_, ver.penalty_ptr())
+                 : ver.ivf->topk_binary(emb, k, nprobe_, ver.penalty_ptr());
     case RetrievalMode::kCascade:
       // Cascade scores are float-domain regardless of the engine's scoring
       // mode: the binary stage only prefilters, the rerank decides.
-      return ivf_->topk_cascade(emb, k, nprobe_, rerank_, penalty_ptr());
+      return ver.ivf->topk_cascade(emb, k, nprobe_, rerank_, ver.penalty_ptr());
     case RetrievalMode::kExact:
       break;
   }
-  return mode_ == ScoringMode::kFloatCosine ? sharded_.topk_float(emb, k, penalty_ptr())
-                                            : sharded_.topk_binary(emb, k, penalty_ptr());
+  return mode_ == ScoringMode::kFloatCosine
+             ? ver.sharded->topk_float(emb, k, ver.penalty_ptr())
+             : ver.sharded->topk_binary(emb, k, ver.penalty_ptr());
 }
 
 std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor& inputs,
@@ -120,7 +153,8 @@ std::vector<std::vector<TopK>> InferenceEngine::topk_batch(const tensor::Tensor&
   double embed_ms = 0.0;
   tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
   util::Timer clock;
-  auto out = topk_embedded(emb, k);
+  const std::shared_ptr<const StoreVersion> ver = pin();  // one version per batch
+  auto out = topk_embedded(*ver, emb, k);
   if (timings) {
     timings->embed_ms = embed_ms;
     timings->score_ms = clock.millis();
@@ -139,24 +173,25 @@ std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& in
   double embed_ms = 0.0;
   tensor::Tensor emb = embed_inputs(inputs, &embed_ms);
   util::Timer clock;
+  const std::shared_ptr<const StoreVersion> ver = pin();  // one version per batch
 
   std::vector<Prediction> out;
-  if (retrieval_ != RetrievalMode::kExact || sharded_.n_shards() > 1) {
+  if (retrieval_ != RetrievalMode::kExact || ver->sharded->n_shards() > 1) {
     // Approximate tiers and the sharded store: classify is the k = 1
     // retrieval — no [B, C] logits materialization, no full-width argmax
     // sweep. An IVF probe can in principle come back empty (every probed
     // list empty); that degenerates to "no prediction", reported as label
     // 0 with a -inf score rather than UB.
-    const auto hits = topk_embedded(emb, 1);
+    const auto hits = topk_embedded(*ver, emb, 1);
     out.resize(hits.size());
     for (std::size_t b = 0; b < hits.size(); ++b)
       out[b] = hits[b].empty()
                    ? Prediction{0, -std::numeric_limits<float>::infinity()}
                    : Prediction{hits[b][0].label, hits[b][0].score};
   } else {
-    const PrototypeStore& store = snapshot_->prototypes();
-    tensor::Tensor p = mode_ == ScoringMode::kFloatCosine ? store.score_float(emb, penalty_ptr())
-                                                          : store.score_binary(emb, penalty_ptr());
+    tensor::Tensor p = mode_ == ScoringMode::kFloatCosine
+                           ? ver->store->score_float(emb, ver->penalty_ptr())
+                           : ver->store->score_binary(emb, ver->penalty_ptr());
     const std::size_t classes = p.size(1);
     const std::vector<std::size_t> best = tensor::argmax_rows(p);
     out.resize(best.size());
@@ -169,6 +204,121 @@ std::vector<Prediction> InferenceEngine::classify_batch(const tensor::Tensor& in
     timings->score_ms = clock.millis();
   }
   return out;
+}
+
+std::shared_ptr<const StoreVersion> InferenceEngine::publish_appended(
+    const std::shared_ptr<const StoreVersion>& cur,
+    std::shared_ptr<const PrototypeStore> new_store, std::vector<std::uint8_t> new_mask,
+    tensor::Tensor new_attrs, std::vector<std::uint32_t> ivf_assignments) const {
+  auto v = std::make_shared<StoreVersion>();
+  v->version = cur->version + 1;
+  v->store = std::move(new_store);
+  v->seen_mask = std::move(new_mask);
+  for (std::uint8_t m : v->seen_mask) v->n_seen += m != 0;
+  v->class_attributes = std::move(new_attrs);
+  v->sharded = std::make_shared<const ShardedPrototypeStore>(*v->store, shard_target_);
+  if (cur->ivf)
+    v->ivf = std::make_shared<const IvfIndex>(IvfIndex::from_parts(
+        *v->store, cur->ivf->centroids(), std::move(ivf_assignments)));
+  v->penalty =
+      v->store->resolve_penalty(effective_penalty(*v->store, v->seen_mask), v->seen_mask);
+  // Checksums chain: only the new rows are hashed. The base rows' seen
+  // bytes are unchanged by mask materialization (empty mask and all-1s mask
+  // hash identically), so the extension equals a from-scratch checksum.
+  v->content_checksum =
+      extend_content_checksum(cur->content_checksum, *v->store, v->seen_mask,
+                              cur->n_classes());
+  std::unique_lock lock(ver_mu_);
+  version_ = v;
+  return v;
+}
+
+std::shared_ptr<const StoreVersion> InferenceEngine::append_classes(
+    const tensor::Tensor& attributes, const std::vector<std::uint8_t>& seen_flags) const {
+  // encode_attributes validates the [n, α] shape before the lock is taken.
+  const tensor::Tensor phi = snapshot_->encode_attributes(attributes);
+  const std::size_t n_new = phi.size(0);
+  if (!seen_flags.empty() && seen_flags.size() != n_new)
+    throw std::invalid_argument("InferenceEngine::append_classes: " +
+                                std::to_string(seen_flags.size()) + " seen flags for " +
+                                std::to_string(n_new) + " appended classes");
+
+  std::lock_guard evolve(evolve_mu_);
+  const std::shared_ptr<const StoreVersion> cur = pin();
+  auto new_store =
+      std::make_shared<const PrototypeStore>(cur->store->append_rows(phi));
+  std::vector<std::uint8_t> new_mask =
+      extend_seen_mask(cur->seen_mask, cur->n_classes(), seen_flags, n_new);
+  std::vector<std::uint32_t> assignments;
+  if (cur->ivf)
+    assignments = extend_ivf_assignments(cur->ivf->centroids(), cur->ivf->assignments(),
+                                         *new_store, cur->n_classes());
+  return publish_appended(cur, std::move(new_store), std::move(new_mask),
+                          concat_rows(cur->class_attributes, attributes),
+                          std::move(assignments));
+}
+
+std::shared_ptr<const StoreVersion> InferenceEngine::append_delta(
+    const SnapshotDelta& delta) const {
+  std::lock_guard evolve(evolve_mu_);
+  const std::shared_ptr<const StoreVersion> cur = pin();
+  if (delta.base_rows != cur->n_classes() || delta.base_version != cur->version)
+    throw std::invalid_argument(
+        "InferenceEngine::append_delta: delta expects base version " +
+        std::to_string(delta.base_version) + " with " + std::to_string(delta.base_rows) +
+        " classes, but version " + std::to_string(cur->version) + " with " +
+        std::to_string(cur->n_classes()) + " classes is serving");
+  if (delta.base_checksum != cur->content_checksum)
+    throw std::runtime_error(
+        "InferenceEngine::append_delta: base content checksum mismatch — the delta was "
+        "written against different store content");
+  const std::size_t n_new = delta.normalized_rows.size(0);
+  if (delta.attributes.dim() != 2 || delta.attributes.size(0) != n_new ||
+      delta.attributes.size(1) != cur->class_attributes.size(1))
+    throw std::invalid_argument(
+        "InferenceEngine::append_delta: attribute rows disagree with the delta's "
+        "prototype rows");
+  if (!delta.seen_flags.empty() && delta.seen_flags.size() != n_new)
+    throw std::invalid_argument(
+        "InferenceEngine::append_delta: seen-flag count disagrees with the delta's rows");
+  if (delta.has_ivf && delta.ivf_assignments.size() != n_new)
+    throw std::invalid_argument(
+        "InferenceEngine::append_delta: IVF assignment count disagrees with the delta's "
+        "rows");
+
+  // Adopt the serialized rows verbatim — bitwise what the writer appended.
+  auto new_store = std::make_shared<const PrototypeStore>(
+      cur->store->append_parts(delta.normalized_rows, delta.packed_words));
+  std::vector<std::uint8_t> new_mask =
+      extend_seen_mask(cur->seen_mask, cur->n_classes(), delta.seen_flags, n_new);
+  const std::uint64_t chained =
+      extend_content_checksum(cur->content_checksum, *new_store, new_mask,
+                              cur->n_classes());
+  if (chained != delta.new_checksum)
+    throw std::runtime_error(
+        "InferenceEngine::append_delta: content checksum mismatch after append (corrupt "
+        "delta payload) — keeping the current version");
+
+  std::vector<std::uint32_t> assignments;
+  if (cur->ivf) {
+    if (delta.has_ivf) {
+      assignments = cur->ivf->assignments();
+      assignments.reserve(new_store->n_classes());
+      const std::size_t cc = cur->ivf->n_centroids();
+      for (std::uint32_t a : delta.ivf_assignments) {
+        if (a >= cc)
+          throw std::invalid_argument(
+              "InferenceEngine::append_delta: IVF assignment out of centroid range");
+        assignments.push_back(a);
+      }
+    } else {
+      assignments = extend_ivf_assignments(cur->ivf->centroids(), cur->ivf->assignments(),
+                                           *new_store, cur->n_classes());
+    }
+  }
+  return publish_appended(cur, std::move(new_store), std::move(new_mask),
+                          concat_rows(cur->class_attributes, delta.attributes),
+                          std::move(assignments));
 }
 
 }  // namespace hdczsc::serve

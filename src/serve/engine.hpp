@@ -1,9 +1,10 @@
-// Inference engine: stateless execution wrapper over a ModelSnapshot.
+// Inference engine: execution wrapper over a ModelSnapshot that serves an
+// *evolving* label space through immutable store versions.
 //
 // classify_batch runs the eval-mode embed once for the whole batch — the
 // CNN backbone does one whole-batch im2col + blocked GEMM per conv layer,
 // so batching speeds up the embed itself, not just what follows — then
-// scores against the frozen prototype store via either
+// scores against the pinned prototype store via either
 //  * kFloatCosine   — s · cosine(e, ϕ(A)), bit-identical to
 //                     ZscModel::class_logits in eval mode, or
 //  * kBinaryHamming — sign-binarized query vs. bit-packed prototypes,
@@ -17,11 +18,14 @@
 //    ranking equals the flat path's full argsort. classify_batch is the
 //    k = 1 case and routes through the sharded scan when n_shards > 1.
 //
-// GZSL serving: when the snapshot carries a seen/unseen partition, the
-// `seen_penalty` knob applies calibrated stacking — the constant is
-// subtracted from every seen-class logit on *both* scoring paths (as an
-// exact integer Hamming-domain offset on the binary path where possible),
-// consistently across logits / topk_batch / classify_batch.
+// GZSL serving: when the version carries a seen/unseen partition, the
+// calibrated-stacking penalty is subtracted from every seen-class logit on
+// *both* scoring paths (as an exact integer Hamming-domain offset on the
+// binary path where possible), consistently across logits / topk_batch /
+// classify_batch. The penalty source, in precedence order: a
+// GzslCalibration validation split (auto-recalibrated on load and after
+// every append), the explicit `seen_penalty` knob, the snapshot's
+// persisted calibrated penalty (v6 .hdcsnap).
 //
 // Approximate retrieval: `retrieval` selects the top-k tier (ann_store.hpp)
 // — kExact scans every row (the default, results equal the flat argsort);
@@ -30,19 +34,45 @@
 // stage. The engine reuses the snapshot's persisted IVF index (v5
 // .hdcsnap) or builds one deterministically at construction. logits() is
 // always exact — the full [B, C] matrix has no approximate form.
-// Thread-safe: all state is read-only after construction (the sharded
-// store's and IVF index's telemetry counters are atomic).
+//
+// -- live model evolution -----------------------------------------------------
+//
+// Everything a scoring path reads is bundled in an immutable StoreVersion
+// (store_version.hpp) behind one shared_ptr. Every entrypoint pins
+// *exactly one* version for its whole batch (pin() — a shared-lock
+// pointer copy), so a batch scored while append_classes() publishes
+// version k+1 is bit-identical to exact scoring over the version k it
+// pinned: versions are never mutated, and the copy-on-write store slabs
+// guarantee even structurally shared rows are bitwise stable.
+//
+// append_classes() encodes ϕ(a) for the new attribute rows with the
+// snapshot's frozen attribute encoder, appends them to the store
+// (structural sharing), extends the seen mask (new classes default
+// unseen), re-derives the sharded view, extends the IVF assignment vector
+// by nearest centroid (no re-clustering), recalibrates the GZSL penalty,
+// extends the content checksum, and publishes the new version with one
+// shared_ptr swap. append_delta() does the same from a persisted
+// SnapshotDelta (snapshot_io.hpp), validating the delta's base
+// row-count/version/checksum first — a mismatched or corrupt delta throws
+// *before* anything is published (strong guarantee). Appends are
+// logically-const (the registry shares engines as shared_ptr<const>);
+// concurrent appends serialize on an internal mutex.
 #pragma once
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "serve/ann_store.hpp"
 #include "serve/sharded_store.hpp"
 #include "serve/snapshot.hpp"
+#include "serve/store_version.hpp"
 
 namespace hdczsc::serve {
+
+struct SnapshotDelta;  // serve/snapshot_io.hpp
 
 enum class ScoringMode { kFloatCosine, kBinaryHamming };
 
@@ -76,13 +106,14 @@ class InferenceEngine {
   ///
   /// `seen_penalty` is the GZSL calibrated-stacking knob (Chao et al.
   /// 2016, the serving-side form of Trainer::evaluate_gzsl): it is
-  /// subtracted from every *seen*-class logit — per the snapshot's
+  /// subtracted from every *seen*-class logit — per the version's
   /// partition mask — on both scoring paths, in logits(), topk_batch()
   /// and classify_batch() alike. On the binary path the handicap runs as
   /// an exact integer Hamming-domain offset whenever one exists, so the
   /// sharded integer-key selection stays exact (see SeenPenalty). 0
-  /// disables it; a snapshot without a partition treats every class as
-  /// seen, making the handicap a uniform, ranking-neutral shift.
+  /// defers to `calibration` (when given) or the snapshot's persisted
+  /// calibrated penalty; a snapshot without a partition treats every class
+  /// as seen, making the handicap a uniform, ranking-neutral shift.
   /// `precision` selects the embed stage's numeric path; kInt8 throws
   /// std::invalid_argument at construction when the snapshot carries no
   /// quantized artifact (fail at load, not on the first request).
@@ -93,11 +124,17 @@ class InferenceEngine {
   /// index default, ~Cc/8) bounds the probed coarse lists; `rerank` is the
   /// cascade's candidate budget multiplier (rerank·k binary survivors get
   /// float-reranked; 0 = unbounded, every probed row).
+  ///
+  /// `calibration` is the held-out GZSL validation split: when non-null,
+  /// the seen penalty is swept against it at construction and after every
+  /// append (overriding `seen_penalty`), so evolving label spaces keep a
+  /// calibrated decision rule without operator intervention.
   InferenceEngine(std::shared_ptr<const ModelSnapshot> snapshot,
                   ScoringMode mode = ScoringMode::kFloatCosine, std::size_t n_shards = 0,
                   float seen_penalty = 0.0f, Precision precision = Precision::kFloat32,
                   RetrievalMode retrieval = RetrievalMode::kExact, std::size_t nprobe = 0,
-                  std::size_t rerank = 4);
+                  std::size_t rerank = 4,
+                  std::shared_ptr<const GzslCalibration> calibration = nullptr);
 
   /// Wall time of one batch forward split at the embed/score boundary —
   /// the two stages the per-request tracer (obs/trace.hpp) reports
@@ -108,10 +145,11 @@ class InferenceEngine {
     double score_ms = 0.0;
   };
 
-  /// Full logits [B, C] via the flat store scan. `inputs` is either an
-  /// image batch [B, 3, S, S] (embedded by the backbone) or a
-  /// pre-computed embedding batch [B, d] (split inference: the backbone
-  /// ran on the client/edge, only the prototype scan runs here).
+  /// Full logits [B, C] via the flat store scan (C = the pinned version's
+  /// class count). `inputs` is either an image batch [B, 3, S, S]
+  /// (embedded by the backbone) or a pre-computed embedding batch [B, d]
+  /// (split inference: the backbone ran on the client/edge, only the
+  /// prototype scan runs here).
   tensor::Tensor logits(const tensor::Tensor& inputs, BatchTimings* timings = nullptr) const;
 
   /// Top-k (label, score) hits per input, ordered by (score desc, label
@@ -127,6 +165,30 @@ class InferenceEngine {
   std::vector<Prediction> classify_batch(const tensor::Tensor& inputs,
                                          BatchTimings* timings = nullptr) const;
 
+  /// Pin the current store version: an O(1) shared-lock pointer copy.
+  /// Every scoring entrypoint pins exactly once per batch; callers needing
+  /// multi-call consistency (telemetry, exactness tests) pin their own.
+  std::shared_ptr<const StoreVersion> pin() const;
+
+  /// Append classes online: encode ϕ(a) for `attributes` [n, α], build
+  /// the next store version (see file comment) and publish it atomically.
+  /// `seen_flags`, when non-empty, must have n entries (non-zero = seen);
+  /// empty marks every new class unseen — the zero-shot default. Returns
+  /// the published version. Thread-safe; concurrent appends serialize,
+  /// in-flight batches keep their pinned versions. Throws
+  /// std::invalid_argument on shape mismatch (nothing published).
+  std::shared_ptr<const StoreVersion> append_classes(
+      const tensor::Tensor& attributes, const std::vector<std::uint8_t>& seen_flags = {}) const;
+
+  /// Apply a persisted delta-snapshot record (snapshot_io.hpp): validates
+  /// the delta's base rows/version/content-checksum against the *current*
+  /// version and its own end-state checksum, then appends the delta's
+  /// pre-normalized rows and packed words verbatim — so the resulting
+  /// version is bitwise the one the delta writer serialized. Throws
+  /// std::invalid_argument / std::runtime_error on any mismatch, with the
+  /// previous version still serving (strong guarantee).
+  std::shared_ptr<const StoreVersion> append_delta(const SnapshotDelta& delta) const;
+
   ScoringMode mode() const { return mode_; }
   Precision precision() const { return precision_; }
   RetrievalMode retrieval() const { return retrieval_; }
@@ -134,13 +196,20 @@ class InferenceEngine {
   std::size_t nprobe() const { return nprobe_; }
   /// Cascade rerank budget multiplier (0 = unbounded).
   std::size_t rerank() const { return rerank_; }
-  /// The engine's IVF index — null iff retrieval() == kExact.
-  const std::shared_ptr<const IvfIndex>& ivf() const { return ivf_; }
-  std::size_t n_shards() const { return sharded_.n_shards(); }
-  /// Calibrated-stacking handicap subtracted from seen-class logits
+  /// The current version's IVF index — null iff retrieval() == kExact.
+  std::shared_ptr<const IvfIndex> ivf() const { return pin()->ivf; }
+  /// Current version counter (the `ver` registry column).
+  std::uint64_t store_version() const { return pin()->version; }
+  /// Current class count (grows with appends).
+  std::size_t n_classes() const { return pin()->n_classes(); }
+  std::size_t n_shards() const { return pin()->sharded->n_shards(); }
+  /// Calibrated-stacking handicap of the current version
   /// (0 = plain single-space serving).
-  float seen_penalty() const { return penalty_.penalty; }
-  const ShardedPrototypeStore& sharded_store() const { return sharded_; }
+  float seen_penalty() const { return pin()->penalty.penalty; }
+  /// Per-shard scan telemetry of the current version's sharded view.
+  std::vector<ShardedPrototypeStore::ShardInfo> shard_stats() const {
+    return pin()->sharded->shard_stats();
+  }
   const ModelSnapshot& snapshot() const { return *snapshot_; }
 
  private:
@@ -150,20 +219,41 @@ class InferenceEngine {
   /// (0 for the passthrough).
   tensor::Tensor embed_inputs(const tensor::Tensor& inputs, double* embed_ms) const;
 
-  /// Top-k over an already-embedded batch, routed by retrieval_ / mode_.
-  std::vector<std::vector<TopK>> topk_embedded(const tensor::Tensor& emb, std::size_t k) const;
+  /// Top-k over an already-embedded batch against one pinned version,
+  /// routed by retrieval_ / mode_.
+  std::vector<std::vector<TopK>> topk_embedded(const StoreVersion& ver,
+                                               const tensor::Tensor& emb, std::size_t k) const;
+
+  /// Resolve the effective GZSL penalty for a (store, mask) pair under the
+  /// engine's precedence: calibration split > explicit knob > snapshot's
+  /// persisted calibrated penalty.
+  float effective_penalty(const PrototypeStore& store,
+                          const std::vector<std::uint8_t>& seen_mask) const;
+
+  /// Shared append tail: build + publish the next version from the
+  /// already-appended store. Caller holds evolve_mu_.
+  std::shared_ptr<const StoreVersion> publish_appended(
+      const std::shared_ptr<const StoreVersion>& cur,
+      std::shared_ptr<const PrototypeStore> new_store, std::vector<std::uint8_t> new_mask,
+      tensor::Tensor new_attrs, std::vector<std::uint32_t> ivf_assignments) const;
 
   std::shared_ptr<const ModelSnapshot> snapshot_;
   ScoringMode mode_;
   Precision precision_;
-  ShardedPrototypeStore sharded_;
-  SeenPenalty penalty_;  // resolved once against the snapshot's store/mask
+  std::size_t shard_target_ = 0;  // ctor n_shards resolved (0 → snapshot preference)
+  float cfg_penalty_ = 0.0f;       // explicit seen_penalty knob
   RetrievalMode retrieval_ = RetrievalMode::kExact;
   std::size_t nprobe_ = 0;
   std::size_t rerank_ = 4;
-  std::shared_ptr<const IvfIndex> ivf_;  // set iff retrieval_ != kExact
+  std::shared_ptr<const GzslCalibration> calibration_;
 
-  const SeenPenalty* penalty_ptr() const { return penalty_.active() ? &penalty_ : nullptr; }
+  /// The published version. ver_mu_ is held shared for the O(1) pin copy
+  /// and exclusively only for the swap itself; evolve_mu_ serializes the
+  /// (potentially expensive) version *construction* so appenders never
+  /// build against a stale base.
+  mutable std::shared_mutex ver_mu_;
+  mutable std::shared_ptr<const StoreVersion> version_;
+  mutable std::mutex evolve_mu_;
 };
 
 }  // namespace hdczsc::serve

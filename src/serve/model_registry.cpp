@@ -1,6 +1,27 @@
 #include "serve/model_registry.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace hdczsc::serve {
+
+namespace {
+
+/// Evolution telemetry: the lineage counter as a gauge (scrapes show which
+/// version each replica serves) and a monotone appended-classes counter.
+void record_version_metrics(const std::string& key, std::uint64_t version,
+                            std::size_t appended) {
+  obs::default_registry()
+      .gauge("serve_store_version", {{"model", key}},
+             "store version counter of the currently served prototype state")
+      ->set(static_cast<double>(version));
+  if (appended > 0)
+    obs::default_registry()
+        .counter("serve_classes_appended_total", {{"model", key}},
+                 "classes appended to live models")
+        ->add(appended);
+}
+
+}  // namespace
 
 ModelRegistry::ModelRegistry(ServerConfig default_cfg) : default_cfg_(default_cfg) {}
 
@@ -20,7 +41,8 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
   if (rcfg.name.empty()) rcfg.name = key;
   auto engine = std::make_shared<const InferenceEngine>(
       std::move(snapshot), mode, rcfg.n_shards, rcfg.seen_penalty, rcfg.backbone_precision,
-      rcfg.retrieval, rcfg.nprobe, rcfg.rerank);
+      rcfg.retrieval, rcfg.nprobe, rcfg.rerank, rcfg.gzsl_calibration);
+  record_version_metrics(rcfg.name, engine->store_version(), 0);
   auto runtime = std::make_shared<ServerRuntime>(std::move(engine), rcfg);
   runtime->start();
 
@@ -38,9 +60,29 @@ void ModelRegistry::load(const std::string& key, std::shared_ptr<const ModelSnap
 
 void ModelRegistry::load_file(const std::string& key, const std::string& path,
                               ScoringMode mode, std::optional<ServerConfig> cfg) {
+  if (is_delta_file(path)) {
+    // Live append onto the already-registered runtime. Every validation —
+    // parse, base identity triple, end-state checksum — throws *before*
+    // the engine publishes, so the previously served version keeps
+    // answering (the strong guarantee, even under concurrent readers).
+    const std::shared_ptr<ServerRuntime> runtime = find(key);
+    const SnapshotDelta delta = load_delta_file(path);
+    const auto ver = runtime->engine().append_delta(delta);
+    record_version_metrics(key, ver->version, delta.n_new());
+    return;
+  }
   // load_snapshot_file throws on corruption *before* the registry is
   // touched — a half-loaded model is never registered.
   load(key, load_snapshot_file(path), mode, cfg);
+}
+
+std::uint64_t ModelRegistry::append_classes(const std::string& key,
+                                            const tensor::Tensor& attributes,
+                                            const std::vector<std::uint8_t>& seen_flags) {
+  const std::shared_ptr<ServerRuntime> runtime = find(key);
+  const auto ver = runtime->engine().append_classes(attributes, seen_flags);
+  record_version_metrics(key, ver->version, attributes.size(0));
+  return ver->version;
 }
 
 bool ModelRegistry::unload(const std::string& key) {
@@ -129,11 +171,11 @@ std::vector<obs::TraceSpan> ModelRegistry::slow_traces(const std::string& key) c
 
 std::vector<ShardedPrototypeStore::ShardInfo> ModelRegistry::shard_stats(
     const std::string& key) const {
-  return find(key)->engine().sharded_store().shard_stats();
+  return find(key)->engine().shard_stats();
 }
 
 std::optional<IvfIndex::ProbeStats> ModelRegistry::ann_stats(const std::string& key) const {
-  const auto& ivf = find(key)->engine().ivf();
+  const auto ivf = find(key)->engine().ivf();
   if (!ivf) return std::nullopt;
   return ivf->probe_stats();
 }
@@ -150,23 +192,26 @@ util::Table ModelRegistry::to_table(const std::string& title) const {
     entries.assign(models_.begin(), models_.end());
   }
   util::Table t(title);
-  t.set_header({"key", "scoring", "prec", "retr", "classes", "shards", "penalty", "completed",
-                "rejected", "req/s", "q-wait ms", "p50 ms", "p99 ms", "p999 ms", "seen",
-                "unseen", "H(dom)"});
+  t.set_header({"key", "scoring", "prec", "retr", "ver", "classes", "shards", "penalty",
+                "completed", "rejected", "req/s", "q-wait ms", "p50 ms", "p99 ms", "p999 ms",
+                "seen", "unseen", "H(dom)"});
   for (const auto& [key, runtime] : entries) {
     const auto s = runtime->stats().summary();
     const InferenceEngine& engine = runtime->engine();
-    // GZSL columns only carry signal for partitioned snapshots: without a
+    // One pinned version per row, so the ver / classes / penalty columns
+    // are mutually consistent even while an append is publishing.
+    const std::shared_ptr<const StoreVersion> ver = engine.pin();
+    // GZSL columns only carry signal for partitioned versions: without a
     // partition every decision counts as seen and H is identically 0.
-    const bool gzsl = engine.snapshot().has_partition();
+    const bool gzsl = ver->has_partition();
     t.add_row({key, scoring_mode_name(engine.mode()), precision_name(engine.precision()),
-               retrieval_mode_name(engine.retrieval()),
-               gzsl ? std::to_string(engine.snapshot().n_seen()) + "+" +
-                          std::to_string(engine.snapshot().n_unseen())
-                    : std::to_string(engine.snapshot().n_classes()),
-               std::to_string(engine.n_shards()),
-               gzsl || engine.seen_penalty() != 0.0f
-                   ? util::Table::num(engine.seen_penalty(), 2)
+               retrieval_mode_name(engine.retrieval()), std::to_string(ver->version),
+               gzsl ? std::to_string(ver->seen_count()) + "+" +
+                          std::to_string(ver->unseen_count())
+                    : std::to_string(ver->n_classes()),
+               std::to_string(ver->sharded->n_shards()),
+               gzsl || ver->penalty.penalty != 0.0f
+                   ? util::Table::num(ver->penalty.penalty, 2)
                    : "-",
                std::to_string(s.completed), std::to_string(s.rejected),
                util::Table::num(s.throughput_rps, 1),

@@ -56,11 +56,31 @@ class ModelRegistry {
             ScoringMode mode = ScoringMode::kFloatCosine,
             std::optional<ServerConfig> cfg = std::nullopt);
 
-  /// Deserialize a .hdcsnap and register it. On any read error the
-  /// exception propagates and the registry is untouched.
+  /// Deserialize a serving artifact and register (or evolve) `key`:
+  ///  * a full .hdcsnap loads as before — on any read error the exception
+  ///    propagates and the registry is untouched;
+  ///  * a .hdcdelta ("HDCD" magic) is applied *live* to the model already
+  ///    registered under `key` (ModelNotFound when there is none; `mode` /
+  ///    `cfg` are ignored — the runtime keeps its configuration). The
+  ///    strong guarantee holds end to end: a corrupt, truncated or
+  ///    mismatched delta throws before anything is published, and the
+  ///    previously served version keeps answering — even for readers
+  ///    concurrently mid-batch.
   void load_file(const std::string& key, const std::string& path,
                  ScoringMode mode = ScoringMode::kFloatCosine,
                  std::optional<ServerConfig> cfg = std::nullopt);
+
+  /// Append classes to a served model online: encodes ϕ(a) for the
+  /// attribute rows [n, α] with the model's frozen attribute encoder and
+  /// publishes the next store version atomically — in-flight batches keep
+  /// the version they pinned, every later batch sees the grown label
+  /// space. `seen_flags` (optional, one byte per row, non-zero = seen)
+  /// defaults to all-unseen. Returns the published version counter (also
+  /// exported as serve_store_version{model=key}; the row count feeds
+  /// serve_classes_appended_total). Throws ModelNotFound / shape errors
+  /// with nothing published.
+  std::uint64_t append_classes(const std::string& key, const tensor::Tensor& attributes,
+                               const std::vector<std::uint8_t>& seen_flags = {});
 
   /// Remove the model and drain its queue (every accepted request still
   /// completes). Returns false when the key was not registered.
@@ -97,10 +117,12 @@ class ModelRegistry {
   /// unload/replace of the key, so the caller keeps it alive.
   std::shared_ptr<const InferenceEngine> engine(const std::string& key) const;
 
-  /// One row per model: key, scoring mode, retrieval tier, classes
-  /// (seen+unseen for partitioned snapshots), shards, calibrated-stacking penalty,
-  /// completed/rejected, req/s, mean queue-wait, p50/p99/p999, and — for GZSL models — the
-  /// seen/unseen prediction counters with their harmonic domain balance.
+  /// One row per model: key, scoring mode, retrieval tier, store version,
+  /// classes (seen+unseen for partitioned versions), shards, calibrated-stacking
+  /// penalty, completed/rejected, req/s, mean queue-wait, p50/p99/p999, and — for
+  /// GZSL models — the seen/unseen prediction counters with their harmonic domain
+  /// balance. Version, class counts and penalty are read off each model's
+  /// *current* store version, so the table tracks live appends.
   util::Table to_table(const std::string& title = "model registry") const;
 
   /// Stop every runtime (drains all queues). Further requests are rejected;

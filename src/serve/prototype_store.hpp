@@ -1,4 +1,5 @@
-// Frozen class-prototype store for inference serving.
+// Frozen class-prototype store for inference serving — now a *versioned*
+// copy-on-write value that can grow while requests are in flight.
 //
 // At snapshot time the class prototype matrix ϕ(A) [C, d] is computed once
 // and stored in two forms:
@@ -23,6 +24,27 @@
 // Both paths multiply by the model's learned temperature scale s = 1/K so
 // their outputs are directly comparable to ZscModel::class_logits.
 //
+// -- copy-on-write slabs ------------------------------------------------------
+//
+// Zero-shot's whole point is that a new class is just one ϕ(a) row, so the
+// store supports structural-sharing appends: both planes (the float rows
+// and the packed binary words) live in *slabs* — allocations that may hold
+// more rows than the store's visible prefix [0, n_classes). A store value
+// is therefore (slab handles, visible row count): copying it is O(1) and
+// shares the slabs.
+//
+// append_rows / append_parts return a *new* store value with n more rows.
+// When the slab has spare capacity, the appender claims rows
+// [n_classes, n_classes + n) with one CAS on the slab's shared commit
+// counter and writes them in place — addresses no published store value
+// can read (every reader's prefix ends at or before the claim start), so
+// the write is race-free; the new value is made visible to other threads
+// only through an owning shared_ptr publication (see serve::StoreVersion),
+// whose release/acquire edge orders the row writes. When capacity is
+// exhausted (or another appender won the CAS), the planes are reallocated
+// with geometric headroom and the prefix is copied — the old value keeps
+// its slabs, so existing readers are never invalidated.
+//
 // score_float / score_binary are the *flat* scans: one sweep over all C
 // rows, materializing full [B, C] logits. For top-k retrieval over large
 // label spaces, serve/sharded_store.hpp partitions these same rows into
@@ -31,7 +53,9 @@
 // call when the caller wants every logit, e.g. for calibration).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "hdc/hypervector.hpp"
@@ -91,6 +115,24 @@ class PrototypeStore {
                                    std::vector<std::uint64_t> packed_words, float scale,
                                    std::size_t expansion, std::uint64_t lsh_seed);
 
+  /// Copy-on-write append of raw ϕ(a) rows [n, d]: returns a new store value
+  /// with n_classes() + n visible rows whose first n_classes() rows are
+  /// *bitwise* this store's rows (structurally shared when slab capacity
+  /// allows — see file comment). New rows are normalized and sign-packed
+  /// exactly as the building constructor would have (signs of the raw
+  /// components at expansion 1, signs of the shared LSH projection
+  /// otherwise), so the appended store is bitwise-identical to one built
+  /// cold from the concatenated prototype matrix. Thread-safe against
+  /// concurrent readers of any published store value and against concurrent
+  /// appenders (losers of the slab CAS reallocate).
+  PrototypeStore append_rows(const tensor::Tensor& raw_rows) const;
+
+  /// Append already-normalized rows + already-packed words verbatim (the
+  /// delta-snapshot load path) — same slab semantics as append_rows, nothing
+  /// recomputed, so a base + delta chain reconstitutes bit-identically.
+  PrototypeStore append_parts(const tensor::Tensor& normalized_rows,
+                              const std::vector<std::uint64_t>& packed_words) const;
+
   std::size_t n_classes() const { return n_classes_; }
   std::size_t dim() const { return dim_; }
   float scale() const { return scale_; }
@@ -99,6 +141,13 @@ class PrototypeStore {
   std::size_t expansion() const { return expansion_; }
   std::size_t words_per_row() const { return words_per_row_; }
   std::uint64_t lsh_seed() const { return lsh_seed_; }
+  /// Rows the slabs can hold before an append must reallocate.
+  std::size_t capacity_rows() const { return capacity_rows_; }
+  /// Whether two store values share the same underlying slabs (an appended
+  /// value that fit in capacity does; a reallocated one does not).
+  bool shares_planes_with(const PrototypeStore& o) const {
+    return float_plane_.shares_storage(o.float_plane_) && packed_plane_ == o.packed_plane_;
+  }
 
   /// Float cosine path: logits [B, C] = s · Ê P̂ᵀ from embeddings e [B, d].
   /// Bit-identical to SimilarityKernel::forward in eval mode. With a
@@ -127,32 +176,54 @@ class PrototypeStore {
   /// Encode one embedding row [d] into its D-bit binary code.
   hdc::BinaryHV encode_query(const float* row) const;
 
-  const tensor::Tensor& normalized_prototypes() const { return normalized_; }
-  /// Packed binary rows, `words_per_row()` words each, row-major.
-  const std::vector<std::uint64_t>& packed_words() const { return packed_; }
+  /// L2-normalized float rows, row-major with leading dimension dim() —
+  /// valid for the visible prefix [0, n_classes()). The slab may extend
+  /// beyond the prefix; never index past n_classes().
+  const float* float_rows() const { return float_plane_.data(); }
+  /// Packed binary rows, `words_per_row()` words each, row-major — same
+  /// visible-prefix contract as float_rows().
+  const std::uint64_t* packed_data() const { return packed_plane_->data(); }
+  /// Materialize the visible float rows as an owned [C, d] tensor
+  /// (serialization/diagnostics — the scan paths use float_rows()).
+  tensor::Tensor normalized_copy() const;
+  /// Materialize the visible packed words (serialization/diagnostics).
+  std::vector<std::uint64_t> packed_copy() const;
   /// Unpack row `i` (for diagnostics/tests).
   hdc::BinaryHV binary_prototype(std::size_t i) const;
 
-  /// Storage of the float store (normalized rows, fp32).
+  /// Storage of the float store (visible normalized rows, fp32).
   std::size_t float_bytes() const { return n_classes_ * dim_ * sizeof(float); }
-  /// Storage of the binary store (packed words only).
-  std::size_t binary_bytes() const { return packed_.size() * sizeof(std::uint64_t); }
+  /// Storage of the binary store (visible packed words only).
+  std::size_t binary_bytes() const {
+    return n_classes_ * words_per_row_ * sizeof(std::uint64_t);
+  }
 
  private:
-  PrototypeStore() = default;  // used by from_parts
+  PrototypeStore() = default;  // used by from_parts / append_impl
 
-  std::size_t n_classes_ = 0;
+  /// Shared-slab append core: claim rows via CAS when capacity allows,
+  /// else reallocate with geometric headroom + prefix copy.
+  PrototypeStore append_impl(const tensor::Tensor& normalized_rows,
+                             const std::vector<std::uint64_t>& packed_words) const;
+
+  std::size_t n_classes_ = 0;  // visible prefix of the slabs
   std::size_t dim_ = 0;
   std::size_t code_bits_ = 0;
   std::size_t expansion_ = 1;
   std::size_t words_per_row_ = 0;
   std::uint64_t lsh_seed_ = 0;
   float scale_ = 1.0f;
-  tensor::Tensor normalized_;          // [C, d], L2-normalized rows
-  tensor::Tensor projection_;          // [D, d] Rademacher (empty when expansion == 1)
-  std::vector<std::uint64_t> packed_;  // [C * words_per_row]
+  std::size_t capacity_rows_ = 0;  // rows the slabs can hold
+  tensor::Tensor float_plane_;     // [capacity, d] slab; rows [0, C) visible
+  tensor::Tensor projection_;      // [D, d] Rademacher (empty when expansion == 1)
+  /// Packed slab [capacity * words_per_row]; shared across appended values.
+  std::shared_ptr<std::vector<std::uint64_t>> packed_plane_;
+  /// Rows claimed in the shared slabs (>= any sharing value's n_classes_);
+  /// appenders CAS n_classes_ -> n_classes_ + n to claim the tail in place.
+  std::shared_ptr<std::atomic<std::size_t>> committed_;
 
-  void pack_rows(const tensor::Tensor& rows);
+  void init_planes(std::size_t rows);
+  void pack_rows_into(const tensor::Tensor& rows, std::size_t first_row, std::size_t n_rows);
 };
 
 }  // namespace hdczsc::serve

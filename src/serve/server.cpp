@@ -217,17 +217,21 @@ void ServerRuntime::worker_loop() {
 
       stats_.record_batch(good.size());
       // GZSL telemetry: count where the top-1 decisions landed in the
-      // seen/unseen partition. Only recorded for partitioned snapshots —
+      // seen/unseen partition. Only recorded for partitioned versions —
       // without one every label counts as seen, and an all-seen counter
       // would be indistinguishable from the one-domain collapse the
-      // balance metric exists to flag.
-      const ModelSnapshot& snap = engine_->snapshot();
-      if (snap.has_partition()) {
+      // balance metric exists to flag. The partition is read off a freshly
+      // pinned StoreVersion, not the snapshot: appended classes live past
+      // the snapshot's fixed-size mask, and any version at least as new as
+      // the one that scored the batch classifies its labels correctly
+      // (appends only extend the space, never re-partition existing rows).
+      const std::shared_ptr<const StoreVersion> ver = engine_->pin();
+      if (ver->has_partition()) {
         std::size_t seen = 0, decided = 0;
         for (const InferResult& r : results) {
           if (r.topk.empty()) continue;
           ++decided;
-          seen += snap.is_seen(r.topk[0].label);
+          seen += r.topk[0].label < ver->n_classes() && ver->is_seen(r.topk[0].label);
         }
         if (decided > 0) stats_.record_domains(seen, decided - seen);
       }

@@ -62,6 +62,11 @@ struct ServerConfig {
   /// float-reranked (0 = unbounded — every probed row). Ignored outside
   /// kCascade.
   std::size_t rerank = 4;
+  /// Held-out GZSL validation split (store_version.hpp): when set, the
+  /// engines ModelRegistry builds from this config auto-calibrate the seen
+  /// penalty against it — on load and again after every class append — and
+  /// `seen_penalty` above is ignored. Null = no auto-calibration.
+  std::shared_ptr<const GzslCalibration> gzsl_calibration;
   /// Metric namespace: non-empty registers this runtime's telemetry (stats
   /// and per-stage trace histograms) in obs::default_registry() under
   /// serve_*{model=name} so the exporters see it. ModelRegistry sets it to

@@ -96,7 +96,7 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_float(
   const float scale = base_->scale();
   const tensor::Tensor e_hat = tensor::l2_normalize_rows(embeddings);
   const float* E = e_hat.data();
-  const float* P = base_->normalized_prototypes().data();
+  const float* P = base_->float_rows();
   const bool penalized = penalty && penalty->active();
 
   // Scatter: one GEMM per shard over its row range of the normalized
@@ -178,7 +178,7 @@ std::vector<std::vector<TopK>> ShardedPrototypeStore::topk_binary(
     std::copy(q.words().begin(), q.words().end(), qwords.begin() + b * wpr);
   }
 
-  const std::uint64_t* packed = base_->packed_words().data();
+  const std::uint64_t* packed = base_->packed_data();
   const float scale = base_->scale();
   const float inv_d = 1.0f / static_cast<float>(base_->code_bits());
 

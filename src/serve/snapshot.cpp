@@ -8,14 +8,15 @@
 namespace hdczsc::serve {
 
 namespace {
-PrototypeStore build_store(const std::shared_ptr<core::ZscModel>& model,
-                           const tensor::Tensor& class_attributes,
-                           std::size_t binary_expansion) {
+std::shared_ptr<const PrototypeStore> build_store(
+    const std::shared_ptr<core::ZscModel>& model, const tensor::Tensor& class_attributes,
+    std::size_t binary_expansion) {
   if (!model) throw std::invalid_argument("ModelSnapshot: null model");
   if (class_attributes.dim() != 2)
     throw std::invalid_argument("ModelSnapshot: class_attributes must be [C, alpha]");
   tensor::Tensor phi = model->attribute_encoder().encode(class_attributes, /*train=*/false);
-  return PrototypeStore(phi, model->class_kernel().scale(), binary_expansion);
+  return std::make_shared<const PrototypeStore>(phi, model->class_kernel().scale(),
+                                                binary_expansion);
 }
 }  // namespace
 
@@ -35,21 +36,21 @@ ModelSnapshot::ModelSnapshot(std::shared_ptr<core::ZscModel> model,
                              std::size_t preferred_shards, std::vector<std::uint8_t> seen_mask)
     : model_(std::move(model)),
       class_attributes_(std::move(class_attributes)),
-      store_(std::move(store)),
+      store_(std::make_shared<const PrototypeStore>(std::move(store))),
       preferred_shards_(preferred_shards == 0 ? 1 : preferred_shards) {
   if (!model_) throw std::invalid_argument("ModelSnapshot: null model");
-  if (model_->dim() != store_.dim())
+  if (model_->dim() != store_->dim())
     throw std::invalid_argument("ModelSnapshot: model dim " + std::to_string(model_->dim()) +
-                                " != prototype store dim " + std::to_string(store_.dim()));
+                                " != prototype store dim " + std::to_string(store_->dim()));
   adopt_seen_mask(std::move(seen_mask));
 }
 
 void ModelSnapshot::adopt_seen_mask(std::vector<std::uint8_t> seen_mask) {
   if (seen_mask.empty()) return;  // no partition: every class counts as seen
-  if (seen_mask.size() != store_.n_classes())
+  if (seen_mask.size() != store_->n_classes())
     throw std::invalid_argument("ModelSnapshot: seen mask has " +
                                 std::to_string(seen_mask.size()) + " entries for " +
-                                std::to_string(store_.n_classes()) + " classes");
+                                std::to_string(store_->n_classes()) + " classes");
   std::size_t seen = 0;
   for (std::uint8_t m : seen_mask) seen += m != 0;
   if (seen == seen_mask.size()) return;  // all-seen mask ≡ no partition
@@ -70,8 +71,18 @@ tensor::Tensor ModelSnapshot::embed_int8(const tensor::Tensor& images) const {
 }
 
 std::shared_ptr<const IvfIndex> ModelSnapshot::build_ivf(std::size_t n_centroids) {
-  ivf_ = std::make_shared<const IvfIndex>(store_, n_centroids);
+  ivf_ = std::make_shared<const IvfIndex>(*store_, n_centroids);
   return ivf_;
+}
+
+tensor::Tensor ModelSnapshot::encode_attributes(const tensor::Tensor& attributes) const {
+  if (attributes.dim() != 2 || attributes.size(0) == 0 ||
+      attributes.size(1) != class_attributes_.size(1))
+    throw std::invalid_argument(
+        "ModelSnapshot::encode_attributes: need non-empty [n, " +
+        std::to_string(class_attributes_.size(1)) + "] attribute rows, got " +
+        tensor::shape_str(attributes.shape()));
+  return model_->attribute_encoder().encode(attributes, /*train=*/false);
 }
 
 std::shared_ptr<const nn::QuantizedEmbed> ModelSnapshot::quantize(

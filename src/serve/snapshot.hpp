@@ -47,9 +47,9 @@ class ModelSnapshot {
                 PrototypeStore store, std::size_t preferred_shards = 1,
                 std::vector<std::uint8_t> seen_mask = {});
 
-  std::size_t n_classes() const { return store_.n_classes(); }
-  std::size_t dim() const { return store_.dim(); }
-  float scale() const { return store_.scale(); }
+  std::size_t n_classes() const { return store_->n_classes(); }
+  std::size_t dim() const { return store_->dim(); }
+  float scale() const { return store_->scale(); }
   /// Shard count the artifact recommends for its label space (≥ 1; old
   /// version-1 .hdcsnap files carry no record and load as 1 = flat).
   std::size_t preferred_shards() const { return preferred_shards_; }
@@ -111,10 +111,28 @@ class ModelSnapshot {
   /// Adopt a reconstituted index (snapshot_io v5 load path).
   void attach_ivf(std::shared_ptr<const IvfIndex> ivf) { ivf_ = std::move(ivf); }
 
-  const PrototypeStore& prototypes() const { return store_; }
+  const PrototypeStore& prototypes() const { return *store_; }
+  /// Owning handle to the store — serve::StoreVersion shares it so store
+  /// views (sharded/IVF) stay valid however long a pinned version lives.
+  const std::shared_ptr<const PrototypeStore>& store_ptr() const { return store_; }
   const core::ZscModel& model() const { return *model_; }
   /// The frozen class-attribute rows A [C, α] the store was built against.
   const tensor::Tensor& class_attributes() const { return class_attributes_; }
+
+  /// Encode class-attribute rows [n, α] into raw ϕ(a) prototype rows
+  /// [n, d] with this snapshot's frozen attribute encoder (eval mode) —
+  /// the online class-append path. α must match class_attributes().
+  tensor::Tensor encode_attributes(const tensor::Tensor& attributes) const;
+
+  /// Store-version counter persisted in v6 .hdcsnap files: 0 for a fresh
+  /// build, advanced by delta compaction so evolved artifacts keep their
+  /// lineage. Engines seed their live version counter from it.
+  std::uint64_t store_version() const { return store_version_; }
+  void set_store_version(std::uint64_t v) { store_version_ = v; }
+  /// Auto-calibrated GZSL seen-penalty persisted alongside (0 = none) —
+  /// engines without an explicit penalty or a validation split serve it.
+  float calibrated_penalty() const { return calibrated_penalty_; }
+  void set_calibrated_penalty(float p) { calibrated_penalty_ = p; }
 
   /// Shared handle to the underlying model — snapshot_io needs the mutable
   /// parameter/buffer lists for serialization; serving code should use the
@@ -124,8 +142,10 @@ class ModelSnapshot {
  private:
   std::shared_ptr<core::ZscModel> model_;
   tensor::Tensor class_attributes_;
-  PrototypeStore store_;
+  std::shared_ptr<const PrototypeStore> store_;
   std::size_t preferred_shards_ = 1;
+  std::uint64_t store_version_ = 0;  // v6 lineage counter
+  float calibrated_penalty_ = 0.0f;  // v6 persisted auto-calibration
   std::vector<std::uint8_t> seen_mask_;  // [C] (1 = seen) or empty = all seen
   std::size_t n_seen_ = 0;               // popcount of seen_mask_ (cached)
   std::shared_ptr<const nn::QuantizedEmbed> quant_;  // optional INT8 artifact

@@ -11,6 +11,7 @@
 #include "data/attribute_space.hpp"
 #include "nn/serialize.hpp"
 #include "serve/ann_store.hpp"
+#include "serve/store_version.hpp"
 #include "tensor/serialize.hpp"
 
 namespace hdczsc::serve {
@@ -18,6 +19,7 @@ namespace hdczsc::serve {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'D', 'C', 'S'};
+constexpr char kDeltaMagic[4] = {'H', 'D', 'C', 'D'};
 constexpr char kEndMarker[4] = {'P', 'A', 'N', 'S'};
 
 using tensor::io::read_pod;
@@ -167,10 +169,12 @@ void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
   write_pod<std::uint64_t>(os, store.expansion());
   write_pod<std::uint64_t>(os, store.lsh_seed());
   write_pod<float>(os, store.scale());
-  tensor::save_tensor(os, store.normalized_prototypes());
-  write_pod<std::uint64_t>(os, store.packed_words().size());
-  os.write(reinterpret_cast<const char*>(store.packed_words().data()),
-           static_cast<std::streamsize>(store.packed_words().size() * sizeof(std::uint64_t)));
+  // Materialize the slabs' visible prefix once for serialization.
+  tensor::save_tensor(os, store.normalized_copy());
+  const std::vector<std::uint64_t> packed = store.packed_copy();
+  write_pod<std::uint64_t>(os, packed.size());
+  os.write(reinterpret_cast<const char*>(packed.data()),
+           static_cast<std::streamsize>(packed.size() * sizeof(std::uint64_t)));
   write_pod<std::uint64_t>(os, snap.preferred_shards());  // v2 shard-layout record
   write_partition(os, snap);                              // v3 GZSL partition record
   // v4 INT8 quantization record pair: calibration table + quantized weights.
@@ -189,6 +193,12 @@ void save_snapshot(std::ostream& os, const ModelSnapshot& snap) {
     os.write(reinterpret_cast<const char*>(ivf.assignments().data()),
              static_cast<std::streamsize>(ivf.assignments().size() * sizeof(std::uint32_t)));
   }
+  // v6 evolution-lineage records: version counter, persisted auto-calibrated
+  // penalty, content checksum (the delta-chain anchor — also a load-time
+  // integrity check over the prototype rows + seen bytes).
+  write_pod<std::uint64_t>(os, snap.store_version());
+  write_pod<float>(os, snap.calibrated_penalty());
+  write_pod<std::uint64_t>(os, content_checksum(store, snap.seen_mask()));
   os.write(kEndMarker, 4);
   if (!os) throw std::runtime_error("save_snapshot: write failed");
 }
@@ -329,6 +339,16 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   IvfRecords ivf = h.version >= 5
                        ? read_ivf_records(is, n_classes, normalized.size(1))
                        : IvfRecords{};
+  // Version-1..5 files predate the evolution lineage and load with version
+  // 0, no persisted calibration, and no stored checksum to validate.
+  std::uint64_t store_version = 0;
+  float calibrated_penalty = 0.0f;
+  std::uint64_t stored_checksum = 0;
+  if (h.version >= 6) {
+    store_version = read_pod<std::uint64_t>(is, "store version");
+    calibrated_penalty = read_pod<float>(is, "calibrated penalty");
+    stored_checksum = read_pod<std::uint64_t>(is, "content checksum");
+  }
   read_end_marker(is);
 
   PrototypeStore store = PrototypeStore::from_parts(std::move(normalized), std::move(packed),
@@ -337,6 +357,10 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
     throw std::runtime_error("snapshot_io: prototype store rows (" +
                              std::to_string(store.n_classes()) +
                              ") != class-attribute rows (" + std::to_string(a.size(0)) + ")");
+  if (h.version >= 6 && content_checksum(store, seen_mask) != stored_checksum)
+    throw std::runtime_error(
+        "snapshot_io: corrupt record 'content checksum': the stored prototype rows do not "
+        "hash to the stated checksum");
   auto snap = std::make_shared<ModelSnapshot>(std::move(model), std::move(a), std::move(store),
                                               shards, std::move(seen_mask));
   if (quant) snap->attach_quantized(std::move(quant));
@@ -344,6 +368,8 @@ std::shared_ptr<ModelSnapshot> load_snapshot(std::istream& is) {
   if (ivf.present)
     snap->attach_ivf(std::make_shared<const IvfIndex>(IvfIndex::from_parts(
         snap->prototypes(), std::move(ivf.centroids), std::move(ivf.assignments))));
+  snap->set_store_version(store_version);
+  snap->set_calibrated_penalty(calibrated_penalty);
   return snap;
 }
 
@@ -432,7 +458,14 @@ SnapshotInfo inspect_snapshot(std::istream& is) {
     if (ivf.present) {
       info.has_ivf = true;
       info.n_centroids = ivf.centroids.size(0);
+      info.ivf_list_sizes.assign(info.n_centroids, 0);
+      for (std::uint32_t a : ivf.assignments) ++info.ivf_list_sizes[a];
     }
+  }
+  if (h.version >= 6) {
+    info.store_version = read_pod<std::uint64_t>(is, "store version");
+    info.calibrated_penalty = read_pod<float>(is, "calibrated penalty");
+    info.content_checksum = read_pod<std::uint64_t>(is, "content checksum");
   }
   read_end_marker(is);
   return info;
@@ -442,6 +475,241 @@ SnapshotInfo inspect_snapshot_file(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("inspect_snapshot_file: cannot open " + path);
   return inspect_snapshot(f);
+}
+
+// -- delta snapshots ("HDCD") -------------------------------------------------
+
+SnapshotDelta make_delta(const StoreVersion& base, const StoreVersion& next) {
+  if (!base.store || !next.store)
+    throw std::invalid_argument("make_delta: null store version");
+  const std::size_t base_rows = base.n_classes();
+  const std::size_t next_rows = next.n_classes();
+  const std::size_t d = base.store->dim();
+  if (next_rows <= base_rows || next.store->dim() != d ||
+      next.version <= base.version)
+    throw std::invalid_argument(
+        "make_delta: 'next' (version " + std::to_string(next.version) + ", " +
+        std::to_string(next_rows) + " classes) does not extend 'base' (version " +
+        std::to_string(base.version) + ", " + std::to_string(base_rows) + " classes)");
+  const std::size_t n = next_rows - base_rows;
+  const std::size_t wpr = next.store->words_per_row();
+  const std::size_t alpha = next.class_attributes.size(1);
+
+  SnapshotDelta delta;
+  delta.base_rows = base_rows;
+  delta.base_version = base.version;
+  delta.base_checksum = base.content_checksum;
+  delta.new_checksum = next.content_checksum;
+
+  delta.attributes = tensor::Tensor({n, alpha});
+  std::copy(next.class_attributes.data() + base_rows * alpha,
+            next.class_attributes.data() + next_rows * alpha, delta.attributes.data());
+  delta.normalized_rows = tensor::Tensor({n, d});
+  std::copy(next.store->float_rows() + base_rows * d, next.store->float_rows() + next_rows * d,
+            delta.normalized_rows.data());
+  delta.packed_words.assign(next.store->packed_data() + base_rows * wpr,
+                            next.store->packed_data() + next_rows * wpr);
+  // Seen flags are written explicitly (empty means "all unseen" on apply,
+  // which is only the default, not necessarily next's actual partition).
+  delta.seen_flags.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    delta.seen_flags[i] = next.is_seen(base_rows + i) ? 1 : 0;
+  if (next.ivf) {
+    delta.has_ivf = true;
+    delta.ivf_assignments.assign(next.ivf->assignments().begin() +
+                                     static_cast<std::ptrdiff_t>(base_rows),
+                                 next.ivf->assignments().end());
+  }
+  return delta;
+}
+
+void save_delta(std::ostream& os, const SnapshotDelta& delta) {
+  const std::size_t n = delta.n_new();
+  if (n == 0) throw std::invalid_argument("save_delta: delta appends no rows");
+  os.write(kDeltaMagic, 4);
+  write_pod<std::uint32_t>(os, kDeltaVersion);
+  write_pod<std::uint64_t>(os, delta.base_rows);
+  write_pod<std::uint64_t>(os, delta.base_version);
+  write_pod<std::uint64_t>(os, delta.base_checksum);
+  tensor::save_tensor(os, delta.attributes);
+  tensor::save_tensor(os, delta.normalized_rows);
+  write_pod<std::uint64_t>(os, delta.packed_words.size());
+  os.write(reinterpret_cast<const char*>(delta.packed_words.data()),
+           static_cast<std::streamsize>(delta.packed_words.size() * sizeof(std::uint64_t)));
+  write_pod<std::uint64_t>(os, delta.seen_flags.size());
+  if (!delta.seen_flags.empty())
+    os.write(reinterpret_cast<const char*>(delta.seen_flags.data()),
+             static_cast<std::streamsize>(delta.seen_flags.size()));
+  write_pod<std::uint8_t>(os, delta.has_ivf ? 1 : 0);
+  if (delta.has_ivf) {
+    write_pod<std::uint64_t>(os, delta.ivf_assignments.size());
+    os.write(reinterpret_cast<const char*>(delta.ivf_assignments.data()),
+             static_cast<std::streamsize>(delta.ivf_assignments.size() * sizeof(std::uint32_t)));
+  }
+  write_pod<std::uint64_t>(os, delta.new_checksum);
+  os.write(kEndMarker, 4);
+  if (!os) throw std::runtime_error("save_delta: write failed");
+}
+
+void save_delta_file(const std::string& path, const SnapshotDelta& delta) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_delta_file: cannot open " + path);
+  save_delta(f, delta);
+}
+
+SnapshotDelta load_delta(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kDeltaMagic, 4))
+    throw std::runtime_error("snapshot_io: bad magic (not a .hdcdelta file)");
+  const auto version = read_pod<std::uint32_t>(is, "delta format version");
+  if (version == 0 || version > kDeltaVersion)
+    throw std::runtime_error("snapshot_io: unsupported delta version " +
+                             std::to_string(version) + " (this reader supports 1.." +
+                             std::to_string(kDeltaVersion) + ")");
+  SnapshotDelta delta;
+  delta.base_rows = read_pod<std::uint64_t>(is, "delta base rows");
+  delta.base_version = read_pod<std::uint64_t>(is, "delta base version");
+  delta.base_checksum = read_pod<std::uint64_t>(is, "delta base checksum");
+  delta.attributes = read_tensor(is, "delta class-attribute rows");
+  delta.normalized_rows = read_tensor(is, "delta normalized rows");
+  if (delta.normalized_rows.dim() != 2 || delta.normalized_rows.size(0) == 0)
+    throw std::runtime_error("snapshot_io: delta normalized rows are " +
+                             tensor::shape_str(delta.normalized_rows.shape()) +
+                             ", expected [n, d]");
+  const std::size_t n = delta.normalized_rows.size(0);
+  if (delta.attributes.dim() != 2 || delta.attributes.size(0) != n)
+    throw std::runtime_error(
+        "snapshot_io: delta class-attribute rows disagree with the normalized rows");
+  const auto n_words = read_pod<std::uint64_t>(is, "delta packed word count");
+  // The base's store geometry (expansion → words/row) is unknown until
+  // apply time; here the count only needs to be row-divisible and honest
+  // about the remaining bytes.
+  if (n_words == 0 || n_words % n != 0)
+    throw std::runtime_error("snapshot_io: corrupt record 'delta packed word count': " +
+                             std::to_string(n_words) + " words for " + std::to_string(n) +
+                             " rows");
+  tensor::io::check_readable(is, n_words, sizeof(std::uint64_t), "delta packed rows");
+  delta.packed_words.resize(n_words);
+  is.read(reinterpret_cast<char*>(delta.packed_words.data()),
+          static_cast<std::streamsize>(n_words * sizeof(std::uint64_t)));
+  if (!is) throw std::runtime_error("snapshot_io: truncated reading delta packed rows");
+  const auto n_flags = read_pod<std::uint64_t>(is, "delta seen-flag count");
+  if (n_flags != 0 && n_flags != n)
+    throw std::runtime_error("snapshot_io: corrupt record 'delta seen-flag count': " +
+                             std::to_string(n_flags) + " flags for " + std::to_string(n) +
+                             " rows");
+  if (n_flags != 0) {
+    tensor::io::check_readable(is, n_flags, 1, "delta seen flags");
+    delta.seen_flags.resize(n_flags);
+    is.read(reinterpret_cast<char*>(delta.seen_flags.data()),
+            static_cast<std::streamsize>(n_flags));
+    if (!is) throw std::runtime_error("snapshot_io: truncated reading delta seen flags");
+  }
+  delta.has_ivf = read_pod<std::uint8_t>(is, "delta ivf flag") != 0;
+  if (delta.has_ivf) {
+    const auto count = read_pod<std::uint64_t>(is, "delta ivf assignment count");
+    if (count != n)
+      throw std::runtime_error("snapshot_io: corrupt record 'delta ivf assignment count': " +
+                               std::to_string(count) + " assignments for " +
+                               std::to_string(n) + " rows");
+    tensor::io::check_readable(is, count, sizeof(std::uint32_t), "delta ivf assignments");
+    delta.ivf_assignments.resize(n);
+    is.read(reinterpret_cast<char*>(delta.ivf_assignments.data()),
+            static_cast<std::streamsize>(n * sizeof(std::uint32_t)));
+    if (!is) throw std::runtime_error("snapshot_io: truncated reading delta ivf assignments");
+  }
+  delta.new_checksum = read_pod<std::uint64_t>(is, "delta new checksum");
+  read_end_marker(is);
+  return delta;
+}
+
+SnapshotDelta load_delta_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_delta_file: cannot open " + path);
+  return load_delta(f);
+}
+
+bool is_delta_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  char magic[4];
+  f.read(magic, 4);
+  return f && std::string(magic, 4) == std::string(kDeltaMagic, 4);
+}
+
+std::shared_ptr<ModelSnapshot> compact_snapshot(const ModelSnapshot& base,
+                                                const std::vector<SnapshotDelta>& deltas) {
+  // Chain state: store values share slabs with the base (copy-on-write),
+  // so the whole compaction is one pass of appends + checksum extensions.
+  PrototypeStore store = base.prototypes();
+  std::vector<std::uint8_t> mask = base.seen_mask();
+  tensor::Tensor attrs = base.class_attributes();
+  std::uint64_t version = base.store_version();
+  std::uint64_t checksum = content_checksum(store, mask);
+  std::vector<std::uint32_t> assignments;
+  if (base.has_ivf()) assignments = base.ivf()->assignments();
+
+  for (std::size_t li = 0; li < deltas.size(); ++li) {
+    const SnapshotDelta& delta = deltas[li];
+    const std::string link = "delta " + std::to_string(li);
+    if (delta.base_rows != store.n_classes() || delta.base_version != version)
+      throw std::runtime_error("compact_snapshot: " + link + " expects base version " +
+                               std::to_string(delta.base_version) + " with " +
+                               std::to_string(delta.base_rows) + " classes, but the chain is "
+                               "at version " + std::to_string(version) + " with " +
+                               std::to_string(store.n_classes()) + " classes");
+    if (delta.base_checksum != checksum)
+      throw std::runtime_error("compact_snapshot: " + link +
+                               " base content checksum mismatch");
+    if (delta.attributes.size(1) != attrs.size(1))
+      throw std::runtime_error("compact_snapshot: " + link +
+                               " attribute width disagrees with the base");
+    const std::size_t n = delta.n_new();
+    const std::size_t prev_rows = store.n_classes();
+    PrototypeStore grown = store.append_parts(delta.normalized_rows, delta.packed_words);
+    std::vector<std::uint8_t> new_mask =
+        extend_seen_mask(mask, prev_rows, delta.seen_flags, n);
+    const std::uint64_t chained =
+        extend_content_checksum(checksum, grown, new_mask, prev_rows);
+    if (chained != delta.new_checksum)
+      throw std::runtime_error("compact_snapshot: " + link +
+                               " content checksum mismatch after append (corrupt payload)");
+    if (base.has_ivf()) {
+      if (delta.has_ivf) {
+        const std::size_t cc = base.ivf()->n_centroids();
+        for (std::uint32_t a : delta.ivf_assignments)
+          if (a >= cc)
+            throw std::runtime_error("compact_snapshot: " + link +
+                                     " ivf assignment out of centroid range");
+        assignments.insert(assignments.end(), delta.ivf_assignments.begin(),
+                           delta.ivf_assignments.end());
+      } else {
+        assignments = extend_ivf_assignments(base.ivf()->centroids(), std::move(assignments),
+                                             grown, prev_rows);
+      }
+    }
+    tensor::Tensor new_attrs({attrs.size(0) + n, attrs.size(1)});
+    std::copy(attrs.data(), attrs.data() + attrs.numel(), new_attrs.data());
+    std::copy(delta.attributes.data(), delta.attributes.data() + delta.attributes.numel(),
+              new_attrs.data() + attrs.numel());
+    attrs = std::move(new_attrs);
+    mask = std::move(new_mask);
+    store = std::move(grown);
+    checksum = chained;
+    ++version;
+  }
+
+  auto snap = std::make_shared<ModelSnapshot>(base.model_ptr(), std::move(attrs),
+                                              std::move(store), base.preferred_shards(),
+                                              std::move(mask));
+  if (base.has_quantized()) snap->attach_quantized(base.quantized());
+  if (base.has_ivf())
+    snap->attach_ivf(std::make_shared<const IvfIndex>(IvfIndex::from_parts(
+        snap->prototypes(), base.ivf()->centroids(), std::move(assignments))));
+  snap->set_store_version(version);
+  snap->set_calibrated_penalty(base.calibrated_penalty());
+  return snap;
 }
 
 }  // namespace hdczsc::serve

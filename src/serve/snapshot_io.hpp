@@ -40,7 +40,24 @@
 //           loaded index probes identically to the saved one. Pre-v5
 //           files carry neither and load exact-only (engines rebuild on
 //           demand).
+//   -- evolution lineage (version ≥ 6) --
+//   u64     store version counter (0 = fresh build; advanced by delta
+//           compaction — see serve/store_version.hpp)
+//   f32     auto-calibrated GZSL seen-penalty (0 = none persisted)
+//   u64     FNV-1a content checksum over the per-row store stream
+//           (serve::content_checksum) — validated against the loaded rows,
+//           and the anchor delta files chain from. Pre-v6 files carry none
+//           and load with version 0 / penalty 0.
 //   "PANS"  end marker (truncation tripwire)
+//
+// Delta snapshots (".hdcdelta", magic "HDCD") carry *only* the classes
+// appended since a base artifact: the base's row count / version /
+// content checksum (rejected on mismatch before anything is applied),
+// the new class-attribute rows, the pre-normalized float rows and packed
+// binary words (adopted verbatim, so base + delta chain reconstitutes
+// bit-identically to the equivalent full snapshot), per-row seen flags,
+// optional IVF assignments, and the end-state checksum the chained apply
+// must reach. See docs/evolution.md.
 //
 // Both prototype forms are stored verbatim (not recomputed on load), and
 // BatchNorm running statistics ride along with the parameters, so a loaded
@@ -53,9 +70,11 @@
 // before the ModelSnapshot exists.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "serve/snapshot.hpp"
 
@@ -63,7 +82,10 @@ namespace hdczsc::serve {
 
 /// Current .hdcsnap format version (writers emit this; loaders accept
 /// 1..kSnapshotVersion — see docs/snapshot_format.md for the version log).
-inline constexpr std::uint32_t kSnapshotVersion = 5;
+inline constexpr std::uint32_t kSnapshotVersion = 6;
+
+/// Current .hdcdelta format version.
+inline constexpr std::uint32_t kDeltaVersion = 1;
 
 /// Serialize a snapshot (model architecture + parameters + buffers + frozen
 /// prototype store) to a stream / file.
@@ -116,9 +138,69 @@ struct SnapshotInfo {
   /// report has_ivf == false.
   bool has_ivf = false;
   std::size_t n_centroids = 0;  ///< coarse-quantizer centroid count Cc
+  /// Per-centroid inverted-list sizes (sums to n_classes; empty when
+  /// has_ivf is false) — the `--inspect` list-size histogram input.
+  std::vector<std::size_t> ivf_list_sizes;
+  /// Evolution lineage (version ≥ 6; pre-v6 files report 0 / 0 / 0).
+  std::uint64_t store_version = 0;
+  float calibrated_penalty = 0.0f;
+  std::uint64_t content_checksum = 0;
 };
 
 SnapshotInfo inspect_snapshot(std::istream& is);
 SnapshotInfo inspect_snapshot_file(const std::string& path);
+
+class InferenceEngine;  // serve/engine.hpp
+struct StoreVersion;    // serve/store_version.hpp
+
+/// One persisted append: everything needed to grow a base artifact by n
+/// classes, bit-identically to the version the writer published. Applied
+/// through InferenceEngine::append_delta (live) or compact_snapshot
+/// (offline); produced by make_delta from two versions of one lineage.
+struct SnapshotDelta {
+  /// Base-identity triple — all three must match the state the delta is
+  /// applied to (class count, version counter, content checksum).
+  std::uint64_t base_rows = 0;
+  std::uint64_t base_version = 0;
+  std::uint64_t base_checksum = 0;
+  tensor::Tensor attributes;       ///< appended class-attribute rows [n, α]
+  tensor::Tensor normalized_rows;  ///< appended L2-normalized ϕ(a) rows [n, d]
+  std::vector<std::uint64_t> packed_words;  ///< appended packed rows, n · wpr words
+  /// Per-new-row seen flags (non-zero = seen); empty = all unseen.
+  std::vector<std::uint8_t> seen_flags;
+  bool has_ivf = false;  ///< whether per-new-row IVF assignments ride along
+  std::vector<std::uint32_t> ivf_assignments;  ///< [n] when has_ivf
+  /// Content checksum of base + these rows — the chained apply must land
+  /// exactly here or the delta is rejected (nothing published).
+  std::uint64_t new_checksum = 0;
+
+  std::size_t n_new() const { return normalized_rows.dim() == 2 ? normalized_rows.size(0) : 0; }
+};
+
+/// Diff two versions of one engine lineage (`next` must extend `base`):
+/// captures rows [base.n_classes, next.n_classes) with their attributes,
+/// seen flags and IVF assignments. Throws std::invalid_argument when the
+/// versions are not an extension pair.
+SnapshotDelta make_delta(const StoreVersion& base, const StoreVersion& next);
+
+void save_delta(std::ostream& os, const SnapshotDelta& delta);
+void save_delta_file(const std::string& path, const SnapshotDelta& delta);
+SnapshotDelta load_delta(std::istream& is);
+SnapshotDelta load_delta_file(const std::string& path);
+
+/// True when the file leads with the delta magic "HDCD" (false for full
+/// snapshots, missing or short files) — how ModelRegistry::load_file and
+/// snapshot_tool route a path to the right loader.
+bool is_delta_file(const std::string& path);
+
+/// Offline delta-chain compaction: apply `deltas` in order to `base` and
+/// return a full snapshot whose store planes, seen mask, class attributes
+/// and IVF assignments are *bitwise* the chain's end state, with the
+/// store-version counter advanced by the chain length (what a v6 writer
+/// persists). Each link's base triple and end checksum are validated;
+/// any mismatch throws with nothing half-applied. `base` itself is not
+/// modified.
+std::shared_ptr<ModelSnapshot> compact_snapshot(const ModelSnapshot& base,
+                                                const std::vector<SnapshotDelta>& deltas);
 
 }  // namespace hdczsc::serve

@@ -533,14 +533,15 @@ TEST(AnnSnapshotIo, PreV5FilesLoadExactOnlyAndRebuildMatchesPersisted) {
   std::stringstream with;
   serve::save_snapshot(with, *snapshot);
 
-  // Byte-genuine v4: save the same snapshot without the index, drop the v5
-  // has_ivf flag byte and rewrite the version field.
+  // Byte-genuine v4: save the same snapshot without the index, drop the
+  // v6 lineage block (20 bytes) plus the v5 has_ivf flag byte and rewrite
+  // the version field.
   auto bare = make_snapshot(40);
   std::stringstream ss;
   serve::save_snapshot(ss, *bare);
   std::string bytes = ss.str();
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 5, 1);
+  bytes.erase(bytes.size() - 4 - 21, 21);
   const std::uint32_t v4 = 4;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v4), 4);
 
@@ -594,8 +595,9 @@ TEST(AnnSnapshotIo, CorruptIvfRecordsRejectedByName) {
   serve::save_snapshot(ss, *snapshot);
   const std::string bytes = ss.str();
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  // Tail layout (back to front): "PANS" | 40 u32 assignments | u64 count.
-  const std::size_t assign_off = bytes.size() - 4 - 40 * 4;
+  // Tail layout (back to front): "PANS" | v6 lineage block (20 bytes) |
+  // 40 u32 assignments | u64 count.
+  const std::size_t assign_off = bytes.size() - 4 - 20 - 40 * 4;
   const std::size_t count_off = assign_off - 8;
 
   {  // Out-of-range assignment value → named reject, not a bad index.

@@ -355,12 +355,13 @@ TEST(GzslSnapshotIo, V2FileLoadsAsAllSeen) {
   serve::save_snapshot(ss, *snapshot);
   std::string bytes = ss.str();
   // Reconstruct the version-2 layout byte-for-byte: v3 appended exactly
-  // one u64 seen count + ⌈40/64⌉ = 1 mask word, v4 one u8 has_quant flag
-  // and v5 one u8 has_ivf flag immediately before the end marker, so
-  // dropping those 18 bytes and rewriting the u32 version field yields a
+  // one u64 seen count + ⌈40/64⌉ = 1 mask word, v4 one u8 has_quant flag,
+  // v5 one u8 has_ivf flag and v6 the 20-byte lineage block (u64 version +
+  // f32 penalty + u64 checksum) immediately before the end marker, so
+  // dropping those 38 bytes and rewriting the u32 version field yields a
   // genuine v2 file.
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 4 - 18, 18);
+  bytes.erase(bytes.size() - 4 - 38, 38);
   const std::uint32_t v2 = 2;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v2), 4);
 
@@ -387,11 +388,12 @@ TEST(GzslSnapshotIo, V2FileLoadsAsAllSeen) {
 
 TEST(GzslSnapshotIo, CorruptPartitionRecordRejectedByName) {
   auto snapshot = make_gzsl(30, 10);  // C = 40: tail is n_seen u64 + 1 mask word +
-                                      // has_quant u8 + has_ivf u8 + "PANS"
+                                      // has_quant u8 + has_ivf u8 + the 20-byte
+                                      // v6 lineage block + "PANS"
   std::stringstream ss;
   serve::save_snapshot(ss, *snapshot);
   const std::string bytes = ss.str();
-  const std::size_t mask_off = bytes.size() - 4 - 1 - 1 - 8;  // one mask word
+  const std::size_t mask_off = bytes.size() - 4 - 20 - 1 - 1 - 8;  // one mask word
   const std::size_t n_seen_off = mask_off - 8;
 
   // Seen count beyond the class count.

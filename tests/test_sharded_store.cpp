@@ -305,11 +305,13 @@ TEST(ShardedSnapshotIo, V1FileLoadsAsFlatStore) {
   std::string bytes = ss.str();
   // Reconstruct the version-1 layout byte-for-byte: v2 appended one u64
   // shard record, v3 one u64 seen count + ⌈C/64⌉ u64 mask words, v4 one
-  // u8 has_quant flag, and v5 one u8 has_ivf flag, all immediately before
-  // the end marker — so for C = 40 dropping those 8 + 8 + 8 + 1 + 1 bytes
-  // and rewriting the u32 version field yields a genuine v1 file.
+  // u8 has_quant flag, v5 one u8 has_ivf flag, and v6 the 20-byte lineage
+  // block (u64 version + f32 penalty + u64 checksum), all immediately
+  // before the end marker — so for C = 40 dropping those
+  // 8 + 8 + 8 + 1 + 1 + 20 bytes and rewriting the u32 version field
+  // yields a genuine v1 file.
   ASSERT_EQ(bytes.substr(bytes.size() - 4), "PANS");
-  bytes.erase(bytes.size() - 4 - 26, 26);
+  bytes.erase(bytes.size() - 4 - 46, 46);
   const std::uint32_t v1 = 1;
   bytes.replace(4, 4, reinterpret_cast<const char*>(&v1), 4);
 

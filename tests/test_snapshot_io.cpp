@@ -91,7 +91,7 @@ TEST(SnapshotIO, FloatPathRoundTripIsBitIdentical) {
       << "persisted snapshot diverged from the in-memory one on the float path";
 
   // Packed binary rows travel verbatim.
-  EXPECT_EQ(loaded->prototypes().packed_words(), original.prototypes().packed_words());
+  EXPECT_EQ(loaded->prototypes().packed_copy(), original.prototypes().packed_copy());
 
   // BatchNorm running statistics made the trip (they are not Parameters).
   auto orig_bufs = t.model->buffers();
@@ -114,7 +114,7 @@ TEST(SnapshotIO, BinaryPathRoundTripWithLshExpansion) {
 
   EXPECT_EQ(loaded->prototypes().expansion(), 4u);
   EXPECT_EQ(loaded->prototypes().code_bits(), original.prototypes().code_bits());
-  EXPECT_EQ(loaded->prototypes().packed_words(), original.prototypes().packed_words());
+  EXPECT_EQ(loaded->prototypes().packed_copy(), original.prototypes().packed_copy());
 
   // Binary scoring uses the query-side LSH projection, regenerated from the
   // persisted seed — it must give bit-identical Hamming logits.
@@ -302,10 +302,11 @@ TEST(SnapshotIO, CorruptPackedWordCountRejectedBeforeReadingShort) {
   serve::save_snapshot(full, snap);
   std::string bytes = full.str();
 
-  // Tail layout (fixed widths, back to front): "PANS" | has_ivf u8 (0) |
-  // has_quant u8 (0, no quant records follow) | 1 mask word | n_seen u64 |
-  // shards u64 | 7 packed words | packed count u64.
-  const std::size_t count_off = bytes.size() - 4 - 1 - 1 - 8 - 8 - 8 - 7 * 8 - 8;
+  // Tail layout (fixed widths, back to front): "PANS" | v6 lineage records
+  // (u64 store version + f32 penalty + u64 checksum = 20 bytes) | has_ivf
+  // u8 (0) | has_quant u8 (0, no quant records follow) | 1 mask word |
+  // n_seen u64 | shards u64 | 7 packed words | packed count u64.
+  const std::size_t count_off = bytes.size() - 4 - 20 - 1 - 1 - 8 - 8 - 8 - 7 * 8 - 8;
   std::uint64_t count = 0;
   std::memcpy(&count, bytes.data() + count_off, 8);
   ASSERT_EQ(count, 7u) << "tail-layout arithmetic drifted from the format";
@@ -357,33 +358,35 @@ TEST(SnapshotIO, QuantizedV4RoundTripServesInt8) {
   EXPECT_GT(info.quant_weight_bytes, 0u);
 }
 
-TEST(SnapshotIO, CrossVersionLoadMatrixV1ToV5) {
+TEST(SnapshotIO, CrossVersionLoadMatrixV1ToV6) {
   // One snapshot, every on-disk generation: a current (unquantized, no
-  // IVF) v5 file shrinks to a byte-genuine v4 / v3 / v2 / v1 by stripping
-  // exactly the records each version appended — v5 one u8 has_ivf flag,
-  // v4 one u8 has_quant flag, v3 one u64 seen count + ⌈7/64⌉ = 1 mask
-  // word, v2 one u64 shard record — and rewriting the u32 version field.
-  // Every generation must load, agree on its version via inspect, and
-  // score bit-identically to the v5 file.
+  // IVF) v6 file shrinks to a byte-genuine v5 / v4 / v3 / v2 / v1 by
+  // stripping exactly the records each version appended — v6 the 20-byte
+  // lineage block (u64 version + f32 penalty + u64 checksum), v5 one u8
+  // has_ivf flag, v4 one u8 has_quant flag, v3 one u64 seen count +
+  // ⌈7/64⌉ = 1 mask word, v2 one u64 shard record — and rewriting the u32
+  // version field. Every generation must load, agree on its version via
+  // inspect, and score bit-identically to the v6 file.
   Tiny t = make_tiny(73, "hdc", /*n_classes=*/7);
   serve::ModelSnapshot snap(t.model, t.a, /*binary_expansion=*/2);
   std::stringstream full;
   serve::save_snapshot(full, snap);
-  const std::string v5 = full.str();
-  ASSERT_EQ(v5.substr(v5.size() - 4), "PANS");
+  const std::string v6 = full.str();
+  ASSERT_EQ(v6.substr(v6.size() - 4), "PANS");
 
   auto downgrade = [&](std::uint32_t version, std::size_t strip) {
-    std::string bytes = v5;
+    std::string bytes = v6;
     bytes.erase(bytes.size() - 4 - strip, strip);
     bytes.replace(4, 4, reinterpret_cast<const char*>(&version), 4);
     return bytes;
   };
   const std::vector<std::pair<std::uint32_t, std::string>> matrix = {
-      {5, v5},
-      {4, downgrade(4, 1)},
-      {3, downgrade(3, 2)},
-      {2, downgrade(2, 18)},
-      {1, downgrade(1, 26)}};
+      {6, v6},
+      {5, downgrade(5, 20)},
+      {4, downgrade(4, 21)},
+      {3, downgrade(3, 22)},
+      {2, downgrade(2, 38)},
+      {1, downgrade(1, 46)}};
 
   const Tensor probe = probe_images(4, 0xC0DEULL);
   const Tensor want = snap.prototypes().score_float(snap.embed(probe));
